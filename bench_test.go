@@ -1,0 +1,81 @@
+// Macro-benchmarks: one per table/figure of the paper's evaluation. Each
+// runs the corresponding experiment from internal/bench at a reduced scale
+// so `go test -bench=.` finishes in minutes; set RIPPLE_BENCH_SCALE (e.g.
+// "1" for the full default scales, "0.2" for smoke) to resize. The
+// authoritative paper-vs-measured record lives in EXPERIMENTS.md,
+// generated with cmd/ripplebench at the default scales.
+package ripple_test
+
+import (
+	"io"
+	"os"
+	"strconv"
+	"testing"
+
+	"ripple/internal/bench"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("RIPPLE_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.05 // 5% of the already-reduced default dataset scales
+}
+
+func newBenchHarness() *bench.Harness {
+	return bench.New(bench.Config{
+		Scale:      benchScale(),
+		StreamLen:  600,
+		MaxBatches: 5,
+		Hidden:     32,
+		Seed:       42,
+	})
+}
+
+// runFigure drives one experiment runner under the benchmark timer and
+// reports the mean Ripple throughput as a custom metric when present.
+func runFigure(b *testing.B, run func(io.Writer) ([]bench.Cell, error)) {
+	b.Helper()
+	var cells []bench.Cell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = run(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var thru float64
+	var n int
+	for _, c := range cells {
+		if c.Strategy == "Ripple" && c.ThroughputUpS > 0 {
+			thru += c.ThroughputUpS
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(thru/float64(n), "ripple-up/s")
+	}
+}
+
+func BenchmarkTable3Datasets(b *testing.B) { runFigure(b, newBenchHarness().Table3) }
+func BenchmarkFig2aFanout(b *testing.B)    { runFigure(b, newBenchHarness().Fig2a) }
+func BenchmarkFig2bAffected(b *testing.B)  { runFigure(b, newBenchHarness().Fig2b) }
+func BenchmarkFig8Strategies(b *testing.B) { runFigure(b, newBenchHarness().Fig8) }
+func BenchmarkFig9SingleMachine(b *testing.B) {
+	runFigure(b, newBenchHarness().Fig9)
+}
+func BenchmarkFig10ThreeLayer(b *testing.B) { runFigure(b, newBenchHarness().Fig10) }
+func BenchmarkFig11Affected(b *testing.B)   { runFigure(b, newBenchHarness().Fig11) }
+func BenchmarkFig12aDistributed(b *testing.B) {
+	runFigure(b, newBenchHarness().Fig12a)
+}
+func BenchmarkFig12bScaling(b *testing.B) { runFigure(b, newBenchHarness().Fig12b) }
+func BenchmarkFig12cCommSplit(b *testing.B) {
+	runFigure(b, newBenchHarness().Fig12c)
+}
+func BenchmarkFig13aProducts(b *testing.B) { runFigure(b, newBenchHarness().Fig13a) }
+func BenchmarkFig13bProductsScaling(b *testing.B) {
+	runFigure(b, newBenchHarness().Fig13b)
+}

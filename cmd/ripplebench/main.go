@@ -1,0 +1,91 @@
+// Command ripplebench regenerates the paper's tables and figures over the
+// synthetic dataset substitutes.
+//
+// Usage:
+//
+//	ripplebench -exp fig9                 # one experiment
+//	ripplebench -exp all -scale 0.5      # everything, smaller graphs
+//	ripplebench -exp fig9 -summary       # adds the §7.3 headline ratios
+//
+// Experiments: table3, fig2a, fig2b, fig8, fig9, fig10, fig11, fig12a,
+// fig12b, fig12c, fig13a, fig13b, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"ripple/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table3, fig2a, fig2b, fig8, fig9, fig10, fig11, fig12a, fig12b, fig12c, fig13a, fig13b, all)")
+	scale := flag.Float64("scale", 1, "multiplier on default dataset scales")
+	stream := flag.Int("stream", 0, "updates per dataset stream (default 3000)")
+	batches := flag.Int("batches", 0, "max batches per experiment cell (default 20)")
+	hidden := flag.Int("hidden", 0, "hidden layer width (default 64)")
+	seed := flag.Int64("seed", 0, "seed for models and streams (default 42)")
+	summary := flag.Bool("summary", false, "print §7.3 headline ratios after fig9/fig10")
+	cellsOut := flag.Bool("cells", false, "print the raw cell table after each experiment")
+	flag.Parse()
+
+	h := bench.New(bench.Config{
+		Scale:      *scale,
+		StreamLen:  *stream,
+		MaxBatches: *batches,
+		Hidden:     *hidden,
+		Seed:       *seed,
+	})
+
+	runners := map[string]func(io.Writer) ([]bench.Cell, error){
+		"table3":   h.Table3,
+		"fig2a":    h.Fig2a,
+		"fig2b":    h.Fig2b,
+		"fig8":     h.Fig8,
+		"fig9":     h.Fig9,
+		"fig10":    h.Fig10,
+		"fig11":    h.Fig11,
+		"fig12a":   h.Fig12a,
+		"fig12b":   h.Fig12b,
+		"fig12c":   h.Fig12c,
+		"fig13a":   h.Fig13a,
+		"fig13b":   h.Fig13b,
+		"ablation": h.Ablations,
+	}
+	order := []string{"table3", "fig2a", "fig2b", "fig8", "fig9", "fig10", "fig11", "fig12a", "fig12b", "fig12c", "fig13a", "fig13b", "ablation"}
+
+	var ids []string
+	if *exp == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of %s, all)\n", id, strings.Join(order, ", "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		cells, err := runners[id](os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *cellsOut {
+			bench.WriteCells(os.Stdout, cells)
+			fmt.Println()
+		}
+		if *summary && (id == "fig9" || id == "fig10") {
+			bench.Summary(os.Stdout, cells)
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Command rippled runs one rank of a real multi-process Ripple cluster
+// over TCP — the deployment mode corresponding to the paper's MPI cluster.
+// Every process deterministically regenerates the same synthetic dataset,
+// model and partition from the shared flags (a real deployment would load
+// pre-partitioned state from storage), then either serves a partition
+// (worker) or streams the update workload (leader).
+//
+// Example 3-worker run on one machine (4 terminals):
+//
+//	rippled -role worker -rank 0 -addrs :7701,:7702,:7703,:7700
+//	rippled -role worker -rank 1 -addrs :7701,:7702,:7703,:7700
+//	rippled -role worker -rank 2 -addrs :7701,:7702,:7703,:7700
+//	rippled -role leader           -addrs :7701,:7702,:7703,:7700
+//
+// The address list has one entry per worker rank plus the leader's address
+// last. All ranks must use identical -dataset/-scale/-workload/… flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ripple/internal/cluster"
+	"ripple/internal/dataset"
+	"ripple/internal/gnn"
+	"ripple/internal/partition"
+	"ripple/internal/transport"
+)
+
+func main() {
+	role := flag.String("role", "", "worker or leader")
+	rank := flag.Int("rank", 0, "worker rank in [0, #workers)")
+	addrsFlag := flag.String("addrs", "", "comma-separated listen addresses: one per worker, leader last")
+	ds := flag.String("dataset", "arxiv", "dataset shape: arxiv, reddit, products, papers")
+	scale := flag.Float64("scale", 0.05, "dataset scale (fraction of published |V|)")
+	workload := flag.String("workload", "GC-S", "model workload: GC-S, GS-S, GC-M, GI-S, GC-W")
+	layers := flag.Int("layers", 2, "GNN layers")
+	hidden := flag.Int("hidden", 64, "hidden width")
+	strategy := flag.String("strategy", "ripple", "maintenance strategy: ripple or rc")
+	bs := flag.Int("bs", 100, "update batch size (leader)")
+	batches := flag.Int("batches", 10, "number of batches to stream (leader)")
+	stream := flag.Int("stream", 3000, "update stream length")
+	seed := flag.Int64("seed", 42, "shared seed")
+	timeout := flag.Duration("timeout", 60*time.Second, "mesh connect timeout")
+	flag.Parse()
+
+	if err := run(*role, *rank, *addrsFlag, *ds, *scale, *workload, *layers, *hidden, *strategy, *bs, *batches, *stream, *seed, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "rippled:", err)
+		os.Exit(1)
+	}
+}
+
+func run(role string, rank int, addrsFlag, ds string, scale float64, workload string, layers, hidden int, strategy string, bs, batches, stream int, seed int64, timeout time.Duration) error {
+	addrs := strings.Split(addrsFlag, ",")
+	if len(addrs) < 2 {
+		return fmt.Errorf("-addrs needs at least one worker plus the leader, got %q", addrsFlag)
+	}
+	k := len(addrs) - 1 // last address is the leader
+
+	strat := cluster.StratRipple
+	switch strategy {
+	case "ripple":
+	case "rc":
+		strat = cluster.StratRC
+	default:
+		return fmt.Errorf("unknown -strategy %q (want ripple or rc)", strategy)
+	}
+
+	// Deterministic shared state: every rank derives the identical world.
+	spec, err := dataset.ByName(ds, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[%s] generating %s at scale %v (n=%d)...\n", role, ds, scale, spec.NumVertices)
+	wl, err := dataset.Build(spec, dataset.StreamConfig{Total: stream, HoldoutFrac: 0.10, Seed: seed})
+	if err != nil {
+		return err
+	}
+	dims := []int{spec.FeatureDim}
+	for i := 1; i < layers; i++ {
+		dims = append(dims, hidden)
+	}
+	dims = append(dims, spec.NumClasses)
+	model, err := gnn.NewWorkload(workload, dims, seed)
+	if err != nil {
+		return err
+	}
+	assign, err := partition.Multilevel(wl.Snapshot, k, partition.DefaultMultilevelOptions)
+	if err != nil {
+		return err
+	}
+	own := cluster.BuildOwnership(assign)
+
+	switch role {
+	case "worker":
+		if rank < 0 || rank >= k {
+			return fmt.Errorf("-rank %d out of [0,%d)", rank, k)
+		}
+		emb, err := gnn.Forward(wl.Snapshot, model, wl.Features)
+		if err != nil {
+			return err
+		}
+		conn, err := transport.DialTCP(rank, addrs, timeout)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		w, err := cluster.NewWorker(rank, conn, k, model, own, strat, wl.Snapshot, emb)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[worker %d] serving %d local vertices\n", rank, own.NumLocal(rank))
+		return w.Run()
+
+	case "leader":
+		// The leader also needs the bootstrap only to keep flag parity; it
+		// holds no embedding state.
+		conn, err := transport.DialTCP(k, addrs, timeout)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		leader := cluster.NewLeader(conn, own, transport.TenGigE)
+		defer leader.Shutdown()
+
+		all := wl.Batches(bs)
+		if batches > 0 && len(all) > batches {
+			all = all[:batches]
+		}
+		fmt.Printf("[leader] streaming %d batches of %d updates to %d workers (%s, %s %dL)\n",
+			len(all), bs, k, strategy, workload, layers)
+		var updates int
+		var total time.Duration
+		for i, b := range all {
+			res, err := leader.ApplyBatch(b)
+			if err != nil {
+				return err
+			}
+			updates += res.Updates
+			total += res.WallTime
+			fmt.Printf("  batch %2d: wall=%-12v affected=%-8d commBytes=%-10d simLat=%v\n",
+				i, res.WallTime.Round(time.Microsecond), res.Affected, res.CommBytes, res.SimLatency().Round(time.Microsecond))
+		}
+		if total > 0 {
+			fmt.Printf("[leader] throughput %.1f up/s over TCP (wall time)\n", float64(updates)/total.Seconds())
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown -role %q (want worker or leader)", role)
+	}
+}

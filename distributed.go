@@ -1,0 +1,60 @@
+package ripple
+
+import (
+	"fmt"
+
+	"ripple/internal/cluster"
+	"ripple/internal/gnn"
+	"ripple/internal/partition"
+)
+
+// Cluster is an in-process distributed inference deployment: the graph and
+// its embeddings are partitioned across worker goroutines that propagate
+// updates with hop-synchronous (BSP) halo exchanges, mirroring the paper's
+// multi-machine design (§5) with measured communication volumes.
+type Cluster = cluster.LocalCluster
+
+// DistResult aggregates one distributed batch: critical-path compute time,
+// measured communication bytes/messages, and modelled wire time.
+type DistResult = cluster.Result
+
+// DistOptions configures BootstrapDistributed.
+type DistOptions struct {
+	// Workers is the number of partitions (required, >= 1).
+	Workers int
+	// Partitioner selects vertex placement: "multilevel" (default, the
+	// METIS-substitute), "ldg" or "hash".
+	Partitioner string
+	// Baseline switches the workers to distributed layer-wise recompute
+	// (the paper's distributed RC baseline) instead of incremental
+	// propagation. Used for comparisons; leave false for production use.
+	Baseline bool
+}
+
+// BootstrapDistributed partitions g, runs the offline forward pass, and
+// launches an in-process cluster maintaining the embeddings under
+// streaming updates. Close the returned cluster when done.
+func BootstrapDistributed(g *Graph, model *Model, features []Vector, opts DistOptions) (*Cluster, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("ripple: DistOptions.Workers = %d, need >= 1", opts.Workers)
+	}
+	emb, err := gnn.Forward(g, model, features)
+	if err != nil {
+		return nil, err
+	}
+	assign, err := partition.ByName(opts.Partitioner, g, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	strat := cluster.StratRipple
+	if opts.Baseline {
+		strat = cluster.StratRC
+	}
+	return cluster.NewLocal(cluster.LocalConfig{
+		Graph:      g,
+		Model:      model,
+		Embeddings: emb,
+		Assignment: assign,
+		Strategy:   strat,
+	})
+}

@@ -1,0 +1,142 @@
+// Fraud detection on a streaming fintech transaction network — the
+// paper's motivating low-latency scenario (§1): a delay in re-classifying
+// an account after a suspicious transaction is money lost.
+//
+// Accounts are vertices (features = balance profile), transactions are
+// streamed edge additions, and balance changes are feature updates. A
+// GINConv model classifies accounts into risk bands; the engine keeps
+// every affected account's class fresh within the batch latency.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"ripple"
+)
+
+const (
+	numAccounts = 3000
+	featDim     = 16
+	riskBands   = 3 // 0 = normal, 1 = watch, 2 = high-risk
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2024))
+
+	// Historic transaction graph: heavy-tailed (a few merchant hubs).
+	g := ripple.NewGraph(numAccounts)
+	for added := 0; added < numAccounts*4; {
+		payer := hub(rng)
+		payee := hub(rng)
+		if payer == payee {
+			continue
+		}
+		if err := g.AddEdge(payer, payee, 1); err == nil {
+			added++
+		}
+	}
+
+	// Account features: balance stats, activity counters.
+	features := make([]ripple.Vector, numAccounts)
+	for i := range features {
+		features[i] = ripple.NewVector(featDim)
+		for j := range features[i] {
+			features[i][j] = rng.Float32()*2 - 1
+		}
+	}
+
+	model, err := ripple.NewModel("GI-S", []int{featDim, 32, riskBands}, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	eng, err := ripple.Bootstrap(g, model, features)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrapped %d accounts in %v\n", numAccounts, time.Since(start).Round(time.Millisecond))
+
+	watchlist := before(eng, riskBands-1)
+	fmt.Printf("high-risk accounts at start: %d\n", len(watchlist))
+
+	// Live feed: batches of transactions (edge adds) and balance changes
+	// (feature updates). Trigger-based serving: after each batch, the
+	// engine's labels are already fresh — we just diff the high-risk set.
+	var totalUpdates int
+	var totalLatency time.Duration
+	for batchNum := 0; batchNum < 20; batchNum++ {
+		batch := make([]ripple.Update, 0, 50)
+		for len(batch) < 50 {
+			if rng.Intn(3) == 0 { // balance change
+				acct := hub(rng)
+				f := ripple.NewVector(featDim)
+				for j := range f {
+					f[j] = rng.Float32()*2 - 1
+				}
+				batch = append(batch, ripple.Update{Kind: ripple.FeatureUpdate, U: acct, Features: f})
+				continue
+			}
+			payer, payee := hub(rng), hub(rng)
+			if payer == payee || g.HasEdge(payer, payee) {
+				continue
+			}
+			batch = append(batch, ripple.Update{Kind: ripple.EdgeAdd, U: payer, V: payee, Weight: 1})
+		}
+		res, err := eng.ApplyBatch(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalUpdates += res.Updates
+		totalLatency += res.UpdateTime + res.PropagateTime
+
+		now := before(eng, riskBands-1)
+		newly := diff(now, watchlist)
+		watchlist = now
+		if len(newly) > 0 {
+			fmt.Printf("batch %2d: %5.2fms, %4d accounts re-scored, ALERT %d newly high-risk (e.g. account %d)\n",
+				batchNum, ms(res.UpdateTime+res.PropagateTime), res.Affected, len(newly), newly[0])
+		} else {
+			fmt.Printf("batch %2d: %5.2fms, %4d accounts re-scored\n",
+				batchNum, ms(res.UpdateTime+res.PropagateTime), res.Affected)
+		}
+	}
+	fmt.Printf("\nthroughput: %.0f transactions/sec with exact, deterministic re-scoring\n",
+		float64(totalUpdates)/totalLatency.Seconds())
+}
+
+// hub draws an account with heavy-tailed popularity.
+func hub(rng *rand.Rand) ripple.VertexID {
+	f := rng.Float64()
+	return ripple.VertexID(int(f * f * float64(numAccounts)))
+}
+
+// before collects the accounts currently classified in the given band.
+func before(eng *ripple.Engine, band int) []ripple.VertexID {
+	var out []ripple.VertexID
+	for u := ripple.VertexID(0); int(u) < numAccounts; u++ {
+		if eng.Label(u) == band {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// diff returns the entries of cur that are absent from prev.
+func diff(cur, prev []ripple.VertexID) []ripple.VertexID {
+	seen := make(map[ripple.VertexID]bool, len(prev))
+	for _, u := range prev {
+		seen[u] = true
+	}
+	var out []ripple.VertexID
+	for _, u := range cur {
+		if !seen[u] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

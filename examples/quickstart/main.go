@@ -1,0 +1,91 @@
+// Quickstart: a 60-second tour of the public API, replaying the paper's
+// Fig. 3 scenario — an edge addition rippling through a small graph while
+// distant vertices stay untouched.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ripple"
+)
+
+func main() {
+	// A small social graph: A=0 follows nobody; B, C, D consume A's posts
+	// (edges point toward the aggregating vertex); F→E is a separate pair.
+	const n = 6
+	names := []string{"A", "B", "C", "D", "E", "F"}
+	g := ripple.NewGraph(n)
+	for _, e := range [][2]ripple.VertexID{{0, 1}, {0, 2}, {0, 3}, {5, 4}} {
+		if err := g.AddEdge(e[0], e[1], 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Seeded features and a 2-layer GraphSAGE-sum model with 4 classes.
+	rng := rand.New(rand.NewSource(7))
+	features := make([]ripple.Vector, n)
+	for i := range features {
+		features[i] = ripple.NewVector(8)
+		for j := range features[i] {
+			features[i][j] = rng.Float32()*2 - 1
+		}
+	}
+	model, err := ripple.NewModel("GS-S", []int{8, 16, 4}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bootstrap: one offline layer-wise forward pass primes the engine.
+	eng, err := ripple.Bootstrap(g, model, features)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bootstrap labels:")
+	printLabels(eng, names)
+
+	// Stream the paper's update: ADD EDGE (E, A). Only A and its
+	// downstream neighbourhood recompute; E and F are untouched.
+	res, err := eng.ApplyBatch([]ripple.Update{
+		{Kind: ripple.EdgeAdd, U: 4, V: 0, Weight: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter ADD EDGE (E→A): %d vertices recomputed (of %d), frontier per hop %v\n",
+		res.Affected, n, res.FrontierPerHop)
+	printLabels(eng, names)
+
+	// Stream a feature update on E: its change ripples through the edge we
+	// just added.
+	newFeat := ripple.NewVector(8)
+	for j := range newFeat {
+		newFeat[j] = rng.Float32()*2 - 1
+	}
+	res, err = eng.ApplyBatch([]ripple.Update{
+		{Kind: ripple.FeatureUpdate, U: 4, Features: newFeat},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter feature update on E: %d vertices recomputed, %d delta messages, %d vector ops\n",
+		res.Affected, res.Messages, res.VectorOps)
+	printLabels(eng, names)
+
+	// Deleting the edge restores the original neighbourhood influence.
+	if _, err := eng.ApplyBatch([]ripple.Update{
+		{Kind: ripple.EdgeDelete, U: 4, V: 0},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter DELETE EDGE (E→A):")
+	printLabels(eng, names)
+}
+
+func printLabels(eng *ripple.Engine, names []string) {
+	for u, name := range names {
+		fmt.Printf("  %s→class %d", name, eng.Label(ripple.VertexID(u)))
+	}
+	fmt.Println()
+}

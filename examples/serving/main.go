@@ -1,0 +1,125 @@
+// Trigger-based serving: the paper's §2.2 deployment model end to end.
+// A continuous update feed flows through a deadline-bounded Batcher into
+// the engine with label tracking on; subscribers receive push
+// notifications the moment any vertex's prediction flips — no polling, no
+// recomputation on read.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ripple"
+)
+
+const (
+	numUsers = 2000
+	featDim  = 12
+	classes  = 4 // content cohorts for recommendation
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(33))
+
+	// A follower graph with heavy-tailed popularity.
+	g := ripple.NewGraph(numUsers)
+	for added := 0; added < numUsers*6; {
+		u := popular(rng)
+		v := popular(rng)
+		if u != v {
+			if err := g.AddEdge(u, v, 1); err == nil {
+				added++
+			}
+		}
+	}
+	features := make([]ripple.Vector, numUsers)
+	for i := range features {
+		features[i] = ripple.NewVector(featDim)
+		for j := range features[i] {
+			features[i][j] = rng.Float32()*2 - 1
+		}
+	}
+	model, err := ripple.NewModel("GC-M", []int{featDim, 24, classes}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := ripple.Bootstrap(g, model, features, ripple.WithLabelTracking())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %d users, cohort model %s\n", numUsers, model)
+
+	// Subscribers: notified on every cohort flip of a watched user.
+	watched := map[ripple.VertexID]bool{}
+	for i := 0; i < 50; i++ {
+		watched[popular(rng)] = true
+	}
+	var mu sync.Mutex
+	notifications := 0
+	batches := 0
+	onBatch := func(res ripple.BatchResult, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		batches++
+		for _, lc := range res.LabelChanges {
+			if watched[lc.Vertex] {
+				notifications++
+				if notifications <= 5 {
+					fmt.Printf("  push → user %d moved cohort %d→%d (batch of %d updates, %v)\n",
+						lc.Vertex, lc.Old, lc.New, res.Updates, (res.UpdateTime + res.PropagateTime).Round(time.Microsecond))
+				}
+			}
+		}
+	}
+
+	// Dynamic batching: flush at 64 updates or 5ms staleness, whichever
+	// first — the paper's §8 latency-deadline extension.
+	batcher, err := ripple.NewBatcher(eng, 64, 5*time.Millisecond, onBatch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The live feed: follows/unfollows and interest drift.
+	start := time.Now()
+	const totalUpdates = 3000
+	for i := 0; i < totalUpdates; i++ {
+		switch rng.Intn(3) {
+		case 0: // interest drift
+			u := popular(rng)
+			f := ripple.NewVector(featDim)
+			for j := range f {
+				f[j] = rng.Float32()*2 - 1
+			}
+			if err := batcher.Submit(ripple.Update{Kind: ripple.FeatureUpdate, U: u, Features: f}); err != nil {
+				log.Fatal(err)
+			}
+		default: // new follow
+			u, v := popular(rng), popular(rng)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			if err := batcher.Submit(ripple.Update{Kind: ripple.EdgeAdd, U: u, V: v, Weight: 1}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	batcher.Close()
+	elapsed := time.Since(start)
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("\nprocessed ~%d updates in %v (%.0f up/s) across %d dynamic batches\n",
+		totalUpdates, elapsed.Round(time.Millisecond), float64(totalUpdates)/elapsed.Seconds(), batches)
+	fmt.Printf("%d push notifications delivered for %d watched users\n", notifications, len(watched))
+}
+
+func popular(rng *rand.Rand) ripple.VertexID {
+	f := rng.Float64()
+	return ripple.VertexID(int(f * f * numUsers))
+}

@@ -1,0 +1,137 @@
+package ripple_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ripple"
+)
+
+func TestPublicLabelTracking(t *testing.T) {
+	g, x := buildSmall(t)
+	model, err := ripple.NewModel("GS-S", []int{8, 16, 5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ripple.Bootstrap(g, model, x, ripple.WithLabelTracking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var sawFlip bool
+	for i := 0; i < 20 && !sawFlip; i++ {
+		u := ripple.VertexID(rng.Intn(30))
+		f := ripple.NewVector(8)
+		for j := range f {
+			f[j] = rng.Float32()*4 - 2
+		}
+		res, err := eng.ApplyBatch([]ripple.Update{{Kind: ripple.FeatureUpdate, U: u, Features: f}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lc := range res.LabelChanges {
+			sawFlip = true
+			if eng.Label(lc.Vertex) != lc.New {
+				t.Errorf("reported new label %d, engine says %d", lc.New, eng.Label(lc.Vertex))
+			}
+		}
+	}
+	if !sawFlip {
+		t.Log("no label flip observed in 20 batches (acceptable but unusual)")
+	}
+}
+
+func TestPublicPruningOptionStaysCorrect(t *testing.T) {
+	g1, x := buildSmall(t)
+	g2, _ := buildSmall(t)
+	model, err := ripple.NewModel("GC-S", []int{8, 16, 5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ripple.Bootstrap(g1, model, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := ripple.Bootstrap(g2, model, x, ripple.WithZeroDeltaPruning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []ripple.Update{{Kind: ripple.FeatureUpdate, U: 3, Features: ripple.NewVector(8)}}
+	if _, err := plain.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pruned.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if d := plain.Embeddings().MaxAbsDiff(pruned.Embeddings()); d > 1e-5 {
+		t.Errorf("pruned engine diverged by %v", d)
+	}
+}
+
+func TestPublicVertexLifecycle(t *testing.T) {
+	g, x := buildSmall(t)
+	model, err := ripple.NewModel("GI-S", []int{8, 16, 5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ripple.Bootstrap(g, model, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := eng.AddVertex(ripple.NewVector(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ApplyBatch([]ripple.Update{{Kind: ripple.EdgeAdd, U: id, V: 0, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RemoveVertex(id); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Label(id) != -1 {
+		t.Error("removed vertex should report label -1")
+	}
+}
+
+func TestPublicBatcher(t *testing.T) {
+	g, x := buildSmall(t)
+	model, err := ripple.NewModel("GC-S", []int{8, 16, 5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ripple.Bootstrap(g, model, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	flushed := 0
+	b, err := ripple.NewBatcher(eng, 3, 50*time.Millisecond, func(res ripple.BatchResult, err error) {
+		if err != nil {
+			t.Errorf("flush: %v", err)
+		}
+		mu.Lock()
+		flushed += res.Updates
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 7; i++ {
+		f := ripple.NewVector(8)
+		for j := range f {
+			f[j] = rng.Float32()
+		}
+		if err := b.Submit(ripple.Update{Kind: ripple.FeatureUpdate, U: ripple.VertexID(rng.Intn(30)), Features: f}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if flushed != 7 {
+		t.Errorf("flushed %d of 7 updates", flushed)
+	}
+}

@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"ripple/internal/cluster"
+	"ripple/internal/dataset"
+	"ripple/internal/engine"
+	"ripple/internal/graph"
+	"ripple/internal/partition"
+	"ripple/internal/transport"
+)
+
+// Ablations quantifies the design choices DESIGN.md calls out, beyond the
+// paper's own figures:
+//
+//  1. zero-delta pruning (the paper's Ripple propagates zero deltas for
+//     determinism of the affected set; pruning stays exact — what does it
+//     buy?);
+//  2. the parallel apply phase (single-core vs multi-core single-machine
+//     engine);
+//  3. partitioner quality (multilevel vs LDG vs hash) as communication
+//     volume in the distributed runtime.
+func (h *Harness) Ablations(w io.Writer) ([]Cell, error) {
+	var cells []Cell
+
+	// --- 1. zero-delta pruning ---
+	fmt.Fprintf(w, "Ablation 1: zero-delta pruning (GC-S 2L, bs=100)\n")
+	for _, ds := range []string{"arxiv", "products"} {
+		wl, err := h.workload(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, prune := range []bool{false, true} {
+			emb, m, err := h.bootstrap(ds, "GC-S", 2)
+			if err != nil {
+				return nil, err
+			}
+			s, err := engine.NewRipple(wl.CloneSnapshot(), m, emb, engine.Config{PruneZeroDeltas: prune})
+			if err != nil {
+				return nil, err
+			}
+			results, err := runStream(s, wl.Batches(100), h.cfg.MaxBatches)
+			if err != nil {
+				return nil, err
+			}
+			name := "Ripple"
+			if prune {
+				name = "Ripple+prune"
+			}
+			cell := summarise(Cell{Figure: "ablation-prune", Dataset: ds, Workload: "GC-S",
+				Strategy: name, Layers: 2, BatchSize: 100}, results, wl.Snapshot.NumVertices())
+			cells = append(cells, cell)
+			fmt.Fprintf(w, "  %-9s %-13s thru=%10.1f up/s  affected=%5.2f%%  vecOps=%d\n",
+				ds, name, cell.ThroughputUpS, cell.AffectedFrac*100, cell.VectorOps)
+		}
+	}
+
+	// --- 2. serial vs parallel apply phase ---
+	fmt.Fprintf(w, "Ablation 2: serial vs parallel apply (products GC-S 2L, bs=1000)\n")
+	{
+		wl, err := h.workload("products")
+		if err != nil {
+			return nil, err
+		}
+		for _, serial := range []bool{true, false} {
+			emb, m, err := h.bootstrap("products", "GC-S", 2)
+			if err != nil {
+				return nil, err
+			}
+			s, err := engine.NewRipple(wl.CloneSnapshot(), m, emb, engine.Config{Serial: serial})
+			if err != nil {
+				return nil, err
+			}
+			results, err := runStream(s, wl.Batches(1000), h.cfg.MaxBatches)
+			if err != nil {
+				return nil, err
+			}
+			name := "parallel"
+			if serial {
+				name = "serial"
+			}
+			cell := summarise(Cell{Figure: "ablation-parallel", Dataset: "products",
+				Workload: "GC-S", Strategy: name, Layers: 2, BatchSize: 1000},
+				results, wl.Snapshot.NumVertices())
+			cells = append(cells, cell)
+			fmt.Fprintf(w, "  %-9s thru=%10.1f up/s  medLat=%s\n", name, cell.ThroughputUpS, fmtDur(cell.MedianLatency))
+		}
+	}
+
+	// --- 2b. trigger-based (eager) vs request-based (lazy) serving ---
+	fmt.Fprintf(w, "Ablation 2b: trigger-based vs request-based serving (arxiv GC-S 2L)\n")
+	{
+		wl, err := h.workload("arxiv")
+		if err != nil {
+			return nil, err
+		}
+		queryCells, err := h.servingCrossover(w, wl)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, queryCells...)
+	}
+
+	// --- 3. partitioner quality ---
+	fmt.Fprintf(w, "Ablation 3: partitioner vs communication volume (papers GC-S 3L, 8 parts, bs=1000)\n")
+	{
+		wl, err := h.workload("papers")
+		if err != nil {
+			return nil, err
+		}
+		for _, pname := range []string{"multilevel", "ldg", "hash"} {
+			emb, m, err := h.bootstrap("papers", "GC-S", 3)
+			if err != nil {
+				return nil, err
+			}
+			assign, err := partition.ByName(pname, wl.Snapshot, 8)
+			if err != nil {
+				return nil, err
+			}
+			q := partition.Evaluate(wl.Snapshot, assign)
+			c, err := cluster.NewLocal(cluster.LocalConfig{
+				Graph:      wl.CloneSnapshot(),
+				Model:      m,
+				Embeddings: emb,
+				Assignment: assign,
+				Strategy:   cluster.StratRipple,
+				Net:        transport.TenGigE,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cell := Cell{Figure: "ablation-partitioner", Dataset: "papers", Workload: "GC-S",
+				Strategy: pname, Layers: 3, BatchSize: 1000, Partitions: 8}
+			batches := wl.Batches(1000)
+			if len(batches) > h.cfg.MaxBatches {
+				batches = batches[:h.cfg.MaxBatches]
+			}
+			for _, b := range batches {
+				res, err := c.ApplyBatch(b)
+				if err != nil {
+					c.Close()
+					return nil, err
+				}
+				cell.CommBytes += res.CommBytes
+				cell.CommMsgs += res.CommMsgs
+				cell.CommTime += res.SimCommTime
+			}
+			c.Close()
+			cell.Batches = len(batches)
+			cells = append(cells, cell)
+			fmt.Fprintf(w, "  %-11s cut=%5.1f%%  commBytes=%-12d simCommTime=%s\n",
+				pname, q.CutFraction*100, cell.CommBytes, fmtDur(cell.CommTime))
+		}
+	}
+	return cells, nil
+}
+
+// servingCrossover measures total time to process a fixed update stream
+// interleaved with label queries, for the trigger-based engine (pays
+// propagation per batch, O(1) reads) versus the request-based Lazy engine
+// (O(1) updates, vertex-wise recomputation per read), across query:update
+// ratios. Update-heavy mixes favour Lazy; read-heavy mixes favour eager —
+// the §2.2 trade-off as a measured crossover.
+func (h *Harness) servingCrossover(w io.Writer, wl *dataset.Workload) ([]Cell, error) {
+	const bs = 50
+	emb, m, err := h.bootstrap("arxiv", "GC-S", 2)
+	if err != nil {
+		return nil, err
+	}
+	batches := wl.Batches(bs)
+	if len(batches) > h.cfg.MaxBatches {
+		batches = batches[:h.cfg.MaxBatches]
+	}
+	n := wl.Snapshot.NumVertices()
+	var cells []Cell
+	for _, queriesPerBatch := range []int{1, 50, 500} {
+		// Eager: maintain embeddings, reads are lookups.
+		eager, err := engine.NewRipple(wl.CloneSnapshot(), m, emb.Clone(), engine.Config{})
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(h.cfg.Seed))
+		start := time.Now()
+		for _, b := range batches {
+			if _, err := eager.ApplyBatch(b); err != nil {
+				return nil, err
+			}
+			for q := 0; q < queriesPerBatch; q++ {
+				_ = eager.Label(graph.VertexID(rng.Intn(n)))
+			}
+		}
+		eagerTime := time.Since(start)
+
+		// Lazy: O(1) updates, vertex-wise recompute per read.
+		lazy, err := engine.NewLazy(wl.CloneSnapshot(), m, wl.CloneFeatures())
+		if err != nil {
+			return nil, err
+		}
+		rng = rand.New(rand.NewSource(h.cfg.Seed))
+		start = time.Now()
+		for _, b := range batches {
+			if _, err := lazy.ApplyBatch(b); err != nil {
+				return nil, err
+			}
+			for q := 0; q < queriesPerBatch; q++ {
+				_ = lazy.Query(graph.VertexID(rng.Intn(n)))
+			}
+		}
+		lazyTime := time.Since(start)
+
+		cells = append(cells,
+			Cell{Figure: "ablation-serving", Dataset: "arxiv", Workload: "GC-S",
+				Strategy: "eager", Layers: 2, BatchSize: bs, Fanout: queriesPerBatch,
+				MeanLatency: eagerTime / time.Duration(len(batches))},
+			Cell{Figure: "ablation-serving", Dataset: "arxiv", Workload: "GC-S",
+				Strategy: "lazy", Layers: 2, BatchSize: bs, Fanout: queriesPerBatch,
+				MeanLatency: lazyTime / time.Duration(len(batches))},
+		)
+		fmt.Fprintf(w, "  queries/batch=%-4d eager=%-10s lazy=%-10s\n",
+			queriesPerBatch, fmtDur(eagerTime/time.Duration(len(batches))), fmtDur(lazyTime/time.Duration(len(batches))))
+	}
+	return cells, nil
+}

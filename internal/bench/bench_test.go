@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyHarness runs every experiment at a scale small enough for unit
+// testing while still exercising the full code path.
+func tinyHarness() *Harness {
+	return New(Config{Scale: 0.05, StreamLen: 300, MaxBatches: 3, Hidden: 16, Seed: 7})
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Scale != 1 || cfg.StreamLen != 3000 || cfg.MaxBatches != 20 || cfg.Hidden != 64 || cfg.Seed != 42 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	h := tinyHarness()
+	cells, err := h.Table3(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("table3 cells = %d", len(cells))
+	}
+}
+
+func TestFig2aShape(t *testing.T) {
+	h := tinyHarness()
+	cells, err := h.Fig2a(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("fig2a cells = %d", len(cells))
+	}
+	// Latency must grow with fanout (larger sampled trees).
+	if cells[3].MeanLatency < cells[0].MeanLatency {
+		t.Errorf("latency did not grow with fanout: f4=%v f32=%v", cells[0].MeanLatency, cells[3].MeanLatency)
+	}
+	for _, c := range cells {
+		if c.AccuracyPct < 0 || c.AccuracyPct > 100 {
+			t.Errorf("accuracy %v out of range", c.AccuracyPct)
+		}
+	}
+}
+
+func TestFig2bShape(t *testing.T) {
+	h := tinyHarness()
+	cells, err := h.Fig2b(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Cell{}
+	for _, c := range cells {
+		byKey[c.Dataset+"/"+c.Strategy+"/"+itoa(c.BatchSize)] = c
+	}
+	for _, ds := range []string{"arxiv", "products"} {
+		// Affected fraction grows with batch size (the paper's headline
+		// observation in Fig. 2b).
+		if byKey[ds+"/RC/1"].AffectedFrac > byKey[ds+"/RC/100"].AffectedFrac {
+			t.Errorf("%s: affected%% should grow with batch size", ds)
+		}
+		// Affected fraction is strategy-independent.
+		for _, bs := range []string{"1", "10", "100"} {
+			rc, rp := byKey[ds+"/RC/"+bs], byKey[ds+"/Ripple/"+bs]
+			if diff := rc.AffectedFrac - rp.AffectedFrac; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%s bs=%s: affected frac differs RC=%v Ripple=%v", ds, bs, rc.AffectedFrac, rp.AffectedFrac)
+			}
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	h := tinyHarness()
+	cells, err := h.Fig8(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 { // 6 strategies × 2 datasets
+		t.Fatalf("fig8 cells = %d", len(cells))
+	}
+	get := func(ds, strat string) Cell {
+		for _, c := range cells {
+			if c.Dataset == ds && c.Strategy == strat {
+				return c
+			}
+		}
+		t.Fatalf("missing cell %s/%s", ds, strat)
+		return Cell{}
+	}
+	for _, ds := range []string{"arxiv", "products"} {
+		// Robust shape assertions (wall-clock ordering between close
+		// strategies is noisy at this tiny test scale; the authoritative
+		// ordering check is EXPERIMENTS.md at the default scales):
+		// vertex-wise is far slower than layer-wise, and the DGL-style
+		// immutable-graph baselines pay orders of magnitude more update
+		// (CSR rebuild) time than the edge-list strategies.
+		dnc := get(ds, "DNC").UpdateTime + get(ds, "DNC").PropagateTime
+		drc := get(ds, "DRC").UpdateTime + get(ds, "DRC").PropagateTime
+		if dnc < drc {
+			t.Errorf("%s: DNC (%v) should not beat DRC (%v)", ds, dnc, drc)
+		}
+		if get(ds, "DRC").UpdateTime < get(ds, "Ripple").UpdateTime {
+			t.Errorf("%s: DRC update time (%v) should exceed Ripple's (%v)",
+				ds, get(ds, "DRC").UpdateTime, get(ds, "Ripple").UpdateTime)
+		}
+		// Machine-independent: Ripple performs no more aggregation work
+		// than recompute.
+		if get(ds, "Ripple").VectorOps > 2*get(ds, "RC").VectorOps {
+			t.Errorf("%s: Ripple vecOps %d vs RC %d", ds, get(ds, "Ripple").VectorOps, get(ds, "RC").VectorOps)
+		}
+	}
+}
+
+func TestFig9SummarySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig9 sweep is slow")
+	}
+	h := New(Config{Scale: 0.03, StreamLen: 200, MaxBatches: 2, Hidden: 8, Seed: 7})
+	cells, err := h.Fig9(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 datasets × 5 workloads × 4 batch sizes × 3 strategies.
+	if len(cells) != 180 {
+		t.Fatalf("fig9 cells = %d, want 180", len(cells))
+	}
+	var sb strings.Builder
+	Summary(&sb, cells)
+	out := sb.String()
+	if !strings.Contains(out, "Ripple/RC speedup") {
+		t.Errorf("summary output missing ratios:\n%s", out)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	h := tinyHarness()
+	cells, err := h.Fig11(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 { // 2 layer depths × 2 strategies
+		t.Fatalf("fig11 cells = %d", len(cells))
+	}
+}
+
+func TestFig12aDistributedSmoke(t *testing.T) {
+	h := tinyHarness()
+	cells, err := h.Fig12a(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 { // 2 workloads × 3 batch sizes × 2 strategies
+		t.Fatalf("fig12a cells = %d", len(cells))
+	}
+	// RC must communicate more than Ripple in every configuration.
+	for i := 0; i+1 < len(cells); i += 2 {
+		rc, rp := cells[i], cells[i+1]
+		if rc.Strategy != "RC" || rp.Strategy != "Ripple" {
+			t.Fatalf("unexpected cell order %s/%s", rc.Strategy, rp.Strategy)
+		}
+		if rc.CommBytes <= rp.CommBytes {
+			t.Errorf("bs=%d: RC bytes %d not above Ripple %d", rc.BatchSize, rc.CommBytes, rp.CommBytes)
+		}
+	}
+}
+
+func TestFig13bDistributedSmoke(t *testing.T) {
+	h := tinyHarness()
+	cells, err := h.Fig13b(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 { // 3 partition counts × 2 strategies
+		t.Fatalf("fig13b cells = %d", len(cells))
+	}
+}
+
+func TestWriteCells(t *testing.T) {
+	var sb strings.Builder
+	WriteCells(&sb, []Cell{{Figure: "figX", Dataset: "arxiv", Strategy: "Ripple", ThroughputUpS: 123.4, MedianLatency: 2 * time.Millisecond}})
+	if !strings.Contains(sb.String(), "figX") || !strings.Contains(sb.String(), "123.4") {
+		t.Errorf("WriteCells output: %s", sb.String())
+	}
+	WriteCells(&sb, nil) // must not panic
+}
+
+func TestMedian(t *testing.T) {
+	if median(nil) != 0 {
+		t.Error("median(nil)")
+	}
+	if median([]time.Duration{3, 1, 2}) != 2 {
+		t.Error("median odd")
+	}
+}
+
+func TestNewStrategyUnknown(t *testing.T) {
+	h := tinyHarness()
+	if _, err := h.newStrategy("bogus", "arxiv", "GC-S", 2); err == nil {
+		t.Error("expected error for unknown strategy")
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func TestAblationsSmoke(t *testing.T) {
+	h := tinyHarness()
+	cells, err := h.Ablations(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 pruning + 2 parallel + 6 serving + 3 partitioner cells.
+	if len(cells) != 15 {
+		t.Fatalf("ablation cells = %d, want 15", len(cells))
+	}
+	// The multilevel partitioner must communicate less than hash.
+	var ml, hash int64
+	for _, c := range cells {
+		if c.Figure == "ablation-partitioner" {
+			switch c.Strategy {
+			case "multilevel":
+				ml = c.CommBytes
+			case "hash":
+				hash = c.CommBytes
+			}
+		}
+	}
+	if ml == 0 || hash == 0 || ml >= hash {
+		t.Errorf("multilevel bytes %d should undercut hash bytes %d", ml, hash)
+	}
+}

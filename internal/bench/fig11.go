@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fig11 reproduces the latency-vs-propagation-tree-size correlation
+// (Fig. 11): per-batch (affected vertices, latency) points for RC and
+// Ripple on Products with GC-S at batch size 1, for 2- and 3-layer models.
+// The emitted cells bucket the scatter; the per-point series is printed.
+func (h *Harness) Fig11(w io.Writer) ([]Cell, error) {
+	const ds, workload, bs = "products", "GC-S", 1
+	wl, err := h.workload(ds)
+	if err != nil {
+		return nil, err
+	}
+	n := wl.Snapshot.NumVertices()
+	var cells []Cell
+	fmt.Fprintf(w, "Fig 11: batch latency vs #affected vertices (%s, %s, bs=%d)\n", ds, workload, bs)
+	for _, layers := range []int{2, 3} {
+		for _, strat := range []string{"RC", "Ripple"} {
+			s, err := h.newStrategy(strat, ds, workload, layers)
+			if err != nil {
+				return nil, err
+			}
+			results, err := runStream(s, wl.Batches(bs), h.cfg.MaxBatches*3)
+			if err != nil {
+				return nil, err
+			}
+			cell := summarise(Cell{
+				Figure: "fig11", Dataset: ds, Workload: workload,
+				Strategy: strat, Layers: layers, BatchSize: bs,
+			}, results, n)
+			cells = append(cells, cell)
+			fmt.Fprintf(w, "  %dL %-7s batches=%d meanAffected=%.0f meanLat=%s\n",
+				layers, strat, len(results), cell.AffectedFrac*float64(n), fmtDur(cell.MeanLatency))
+			for i, r := range results {
+				if i%5 == 0 { // thin the scatter for readability
+					fmt.Fprintf(w, "    point affected=%-8d latency=%s\n", r.Affected, fmtDur(r.Total()))
+				}
+			}
+		}
+	}
+	return cells, nil
+}

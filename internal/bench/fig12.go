@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ripple/internal/cluster"
+	"ripple/internal/partition"
+)
+
+// distCell runs one distributed configuration end to end and aggregates
+// the workers' reports.
+func (h *Harness) distCell(figure, ds, workload string, layers, parts, bs int, strat cluster.Strategy, maxBatches int) (Cell, error) {
+	wl, err := h.workload(ds)
+	if err != nil {
+		return Cell{}, err
+	}
+	emb, m, err := h.bootstrap(ds, workload, layers)
+	if err != nil {
+		return Cell{}, err
+	}
+	assign, err := h.assignment(ds, parts)
+	if err != nil {
+		return Cell{}, err
+	}
+	g := wl.CloneSnapshot()
+	c, err := cluster.NewLocal(cluster.LocalConfig{
+		Graph:      g,
+		Model:      m,
+		Embeddings: emb,
+		Assignment: assign,
+		Strategy:   strat,
+	})
+	if err != nil {
+		return Cell{}, err
+	}
+	defer c.Close()
+
+	batches := wl.Batches(bs)
+	if maxBatches > 0 && len(batches) > maxBatches {
+		batches = batches[:maxBatches]
+	}
+	cell := Cell{
+		Figure: figure, Dataset: ds, Workload: workload,
+		Strategy: strategyLabel(strat), Layers: layers,
+		BatchSize: bs, Partitions: parts,
+	}
+	var totalLat, comp, comm time.Duration
+	var updates int64
+	lats := make([]time.Duration, 0, len(batches))
+	for i, b := range batches {
+		res, err := c.ApplyBatch(b)
+		if err != nil {
+			return cell, fmt.Errorf("bench: %s parts=%d batch %d: %w", strat, parts, i, err)
+		}
+		lat := res.SimLatency()
+		lats = append(lats, lat)
+		totalLat += lat
+		comp += res.UpdateTime + res.ComputeTime
+		comm += res.SimCommTime
+		updates += int64(res.Updates)
+		cell.CommBytes += res.CommBytes
+		cell.CommMsgs += res.CommMsgs
+		cell.VectorOps += res.VectorOps
+		cell.AffectedFrac += float64(res.Affected)
+	}
+	cell.Batches = len(batches)
+	cell.MedianLatency = median(lats)
+	if len(batches) > 0 {
+		cell.MeanLatency = totalLat / time.Duration(len(batches))
+		cell.AffectedFrac = cell.AffectedFrac / float64(len(batches)) / float64(g.NumVertices())
+	}
+	if totalLat > 0 {
+		cell.ThroughputUpS = float64(updates) / totalLat.Seconds()
+	}
+	cell.ComputeTime = comp
+	cell.CommTime = comm
+	return cell, nil
+}
+
+func strategyLabel(s cluster.Strategy) string {
+	if s == cluster.StratRipple {
+		return "Ripple"
+	}
+	return "RC"
+}
+
+// assignment caches multilevel partitions per (dataset, k).
+func (h *Harness) assignment(ds string, parts int) (*partition.Assignment, error) {
+	wl, err := h.workload(ds)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("assign/%s/%d", ds, parts)
+	if a, ok := h.assignments[key]; ok {
+		return a, nil
+	}
+	a, err := partition.Multilevel(wl.Snapshot, parts, partition.DefaultMultilevelOptions)
+	if err != nil {
+		return nil, err
+	}
+	if h.assignments == nil {
+		h.assignments = map[string]*partition.Assignment{}
+	}
+	h.assignments[key] = a
+	return a, nil
+}
+
+// Fig12a reproduces the distributed throughput/latency sweep on the
+// Papers substitute: 8 partitions, GC-S and GC-M, 3 layers, batch sizes
+// {10, 100, 1000}, Ripple vs distributed RC.
+func (h *Harness) Fig12a(w io.Writer) ([]Cell, error) {
+	var cells []Cell
+	fmt.Fprintf(w, "Fig 12a: distributed throughput/latency, papers, 8 partitions, 3L\n")
+	for _, workload := range []string{"GC-S", "GC-M"} {
+		for _, bs := range []int{10, 100, 1000} {
+			for _, strat := range []cluster.Strategy{cluster.StratRC, cluster.StratRipple} {
+				cell, err := h.distCell("fig12a", "papers", workload, 3, 8, bs, strat, h.cfg.MaxBatches)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, cell)
+				fmt.Fprintf(w, "  %-5s bs=%-5d %-7s thru=%10.1f up/s  medLat=%s\n",
+					workload, bs, cell.Strategy, cell.ThroughputUpS, fmtDur(cell.MedianLatency))
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Fig12b reproduces the strong-scaling study on Papers: partitions 4–16
+// for batch sizes {10, 100, 1000}, GC-S 3-layer.
+func (h *Harness) Fig12b(w io.Writer) ([]Cell, error) {
+	var cells []Cell
+	fmt.Fprintf(w, "Fig 12b: strong scaling on papers (GC-S 3L)\n")
+	for _, parts := range []int{4, 6, 8, 10, 12, 16} {
+		for _, bs := range []int{10, 100, 1000} {
+			for _, strat := range []cluster.Strategy{cluster.StratRC, cluster.StratRipple} {
+				cell, err := h.distCell("fig12b", "papers", "GC-S", 3, parts, bs, strat, h.cfg.MaxBatches)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, cell)
+				fmt.Fprintf(w, "  parts=%-3d bs=%-5d %-7s thru=%10.1f up/s\n",
+					parts, bs, cell.Strategy, cell.ThroughputUpS)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Fig12c reports the compute/communication split of the bs=1000 series
+// (the paper plots it from the same runs as 12b).
+func (h *Harness) Fig12c(w io.Writer) ([]Cell, error) {
+	var cells []Cell
+	fmt.Fprintf(w, "Fig 12c: compute vs communication time, papers (GC-S 3L, bs=1000)\n")
+	for _, parts := range []int{4, 6, 8, 10, 12, 16} {
+		for _, strat := range []cluster.Strategy{cluster.StratRC, cluster.StratRipple} {
+			cell, err := h.distCell("fig12c", "papers", "GC-S", 3, parts, 1000, strat, h.cfg.MaxBatches)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell)
+			fmt.Fprintf(w, "  parts=%-3d %-7s comp=%-10s comm=%-10s bytes=%d\n",
+				parts, cell.Strategy, fmtDur(cell.ComputeTime), fmtDur(cell.CommTime), cell.CommBytes)
+		}
+	}
+	return cells, nil
+}
+
+// Fig13a reproduces the distributed Products run: 8 partitions,
+// GC-S 3-layer, throughput and latency across batch sizes.
+func (h *Harness) Fig13a(w io.Writer) ([]Cell, error) {
+	var cells []Cell
+	fmt.Fprintf(w, "Fig 13a: distributed products, 8 partitions (GC-S 3L)\n")
+	for _, bs := range []int{10, 100, 1000} {
+		for _, strat := range []cluster.Strategy{cluster.StratRC, cluster.StratRipple} {
+			cell, err := h.distCell("fig13a", "products", "GC-S", 3, 8, bs, strat, h.cfg.MaxBatches)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell)
+			fmt.Fprintf(w, "  bs=%-5d %-7s thru=%10.1f up/s  medLat=%s\n",
+				bs, cell.Strategy, cell.ThroughputUpS, fmtDur(cell.MedianLatency))
+		}
+	}
+	return cells, nil
+}
+
+// Fig13b reproduces the Products scaling of compute/communication across
+// 2, 4 and 8 partitions at batch size 1000.
+func (h *Harness) Fig13b(w io.Writer) ([]Cell, error) {
+	var cells []Cell
+	fmt.Fprintf(w, "Fig 13b: products comp/comm scaling (GC-S 3L, bs=1000)\n")
+	for _, parts := range []int{2, 4, 8} {
+		for _, strat := range []cluster.Strategy{cluster.StratRC, cluster.StratRipple} {
+			cell, err := h.distCell("fig13b", "products", "GC-S", 3, parts, 1000, strat, h.cfg.MaxBatches)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell)
+			fmt.Fprintf(w, "  parts=%-3d %-7s comp=%-10s comm=%-10s\n",
+				parts, cell.Strategy, fmtDur(cell.ComputeTime), fmtDur(cell.CommTime))
+		}
+	}
+	return cells, nil
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+)
+
+// Fig2a reproduces the sampling trade-off (Fig. 2a): vertex-wise inference
+// accuracy and latency vs neighbourhood-sampling fanout on the Reddit
+// substitute with a 3-layer SAGEConv model. Accuracy is label agreement
+// with exact (unsampled) inference — the determinism/correctness property
+// the paper motivates with this figure.
+//
+// SAGEConv's default aggregation is mean, which is what makes sampled
+// estimates unbiased (agreement grows with fanout); sum aggregation would
+// scale logits by the sampling ratio and destroy agreement.
+func (h *Harness) Fig2a(w io.Writer) ([]Cell, error) {
+	const ds, workload, layers = "reddit", "SAGE-mean", 3
+	wl, err := h.workload(ds)
+	if err != nil {
+		return nil, err
+	}
+	spec := gnn.Spec{
+		Kind: gnn.GraphSAGE,
+		Agg:  gnn.AggMean,
+		Dims: []int{wl.Spec.FeatureDim, h.cfg.Hidden, h.cfg.Hidden, wl.Spec.NumClasses},
+		Seed: h.cfg.Seed,
+	}
+	m, err := gnn.NewModel(spec)
+	if err != nil {
+		return nil, err
+	}
+	emb, err := gnn.Forward(wl.Snapshot, m, wl.Features)
+	if err != nil {
+		return nil, err
+	}
+	g := wl.Snapshot
+	n := g.NumVertices()
+
+	targets := h.cfg.MaxBatches * 2
+	if targets > n {
+		targets = n
+	}
+	rng := rand.New(rand.NewSource(h.cfg.Seed))
+	targetIDs := make([]graph.VertexID, targets)
+	for i := range targetIDs {
+		targetIDs[i] = graph.VertexID(rng.Intn(n))
+	}
+
+	var cells []Cell
+	fmt.Fprintf(w, "Fig 2a: fanout vs accuracy & latency (%s, %s %dL)\n", ds, workload, layers)
+	for _, fanout := range []int{4, 8, 16, 32} {
+		hits := 0
+		start := time.Now()
+		for _, t := range targetIDs {
+			pred := gnn.InferVertexSampled(g, m, wl.Features, t, fanout, rng).ArgMax()
+			if pred == emb.Label(int32(t)) {
+				hits++
+			}
+		}
+		elapsed := time.Since(start)
+		cell := Cell{
+			Figure:        "fig2a",
+			Dataset:       ds,
+			Workload:      workload,
+			Strategy:      "vertex-sampled",
+			Layers:        layers,
+			Fanout:        fanout,
+			Batches:       targets,
+			AccuracyPct:   100 * float64(hits) / float64(targets),
+			MeanLatency:   elapsed / time.Duration(targets),
+			MedianLatency: elapsed / time.Duration(targets),
+		}
+		cells = append(cells, cell)
+		fmt.Fprintf(w, "  fanout=%-3d accuracy=%5.1f%%  avgLatency=%s\n",
+			fanout, cell.AccuracyPct, fmtDur(cell.MeanLatency))
+	}
+	return cells, nil
+}
+
+// Fig2b reproduces the affected-vertices/latency growth with batch size
+// (Fig. 2b): % of affected vertices and per-batch latency for RC and
+// Ripple on Arxiv and Products, 3-layer GraphSAGE.
+func (h *Harness) Fig2b(w io.Writer) ([]Cell, error) {
+	const workload, layers = "GS-S", 3
+	var cells []Cell
+	fmt.Fprintf(w, "Fig 2b: %% affected vertices and batch latency vs batch size (%s %dL)\n", workload, layers)
+	for _, ds := range []string{"arxiv", "products"} {
+		wl, err := h.workload(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, bs := range []int{1, 10, 100} {
+			for _, strat := range []string{"RC", "Ripple"} {
+				s, err := h.newStrategy(strat, ds, workload, layers)
+				if err != nil {
+					return nil, err
+				}
+				results, err := runStream(s, wl.Batches(bs), h.cfg.MaxBatches)
+				if err != nil {
+					return nil, err
+				}
+				cell := summarise(Cell{
+					Figure: "fig2b", Dataset: ds, Workload: workload,
+					Strategy: strat, Layers: layers, BatchSize: bs,
+				}, results, wl.Snapshot.NumVertices())
+				cells = append(cells, cell)
+				fmt.Fprintf(w, "  %-9s bs=%-4d %-7s affected=%5.2f%%  medLat=%s\n",
+					ds, bs, strat, cell.AffectedFrac*100, fmtDur(cell.MedianLatency))
+			}
+		}
+	}
+	return cells, nil
+}

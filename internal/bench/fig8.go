@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fig8 reproduces the strategy comparison of Fig. 8: median batch latency
+// split into update vs propagate for DNC/DNG/DRC/DRG/RC/Ripple with GC-S,
+// 3 layers, batch size 10, on Arxiv- and Products-shaped graphs. The *G
+// variants run the identical CPU computation under the simulated
+// accelerator cost model (DESIGN.md §1).
+//
+// The vertex-wise strategies (DNC/DNG) rebuild full computation trees per
+// affected target; on the dense Products substitute that is quadratically
+// expensive (exactly the paper's point), so they run on a reduced batch
+// count.
+func (h *Harness) Fig8(w io.Writer) ([]Cell, error) {
+	const workload, layers, bs = "GC-S", 3, 10
+	strategies := []string{"DNC", "DNG", "DRC", "DRG", "RC", "Ripple"}
+	var cells []Cell
+	fmt.Fprintf(w, "Fig 8: strategy comparison (%s %dL, bs=%d), update vs propagate\n", workload, layers, bs)
+	for _, ds := range []string{"arxiv", "products"} {
+		wl, err := h.workload(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, strat := range strategies {
+			maxBatches := h.cfg.MaxBatches
+			if strat == "DNC" || strat == "DNG" {
+				// Vertex-wise recompute is orders of magnitude slower on
+				// dense graphs; a few batches give a stable median.
+				maxBatches = min(maxBatches, 3)
+			}
+			s, err := h.newStrategy(strat, ds, workload, layers)
+			if err != nil {
+				return nil, err
+			}
+			results, err := runStream(s, wl.Batches(bs), maxBatches)
+			if err != nil {
+				return nil, err
+			}
+			cell := summarise(Cell{
+				Figure: "fig8", Dataset: ds, Workload: workload,
+				Strategy: strat, Layers: layers, BatchSize: bs,
+			}, results, wl.Snapshot.NumVertices())
+			cells = append(cells, cell)
+			fmt.Fprintf(w, "  %-9s %-7s update=%-10s propagate=%-10s total=%s\n",
+				ds, strat, fmtDur(cell.UpdateTime), fmtDur(cell.PropagateTime),
+				fmtDur(cell.UpdateTime+cell.PropagateTime))
+		}
+	}
+	return cells, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

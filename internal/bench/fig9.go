@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fig9 reproduces the single-machine sweep of Fig. 9: throughput and
+// median batch latency for DRC, RC and Ripple across the five workloads,
+// three datasets and four batch sizes, with 2-layer models.
+func (h *Harness) Fig9(w io.Writer) ([]Cell, error) {
+	return h.singleMachineSweep(w, "fig9", []string{"arxiv", "products", "reddit"}, 2)
+}
+
+// Fig10 reproduces Fig. 10: the same sweep with 3-layer models, Products
+// only.
+func (h *Harness) Fig10(w io.Writer) ([]Cell, error) {
+	return h.singleMachineSweep(w, "fig10", []string{"products"}, 3)
+}
+
+func (h *Harness) singleMachineSweep(w io.Writer, figure string, datasets []string, layers int) ([]Cell, error) {
+	workloads := []string{"GC-S", "GS-S", "GC-M", "GI-S", "GC-W"}
+	batchSizes := []int{1, 10, 100, 1000}
+	strategies := []string{"DRC", "RC", "Ripple"}
+	var cells []Cell
+	fmt.Fprintf(w, "%s: single-machine throughput/latency, %d-layer models\n", figure, layers)
+	for _, ds := range datasets {
+		wl, err := h.workload(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, workload := range workloads {
+			for _, bs := range batchSizes {
+				for _, strat := range strategies {
+					s, err := h.newStrategy(strat, ds, workload, layers)
+					if err != nil {
+						return nil, err
+					}
+					results, err := runStream(s, wl.Batches(bs), h.cfg.MaxBatches)
+					if err != nil {
+						return nil, err
+					}
+					cell := summarise(Cell{
+						Figure: figure, Dataset: ds, Workload: workload,
+						Strategy: strat, Layers: layers, BatchSize: bs,
+					}, results, wl.Snapshot.NumVertices())
+					cells = append(cells, cell)
+					fmt.Fprintf(w, "  %-9s %-5s bs=%-5d %-7s thru=%10.1f up/s  medLat=%s\n",
+						ds, workload, bs, strat, cell.ThroughputUpS, fmtDur(cell.MedianLatency))
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Summary prints the headline ratios of §7.3 from a fig9/fig10 cell list:
+// peak Ripple throughput per dataset and mean speedups over RC and DRC.
+func Summary(w io.Writer, cells []Cell) {
+	type key struct {
+		ds, workload string
+		bs           int
+	}
+	thru := map[key]map[string]float64{}
+	peak := map[string]float64{}
+	for _, c := range cells {
+		k := key{c.Dataset, c.Workload, c.BatchSize}
+		if thru[k] == nil {
+			thru[k] = map[string]float64{}
+		}
+		thru[k][c.Strategy] = c.ThroughputUpS
+		if c.Strategy == "Ripple" && c.ThroughputUpS > peak[c.Dataset] {
+			peak[c.Dataset] = c.ThroughputUpS
+		}
+	}
+	gain := map[string][]float64{} // dataset → ratios vs RC
+	gainD := map[string][]float64{}
+	for k, m := range thru {
+		if m["Ripple"] > 0 && m["RC"] > 0 {
+			gain[k.ds] = append(gain[k.ds], m["Ripple"]/m["RC"])
+		}
+		if m["Ripple"] > 0 && m["DRC"] > 0 {
+			gainD[k.ds] = append(gainD[k.ds], m["Ripple"]/m["DRC"])
+		}
+	}
+	fmt.Fprintf(w, "\nSummary (§7.3 headline numbers):\n")
+	for ds, p := range map[string]float64{"arxiv": 28000, "products": 1200, "reddit": 210} {
+		if peak[ds] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-9s peak Ripple throughput %10.0f up/s (paper ≈%6.0f at full scale)\n", ds, peak[ds], p)
+	}
+	for ds := range gain {
+		fmt.Fprintf(w, "  %-9s Ripple/RC speedup: max %.1fx mean %.1fx   Ripple/DRC: max %.1fx\n",
+			ds, maxOf(gain[ds]), meanOf(gain[ds]), maxOf(gainD[ds]))
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,287 @@
+// Package cluster implements distributed streaming GNN inference (§5):
+// METIS-substitute partition placement, leader-side request batching and
+// routing (including no-compute topology requests for cross-partition
+// edges), halo-vertex stub mailboxes, and hop-synchronous BSP propagation
+// for both distributed Ripple and the distributed recompute (RC) baseline.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ripple/internal/engine"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// Message kinds on the wire.
+const (
+	kindBatch    uint8 = iota + 1 // leader→worker: routed sub-batch
+	kindHalo                      // worker→worker: per-hop halo deltas (Ripple)
+	kindAffect                    // worker→worker: per-hop affected marks (RC)
+	kindNeed                      // worker→worker: embedding requests (RC)
+	kindFill                      // worker→worker: embedding responses (RC)
+	kindDone                      // worker→leader: per-batch stats
+	kindShutdown                  // leader→worker: terminate
+	kindError                     // worker→leader: fatal worker error
+)
+
+// routedUpdate is an update as delivered to one worker. NoCompute marks
+// the topology-only copy sent to the sink's owner for cross-partition edge
+// updates (§5.2): it changes the local in-adjacency but triggers no
+// propagation.
+type routedUpdate struct {
+	engine.Update
+	NoCompute bool
+}
+
+// --- primitive appenders/readers (little-endian) ---
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendF32(b []byte, v float32) []byte {
+	return appendU32(b, math.Float32bits(v))
+}
+
+func appendVec(b []byte, v tensor.Vector) []byte {
+	for _, x := range v {
+		b = appendF32(b, x)
+	}
+	return b
+}
+
+// reader is a bounds-checked cursor over a payload.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("cluster: truncated payload reading %s at offset %d/%d", what, r.off, len(r.b))
+	}
+}
+
+func (r *reader) u32(what string) uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64(what string) uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) f32(what string) float32 {
+	return math.Float32frombits(r.u32(what))
+}
+
+func (r *reader) byte(what string) byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) vec(width int, what string) tensor.Vector {
+	if width < 0 || r.err != nil {
+		r.fail(what)
+		return nil
+	}
+	v := tensor.NewVector(width)
+	for i := 0; i < width; i++ {
+		v[i] = r.f32(what)
+	}
+	return v
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("cluster: %d trailing bytes in payload", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// --- batch encoding ---
+
+func encodeBatch(seq uint32, updates []routedUpdate) []byte {
+	b := appendU32(nil, seq)
+	b = appendU32(b, uint32(len(updates)))
+	for _, u := range updates {
+		b = append(b, byte(u.Kind))
+		if u.NoCompute {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendU32(b, uint32(u.U))
+		b = appendU32(b, uint32(u.V))
+		b = appendF32(b, u.Weight)
+		b = appendU32(b, uint32(len(u.Features)))
+		b = appendVec(b, u.Features)
+	}
+	return b
+}
+
+func decodeBatch(payload []byte) (uint32, []routedUpdate, error) {
+	r := &reader{b: payload}
+	seq := r.u32("seq")
+	n := r.u32("count")
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	updates := make([]routedUpdate, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		var u routedUpdate
+		u.Kind = engine.UpdateKind(r.byte("kind"))
+		u.NoCompute = r.byte("nocompute") == 1
+		u.U = graph.VertexID(r.u32("u"))
+		u.V = graph.VertexID(r.u32("v"))
+		u.Weight = r.f32("weight")
+		if fl := r.u32("featlen"); fl > 0 {
+			u.Features = r.vec(int(fl), "features")
+		}
+		updates = append(updates, u)
+	}
+	if err := r.done(); err != nil {
+		return 0, nil, err
+	}
+	return seq, updates, nil
+}
+
+// --- halo delta encoding (Ripple) ---
+
+// haloEntry pairs a global vertex id with its accumulated delta.
+type haloEntry struct {
+	id  graph.VertexID
+	vec tensor.Vector
+}
+
+func encodeHalo(hop int, width int, entries []haloEntry) []byte {
+	b := appendU32(nil, uint32(hop))
+	b = appendU32(b, uint32(width))
+	b = appendU32(b, uint32(len(entries)))
+	for _, e := range entries {
+		b = appendU32(b, uint32(e.id))
+		b = appendVec(b, e.vec)
+	}
+	return b
+}
+
+func decodeHalo(payload []byte) (hop int, entries []haloEntry, err error) {
+	r := &reader{b: payload}
+	hop = int(r.u32("hop"))
+	width := int(r.u32("width"))
+	n := r.u32("count")
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	entries = make([]haloEntry, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		id := graph.VertexID(r.u32("id"))
+		vec := r.vec(width, "delta")
+		entries = append(entries, haloEntry{id: id, vec: vec})
+	}
+	if err := r.done(); err != nil {
+		return 0, nil, err
+	}
+	return hop, entries, nil
+}
+
+// --- id list encoding (RC affect marks and need lists) ---
+
+func encodeIDs(hop int, phase uint8, ids []graph.VertexID) []byte {
+	b := appendU32(nil, uint32(hop))
+	b = append(b, phase)
+	b = appendU32(b, uint32(len(ids)))
+	for _, id := range ids {
+		b = appendU32(b, uint32(id))
+	}
+	return b
+}
+
+func decodeIDs(payload []byte) (hop int, phase uint8, ids []graph.VertexID, err error) {
+	r := &reader{b: payload}
+	hop = int(r.u32("hop"))
+	phase = r.byte("phase")
+	n := r.u32("count")
+	if r.err != nil {
+		return 0, 0, nil, r.err
+	}
+	ids = make([]graph.VertexID, 0, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		ids = append(ids, graph.VertexID(r.u32("id")))
+	}
+	if err := r.done(); err != nil {
+		return 0, 0, nil, err
+	}
+	return hop, phase, ids, nil
+}
+
+// --- done/stats encoding ---
+
+// workerStats is one worker's per-batch report to the leader.
+type workerStats struct {
+	Seq          uint32
+	ComputeNanos int64
+	UpdateNanos  int64
+	Affected     int64
+	Messages     int64
+	VectorOps    int64
+	BytesSent    int64
+	MsgsSent     int64
+}
+
+func encodeDone(s workerStats) []byte {
+	b := appendU32(nil, s.Seq)
+	b = appendU64(b, uint64(s.ComputeNanos))
+	b = appendU64(b, uint64(s.UpdateNanos))
+	b = appendU64(b, uint64(s.Affected))
+	b = appendU64(b, uint64(s.Messages))
+	b = appendU64(b, uint64(s.VectorOps))
+	b = appendU64(b, uint64(s.BytesSent))
+	b = appendU64(b, uint64(s.MsgsSent))
+	return b
+}
+
+func decodeDone(payload []byte) (workerStats, error) {
+	r := &reader{b: payload}
+	s := workerStats{
+		Seq:          r.u32("seq"),
+		ComputeNanos: int64(r.u64("compute")),
+		UpdateNanos:  int64(r.u64("update")),
+		Affected:     int64(r.u64("affected")),
+		Messages:     int64(r.u64("messages")),
+		VectorOps:    int64(r.u64("vecops")),
+		BytesSent:    int64(r.u64("bytes")),
+		MsgsSent:     int64(r.u64("msgs")),
+	}
+	if err := r.done(); err != nil {
+		return workerStats{}, err
+	}
+	return s, nil
+}

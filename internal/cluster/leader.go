@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ripple/internal/engine"
+	"ripple/internal/transport"
+)
+
+// Leader drives a worker fleet over any transport: it batches and routes
+// updates (§5.2) and aggregates the workers' per-batch reports. It is the
+// shared core of the in-process LocalCluster and the TCP deployment in
+// cmd/rippled.
+type Leader struct {
+	conn transport.Conn
+	own  *Ownership
+	net  transport.NetModel
+
+	mu     sync.Mutex
+	seq    uint32
+	broken error
+}
+
+// NewLeader wraps a leader endpoint. conn must be able to reach ranks
+// [0, own.K); by convention the leader itself is rank own.K.
+func NewLeader(conn transport.Conn, own *Ownership, net transport.NetModel) *Leader {
+	if net.BandwidthBytesPerSec == 0 && net.LatencyPerMsg == 0 {
+		net = transport.TenGigE
+	}
+	return &Leader{conn: conn, own: own, net: net}
+}
+
+// K returns the number of workers.
+func (l *Leader) K() int { return l.own.K }
+
+// routeBatch splits a batch across workers (§5.2): every update goes to
+// the owner of its hop-0 vertex; cross-partition edge updates additionally
+// produce a no-compute topology request for the sink's owner.
+func routeBatch(own *Ownership, batch []engine.Update) [][]routedUpdate {
+	routed := make([][]routedUpdate, own.K)
+	for _, u := range batch {
+		src := own.Owner[u.Source()]
+		routed[src] = append(routed[src], routedUpdate{Update: u})
+		if u.Kind == engine.EdgeAdd || u.Kind == engine.EdgeDelete {
+			if sink := own.Owner[u.V]; sink != src {
+				routed[sink] = append(routed[sink], routedUpdate{Update: u, NoCompute: true})
+			}
+		}
+	}
+	return routed
+}
+
+// ApplyBatch routes one update batch to the workers, waits for the BSP
+// propagation to complete, and aggregates the workers' reports.
+func (l *Leader) ApplyBatch(batch []engine.Update) (Result, error) {
+	l.mu.Lock()
+	if l.broken != nil {
+		err := l.broken
+		l.mu.Unlock()
+		return Result{}, fmt.Errorf("%w: %v", ErrWorkerFailed, err)
+	}
+	l.seq++
+	seq := l.seq
+	l.mu.Unlock()
+
+	res := Result{Updates: len(batch)}
+	routed := routeBatch(l.own, batch)
+	before := l.conn.Counters()
+	start := time.Now()
+	for r := 0; r < l.own.K; r++ {
+		if err := l.conn.Send(r, kindBatch, encodeBatch(seq, routed[r])); err != nil {
+			return res, fmt.Errorf("cluster: sending batch to worker %d: %w", r, err)
+		}
+	}
+	res.RouteBytes = l.conn.Counters().BytesSent - before.BytesSent
+
+	var maxWorkerComm time.Duration
+	for received := 0; received < l.own.K; received++ {
+		msg, err := l.conn.Recv()
+		if err != nil {
+			return res, fmt.Errorf("cluster: leader recv: %w", err)
+		}
+		switch msg.Kind {
+		case kindDone:
+			st, err := decodeDone(msg.Payload)
+			if err != nil {
+				return res, fmt.Errorf("cluster: done from worker %d: %w", msg.From, err)
+			}
+			if st.Seq != seq {
+				return res, fmt.Errorf("cluster: worker %d answered batch %d, expected %d", msg.From, st.Seq, seq)
+			}
+			res.Affected += st.Affected
+			res.VectorOps += st.VectorOps
+			res.Messages += st.Messages
+			res.CommBytes += st.BytesSent
+			res.CommMsgs += st.MsgsSent
+			if d := time.Duration(st.UpdateNanos); d > res.UpdateTime {
+				res.UpdateTime = d
+			}
+			if d := time.Duration(st.ComputeNanos); d > res.ComputeTime {
+				res.ComputeTime = d
+			}
+			if d := l.net.CommTime(st.BytesSent, st.MsgsSent); d > maxWorkerComm {
+				maxWorkerComm = d
+			}
+		case kindError:
+			err := fmt.Errorf("%w: %s", ErrWorkerFailed, msg.Payload)
+			l.mu.Lock()
+			if l.broken == nil {
+				l.broken = err
+			}
+			l.mu.Unlock()
+			return res, err
+		default:
+			return res, fmt.Errorf("cluster: leader got unexpected kind %d from %d", msg.Kind, msg.From)
+		}
+	}
+	res.WallTime = time.Since(start)
+	res.SimCommTime = maxWorkerComm + l.net.CommTime(res.RouteBytes, int64(l.own.K))
+	return res, nil
+}
+
+// Shutdown asks every worker to terminate (best effort).
+func (l *Leader) Shutdown() {
+	for r := 0; r < l.own.K; r++ {
+		_ = l.conn.Send(r, kindShutdown, nil)
+	}
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ripple/internal/engine"
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/partition"
+	"ripple/internal/transport"
+)
+
+// Result aggregates one distributed batch. Wall time is measured on this
+// machine; SimCommTime is the modelled wire time for the paper's 10 Gbps
+// cluster, computed from the actually-serialised bytes and message counts
+// (DESIGN.md §1 documents this substitution for the MPI/Ethernet testbed).
+type Result struct {
+	Updates  int
+	Affected int64
+	// VectorOps and Messages aggregate the workers' numerical work.
+	VectorOps, Messages int64
+	// WallTime is the leader-observed end-to-end batch latency.
+	WallTime time.Duration
+	// UpdateTime is the slowest worker's topology-update time.
+	UpdateTime time.Duration
+	// ComputeTime is the slowest worker's pure local compute time
+	// (communication waits excluded) — the BSP critical path.
+	ComputeTime time.Duration
+	// RouteBytes is what the leader shipped to workers for this batch.
+	RouteBytes int64
+	// CommBytes/CommMsgs total the workers' sent traffic (halo exchanges,
+	// RC pulls).
+	CommBytes, CommMsgs int64
+	// SimCommTime is the modelled communication time: the busiest worker's
+	// traffic plus the leader's routing traffic over the modelled network.
+	SimCommTime time.Duration
+}
+
+// SimLatency is the modelled batch latency on the paper's testbed:
+// update + compute critical path + modelled communication.
+func (r Result) SimLatency() time.Duration {
+	return r.UpdateTime + r.ComputeTime + r.SimCommTime
+}
+
+// ErrWorkerFailed wraps worker-reported fatal errors.
+var ErrWorkerFailed = errors.New("cluster: worker failed")
+
+// LocalConfig configures an in-process cluster.
+type LocalConfig struct {
+	Graph      *graph.Graph // bootstrapped global topology
+	Model      *gnn.Model
+	Embeddings *gnn.Embeddings // bootstrapped global embeddings
+	Assignment *partition.Assignment
+	Strategy   Strategy           // StratRipple or StratRC
+	Net        transport.NetModel // zero value → transport.TenGigE
+}
+
+// LocalCluster runs k worker goroutines plus a leader endpoint over the
+// in-process fabric — the execution harness for the distributed
+// experiments and examples. The leader logic (§5.2 batching/routing) lives
+// in Leader and is shared with the TCP deployment.
+type LocalCluster struct {
+	leader  *Leader
+	own     *Ownership
+	workers []*Worker
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+}
+
+// NewLocal bootstraps a k-worker in-process cluster from globally
+// bootstrapped state. The global graph/embeddings are only read.
+func NewLocal(cfg LocalConfig) (*LocalCluster, error) {
+	if cfg.Graph == nil || cfg.Model == nil || cfg.Embeddings == nil || cfg.Assignment == nil {
+		return nil, errors.New("cluster: NewLocal requires graph, model, embeddings and assignment")
+	}
+	if err := cfg.Assignment.Validate(cfg.Graph.NumVertices()); err != nil {
+		return nil, err
+	}
+	k := cfg.Assignment.K
+	own := BuildOwnership(cfg.Assignment)
+	conns, err := transport.NewMemoryFabric(k + 1) // rank k = leader
+	if err != nil {
+		return nil, err
+	}
+	c := &LocalCluster{own: own, leader: NewLeader(conns[k], own, cfg.Net)}
+	for r := 0; r < k; r++ {
+		w, err := NewWorker(r, conns[r], k, cfg.Model, own, cfg.Strategy, cfg.Graph, cfg.Embeddings)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building worker %d: %w", r, err)
+		}
+		c.workers = append(c.workers, w)
+	}
+	for _, w := range c.workers {
+		c.wg.Add(1)
+		go func(w *Worker) {
+			defer c.wg.Done()
+			if err := w.Run(); err != nil {
+				c.leader.mu.Lock()
+				if c.leader.broken == nil {
+					c.leader.broken = err
+				}
+				c.leader.mu.Unlock()
+			}
+		}(w)
+	}
+	return c, nil
+}
+
+// K returns the number of workers.
+func (c *LocalCluster) K() int { return c.own.K }
+
+// ApplyBatch routes one update batch to the workers, runs the BSP
+// propagation, and aggregates the workers' reports.
+func (c *LocalCluster) ApplyBatch(batch []engine.Update) (Result, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Result{}, transport.ErrClosed
+	}
+	c.mu.Unlock()
+	return c.leader.ApplyBatch(batch)
+}
+
+// GatherEmbeddings stitches the workers' local embeddings back into a
+// global view. Only valid while no batch is in flight (in-process only;
+// used for verification and serving).
+func (c *LocalCluster) GatherEmbeddings() *gnn.Embeddings {
+	dims := c.workers[0].st.emb.Dims
+	n := len(c.own.Owner)
+	out := gnn.NewEmbeddings(n, dims)
+	for r, w := range c.workers {
+		for li, gid := range c.own.Locals[r] {
+			for l := range out.H {
+				out.H[l][gid].CopyFrom(w.st.emb.H[l][li])
+				if l > 0 {
+					out.A[l][gid].CopyFrom(w.st.emb.A[l][li])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Label returns the current predicted class of a vertex (idle clusters
+// only).
+func (c *LocalCluster) Label(u graph.VertexID) int {
+	r := c.own.Owner[u]
+	return c.workers[r].st.emb.H[len(c.workers[r].st.emb.Dims)-1][c.own.LocalIdx[u]].ArgMax()
+}
+
+// Close shuts the workers down and waits for their goroutines to exit.
+func (c *LocalCluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.leader.Shutdown()
+	c.wg.Wait()
+	return c.leader.conn.Close()
+}

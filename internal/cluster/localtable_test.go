@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ripple/internal/engine"
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/partition"
+	"ripple/internal/tensor"
+)
+
+func TestLocalTable(t *testing.T) {
+	lt := newLocalTable(8, 3)
+	v := lt.get(5)
+	if !v.IsZero() || lt.lookup(4) != nil {
+		t.Error("fresh table state wrong")
+	}
+	v[1] = 7
+	if lt.get(5)[1] != 7 {
+		t.Error("get should return the same vector")
+	}
+	lt.get(2)
+	lt.get(7)
+	got := lt.sortedTouched()
+	if len(got) != 3 || got[0] != 2 || got[1] != 5 || got[2] != 7 {
+		t.Errorf("sortedTouched = %v", got)
+	}
+	lt.reset()
+	if len(lt.touched) != 0 || lt.lookup(5) != nil {
+		t.Error("reset incomplete")
+	}
+	if !lt.get(1).IsZero() {
+		t.Error("pooled vector not zeroed")
+	}
+}
+
+func TestRemoveEdgeFromList(t *testing.T) {
+	list := []graph.Edge{{Peer: 1, Weight: 10}, {Peer: 2, Weight: 20}, {Peer: 3, Weight: 30}}
+	w, ok := removeEdgeFrom(&list, 2)
+	if !ok || w != 20 || len(list) != 2 {
+		t.Errorf("removeEdgeFrom = %v,%v len=%d", w, ok, len(list))
+	}
+	if _, ok := removeEdgeFrom(&list, 99); ok {
+		t.Error("removing absent peer should fail")
+	}
+}
+
+// TestConcurrentClustersAreIndependent runs two clusters side by side on
+// different goroutines to catch shared-state bugs between instances.
+func TestConcurrentClustersAreIndependent(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggSum, Dims: []int{4, 5, 3}, Seed: 91}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for inst := 0; inst < 2; inst++ {
+		wg.Add(1)
+		go func(inst int) {
+			defer wg.Done()
+			w := newWorld(t, spec, 30, 120, int64(500+inst))
+			c := w.cluster(3, StratRipple, "hash")
+			for b := 0; b < 4; b++ {
+				if _, err := c.ApplyBatch(w.randomBatch(5)); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if d := c.GatherEmbeddings().MaxAbsDiff(w.truth()); d > distTol {
+				t.Errorf("instance %d drifted by %v", inst, d)
+			}
+		}(inst)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestLeaderSequenceNumbers verifies batches are answered in order with
+// matching sequence numbers across many batches.
+func TestLeaderSequenceNumbers(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggSum, Dims: []int{4, 5, 3}, Seed: 93}
+	w := newWorld(t, spec, 20, 60, 503)
+	c := w.cluster(2, StratRipple, "hash")
+	rng := rand.New(rand.NewSource(1))
+	for b := 0; b < 12; b++ {
+		var batch []engine.Update
+		if rng.Intn(3) > 0 {
+			batch = w.randomBatch(1 + rng.Intn(4))
+		} // sometimes empty
+		if _, err := c.ApplyBatch(batch); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+	if d := c.GatherEmbeddings().MaxAbsDiff(w.truth()); d > distTol {
+		t.Fatalf("drift %v after mixed empty/non-empty batches", d)
+	}
+}
+
+// TestFeatureUpdateCrossPartitionNeighbours exercises the specific
+// routing case where a feature update's propagation immediately crosses a
+// partition boundary.
+func TestFeatureUpdateCrossPartitionNeighbours(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphSAGE, Agg: gnn.AggSum, Dims: []int{4, 5, 3}, Seed: 97}
+	// Build a path 0→1→2→3 with alternating ownership under hash(2):
+	// every hop crosses the cut.
+	model, err := gnn.NewModel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(4)
+	for _, e := range [][2]graph.VertexID{{0, 1}, {1, 2}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := make([]tensor.Vector, 4)
+	for i := range x {
+		x[i] = tensor.NewVector(4)
+		x[i][0] = float32(i + 1)
+	}
+	emb, err := gnn.Forward(g, model, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewLocal(LocalConfig{
+		Graph: g, Model: model, Embeddings: emb,
+		Assignment: hashAssign(4, 2), Strategy: StratRipple,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	newFeat := tensor.Vector{9, -3, 2, 0}
+	if _, err := c.ApplyBatch([]engine.Update{{Kind: engine.FeatureUpdate, U: 0, Features: newFeat}}); err != nil {
+		t.Fatal(err)
+	}
+	x[0] = newFeat
+	truth, err := gnn.Forward(g.Clone(), model, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.GatherEmbeddings().MaxAbsDiff(truth); d > distTol {
+		t.Fatalf("cross-partition path drift %v", d)
+	}
+}
+
+func hashAssign(n, k int) *partition.Assignment {
+	part := make([]int32, n)
+	for i := range part {
+		part[i] = int32(i % k)
+	}
+	return &partition.Assignment{K: k, Part: part}
+}

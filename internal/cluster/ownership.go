@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/partition"
+)
+
+// Ownership is the read-only placement metadata every rank holds: which
+// worker owns each vertex and the vertex's dense local index on that
+// worker. It is built deterministically from a partition assignment, so
+// separate processes derive identical ownership from the same assignment.
+type Ownership struct {
+	K        int
+	Owner    []int32 // Owner[global] = rank
+	LocalIdx []int32 // LocalIdx[global] = index within owner's local arrays
+	Locals   [][]graph.VertexID
+}
+
+// BuildOwnership derives ownership tables from an assignment. Local
+// indices follow ascending global id within each partition.
+func BuildOwnership(a *partition.Assignment) *Ownership {
+	n := len(a.Part)
+	o := &Ownership{
+		K:        a.K,
+		Owner:    make([]int32, n),
+		LocalIdx: make([]int32, n),
+		Locals:   make([][]graph.VertexID, a.K),
+	}
+	copy(o.Owner, a.Part)
+	for u := 0; u < n; u++ {
+		p := a.Part[u]
+		o.LocalIdx[u] = int32(len(o.Locals[p]))
+		o.Locals[p] = append(o.Locals[p], graph.VertexID(u))
+	}
+	return o
+}
+
+// NumLocal returns the number of vertices owned by rank.
+func (o *Ownership) NumLocal(rank int) int { return len(o.Locals[rank]) }
+
+// localState is one worker's share of the graph and embeddings: adjacency
+// lists of local vertices (peer ids remain global — remote peers are the
+// halo vertices of §5.1) and the embedding/aggregate state for local
+// vertices only.
+type localState struct {
+	out [][]graph.Edge // indexed by local idx; Peer is a global id
+	in  [][]graph.Edge
+	emb *gnn.Embeddings // N = NumLocal(rank)
+}
+
+// BuildLocalState slices a rank's share out of the globally bootstrapped
+// graph and embeddings. The global structures are read, not retained, so
+// every rank of an in-process cluster (or each process of a TCP cluster,
+// after deterministic regeneration) gets independent state.
+func buildLocalState(g *graph.Graph, emb *gnn.Embeddings, own *Ownership, rank int) (*localState, error) {
+	if rank < 0 || rank >= own.K {
+		return nil, fmt.Errorf("cluster: rank %d out of [0,%d)", rank, own.K)
+	}
+	locals := own.Locals[rank]
+	st := &localState{
+		out: make([][]graph.Edge, len(locals)),
+		in:  make([][]graph.Edge, len(locals)),
+		emb: gnn.NewEmbeddings(len(locals), emb.Dims),
+	}
+	for li, gid := range locals {
+		if o := g.Out(gid); len(o) > 0 {
+			st.out[li] = append([]graph.Edge(nil), o...)
+		}
+		if i := g.In(gid); len(i) > 0 {
+			st.in[li] = append([]graph.Edge(nil), i...)
+		}
+		for l := range emb.H {
+			st.emb.H[l][li].CopyFrom(emb.H[l][gid])
+			if l > 0 {
+				st.emb.A[l][li].CopyFrom(emb.A[l][gid])
+			}
+		}
+	}
+	return st, nil
+}

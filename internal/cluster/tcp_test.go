@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ripple/internal/gnn"
+	"ripple/internal/partition"
+	"ripple/internal/transport"
+)
+
+// TestClusterOverRealTCP runs a 2-worker cluster over loopback TCP —
+// the cmd/rippled deployment path — and checks exactness end to end.
+func TestClusterOverRealTCP(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggSum, Dims: []int{5, 6, 4}, Seed: 31}
+	w := newWorld(t, spec, 40, 160, 211)
+	emb := w.truth()
+	assign, err := partition.Multilevel(w.g, 2, partition.DefaultMultilevelOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := BuildOwnership(assign)
+
+	addrs := []string{"127.0.0.1:39311", "127.0.0.1:39312", "127.0.0.1:39310"}
+	conns := make([]*transport.TCPConn, 3)
+	var dialWG sync.WaitGroup
+	var dialErr error
+	var mu sync.Mutex
+	for r := 0; r < 3; r++ {
+		dialWG.Add(1)
+		go func(r int) {
+			defer dialWG.Done()
+			c, err := transport.DialTCP(r, addrs, 10*time.Second)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && dialErr == nil {
+				dialErr = fmt.Errorf("rank %d: %w", r, err)
+			}
+			conns[r] = c
+		}(r)
+	}
+	dialWG.Wait()
+	if dialErr != nil {
+		t.Fatal(dialErr)
+	}
+	t.Cleanup(func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+
+	workers := make([]*Worker, 2)
+	var runWG sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wk, err := NewWorker(r, conns[r], 2, w.model, own, StratRipple, w.g, emb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[r] = wk
+		runWG.Add(1)
+		go func(wk *Worker) {
+			defer runWG.Done()
+			if err := wk.Run(); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}(wk)
+	}
+	leader := NewLeader(conns[2], own, transport.TenGigE)
+
+	for b := 0; b < 4; b++ {
+		batch := w.randomBatch(8)
+		res, err := leader.ApplyBatch(batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		if res.Updates != len(batch) {
+			t.Errorf("batch %d: updates %d", b, res.Updates)
+		}
+	}
+	leader.Shutdown()
+	runWG.Wait()
+
+	// Stitch worker states and compare against ground truth.
+	truth := w.truth()
+	for r, wk := range workers {
+		for li, gid := range own.Locals[r] {
+			for l := range truth.H {
+				if d := wk.Embeddings().H[l][li].MaxAbsDiff(truth.H[l][gid]); d > distTol {
+					t.Fatalf("worker %d vertex %d layer %d drift %v", r, gid, l, d)
+				}
+			}
+		}
+	}
+}

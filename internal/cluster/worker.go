@@ -1,0 +1,378 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ripple/internal/engine"
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+	"ripple/internal/transport"
+)
+
+// Strategy selects the distributed maintenance algorithm a worker runs.
+type Strategy string
+
+const (
+	// StratRipple is distributed incremental propagation (§5.3): per hop,
+	// one push-only halo exchange carrying delta messages for remote
+	// mailbox stubs.
+	StratRipple Strategy = "ripple"
+	// StratRC is the distributed recompute baseline: per hop it must mark
+	// remote affected vertices, then pull the previous-hop embeddings of
+	// ALL remote in-neighbours of affected vertices — including unaffected
+	// ones. This pull traffic is the ≈70× communication overhead the
+	// paper measures (Fig. 12c).
+	StratRC Strategy = "rc"
+)
+
+// localTable is a dense local-index→vector accumulator with deterministic
+// iteration and pooled storage (the per-hop mailboxes of one worker).
+type localTable struct {
+	width   int
+	slots   []tensor.Vector
+	touched []int32
+	pool    []tensor.Vector
+}
+
+func newLocalTable(n, width int) *localTable {
+	return &localTable{width: width, slots: make([]tensor.Vector, n)}
+}
+
+func (t *localTable) get(u int32) tensor.Vector {
+	if v := t.slots[u]; v != nil {
+		return v
+	}
+	var v tensor.Vector
+	if k := len(t.pool); k > 0 {
+		v = t.pool[k-1]
+		t.pool = t.pool[:k-1]
+	} else {
+		v = tensor.NewVector(t.width)
+	}
+	t.slots[u] = v
+	t.touched = append(t.touched, u)
+	return v
+}
+
+func (t *localTable) lookup(u int32) tensor.Vector { return t.slots[u] }
+
+func (t *localTable) sortedTouched() []int32 {
+	sort.Slice(t.touched, func(i, j int) bool { return t.touched[i] < t.touched[j] })
+	return t.touched
+}
+
+func (t *localTable) reset() {
+	for _, u := range t.touched {
+		v := t.slots[u]
+		v.Zero()
+		t.pool = append(t.pool, v)
+		t.slots[u] = nil
+	}
+	t.touched = t.touched[:0]
+}
+
+// wEdgeEvent is a structural event held by the source's owner. The sink is
+// a global id (possibly remote).
+type wEdgeEvent struct {
+	srcLocal int32
+	sink     graph.VertexID
+	coeff    float32
+}
+
+// Worker is one rank of the distributed runtime. It owns a partition's
+// vertices, their adjacency (with global peer ids — remote peers are halo
+// vertices), and their embeddings, and executes the BSP propagation loop.
+type Worker struct {
+	rank       int
+	leaderRank int
+	conn       transport.Conn
+	model      *gnn.Model
+	own        *Ownership
+	strat      Strategy
+
+	st      *localState
+	scratch *gnn.Scratch
+
+	// Ripple state.
+	mailbox []*localTable
+	oldH    []*localTable
+	changed [][]int32
+	events  []wEdgeEvent
+
+	// RC state.
+	affectStamp []uint32
+	affectEpoch uint32
+
+	// batch-scoped distinct-affected counter
+	affectedStamp []uint32
+	epoch         uint32
+
+	pending []transport.Message // out-of-phase reorder buffer
+}
+
+// NewWorker builds a worker from the global bootstrap state (its share is
+// sliced out; the global structures are not retained).
+func NewWorker(rank int, conn transport.Conn, leaderRank int, model *gnn.Model, own *Ownership, strat Strategy, g *graph.Graph, emb *gnn.Embeddings) (*Worker, error) {
+	st, err := buildLocalState(g, emb, own, rank)
+	if err != nil {
+		return nil, err
+	}
+	if strat != StratRipple && strat != StratRC {
+		return nil, fmt.Errorf("cluster: unknown strategy %q", strat)
+	}
+	nLocal := own.NumLocal(rank)
+	w := &Worker{
+		rank:          rank,
+		leaderRank:    leaderRank,
+		conn:          conn,
+		model:         model,
+		own:           own,
+		strat:         strat,
+		st:            st,
+		scratch:       gnn.NewScratch(model.MaxDim()),
+		mailbox:       make([]*localTable, model.L()+1),
+		oldH:          make([]*localTable, model.L()+1),
+		changed:       make([][]int32, model.L()+1),
+		affectStamp:   make([]uint32, nLocal),
+		affectedStamp: make([]uint32, nLocal),
+	}
+	for l := 0; l <= model.L(); l++ {
+		w.oldH[l] = newLocalTable(nLocal, model.Dims[l])
+		if l > 0 {
+			w.mailbox[l] = newLocalTable(nLocal, model.Dims[l-1])
+		}
+	}
+	return w, nil
+}
+
+// Embeddings exposes the worker's local embedding state (read-only; only
+// safe when no batch is in flight).
+func (w *Worker) Embeddings() *gnn.Embeddings { return w.st.emb }
+
+// Run processes batches until a shutdown message or a fatal error. A
+// processing error is reported to the leader as a kindError message before
+// returning.
+func (w *Worker) Run() error {
+	defer func() {
+		if r := recover(); r != nil {
+			// A panicking worker must not hang the cluster: convert to an
+			// error message for the leader, then re-panic to surface the bug.
+			_ = w.conn.Send(w.leaderRank, kindError, []byte(fmt.Sprintf("worker %d panic: %v", w.rank, r)))
+			panic(r)
+		}
+	}()
+	for {
+		// Between batches, worker-to-worker traffic for the *next* batch
+		// can outrun the leader's batch message on independent TCP links;
+		// buffer it instead of treating it as a protocol error.
+		msg, err := w.nextMessage(func(m transport.Message) bool {
+			return m.Kind == kindBatch || m.Kind == kindShutdown
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: worker %d recv: %w", w.rank, err)
+		}
+		switch msg.Kind {
+		case kindShutdown:
+			return nil
+		case kindBatch:
+			seq, updates, err := decodeBatch(msg.Payload)
+			if err == nil {
+				err = w.processBatch(seq, updates)
+			}
+			if err != nil {
+				sendErr := w.conn.Send(w.leaderRank, kindError, []byte(fmt.Sprintf("worker %d: %v", w.rank, err)))
+				if sendErr != nil {
+					return fmt.Errorf("cluster: worker %d: %v (and report failed: %w)", w.rank, err, sendErr)
+				}
+				return fmt.Errorf("cluster: worker %d: %w", w.rank, err)
+			}
+		default:
+			return fmt.Errorf("cluster: worker %d unexpected message kind %d between batches", w.rank, msg.Kind)
+		}
+	}
+}
+
+// processBatch applies one routed sub-batch and participates in the BSP
+// propagation rounds for every hop.
+func (w *Worker) processBatch(seq uint32, updates []routedUpdate) error {
+	before := w.conn.Counters()
+	stats := workerStats{Seq: seq}
+	w.epoch++
+	if w.epoch == 0 {
+		for i := range w.affectedStamp {
+			w.affectedStamp[i] = 0
+		}
+		w.epoch = 1
+	}
+
+	// --- Update phase: local topology and feature changes. ---
+	t0 := time.Now()
+	w.events = w.events[:0]
+	w.changed[0] = w.changed[0][:0]
+	for _, upd := range updates {
+		if err := w.applyUpdate(upd, &stats); err != nil {
+			return err
+		}
+	}
+	for _, lu := range w.oldH[0].sortedTouched() {
+		w.changed[0] = append(w.changed[0], lu)
+		w.countAffected(lu, &stats)
+	}
+	stats.UpdateNanos = time.Since(t0).Nanoseconds()
+
+	// --- Propagate phase. ---
+	var err error
+	switch w.strat {
+	case StratRipple:
+		err = w.propagateRipple(&stats)
+	case StratRC:
+		err = w.propagateRC(&stats)
+	}
+	if err != nil {
+		return err
+	}
+
+	for l := 0; l <= w.model.L(); l++ {
+		w.oldH[l].reset()
+		if l > 0 {
+			w.mailbox[l].reset()
+		}
+	}
+
+	after := w.conn.Counters()
+	stats.BytesSent = after.BytesSent - before.BytesSent
+	stats.MsgsSent = after.MsgsSent - before.MsgsSent
+	return w.conn.Send(w.leaderRank, kindDone, encodeDone(stats))
+}
+
+// applyUpdate applies one routed update to the local topology/features.
+func (w *Worker) applyUpdate(upd routedUpdate, stats *workerStats) error {
+	switch upd.Kind {
+	case engine.EdgeAdd:
+		if !upd.NoCompute { // we own the source
+			lu := w.localOf(upd.U)
+			for _, e := range w.st.out[lu] {
+				if e.Peer == upd.V {
+					return fmt.Errorf("%w: edge-add (%d,%d) already exists", engine.ErrBadUpdate, upd.U, upd.V)
+				}
+			}
+			w.st.out[lu] = append(w.st.out[lu], graph.Edge{Peer: upd.V, Weight: upd.Weight})
+			w.events = append(w.events, wEdgeEvent{srcLocal: lu, sink: upd.V, coeff: gnn.Coeff(w.model.Agg, upd.Weight)})
+		}
+		if w.own.Owner[upd.V] == int32(w.rank) {
+			lv := w.localOf(upd.V)
+			w.st.in[lv] = append(w.st.in[lv], graph.Edge{Peer: upd.U, Weight: upd.Weight})
+		}
+	case engine.EdgeDelete:
+		if !upd.NoCompute {
+			lu := w.localOf(upd.U)
+			wgt, ok := removeEdgeFrom(&w.st.out[lu], upd.V)
+			if !ok {
+				return fmt.Errorf("%w: edge-delete (%d,%d) not found", engine.ErrBadUpdate, upd.U, upd.V)
+			}
+			w.events = append(w.events, wEdgeEvent{srcLocal: lu, sink: upd.V, coeff: -gnn.Coeff(w.model.Agg, wgt)})
+		}
+		if w.own.Owner[upd.V] == int32(w.rank) {
+			lv := w.localOf(upd.V)
+			if _, ok := removeEdgeFrom(&w.st.in[lv], upd.U); !ok {
+				return fmt.Errorf("%w: edge-delete (%d,%d) missing from in-list", engine.ErrBadUpdate, upd.U, upd.V)
+			}
+		}
+	case engine.FeatureUpdate:
+		lu := w.localOf(upd.U)
+		if len(upd.Features) != w.model.Dims[0] {
+			return fmt.Errorf("%w: feature width %d, want %d", engine.ErrBadUpdate, len(upd.Features), w.model.Dims[0])
+		}
+		if w.oldH[0].lookup(lu) == nil {
+			w.oldH[0].get(lu).CopyFrom(w.st.emb.H[0][lu])
+		}
+		w.st.emb.H[0][lu].CopyFrom(upd.Features)
+	default:
+		return fmt.Errorf("%w: unknown kind %v", engine.ErrBadUpdate, upd.Kind)
+	}
+	return nil
+}
+
+func removeEdgeFrom(list *[]graph.Edge, peer graph.VertexID) (float32, bool) {
+	l := *list
+	for i, e := range l {
+		if e.Peer == peer {
+			wgt := e.Weight
+			l[i] = l[len(l)-1]
+			*list = l[:len(l)-1]
+			return wgt, true
+		}
+	}
+	return 0, false
+}
+
+func (w *Worker) localOf(gid graph.VertexID) int32 { return w.own.LocalIdx[gid] }
+
+func (w *Worker) countAffected(lu int32, stats *workerStats) {
+	if w.affectedStamp[lu] != w.epoch {
+		w.affectedStamp[lu] = w.epoch
+		stats.Affected++
+	}
+}
+
+// nextMessage returns the next message satisfying match, buffering any
+// other worker-to-worker traffic that arrives early (a fast peer may
+// already be one hop ahead).
+func (w *Worker) nextMessage(match func(transport.Message) bool) (transport.Message, error) {
+	for i, m := range w.pending {
+		if match(m) {
+			w.pending = append(w.pending[:i], w.pending[i+1:]...)
+			return m, nil
+		}
+	}
+	for {
+		m, err := w.conn.Recv()
+		if err != nil {
+			return transport.Message{}, err
+		}
+		if match(m) {
+			return m, nil
+		}
+		if m.Kind == kindShutdown || m.Kind == kindBatch {
+			return transport.Message{}, fmt.Errorf("cluster: worker %d received %d mid-batch", w.rank, m.Kind)
+		}
+		w.pending = append(w.pending, m)
+	}
+}
+
+// collectPeers gathers exactly one message of the given kind and hop from
+// every other worker, returned ordered by sender rank (deterministic
+// accumulation order).
+func (w *Worker) collectPeers(kind uint8, hop int) ([]transport.Message, error) {
+	k := w.own.K
+	byRank := make([]transport.Message, k)
+	got := make([]bool, k)
+	for count := 0; count < k-1; {
+		m, err := w.nextMessage(func(m transport.Message) bool {
+			if m.Kind != kind || len(m.Payload) < 4 {
+				return false
+			}
+			msgHop := int(uint32(m.Payload[0]) | uint32(m.Payload[1])<<8 | uint32(m.Payload[2])<<16 | uint32(m.Payload[3])<<24)
+			return msgHop == hop
+		})
+		if err != nil {
+			return nil, err
+		}
+		if m.From < 0 || m.From >= k || got[m.From] {
+			return nil, fmt.Errorf("cluster: worker %d duplicate/invalid %d-message from %d at hop %d", w.rank, kind, m.From, hop)
+		}
+		byRank[m.From] = m
+		got[m.From] = true
+		count++
+	}
+	out := make([]transport.Message, 0, k-1)
+	for r := 0; r < k; r++ {
+		if got[r] {
+			out = append(out, byRank[r])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// propagateRC runs the distributed layer-wise recompute baseline. Each hop
+// needs three communication sub-rounds where Ripple needs one:
+//
+//  1. affect marks — owners of out-neighbours learn their vertices are
+//     affected;
+//  2. need lists — owners of affected vertices request the h^{l-1} of all
+//     remote in-neighbours (affected or not);
+//  3. fills — full embeddings come back over the wire.
+//
+// Round 3 is the communication volume that dominates the paper's Fig. 12c:
+// unchanged remote embeddings are shipped anyway, because recompute
+// re-aggregates the whole in-neighbourhood.
+func (w *Worker) propagateRC(stats *workerStats) error {
+	loopStart := time.Now()
+	var waitNanos int64
+	k := w.own.K
+	prev := w.changed[0]
+
+	for l := 1; l <= w.model.L(); l++ {
+		layer := w.model.Layers[l-1]
+		width := w.model.Dims[l-1]
+
+		// --- Round 1: affected marks. ---
+		markSet := make(map[graph.VertexID]struct{})
+		for _, lu := range prev {
+			gid := w.own.Locals[w.rank][lu]
+			for _, e := range w.st.out[lu] {
+				markSet[e.Peer] = struct{}{}
+			}
+			if w.model.SelfDependent() {
+				markSet[gid] = struct{}{}
+			}
+		}
+		for _, ev := range w.events {
+			markSet[ev.sink] = struct{}{}
+		}
+		perPeer := make([][]graph.VertexID, k)
+		var affected []int32
+		w.affectEpoch++
+		if w.affectEpoch == 0 {
+			for i := range w.affectStamp {
+				w.affectStamp[i] = 0
+			}
+			w.affectEpoch = 1
+		}
+		addAffected := func(gid graph.VertexID) {
+			lv := w.localOf(gid)
+			if w.affectStamp[lv] != w.affectEpoch {
+				w.affectStamp[lv] = w.affectEpoch
+				affected = append(affected, lv)
+			}
+		}
+		for gid := range markSet {
+			if owner := w.own.Owner[gid]; owner == int32(w.rank) {
+				addAffected(gid)
+			} else {
+				perPeer[owner] = append(perPeer[owner], gid)
+			}
+		}
+		for r := 0; r < k; r++ {
+			if r == w.rank {
+				continue
+			}
+			sort.Slice(perPeer[r], func(i, j int) bool { return perPeer[r][i] < perPeer[r][j] })
+			if err := w.conn.Send(r, kindAffect, encodeIDs(l, 0, perPeer[r])); err != nil {
+				return fmt.Errorf("cluster: worker %d affect send: %w", w.rank, err)
+			}
+		}
+		tWait := time.Now()
+		affectMsgs, err := w.collectPeers(kindAffect, l)
+		waitNanos += time.Since(tWait).Nanoseconds()
+		if err != nil {
+			return err
+		}
+		for _, m := range affectMsgs {
+			_, _, ids, err := decodeIDs(m.Payload)
+			if err != nil {
+				return fmt.Errorf("cluster: worker %d affect from %d: %w", w.rank, m.From, err)
+			}
+			for _, gid := range ids {
+				addAffected(gid)
+			}
+		}
+		sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+
+		// --- Round 2: need lists for remote in-neighbours. ---
+		needPerPeer := make([]map[graph.VertexID]struct{}, k)
+		for _, lv := range affected {
+			for _, e := range w.st.in[lv] {
+				if owner := w.own.Owner[e.Peer]; owner != int32(w.rank) {
+					if needPerPeer[owner] == nil {
+						needPerPeer[owner] = make(map[graph.VertexID]struct{})
+					}
+					needPerPeer[owner][e.Peer] = struct{}{}
+				}
+			}
+		}
+		for r := 0; r < k; r++ {
+			if r == w.rank {
+				continue
+			}
+			ids := make([]graph.VertexID, 0, len(needPerPeer[r]))
+			for gid := range needPerPeer[r] {
+				ids = append(ids, gid)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			if err := w.conn.Send(r, kindNeed, encodeIDs(l, 0, ids)); err != nil {
+				return fmt.Errorf("cluster: worker %d need send: %w", w.rank, err)
+			}
+		}
+		tWait = time.Now()
+		needMsgs, err := w.collectPeers(kindNeed, l)
+		waitNanos += time.Since(tWait).Nanoseconds()
+		if err != nil {
+			return err
+		}
+
+		// --- Round 3: serve fills, then collect ours. ---
+		for _, m := range needMsgs {
+			_, _, ids, err := decodeIDs(m.Payload)
+			if err != nil {
+				return fmt.Errorf("cluster: worker %d need from %d: %w", w.rank, m.From, err)
+			}
+			entries := make([]haloEntry, 0, len(ids))
+			for _, gid := range ids {
+				if w.own.Owner[gid] != int32(w.rank) {
+					return fmt.Errorf("cluster: worker %d asked to fill foreign vertex %d", w.rank, gid)
+				}
+				entries = append(entries, haloEntry{id: gid, vec: w.st.emb.H[l-1][w.localOf(gid)]})
+			}
+			if err := w.conn.Send(m.From, kindFill, encodeHalo(l, width, entries)); err != nil {
+				return fmt.Errorf("cluster: worker %d fill send: %w", w.rank, err)
+			}
+		}
+		tWait = time.Now()
+		fillMsgs, err := w.collectPeers(kindFill, l)
+		waitNanos += time.Since(tWait).Nanoseconds()
+		if err != nil {
+			return err
+		}
+		fill := make(map[graph.VertexID]tensor.Vector)
+		for _, m := range fillMsgs {
+			_, entries, err := decodeHalo(m.Payload)
+			if err != nil {
+				return fmt.Errorf("cluster: worker %d fill from %d: %w", w.rank, m.From, err)
+			}
+			for _, e := range entries {
+				fill[e.id] = e.vec
+			}
+		}
+
+		// --- Recompute every affected local vertex over its full
+		// in-neighbourhood. ---
+		for _, lv := range affected {
+			w.countAffected(lv, stats)
+			agg := w.st.emb.A[l][lv]
+			agg.Zero()
+			for _, e := range w.st.in[lv] {
+				var h tensor.Vector
+				if w.own.Owner[e.Peer] == int32(w.rank) {
+					h = w.st.emb.H[l-1][w.localOf(e.Peer)]
+				} else {
+					var ok bool
+					h, ok = fill[e.Peer]
+					if !ok {
+						return fmt.Errorf("cluster: worker %d missing fill for vertex %d at hop %d", w.rank, e.Peer, l)
+					}
+				}
+				agg.AXPY(gnn.Coeff(w.model.Agg, e.Weight), h)
+				stats.VectorOps++
+				stats.Messages++
+			}
+			layer.UpdateInto(w.st.emb.H[l][lv], w.st.emb.H[l-1][lv], agg, len(w.st.in[lv]), w.scratch)
+			stats.VectorOps++
+		}
+		prev = append([]int32(nil), affected...)
+	}
+	stats.ComputeNanos += time.Since(loopStart).Nanoseconds() - waitNanos
+	return nil
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// propagateRipple runs the distributed incremental propagation (§5.3): per
+// hop, messages destined to remote (halo) vertices accumulate in halo stub
+// mailboxes, one aggregated message per peer is exchanged (the BSP
+// communication phase), then the local apply/compute phases run exactly as
+// on a single machine.
+func (w *Worker) propagateRipple(stats *workerStats) error {
+	loopStart := time.Now()
+	var waitNanos int64
+	delta := tensor.NewVector(w.model.MaxDim())
+
+	for l := 1; l <= w.model.L(); l++ {
+		layer := w.model.Layers[l-1]
+		width := w.model.Dims[l-1]
+		mb := w.mailbox[l]
+		halo := make(map[graph.VertexID]tensor.Vector)
+
+		deposit := func(sink graph.VertexID, coeff float32, vec tensor.Vector) {
+			stats.Messages++
+			stats.VectorOps++
+			if w.own.Owner[sink] == int32(w.rank) {
+				mb.get(w.localOf(sink)).AXPY(coeff, vec)
+				return
+			}
+			acc, ok := halo[sink]
+			if !ok {
+				acc = tensor.NewVector(width)
+				halo[sink] = acc
+			}
+			acc.AXPY(coeff, vec)
+		}
+
+		// (a) Structural contributions from this batch's edge events, using
+		// the pre-batch h^{l-1} of the (always local) source.
+		for _, ev := range w.events {
+			hPrev := w.oldH[l-1].lookup(ev.srcLocal)
+			if hPrev == nil {
+				hPrev = w.st.emb.H[l-1][ev.srcLocal]
+			}
+			deposit(ev.sink, ev.coeff, hPrev)
+		}
+
+		// (b) Delta messages from local vertices whose h^{l-1} changed.
+		d := delta[:width]
+		for _, lu := range w.changed[l-1] {
+			old := w.oldH[l-1].lookup(lu)
+			tensor.AddSubInto(d, w.st.emb.H[l-1][lu], old)
+			stats.VectorOps++
+			for _, e := range w.st.out[lu] {
+				deposit(e.Peer, gnn.Coeff(w.model.Agg, e.Weight), d)
+			}
+		}
+
+		// (c) Self-dependence keeps changed vertices in their own frontier.
+		if w.model.SelfDependent() {
+			for _, lu := range w.changed[l-1] {
+				mb.get(lu)
+			}
+		}
+
+		// (d) Halo exchange: exactly one message per peer per hop, empty or
+		// not, so the hop barrier is a fixed k-1 message count.
+		if err := w.exchangeHalo(l, width, halo, &waitNanos); err != nil {
+			return err
+		}
+
+		// (e) Apply phase over the sorted local frontier.
+		frontier := mb.sortedTouched()
+		for _, lv := range frontier {
+			w.oldH[l].get(lv).CopyFrom(w.st.emb.H[l][lv])
+			w.countAffected(lv, stats)
+			agg := w.st.emb.A[l][lv]
+			agg.Add(mb.lookup(lv))
+			layer.UpdateInto(w.st.emb.H[l][lv], w.st.emb.H[l-1][lv], agg, len(w.st.in[lv]), w.scratch)
+			stats.VectorOps += 2
+		}
+		w.changed[l] = append(w.changed[l][:0], frontier...)
+	}
+	stats.ComputeNanos += time.Since(loopStart).Nanoseconds() - waitNanos
+	return nil
+}
+
+// exchangeHalo sends this hop's halo deltas (grouped per owner, sorted per
+// sink) to every peer and merges the k-1 inbound messages, in sender-rank
+// order, into the local mailboxes.
+func (w *Worker) exchangeHalo(hop, width int, halo map[graph.VertexID]tensor.Vector, waitNanos *int64) error {
+	k := w.own.K
+	perPeer := make([][]haloEntry, k)
+	for sink, vec := range halo {
+		owner := w.own.Owner[sink]
+		perPeer[owner] = append(perPeer[owner], haloEntry{id: sink, vec: vec})
+	}
+	for r := 0; r < k; r++ {
+		if r == w.rank {
+			continue
+		}
+		entries := perPeer[r]
+		sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+		if err := w.conn.Send(r, kindHalo, encodeHalo(hop, width, entries)); err != nil {
+			return fmt.Errorf("cluster: worker %d halo send to %d: %w", w.rank, r, err)
+		}
+	}
+	tWait := time.Now()
+	msgs, err := w.collectPeers(kindHalo, hop)
+	*waitNanos += time.Since(tWait).Nanoseconds()
+	if err != nil {
+		return err
+	}
+	mb := w.mailbox[hop]
+	for _, m := range msgs {
+		_, entries, err := decodeHalo(m.Payload)
+		if err != nil {
+			return fmt.Errorf("cluster: worker %d halo from %d: %w", w.rank, m.From, err)
+		}
+		for _, e := range entries {
+			if w.own.Owner[e.id] != int32(w.rank) {
+				return fmt.Errorf("cluster: worker %d received halo for foreign vertex %d", w.rank, e.id)
+			}
+			mb.get(w.localOf(e.id)).Add(e.vec)
+		}
+	}
+	return nil
+}

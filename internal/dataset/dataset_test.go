@@ -1,0 +1,265 @@
+package dataset
+
+import (
+	"testing"
+
+	"ripple/internal/engine"
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+)
+
+func TestSpecScaling(t *testing.T) {
+	full := Arxiv(1)
+	if full.NumVertices != 169343 || full.AvgInDegree != 6.9 {
+		t.Errorf("Arxiv(1) = %+v", full)
+	}
+	small := Arxiv(0.01)
+	if small.NumVertices != 1693 {
+		t.Errorf("Arxiv(0.01).NumVertices = %d", small.NumVertices)
+	}
+	if small.FeatureDim != 128 || small.NumClasses != 40 {
+		t.Error("scaling must not change features/classes")
+	}
+	if def := Arxiv(0); def.NumVertices != 169343 {
+		t.Error("scale 0 should mean full size")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"arxiv", "reddit", "products", "papers"} {
+		spec, err := ByName(name, 0.001)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if spec.Name != name {
+			t.Errorf("spec name %q", spec.Name)
+		}
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Error("expected error for unknown name")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	spec := Arxiv(0.02) // ~3.4K vertices, ~23K edges
+	g, x, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != spec.NumVertices {
+		t.Errorf("vertices = %d, want %d", g.NumVertices(), spec.NumVertices)
+	}
+	if g.NumEdges() != spec.NumEdges() {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), spec.NumEdges())
+	}
+	if len(x) != spec.NumVertices || len(x[0]) != spec.FeatureDim {
+		t.Error("feature shape wrong")
+	}
+	// Density must land on the published average in-degree.
+	if got := g.AvgInDegree(); got < spec.AvgInDegree*0.95 || got > spec.AvgInDegree*1.05 {
+		t.Errorf("avg in-degree = %v, want ≈%v", got, spec.AvgInDegree)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Arxiv(0.01)
+	g1, x1, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, x2, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("edge counts differ across identical seeds")
+	}
+	same := true
+	g1.ForEachEdge(func(u, v graph.VertexID, w float32) {
+		if !g2.HasEdge(u, v) {
+			same = false
+		}
+	})
+	if !same {
+		t.Error("edge sets differ across identical seeds")
+	}
+	if x1[0].MaxAbsDiff(x2[0]) != 0 {
+		t.Error("features differ across identical seeds")
+	}
+}
+
+func TestGeneratePowerLawSkew(t *testing.T) {
+	spec := Products(0.002) // ~4.9K vertices, dense
+	g, _, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Measure(spec, g)
+	// Heavy-tailed: the max in-degree should far exceed the average.
+	if float64(st.MaxInDegree) < 5*st.AvgInDegree {
+		t.Errorf("degree distribution not skewed: max %d avg %v", st.MaxInDegree, st.AvgInDegree)
+	}
+	if st.Name != "products" || st.NumVertices != spec.NumVertices {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, _, err := Generate(Spec{Name: "bad", NumVertices: 0}); err == nil {
+		t.Error("expected error for zero vertices")
+	}
+	if _, _, err := Generate(Spec{Name: "bad", NumVertices: 10, AvgInDegree: -1}); err == nil {
+		t.Error("expected error for negative density")
+	}
+	// Density above the simple-graph bound must saturate, not loop forever.
+	_, _, err := Generate(Spec{Name: "dense", NumVertices: 4, AvgInDegree: 100, FeatureDim: 2, NumClasses: 2, Seed: 1})
+	if err == nil {
+		t.Error("expected saturation error for impossible density")
+	}
+}
+
+func TestBuildWorkloadStream(t *testing.T) {
+	spec := Arxiv(0.02)
+	w, err := Build(spec, StreamConfig{Total: 900, HoldoutFrac: 0.10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := spec.NumEdges()
+	holdout := int64(float64(full) * 0.10)
+	if w.Snapshot.NumEdges() != full-holdout {
+		t.Errorf("snapshot edges = %d, want %d", w.Snapshot.NumEdges(), full-holdout)
+	}
+	if len(w.Updates) != 900 {
+		t.Fatalf("stream length = %d", len(w.Updates))
+	}
+	counts := map[engine.UpdateKind]int{}
+	for _, u := range w.Updates {
+		counts[u.Kind]++
+	}
+	for _, k := range []engine.UpdateKind{engine.EdgeAdd, engine.EdgeDelete, engine.FeatureUpdate} {
+		if counts[k] != 300 {
+			t.Errorf("%v count = %d, want 300", k, counts[k])
+		}
+	}
+	// Adds must be absent from the snapshot; deletes present.
+	for _, u := range w.Updates {
+		switch u.Kind {
+		case engine.EdgeAdd:
+			if w.Snapshot.HasEdge(u.U, u.V) {
+				t.Fatalf("streamed add (%d,%d) already in snapshot", u.U, u.V)
+			}
+		case engine.EdgeDelete:
+			if !w.Snapshot.HasEdge(u.U, u.V) {
+				t.Fatalf("streamed delete (%d,%d) missing from snapshot", u.U, u.V)
+			}
+		case engine.FeatureUpdate:
+			if len(u.Features) != spec.FeatureDim {
+				t.Fatal("feature update width wrong")
+			}
+		}
+	}
+}
+
+// The generated stream must be applicable end-to-end by the engine in any
+// batch size — the foundational assumption of every benchmark.
+func TestStreamAppliesCleanly(t *testing.T) {
+	spec := Spec{Name: "tiny", NumVertices: 300, AvgInDegree: 8, FeatureDim: 6, NumClasses: 4, Seed: 11}
+	w, err := Build(spec, StreamConfig{Total: 300, HoldoutFrac: 0.10, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := gnn.NewWorkload("GC-S", []int{6, 8, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{1, 7, 64} {
+		g := w.CloneSnapshot()
+		emb, err := gnn.Forward(g, model, w.CloneFeatures())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := engine.NewRipple(g, model, emb, engine.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, batch := range w.Batches(bs) {
+			if _, err := r.ApplyBatch(batch); err != nil {
+				t.Fatalf("bs=%d batch %d: %v", bs, i, err)
+			}
+		}
+	}
+}
+
+func TestBatchesPartition(t *testing.T) {
+	w := &Workload{Updates: make([]engine.Update, 10)}
+	b := w.Batches(4)
+	if len(b) != 3 || len(b[0]) != 4 || len(b[2]) != 2 {
+		t.Errorf("Batches(4) shapes wrong: %d parts", len(b))
+	}
+	if got := w.Batches(0); len(got) != 10 {
+		t.Error("batch size 0 should default to 1")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Arxiv(0.001), StreamConfig{Total: 10, HoldoutFrac: 1.5}); err == nil {
+		t.Error("expected error for bad holdout fraction")
+	}
+}
+
+// The full prepared stream, applied through the incremental engine at any
+// batch size, must land on exactly the embeddings a from-scratch forward
+// pass over the final topology produces — the dataset-level soak test.
+func TestStreamEndStateMatchesForward(t *testing.T) {
+	spec := Spec{Name: "soak", NumVertices: 250, AvgInDegree: 6, FeatureDim: 8, NumClasses: 5, Seed: 21}
+	w, err := Build(spec, StreamConfig{Total: 600, HoldoutFrac: 0.10, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := gnn.NewWorkload("GS-S", []int{8, 10, 5}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference world: final topology and features after the whole stream.
+	refG := w.CloneSnapshot()
+	refX := w.CloneFeatures()
+	for _, u := range w.Updates {
+		switch u.Kind {
+		case engine.EdgeAdd:
+			if err := refG.AddEdge(u.U, u.V, u.Weight); err != nil {
+				t.Fatal(err)
+			}
+		case engine.EdgeDelete:
+			if _, err := refG.RemoveEdge(u.U, u.V); err != nil {
+				t.Fatal(err)
+			}
+		case engine.FeatureUpdate:
+			refX[u.U].CopyFrom(u.Features)
+		}
+	}
+	truth, err := gnn.Forward(refG, model, refX)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, bs := range []int{1, 17, 600} {
+		g := w.CloneSnapshot()
+		emb, err := gnn.Forward(g, model, w.CloneFeatures())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := engine.NewRipple(g, model, emb, engine.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, batch := range w.Batches(bs) {
+			if _, err := r.ApplyBatch(batch); err != nil {
+				t.Fatalf("bs=%d batch %d: %v", bs, i, err)
+			}
+		}
+		if d := r.Embeddings().MaxAbsDiff(truth); d > 5e-3 {
+			t.Errorf("bs=%d: end state drifted from forward pass by %v", bs, d)
+		}
+	}
+}

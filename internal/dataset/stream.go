@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ripple/internal/engine"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// StreamConfig controls update-stream preparation (§7.1.2): a fraction of
+// the generated edges is held out of the initial snapshot and streamed
+// back as additions, an equal number of snapshot edges is streamed as
+// deletions, and an equal number of random vertices receives feature
+// updates — shuffled into one stream.
+type StreamConfig struct {
+	// Total is the number of updates to emit (the paper uses 90K per
+	// graph, split equally across the three kinds).
+	Total int
+	// HoldoutFrac is the fraction of edges withheld from the snapshot for
+	// streaming as additions (the paper uses 0.10). The holdout also upper-
+	// bounds the number of additions in the stream.
+	HoldoutFrac float64
+	// Seed makes stream preparation deterministic.
+	Seed int64
+}
+
+// Workload bundles a bootstrap-ready snapshot with its update stream.
+type Workload struct {
+	Spec     Spec
+	Snapshot *graph.Graph // initial topology (holdout removed)
+	Features []tensor.Vector
+	Updates  []engine.Update
+}
+
+// CloneSnapshot returns an independent copy of the snapshot topology, for
+// handing to a strategy that mutates its graph.
+func (w *Workload) CloneSnapshot() *graph.Graph { return w.Snapshot.Clone() }
+
+// CloneFeatures returns an independent copy of the features.
+func (w *Workload) CloneFeatures() []tensor.Vector {
+	out := make([]tensor.Vector, len(w.Features))
+	for i, row := range w.Features {
+		out[i] = row.Clone()
+	}
+	return out
+}
+
+// Batches partitions the update stream into fixed-size batches (the
+// paper's batching model, §4.1). The final short batch is kept.
+func (w *Workload) Batches(size int) [][]engine.Update {
+	if size <= 0 {
+		size = 1
+	}
+	var out [][]engine.Update
+	for lo := 0; lo < len(w.Updates); lo += size {
+		hi := lo + size
+		if hi > len(w.Updates) {
+			hi = len(w.Updates)
+		}
+		out = append(out, w.Updates[lo:hi])
+	}
+	return out
+}
+
+// Build generates the full graph for spec, splits off the holdout, and
+// prepares the shuffled update stream. The stream is valid under any
+// batching: each added edge is absent from the snapshot and added once;
+// each deleted edge is a distinct snapshot edge never touched by an add;
+// feature updates are always valid.
+func Build(spec Spec, cfg StreamConfig) (*Workload, error) {
+	if cfg.HoldoutFrac < 0 || cfg.HoldoutFrac >= 1 {
+		return nil, fmt.Errorf("dataset: holdout fraction %v out of [0,1)", cfg.HoldoutFrac)
+	}
+	full, x, err := Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ spec.Seed))
+
+	type wedge struct {
+		u, v graph.VertexID
+		w    float32
+	}
+	all := make([]wedge, 0, full.NumEdges())
+	full.ForEachEdge(func(u, v graph.VertexID, w float32) {
+		all = append(all, wedge{u, v, w})
+	})
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+
+	holdout := int(float64(len(all)) * cfg.HoldoutFrac)
+	perKind := cfg.Total / 3
+	adds := all[:holdout]
+	if perKind < len(adds) {
+		adds = adds[:perKind]
+	}
+	// Snapshot = full graph minus the entire holdout (matching the paper:
+	// the snapshot has 90% of edges even if the stream is shorter).
+	snapshot := full
+	for _, e := range all[:holdout] {
+		if _, err := snapshot.RemoveEdge(e.u, e.v); err != nil {
+			return nil, fmt.Errorf("dataset: removing holdout edge: %w", err)
+		}
+	}
+
+	dels := all[holdout:]
+	if perKind < len(dels) {
+		dels = dels[:perKind]
+	}
+
+	var updates []engine.Update
+	for _, e := range adds {
+		updates = append(updates, engine.Update{Kind: engine.EdgeAdd, U: e.u, V: e.v, Weight: e.w})
+	}
+	for _, e := range dels {
+		updates = append(updates, engine.Update{Kind: engine.EdgeDelete, U: e.u, V: e.v})
+	}
+	nFeat := cfg.Total - len(adds) - len(dels)
+	for i := 0; i < nFeat; i++ {
+		u := graph.VertexID(rng.Intn(spec.NumVertices))
+		feat := tensor.NewVector(spec.FeatureDim)
+		for j := range feat {
+			feat[j] = rng.Float32()*2 - 1
+		}
+		updates = append(updates, engine.Update{Kind: engine.FeatureUpdate, U: u, Features: feat})
+	}
+	rng.Shuffle(len(updates), func(i, j int) { updates[i], updates[j] = updates[j], updates[i] })
+
+	return &Workload{Spec: spec, Snapshot: snapshot, Features: x, Updates: updates}, nil
+}

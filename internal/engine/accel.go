@@ -1,0 +1,89 @@
+package engine
+
+import "time"
+
+// AccelModel is the simulated-accelerator cost model standing in for the
+// paper's GPU runs (DNG/DRG in Fig. 8). No GPU exists in this environment,
+// so accelerated strategies execute the identical CPU computation for
+// correctness and op counting, then report a simulated propagate time:
+//
+//	T_sim = T_cpu/Speedup + KernelLaunches·LaunchOverhead + PCIeTransfer
+//
+// This reproduces the paper's finding structurally: at the evaluation's
+// small batch sizes the workload is launch-overhead dominated, so the
+// accelerator offers little or negative benefit over the CPU (§7.2, ≈5%
+// faster on Arxiv, ≈6% slower on Products for DRG vs DRC).
+type AccelModel struct {
+	// Speedup is the raw-FLOP advantage over the CPU path.
+	Speedup float64
+	// LaunchOverhead is charged per kernel launch.
+	LaunchOverhead time.Duration
+	// TransferOverhead is charged once per batch for fixed host↔device
+	// staging.
+	TransferOverhead time.Duration
+	// TransferFraction charges PCIe movement proportional to the CPU
+	// compute time (layer inputs/outputs scale with the touched work).
+	// This is what makes the accelerator wash out at streaming batch
+	// sizes, the paper's §7.2 observation.
+	TransferFraction float64
+}
+
+// DefaultAccelModel approximates a discrete GPU over PCIe: healthy FLOP
+// advantage, tens of microseconds per kernel launch, fixed staging, and
+// data movement proportional to the touched state. Calibrated so
+// layer-wise recompute sees the paper's ±5% GPU (non-)benefit.
+var DefaultAccelModel = AccelModel{
+	Speedup:          3.0,
+	LaunchOverhead:   60 * time.Microsecond,
+	TransferOverhead: 2 * time.Millisecond,
+	TransferFraction: 0.6,
+}
+
+// SimulatedTime converts a measured CPU propagate time and kernel-launch
+// count into the modelled accelerator time.
+func (m AccelModel) SimulatedTime(cpu time.Duration, launches int64) time.Duration {
+	if m.Speedup <= 0 {
+		m.Speedup = 1
+	}
+	return time.Duration(float64(cpu)/m.Speedup) +
+		time.Duration(launches)*m.LaunchOverhead +
+		m.TransferOverhead +
+		time.Duration(float64(cpu)*m.TransferFraction)
+}
+
+// Accel wraps a CPU strategy and annotates results with simulated
+// accelerator timing. The wrapped strategy's state and correctness are
+// untouched; only BatchResult.SimulatedTime is added.
+type Accel struct {
+	inner Strategy
+	model AccelModel
+	name  string
+}
+
+var _ Strategy = (*Accel)(nil)
+
+// NewAccel wraps inner with the cost model. The conventional names map
+// CPU→accelerator as in the paper: DRC→DRG, DNC→DNG.
+func NewAccel(inner Strategy, model AccelModel) *Accel {
+	name := inner.Name() + "+accel"
+	switch inner.Name() {
+	case "DRC":
+		name = "DRG"
+	case "DNC":
+		name = "DNG"
+	}
+	return &Accel{inner: inner, model: model, name: name}
+}
+
+// Name implements Strategy.
+func (a *Accel) Name() string { return a.name }
+
+// ApplyBatch implements Strategy.
+func (a *Accel) ApplyBatch(batch []Update) (BatchResult, error) {
+	res, err := a.inner.ApplyBatch(batch)
+	if err != nil {
+		return res, err
+	}
+	res.SimulatedTime = a.model.SimulatedTime(res.PropagateTime, res.KernelLaunches)
+	return res, nil
+}

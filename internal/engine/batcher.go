@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Batcher accumulates a continuous update stream and flushes it to a
+// strategy when either a size threshold or a latency deadline is reached —
+// the dynamic-batching extension the paper sketches in §4.1/§8 ("pick a
+// dynamic batch size based on an elapsed time-period or latency
+// deadlines"). The batch-size/latency trade-off of Fig. 9 becomes a
+// policy: MaxSize bounds throughput-oriented batching, MaxDelay bounds the
+// staleness of any single update.
+type Batcher struct {
+	strategy Strategy
+	maxSize  int
+	maxDelay time.Duration
+	onBatch  func(BatchResult, error)
+
+	mu      sync.Mutex
+	buf     []Update
+	timer   *time.Timer
+	closed  bool
+	applyMu sync.Mutex // serialises ApplyBatch (strategies are not concurrent)
+}
+
+// ErrBatcherClosed is returned by Submit after Close.
+var ErrBatcherClosed = errors.New("engine: batcher closed")
+
+// NewBatcher wraps a strategy. maxSize <= 0 means unlimited (deadline
+// only); maxDelay <= 0 means no deadline (size only); at least one must be
+// set. onBatch receives every flush result (may be called from the timer
+// goroutine) and must not call back into the Batcher.
+func NewBatcher(s Strategy, maxSize int, maxDelay time.Duration, onBatch func(BatchResult, error)) (*Batcher, error) {
+	if maxSize <= 0 && maxDelay <= 0 {
+		return nil, errors.New("engine: batcher needs a size threshold or a deadline")
+	}
+	if onBatch == nil {
+		onBatch = func(BatchResult, error) {}
+	}
+	return &Batcher{strategy: s, maxSize: maxSize, maxDelay: maxDelay, onBatch: onBatch}, nil
+}
+
+// Submit enqueues one update, flushing if the size threshold is reached.
+// The first update of a batch arms the deadline timer.
+func (b *Batcher) Submit(u Update) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrBatcherClosed
+	}
+	b.buf = append(b.buf, u)
+	if b.maxSize > 0 && len(b.buf) >= b.maxSize {
+		batch := b.take()
+		b.mu.Unlock()
+		b.apply(batch)
+		return nil
+	}
+	if b.maxDelay > 0 && b.timer == nil {
+		b.timer = time.AfterFunc(b.maxDelay, b.deadlineFlush)
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// take detaches the pending buffer and disarms the timer. Caller holds mu.
+func (b *Batcher) take() []Update {
+	batch := b.buf
+	b.buf = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// deadlineFlush fires on the staleness deadline.
+func (b *Batcher) deadlineFlush() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.timer = nil
+	batch := b.take()
+	b.mu.Unlock()
+	b.apply(batch)
+}
+
+// Flush forces the pending updates out immediately.
+func (b *Batcher) Flush() {
+	b.mu.Lock()
+	batch := b.take()
+	b.mu.Unlock()
+	b.apply(batch)
+}
+
+// Close flushes the remainder and rejects further submissions.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	batch := b.take()
+	b.mu.Unlock()
+	b.apply(batch)
+}
+
+// Pending returns the number of buffered updates.
+func (b *Batcher) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}
+
+func (b *Batcher) apply(batch []Update) {
+	if len(batch) == 0 {
+		return
+	}
+	b.applyMu.Lock()
+	res, err := b.strategy.ApplyBatch(batch)
+	b.applyMu.Unlock()
+	b.onBatch(res, err)
+}

@@ -1,0 +1,104 @@
+package engine_test
+
+import (
+	"testing"
+
+	"ripple/internal/dataset"
+	"ripple/internal/engine"
+	"ripple/internal/gnn"
+)
+
+// microWorkload builds an Arxiv-shaped graph with a prepared stream for
+// strategy micro-benchmarks.
+func microWorkload(b *testing.B) (*dataset.Workload, *gnn.Model) {
+	b.Helper()
+	spec := dataset.Arxiv(0.02) // ≈3.4K vertices, ≈23K edges
+	w, err := dataset.Build(spec, dataset.StreamConfig{Total: 4000, HoldoutFrac: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := gnn.NewWorkload("GC-S", []int{spec.FeatureDim, 32, spec.NumClasses}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w, m
+}
+
+func benchStrategy(b *testing.B, build func(w *dataset.Workload, m *gnn.Model) (engine.Strategy, error)) {
+	w, m := microWorkload(b)
+	s, err := build(w, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := w.Batches(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ApplyBatch(batches[i%len(batches)]); err != nil {
+			// The cyclic stream eventually re-adds existing edges; rebuild
+			// state rather than failing (excluded from timing).
+			b.StopTimer()
+			s, err = build(w, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkRippleApplyBatch10(b *testing.B) {
+	benchStrategy(b, func(w *dataset.Workload, m *gnn.Model) (engine.Strategy, error) {
+		g := w.CloneSnapshot()
+		emb, err := gnn.Forward(g, m, w.CloneFeatures())
+		if err != nil {
+			return nil, err
+		}
+		return engine.NewRipple(g, m, emb, engine.Config{})
+	})
+}
+
+func BenchmarkRCApplyBatch10(b *testing.B) {
+	benchStrategy(b, func(w *dataset.Workload, m *gnn.Model) (engine.Strategy, error) {
+		g := w.CloneSnapshot()
+		emb, err := gnn.Forward(g, m, w.CloneFeatures())
+		if err != nil {
+			return nil, err
+		}
+		return engine.NewRC(g, m, emb, engine.Config{})
+	})
+}
+
+func BenchmarkDRCApplyBatch10(b *testing.B) {
+	benchStrategy(b, func(w *dataset.Workload, m *gnn.Model) (engine.Strategy, error) {
+		g := w.CloneSnapshot()
+		emb, err := gnn.Forward(g, m, w.CloneFeatures())
+		if err != nil {
+			return nil, err
+		}
+		return engine.NewDRC(g, m, emb, engine.Config{})
+	})
+}
+
+// BenchmarkPruneAblation measures the PruneZeroDeltas ablation: dropping
+// exactly-unchanged vertices from the frontier (the paper's Ripple does
+// not prune; this quantifies what pruning would buy on ReLU-saturated
+// embeddings).
+func BenchmarkPruneAblation(b *testing.B) {
+	for _, prune := range []bool{false, true} {
+		name := "NoPrune"
+		if prune {
+			name = "Prune"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchStrategy(b, func(w *dataset.Workload, m *gnn.Model) (engine.Strategy, error) {
+				g := w.CloneSnapshot()
+				emb, err := gnn.Forward(g, m, w.CloneFeatures())
+				if err != nil {
+					return nil, err
+				}
+				return engine.NewRipple(g, m, emb, engine.Config{PruneZeroDeltas: prune})
+			})
+		})
+	}
+}

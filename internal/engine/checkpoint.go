@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// Checkpointing persists the engine's full serving state — topology,
+// per-layer embeddings and raw aggregates, and tombstones — so a restarted
+// process resumes streaming without re-running the bootstrap forward pass
+// (which on the paper's large graphs takes minutes and requires the
+// feature matrix). The format is versioned, little-endian, and
+// self-validating against the model the state is loaded for.
+
+const checkpointMagic = "RIPPLCKP"
+const checkpointVersion = 1
+
+// ErrBadCheckpoint wraps corruption and mismatch failures during Load.
+var ErrBadCheckpoint = errors.New("engine: invalid checkpoint")
+
+// Save writes the engine's state to w. The model weights are NOT included
+// (they are the deterministic product of the model spec/seed); the loader
+// must supply the same model.
+func (r *Ripple) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return fmt.Errorf("engine: writing checkpoint: %w", err)
+	}
+	writeU32 := func(v uint32) { _ = binary.Write(bw, binary.LittleEndian, v) }
+	writeU32(checkpointVersion)
+	n := r.g.NumVertices()
+	writeU32(uint32(n))
+	writeU32(uint32(len(r.model.Dims)))
+	for _, d := range r.model.Dims {
+		writeU32(uint32(d))
+	}
+
+	// Topology.
+	writeU32(uint32(r.g.NumEdges()))
+	var edgeErr error
+	r.g.ForEachEdge(func(u, v graph.VertexID, wgt float32) {
+		writeU32(uint32(u))
+		writeU32(uint32(v))
+		if err := binary.Write(bw, binary.LittleEndian, wgt); err != nil && edgeErr == nil {
+			edgeErr = err
+		}
+	})
+	if edgeErr != nil {
+		return fmt.Errorf("engine: writing checkpoint edges: %w", edgeErr)
+	}
+
+	// Embeddings and aggregates.
+	for l := range r.emb.H {
+		for u := 0; u < n; u++ {
+			if err := writeVec(bw, r.emb.H[l][u]); err != nil {
+				return err
+			}
+			if l > 0 {
+				if err := writeVec(bw, r.emb.A[l][u]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Tombstones.
+	removedCount := uint32(0)
+	for u := 0; u < n; u++ {
+		if r.Removed(graph.VertexID(u)) {
+			removedCount++
+		}
+	}
+	writeU32(removedCount)
+	for u := 0; u < n; u++ {
+		if r.Removed(graph.VertexID(u)) {
+			writeU32(uint32(u))
+		}
+	}
+	return bw.Flush()
+}
+
+func writeVec(w io.Writer, v tensor.Vector) error {
+	if err := binary.Write(w, binary.LittleEndian, []float32(v)); err != nil {
+		return fmt.Errorf("engine: writing checkpoint vector: %w", err)
+	}
+	return nil
+}
+
+// LoadRipple reconstructs an engine from a checkpoint written by Save.
+// model must be identical to the one the checkpoint was taken under
+// (dimension mismatches are detected; weight mismatches cannot be and
+// will produce wrong-but-plausible inferences — supply the same spec).
+func LoadRipple(rd io.Reader, model *gnn.Model, cfg Config) (*Ripple, error) {
+	br := bufio.NewReader(rd)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	var version, n, numDims uint32
+	for _, p := range []*uint32{&version, &n, &numDims} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("%w: truncated header: %v", ErrBadCheckpoint, err)
+		}
+	}
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadCheckpoint, version, checkpointVersion)
+	}
+	if numDims != uint32(len(model.Dims)) {
+		return nil, fmt.Errorf("%w: %d dims, model has %d", ErrBadCheckpoint, numDims, len(model.Dims))
+	}
+	for i := 0; i < int(numDims); i++ {
+		var d uint32
+		if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+			return nil, fmt.Errorf("%w: truncated dims: %v", ErrBadCheckpoint, err)
+		}
+		if int(d) != model.Dims[i] {
+			return nil, fmt.Errorf("%w: dim[%d]=%d, model has %d", ErrBadCheckpoint, i, d, model.Dims[i])
+		}
+	}
+
+	g := graph.New(int(n))
+	var m uint32
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("%w: truncated edge count: %v", ErrBadCheckpoint, err)
+	}
+	for i := uint32(0); i < m; i++ {
+		var u, v uint32
+		var wgt float32
+		if err := binary.Read(br, binary.LittleEndian, &u); err != nil {
+			return nil, fmt.Errorf("%w: truncated edges: %v", ErrBadCheckpoint, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return nil, fmt.Errorf("%w: truncated edges: %v", ErrBadCheckpoint, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &wgt); err != nil {
+			return nil, fmt.Errorf("%w: truncated edges: %v", ErrBadCheckpoint, err)
+		}
+		if err := g.AddEdge(graph.VertexID(u), graph.VertexID(v), wgt); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		}
+	}
+
+	emb := gnn.NewEmbeddings(int(n), model.Dims)
+	for l := range emb.H {
+		for u := 0; u < int(n); u++ {
+			if err := readVec(br, emb.H[l][u]); err != nil {
+				return nil, err
+			}
+			if l > 0 {
+				if err := readVec(br, emb.A[l][u]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	r, err := NewRipple(g, model, emb, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var removedCount uint32
+	if err := binary.Read(br, binary.LittleEndian, &removedCount); err != nil {
+		return nil, fmt.Errorf("%w: truncated tombstones: %v", ErrBadCheckpoint, err)
+	}
+	if removedCount > 0 {
+		r.removed = make([]bool, n)
+		for i := uint32(0); i < removedCount; i++ {
+			var u uint32
+			if err := binary.Read(br, binary.LittleEndian, &u); err != nil {
+				return nil, fmt.Errorf("%w: truncated tombstones: %v", ErrBadCheckpoint, err)
+			}
+			if u >= n {
+				return nil, fmt.Errorf("%w: tombstone %d out of range", ErrBadCheckpoint, u)
+			}
+			r.removed[u] = true
+		}
+	}
+	return r, nil
+}
+
+func readVec(r io.Reader, v tensor.Vector) error {
+	if err := binary.Read(r, binary.LittleEndian, []float32(v)); err != nil {
+		return fmt.Errorf("%w: truncated embeddings: %v", ErrBadCheckpoint, err)
+	}
+	return nil
+}

@@ -1,0 +1,348 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// This file implements the DGL-style baselines of Fig. 8. DGL's graph is
+// immutable: applying a stream of updates forces a full graph-structure
+// rebuild per batch, which the paper measures as the dominant "Update" cost
+// of DNC/DRC. We model that faithfully by maintaining the dynamic edge
+// list (the mutation API) and rebuilding an in-neighbour CSR snapshot on
+// every batch, with inference reading only the CSR.
+
+// kernelBatch is the number of frontier vertices a framework fuses into
+// one accelerator kernel launch; used only for launch-overhead accounting.
+const kernelBatch = 4096
+
+// DRC is DGL-style layer-wise recompute: identical propagation scope to
+// RC, but paying an immutable-graph (CSR) rebuild on every update batch.
+type DRC struct {
+	g     *graph.Graph
+	csr   *graph.CSR
+	model *gnn.Model
+	emb   *gnn.Embeddings
+	cfg   Config
+
+	fronts        []*frontierSet
+	events        []edgeEvent
+	featChanged   *frontierSet
+	affectedStamp []uint32
+	epoch         uint32
+	scratch       *gnn.Scratch
+}
+
+var _ Strategy = (*DRC)(nil)
+
+// NewDRC builds the DGL-style layer-wise recompute baseline.
+func NewDRC(g *graph.Graph, model *gnn.Model, emb *gnn.Embeddings, cfg Config) (*DRC, error) {
+	if emb.N != g.NumVertices() {
+		return nil, fmt.Errorf("engine: embeddings for %d vertices, graph has %d", emb.N, g.NumVertices())
+	}
+	n := g.NumVertices()
+	d := &DRC{
+		g:             g,
+		csr:           g.BuildInCSR(),
+		model:         model,
+		emb:           emb,
+		cfg:           cfg,
+		fronts:        make([]*frontierSet, model.L()+1),
+		featChanged:   newFrontierSet(n),
+		affectedStamp: make([]uint32, n),
+		scratch:       gnn.NewScratch(model.MaxDim()),
+	}
+	for l := 1; l <= model.L(); l++ {
+		d.fronts[l] = newFrontierSet(n)
+	}
+	return d, nil
+}
+
+// Name implements Strategy.
+func (d *DRC) Name() string { return "DRC" }
+
+// Embeddings exposes the baseline's embedding state for verification.
+func (d *DRC) Embeddings() *gnn.Embeddings { return d.emb }
+
+// ApplyBatch implements Strategy: mutate edge lists, rebuild the CSR
+// (update phase), then layer-wise recompute over the CSR (propagate).
+func (d *DRC) ApplyBatch(batch []Update) (BatchResult, error) {
+	if err := validateBatch(d.g, d.model.Dims[0], batch); err != nil {
+		return BatchResult{}, err
+	}
+	res := BatchResult{Updates: len(batch), FrontierPerHop: make([]int, d.model.L())}
+	d.epoch++
+	if d.epoch == 0 {
+		for i := range d.affectedStamp {
+			d.affectedStamp[i] = 0
+		}
+		d.epoch = 1
+	}
+
+	start := time.Now()
+	d.events = d.events[:0]
+	d.featChanged.begin()
+	for _, upd := range batch {
+		switch upd.Kind {
+		case EdgeAdd:
+			if err := d.g.AddEdge(upd.U, upd.V, upd.Weight); err != nil {
+				return res, fmt.Errorf("engine: applying validated batch: %w", err)
+			}
+			d.events = append(d.events, edgeEvent{src: upd.U, sink: upd.V, coeff: gnn.Coeff(d.model.Agg, upd.Weight)})
+		case EdgeDelete:
+			w, err := d.g.RemoveEdge(upd.U, upd.V)
+			if err != nil {
+				return res, fmt.Errorf("engine: applying validated batch: %w", err)
+			}
+			d.events = append(d.events, edgeEvent{src: upd.U, sink: upd.V, coeff: -gnn.Coeff(d.model.Agg, w)})
+		case FeatureUpdate:
+			d.emb.H[0][upd.U].CopyFrom(upd.Features)
+			d.featChanged.add(upd.U)
+		}
+	}
+	// The immutable-graph rebuild: DGL's dominant update cost.
+	d.csr = d.g.BuildInCSR()
+	res.UpdateTime = time.Since(start)
+
+	start = time.Now()
+	prev := d.featChanged.sorted()
+	for _, u := range prev {
+		d.countAffected(u, &res)
+	}
+	for l := 1; l <= d.model.L(); l++ {
+		expandAffected(d.g, d.model.SelfDependent(), prev, d.events, d.fronts[l])
+		frontier := d.fronts[l].sorted()
+		res.FrontierPerHop[l-1] = len(frontier)
+		for _, v := range frontier {
+			d.countAffected(v, &res)
+		}
+		ops, msgs := d.recomputeLayerCSR(l, frontier)
+		res.VectorOps += ops
+		res.Messages += msgs
+		res.KernelLaunches += 1 + int64(len(frontier)/kernelBatch)
+		prev = frontier
+	}
+	res.PropagateTime = time.Since(start)
+	return res, nil
+}
+
+func (d *DRC) countAffected(v graph.VertexID, res *BatchResult) {
+	if d.affectedStamp[v] != d.epoch {
+		d.affectedStamp[v] = d.epoch
+		res.Affected++
+	}
+}
+
+// recomputeLayerCSR is recomputeLayerDynamic reading the CSR snapshot.
+func (d *DRC) recomputeLayerCSR(l int, frontier []graph.VertexID) (int64, int64) {
+	layer := d.model.Layers[l-1]
+	var pulled int64
+	for _, v := range frontier {
+		agg := d.emb.A[l][v]
+		agg.Zero()
+		ids, ws := d.csr.In(v)
+		for i, src := range ids {
+			agg.AXPY(gnn.Coeff(d.model.Agg, ws[i]), d.emb.H[l-1][src])
+		}
+		pulled += int64(len(ids))
+		layer.UpdateInto(d.emb.H[l][v], d.emb.H[l-1][v], agg, d.csr.InDegree(v), d.scratch)
+	}
+	return pulled + int64(len(frontier)), pulled
+}
+
+// DNC is DGL-style vertex-wise (computation-graph) inference: for every
+// affected final-hop vertex it rebuilds and evaluates the full L-hop
+// computation tree, with no work shared across targets — the redundant-
+// computation strategy of Fig. 1 (centre), paying the CSR rebuild as well.
+//
+// Vertex-wise inference is stateless above h^0: it keeps only features and
+// predicted labels, recomputing everything per query from features.
+type DNC struct {
+	g      *graph.Graph
+	csr    *graph.CSR
+	model  *gnn.Model
+	x      []tensor.Vector
+	labels []int32
+	cfg    Config
+
+	fronts        []*frontierSet
+	events        []edgeEvent
+	featChanged   *frontierSet
+	affectedStamp []uint32
+	epoch         uint32
+	scratch       *gnn.Scratch
+}
+
+var _ Strategy = (*DNC)(nil)
+
+// NewDNC builds the DGL-style vertex-wise baseline from bootstrapped
+// state: features x (copied) and initial labels.
+func NewDNC(g *graph.Graph, model *gnn.Model, x []tensor.Vector, labels []int32, cfg Config) (*DNC, error) {
+	n := g.NumVertices()
+	if len(x) != n || len(labels) != n {
+		return nil, fmt.Errorf("engine: DNC needs %d features and labels, got %d/%d", n, len(x), len(labels))
+	}
+	d := &DNC{
+		g:             g,
+		csr:           g.BuildInCSR(),
+		model:         model,
+		x:             make([]tensor.Vector, n),
+		labels:        append([]int32(nil), labels...),
+		cfg:           cfg,
+		fronts:        make([]*frontierSet, model.L()+1),
+		featChanged:   newFrontierSet(n),
+		affectedStamp: make([]uint32, n),
+		scratch:       gnn.NewScratch(model.MaxDim()),
+	}
+	for i, row := range x {
+		d.x[i] = row.Clone()
+	}
+	for l := 1; l <= model.L(); l++ {
+		d.fronts[l] = newFrontierSet(n)
+	}
+	return d, nil
+}
+
+// Name implements Strategy.
+func (d *DNC) Name() string { return "DNC" }
+
+// Labels exposes the current predicted labels for verification.
+func (d *DNC) Labels() []int32 { return d.labels }
+
+// ApplyBatch implements Strategy: mutate + rebuild CSR, then vertex-wise
+// recompute of every affected final-hop vertex.
+func (d *DNC) ApplyBatch(batch []Update) (BatchResult, error) {
+	if err := validateBatch(d.g, d.model.Dims[0], batch); err != nil {
+		return BatchResult{}, err
+	}
+	res := BatchResult{Updates: len(batch), FrontierPerHop: make([]int, d.model.L())}
+	d.epoch++
+	if d.epoch == 0 {
+		for i := range d.affectedStamp {
+			d.affectedStamp[i] = 0
+		}
+		d.epoch = 1
+	}
+
+	start := time.Now()
+	d.events = d.events[:0]
+	d.featChanged.begin()
+	for _, upd := range batch {
+		switch upd.Kind {
+		case EdgeAdd:
+			if err := d.g.AddEdge(upd.U, upd.V, upd.Weight); err != nil {
+				return res, fmt.Errorf("engine: applying validated batch: %w", err)
+			}
+			d.events = append(d.events, edgeEvent{src: upd.U, sink: upd.V, coeff: gnn.Coeff(d.model.Agg, upd.Weight)})
+		case EdgeDelete:
+			w, err := d.g.RemoveEdge(upd.U, upd.V)
+			if err != nil {
+				return res, fmt.Errorf("engine: applying validated batch: %w", err)
+			}
+			d.events = append(d.events, edgeEvent{src: upd.U, sink: upd.V, coeff: -gnn.Coeff(d.model.Agg, w)})
+		case FeatureUpdate:
+			d.x[upd.U].CopyFrom(upd.Features)
+			d.featChanged.add(upd.U)
+		}
+	}
+	d.csr = d.g.BuildInCSR()
+	res.UpdateTime = time.Since(start)
+
+	// Affected targets: the final-hop frontier, expanded hop by hop like
+	// every other strategy.
+	start = time.Now()
+	prev := d.featChanged.sorted()
+	for _, u := range prev {
+		d.countAffected(u, &res)
+	}
+	for l := 1; l <= d.model.L(); l++ {
+		expandAffected(d.g, d.model.SelfDependent(), prev, d.events, d.fronts[l])
+		frontier := d.fronts[l].sorted()
+		res.FrontierPerHop[l-1] = len(frontier)
+		for _, v := range frontier {
+			d.countAffected(v, &res)
+		}
+		prev = frontier
+	}
+
+	// Vertex-wise evaluation of each target's computation tree. Each
+	// target gets a fresh memo: overlap between targets is deliberately
+	// NOT shared (the redundancy layer-wise inference removes).
+	targets := prev
+	scale := 1.0
+	if s := d.cfg.SampleTargets; s > 0 && len(targets) > s {
+		// Deterministic stride sample with linear extrapolation (see
+		// Config.SampleTargets).
+		stride := len(targets) / s
+		sampled := make([]graph.VertexID, 0, s)
+		for i := 0; i < len(targets) && len(sampled) < s; i += stride {
+			sampled = append(sampled, targets[i])
+		}
+		scale = float64(len(targets)) / float64(len(sampled))
+		targets = sampled
+	}
+	tProp := time.Now()
+	for _, target := range targets {
+		h, ops := d.inferTarget(target)
+		d.labels[target] = int32(h.ArgMax())
+		res.VectorOps += ops
+		res.Messages += ops
+		res.KernelLaunches += int64(d.model.L())
+	}
+	if scale > 1 {
+		res.PropagateTime = time.Duration(float64(time.Since(tProp)) * scale)
+		res.VectorOps = int64(float64(res.VectorOps) * scale)
+		res.Messages = int64(float64(res.Messages) * scale)
+		res.KernelLaunches = int64(float64(res.KernelLaunches) * scale)
+	} else {
+		res.PropagateTime = time.Since(start)
+	}
+	return res, nil
+}
+
+func (d *DNC) countAffected(v graph.VertexID, res *BatchResult) {
+	if d.affectedStamp[v] != d.epoch {
+		d.affectedStamp[v] = d.epoch
+		res.Affected++
+	}
+}
+
+// inferTarget evaluates h^L(target) over the CSR with per-target
+// memoisation, counting aggregation vector-ops.
+func (d *DNC) inferTarget(target graph.VertexID) (tensor.Vector, int64) {
+	memo := make(map[int64]tensor.Vector)
+	var ops int64
+	var rec func(u graph.VertexID, l int) tensor.Vector
+	rec = func(u graph.VertexID, l int) tensor.Vector {
+		if l == 0 {
+			return d.x[u]
+		}
+		key := int64(l)<<32 | int64(uint32(u))
+		if h, ok := memo[key]; ok {
+			return h
+		}
+		layer := d.model.Layers[l-1]
+		agg := tensor.NewVector(layer.In)
+		ids, ws := d.csr.In(u)
+		for i, src := range ids {
+			agg.AXPY(gnn.Coeff(d.model.Agg, ws[i]), rec(src, l-1))
+			ops++
+		}
+		var hSelf tensor.Vector
+		if layer.Kind.SelfDependent() {
+			hSelf = rec(u, l-1)
+		} else {
+			hSelf = agg // unused by GraphConv's Update
+		}
+		dst := tensor.NewVector(layer.Out)
+		layer.UpdateInto(dst, hSelf, agg, len(ids), d.scratch)
+		ops++
+		memo[key] = dst
+		return dst
+	}
+	return rec(target, d.model.L()), ops
+}

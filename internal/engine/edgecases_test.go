@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"testing"
+
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+func TestEmptyBatchIsNoOp(t *testing.T) {
+	g, x := paperGraph(t)
+	m := identitySum(2)
+	emb, err := gnn.Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := emb.Clone()
+	r, err := NewRipple(g, m, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.ApplyBatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 0 || res.Messages != 0 {
+		t.Errorf("empty batch did work: %+v", res)
+	}
+	if d := r.Embeddings().MaxAbsDiff(before); d != 0 {
+		t.Errorf("empty batch changed state by %v", d)
+	}
+}
+
+func TestSelfLoopUpdates(t *testing.T) {
+	// Self-loops make a vertex its own in-neighbour: adding one must
+	// change the vertex's own embeddings at every layer, exactly as a
+	// fresh forward pass says.
+	spec := gnn.Spec{Kind: gnn.GraphSAGE, Agg: gnn.AggSum, Dims: []int{4, 5, 3}, Seed: 41}
+	w := newTestWorld(t, spec, 20, 60, 301)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := graph.VertexID(3)
+	if w.g.HasEdge(u, u) {
+		t.Skip("random graph already has the self-loop")
+	}
+	if err := w.g.AddEdge(u, u, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ApplyBatch([]Update{{Kind: EdgeAdd, U: u, V: u, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Embeddings().MaxAbsDiff(w.groundTruth()); d > embTol {
+		t.Fatalf("self-loop add drift %v", d)
+	}
+	// Feature update on a self-looped vertex exercises the combined
+	// delta + structural paths.
+	feat := tensor.Vector{1, -1, 0.5, 2}
+	w.x[u].CopyFrom(feat)
+	if _, err := r.ApplyBatch([]Update{{Kind: FeatureUpdate, U: u, Features: feat.Clone()}}); err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Embeddings().MaxAbsDiff(w.groundTruth()); d > embTol {
+		t.Fatalf("self-loop feature drift %v", d)
+	}
+	// And removing the loop returns to the reference world.
+	if _, err := w.g.RemoveEdge(u, u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ApplyBatch([]Update{{Kind: EdgeDelete, U: u, V: u}}); err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Embeddings().MaxAbsDiff(w.groundTruth()); d > embTol {
+		t.Fatalf("self-loop delete drift %v", d)
+	}
+}
+
+func TestIsolatedVertexFeatureUpdate(t *testing.T) {
+	// A vertex with no edges at all: its feature update must touch only
+	// itself (self-dependent models) or nothing downstream.
+	spec := gnn.Spec{Kind: gnn.GINConv, Agg: gnn.AggSum, Dims: []int{4, 5, 3}, Seed: 43}
+	m, err := gnn.NewModel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(5)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]tensor.Vector, 5)
+	for i := range x {
+		x[i] = tensor.NewVector(4)
+		x[i][0] = float32(i)
+	}
+	emb, err := gnn.Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRipple(g, m, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.ApplyBatch([]Update{{Kind: FeatureUpdate, U: 4, Features: tensor.Vector{9, 9, 9, 9}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GIN is self-dependent: vertex 4 itself recomputes at each hop, but
+	// nothing else does (no out-edges).
+	if res.Affected != 1 {
+		t.Errorf("affected = %d, want 1 (the isolated vertex)", res.Affected)
+	}
+	x[4] = tensor.Vector{9, 9, 9, 9}
+	truth, err := gnn.Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Embeddings().MaxAbsDiff(truth); d > embTol {
+		t.Fatalf("isolated vertex drift %v", d)
+	}
+}
+
+func TestWholeStreamInOneBatch(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggMean, Dims: []int{4, 5, 3}, Seed: 47}
+	w := newTestWorld(t, spec, 40, 160, 307)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := w.randomBatch(100) // 2.5 updates per vertex on average
+	if _, err := r.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Embeddings().MaxAbsDiff(w.groundTruth()); d > embTol {
+		t.Fatalf("mega-batch drift %v", d)
+	}
+}
+
+func TestWeightChangeViaDeleteAddInOneBatch(t *testing.T) {
+	// The traffic-example pattern: an edge weight change streamed as
+	// delete + re-add with a new weight within one batch, under
+	// weighted-sum aggregation.
+	spec := gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggWeighted, Dims: []int{4, 5, 3}, Seed: 53}
+	w := newTestWorld(t, spec, 30, 120, 311)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := w.edges[0]
+	oldW, ok := w.g.EdgeWeight(e[0], e[1])
+	if !ok {
+		t.Fatal("reference edge missing")
+	}
+	newW := oldW * 3
+	if _, err := w.g.RemoveEdge(e[0], e[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.g.AddEdge(e[0], e[1], newW); err != nil {
+		t.Fatal(err)
+	}
+	batch := []Update{
+		{Kind: EdgeDelete, U: e[0], V: e[1]},
+		{Kind: EdgeAdd, U: e[0], V: e[1], Weight: newW},
+	}
+	if _, err := r.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Embeddings().MaxAbsDiff(w.groundTruth()); d > embTol {
+		t.Fatalf("weight-change drift %v", d)
+	}
+}
+
+func TestFourLayerDeepModel(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphSAGE, Agg: gnn.AggSum, Dims: []int{4, 5, 5, 5, 3}, Seed: 59}
+	w := newTestWorld(t, spec, 30, 100, 313)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := r.ApplyBatch(w.randomBatch(5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := r.Embeddings().MaxAbsDiff(w.groundTruth()); d > embTol {
+		t.Fatalf("4-layer drift %v", d)
+	}
+}
+
+func TestRepeatedFeatureUpdatesSameVertexInBatch(t *testing.T) {
+	// Two feature updates to the same vertex in one batch: last write
+	// wins, and the delta is computed against the pre-batch value once.
+	g, x := paperGraph(t)
+	m := identitySum(2)
+	emb, err := gnn.Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRipple(g, m, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []Update{
+		{Kind: FeatureUpdate, U: 0, Features: tensor.Vector{100}},
+		{Kind: FeatureUpdate, U: 0, Features: tensor.Vector{7}},
+	}
+	if _, err := r.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	// h1 of A's out-neighbours must reflect 7, not 100 or 1+something.
+	for _, v := range []int{1, 2, 3} {
+		if got := r.Embeddings().H[1][v][0]; got != 7 {
+			t.Errorf("h1[%d] = %v, want 7", v, got)
+		}
+	}
+}
+
+func TestBatchResultTotalsConsistent(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggSum, Dims: []int{4, 5, 3}, Seed: 61}
+	w := newTestWorld(t, spec, 30, 120, 317)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.ApplyBatch(w.randomBatch(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != 10 {
+		t.Errorf("updates = %d", res.Updates)
+	}
+	if res.Total() != res.UpdateTime+res.PropagateTime {
+		t.Error("Total() inconsistent for non-accel result")
+	}
+	if len(res.FrontierPerHop) != 2 {
+		t.Errorf("frontier hops = %d", len(res.FrontierPerHop))
+	}
+	var frontierSum int
+	for _, f := range res.FrontierPerHop {
+		frontierSum += f
+	}
+	if res.Affected > frontierSum+10 { // hop-0 feature updates can add up to bs
+		t.Errorf("affected %d exceeds frontier sum %d + batch", res.Affected, frontierSum)
+	}
+}

@@ -1,0 +1,716 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// --- shared test harness ---
+
+// testWorld is a mirrored environment: a live strategy under test plus the
+// reference graph/features that let us recompute ground truth from scratch.
+type testWorld struct {
+	t     *testing.T
+	rng   *rand.Rand
+	model *gnn.Model
+	g     *graph.Graph    // reference topology mirror
+	x     []tensor.Vector // reference feature mirror
+	edges [][2]graph.VertexID
+}
+
+func newTestWorld(t *testing.T, spec gnn.Spec, n, m int, seed int64) *testWorld {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	model, err := gnn.NewModel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(n)
+	var edges [][2]graph.VertexID
+	for i := 0; i < m; i++ {
+		u, v := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		if err := g.AddEdge(u, v, 0.1+rng.Float32()); err == nil {
+			edges = append(edges, [2]graph.VertexID{u, v})
+		}
+	}
+	x := make([]tensor.Vector, n)
+	for i := range x {
+		x[i] = tensor.NewVector(spec.Dims[0])
+		for j := range x[i] {
+			x[i][j] = rng.Float32()*2 - 1
+		}
+	}
+	return &testWorld{t: t, rng: rng, model: model, g: g, x: x, edges: edges}
+}
+
+// bootstrap returns an independent (graph, embeddings) pair matching the
+// current reference state, for handing to a strategy.
+func (w *testWorld) bootstrap() (*graph.Graph, *gnn.Embeddings) {
+	w.t.Helper()
+	g := w.g.Clone()
+	emb, err := gnn.Forward(g, w.model, w.x)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return g, emb
+}
+
+// groundTruth recomputes embeddings from scratch for the current reference
+// state.
+func (w *testWorld) groundTruth() *gnn.Embeddings {
+	w.t.Helper()
+	emb, err := gnn.Forward(w.g, w.model, w.x)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return emb
+}
+
+// randomBatch generates size random valid updates and applies them to the
+// reference mirror.
+func (w *testWorld) randomBatch(size int) []Update {
+	w.t.Helper()
+	n := w.g.NumVertices()
+	var batch []Update
+	for len(batch) < size {
+		switch w.rng.Intn(3) {
+		case 0: // edge add
+			u, v := graph.VertexID(w.rng.Intn(n)), graph.VertexID(w.rng.Intn(n))
+			if w.g.HasEdge(u, v) {
+				continue
+			}
+			wt := 0.1 + w.rng.Float32()
+			if err := w.g.AddEdge(u, v, wt); err != nil {
+				w.t.Fatal(err)
+			}
+			w.edges = append(w.edges, [2]graph.VertexID{u, v})
+			batch = append(batch, Update{Kind: EdgeAdd, U: u, V: v, Weight: wt})
+		case 1: // edge delete
+			if len(w.edges) == 0 {
+				continue
+			}
+			i := w.rng.Intn(len(w.edges))
+			e := w.edges[i]
+			if !w.g.HasEdge(e[0], e[1]) { // stale entry (already deleted)
+				w.edges[i] = w.edges[len(w.edges)-1]
+				w.edges = w.edges[:len(w.edges)-1]
+				continue
+			}
+			if _, err := w.g.RemoveEdge(e[0], e[1]); err != nil {
+				w.t.Fatal(err)
+			}
+			w.edges[i] = w.edges[len(w.edges)-1]
+			w.edges = w.edges[:len(w.edges)-1]
+			batch = append(batch, Update{Kind: EdgeDelete, U: e[0], V: e[1]})
+		default: // feature update
+			u := graph.VertexID(w.rng.Intn(n))
+			feat := tensor.NewVector(len(w.x[u]))
+			for j := range feat {
+				feat[j] = w.rng.Float32()*2 - 1
+			}
+			w.x[u].CopyFrom(feat)
+			batch = append(batch, Update{Kind: FeatureUpdate, U: u, Features: feat.Clone()})
+		}
+	}
+	return batch
+}
+
+func testSpecs() map[string]gnn.Spec {
+	specs := map[string]gnn.Spec{}
+	for _, kind := range []gnn.ModelKind{gnn.GraphConv, gnn.GraphSAGE, gnn.GINConv} {
+		for _, agg := range []gnn.Aggregator{gnn.AggSum, gnn.AggMean, gnn.AggWeighted} {
+			name := kind.String() + "/" + agg.String()
+			specs[name] = gnn.Spec{Kind: kind, Agg: agg, Dims: []int{5, 6, 4}, Seed: 21}
+		}
+	}
+	// A deeper model to exercise 3-hop propagation.
+	specs["GraphSAGE/sum/3L"] = gnn.Spec{Kind: gnn.GraphSAGE, Agg: gnn.AggSum, Dims: []int{5, 6, 6, 4}, Seed: 22}
+	specs["GraphConv/mean/3L"] = gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggMean, Dims: []int{5, 6, 6, 4}, Seed: 23}
+	return specs
+}
+
+const embTol = 5e-3
+
+// --- golden invariant: every strategy converges to ground truth ---
+
+func TestRippleMatchesFullRecompute(t *testing.T) {
+	for name, spec := range testSpecs() {
+		t.Run(name, func(t *testing.T) {
+			w := newTestWorld(t, spec, 50, 200, 31)
+			g, emb := w.bootstrap()
+			r, err := NewRipple(g, w.model, emb, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for batchNum := 0; batchNum < 8; batchNum++ {
+				batch := w.randomBatch(1 + w.rng.Intn(10))
+				if _, err := r.ApplyBatch(batch); err != nil {
+					t.Fatalf("batch %d: %v", batchNum, err)
+				}
+				truth := w.groundTruth()
+				if d := r.Embeddings().MaxAbsDiff(truth); d > embTol {
+					t.Fatalf("batch %d: Ripple drifted from ground truth by %v", batchNum, d)
+				}
+			}
+		})
+	}
+}
+
+func TestRCMatchesFullRecompute(t *testing.T) {
+	for name, spec := range testSpecs() {
+		t.Run(name, func(t *testing.T) {
+			w := newTestWorld(t, spec, 40, 150, 37)
+			g, emb := w.bootstrap()
+			rc, err := NewRC(g, w.model, emb, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for batchNum := 0; batchNum < 6; batchNum++ {
+				batch := w.randomBatch(1 + w.rng.Intn(8))
+				if _, err := rc.ApplyBatch(batch); err != nil {
+					t.Fatalf("batch %d: %v", batchNum, err)
+				}
+				truth := w.groundTruth()
+				if d := rc.Embeddings().MaxAbsDiff(truth); d > embTol {
+					t.Fatalf("batch %d: RC drifted from ground truth by %v", batchNum, d)
+				}
+			}
+		})
+	}
+}
+
+func TestDRCMatchesFullRecompute(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphSAGE, Agg: gnn.AggMean, Dims: []int{5, 6, 4}, Seed: 5}
+	w := newTestWorld(t, spec, 40, 150, 41)
+	g, emb := w.bootstrap()
+	d, err := NewDRC(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batchNum := 0; batchNum < 6; batchNum++ {
+		batch := w.randomBatch(5)
+		if _, err := d.ApplyBatch(batch); err != nil {
+			t.Fatalf("batch %d: %v", batchNum, err)
+		}
+		truth := w.groundTruth()
+		if diff := d.Embeddings().MaxAbsDiff(truth); diff > embTol {
+			t.Fatalf("batch %d: DRC drifted by %v", batchNum, diff)
+		}
+	}
+}
+
+func TestDNCLabelsMatchGroundTruth(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GINConv, Agg: gnn.AggSum, Dims: []int{5, 6, 4}, Seed: 6}
+	w := newTestWorld(t, spec, 30, 100, 43)
+	g, _ := w.bootstrap()
+	truth0 := w.groundTruth()
+	labels := make([]int32, 30)
+	for u := range labels {
+		labels[u] = int32(truth0.Label(int32(u)))
+	}
+	d, err := NewDNC(g, w.model, w.xClone(), labels, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batchNum := 0; batchNum < 6; batchNum++ {
+		batch := w.randomBatch(4)
+		if _, err := d.ApplyBatch(batch); err != nil {
+			t.Fatalf("batch %d: %v", batchNum, err)
+		}
+		truth := w.groundTruth()
+		for u := 0; u < 30; u++ {
+			if d.Labels()[u] != int32(truth.Label(int32(u))) {
+				// Labels at decision boundaries can differ under float
+				// noise; verify the logit gap is genuinely tiny.
+				h := truth.H[w.model.L()][u]
+				if gap := h[h.ArgMax()] - h[d.Labels()[u]]; gap > embTol {
+					t.Fatalf("batch %d: DNC label[%d]=%d, truth %d (gap %v)",
+						batchNum, u, d.Labels()[u], truth.Label(int32(u)), gap)
+				}
+			}
+		}
+	}
+}
+
+func (w *testWorld) xClone() []tensor.Vector {
+	out := make([]tensor.Vector, len(w.x))
+	for i, row := range w.x {
+		out[i] = row.Clone()
+	}
+	return out
+}
+
+// --- paper worked example (Figs. 3/4/5) ---
+
+// identitySum builds an L-layer 1-dim GraphConv/sum model whose Update is
+// the identity, making embeddings hand-computable neighbourhood sums.
+func identitySum(layers int) *gnn.Model {
+	dims := make([]int, layers+1)
+	for i := range dims {
+		dims[i] = 1
+	}
+	m := &gnn.Model{Kind: gnn.GraphConv, Agg: gnn.AggSum, Dims: dims}
+	for l := 0; l < layers; l++ {
+		m.Layers = append(m.Layers, &gnn.Layer{
+			Kind: gnn.GraphConv, Agg: gnn.AggSum, Act: tensor.ActIdentity,
+			In: 1, Out: 1,
+			WNeigh: tensor.NewMatrixFrom(1, 1, []float32{1}),
+			B:      tensor.NewVector(1),
+		})
+	}
+	return m
+}
+
+// paperGraph builds the Fig. 3-style scenario: A→{B,C,D}, F→E, then the
+// streamed update adds E→A. Vertex ids: A=0 B=1 C=2 D=3 E=4 F=5.
+func paperGraph(t *testing.T) (*graph.Graph, []tensor.Vector) {
+	t.Helper()
+	g := graph.New(6)
+	for _, e := range [][2]graph.VertexID{{0, 1}, {0, 2}, {0, 3}, {5, 4}} {
+		if err := g.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := []tensor.Vector{{1}, {2}, {3}, {4}, {5}, {6}}
+	return g, x
+}
+
+func TestPaperFigure3EdgeAddCascade(t *testing.T) {
+	g, x := paperGraph(t)
+	m := identitySum(2)
+	emb, err := gnn.Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial state: h1 = [0 1 1 1 6 0], h2 = [0 0 0 0 0 0].
+	wantH1 := []float32{0, 1, 1, 1, 6, 0}
+	for u, want := range wantH1 {
+		if got := emb.H[1][u][0]; got != want {
+			t.Fatalf("bootstrap h1[%d] = %v, want %v", u, got, want)
+		}
+	}
+
+	r, err := NewRipple(g, m, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.ApplyBatch([]Update{{Kind: EdgeAdd, U: 4, V: 0, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// After ADD E→A: h1_A = x_E = 5; h2_A = h1_E = 6; h2_{B,C,D} = h1_A = 5.
+	// F and E must be untouched (the paper's key observation in Fig. 3).
+	wantH1 = []float32{5, 1, 1, 1, 6, 0}
+	wantH2 := []float32{6, 5, 5, 5, 0, 0}
+	for u := range wantH1 {
+		if got := r.Embeddings().H[1][u][0]; got != wantH1[u] {
+			t.Errorf("h1[%d] = %v, want %v", u, got, wantH1[u])
+		}
+		if got := r.Embeddings().H[2][u][0]; got != wantH2[u] {
+			t.Errorf("h2[%d] = %v, want %v", u, got, wantH2[u])
+		}
+	}
+
+	// Propagation tree: hop 1 = {A}; hop 2 = {A, B, C, D} (A re-enters as
+	// the new edge's structural sink). Affected distinct = 4; E and F never
+	// enter the tree.
+	if res.FrontierPerHop[0] != 1 || res.FrontierPerHop[1] != 4 {
+		t.Errorf("frontier per hop = %v, want [1 4]", res.FrontierPerHop)
+	}
+	if res.Affected != 4 {
+		t.Errorf("affected = %d, want 4", res.Affected)
+	}
+}
+
+func TestPaperFigure4FeatureUpdate(t *testing.T) {
+	g, x := paperGraph(t)
+	m := identitySum(2)
+	emb, err := gnn.Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRipple(g, m, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First add E→A (as in Fig. 3), then update E's feature 5→7.
+	if _, err := r.ApplyBatch([]Update{{Kind: EdgeAdd, U: 4, V: 0, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.ApplyBatch([]Update{{Kind: FeatureUpdate, U: 4, Features: tensor.Vector{7}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h1_A: 5→7. h2_{B,C,D}: 5→7. h2_A = h1_E = 6 — UNCHANGED, because
+	// GraphConv has no self term and E's h1 does not depend on its own
+	// feature. h2_A must not even be recomputed (not in hop-2 frontier).
+	if got := r.Embeddings().H[1][0][0]; got != 7 {
+		t.Errorf("h1_A = %v, want 7", got)
+	}
+	for _, u := range []int{1, 2, 3} {
+		if got := r.Embeddings().H[2][u][0]; got != 7 {
+			t.Errorf("h2[%d] = %v, want 7", u, got)
+		}
+	}
+	if got := r.Embeddings().H[2][0][0]; got != 6 {
+		t.Errorf("h2_A = %v, want 6 (unchanged)", got)
+	}
+	if res.FrontierPerHop[0] != 1 || res.FrontierPerHop[1] != 3 {
+		t.Errorf("frontier per hop = %v, want [1 3]", res.FrontierPerHop)
+	}
+}
+
+func TestEdgeAddThenDeleteRestoresStateExactly(t *testing.T) {
+	// With integer-valued identity-sum arithmetic, add followed by delete
+	// must restore every embedding bit-for-bit: the delta messages cancel.
+	g, x := paperGraph(t)
+	m := identitySum(2)
+	emb, err := gnn.Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := emb.Clone()
+	r, err := NewRipple(g, m, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ApplyBatch([]Update{{Kind: EdgeAdd, U: 4, V: 0, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ApplyBatch([]Update{{Kind: EdgeDelete, U: 4, V: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Embeddings().MaxAbsDiff(before); d != 0 {
+		t.Errorf("add+delete left residue %v", d)
+	}
+	if r.Graph().HasEdge(4, 0) {
+		t.Error("edge still present after delete")
+	}
+}
+
+func TestAddAndDeleteInSameBatchIsNoOp(t *testing.T) {
+	g, x := paperGraph(t)
+	m := identitySum(2)
+	emb, err := gnn.Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := emb.Clone()
+	r, err := NewRipple(g, m, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []Update{
+		{Kind: EdgeAdd, U: 4, V: 0, Weight: 1},
+		{Kind: EdgeDelete, U: 4, V: 0},
+	}
+	if _, err := r.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if d := r.Embeddings().MaxAbsDiff(before); d != 0 {
+		t.Errorf("intra-batch add+delete left residue %v", d)
+	}
+}
+
+// --- batching invariances ---
+
+func TestBatchOrderInvariance(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphSAGE, Agg: gnn.AggSum, Dims: []int{5, 6, 4}, Seed: 9}
+	w := newTestWorld(t, spec, 40, 150, 53)
+	batch := w.randomBatch(12)
+
+	run := func(b []Update) *gnn.Embeddings {
+		w2 := newTestWorld(t, spec, 40, 150, 53) // identical initial state
+		g, emb := w2.bootstrap()
+		r, err := NewRipple(g, w2.model, emb, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		return r.Embeddings()
+	}
+
+	base := run(batch)
+	perm := make([]Update, len(batch))
+	copy(perm, batch)
+	rand.New(rand.NewSource(3)).Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	// Only compare when the permutation remains valid (no add/delete of
+	// the same edge reordered); our generator produces distinct targets,
+	// so it is.
+	got := run(perm)
+	if d := base.MaxAbsDiff(got); d > 1e-4 {
+		t.Errorf("batch permutation changed embeddings by %v", d)
+	}
+}
+
+func TestSingleVsBatchedApplication(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggMean, Dims: []int{5, 6, 4}, Seed: 10}
+	w1 := newTestWorld(t, spec, 40, 150, 59)
+	batch := w1.randomBatch(10)
+
+	w2 := newTestWorld(t, spec, 40, 150, 59)
+	g1, emb1 := w2.bootstrap()
+	rBatched, err := NewRipple(g1, w2.model, emb1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rBatched.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	w3 := newTestWorld(t, spec, 40, 150, 59)
+	g2, emb2 := w3.bootstrap()
+	rSingle, err := NewRipple(g2, w3.model, emb2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range batch {
+		if _, err := rSingle.ApplyBatch([]Update{u}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := rBatched.Embeddings().MaxAbsDiff(rSingle.Embeddings()); d > 1e-4 {
+		t.Errorf("batched vs one-at-a-time differ by %v", d)
+	}
+}
+
+// --- pruning ablation stays exact ---
+
+func TestPruneZeroDeltasStaysExact(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphSAGE, Agg: gnn.AggSum, Dims: []int{5, 6, 4}, Seed: 12}
+	w := newTestWorld(t, spec, 40, 150, 61)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{PruneZeroDeltas: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batchNum := 0; batchNum < 6; batchNum++ {
+		batch := w.randomBatch(6)
+		if _, err := r.ApplyBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		truth := w.groundTruth()
+		if d := r.Embeddings().MaxAbsDiff(truth); d > embTol {
+			t.Fatalf("batch %d: pruned Ripple drifted by %v", batchNum, d)
+		}
+	}
+}
+
+// --- affected-set agreement across strategies ---
+
+func TestAffectedCountsAgreeAcrossStrategies(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GINConv, Agg: gnn.AggSum, Dims: []int{5, 6, 4}, Seed: 13}
+	wA := newTestWorld(t, spec, 50, 250, 67)
+	batches := make([][]Update, 5)
+	for i := range batches {
+		batches[i] = wA.randomBatch(5)
+	}
+
+	build := func() (*Ripple, *RC) {
+		w := newTestWorld(t, spec, 50, 250, 67)
+		g1, e1 := w.bootstrap()
+		r, err := NewRipple(g1, w.model, e1, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, e2 := w.bootstrap()
+		rc, err := NewRC(g2, w.model, e2, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, rc
+	}
+	r, rc := build()
+	for i, b := range batches {
+		resR, err := r.ApplyBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resRC, err := rc.ApplyBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resR.Affected != resRC.Affected {
+			t.Errorf("batch %d: affected Ripple=%d RC=%d", i, resR.Affected, resRC.Affected)
+		}
+		for l := range resR.FrontierPerHop {
+			if resR.FrontierPerHop[l] != resRC.FrontierPerHop[l] {
+				t.Errorf("batch %d hop %d: frontier Ripple=%d RC=%d",
+					i, l, resR.FrontierPerHop[l], resRC.FrontierPerHop[l])
+			}
+		}
+		// The headline benefit analysis (§4.3.3): Ripple performs
+		// incremental work proportional to changed in-neighbours, RC to
+		// all in-neighbours. On any non-trivial batch RC must pull at
+		// least as many embeddings as Ripple sends messages.
+		if resRC.VectorOps < resR.VectorOps/4 {
+			t.Errorf("batch %d: suspicious op counts RC=%d Ripple=%d", i, resRC.VectorOps, resR.VectorOps)
+		}
+	}
+}
+
+// --- validation and error paths ---
+
+func TestApplyBatchValidation(t *testing.T) {
+	g, x := paperGraph(t)
+	m := identitySum(2)
+	emb, err := gnn.Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := emb.Clone()
+	r, err := NewRipple(g, m, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name  string
+		batch []Update
+	}{
+		{"add existing edge", []Update{{Kind: EdgeAdd, U: 0, V: 1, Weight: 1}}},
+		{"delete missing edge", []Update{{Kind: EdgeDelete, U: 1, V: 0}}},
+		{"source out of range", []Update{{Kind: EdgeAdd, U: 99, V: 0, Weight: 1}}},
+		{"sink out of range", []Update{{Kind: EdgeAdd, U: 0, V: -1, Weight: 1}}},
+		{"bad feature width", []Update{{Kind: FeatureUpdate, U: 0, Features: tensor.Vector{1, 2}}}},
+		{"unknown kind", []Update{{Kind: UpdateKind(99), U: 0}}},
+		{"double add same edge in batch", []Update{
+			{Kind: EdgeAdd, U: 4, V: 0, Weight: 1},
+			{Kind: EdgeAdd, U: 4, V: 0, Weight: 1},
+		}},
+		{"delete after intra-batch delete", []Update{
+			{Kind: EdgeDelete, U: 0, V: 1},
+			{Kind: EdgeDelete, U: 0, V: 1},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := r.ApplyBatch(tt.batch); !errors.Is(err, ErrBadUpdate) {
+				t.Fatalf("err = %v, want ErrBadUpdate", err)
+			}
+			if d := r.Embeddings().MaxAbsDiff(before); d != 0 {
+				t.Fatalf("state mutated by rejected batch (diff %v)", d)
+			}
+		})
+	}
+
+	// Valid intra-batch sequences must pass: delete then re-add.
+	okBatch := []Update{
+		{Kind: EdgeDelete, U: 0, V: 1},
+		{Kind: EdgeAdd, U: 0, V: 1, Weight: 1},
+	}
+	if _, err := r.ApplyBatch(okBatch); err != nil {
+		t.Fatalf("valid delete-then-add rejected: %v", err)
+	}
+}
+
+func TestNewRippleValidation(t *testing.T) {
+	g := graph.New(3)
+	m := identitySum(2)
+	wrongEmb := gnn.NewEmbeddings(5, m.Dims)
+	if _, err := NewRipple(g, m, wrongEmb, Config{}); err == nil {
+		t.Error("expected error for vertex-count mismatch")
+	}
+	wrongDims := gnn.NewEmbeddings(3, []int{1, 1})
+	if _, err := NewRipple(g, m, wrongDims, Config{}); err == nil {
+		t.Error("expected error for dims mismatch")
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	g, x := paperGraph(t)
+	m := identitySum(2)
+	emb, err := gnn.Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewRipple(g.Clone(), m, emb.Clone(), Config{})
+	rc, _ := NewRC(g.Clone(), m, emb.Clone(), Config{})
+	drc, _ := NewDRC(g.Clone(), m, emb.Clone(), Config{})
+	labels := make([]int32, 6)
+	dnc, _ := NewDNC(g.Clone(), m, x, labels, Config{})
+	if r.Name() != "Ripple" || rc.Name() != "RC" || drc.Name() != "DRC" || dnc.Name() != "DNC" {
+		t.Error("strategy names wrong")
+	}
+	if NewAccel(drc, DefaultAccelModel).Name() != "DRG" {
+		t.Error("DRC accel name should be DRG")
+	}
+	if NewAccel(dnc, DefaultAccelModel).Name() != "DNG" {
+		t.Error("DNC accel name should be DNG")
+	}
+	if NewAccel(rc, DefaultAccelModel).Name() != "RC+accel" {
+		t.Error("generic accel name wrong")
+	}
+}
+
+func TestAccelSimulatedTime(t *testing.T) {
+	g, x := paperGraph(t)
+	m := identitySum(2)
+	emb, err := gnn.Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drc, err := NewDRC(g, m, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAccel(drc, DefaultAccelModel)
+	res, err := a.ApplyBatch([]Update{{Kind: EdgeAdd, U: 4, V: 0, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimulatedTime <= 0 {
+		t.Error("accel result missing simulated time")
+	}
+	if res.Total() != res.UpdateTime+res.SimulatedTime {
+		t.Error("Total should use simulated propagate time for accel strategies")
+	}
+	// Launch overhead must be charged.
+	if res.SimulatedTime < DefaultAccelModel.TransferOverhead {
+		t.Error("simulated time below transfer overhead")
+	}
+}
+
+func TestUpdateKindStringAndSource(t *testing.T) {
+	if EdgeAdd.String() != "edge-add" || EdgeDelete.String() != "edge-delete" || FeatureUpdate.String() != "feature-update" {
+		t.Error("UpdateKind names wrong")
+	}
+	u := Update{Kind: EdgeAdd, U: 3, V: 7}
+	if u.Source() != 3 {
+		t.Error("Source should be hop-0 vertex U")
+	}
+}
+
+func TestVecTable(t *testing.T) {
+	vt := newVecTable(10, 3)
+	v := vt.Get(5)
+	if !v.IsZero() || vt.Len() != 1 || !vt.Has(5) || vt.Has(4) {
+		t.Error("Get/Has/Len wrong")
+	}
+	v[0] = 7
+	if vt.Get(5)[0] != 7 {
+		t.Error("second Get should return same vector")
+	}
+	vt.Get(2)
+	vt.Get(8)
+	got := vt.SortedTouched()
+	if len(got) != 3 || got[0] != 2 || got[1] != 5 || got[2] != 8 {
+		t.Errorf("SortedTouched = %v", got)
+	}
+	vt.Reset()
+	if vt.Len() != 0 || vt.Has(5) || vt.Lookup(5) != nil {
+		t.Error("Reset incomplete")
+	}
+	// Pool reuse must hand back zeroed vectors.
+	if !vt.Get(1).IsZero() {
+		t.Error("pooled vector not zeroed")
+	}
+}

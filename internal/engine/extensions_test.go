@@ -1,0 +1,397 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// --- trigger-based label notifications ---
+
+func TestTrackLabelsReportsFlips(t *testing.T) {
+	g, x := paperGraph(t)
+	m := identitySum(2)
+	emb, err := gnn.Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRipple(g, m, emb, Config{TrackLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1-dim embeddings: argmax is always 0, so no flips are possible —
+	// verify empty, then test a real multi-class flip separately.
+	res, err := r.ApplyBatch([]Update{{Kind: EdgeAdd, U: 4, V: 0, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LabelChanges) != 0 {
+		t.Errorf("1-dim model reported %d flips", len(res.LabelChanges))
+	}
+}
+
+func TestTrackLabelsMatchesExternalDiff(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphSAGE, Agg: gnn.AggSum, Dims: []int{5, 6, 4}, Seed: 17}
+	w := newTestWorld(t, spec, 40, 160, 171)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{TrackLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batchNum := 0; batchNum < 5; batchNum++ {
+		// External diff: labels before vs after.
+		before := make([]int, 40)
+		for u := 0; u < 40; u++ {
+			before[u] = r.Label(graph.VertexID(u))
+		}
+		res, err := r.ApplyBatch(w.randomBatch(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reported := map[graph.VertexID]LabelChange{}
+		for _, lc := range res.LabelChanges {
+			reported[lc.Vertex] = lc
+		}
+		for u := 0; u < 40; u++ {
+			after := r.Label(graph.VertexID(u))
+			lc, ok := reported[graph.VertexID(u)]
+			if after != before[u] {
+				if !ok {
+					t.Fatalf("batch %d: flip at %d (%d→%d) not reported", batchNum, u, before[u], after)
+				}
+				if lc.Old != before[u] || lc.New != after {
+					t.Fatalf("batch %d: flip at %d reported as %d→%d, want %d→%d",
+						batchNum, u, lc.Old, lc.New, before[u], after)
+				}
+			} else if ok {
+				t.Fatalf("batch %d: spurious flip reported at %d", batchNum, u)
+			}
+		}
+	}
+}
+
+func TestTrackLabelsOffByDefault(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggSum, Dims: []int{5, 6, 4}, Seed: 18}
+	w := newTestWorld(t, spec, 30, 120, 173)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.ApplyBatch(w.randomBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LabelChanges != nil {
+		t.Error("label changes populated without TrackLabels")
+	}
+}
+
+// --- vertex addition/removal (§8 extension) ---
+
+func TestAddVertexThenConnect(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphSAGE, Agg: gnn.AggMean, Dims: []int{5, 6, 4}, Seed: 19}
+	w := newTestWorld(t, spec, 30, 120, 177)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	feat := tensor.Vector{0.1, -0.2, 0.3, -0.4, 0.5}
+	id, err := r.AddVertex(feat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(id) != 30 {
+		t.Fatalf("new vertex id = %d, want 30", id)
+	}
+	if l := r.Label(id); l < 0 || l >= 4 {
+		t.Errorf("isolated vertex label %d out of range", l)
+	}
+
+	// Connect it into the graph and mutate around it; the engine must stay
+	// exact versus a from-scratch forward pass on the mirrored world.
+	w.g.AddVertex()
+	w.x = append(w.x, feat.Clone())
+	batch := []Update{
+		{Kind: EdgeAdd, U: id, V: 3, Weight: 1},
+		{Kind: EdgeAdd, U: 7, V: id, Weight: 1},
+	}
+	for _, u := range batch {
+		if err := w.g.AddEdge(u.U, u.V, u.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	more := w.randomBatch(6)
+	if _, err := r.ApplyBatch(more); err != nil {
+		t.Fatal(err)
+	}
+	truth := w.groundTruth()
+	if d := r.Embeddings().MaxAbsDiff(truth); d > embTol {
+		t.Fatalf("post-AddVertex drift %v", d)
+	}
+}
+
+func TestAddVertexValidatesFeatures(t *testing.T) {
+	g, x := paperGraph(t)
+	m := identitySum(2)
+	emb, err := gnn.Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRipple(g, m, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddVertex(tensor.Vector{1, 2}); !errors.Is(err, ErrBadUpdate) {
+		t.Errorf("bad feature width error = %v", err)
+	}
+}
+
+func TestRemoveVertexPropagatesExactly(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggSum, Dims: []int{5, 6, 4}, Seed: 20}
+	w := newTestWorld(t, spec, 30, 150, 179)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victim := graph.VertexID(5)
+	// Mirror the removal in the reference world: delete incident edges and
+	// zero the features.
+	for _, e := range w.g.IncidentEdges(victim) {
+		if _, err := w.g.RemoveEdge(e.From, e.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.x[victim].Zero()
+
+	res, err := r.RemoveVertex(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates == 0 {
+		t.Error("removal of a connected vertex should stream updates")
+	}
+	if !r.Removed(victim) || r.Label(victim) != -1 {
+		t.Error("vertex not tombstoned")
+	}
+	truth := w.groundTruth()
+	// Compare all live vertices (the tombstoned one keeps stale h>0 rows,
+	// which no live vertex can observe: it has no out-edges).
+	for l := range truth.H {
+		for u := 0; u < 30; u++ {
+			if graph.VertexID(u) == victim && l > 0 {
+				continue
+			}
+			if d := r.Embeddings().H[l][u].MaxAbsDiff(truth.H[l][u]); d > embTol {
+				t.Fatalf("layer %d vertex %d drift %v after removal", l, u, d)
+			}
+		}
+	}
+
+	// Further updates touching the tombstone are rejected.
+	if _, err := r.ApplyBatch([]Update{{Kind: EdgeAdd, U: 0, V: victim, Weight: 1}}); !errors.Is(err, ErrVertexRemoved) {
+		t.Errorf("edge to removed vertex error = %v", err)
+	}
+	if _, err := r.ApplyBatch([]Update{{Kind: FeatureUpdate, U: victim, Features: tensor.NewVector(5)}}); !errors.Is(err, ErrVertexRemoved) {
+		t.Errorf("feature update on removed vertex error = %v", err)
+	}
+	if _, err := r.RemoveVertex(victim); !errors.Is(err, ErrVertexRemoved) {
+		t.Errorf("double removal error = %v", err)
+	}
+
+	// Unrelated updates still work.
+	if _, err := r.ApplyBatch(w.randomBatchAvoiding(4, victim)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomBatchAvoiding generates updates that never touch the given vertex.
+func (w *testWorld) randomBatchAvoiding(size int, avoid graph.VertexID) []Update {
+	w.t.Helper()
+	var out []Update
+	for len(out) < size {
+		b := w.randomBatch(1)
+		u := b[0]
+		if u.U == avoid || (u.Kind != FeatureUpdate && u.V == avoid) {
+			// Undo the mirror mutation so the worlds stay in sync.
+			switch u.Kind {
+			case EdgeAdd:
+				if _, err := w.g.RemoveEdge(u.U, u.V); err != nil {
+					w.t.Fatal(err)
+				}
+			case EdgeDelete:
+				if err := w.g.AddEdge(u.U, u.V, 1); err != nil {
+					w.t.Fatal(err)
+				}
+				w.edges = append(w.edges, [2]graph.VertexID{u.U, u.V})
+			}
+			continue
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+// --- adaptive batcher (§8 extension) ---
+
+func newBatcherEngine(t *testing.T) (*Ripple, *testWorld) {
+	t.Helper()
+	spec := gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggSum, Dims: []int{5, 6, 4}, Seed: 23}
+	w := newTestWorld(t, spec, 30, 120, 191)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, w
+}
+
+func TestBatcherSizeTrigger(t *testing.T) {
+	r, w := newBatcherEngine(t)
+	var mu sync.Mutex
+	var flushes []int
+	b, err := NewBatcher(r, 4, 0, func(res BatchResult, err error) {
+		if err != nil {
+			t.Errorf("flush error: %v", err)
+		}
+		mu.Lock()
+		flushes = append(flushes, res.Updates)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates := w.randomBatch(10)
+	for _, u := range updates {
+		if err := b.Submit(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	got := append([]int(nil), flushes...)
+	mu.Unlock()
+	if len(got) != 2 || got[0] != 4 || got[1] != 4 {
+		t.Errorf("size-triggered flushes = %v, want [4 4]", got)
+	}
+	if b.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", b.Pending())
+	}
+	b.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(flushes) != 3 || flushes[2] != 2 {
+		t.Errorf("close flush = %v", flushes)
+	}
+	if err := b.Submit(updates[0]); !errors.Is(err, ErrBatcherClosed) {
+		t.Errorf("submit after close = %v", err)
+	}
+}
+
+func TestBatcherDeadlineTrigger(t *testing.T) {
+	r, w := newBatcherEngine(t)
+	done := make(chan BatchResult, 1)
+	b, err := NewBatcher(r, 0, 30*time.Millisecond, func(res BatchResult, err error) {
+		if err != nil {
+			t.Errorf("flush error: %v", err)
+		}
+		done <- res
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for _, u := range w.randomBatch(3) {
+		if err := b.Submit(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case res := <-done:
+		if res.Updates != 3 {
+			t.Errorf("deadline flush had %d updates, want 3", res.Updates)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadline flush never fired")
+	}
+}
+
+func TestBatcherManualFlushAndValidation(t *testing.T) {
+	r, w := newBatcherEngine(t)
+	if _, err := NewBatcher(r, 0, 0, nil); err == nil {
+		t.Error("expected error for batcher without thresholds")
+	}
+	fired := make(chan struct{}, 1)
+	b, err := NewBatcher(r, 100, 0, func(BatchResult, error) { fired <- struct{}{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range w.randomBatch(2) {
+		if err := b.Submit(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Flush()
+	select {
+	case <-fired:
+	default:
+		t.Error("manual flush did not fire callback")
+	}
+	b.Flush() // empty flush is a no-op
+	select {
+	case <-fired:
+		t.Error("empty flush fired callback")
+	default:
+	}
+}
+
+func TestBatcherEquivalentToDirectBatches(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphSAGE, Agg: gnn.AggSum, Dims: []int{5, 6, 4}, Seed: 29}
+	w1 := newTestWorld(t, spec, 30, 120, 197)
+	stream := w1.randomBatch(12)
+
+	// Direct application.
+	w2 := newTestWorld(t, spec, 30, 120, 197)
+	g2, e2 := w2.bootstrap()
+	direct, err := NewRipple(g2, w2.model, e2, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < len(stream); lo += 4 {
+		if _, err := direct.ApplyBatch(stream[lo:min(lo+4, len(stream))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Through the batcher with the same size threshold.
+	w3 := newTestWorld(t, spec, 30, 120, 197)
+	g3, e3 := w3.bootstrap()
+	r, err := NewRipple(g3, w3.model, e3, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBatcher(r, 4, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range stream {
+		if err := b.Submit(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	if d := direct.Embeddings().MaxAbsDiff(r.Embeddings()); d > 1e-5 {
+		t.Errorf("batcher result differs from direct batching by %v", d)
+	}
+}

@@ -1,0 +1,32 @@
+package engine
+
+import "ripple/internal/graph"
+
+// LabelChange records one vertex whose predicted class flipped during a
+// batch — the payload of the paper's trigger-based inference model (§2.2):
+// applications are notified of prediction changes immediately, instead of
+// polling.
+type LabelChange struct {
+	Vertex   graph.VertexID
+	Old, New int
+}
+
+// trackLabelChanges compares the pre- and post-batch final-layer
+// embeddings of the hop-L frontier and returns the label flips. Called by
+// the engine when Config.TrackLabels is set.
+func (r *Ripple) trackLabelChanges(frontier []graph.VertexID) []LabelChange {
+	l := r.model.L()
+	var changes []LabelChange
+	for _, v := range frontier {
+		old := r.oldH[l].Lookup(v)
+		if old == nil {
+			continue
+		}
+		oldLabel := old.ArgMax()
+		newLabel := r.emb.H[l][v].ArgMax()
+		if oldLabel != newLabel {
+			changes = append(changes, LabelChange{Vertex: v, Old: oldLabel, New: newLabel})
+		}
+	}
+	return changes
+}

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// Lazy is the request-based serving alternative the paper contrasts with
+// trigger-based inference (§2.2): updates are O(1) state mutations with no
+// propagation at all, and each query recomputes the target's embedding on
+// demand by exact vertex-wise inference over the current topology and
+// features.
+//
+// The trade-off against the (trigger-based) Ripple engine is workload
+// shape: update-heavy/query-light streams favour Lazy, query-heavy
+// streams favour maintaining embeddings incrementally. The ablation bench
+// quantifies the crossover.
+type Lazy struct {
+	g     *graph.Graph
+	model *gnn.Model
+	x     []tensor.Vector
+}
+
+var _ Strategy = (*Lazy)(nil)
+
+// NewLazy builds a request-based engine over the live graph and features.
+// It takes ownership of both.
+func NewLazy(g *graph.Graph, model *gnn.Model, x []tensor.Vector) (*Lazy, error) {
+	if len(x) != g.NumVertices() {
+		return nil, fmt.Errorf("engine: lazy got %d feature rows for %d vertices", len(x), g.NumVertices())
+	}
+	for u, row := range x {
+		if len(row) != model.Dims[0] {
+			return nil, fmt.Errorf("engine: lazy feature row %d has width %d, want %d", u, len(row), model.Dims[0])
+		}
+	}
+	return &Lazy{g: g, model: model, x: x}, nil
+}
+
+// Name implements Strategy.
+func (l *Lazy) Name() string { return "Lazy" }
+
+// ApplyBatch implements Strategy: it mutates topology and features only.
+// No embeddings exist to refresh, so Affected is always 0 and the cost is
+// the pure update time — the whole point of the request-based model.
+func (l *Lazy) ApplyBatch(batch []Update) (BatchResult, error) {
+	if err := validateBatch(l.g, l.model.Dims[0], batch); err != nil {
+		return BatchResult{}, err
+	}
+	res := BatchResult{Updates: len(batch), FrontierPerHop: make([]int, l.model.L())}
+	start := time.Now()
+	for _, upd := range batch {
+		switch upd.Kind {
+		case EdgeAdd:
+			if err := l.g.AddEdge(upd.U, upd.V, upd.Weight); err != nil {
+				return res, fmt.Errorf("engine: applying validated batch: %w", err)
+			}
+		case EdgeDelete:
+			if _, err := l.g.RemoveEdge(upd.U, upd.V); err != nil {
+				return res, fmt.Errorf("engine: applying validated batch: %w", err)
+			}
+		case FeatureUpdate:
+			l.x[upd.U].CopyFrom(upd.Features)
+		}
+	}
+	res.UpdateTime = time.Since(start)
+	return res, nil
+}
+
+// Query computes the exact, fresh label of u by vertex-wise inference over
+// the current state.
+func (l *Lazy) Query(u graph.VertexID) int {
+	return gnn.InferVertex(l.g, l.model, l.x, u).ArgMax()
+}
+
+// QueryEmbedding computes the fresh final-layer embedding of u.
+func (l *Lazy) QueryEmbedding(u graph.VertexID) tensor.Vector {
+	return gnn.InferVertex(l.g, l.model, l.x, u)
+}

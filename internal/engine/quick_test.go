@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// quickScenario is a generated test case for the golden invariant: a seed
+// picks graph/model/update-stream; the property re-derives everything
+// deterministically from it.
+type quickScenario struct {
+	GraphSeed   int64
+	ModelSeed   int64
+	StreamSeed  int64
+	KindIdx     uint8
+	AggIdx      uint8
+	BatchSizeU8 uint8
+}
+
+// TestQuickRippleAlwaysMatchesForward is the package's central
+// property-based test: for arbitrary (graph, model, update stream) drawn
+// by testing/quick, applying the stream through Ripple yields the same
+// embeddings as recomputing from scratch.
+func TestQuickRippleAlwaysMatchesForward(t *testing.T) {
+	kinds := []gnn.ModelKind{gnn.GraphConv, gnn.GraphSAGE, gnn.GINConv}
+	aggs := []gnn.Aggregator{gnn.AggSum, gnn.AggMean, gnn.AggWeighted}
+
+	property := func(sc quickScenario) bool {
+		spec := gnn.Spec{
+			Kind: kinds[int(sc.KindIdx)%len(kinds)],
+			Agg:  aggs[int(sc.AggIdx)%len(aggs)],
+			Dims: []int{4, 5, 3},
+			Seed: sc.ModelSeed,
+		}
+		w := newTestWorld(t, spec, 25, 80, sc.GraphSeed)
+		w.rng = rand.New(rand.NewSource(sc.StreamSeed))
+		g, emb := w.bootstrap()
+		r, err := NewRipple(g, w.model, emb, Config{})
+		if err != nil {
+			t.Logf("NewRipple: %v", err)
+			return false
+		}
+		bs := 1 + int(sc.BatchSizeU8)%8
+		for i := 0; i < 3; i++ {
+			if _, err := r.ApplyBatch(w.randomBatch(bs)); err != nil {
+				t.Logf("ApplyBatch: %v", err)
+				return false
+			}
+		}
+		d := r.Embeddings().MaxAbsDiff(w.groundTruth())
+		if d > embTol {
+			t.Logf("drift %v for %+v", d, sc)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRCAlwaysMatchesForward is the same property for the recompute
+// baseline — the two strategies are verified against the same oracle, so
+// any disagreement between them is caught transitively.
+func TestQuickRCAlwaysMatchesForward(t *testing.T) {
+	property := func(graphSeed, streamSeed int64, aggIdx uint8) bool {
+		aggs := []gnn.Aggregator{gnn.AggSum, gnn.AggMean, gnn.AggWeighted}
+		spec := gnn.Spec{
+			Kind: gnn.GraphSAGE,
+			Agg:  aggs[int(aggIdx)%len(aggs)],
+			Dims: []int{4, 5, 3},
+			Seed: 7,
+		}
+		w := newTestWorld(t, spec, 20, 60, graphSeed)
+		w.rng = rand.New(rand.NewSource(streamSeed))
+		g, emb := w.bootstrap()
+		rc, err := NewRC(g, w.model, emb, Config{})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := rc.ApplyBatch(w.randomBatch(4)); err != nil {
+				return false
+			}
+		}
+		return rc.Embeddings().MaxAbsDiff(w.groundTruth()) <= embTol
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMailboxCommutativity: delta messages accumulated in any order
+// produce the same mailbox sum (the permutation-invariance Ripple relies
+// on, §4.3.1), exactly for integer-valued vectors.
+func TestQuickMailboxCommutativity(t *testing.T) {
+	property := func(raw [][4]int8, perm int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		msgs := make([]tensor.Vector, len(raw))
+		for i, r := range raw {
+			msgs[i] = tensor.Vector{float32(r[0]), float32(r[1]), float32(r[2]), float32(r[3])}
+		}
+		acc1 := tensor.NewVector(4)
+		for _, m := range msgs {
+			acc1.Add(m)
+		}
+		rng := rand.New(rand.NewSource(perm))
+		shuffled := append([]tensor.Vector(nil), msgs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		acc2 := tensor.NewVector(4)
+		for _, m := range shuffled {
+			acc2.Add(m)
+		}
+		return acc1.MaxAbsDiff(acc2) == 0
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAddDeleteInverse: on integer-valued identity-sum models, any
+// edge add followed by its delete restores every embedding bit-for-bit.
+func TestQuickAddDeleteInverse(t *testing.T) {
+	property := func(graphSeed int64, uRaw, vRaw uint8) bool {
+		const n = 15
+		rng := rand.New(rand.NewSource(graphSeed))
+		g := graph.New(n)
+		for i := 0; i < 40; i++ {
+			_ = g.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)), 1)
+		}
+		u := graph.VertexID(uRaw % n)
+		v := graph.VertexID(vRaw % n)
+		if g.HasEdge(u, v) {
+			return true // nothing to test
+		}
+		m := identitySum(3)
+		x := make([]tensor.Vector, n)
+		for i := range x {
+			x[i] = tensor.Vector{float32(rng.Intn(64) - 32)}
+		}
+		emb, err := gnn.Forward(g, m, x)
+		if err != nil {
+			return false
+		}
+		before := emb.Clone()
+		r, err := NewRipple(g, m, emb, Config{})
+		if err != nil {
+			return false
+		}
+		if _, err := r.ApplyBatch([]Update{{Kind: EdgeAdd, U: u, V: v, Weight: 1}}); err != nil {
+			return false
+		}
+		if _, err := r.ApplyBatch([]Update{{Kind: EdgeDelete, U: u, V: v}}); err != nil {
+			return false
+		}
+		return r.Embeddings().MaxAbsDiff(before) == 0
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFrontierNeverExceedsGraph: the affected count is bounded by the
+// vertex count, and per-hop frontiers are bounded by n, for arbitrary
+// batches.
+func TestQuickFrontierInvariants(t *testing.T) {
+	property := func(streamSeed int64, bsRaw uint8) bool {
+		spec := gnn.Spec{Kind: gnn.GINConv, Agg: gnn.AggSum, Dims: []int{4, 5, 3}, Seed: 3}
+		w := newTestWorld(t, spec, 30, 120, 55)
+		w.rng = rand.New(rand.NewSource(streamSeed))
+		g, emb := w.bootstrap()
+		r, err := NewRipple(g, w.model, emb, Config{})
+		if err != nil {
+			return false
+		}
+		res, err := r.ApplyBatch(w.randomBatch(1 + int(bsRaw)%12))
+		if err != nil {
+			return false
+		}
+		if res.Affected < 0 || res.Affected > 30 {
+			return false
+		}
+		for _, f := range res.FrontierPerHop {
+			if f < 0 || f > 30 {
+				return false
+			}
+		}
+		// Messages and ops are consistent: at least one op per message.
+		return res.VectorOps >= res.Messages
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

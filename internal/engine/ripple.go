@@ -1,0 +1,340 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/par"
+	"ripple/internal/tensor"
+)
+
+// Config tunes the Ripple engine. The zero value is the paper-faithful
+// configuration.
+type Config struct {
+	// PruneZeroDeltas drops vertices whose recomputed embedding is exactly
+	// unchanged from the next frontier. The paper's Ripple does NOT prune
+	// (§4.3: all affected vertices are updated at each hop, unlike
+	// InkStream); this switch exists as an ablation and remains exact
+	// because a zero delta contributes nothing downstream.
+	PruneZeroDeltas bool
+	// Serial disables the parallel apply phase (used by the distributed
+	// workers, which parallelise across partitions instead, and by
+	// benchmarks isolating single-core behaviour).
+	Serial bool
+	// SampleTargets applies only to the vertex-wise DNC baseline: when
+	// positive, each batch evaluates a deterministic stride-sample of at
+	// most this many affected targets and linearly extrapolates cost to
+	// the full target set (vertex-wise cost is exactly linear in targets,
+	// each evaluated independently). Benchmark-only: the labels of
+	// unsampled targets go stale, so correctness tests must leave it 0.
+	SampleTargets int
+	// TrackLabels records per-batch label flips in
+	// BatchResult.LabelChanges, enabling the paper's trigger-based serving
+	// model: consumers are notified of changed predictions immediately.
+	TrackLabels bool
+}
+
+// edgeEvent records one structural change of the current batch. Coeff
+// carries the aggregation coefficient α signed by the event direction:
+// +α for an addition, -α for a deletion. At every hop l the sink's mailbox
+// receives coeff·h^{l-1}_src using the *pre-batch* value of h^{l-1}_src,
+// which composes exactly with the delta messages sent along live edges
+// (see the derivation in DESIGN.md §3.2).
+type edgeEvent struct {
+	src, sink graph.VertexID
+	coeff     float32
+}
+
+// Ripple is the paper's incremental inference engine (§4.3). It owns the
+// graph, the model and the embedding state: vertices are first-class
+// entities whose per-hop mailboxes accumulate delta messages, and
+// propagation is strictly look-forward — apply the hop-l mailbox, then
+// emit hop-(l+1) messages to out-neighbours.
+type Ripple struct {
+	g     *graph.Graph
+	model *gnn.Model
+	emb   *gnn.Embeddings
+	cfg   Config
+
+	mailbox []*vecTable // [1..L]; mailbox[l] has width dims[l-1]
+	oldH    []*vecTable // [0..L]; pre-batch embeddings of changed vertices
+	changed [][]graph.VertexID
+	events  []edgeEvent
+
+	// affectedStamp/epoch implement an O(1) distinct-vertex counter across
+	// the hops of one batch.
+	affectedStamp []uint32
+	epoch         uint32
+
+	// removed marks tombstoned vertices (nil until RemoveVertex is used).
+	removed []bool
+
+	scratch *gnn.Scratch
+}
+
+var _ Strategy = (*Ripple)(nil)
+
+// NewRipple builds a Ripple engine over a graph whose embeddings have
+// already been bootstrapped (gnn.Forward). The engine takes ownership of g
+// and emb: callers must not mutate them directly afterwards.
+func NewRipple(g *graph.Graph, model *gnn.Model, emb *gnn.Embeddings, cfg Config) (*Ripple, error) {
+	if emb.N != g.NumVertices() {
+		return nil, fmt.Errorf("engine: embeddings for %d vertices, graph has %d", emb.N, g.NumVertices())
+	}
+	if len(emb.Dims) != len(model.Dims) {
+		return nil, fmt.Errorf("engine: embedding dims %v do not match model dims %v", emb.Dims, model.Dims)
+	}
+	n := g.NumVertices()
+	r := &Ripple{
+		g:             g,
+		model:         model,
+		emb:           emb,
+		cfg:           cfg,
+		mailbox:       make([]*vecTable, model.L()+1),
+		oldH:          make([]*vecTable, model.L()+1),
+		changed:       make([][]graph.VertexID, model.L()+1),
+		affectedStamp: make([]uint32, n),
+		scratch:       gnn.NewScratch(model.MaxDim()),
+	}
+	for l := 0; l <= model.L(); l++ {
+		r.oldH[l] = newVecTable(n, model.Dims[l])
+		if l > 0 {
+			r.mailbox[l] = newVecTable(n, model.Dims[l-1])
+		}
+	}
+	return r, nil
+}
+
+// Name implements Strategy.
+func (r *Ripple) Name() string { return "Ripple" }
+
+// Graph exposes the engine-owned graph for read-only inspection.
+func (r *Ripple) Graph() *graph.Graph { return r.g }
+
+// Embeddings exposes the engine-owned embedding state for read-only
+// inspection (e.g. label lookups by a serving layer).
+func (r *Ripple) Embeddings() *gnn.Embeddings { return r.emb }
+
+// Label returns the current predicted class of vertex u, or -1 if u has
+// been removed.
+func (r *Ripple) Label(u graph.VertexID) int {
+	if r.Removed(u) {
+		return -1
+	}
+	return r.emb.Label(int32(u))
+}
+
+// validateBatch checks every update against the current topology
+// (simulating intra-batch edge changes) so ApplyBatch either applies the
+// whole batch or rejects it without touching state.
+func validateBatch(g *graph.Graph, featDim int, batch []Update) error {
+	n := graph.VertexID(g.NumVertices())
+	// exists overlays intra-batch topology changes on the live graph.
+	type ekey struct{ u, v graph.VertexID }
+	overlay := map[ekey]bool{}
+	edgeLive := func(u, v graph.VertexID) bool {
+		if st, ok := overlay[ekey{u, v}]; ok {
+			return st
+		}
+		return g.HasEdge(u, v)
+	}
+	for i, upd := range batch {
+		if upd.U < 0 || upd.U >= n {
+			return fmt.Errorf("%w: batch[%d] %v source %d out of range [0,%d)", ErrBadUpdate, i, upd.Kind, upd.U, n)
+		}
+		switch upd.Kind {
+		case EdgeAdd, EdgeDelete:
+			if upd.V < 0 || upd.V >= n {
+				return fmt.Errorf("%w: batch[%d] %v sink %d out of range [0,%d)", ErrBadUpdate, i, upd.Kind, upd.V, n)
+			}
+			if upd.Kind == EdgeAdd {
+				if edgeLive(upd.U, upd.V) {
+					return fmt.Errorf("%w: batch[%d] edge-add (%d,%d) already exists", ErrBadUpdate, i, upd.U, upd.V)
+				}
+				overlay[ekey{upd.U, upd.V}] = true
+			} else {
+				if !edgeLive(upd.U, upd.V) {
+					return fmt.Errorf("%w: batch[%d] edge-delete (%d,%d) does not exist", ErrBadUpdate, i, upd.U, upd.V)
+				}
+				overlay[ekey{upd.U, upd.V}] = false
+			}
+		case FeatureUpdate:
+			if len(upd.Features) != featDim {
+				return fmt.Errorf("%w: batch[%d] feature width %d, want %d", ErrBadUpdate, i, len(upd.Features), featDim)
+			}
+		default:
+			return fmt.Errorf("%w: batch[%d] unknown kind %v", ErrBadUpdate, i, upd.Kind)
+		}
+	}
+	return nil
+}
+
+// ApplyBatch applies one batch of streaming updates and incrementally
+// refreshes all affected embeddings. It implements the paper's two
+// operators: update (hop-0 state changes + hop-1 seeding) and propagate
+// (apply/compute per hop). On validation error the state is untouched.
+func (r *Ripple) ApplyBatch(batch []Update) (BatchResult, error) {
+	if r.removed != nil {
+		for i, upd := range batch {
+			if r.Removed(upd.U) || (upd.Kind != FeatureUpdate && r.Removed(upd.V)) {
+				// RemoveVertex's own cleanup batch is exempt: it zeroes the
+				// features before the tombstone is set, so it never hits
+				// this path.
+				return BatchResult{}, fmt.Errorf("batch[%d]: %w", i, ErrVertexRemoved)
+			}
+		}
+	}
+	if err := validateBatch(r.g, r.model.Dims[0], batch); err != nil {
+		return BatchResult{}, err
+	}
+	res := BatchResult{Updates: len(batch), FrontierPerHop: make([]int, r.model.L())}
+	r.epoch++
+	epoch := r.epoch
+
+	// --- Update operator: topology + feature changes at hop 0. ---
+	start := time.Now()
+	r.events = r.events[:0]
+	for _, upd := range batch {
+		switch upd.Kind {
+		case EdgeAdd:
+			if err := r.g.AddEdge(upd.U, upd.V, upd.Weight); err != nil {
+				return res, fmt.Errorf("engine: applying validated batch: %w", err)
+			}
+			r.events = append(r.events, edgeEvent{src: upd.U, sink: upd.V, coeff: gnn.Coeff(r.model.Agg, upd.Weight)})
+		case EdgeDelete:
+			w, err := r.g.RemoveEdge(upd.U, upd.V)
+			if err != nil {
+				return res, fmt.Errorf("engine: applying validated batch: %w", err)
+			}
+			r.events = append(r.events, edgeEvent{src: upd.U, sink: upd.V, coeff: -gnn.Coeff(r.model.Agg, w)})
+		case FeatureUpdate:
+			if !r.oldH[0].Has(upd.U) {
+				r.oldH[0].Get(upd.U).CopyFrom(r.emb.H[0][upd.U])
+			}
+			r.emb.H[0][upd.U].CopyFrom(upd.Features)
+		}
+	}
+	// changed[0] = feature-updated vertices whose h^0 actually changed.
+	r.changed[0] = r.changed[0][:0]
+	for _, u := range r.oldH[0].SortedTouched() {
+		if !r.cfg.PruneZeroDeltas || r.oldH[0].Lookup(u).MaxAbsDiff(r.emb.H[0][u]) != 0 {
+			r.changed[0] = append(r.changed[0], u)
+			r.countAffected(u, epoch, &res)
+		}
+	}
+	res.UpdateTime = time.Since(start)
+
+	// --- Propagate operator: hops 1..L. ---
+	start = time.Now()
+	delta := tensor.NewVector(r.model.MaxDim())
+	for l := 1; l <= r.model.L(); l++ {
+		layer := r.model.Layers[l-1]
+		mb := r.mailbox[l]
+
+		// (a) Structural contributions of every edge event, using the
+		// pre-batch h^{l-1} of the source (paper §4.3.1, edge add/delete
+		// conditions with h_old or h_new taken as zero).
+		for _, ev := range r.events {
+			hPrev := r.oldH[l-1].Lookup(ev.src)
+			if hPrev == nil {
+				hPrev = r.emb.H[l-1][ev.src]
+			}
+			mb.Get(ev.sink).AXPY(ev.coeff, hPrev)
+			res.Messages++
+			res.VectorOps++
+		}
+
+		// (b) Delta messages from vertices whose h^{l-1} changed: one ⊖ to
+		// form the delta, one ⊕ per out-neighbour to accumulate it (the 2k′
+		// operations of the paper's benefit analysis, §4.3.3).
+		d := delta[:r.model.Dims[l-1]]
+		for _, u := range r.changed[l-1] {
+			old := r.oldH[l-1].Lookup(u)
+			tensor.AddSubInto(d, r.emb.H[l-1][u], old)
+			res.VectorOps++
+			for _, e := range r.g.Out(u) {
+				mb.Get(e.Peer).AXPY(gnn.Coeff(r.model.Agg, e.Weight), d)
+				res.Messages++
+				res.VectorOps++
+			}
+		}
+
+		// (c) Self-dependence: architectures with a W_self/(1+ε) term must
+		// recompute h^l_u whenever h^{l-1}_u changed, message or not.
+		if r.model.SelfDependent() {
+			for _, u := range r.changed[l-1] {
+				mb.Get(u) // ensures u joins the hop-l frontier
+			}
+		}
+
+		// (d) Apply phase: fold mailboxes into aggregates, recompute
+		// embeddings. Frontier is sorted for deterministic float
+		// accumulation; vertices are independent, so this parallelises.
+		frontier := mb.SortedTouched()
+		res.FrontierPerHop[l-1] = len(frontier)
+		for _, v := range frontier {
+			r.oldH[l].Get(v).CopyFrom(r.emb.H[l][v])
+			r.countAffected(v, epoch, &res)
+		}
+		applyOps := r.applyFrontier(layer, l, frontier)
+		res.VectorOps += applyOps
+
+		// Build changed[l] for the next hop.
+		r.changed[l] = r.changed[l][:0]
+		for _, v := range frontier {
+			if r.cfg.PruneZeroDeltas && r.oldH[l].Lookup(v).MaxAbsDiff(r.emb.H[l][v]) == 0 {
+				continue
+			}
+			r.changed[l] = append(r.changed[l], v)
+		}
+		res.KernelLaunches++
+
+		if r.cfg.TrackLabels && l == r.model.L() {
+			res.LabelChanges = r.trackLabelChanges(frontier)
+		}
+	}
+	res.PropagateTime = time.Since(start)
+
+	// Recycle batch-scoped state.
+	for l := 0; l <= r.model.L(); l++ {
+		r.oldH[l].Reset()
+		if l > 0 {
+			r.mailbox[l].Reset()
+		}
+	}
+	return res, nil
+}
+
+// applyFrontier runs the apply phase of hop l over the frontier and
+// returns the number of vector operations performed.
+func (r *Ripple) applyFrontier(layer *gnn.Layer, l int, frontier []graph.VertexID) int64 {
+	mb := r.mailbox[l]
+	apply := func(s *gnn.Scratch, v graph.VertexID) {
+		agg := r.emb.A[l][v]
+		agg.Add(mb.Lookup(v))
+		layer.UpdateInto(r.emb.H[l][v], r.emb.H[l-1][v], agg, r.g.InDegree(v), s)
+	}
+	if r.cfg.Serial || len(frontier) < 256 {
+		for _, v := range frontier {
+			apply(r.scratch, v)
+		}
+		return int64(len(frontier))
+	}
+	par.For(len(frontier), func(lo, hi int) {
+		s := gnn.NewScratch(r.model.MaxDim())
+		for i := lo; i < hi; i++ {
+			apply(s, frontier[i])
+		}
+	})
+	return int64(len(frontier))
+}
+
+// countAffected counts v once per batch toward the affected-vertex total.
+func (r *Ripple) countAffected(v graph.VertexID, epoch uint32, res *BatchResult) {
+	if r.affectedStamp[v] != epoch {
+		r.affectedStamp[v] = epoch
+		res.Affected++
+	}
+}

@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// --- checkpoint/restore ---
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphSAGE, Agg: gnn.AggMean, Dims: []int{5, 6, 4}, Seed: 71}
+	w := newTestWorld(t, spec, 30, 120, 401)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate state: stream updates and tombstone a vertex.
+	for i := 0; i < 3; i++ {
+		if _, err := r.ApplyBatch(w.randomBatch(6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := graph.VertexID(9)
+	for _, e := range w.g.IncidentEdges(victim) {
+		if _, err := w.g.RemoveEdge(e.From, e.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.x[victim].Zero()
+	if _, err := r.RemoveVertex(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadRipple(&buf, w.model, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := restored.Embeddings().MaxAbsDiff(r.Embeddings()); d != 0 {
+		t.Fatalf("restored embeddings differ by %v", d)
+	}
+	if !restored.Removed(victim) || restored.Label(victim) != -1 {
+		t.Error("tombstone not restored")
+	}
+	if restored.Graph().NumEdges() != r.Graph().NumEdges() {
+		t.Error("topology not restored")
+	}
+
+	// The restored engine must continue streaming exactly: apply the same
+	// batch to both and compare.
+	batch := w.randomBatchAvoiding(5, victim)
+	if _, err := r.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if d := restored.Embeddings().MaxAbsDiff(r.Embeddings()); d != 0 {
+		t.Fatalf("post-restore divergence %v", d)
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	g, x := paperGraph(t)
+	m := identitySum(2)
+	emb, err := gnn.Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRipple(g, m, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", append([]byte("XXXXXXXX"), full[8:]...)},
+		{"truncated header", full[:10]},
+		{"truncated body", full[:len(full)/2]},
+		{"truncated tail", full[:len(full)-2]},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := LoadRipple(bytes.NewReader(tt.data), m, Config{}); !errors.Is(err, ErrBadCheckpoint) {
+				t.Errorf("err = %v, want ErrBadCheckpoint", err)
+			}
+		})
+	}
+
+	// Wrong model dims must be rejected explicitly.
+	m3 := identitySum(3)
+	if _, err := LoadRipple(bytes.NewReader(full), m3, Config{}); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("dims mismatch err = %v", err)
+	}
+}
+
+// --- request-based (lazy) serving ---
+
+func TestLazyQueriesMatchEagerLabels(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggSum, Dims: []int{5, 6, 4}, Seed: 73}
+	w := newTestWorld(t, spec, 30, 120, 409)
+	g, emb := w.bootstrap()
+	eager, err := NewRipple(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := NewLazy(w.g.Clone(), w.model, w.xClone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		batch := w.randomBatch(6)
+		if _, err := eager.ApplyBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		res, err := lazy.ApplyBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Affected != 0 || res.PropagateTime != 0 {
+			t.Error("lazy engine should not propagate")
+		}
+		// Lazy must need re-syncing of its feature mirror: randomBatch
+		// already mutated w.x which lazy shares a clone of, so apply
+		// feature updates explicitly through the batch (done above).
+		for u := graph.VertexID(0); u < 30; u++ {
+			le := lazy.QueryEmbedding(u)
+			ee := eager.Embeddings().H[w.model.L()][u]
+			if d := le.MaxAbsDiff(ee); d > embTol {
+				t.Fatalf("round %d: lazy embedding at %d differs by %v", round, u, d)
+			}
+			if lazy.Query(u) != eager.Label(u) {
+				// Permit boundary flips only when logits are within tol.
+				gap := ee[ee.ArgMax()] - ee[lazy.Query(u)]
+				if gap > embTol {
+					t.Fatalf("round %d: label mismatch at %d (gap %v)", round, u, gap)
+				}
+			}
+		}
+	}
+}
+
+func TestLazyValidation(t *testing.T) {
+	g := graph.New(3)
+	m := identitySum(2)
+	if _, err := NewLazy(g, m, nil); err == nil {
+		t.Error("expected error for missing features")
+	}
+	wrongWidth := []tensor.Vector{{1, 2}, {1, 2}, {1, 2}}
+	if _, err := NewLazy(g, m, wrongWidth); err == nil {
+		t.Error("expected error for wrong feature width")
+	}
+}
+
+func TestLazyUpdateCostIsTopologyOnly(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GINConv, Agg: gnn.AggSum, Dims: []int{5, 6, 4}, Seed: 79}
+	w := newTestWorld(t, spec, 40, 160, 419)
+	lazy, err := NewLazy(w.g.Clone(), w.model, w.xClone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lazy.ApplyBatch(w.randomBatch(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VectorOps != 0 || res.Messages != 0 {
+		t.Error("lazy updates should do no numerical work")
+	}
+	if lazy.Name() != "Lazy" {
+		t.Error("name wrong")
+	}
+}

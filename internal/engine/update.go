@@ -1,0 +1,118 @@
+// Package engine implements the paper's core contribution: Ripple's
+// incremental, strictly look-forward update propagation for streaming GNN
+// inference (§4), together with the comparison baselines the evaluation
+// uses — layer-wise recompute (RC), vertex-wise recompute (NC), DGL-style
+// immutable-graph variants (DRC/DNC) and their simulated-accelerator
+// counterparts (DRG/DNG).
+//
+// All strategies consume the same Update stream and, by construction,
+// converge to identical embeddings (they differ only in cost); this
+// equivalence is the package's central test invariant.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// UpdateKind discriminates the three streaming graph update types the
+// paper supports (§4.1): edge additions, edge deletions, and vertex
+// feature changes. Vertex addition/deletion is future work in the paper
+// and unsupported here too.
+type UpdateKind uint8
+
+const (
+	// EdgeAdd inserts the directed edge U→V with the given Weight.
+	EdgeAdd UpdateKind = iota + 1
+	// EdgeDelete removes the directed edge U→V.
+	EdgeDelete
+	// FeatureUpdate replaces vertex U's input features with Features.
+	FeatureUpdate
+)
+
+// String returns the update kind's name.
+func (k UpdateKind) String() string {
+	switch k {
+	case EdgeAdd:
+		return "edge-add"
+	case EdgeDelete:
+		return "edge-delete"
+	case FeatureUpdate:
+		return "feature-update"
+	default:
+		return fmt.Sprintf("UpdateKind(%d)", uint8(k))
+	}
+}
+
+// Update is one streaming graph update. The hop-0 vertex of an edge update
+// is the source U; of a feature update, the updated vertex U (§5.2 uses
+// this to route updates to workers).
+type Update struct {
+	Kind     UpdateKind
+	U, V     graph.VertexID // V unused for FeatureUpdate
+	Weight   float32        // EdgeAdd only
+	Features tensor.Vector  // FeatureUpdate only; width = model input dim
+}
+
+// Source returns the hop-0 vertex of the update.
+func (u Update) Source() graph.VertexID { return u.U }
+
+// ErrBadUpdate wraps batch validation failures.
+var ErrBadUpdate = errors.New("engine: invalid update")
+
+// BatchResult reports the cost and reach of applying one update batch —
+// the raw material for every figure in the paper's evaluation.
+type BatchResult struct {
+	// Updates is the number of updates in the batch.
+	Updates int
+	// Affected is the number of distinct vertices whose embeddings were
+	// recomputed at any hop (the propagation tree size of Figs. 2b/11).
+	Affected int
+	// FrontierPerHop is the per-hop frontier size, hop 1..L.
+	FrontierPerHop []int
+	// Messages is the number of delta/structural messages deposited into
+	// mailboxes (Ripple) or neighbour embeddings pulled (recompute).
+	Messages int64
+	// VectorOps counts vector-level numerical operations in aggregation:
+	// k per recomputed vertex for RC, 2k′ for Ripple (§4.3.3).
+	VectorOps int64
+	// KernelLaunches counts layer-batch kernel invocations, the quantity
+	// the accelerator cost model charges launch overhead for.
+	KernelLaunches int64
+	// UpdateTime is the wall time spent applying topology/feature changes
+	// (including CSR rebuilds for the DGL-style baselines).
+	UpdateTime time.Duration
+	// PropagateTime is the wall time spent recomputing embeddings.
+	PropagateTime time.Duration
+	// SimulatedTime, when non-zero, is the accelerator cost model's
+	// estimate for the propagate phase (DRG/DNG strategies).
+	SimulatedTime time.Duration
+	// LabelChanges lists the vertices whose predicted class flipped in
+	// this batch (only populated when Config.TrackLabels is set) — the
+	// trigger-based notification stream of §2.2.
+	LabelChanges []LabelChange
+}
+
+// Total returns the end-to-end batch latency: update + propagate (or the
+// simulated propagate time for accelerator strategies).
+func (r BatchResult) Total() time.Duration {
+	if r.SimulatedTime > 0 {
+		return r.UpdateTime + r.SimulatedTime
+	}
+	return r.UpdateTime + r.PropagateTime
+}
+
+// Strategy is the common face of all inference-maintenance strategies, so
+// benchmarks and the distributed runtime can drive them interchangeably.
+type Strategy interface {
+	// Name returns the strategy's short name as used in the paper's
+	// figures (e.g. "Ripple", "RC", "DRC").
+	Name() string
+	// ApplyBatch applies one batch of updates and refreshes the affected
+	// predictions.
+	ApplyBatch(batch []Update) (BatchResult, error)
+}

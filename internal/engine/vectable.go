@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"sort"
+
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// vecTable is a dense vertex→vector table with O(1) lookup, deterministic
+// iteration, and pooled storage. It backs both the per-hop mailboxes and
+// the per-hop old-embedding tables of the Ripple engine.
+//
+// The dense []tensor.Vector layout (nil = absent) trades O(n) pointers per
+// layer for map-free access: the evaluation's dense graphs routinely touch
+// large fractions of all vertices per batch (Fig. 2b shows up to 80% for
+// Products), where map overhead dominates.
+type vecTable struct {
+	width   int
+	slots   []tensor.Vector // indexed by vertex id; nil when absent
+	touched []graph.VertexID
+	pool    []tensor.Vector // zeroed vectors ready for reuse
+}
+
+func newVecTable(n, width int) *vecTable {
+	return &vecTable{width: width, slots: make([]tensor.Vector, n)}
+}
+
+// Get returns the vector for u, allocating (or reusing) a zeroed one on
+// first touch.
+func (t *vecTable) Get(u graph.VertexID) tensor.Vector {
+	if v := t.slots[u]; v != nil {
+		return v
+	}
+	var v tensor.Vector
+	if k := len(t.pool); k > 0 {
+		v = t.pool[k-1]
+		t.pool = t.pool[:k-1]
+	} else {
+		v = tensor.NewVector(t.width)
+	}
+	t.slots[u] = v
+	t.touched = append(t.touched, u)
+	return v
+}
+
+// Lookup returns the vector for u, or nil if u has not been touched.
+func (t *vecTable) Lookup(u graph.VertexID) tensor.Vector { return t.slots[u] }
+
+// Has reports whether u has been touched.
+func (t *vecTable) Has(u graph.VertexID) bool { return t.slots[u] != nil }
+
+// Len returns the number of touched vertices.
+func (t *vecTable) Len() int { return len(t.touched) }
+
+// SortedTouched sorts the touched list in place and returns it. Sorting
+// makes frontier iteration — and therefore floating-point accumulation
+// order — deterministic across runs, preserving the paper's deterministic-
+// inference guarantee.
+func (t *vecTable) SortedTouched() []graph.VertexID {
+	sort.Slice(t.touched, func(i, j int) bool { return t.touched[i] < t.touched[j] })
+	return t.touched
+}
+
+// Grow extends the table to cover one more vertex.
+func (t *vecTable) Grow() { t.slots = append(t.slots, nil) }
+
+// Reset clears the table, zeroing and recycling all touched vectors.
+func (t *vecTable) Reset() {
+	for _, u := range t.touched {
+		v := t.slots[u]
+		v.Zero()
+		t.pool = append(t.pool, v)
+		t.slots[u] = nil
+	}
+	t.touched = t.touched[:0]
+}

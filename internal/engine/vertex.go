@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"fmt"
+
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// This file implements vertex addition and removal for the Ripple engine —
+// the update types the paper defers to future work (§8). Both compose
+// from the exact primitives the engine already has:
+//
+//   - Addition grows the state and computes the isolated vertex's
+//     embedding chain locally (an isolated vertex aggregates nothing, so
+//     no propagation is needed until edges arrive).
+//   - Removal streams exact edge-deletions for every incident edge — the
+//     cascade is identical to deleting those edges one by one — then
+//     tombstones the vertex. Ids are never reused.
+
+// ErrVertexRemoved is returned for operations touching a removed vertex.
+var ErrVertexRemoved = fmt.Errorf("engine: vertex removed")
+
+// AddVertex appends a new vertex with the given features, computes its
+// (edge-free) embeddings, and returns its id. The vertex participates in
+// future updates like any other; connect it by streaming EdgeAdd updates.
+func (r *Ripple) AddVertex(features tensor.Vector) (graph.VertexID, error) {
+	if len(features) != r.model.Dims[0] {
+		return 0, fmt.Errorf("%w: feature width %d, want %d", ErrBadUpdate, len(features), r.model.Dims[0])
+	}
+	id := r.g.AddVertex()
+	if got := r.emb.Grow(); got != int(id) {
+		panic(fmt.Sprintf("engine: embeddings grew to %d, graph to %d", got, id))
+	}
+	for l := 0; l <= r.model.L(); l++ {
+		r.oldH[l].Grow()
+		if l > 0 {
+			r.mailbox[l].Grow()
+		}
+	}
+	r.affectedStamp = append(r.affectedStamp, 0)
+	if r.removed != nil {
+		r.removed = append(r.removed, false)
+	}
+
+	// Embedding chain of an isolated vertex: zero aggregate at every hop.
+	r.emb.H[0][id].CopyFrom(features)
+	zeroAgg := tensor.NewVector(r.model.MaxDim())
+	for l := 1; l <= r.model.L(); l++ {
+		layer := r.model.Layers[l-1]
+		layer.UpdateInto(r.emb.H[l][id], r.emb.H[l-1][id], zeroAgg[:layer.In], 0, r.scratch)
+	}
+	return id, nil
+}
+
+// RemoveVertex disconnects u by streaming exact edge-deletions for all its
+// incident edges (propagating their effects to the rest of the graph),
+// zeroes its features, and tombstones it: further updates touching u are
+// rejected and Label reports -1. The id is not reused.
+func (r *Ripple) RemoveVertex(u graph.VertexID) (BatchResult, error) {
+	if err := r.checkLive(u); err != nil {
+		return BatchResult{}, err
+	}
+	incident := r.g.IncidentEdges(u)
+	batch := make([]Update, 0, len(incident)+1)
+	for _, e := range incident {
+		batch = append(batch, Update{Kind: EdgeDelete, U: e.From, V: e.To})
+	}
+	// Zero the features so the tombstoned vertex holds no stale signal
+	// (no out-edges remain, so this propagates nowhere).
+	batch = append(batch, Update{Kind: FeatureUpdate, U: u, Features: tensor.NewVector(r.model.Dims[0])})
+	res, err := r.ApplyBatch(batch)
+	if err != nil {
+		return res, err
+	}
+	if r.removed == nil {
+		r.removed = make([]bool, r.g.NumVertices())
+	}
+	for len(r.removed) < r.g.NumVertices() {
+		r.removed = append(r.removed, false)
+	}
+	r.removed[u] = true
+	return res, nil
+}
+
+// Removed reports whether u has been tombstoned.
+func (r *Ripple) Removed(u graph.VertexID) bool {
+	return r.removed != nil && int(u) < len(r.removed) && r.removed[u]
+}
+
+// checkLive rejects operations on tombstoned vertices.
+func (r *Ripple) checkLive(u graph.VertexID) error {
+	if u < 0 || int(u) >= r.g.NumVertices() {
+		return fmt.Errorf("%w: vertex %d out of range", ErrBadUpdate, u)
+	}
+	if r.Removed(u) {
+		return fmt.Errorf("%w: %d", ErrVertexRemoved, u)
+	}
+	return nil
+}

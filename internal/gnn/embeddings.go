@@ -1,0 +1,117 @@
+package gnn
+
+import (
+	"fmt"
+
+	"ripple/internal/tensor"
+)
+
+// Embeddings holds the per-vertex state of layer-wise inference: the
+// embeddings h^l for l ∈ [0..L] and the raw aggregates A^l for l ∈ [1..L].
+//
+// Storing A (the un-normalised Σ α·h over in-neighbours) alongside h is the
+// core state design from the paper's incremental model: folding a delta
+// message into A costs O(1) vector ops instead of re-aggregating all k
+// in-neighbours, and mean stays exact because normalisation by the live
+// in-degree happens at Update time.
+type Embeddings struct {
+	N    int
+	Dims []int             // [featDim, hidden..., classes]
+	H    [][]tensor.Vector // H[l][u], l ∈ [0..L]
+	A    [][]tensor.Vector // A[l][u], l ∈ [1..L]; A[0] is nil
+}
+
+// NewEmbeddings allocates zeroed embedding storage for n vertices. Each
+// layer's vectors share one contiguous backing array for cache locality.
+func NewEmbeddings(n int, dims []int) *Embeddings {
+	if len(dims) < 2 {
+		panic(fmt.Sprintf("gnn: NewEmbeddings needs >=2 dims, got %v", dims))
+	}
+	e := &Embeddings{
+		N:    n,
+		Dims: append([]int(nil), dims...),
+		H:    make([][]tensor.Vector, len(dims)),
+		A:    make([][]tensor.Vector, len(dims)),
+	}
+	for l, d := range dims {
+		e.H[l] = sliceStore(n, d)
+		if l > 0 {
+			// A^l aggregates layer-(l-1) embeddings, so it has their width.
+			e.A[l] = sliceStore(n, dims[l-1])
+		}
+	}
+	return e
+}
+
+// sliceStore returns n vectors of width d carved out of one backing array.
+func sliceStore(n, d int) []tensor.Vector {
+	backing := make([]float32, n*d)
+	vecs := make([]tensor.Vector, n)
+	for i := 0; i < n; i++ {
+		vecs[i] = backing[i*d : (i+1)*d : (i+1)*d]
+	}
+	return vecs
+}
+
+// L returns the number of GNN layers.
+func (e *Embeddings) L() int { return len(e.Dims) - 1 }
+
+// Grow appends zeroed embedding/aggregate rows for one new vertex and
+// returns its index (vertex-addition support, the paper's §8 extension).
+func (e *Embeddings) Grow() int {
+	for l, d := range e.Dims {
+		e.H[l] = append(e.H[l], tensor.NewVector(d))
+		if l > 0 {
+			e.A[l] = append(e.A[l], tensor.NewVector(e.Dims[l-1]))
+		}
+	}
+	e.N++
+	return e.N - 1
+}
+
+// Label returns the predicted class of vertex u: argmax of its final-layer
+// embedding.
+func (e *Embeddings) Label(u int32) int { return e.H[e.L()][u].ArgMax() }
+
+// Clone returns a deep copy of the embedding state.
+func (e *Embeddings) Clone() *Embeddings {
+	c := NewEmbeddings(e.N, e.Dims)
+	for l := range e.H {
+		for u := 0; u < e.N; u++ {
+			c.H[l][u].CopyFrom(e.H[l][u])
+			if l > 0 {
+				c.A[l][u].CopyFrom(e.A[l][u])
+			}
+		}
+	}
+	return c
+}
+
+// MaxAbsDiff returns the largest absolute difference across all embeddings
+// (all layers, all vertices) between e and o. Used to assert equivalence of
+// inference strategies.
+func (e *Embeddings) MaxAbsDiff(o *Embeddings) float32 {
+	var m float32
+	for l := range e.H {
+		for u := 0; u < e.N; u++ {
+			if d := e.H[l][u].MaxAbsDiff(o.H[l][u]); d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// MemoryBytes estimates the resident size of the embedding state, the
+// quantity that drives the paper's single-machine-vs-distributed decision
+// (Papers needs ≈500 GiB).
+func (e *Embeddings) MemoryBytes() int64 {
+	var total int64
+	for l, d := range e.Dims {
+		total += int64(e.N) * int64(d) * 4 // H
+		if l > 0 {
+			total += int64(e.N) * int64(d) * 4 // A
+		}
+	}
+	return total
+}

@@ -1,0 +1,68 @@
+package gnn
+
+import (
+	"fmt"
+
+	"ripple/internal/graph"
+	"ripple/internal/par"
+	"ripple/internal/tensor"
+)
+
+// Coeff returns the aggregation coefficient α for an edge with the given
+// stored weight: 1 for sum and mean (mean divides by degree at Update
+// time), the edge weight for weighted sum. The engine's delta messages use
+// the same coefficient, which is what makes incremental and full
+// computation bit-compatible in structure.
+func Coeff(agg Aggregator, edgeWeight float32) float32 {
+	if agg == AggWeighted {
+		return edgeWeight
+	}
+	return 1
+}
+
+// Forward runs full layer-wise inference over the whole graph: for each
+// layer it computes the raw aggregate A^l and embedding h^l of every
+// vertex, parallelised across vertices. X provides the input features
+// (h^0); len(X) must equal g.NumVertices() and each feature vector must
+// have width m.Dims[0].
+//
+// This is the bootstrap step of the paper (§4.1): it produces the initial
+// embedding state that streaming updates are then applied to. It is also
+// the ground-truth oracle the tests compare every incremental strategy
+// against.
+func Forward(g *graph.Graph, m *Model, x []tensor.Vector) (*Embeddings, error) {
+	n := g.NumVertices()
+	if len(x) != n {
+		return nil, fmt.Errorf("gnn: Forward got %d feature rows for %d vertices", len(x), n)
+	}
+	e := NewEmbeddings(n, m.Dims)
+	for u := 0; u < n; u++ {
+		if len(x[u]) != m.Dims[0] {
+			return nil, fmt.Errorf("gnn: feature row %d has width %d, want %d", u, len(x[u]), m.Dims[0])
+		}
+		e.H[0][u].CopyFrom(x[u])
+	}
+	ForwardLayers(g, m, e, 1)
+	return e, nil
+}
+
+// ForwardLayers recomputes layers [fromLayer..L] of e for all vertices from
+// the current H[fromLayer-1] and topology. fromLayer must be in [1..L].
+func ForwardLayers(g *graph.Graph, m *Model, e *Embeddings, fromLayer int) {
+	n := g.NumVertices()
+	for l := fromLayer; l <= m.L(); l++ {
+		layer := m.Layers[l-1]
+		par.For(n, func(lo, hi int) {
+			s := NewScratch(m.MaxDim())
+			for u := lo; u < hi; u++ {
+				uid := graph.VertexID(u)
+				agg := e.A[l][u]
+				agg.Zero()
+				for _, in := range g.In(uid) {
+					agg.AXPY(Coeff(m.Agg, in.Weight), e.H[l-1][in.Peer])
+				}
+				layer.UpdateInto(e.H[l][u], e.H[l-1][u], agg, g.InDegree(uid), s)
+			}
+		})
+	}
+}

@@ -1,0 +1,276 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// makeEdgeList builds n edges with distinct peers for sampling tests.
+func makeEdgeList(n int) []graph.Edge {
+	list := make([]graph.Edge, n)
+	for i := range list {
+		list[i] = graph.Edge{Peer: int32(i), Weight: 1}
+	}
+	return list
+}
+
+// randomGraph builds a seeded random directed graph.
+func randomGraph(t testing.TB, n, edges int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 0; i < edges; i++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		w := 0.1 + rng.Float32()
+		_ = g.AddEdge(u, v, w) // duplicate attempts ignored
+	}
+	return g
+}
+
+// randomFeatures builds seeded features of width d.
+func randomFeatures(n, d int, seed int64) []tensor.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]tensor.Vector, n)
+	for i := range x {
+		x[i] = tensor.NewVector(d)
+		for j := range x[i] {
+			x[i][j] = rng.Float32()*2 - 1
+		}
+	}
+	return x
+}
+
+func allSpecs() []Spec {
+	var specs []Spec
+	for _, kind := range []ModelKind{GraphConv, GraphSAGE, GINConv} {
+		for _, agg := range []Aggregator{AggSum, AggMean, AggWeighted} {
+			specs = append(specs, Spec{Kind: kind, Agg: agg, Dims: []int{6, 5, 4}, Seed: 11})
+		}
+	}
+	return specs
+}
+
+// naiveForward recomputes embeddings with the simplest possible serial
+// reference implementation, independent of the production code paths.
+func naiveForward(g *graph.Graph, m *Model, x []tensor.Vector) [][]tensor.Vector {
+	n := g.NumVertices()
+	h := make([][]tensor.Vector, m.L()+1)
+	h[0] = make([]tensor.Vector, n)
+	for u := 0; u < n; u++ {
+		h[0][u] = x[u].Clone()
+	}
+	s := NewScratch(m.MaxDim())
+	for l := 1; l <= m.L(); l++ {
+		layer := m.Layers[l-1]
+		h[l] = make([]tensor.Vector, n)
+		for u := 0; u < n; u++ {
+			uid := graph.VertexID(u)
+			agg := tensor.NewVector(layer.In)
+			for _, in := range g.In(uid) {
+				agg.AXPY(Coeff(m.Agg, in.Weight), h[l-1][in.Peer])
+			}
+			dst := tensor.NewVector(layer.Out)
+			layer.UpdateInto(dst, h[l-1][u], agg, g.InDegree(uid), s)
+			h[l][u] = dst
+		}
+	}
+	return h
+}
+
+func TestForwardMatchesNaiveReference(t *testing.T) {
+	g := randomGraph(t, 60, 300, 3)
+	x := randomFeatures(60, 6, 4)
+	for _, spec := range allSpecs() {
+		m, err := NewModel(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := Forward(g, m, x)
+		if err != nil {
+			t.Fatalf("%v: Forward: %v", m, err)
+		}
+		ref := naiveForward(g, m, x)
+		for l := 0; l <= m.L(); l++ {
+			for u := 0; u < 60; u++ {
+				if d := e.H[l][u].MaxAbsDiff(ref[l][u]); d > 1e-4 {
+					t.Fatalf("%v: H[%d][%d] diff %v", m, l, u, d)
+				}
+			}
+		}
+	}
+}
+
+func TestForwardPaperFigure3Shape(t *testing.T) {
+	// The 6-vertex graph of Fig. 3 (edges oriented toward the aggregating
+	// vertex). A 2-layer sum GNN with identity weights reproduces the
+	// hand-computable aggregation cascade.
+	//
+	// Vertices: A=0 B=1 C=2 D=3 E=4 F=5.
+	g := graph.New(6)
+	edges := [][2]graph.VertexID{
+		{1, 0}, {2, 0}, {3, 0}, // B,C,D → A
+		{0, 1},         // A → B
+		{0, 3}, {2, 3}, // A,C → D
+		{5, 2}, // F → C
+		{2, 4}, // C → E
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Identity-weight 1-dim GC-S: h^l_u = Σ_{v∈In(u)} h^{l-1}_v.
+	m := identitySumModel(2)
+	x := []tensor.Vector{{1}, {2}, {3}, {4}, {5}, {6}}
+	e, err := Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h1: A=2+3+4=9, B=1, C=6, D=1+3=4, E=3, F=0
+	wantH1 := []float32{9, 1, 6, 4, 3, 0}
+	for u, want := range wantH1 {
+		if got := e.H[1][u][0]; got != want {
+			t.Errorf("h1[%d] = %v, want %v", u, got, want)
+		}
+	}
+	// h2: A=1+6+4=11, B=9, C=0, D=9+6=15, E=6, F=0
+	wantH2 := []float32{11, 9, 0, 15, 6, 0}
+	for u, want := range wantH2 {
+		if got := e.H[2][u][0]; got != want {
+			t.Errorf("h2[%d] = %v, want %v", u, got, want)
+		}
+	}
+}
+
+// identitySumModel builds an L-layer 1-dim GraphConv/sum model whose Update
+// is the identity, so embeddings equal pure neighbourhood sums —
+// hand-checkable against the paper's figures.
+func identitySumModel(layers int) *Model {
+	dims := make([]int, layers+1)
+	for i := range dims {
+		dims[i] = 1
+	}
+	m := &Model{Kind: GraphConv, Agg: AggSum, Dims: dims}
+	for l := 0; l < layers; l++ {
+		m.Layers = append(m.Layers, &Layer{
+			Kind: GraphConv, Agg: AggSum, Act: tensor.ActIdentity,
+			In: 1, Out: 1,
+			WNeigh: tensor.NewMatrixFrom(1, 1, []float32{1}),
+			B:      tensor.NewVector(1),
+		})
+	}
+	return m
+}
+
+func TestForwardValidation(t *testing.T) {
+	g := graph.New(3)
+	m, err := NewModel(Spec{Kind: GraphConv, Agg: AggSum, Dims: []int{4, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Forward(g, m, make([]tensor.Vector, 2)); err == nil {
+		t.Error("expected error for wrong feature row count")
+	}
+	x := []tensor.Vector{tensor.NewVector(4), tensor.NewVector(3), tensor.NewVector(4)}
+	if _, err := Forward(g, m, x); err == nil {
+		t.Error("expected error for wrong feature width")
+	}
+}
+
+func TestVertexWiseMatchesLayerWise(t *testing.T) {
+	g := randomGraph(t, 40, 160, 7)
+	x := randomFeatures(40, 6, 8)
+	for _, spec := range allSpecs() {
+		m, err := NewModel(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := Forward(g, m, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := graph.VertexID(0); u < 40; u++ {
+			got := InferVertex(g, m, x, u)
+			if d := got.MaxAbsDiff(e.H[m.L()][u]); d > 1e-4 {
+				t.Fatalf("%v: vertex-wise h[%d] differs from layer-wise by %v", m, u, d)
+			}
+		}
+	}
+}
+
+func TestSampledInferenceConvergesToExact(t *testing.T) {
+	g := randomGraph(t, 50, 400, 9)
+	x := randomFeatures(50, 6, 10)
+	m, err := NewWorkload("GS-S", []int{6, 8, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fanout larger than any in-degree must be exact.
+	rng := rand.New(rand.NewSource(5))
+	for u := graph.VertexID(0); u < 50; u++ {
+		got := InferVertexSampled(g, m, x, u, 64, rng)
+		if d := got.MaxAbsDiff(e.H[m.L()][u]); d > 1e-4 {
+			t.Fatalf("fanout>=deg sampled differs at %d by %v", u, d)
+		}
+	}
+	// Agreement (accuracy proxy) should not decrease with fanout, within
+	// sampling noise: check fanout 2 <= fanout 16 + slack.
+	agree := func(fanout int) float64 {
+		rng := rand.New(rand.NewSource(77))
+		hits := 0
+		for u := graph.VertexID(0); u < 50; u++ {
+			if InferVertexSampled(g, m, x, u, fanout, rng).ArgMax() == e.Label(int32(u)) {
+				hits++
+			}
+		}
+		return float64(hits) / 50
+	}
+	lo, hi := agree(2), agree(16)
+	if hi < lo-0.15 {
+		t.Errorf("agreement fell sharply with larger fanout: f2=%v f16=%v", lo, hi)
+	}
+}
+
+func TestEmbeddingsCloneAndDiff(t *testing.T) {
+	g := randomGraph(t, 10, 30, 1)
+	x := randomFeatures(10, 6, 2)
+	m, err := NewModel(Spec{Kind: GraphSAGE, Agg: AggSum, Dims: []int{6, 4, 3}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Clone()
+	if e.MaxAbsDiff(c) != 0 {
+		t.Error("clone differs from original")
+	}
+	c.H[1][0][0] += 5
+	if e.MaxAbsDiff(c) != 5 {
+		t.Errorf("MaxAbsDiff = %v, want 5", e.MaxAbsDiff(c))
+	}
+	if e.H[1][0][0] == c.H[1][0][0] {
+		t.Error("clone shares storage")
+	}
+	if e.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes must be positive")
+	}
+}
+
+func TestEmbeddingsLabel(t *testing.T) {
+	e := NewEmbeddings(2, []int{3, 4})
+	e.H[1][0].CopyFrom(tensor.Vector{0, 5, 2, 1})
+	e.H[1][1].CopyFrom(tensor.Vector{9, 0, 0, 0})
+	if e.Label(0) != 1 || e.Label(1) != 0 {
+		t.Error("Label argmax wrong")
+	}
+}

@@ -1,0 +1,275 @@
+// Package gnn implements the GNN model substrate: GraphConv, GraphSAGE and
+// GINConv layers over linear aggregation functions (sum, mean, weighted
+// sum), full layer-wise inference over a graph, and sampled vertex-wise
+// inference. It replaces the DGL/PyTorch stack of the reference
+// implementation; weights are deterministic functions of a seed, standing
+// in for trained parameters (see DESIGN.md §1).
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ripple/internal/tensor"
+)
+
+// Aggregator selects the linear neighbourhood aggregation function
+// (paper Table 1). All three commute and distribute over deltas, which is
+// the property Ripple's incremental messages rely on.
+type Aggregator uint8
+
+const (
+	// AggSum is h_i = Σ_{j∈N(i)} h_j.
+	AggSum Aggregator = iota + 1
+	// AggMean is h_i = (1/|N(i)|) Σ_{j∈N(i)} h_j.
+	AggMean
+	// AggWeighted is h_i = Σ_{j∈N(i)} α_ij·h_j with per-edge static α.
+	AggWeighted
+)
+
+// String returns the aggregator's name.
+func (a Aggregator) String() string {
+	switch a {
+	case AggSum:
+		return "sum"
+	case AggMean:
+		return "mean"
+	case AggWeighted:
+		return "weighted"
+	default:
+		return fmt.Sprintf("Aggregator(%d)", uint8(a))
+	}
+}
+
+// ModelKind selects the layer architecture.
+type ModelKind uint8
+
+const (
+	// GraphConv is h_u = σ(W·agg + b): pure neighbour aggregation, no self
+	// term (Kipf & Welling style, with the normalisation expressed through
+	// the chosen aggregator).
+	GraphConv ModelKind = iota + 1
+	// GraphSAGE is h_u = σ(W_self·h_u + W_neigh·agg + b) (Hamilton et al.).
+	GraphSAGE
+	// GINConv is h_u = σ(MLP((1+ε)·h_u + agg)) with a 2-layer ReLU MLP
+	// (Xu et al.).
+	GINConv
+)
+
+// String returns the model kind's name.
+func (k ModelKind) String() string {
+	switch k {
+	case GraphConv:
+		return "GraphConv"
+	case GraphSAGE:
+		return "GraphSAGE"
+	case GINConv:
+		return "GINConv"
+	default:
+		return fmt.Sprintf("ModelKind(%d)", uint8(k))
+	}
+}
+
+// SelfDependent reports whether a layer's output depends on the vertex's
+// own previous-layer embedding (through W_self or the (1+ε) term). When
+// true, a change to h^{l-1}_u forces h^l_u to be recomputed even if no
+// in-neighbour changed, so the propagation frontier includes the vertex
+// itself.
+func (k ModelKind) SelfDependent() bool { return k == GraphSAGE || k == GINConv }
+
+// Layer is one GNN layer: the Aggregate function (selected by Agg) plus the
+// learnable Update function (the weight matrices) and the activation.
+type Layer struct {
+	Kind ModelKind
+	Agg  Aggregator
+	Act  tensor.Activation
+	In   int // input embedding dimension
+	Out  int // output embedding dimension
+
+	// GraphConv and GraphSAGE parameters.
+	WNeigh *tensor.Matrix // Out×In
+	WSelf  *tensor.Matrix // Out×In (GraphSAGE only)
+	B      tensor.Vector  // Out
+
+	// GINConv parameters: MLP(z) = W2·relu(W1·z + B1) + B2 with hidden
+	// width equal to Out.
+	Eps float32
+	W1  *tensor.Matrix // Out×In
+	B1  tensor.Vector  // Out
+	W2  *tensor.Matrix // Out×Out
+	B2  tensor.Vector  // Out
+}
+
+// Scratch holds per-caller temporary buffers so Layer.UpdateInto performs
+// no allocation on the hot path. One Scratch must not be shared across
+// goroutines.
+type Scratch struct {
+	a tensor.Vector
+	b tensor.Vector
+}
+
+// NewScratch returns scratch buffers able to serve layers whose dimensions
+// do not exceed maxDim.
+func NewScratch(maxDim int) *Scratch {
+	return &Scratch{a: tensor.NewVector(maxDim), b: tensor.NewVector(maxDim)}
+}
+
+// UpdateInto computes the layer output for one vertex:
+//
+//	dst = Update(hSelf, normalise(rawAgg, inDeg))
+//
+// rawAgg is the *raw* aggregate Σ α·h over in-neighbours (never divided by
+// degree); mean normalisation uses the live inDeg here. Keeping the raw sum
+// external is what lets the incremental engine fold O(k′) deltas into the
+// aggregate and still evaluate mean exactly under degree changes.
+//
+// dst must not alias hSelf or rawAgg.
+func (l *Layer) UpdateInto(dst, hSelf, rawAgg tensor.Vector, inDeg int, s *Scratch) {
+	agg := rawAgg
+	if l.Agg == AggMean {
+		norm := s.a[:l.In]
+		if inDeg > 0 {
+			inv := 1 / float32(inDeg)
+			for i, x := range rawAgg {
+				norm[i] = x * inv
+			}
+		} else {
+			norm.Zero()
+		}
+		agg = norm
+	}
+
+	switch l.Kind {
+	case GraphConv:
+		l.WNeigh.MatVec(dst, agg)
+		dst.Add(l.B)
+	case GraphSAGE:
+		l.WSelf.MatVec(dst, hSelf)
+		l.WNeigh.MatVecAcc(dst, agg)
+		dst.Add(l.B)
+	case GINConv:
+		z := s.b[:l.In]
+		for i := range z {
+			z[i] = (1+l.Eps)*hSelf[i] + agg[i]
+		}
+		hid := s.a[:l.Out] // safe: agg (aliasing s.a) is consumed into z above
+		l.W1.MatVec(hid, z)
+		hid.Add(l.B1)
+		tensor.ReLU(hid)
+		l.W2.MatVec(dst, hid)
+		dst.Add(l.B2)
+	default:
+		panic(fmt.Sprintf("gnn: unknown layer kind %v", l.Kind))
+	}
+	l.Act.Apply(dst)
+}
+
+// Model is an L-layer GNN for vertex classification. Dims[0] is the input
+// feature width and Dims[L] the number of classes; the predicted label of a
+// vertex is the argmax of its final-layer embedding.
+type Model struct {
+	Kind   ModelKind
+	Agg    Aggregator
+	Layers []*Layer
+	Dims   []int
+}
+
+// Spec configures NewModel.
+type Spec struct {
+	Kind ModelKind
+	Agg  Aggregator
+	// Dims is [featureDim, hidden..., numClasses]; len(Dims) = L+1.
+	Dims []int
+	// Seed determines the (stand-in for trained) weights.
+	Seed int64
+}
+
+// NewModel builds a model with deterministic Glorot-initialised weights.
+// Hidden layers use ReLU; the final layer is linear (logits).
+func NewModel(spec Spec) (*Model, error) {
+	if len(spec.Dims) < 2 {
+		return nil, fmt.Errorf("gnn: model needs at least 2 dims (feat, classes), got %v", spec.Dims)
+	}
+	for i, d := range spec.Dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("gnn: dims[%d] = %d must be positive", i, d)
+		}
+	}
+	switch spec.Kind {
+	case GraphConv, GraphSAGE, GINConv:
+	default:
+		return nil, fmt.Errorf("gnn: unknown model kind %v", spec.Kind)
+	}
+	switch spec.Agg {
+	case AggSum, AggMean, AggWeighted:
+	default:
+		return nil, fmt.Errorf("gnn: unknown aggregator %v", spec.Agg)
+	}
+
+	rng := rand.New(rand.NewSource(spec.Seed))
+	m := &Model{
+		Kind: spec.Kind,
+		Agg:  spec.Agg,
+		Dims: append([]int(nil), spec.Dims...),
+	}
+	numLayers := len(spec.Dims) - 1
+	for l := 0; l < numLayers; l++ {
+		in, out := spec.Dims[l], spec.Dims[l+1]
+		layer := &Layer{
+			Kind: spec.Kind,
+			Agg:  spec.Agg,
+			In:   in,
+			Out:  out,
+			Act:  tensor.ActReLU,
+		}
+		if l == numLayers-1 {
+			layer.Act = tensor.ActIdentity
+		}
+		switch spec.Kind {
+		case GraphConv:
+			layer.WNeigh = tensor.NewMatrix(out, in)
+			layer.WNeigh.GlorotInit(rng)
+			layer.B = tensor.NewVector(out)
+		case GraphSAGE:
+			layer.WSelf = tensor.NewMatrix(out, in)
+			layer.WSelf.GlorotInit(rng)
+			layer.WNeigh = tensor.NewMatrix(out, in)
+			layer.WNeigh.GlorotInit(rng)
+			layer.B = tensor.NewVector(out)
+		case GINConv:
+			layer.Eps = 0.1
+			layer.W1 = tensor.NewMatrix(out, in)
+			layer.W1.GlorotInit(rng)
+			layer.B1 = tensor.NewVector(out)
+			layer.W2 = tensor.NewMatrix(out, out)
+			layer.W2.GlorotInit(rng)
+			layer.B2 = tensor.NewVector(out)
+		}
+		m.Layers = append(m.Layers, layer)
+	}
+	return m, nil
+}
+
+// L returns the number of layers.
+func (m *Model) L() int { return len(m.Layers) }
+
+// MaxDim returns the largest dimension across all layers, the sizing bound
+// for Scratch buffers.
+func (m *Model) MaxDim() int {
+	max := 0
+	for _, d := range m.Dims {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// SelfDependent reports whether the architecture's layers depend on the
+// vertex's own previous-layer embedding.
+func (m *Model) SelfDependent() bool { return m.Kind.SelfDependent() }
+
+// String describes the model, e.g. "GraphSAGE-sum-2L[128 64 40]".
+func (m *Model) String() string {
+	return fmt.Sprintf("%v-%v-%dL%v", m.Kind, m.Agg, m.L(), m.Dims)
+}

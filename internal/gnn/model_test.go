@@ -1,0 +1,232 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"ripple/internal/tensor"
+)
+
+func TestNewModelValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		spec    Spec
+		wantErr bool
+	}{
+		{"valid GC", Spec{Kind: GraphConv, Agg: AggSum, Dims: []int{4, 3, 2}}, false},
+		{"valid SAGE", Spec{Kind: GraphSAGE, Agg: AggMean, Dims: []int{4, 2}}, false},
+		{"valid GIN", Spec{Kind: GINConv, Agg: AggSum, Dims: []int{4, 8, 8, 2}}, false},
+		{"too few dims", Spec{Kind: GraphConv, Agg: AggSum, Dims: []int{4}}, true},
+		{"zero dim", Spec{Kind: GraphConv, Agg: AggSum, Dims: []int{4, 0, 2}}, true},
+		{"bad kind", Spec{Kind: ModelKind(99), Agg: AggSum, Dims: []int{4, 2}}, true},
+		{"bad agg", Spec{Kind: GraphConv, Agg: Aggregator(99), Dims: []int{4, 2}}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m, err := NewModel(tt.spec)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewModel err = %v, wantErr = %v", err, tt.wantErr)
+			}
+			if err == nil && m.L() != len(tt.spec.Dims)-1 {
+				t.Errorf("L = %d, want %d", m.L(), len(tt.spec.Dims)-1)
+			}
+		})
+	}
+}
+
+func TestModelDeterministicWeights(t *testing.T) {
+	spec := Spec{Kind: GraphSAGE, Agg: AggSum, Dims: []int{8, 16, 4}, Seed: 42}
+	m1, err := NewModel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewModel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range m1.Layers {
+		if !m1.Layers[l].WNeigh.EqualWithin(m2.Layers[l].WNeigh, 0) {
+			t.Fatalf("layer %d WNeigh differs across identical seeds", l)
+		}
+		if !m1.Layers[l].WSelf.EqualWithin(m2.Layers[l].WSelf, 0) {
+			t.Fatalf("layer %d WSelf differs across identical seeds", l)
+		}
+	}
+	spec.Seed = 43
+	m3, err := NewModel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Layers[0].WNeigh.EqualWithin(m3.Layers[0].WNeigh, 0) {
+		t.Error("different seeds produced identical weights")
+	}
+}
+
+func TestLayerActivationsAcrossDepth(t *testing.T) {
+	m, err := NewModel(Spec{Kind: GraphConv, Agg: AggSum, Dims: []int{4, 8, 8, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < m.L()-1; l++ {
+		if m.Layers[l].Act != tensor.ActReLU {
+			t.Errorf("hidden layer %d activation = %v, want relu", l, m.Layers[l].Act)
+		}
+	}
+	if m.Layers[m.L()-1].Act != tensor.ActIdentity {
+		t.Error("final layer should be linear")
+	}
+}
+
+func TestSelfDependence(t *testing.T) {
+	if GraphConv.SelfDependent() {
+		t.Error("GraphConv must not be self-dependent")
+	}
+	if !GraphSAGE.SelfDependent() || !GINConv.SelfDependent() {
+		t.Error("GraphSAGE and GINConv must be self-dependent")
+	}
+}
+
+// UpdateInto against hand-computed references for each architecture.
+func TestUpdateIntoGraphConv(t *testing.T) {
+	l := &Layer{
+		Kind: GraphConv, Agg: AggSum, Act: tensor.ActIdentity,
+		In: 2, Out: 2,
+		WNeigh: tensor.NewMatrixFrom(2, 2, []float32{1, 0, 0, 2}),
+		B:      tensor.Vector{1, 1},
+	}
+	s := NewScratch(2)
+	dst := tensor.NewVector(2)
+	l.UpdateInto(dst, tensor.Vector{99, 99} /* ignored */, tensor.Vector{3, 4}, 5, s)
+	if !dst.EqualWithin(tensor.Vector{4, 9}, 1e-6) {
+		t.Errorf("GraphConv UpdateInto = %v, want [4 9]", dst)
+	}
+}
+
+func TestUpdateIntoGraphConvMean(t *testing.T) {
+	l := &Layer{
+		Kind: GraphConv, Agg: AggMean, Act: tensor.ActIdentity,
+		In: 2, Out: 2,
+		WNeigh: tensor.NewMatrixFrom(2, 2, []float32{1, 0, 0, 1}),
+		B:      tensor.Vector{0, 0},
+	}
+	s := NewScratch(2)
+	dst := tensor.NewVector(2)
+	l.UpdateInto(dst, nil, tensor.Vector{8, 4}, 4, s)
+	if !dst.EqualWithin(tensor.Vector{2, 1}, 1e-6) {
+		t.Errorf("mean UpdateInto = %v, want [2 1]", dst)
+	}
+	// Zero in-degree: aggregate contributes nothing (no division by zero).
+	l.UpdateInto(dst, nil, tensor.Vector{8, 4}, 0, s)
+	if !dst.EqualWithin(tensor.Vector{0, 0}, 1e-6) {
+		t.Errorf("mean deg-0 UpdateInto = %v, want zeros", dst)
+	}
+}
+
+func TestUpdateIntoGraphSAGE(t *testing.T) {
+	l := &Layer{
+		Kind: GraphSAGE, Agg: AggSum, Act: tensor.ActReLU,
+		In: 2, Out: 2,
+		WSelf:  tensor.NewMatrixFrom(2, 2, []float32{1, 0, 0, 1}),
+		WNeigh: tensor.NewMatrixFrom(2, 2, []float32{2, 0, 0, 2}),
+		B:      tensor.Vector{0, -100},
+	}
+	s := NewScratch(2)
+	dst := tensor.NewVector(2)
+	l.UpdateInto(dst, tensor.Vector{1, 1}, tensor.Vector{2, 3}, 2, s)
+	// pre-act: [1+4, 1+6-100] = [5, -93]; ReLU → [5, 0]
+	if !dst.EqualWithin(tensor.Vector{5, 0}, 1e-6) {
+		t.Errorf("SAGE UpdateInto = %v, want [5 0]", dst)
+	}
+}
+
+func TestUpdateIntoGINConv(t *testing.T) {
+	l := &Layer{
+		Kind: GINConv, Agg: AggSum, Act: tensor.ActIdentity,
+		In: 2, Out: 2, Eps: 0.5,
+		W1: tensor.NewMatrixFrom(2, 2, []float32{1, 0, 0, -1}),
+		B1: tensor.Vector{0, 0},
+		W2: tensor.NewMatrixFrom(2, 2, []float32{1, 1, 0, 1}),
+		B2: tensor.Vector{10, 20},
+	}
+	s := NewScratch(2)
+	dst := tensor.NewVector(2)
+	// z = 1.5*[2,2] + [1,-1] = [4,2]; W1z = [4,-2]; relu → [4,0];
+	// W2·[4,0] = [4,0]; +B2 = [14,20]
+	l.UpdateInto(dst, tensor.Vector{2, 2}, tensor.Vector{1, -1}, 1, s)
+	if !dst.EqualWithin(tensor.Vector{14, 20}, 1e-5) {
+		t.Errorf("GIN UpdateInto = %v, want [14 20]", dst)
+	}
+}
+
+func TestWorkloadSpecs(t *testing.T) {
+	wantKind := map[string]ModelKind{
+		"GC-S": GraphConv, "GS-S": GraphSAGE, "GC-M": GraphConv,
+		"GI-S": GINConv, "GC-W": GraphConv,
+	}
+	wantAgg := map[string]Aggregator{
+		"GC-S": AggSum, "GS-S": AggSum, "GC-M": AggMean,
+		"GI-S": AggSum, "GC-W": AggWeighted,
+	}
+	for _, name := range WorkloadNames {
+		m, err := NewWorkload(name, []int{8, 4, 3}, 1)
+		if err != nil {
+			t.Fatalf("NewWorkload(%s): %v", name, err)
+		}
+		if m.Kind != wantKind[name] || m.Agg != wantAgg[name] {
+			t.Errorf("%s = %v/%v, want %v/%v", name, m.Kind, m.Agg, wantKind[name], wantAgg[name])
+		}
+	}
+	if _, err := NewWorkload("bogus", []int{8, 4}, 1); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+}
+
+func TestCoeff(t *testing.T) {
+	if Coeff(AggSum, 7) != 1 || Coeff(AggMean, 7) != 1 {
+		t.Error("sum/mean coefficient must be 1 regardless of edge weight")
+	}
+	if Coeff(AggWeighted, 7) != 7 {
+		t.Error("weighted coefficient must be the edge weight")
+	}
+}
+
+func TestModelStringAndMaxDim(t *testing.T) {
+	m, err := NewModel(Spec{Kind: GraphConv, Agg: AggSum, Dims: []int{128, 64, 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxDim() != 128 {
+		t.Errorf("MaxDim = %d", m.MaxDim())
+	}
+	if got := m.String(); got != "GraphConv-sum-2L[128 64 40]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestAggregatorModelKindStrings(t *testing.T) {
+	if AggSum.String() != "sum" || AggMean.String() != "mean" || AggWeighted.String() != "weighted" {
+		t.Error("aggregator names wrong")
+	}
+	if GraphConv.String() != "GraphConv" || GraphSAGE.String() != "GraphSAGE" || GINConv.String() != "GINConv" {
+		t.Error("model kind names wrong")
+	}
+}
+
+func TestSampleEdgesDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	list := makeEdgeList(20)
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(20)
+		got := sampleEdges(list, k, rng)
+		if len(got) != k {
+			t.Fatalf("sampled %d, want %d", len(got), k)
+		}
+		seen := map[int32]bool{}
+		for _, e := range got {
+			if seen[e.Peer] {
+				t.Fatalf("duplicate peer %d in sample", e.Peer)
+			}
+			seen[e.Peer] = true
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// TestQuickAggregationLinearity: the raw aggregate A is linear in the
+// input embeddings — the exact property Ripple's delta messages rely on.
+// Verified by comparing A(x+y) with A(x)+A(y) on identity-update models
+// (no nonlinearity in the way).
+func TestQuickAggregationLinearity(t *testing.T) {
+	property := func(seed int64, rawX, rawY [12]int8) bool {
+		const n = 12
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(n)
+		for i := 0; i < 40; i++ {
+			// Power-of-two weights keep float arithmetic exact.
+			w := float32(int(1) << uint(rng.Intn(3)))
+			_ = g.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)), w)
+		}
+		xs := toFeatures(rawX)
+		ys := toFeatures(rawY)
+		sum := make([]tensor.Vector, n)
+		for i := range sum {
+			sum[i] = xs[i].Clone()
+			sum[i].Add(ys[i])
+		}
+		for _, agg := range []Aggregator{AggSum, AggWeighted} {
+			ax := aggregateOnce(g, agg, xs)
+			ay := aggregateOnce(g, agg, ys)
+			asum := aggregateOnce(g, agg, sum)
+			for u := 0; u < n; u++ {
+				combined := ax[u].Clone()
+				combined.Add(ay[u])
+				if combined.MaxAbsDiff(asum[u]) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// toFeatures expands int8 seeds into 1-dim feature vectors.
+func toFeatures(raw [12]int8) []tensor.Vector {
+	out := make([]tensor.Vector, len(raw))
+	for i, v := range raw {
+		out[i] = tensor.Vector{float32(v)}
+	}
+	return out
+}
+
+// aggregateOnce computes the hop-1 raw aggregates for 1-dim features.
+func aggregateOnce(g *graph.Graph, agg Aggregator, x []tensor.Vector) []tensor.Vector {
+	n := g.NumVertices()
+	out := make([]tensor.Vector, n)
+	for u := 0; u < n; u++ {
+		acc := tensor.NewVector(1)
+		for _, in := range g.In(graph.VertexID(u)) {
+			acc.AXPY(Coeff(agg, in.Weight), x[in.Peer])
+		}
+		out[u] = acc
+	}
+	return out
+}
+
+// TestQuickForwardDeterminism: two Forward passes over the same inputs are
+// bit-identical despite the parallel execution.
+func TestQuickForwardDeterminism(t *testing.T) {
+	property := func(graphSeed, featSeed int64, kindIdx uint8) bool {
+		kinds := []ModelKind{GraphConv, GraphSAGE, GINConv}
+		spec := Spec{Kind: kinds[int(kindIdx)%3], Agg: AggSum, Dims: []int{5, 6, 4}, Seed: 7}
+		m, err := NewModel(spec)
+		if err != nil {
+			return false
+		}
+		g := randomQuickGraph(graphSeed, 30, 120)
+		x := randomFeatures(30, 5, featSeed)
+		e1, err := Forward(g, m, x)
+		if err != nil {
+			return false
+		}
+		e2, err := Forward(g, m, x)
+		if err != nil {
+			return false
+		}
+		return e1.MaxAbsDiff(e2) == 0
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomQuickGraph(seed int64, n, m int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		_ = g.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)), 0.1+rng.Float32())
+	}
+	return g
+}
+
+// TestQuickEmbeddingsGrow: growing keeps existing rows intact and appends
+// zeroed rows of the right widths.
+func TestQuickEmbeddingsGrow(t *testing.T) {
+	property := func(nRaw, growRaw uint8) bool {
+		n := 1 + int(nRaw)%20
+		grows := int(growRaw) % 5
+		dims := []int{3, 4, 2}
+		e := NewEmbeddings(n, dims)
+		e.H[0][0][0] = 42
+		for i := 0; i < grows; i++ {
+			id := e.Grow()
+			if id != n+i {
+				return false
+			}
+			for l, d := range dims {
+				if len(e.H[l][id]) != d || !e.H[l][id].IsZero() {
+					return false
+				}
+				if l > 0 && len(e.A[l][id]) != dims[l-1] {
+					return false
+				}
+			}
+		}
+		return e.N == n+grows && e.H[0][0][0] == 42
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

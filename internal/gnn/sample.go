@@ -1,0 +1,88 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// vertexMemo caches per-(layer, vertex) embeddings during one vertex-wise
+// inference call. The memo is scoped to a single target on purpose: the
+// paper's point about vertex-wise inference (Fig. 1) is that computation
+// subgraphs of nearby targets overlap and the work is *not* shared between
+// them, which is exactly the redundancy layer-wise inference removes.
+type vertexMemo map[int64]tensor.Vector
+
+func memoKey(l int, u graph.VertexID) int64 { return int64(l)<<32 | int64(uint32(u)) }
+
+// InferVertex computes the exact final-layer embedding of target by
+// vertex-wise (computation-graph) inference over its full L-hop in-
+// neighbourhood. x provides h^0 for all vertices.
+func InferVertex(g *graph.Graph, m *Model, x []tensor.Vector, target graph.VertexID) tensor.Vector {
+	memo := vertexMemo{}
+	s := NewScratch(m.MaxDim())
+	return inferRec(g, m, x, target, m.L(), memo, s, 0, nil)
+}
+
+// InferVertexSampled computes the final-layer embedding of target using
+// neighbourhood sampling with the given fanout per hop (Fig. 2a). At each
+// vertex of the computation graph, at most fanout in-neighbours are drawn
+// without replacement. fanout <= 0 means no sampling (exact). Mean
+// aggregation normalises by the number of *sampled* neighbours, matching
+// sampled-inference semantics in DGL.
+func InferVertexSampled(g *graph.Graph, m *Model, x []tensor.Vector, target graph.VertexID, fanout int, rng *rand.Rand) tensor.Vector {
+	memo := vertexMemo{}
+	s := NewScratch(m.MaxDim())
+	return inferRec(g, m, x, target, m.L(), memo, s, fanout, rng)
+}
+
+// inferRec returns h^l_u, computing the subtree below it on demand.
+func inferRec(g *graph.Graph, m *Model, x []tensor.Vector, u graph.VertexID, l int, memo vertexMemo, s *Scratch, fanout int, rng *rand.Rand) tensor.Vector {
+	if l == 0 {
+		return x[u]
+	}
+	if h, ok := memo[memoKey(l, u)]; ok {
+		return h
+	}
+	layer := m.Layers[l-1]
+
+	neighbours := g.In(u)
+	sampled := neighbours
+	if fanout > 0 && len(neighbours) > fanout {
+		sampled = sampleEdges(neighbours, fanout, rng)
+	}
+
+	agg := tensor.NewVector(layer.In)
+	for _, in := range sampled {
+		agg.AXPY(Coeff(m.Agg, in.Weight), inferRec(g, m, x, in.Peer, l-1, memo, s, fanout, rng))
+	}
+
+	var hSelf tensor.Vector
+	if layer.Kind.SelfDependent() {
+		hSelf = inferRec(g, m, x, u, l-1, memo, s, fanout, rng)
+	} else {
+		hSelf = s.b[:layer.In] // unused by GraphConv's Update; any buffer works
+	}
+
+	dst := tensor.NewVector(layer.Out)
+	layer.UpdateInto(dst, hSelf, agg, len(sampled), s)
+	memo[memoKey(l, u)] = dst
+	return dst
+}
+
+// sampleEdges draws k distinct edges from list without replacement using a
+// partial Fisher–Yates shuffle over a copied index set.
+func sampleEdges(list []graph.Edge, k int, rng *rand.Rand) []graph.Edge {
+	idx := make([]int, len(list))
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]graph.Edge, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = list[idx[i]]
+	}
+	return out
+}

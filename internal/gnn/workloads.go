@@ -1,0 +1,38 @@
+package gnn
+
+import "fmt"
+
+// WorkloadNames lists the five representative model/aggregator pairings the
+// paper evaluates (§7.1.1), in the order its figures present them.
+var WorkloadNames = []string{"GC-S", "GS-S", "GC-M", "GI-S", "GC-W"}
+
+// WorkloadSpec returns the model spec for one of the paper's named
+// workloads: GraphConv+Sum (GC-S), GraphSAGE+Sum (GS-S), GraphConv+Mean
+// (GC-M), GINConv+Sum (GI-S) and GraphConv+WeightedSum (GC-W).
+func WorkloadSpec(name string, dims []int, seed int64) (Spec, error) {
+	spec := Spec{Dims: dims, Seed: seed}
+	switch name {
+	case "GC-S":
+		spec.Kind, spec.Agg = GraphConv, AggSum
+	case "GS-S":
+		spec.Kind, spec.Agg = GraphSAGE, AggSum
+	case "GC-M":
+		spec.Kind, spec.Agg = GraphConv, AggMean
+	case "GI-S":
+		spec.Kind, spec.Agg = GINConv, AggSum
+	case "GC-W":
+		spec.Kind, spec.Agg = GraphConv, AggWeighted
+	default:
+		return Spec{}, fmt.Errorf("gnn: unknown workload %q (want one of %v)", name, WorkloadNames)
+	}
+	return spec, nil
+}
+
+// NewWorkload builds the named workload model directly.
+func NewWorkload(name string, dims []int, seed int64) (*Model, error) {
+	spec, err := WorkloadSpec(name, dims, seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewModel(spec)
+}

@@ -1,0 +1,266 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := g.AddEdge(0, 2, 2.5); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("HasEdge direction wrong")
+	}
+	if w, ok := g.EdgeWeight(0, 2); !ok || w != 2.5 {
+		t.Errorf("EdgeWeight = %v,%v", w, ok)
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(1) != 1 || g.InDegree(2) != 1 {
+		t.Error("degree bookkeeping wrong after adds")
+	}
+
+	w, err := g.RemoveEdge(0, 1)
+	if err != nil || w != 1 {
+		t.Fatalf("RemoveEdge = %v, %v", w, err)
+	}
+	if g.HasEdge(0, 1) || g.NumEdges() != 1 || g.InDegree(1) != 0 {
+		t.Error("state wrong after remove")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name    string
+		u, v    VertexID
+		wantErr error
+	}{
+		{"duplicate", 0, 1, ErrEdgeExists},
+		{"u out of range", -1, 0, ErrVertexRange},
+		{"v out of range", 0, 3, ErrVertexRange},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := g.AddEdge(tt.u, tt.v, 1); !errors.Is(err, tt.wantErr) {
+				t.Errorf("AddEdge(%d,%d) err = %v, want %v", tt.u, tt.v, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRemoveEdgeErrors(t *testing.T) {
+	g := New(3)
+	if _, err := g.RemoveEdge(0, 1); !errors.Is(err, ErrEdgeNotFound) {
+		t.Errorf("RemoveEdge missing = %v, want ErrEdgeNotFound", err)
+	}
+	if _, err := g.RemoveEdge(5, 1); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("RemoveEdge range = %v, want ErrVertexRange", err)
+	}
+}
+
+func TestSelfLoopAllowed(t *testing.T) {
+	g := New(2)
+	if err := g.AddEdge(1, 1, 1); err != nil {
+		t.Fatalf("self-loop should be allowed: %v", err)
+	}
+	if g.InDegree(1) != 1 || g.OutDegree(1) != 1 {
+		t.Error("self-loop degrees wrong")
+	}
+}
+
+func TestSetEdgeWeight(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetEdgeWeight(0, 1, 9); err != nil {
+		t.Fatalf("SetEdgeWeight: %v", err)
+	}
+	if w, _ := g.EdgeWeight(0, 1); w != 9 {
+		t.Errorf("weight after set = %v", w)
+	}
+	// The in-list copy must be updated too.
+	if g.In(1)[0].Weight != 9 {
+		t.Error("in-list weight not updated")
+	}
+	if err := g.SetEdgeWeight(0, 2, 1); !errors.Is(err, ErrEdgeNotFound) {
+		t.Errorf("SetEdgeWeight missing = %v", err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	if err := c.AddEdge(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(1, 2) {
+		t.Error("Clone shares adjacency with original")
+	}
+	if c.NumEdges() != 2 || g.NumEdges() != 1 {
+		t.Error("edge counts diverged incorrectly")
+	}
+}
+
+func TestForEachEdgeAndAvgInDegree(t *testing.T) {
+	g := New(4)
+	edges := [][2]VertexID{{0, 1}, {0, 2}, {3, 1}, {2, 3}}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[[2]VertexID]bool{}
+	g.ForEachEdge(func(u, v VertexID, w float32) {
+		seen[[2]VertexID{u, v}] = true
+	})
+	if len(seen) != len(edges) {
+		t.Errorf("ForEachEdge visited %d edges, want %d", len(seen), len(edges))
+	}
+	if got := g.AvgInDegree(); got != 1.0 {
+		t.Errorf("AvgInDegree = %v, want 1.0", got)
+	}
+}
+
+// Property test: a random interleaving of adds and removes keeps the in/out
+// adjacency lists mirror images of each other, and degree sums equal edge
+// counts.
+func TestInOutConsistencyUnderRandomOps(t *testing.T) {
+	const n = 30
+	rng := rand.New(rand.NewSource(99))
+	g := New(n)
+	type key struct{ u, v VertexID }
+	live := map[key]float32{}
+
+	for step := 0; step < 3000; step++ {
+		u := VertexID(rng.Intn(n))
+		v := VertexID(rng.Intn(n))
+		k := key{u, v}
+		if _, ok := live[k]; ok && rng.Intn(2) == 0 {
+			w, err := g.RemoveEdge(u, v)
+			if err != nil {
+				t.Fatalf("step %d: RemoveEdge(%d,%d): %v", step, u, v, err)
+			}
+			if w != live[k] {
+				t.Fatalf("step %d: removed weight %v, want %v", step, w, live[k])
+			}
+			delete(live, k)
+		} else if _, ok := live[k]; !ok {
+			w := rng.Float32()
+			if err := g.AddEdge(u, v, w); err != nil {
+				t.Fatalf("step %d: AddEdge(%d,%d): %v", step, u, v, err)
+			}
+			live[k] = w
+		}
+	}
+
+	if int(g.NumEdges()) != len(live) {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), len(live))
+	}
+	var inSum, outSum int
+	for u := VertexID(0); u < n; u++ {
+		inSum += g.InDegree(u)
+		outSum += g.OutDegree(u)
+		for _, e := range g.Out(u) {
+			w, ok := live[key{u, e.Peer}]
+			if !ok || w != e.Weight {
+				t.Fatalf("out-list edge (%d,%d,%v) not in reference", u, e.Peer, e.Weight)
+			}
+			// Mirror entry must exist in the peer's in-list.
+			found := false
+			for _, ie := range g.In(e.Peer) {
+				if ie.Peer == u && ie.Weight == e.Weight {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d) missing from in-list", u, e.Peer)
+			}
+		}
+	}
+	if inSum != len(live) || outSum != len(live) {
+		t.Fatalf("degree sums in=%d out=%d, want %d", inSum, outSum, len(live))
+	}
+}
+
+func TestCSRSnapshot(t *testing.T) {
+	g := New(4)
+	mustAdd := func(u, v VertexID, w float32) {
+		t.Helper()
+		if err := g.AddEdge(u, v, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(0, 1, 1)
+	mustAdd(2, 1, 3)
+	mustAdd(3, 1, 5)
+	mustAdd(1, 0, 7)
+
+	c := g.BuildInCSR()
+	if c.N != 4 || c.NumEdges() != 4 {
+		t.Fatalf("CSR shape n=%d m=%d", c.N, c.NumEdges())
+	}
+	if c.InDegree(1) != 3 || c.InDegree(0) != 1 || c.InDegree(2) != 0 {
+		t.Error("CSR in-degrees wrong")
+	}
+	ids, ws := c.In(1)
+	gotW := map[VertexID]float32{}
+	for i, id := range ids {
+		gotW[id] = ws[i]
+	}
+	want := map[VertexID]float32{0: 1, 2: 3, 3: 5}
+	for id, w := range want {
+		if gotW[id] != w {
+			t.Errorf("CSR In(1)[%d] weight = %v, want %v", id, gotW[id], w)
+		}
+	}
+
+	// CSR is a snapshot: later mutations must not affect it.
+	if _, err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if c.InDegree(1) != 3 {
+		t.Error("CSR mutated by later graph change")
+	}
+}
+
+func TestCSRMatchesGraphOnRandomTopology(t *testing.T) {
+	const n = 50
+	rng := rand.New(rand.NewSource(123))
+	g := New(n)
+	for i := 0; i < 400; i++ {
+		u, v := VertexID(rng.Intn(n)), VertexID(rng.Intn(n))
+		_ = g.AddEdge(u, v, rng.Float32()) // duplicates rejected, fine
+	}
+	c := g.BuildInCSR()
+	if c.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count CSR=%d graph=%d", c.NumEdges(), g.NumEdges())
+	}
+	for u := VertexID(0); u < n; u++ {
+		if c.InDegree(u) != g.InDegree(u) {
+			t.Fatalf("in-degree mismatch at %d", u)
+		}
+		ids, ws := c.In(u)
+		for i, src := range ids {
+			w, ok := g.EdgeWeight(src, u)
+			if !ok || w != ws[i] {
+				t.Fatalf("CSR edge (%d,%d) mismatch", src, u)
+			}
+		}
+	}
+}

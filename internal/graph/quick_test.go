@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickGraphInvariants: for arbitrary operation sequences, the graph
+// maintains (1) in/out mirror symmetry, (2) degree sums equal to the edge
+// count, and (3) CSR snapshots equal to the live adjacency.
+func TestQuickGraphInvariants(t *testing.T) {
+	property := func(seed int64, opsRaw []uint16) bool {
+		const n = 12
+		g := New(n)
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range opsRaw {
+			u := VertexID(int(op>>8) % n)
+			v := VertexID(int(op&0xFF) % n)
+			if g.HasEdge(u, v) && rng.Intn(2) == 0 {
+				if _, err := g.RemoveEdge(u, v); err != nil {
+					return false
+				}
+			} else if !g.HasEdge(u, v) {
+				if err := g.AddEdge(u, v, rng.Float32()); err != nil {
+					return false
+				}
+			}
+		}
+		var inSum, outSum int64
+		for u := VertexID(0); u < n; u++ {
+			inSum += int64(g.InDegree(u))
+			outSum += int64(g.OutDegree(u))
+			for _, e := range g.Out(u) {
+				found := false
+				for _, ie := range g.In(e.Peer) {
+					if ie.Peer == u && ie.Weight == e.Weight {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		if inSum != g.NumEdges() || outSum != g.NumEdges() {
+			return false
+		}
+		c := g.BuildInCSR()
+		if c.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for u := VertexID(0); u < n; u++ {
+			if c.InDegree(u) != g.InDegree(u) {
+				return false
+			}
+			ids, ws := c.In(u)
+			for i, src := range ids {
+				w, ok := g.EdgeWeight(src, u)
+				if !ok || w != ws[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneIsolation: mutations after Clone never leak either way.
+func TestQuickCloneIsolation(t *testing.T) {
+	property := func(seed int64) bool {
+		const n = 10
+		rng := rand.New(rand.NewSource(seed))
+		g := New(n)
+		for i := 0; i < 30; i++ {
+			_ = g.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)), 1)
+		}
+		c := g.Clone()
+		edgesBefore := g.NumEdges()
+		// Mutate the clone arbitrarily.
+		for i := 0; i < 10; i++ {
+			u, v := VertexID(rng.Intn(n)), VertexID(rng.Intn(n))
+			if c.HasEdge(u, v) {
+				_, _ = c.RemoveEdge(u, v)
+			} else {
+				_ = c.AddEdge(u, v, 2)
+			}
+		}
+		if g.NumEdges() != edgesBefore {
+			return false
+		}
+		// The original's weights must be untouched (clone uses weight 2).
+		ok := true
+		g.ForEachEdge(func(u, v VertexID, w float32) {
+			if w != 1 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddVertexGrows(t *testing.T) {
+	g := New(2)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	id := g.AddVertex()
+	if id != 2 || g.NumVertices() != 3 {
+		t.Fatalf("AddVertex id=%d n=%d", id, g.NumVertices())
+	}
+	if g.InDegree(id) != 0 || g.OutDegree(id) != 0 {
+		t.Error("new vertex not isolated")
+	}
+	if err := g.AddEdge(id, 0, 1); err != nil {
+		t.Fatalf("edge to new vertex: %v", err)
+	}
+}
+
+func TestIncidentEdges(t *testing.T) {
+	g := New(4)
+	mustAdd := func(u, v VertexID) {
+		t.Helper()
+		if err := g.AddEdge(u, v, float32(u*10)+float32(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(0, 1)
+	mustAdd(2, 0)
+	mustAdd(0, 0) // self loop: must appear exactly once
+	got := g.IncidentEdges(0)
+	if len(got) != 3 {
+		t.Fatalf("IncidentEdges = %d entries: %v", len(got), got)
+	}
+	seen := map[[2]VertexID]bool{}
+	for _, e := range got {
+		seen[[2]VertexID{e.From, e.To}] = true
+	}
+	for _, want := range [][2]VertexID{{0, 1}, {2, 0}, {0, 0}} {
+		if !seen[want] {
+			t.Errorf("missing incident edge %v", want)
+		}
+	}
+	if g.IncidentEdges(99) != nil {
+		t.Error("out-of-range should return nil")
+	}
+}

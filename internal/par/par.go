@@ -1,0 +1,77 @@
+// Package par provides the tiny deterministic data-parallel helper shared
+// by the inference and engine packages.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For splits [0, n) into contiguous shards across up to GOMAXPROCS workers
+// and waits for completion. Shard boundaries are deterministic and the
+// per-iteration work must be independent, so results do not depend on
+// scheduling.
+func For(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForShards is like For but also hands each shard its index, letting
+// callers keep deterministic per-shard accumulators that are merged in
+// shard order afterwards. shards is the exact number of shard invocations.
+func ForShards(n int, fn func(shard, lo, hi int)) (shards int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+			return 1
+		}
+		return 0
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	shard := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			fn(shard, lo, hi)
+		}(shard, lo, hi)
+		shard++
+	}
+	wg.Wait()
+	return shard
+}

@@ -1,0 +1,51 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		hits := make([]int32, n)
+		For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForShardsDisjointAndComplete(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100, 999} {
+		hits := make([]int32, n)
+		maxShard := int32(-1)
+		shards := ForShards(n, func(shard, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+			for {
+				cur := atomic.LoadInt32(&maxShard)
+				if int32(shard) <= cur || atomic.CompareAndSwapInt32(&maxShard, cur, int32(shard)) {
+					break
+				}
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+		if n == 0 && shards != 0 {
+			t.Errorf("n=0 shards = %d", shards)
+		}
+		if n > 0 && int(maxShard) != shards-1 {
+			t.Errorf("n=%d: max shard %d with %d shards", n, maxShard, shards)
+		}
+	}
+}

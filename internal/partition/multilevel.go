@@ -1,0 +1,360 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+
+	"ripple/internal/graph"
+)
+
+// MultilevelOptions tunes the METIS-substitute partitioner.
+type MultilevelOptions struct {
+	// CoarsenTo stops coarsening when the graph has at most
+	// CoarsenTo×k vertices.
+	CoarsenTo int
+	// RefinePasses is the number of boundary-refinement sweeps applied at
+	// every uncoarsening level.
+	RefinePasses int
+	// BalanceSlack is the tolerated imbalance ε: partitions may hold up to
+	// (1+ε)·n/k vertex weight.
+	BalanceSlack float64
+	// Seed drives tie-breaking in matching order.
+	Seed int64
+}
+
+// DefaultMultilevelOptions mirrors METIS's usual operating point.
+var DefaultMultilevelOptions = MultilevelOptions{
+	CoarsenTo:    30,
+	RefinePasses: 4,
+	BalanceSlack: 0.05,
+	Seed:         1,
+}
+
+// uEdge is an undirected weighted adjacency entry of the working graph.
+type uEdge struct {
+	to int32
+	w  float64
+}
+
+// uGraph is the undirected weighted multilevel working graph: vertex
+// weights carry the number of original vertices collapsed into each node.
+type uGraph struct {
+	vwgt []int64
+	adj  [][]uEdge
+}
+
+func (ug *uGraph) n() int { return len(ug.vwgt) }
+
+// Multilevel partitions g into k parts with the classic three-phase
+// multilevel scheme (coarsen → initial partition → uncoarsen + refine).
+func Multilevel(g *graph.Graph, k int, opts MultilevelOptions) (*Assignment, error) {
+	if err := checkK(g, k); err != nil {
+		return nil, err
+	}
+	if opts.CoarsenTo <= 0 {
+		opts.CoarsenTo = DefaultMultilevelOptions.CoarsenTo
+	}
+	if opts.RefinePasses <= 0 {
+		opts.RefinePasses = DefaultMultilevelOptions.RefinePasses
+	}
+	if opts.BalanceSlack <= 0 {
+		opts.BalanceSlack = DefaultMultilevelOptions.BalanceSlack
+	}
+	if k == 1 {
+		return &Assignment{K: 1, Part: make([]int32, g.NumVertices())}, nil
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Level 0: symmetrise the directed graph into the working form.
+	levels := []*uGraph{undirect(g)}
+	var maps [][]int32 // maps[i][u] = coarse id of u at level i+1
+
+	// Phase 1: coarsen via heavy-edge matching until small or stuck.
+	for levels[len(levels)-1].n() > opts.CoarsenTo*k {
+		cur := levels[len(levels)-1]
+		coarse, cmap, shrunk := coarsen(cur, rng)
+		if !shrunk {
+			break
+		}
+		levels = append(levels, coarse)
+		maps = append(maps, cmap)
+	}
+
+	// Phase 2: initial partition of the coarsest level by greedy region
+	// growing over vertex weight.
+	coarsest := levels[len(levels)-1]
+	part := growRegions(coarsest, k, opts.BalanceSlack, rng)
+	refine(coarsest, part, k, opts)
+
+	// Phase 3: project back level by level, refining at each step.
+	for i := len(levels) - 2; i >= 0; i-- {
+		finer := levels[i]
+		finerPart := make([]int32, finer.n())
+		cmap := maps[i]
+		for u := range finerPart {
+			finerPart[u] = part[cmap[u]]
+		}
+		part = finerPart
+		refine(finer, part, k, opts)
+	}
+
+	return &Assignment{K: k, Part: part}, nil
+}
+
+// undirect builds the undirected weighted working graph from a directed
+// graph, merging (u,v) and (v,u) into one edge of combined weight 1 or 2
+// (topological weight, not the GNN aggregation weight — the partitioner
+// minimises edge *count* crossing the cut, like METIS on an unweighted
+// graph).
+func undirect(g *graph.Graph) *uGraph {
+	n := g.NumVertices()
+	ug := &uGraph{vwgt: make([]int64, n), adj: make([][]uEdge, n)}
+	for u := 0; u < n; u++ {
+		ug.vwgt[u] = 1
+	}
+	deg := make([]int, n)
+	g.ForEachEdge(func(u, v graph.VertexID, w float32) {
+		if u != v {
+			deg[u]++
+			deg[v]++
+		}
+	})
+	for u := 0; u < n; u++ {
+		ug.adj[u] = make([]uEdge, 0, deg[u])
+	}
+	g.ForEachEdge(func(u, v graph.VertexID, w float32) {
+		if u != v {
+			ug.adj[u] = append(ug.adj[u], uEdge{to: v, w: 1})
+			ug.adj[v] = append(ug.adj[v], uEdge{to: u, w: 1})
+		}
+	})
+	for u := 0; u < n; u++ {
+		ug.adj[u] = mergeParallel(ug.adj[u])
+	}
+	return ug
+}
+
+// mergeParallel sums the weights of parallel edges in an adjacency list.
+func mergeParallel(list []uEdge) []uEdge {
+	if len(list) < 2 {
+		return list
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].to < list[j].to })
+	out := list[:1]
+	for _, e := range list[1:] {
+		if last := &out[len(out)-1]; last.to == e.to {
+			last.w += e.w
+		} else {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// coarsen performs one level of heavy-edge matching and contraction.
+// Returns (coarse graph, fine→coarse map, whether the graph shrank
+// meaningfully).
+func coarsen(ug *uGraph, rng *rand.Rand) (*uGraph, []int32, bool) {
+	n := ug.n()
+	match := make([]int32, n)
+	for u := range match {
+		match[u] = -1
+	}
+	// Visit in random order (METIS visits randomly to avoid degenerate
+	// matchings on regular structures).
+	order := rng.Perm(n)
+	for _, u := range order {
+		if match[u] != -1 {
+			continue
+		}
+		best, bestW := int32(-1), -1.0
+		for _, e := range ug.adj[u] {
+			if match[e.to] == -1 && int(e.to) != u && e.w > bestW {
+				best, bestW = e.to, e.w
+			}
+		}
+		if best >= 0 {
+			match[u] = best
+			match[best] = int32(u)
+		} else {
+			match[u] = int32(u) // matched with itself
+		}
+	}
+
+	// Number coarse vertices.
+	cmap := make([]int32, n)
+	for u := range cmap {
+		cmap[u] = -1
+	}
+	next := int32(0)
+	for u := 0; u < n; u++ {
+		if cmap[u] != -1 {
+			continue
+		}
+		cmap[u] = next
+		if m := match[u]; int(m) != u {
+			cmap[m] = next
+		}
+		next++
+	}
+	if int(next) >= n { // no contraction happened
+		return nil, nil, false
+	}
+
+	coarse := &uGraph{vwgt: make([]int64, next), adj: make([][]uEdge, next)}
+	for u := 0; u < n; u++ {
+		coarse.vwgt[cmap[u]] += ug.vwgt[u]
+	}
+	for u := 0; u < n; u++ {
+		cu := cmap[u]
+		for _, e := range ug.adj[u] {
+			cv := cmap[e.to]
+			if cu != cv {
+				coarse.adj[cu] = append(coarse.adj[cu], uEdge{to: cv, w: e.w})
+			}
+		}
+	}
+	for u := range coarse.adj {
+		coarse.adj[u] = mergeParallel(coarse.adj[u])
+	}
+	return coarse, cmap, true
+}
+
+// growRegions produces the initial k-way partition by greedy BFS region
+// growing: repeatedly seed the next region at an unassigned vertex and
+// absorb unassigned neighbours until the region reaches its weight target.
+func growRegions(ug *uGraph, k int, slack float64, rng *rand.Rand) []int32 {
+	n := ug.n()
+	part := make([]int32, n)
+	for u := range part {
+		part[u] = -1
+	}
+	var totalW int64
+	for _, w := range ug.vwgt {
+		totalW += w
+	}
+	target := float64(totalW) / float64(k)
+
+	order := rng.Perm(n)
+	oi := 0
+	nextSeed := func() int {
+		for ; oi < len(order); oi++ {
+			if part[order[oi]] == -1 {
+				return order[oi]
+			}
+		}
+		return -1
+	}
+
+	for p := int32(0); p < int32(k); p++ {
+		var w int64
+		limit := target
+		if p == int32(k)-1 {
+			limit = float64(totalW) // last region takes the remainder
+		}
+		queue := []int{}
+		if s := nextSeed(); s >= 0 {
+			part[s] = p
+			w += ug.vwgt[s]
+			queue = append(queue, s)
+		}
+		for len(queue) > 0 && float64(w) < limit {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range ug.adj[u] {
+				v := int(e.to)
+				if part[v] != -1 || float64(w+ug.vwgt[v]) > limit*(1+slack) {
+					continue
+				}
+				part[v] = p
+				w += ug.vwgt[v]
+				queue = append(queue, v)
+				if float64(w) >= limit {
+					break
+				}
+			}
+			// If the frontier dried up but the region is underweight,
+			// jump to a fresh seed (disconnected components).
+			if len(queue) == 0 && float64(w) < limit {
+				if s := nextSeed(); s >= 0 {
+					part[s] = p
+					w += ug.vwgt[s]
+					queue = append(queue, s)
+				} else {
+					break
+				}
+			}
+		}
+	}
+	// Any stragglers go to the lightest partition.
+	sizes := make([]int64, k)
+	for u, p := range part {
+		if p >= 0 {
+			sizes[p] += ug.vwgt[u]
+		}
+	}
+	for u, p := range part {
+		if p == -1 {
+			best := 0
+			for q := 1; q < k; q++ {
+				if sizes[q] < sizes[best] {
+					best = q
+				}
+			}
+			part[u] = int32(best)
+			sizes[best] += ug.vwgt[u]
+		}
+	}
+	return part
+}
+
+// refine runs greedy boundary-move passes (a lightweight Kernighan–Lin /
+// FM variant): move a boundary vertex to the neighbouring partition with
+// the largest positive cut gain, provided balance stays within slack.
+func refine(ug *uGraph, part []int32, k int, opts MultilevelOptions) {
+	n := ug.n()
+	var totalW int64
+	for _, w := range ug.vwgt {
+		totalW += w
+	}
+	maxW := int64(float64(totalW) / float64(k) * (1 + opts.BalanceSlack))
+	sizes := make([]int64, k)
+	for u, p := range part {
+		sizes[p] += ug.vwgt[u]
+	}
+	conn := make([]float64, k)
+	for pass := 0; pass < opts.RefinePasses; pass++ {
+		moved := 0
+		for u := 0; u < n; u++ {
+			home := part[u]
+			// Tally connectivity to each partition.
+			touched := conn[:k]
+			for i := range touched {
+				touched[i] = 0
+			}
+			for _, e := range ug.adj[u] {
+				touched[part[e.to]] += e.w
+			}
+			best, bestGain := home, 0.0
+			for p := int32(0); p < int32(k); p++ {
+				if p == home {
+					continue
+				}
+				gain := touched[p] - touched[home]
+				if gain > bestGain && sizes[p]+ug.vwgt[u] <= maxW {
+					best, bestGain = p, gain
+				}
+			}
+			if best != home {
+				sizes[home] -= ug.vwgt[u]
+				sizes[best] += ug.vwgt[u]
+				part[u] = best
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ripple/internal/dataset"
+	"ripple/internal/graph"
+)
+
+func testGraph(t *testing.T, n, m int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		u, v := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		_ = g.AddEdge(u, v, 1)
+	}
+	return g
+}
+
+// communityGraph builds k dense clusters with sparse inter-cluster edges —
+// the structure a good partitioner must discover.
+func communityGraph(t *testing.T, clusters, perCluster, intra, inter int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := clusters * perCluster
+	g := graph.New(n)
+	for c := 0; c < clusters; c++ {
+		base := c * perCluster
+		for i := 0; i < intra; i++ {
+			u := graph.VertexID(base + rng.Intn(perCluster))
+			v := graph.VertexID(base + rng.Intn(perCluster))
+			if u != v {
+				_ = g.AddEdge(u, v, 1)
+			}
+		}
+	}
+	for i := 0; i < inter; i++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u/graph.VertexID(perCluster) != v/graph.VertexID(perCluster) {
+			_ = g.AddEdge(u, v, 1)
+		}
+	}
+	return g
+}
+
+func TestHashBalanced(t *testing.T) {
+	g := testGraph(t, 100, 300, 1)
+	a, err := Hash(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(100); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range a.Sizes() {
+		if s != 25 {
+			t.Errorf("hash sizes = %v, want all 25", a.Sizes())
+		}
+	}
+}
+
+func TestPartitionersCoverAndBalance(t *testing.T) {
+	g := testGraph(t, 500, 3000, 2)
+	for _, name := range []string{"multilevel", "ldg", "hash"} {
+		t.Run(name, func(t *testing.T) {
+			for _, k := range []int{2, 4, 7} {
+				a, err := ByName(name, g, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := a.Validate(500); err != nil {
+					t.Fatal(err)
+				}
+				q := Evaluate(g, a)
+				if q.Imbalance > 1.35 {
+					t.Errorf("k=%d imbalance %v too high", k, q.Imbalance)
+				}
+			}
+		})
+	}
+}
+
+func TestMultilevelBeatsHashOnCommunities(t *testing.T) {
+	g := communityGraph(t, 4, 100, 2000, 120, 3)
+	ml, err := Multilevel(g, 4, DefaultMultilevelOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Hash(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qML := Evaluate(g, ml)
+	qH := Evaluate(g, h)
+	// Hash cuts ~75% of edges on 4 parts; a multilevel partitioner must
+	// recover most of the community structure.
+	if qML.CutFraction > qH.CutFraction*0.5 {
+		t.Errorf("multilevel cut %.3f not clearly better than hash cut %.3f", qML.CutFraction, qH.CutFraction)
+	}
+	if qML.CutFraction > 0.25 {
+		t.Errorf("multilevel cut %.3f on planted communities", qML.CutFraction)
+	}
+}
+
+func TestLDGBeatsHashOnCommunities(t *testing.T) {
+	g := communityGraph(t, 4, 100, 2000, 120, 5)
+	ldg, err := LDG(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := Hash(g, 4)
+	if Evaluate(g, ldg).CutFraction >= Evaluate(g, h).CutFraction {
+		t.Error("LDG should beat hash on community structure")
+	}
+}
+
+func TestMultilevelDeterministic(t *testing.T) {
+	g := testGraph(t, 300, 1500, 7)
+	a1, err := Multilevel(g, 4, DefaultMultilevelOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Multilevel(g, 4, DefaultMultilevelOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a1.Part {
+		if a1.Part[u] != a2.Part[u] {
+			t.Fatal("multilevel not deterministic for identical seeds")
+		}
+	}
+}
+
+func TestMultilevelK1(t *testing.T) {
+	g := testGraph(t, 50, 100, 9)
+	a, err := Multilevel(g, 1, DefaultMultilevelOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Evaluate(g, a)
+	if q.EdgeCut != 0 || q.Imbalance != 1 {
+		t.Errorf("k=1 quality = %+v", q)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g := testGraph(t, 10, 20, 11)
+	if _, err := Multilevel(g, 0, DefaultMultilevelOptions); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, err := Hash(g, 11); err == nil {
+		t.Error("expected error for k > n")
+	}
+	if _, err := LDG(g, -1); err == nil {
+		t.Error("expected error for negative k")
+	}
+	if _, err := ByName("bogus", g, 2); err == nil {
+		t.Error("expected error for unknown partitioner")
+	}
+}
+
+func TestEvaluateOnKnownAssignment(t *testing.T) {
+	g := graph.New(4)
+	mustAdd := func(u, v graph.VertexID) {
+		t.Helper()
+		if err := g.AddEdge(u, v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(0, 1) // intra part 0
+	mustAdd(2, 3) // intra part 1
+	mustAdd(0, 2) // cut
+	mustAdd(3, 1) // cut
+	a := &Assignment{K: 2, Part: []int32{0, 0, 1, 1}}
+	q := Evaluate(g, a)
+	if q.EdgeCut != 2 || q.CutFraction != 0.5 || q.Imbalance != 1 {
+		t.Errorf("quality = %+v", q)
+	}
+}
+
+func TestMultilevelOnPowerLawDataset(t *testing.T) {
+	spec := dataset.Arxiv(0.01) // ~1.7K vertices
+	g, _, err := dataset.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Multilevel(g, 8, DefaultMultilevelOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(g.NumVertices()); err != nil {
+		t.Fatal(err)
+	}
+	q := Evaluate(g, a)
+	if q.Imbalance > 1.5 {
+		t.Errorf("imbalance %v on power-law graph", q.Imbalance)
+	}
+	// Must beat random assignment's expected 87.5% cut on 8 parts.
+	if q.CutFraction > 0.8 {
+		t.Errorf("cut fraction %v no better than random", q.CutFraction)
+	}
+}
+
+func TestValidateCatchesBadAssignments(t *testing.T) {
+	a := &Assignment{K: 2, Part: []int32{0, 1, 2}}
+	if err := a.Validate(3); err == nil {
+		t.Error("expected error for out-of-range partition id")
+	}
+	b := &Assignment{K: 2, Part: []int32{0}}
+	if err := b.Validate(3); err == nil {
+		t.Error("expected error for short assignment")
+	}
+}
+
+// Property: every partitioner produces a valid, reasonably balanced
+// assignment on arbitrary random graphs.
+func TestQuickPartitionersAlwaysValid(t *testing.T) {
+	property := func(seed int64, kRaw uint8) bool {
+		n := 60
+		g := testGraphSeeded(n, 240, seed)
+		k := 1 + int(kRaw)%8
+		for _, name := range []string{"multilevel", "ldg", "hash"} {
+			a, err := ByName(name, g, k)
+			if err != nil {
+				return false
+			}
+			if a.Validate(n) != nil {
+				return false
+			}
+			q := Evaluate(g, a)
+			if q.Imbalance > 2.0 { // generous bound for tiny parts
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func testGraphSeeded(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		_ = g.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)), 1)
+	}
+	return g
+}

@@ -1,0 +1,54 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(rows, cols int) (*Matrix, Vector, Vector) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(rows, cols)
+	m.GlorotInit(rng)
+	x := NewVector(cols)
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	return m, x, NewVector(rows)
+}
+
+func BenchmarkMatVec64x128(b *testing.B) {
+	m, x, dst := benchMatrix(64, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MatVec(dst, x)
+	}
+}
+
+func BenchmarkMatVec47x100(b *testing.B) {
+	m, x, dst := benchMatrix(47, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MatVec(dst, x)
+	}
+}
+
+func BenchmarkAXPY128(b *testing.B) {
+	v := NewVector(128)
+	u := NewVector(128)
+	for i := range u {
+		u[i] = float32(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.AXPY(0.5, u)
+	}
+}
+
+func BenchmarkAddSubInto602(b *testing.B) {
+	// Reddit feature width: the delta-message constructor's hot size.
+	dst, a, c := NewVector(602), NewVector(602), NewVector(602)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AddSubInto(dst, a, c)
+	}
+}

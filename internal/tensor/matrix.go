@@ -1,0 +1,107 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense, row-major float32 matrix. It is the weight container
+// for GNN layers; MatVec is the single hot kernel of inference.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: NewMatrix negative dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// NewMatrixFrom builds a matrix from row-major data. The slice is copied.
+func NewMatrixFrom(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: NewMatrixFrom data length %d != %d*%d", len(data), rows, cols))
+	}
+	m := NewMatrix(rows, cols)
+	copy(m.Data, data)
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a vector view sharing the matrix storage.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MatVec computes dst = m·x. dst must have length m.Rows and x length
+// m.Cols; dst and x must not alias.
+func (m *Matrix) MatVec(dst, x Vector) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("tensor: MatVec dims %dx%d with |x|=%d |dst|=%d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float32
+		// 4-way unrolled dot product: this loop dominates inference time.
+		j := 0
+		for ; j+4 <= len(row); j += 4 {
+			s += row[j]*x[j] + row[j+1]*x[j+1] + row[j+2]*x[j+2] + row[j+3]*x[j+3]
+		}
+		for ; j < len(row); j++ {
+			s += row[j] * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MatVecAcc computes dst += m·x, accumulating into dst.
+func (m *Matrix) MatVecAcc(dst, x Vector) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("tensor: MatVecAcc dims %dx%d with |x|=%d |dst|=%d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float32
+		j := 0
+		for ; j+4 <= len(row); j += 4 {
+			s += row[j]*x[j] + row[j+1]*x[j+1] + row[j+2]*x[j+2] + row[j+3]*x[j+3]
+		}
+		for ; j < len(row); j++ {
+			s += row[j] * x[j]
+		}
+		dst[i] += s
+	}
+}
+
+// GlorotInit fills m with Glorot/Xavier-uniform values drawn from rng,
+// giving deterministic "trained" weights for a given seed. The scale keeps
+// layer outputs well-conditioned so ReLU activations neither die nor blow
+// up across layers.
+func (m *Matrix) GlorotInit(rng *rand.Rand) {
+	limit := float32(math.Sqrt(6.0 / float64(m.Rows+m.Cols)))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * limit
+	}
+}
+
+// EqualWithin reports element-wise equality of two matrices within tol.
+func (m *Matrix) EqualWithin(o *Matrix, tol float32) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	return Vector(m.Data).EqualWithin(Vector(o.Data), tol)
+}

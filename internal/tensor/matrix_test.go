@@ -1,0 +1,175 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatVec(t *testing.T) {
+	tests := []struct {
+		name string
+		m    *Matrix
+		x    Vector
+		want Vector
+	}{
+		{
+			name: "2x3",
+			m:    NewMatrixFrom(2, 3, []float32{1, 2, 3, 4, 5, 6}),
+			x:    Vector{1, 0, -1},
+			want: Vector{-2, -2},
+		},
+		{
+			name: "identity",
+			m:    NewMatrixFrom(3, 3, []float32{1, 0, 0, 0, 1, 0, 0, 0, 1}),
+			x:    Vector{7, 8, 9},
+			want: Vector{7, 8, 9},
+		},
+		{
+			name: "1x1",
+			m:    NewMatrixFrom(1, 1, []float32{3}),
+			x:    Vector{4},
+			want: Vector{12},
+		},
+		{
+			name: "wide row exercises unrolled tail",
+			m:    NewMatrixFrom(1, 7, []float32{1, 1, 1, 1, 1, 1, 1}),
+			x:    Vector{1, 2, 3, 4, 5, 6, 7},
+			want: Vector{28},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			dst := NewVector(tt.m.Rows)
+			tt.m.MatVec(dst, tt.x)
+			if !dst.EqualWithin(tt.want, 1e-6) {
+				t.Errorf("MatVec = %v, want %v", dst, tt.want)
+			}
+		})
+	}
+}
+
+func TestMatVecAcc(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float32{1, 2, 3, 4})
+	dst := Vector{10, 20}
+	m.MatVecAcc(dst, Vector{1, 1})
+	if !dst.EqualWithin(Vector{13, 27}, 1e-6) {
+		t.Errorf("MatVecAcc = %v", dst)
+	}
+}
+
+func TestMatVecDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	m := NewMatrix(2, 3)
+	m.MatVec(NewVector(2), NewVector(2))
+}
+
+// MatVec must agree with a float64 reference implementation within float32
+// rounding for random inputs.
+func TestMatVecAgainstFloat64Reference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		rows := 1 + rng.Intn(20)
+		cols := 1 + rng.Intn(40)
+		m := NewMatrix(rows, cols)
+		x := NewVector(cols)
+		for i := range m.Data {
+			m.Data[i] = rng.Float32()*2 - 1
+		}
+		for i := range x {
+			x[i] = rng.Float32()*2 - 1
+		}
+		got := NewVector(rows)
+		m.MatVec(got, x)
+		for i := 0; i < rows; i++ {
+			var ref float64
+			for j := 0; j < cols; j++ {
+				ref += float64(m.At(i, j)) * float64(x[j])
+			}
+			if math.Abs(float64(got[i])-ref) > 1e-4 {
+				t.Fatalf("trial %d row %d: got %v, ref %v", trial, i, got[i], ref)
+			}
+		}
+	}
+}
+
+func TestGlorotInitDeterministicAndBounded(t *testing.T) {
+	m1 := NewMatrix(8, 16)
+	m2 := NewMatrix(8, 16)
+	m1.GlorotInit(rand.New(rand.NewSource(5)))
+	m2.GlorotInit(rand.New(rand.NewSource(5)))
+	if !m1.EqualWithin(m2, 0) {
+		t.Error("GlorotInit not deterministic for equal seeds")
+	}
+	limit := float32(math.Sqrt(6.0 / float64(8+16)))
+	for _, v := range m1.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("GlorotInit value %v outside ±%v", v, limit)
+		}
+	}
+	m3 := NewMatrix(8, 16)
+	m3.GlorotInit(rand.New(rand.NewSource(6)))
+	if m1.EqualWithin(m3, 0) {
+		t.Error("GlorotInit identical across different seeds")
+	}
+}
+
+func TestMatrixRowSetAtClone(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 5)
+	if m.At(0, 1) != 5 {
+		t.Error("Set/At mismatch")
+	}
+	row := m.Row(0)
+	row[0] = 9 // views share storage
+	if m.At(0, 0) != 9 {
+		t.Error("Row should be a view")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 77)
+	if m.At(0, 0) != 9 {
+		t.Error("Clone should not share storage")
+	}
+}
+
+func TestNewMatrixFromValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad data length")
+		}
+	}()
+	NewMatrixFrom(2, 2, []float32{1, 2, 3})
+}
+
+func TestReLU(t *testing.T) {
+	v := Vector{-1, 0, 2, -3.5}
+	ReLU(v)
+	if !v.EqualWithin(Vector{0, 0, 2, 0}, 0) {
+		t.Errorf("ReLU = %v", v)
+	}
+	src := Vector{-2, 5}
+	dst := NewVector(2)
+	ReLUInto(dst, src)
+	if !dst.EqualWithin(Vector{0, 5}, 0) || src[0] != -2 {
+		t.Errorf("ReLUInto dst=%v src=%v", dst, src)
+	}
+}
+
+func TestActivation(t *testing.T) {
+	if ActReLU.String() != "relu" || ActIdentity.String() != "identity" {
+		t.Error("Activation String mismatch")
+	}
+	v := Vector{-1, 1}
+	ActIdentity.Apply(v)
+	if !v.EqualWithin(Vector{-1, 1}, 0) {
+		t.Error("ActIdentity modified vector")
+	}
+	ActReLU.Apply(v)
+	if !v.EqualWithin(Vector{0, 1}, 0) {
+		t.Error("ActReLU failed")
+	}
+}

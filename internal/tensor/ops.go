@@ -1,0 +1,54 @@
+package tensor
+
+// ReLU applies max(0, x) element-wise in place.
+func ReLU(v Vector) {
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+}
+
+// ReLUInto writes max(0, src) into dst without modifying src.
+func ReLUInto(dst, src Vector) {
+	if len(dst) != len(src) {
+		panic("tensor: ReLUInto length mismatch")
+	}
+	for i, x := range src {
+		if x < 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = x
+		}
+	}
+}
+
+// Activation selects the nonlinearity applied after a layer's Update step.
+type Activation uint8
+
+const (
+	// ActIdentity applies no nonlinearity (used at the final layer, whose
+	// output is interpreted as class logits).
+	ActIdentity Activation = iota
+	// ActReLU applies max(0, x) element-wise (hidden layers).
+	ActReLU
+)
+
+// String returns the activation's name.
+func (a Activation) String() string {
+	switch a {
+	case ActIdentity:
+		return "identity"
+	case ActReLU:
+		return "relu"
+	default:
+		return "unknown"
+	}
+}
+
+// Apply applies the activation to v in place.
+func (a Activation) Apply(v Vector) {
+	if a == ActReLU {
+		ReLU(v)
+	}
+}

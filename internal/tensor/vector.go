@@ -1,0 +1,184 @@
+// Package tensor provides the dense linear-algebra substrate used by the
+// GNN models and the incremental engine. It replaces NumPy from the paper's
+// reference implementation with a small, allocation-conscious float32
+// library: vectors, row-major matrices, and the fused delta operations that
+// the incremental message model relies on.
+//
+// All operations are deterministic and stdlib-only. Destination-buffer
+// variants (…Into) are provided for the hot paths so the engine can reuse
+// scratch memory across updates.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense float32 vector. The zero value (nil) is an empty vector.
+type Vector []float32
+
+// NewVector returns a zeroed vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a copy of v that shares no storage with it.
+func (v Vector) Clone() Vector {
+	if v == nil {
+		return nil
+	}
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// CopyFrom overwrites v with src. The lengths must match.
+func (v Vector) CopyFrom(src Vector) {
+	if len(v) != len(src) {
+		panic(fmt.Sprintf("tensor: CopyFrom length mismatch %d != %d", len(v), len(src)))
+	}
+	copy(v, src)
+}
+
+// Zero sets every element of v to zero.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// IsZero reports whether every element of v is exactly zero.
+func (v Vector) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Add accumulates u into v element-wise: v += u.
+func (v Vector) Add(u Vector) {
+	if len(v) != len(u) {
+		panic(fmt.Sprintf("tensor: Add length mismatch %d != %d", len(v), len(u)))
+	}
+	for i, x := range u {
+		v[i] += x
+	}
+}
+
+// Sub subtracts u from v element-wise: v -= u.
+func (v Vector) Sub(u Vector) {
+	if len(v) != len(u) {
+		panic(fmt.Sprintf("tensor: Sub length mismatch %d != %d", len(v), len(u)))
+	}
+	for i, x := range u {
+		v[i] -= x
+	}
+}
+
+// AXPY performs v += alpha*u, the fused multiply-add used to fold weighted
+// delta messages into aggregates.
+func (v Vector) AXPY(alpha float32, u Vector) {
+	if len(v) != len(u) {
+		panic(fmt.Sprintf("tensor: AXPY length mismatch %d != %d", len(v), len(u)))
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, x := range u {
+		v[i] += alpha * x
+	}
+}
+
+// Scale multiplies every element of v by alpha.
+func (v Vector) Scale(alpha float32) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Dot returns the inner product of v and u.
+func (v Vector) Dot(u Vector) float32 {
+	if len(v) != len(u) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d != %d", len(v), len(u)))
+	}
+	var s float32
+	for i, x := range u {
+		s += v[i] * x
+	}
+	return s
+}
+
+// ArgMax returns the index of the largest element, breaking ties toward the
+// lower index. It returns -1 for an empty vector. This is how final-layer
+// logits become a predicted class label.
+func (v Vector) ArgMax() int {
+	if len(v) == 0 {
+		return -1
+	}
+	best, bestVal := 0, v[0]
+	for i := 1; i < len(v); i++ {
+		if v[i] > bestVal {
+			best, bestVal = i, v[i]
+		}
+	}
+	return best
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between
+// v and u. Used by tests and by the engine's change detection.
+func (v Vector) MaxAbsDiff(u Vector) float32 {
+	if len(v) != len(u) {
+		panic(fmt.Sprintf("tensor: MaxAbsDiff length mismatch %d != %d", len(v), len(u)))
+	}
+	var m float32
+	for i, x := range u {
+		d := v[i] - x
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vector) Norm2() float32 {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// EqualWithin reports whether v and u are element-wise equal within
+// absolute tolerance tol.
+func (v Vector) EqualWithin(u Vector, tol float32) bool {
+	if len(v) != len(u) {
+		return false
+	}
+	return v.MaxAbsDiff(u) <= tol
+}
+
+// AddSubInto computes dst = a - b without allocating. It is the delta
+// message constructor: m = h_new - h_old.
+func AddSubInto(dst, a, b Vector) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: AddSubInto length mismatch %d/%d/%d", len(dst), len(a), len(b)))
+	}
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// ScaleDeltaInto computes dst = alpha*(a - b), the weighted delta message
+// used by mean and weighted-sum aggregators.
+func ScaleDeltaInto(dst, a, b Vector, alpha float32) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: ScaleDeltaInto length mismatch %d/%d/%d", len(dst), len(a), len(b)))
+	}
+	for i := range dst {
+		dst[i] = alpha * (a[i] - b[i])
+	}
+}

@@ -1,0 +1,202 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorAddSub(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b    Vector
+		wantAdd Vector
+		wantSub Vector
+	}{
+		{
+			name:    "basic",
+			a:       Vector{1, 2, 3},
+			b:       Vector{4, -5, 6},
+			wantAdd: Vector{5, -3, 9},
+			wantSub: Vector{-3, 7, -3},
+		},
+		{
+			name:    "zeros",
+			a:       Vector{0, 0},
+			b:       Vector{0, 0},
+			wantAdd: Vector{0, 0},
+			wantSub: Vector{0, 0},
+		},
+		{
+			name:    "empty",
+			a:       Vector{},
+			b:       Vector{},
+			wantAdd: Vector{},
+			wantSub: Vector{},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			gotAdd := tt.a.Clone()
+			gotAdd.Add(tt.b)
+			if !gotAdd.EqualWithin(tt.wantAdd, 0) {
+				t.Errorf("Add = %v, want %v", gotAdd, tt.wantAdd)
+			}
+			gotSub := tt.a.Clone()
+			gotSub.Sub(tt.b)
+			if !gotSub.EqualWithin(tt.wantSub, 0) {
+				t.Errorf("Sub = %v, want %v", gotSub, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestVectorAddLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	v := Vector{1, 2}
+	v.Add(Vector{1})
+}
+
+func TestAXPY(t *testing.T) {
+	v := Vector{1, 2, 3}
+	v.AXPY(2, Vector{10, 20, 30})
+	want := Vector{21, 42, 63}
+	if !v.EqualWithin(want, 0) {
+		t.Errorf("AXPY = %v, want %v", v, want)
+	}
+
+	// alpha == 0 must be a no-op even for NaN-free guarantees.
+	v2 := Vector{1, 2, 3}
+	v2.AXPY(0, Vector{100, 100, 100})
+	if !v2.EqualWithin(Vector{1, 2, 3}, 0) {
+		t.Errorf("AXPY(0) modified vector: %v", v2)
+	}
+}
+
+func TestScaleDotNorm(t *testing.T) {
+	v := Vector{3, 4}
+	if got := v.Norm2(); got != 5 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := v.Dot(Vector{2, 1}); got != 10 {
+		t.Errorf("Dot = %v, want 10", got)
+	}
+	v.Scale(2)
+	if !v.EqualWithin(Vector{6, 8}, 0) {
+		t.Errorf("Scale = %v", v)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Vector
+		want int
+	}{
+		{"empty", Vector{}, -1},
+		{"single", Vector{7}, 0},
+		{"middle", Vector{1, 9, 3}, 1},
+		{"tie breaks low", Vector{5, 5, 5}, 0},
+		{"negative", Vector{-3, -1, -2}, 1},
+		{"last", Vector{0, 1, 2, 3}, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.ArgMax(); got != tt.want {
+				t.Errorf("ArgMax(%v) = %d, want %d", tt.v, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vector{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone shares storage with original")
+	}
+	var nilVec Vector
+	if nilVec.Clone() != nil {
+		t.Error("Clone of nil should be nil")
+	}
+}
+
+func TestIsZeroAndZero(t *testing.T) {
+	v := Vector{0, 1, 0}
+	if v.IsZero() {
+		t.Error("IsZero true for nonzero vector")
+	}
+	v.Zero()
+	if !v.IsZero() {
+		t.Error("IsZero false after Zero()")
+	}
+}
+
+func TestDeltaConstructors(t *testing.T) {
+	a := Vector{5, 7, 9}
+	b := Vector{1, 2, 3}
+	dst := NewVector(3)
+	AddSubInto(dst, a, b)
+	if !dst.EqualWithin(Vector{4, 5, 6}, 0) {
+		t.Errorf("AddSubInto = %v", dst)
+	}
+	ScaleDeltaInto(dst, a, b, 0.5)
+	if !dst.EqualWithin(Vector{2, 2.5, 3}, 1e-6) {
+		t.Errorf("ScaleDeltaInto = %v", dst)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{1, 5, 2}
+	if got := a.MaxAbsDiff(b); got != 3 {
+		t.Errorf("MaxAbsDiff = %v, want 3", got)
+	}
+}
+
+// Property: (a + b) - b == a exactly for values that are exactly
+// representable; we use small integers to avoid rounding.
+func TestAddSubRoundTripProperty(t *testing.T) {
+	f := func(raw []int8) bool {
+		a := make(Vector, len(raw))
+		b := make(Vector, len(raw))
+		for i, x := range raw {
+			a[i] = float32(x)
+			b[i] = float32(int(x) * 3 % 7)
+		}
+		v := a.Clone()
+		v.Add(b)
+		v.Sub(b)
+		return v.EqualWithin(a, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AXPY(alpha) then AXPY(-alpha) restores the original exactly for
+// power-of-two alphas (no rounding introduced by the multiply).
+func TestAXPYInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(64)
+		a := make(Vector, n)
+		u := make(Vector, n)
+		for i := range a {
+			a[i] = float32(rng.Intn(256) - 128)
+			u[i] = float32(rng.Intn(256) - 128)
+		}
+		alpha := float32(int(1) << uint(rng.Intn(4)))
+		v := a.Clone()
+		v.AXPY(alpha, u)
+		v.AXPY(-alpha, u)
+		if !v.EqualWithin(a, 0) {
+			t.Fatalf("trial %d: AXPY inverse failed", trial)
+		}
+	}
+}

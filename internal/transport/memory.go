@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MemoryConn is one endpoint of an in-process fabric: goroutine workers
+// exchanging messages through unbounded mailboxes. It is the default
+// experiment transport (the MPI substitution; see the package comment).
+type MemoryConn struct {
+	rank   int
+	fabric *memoryFabric
+	counters
+}
+
+var _ Conn = (*MemoryConn)(nil)
+
+// memoryFabric holds the shared mailboxes. Queues are unbounded so BSP
+// all-to-all exchanges can never deadlock regardless of send order.
+type memoryFabric struct {
+	size   int
+	queues []*mailbox
+}
+
+// mailbox is an unbounded FIFO with blocking receive.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) push(m Message) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return ErrClosed
+	}
+	mb.items = append(mb.items, m)
+	mb.cond.Signal()
+	return nil
+}
+
+func (mb *mailbox) pop() (Message, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.items) == 0 && !mb.closed {
+		mb.cond.Wait()
+	}
+	if len(mb.items) == 0 {
+		return Message{}, ErrClosed
+	}
+	m := mb.items[0]
+	mb.items = mb.items[1:]
+	return m, nil
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.closed = true
+	mb.cond.Broadcast()
+}
+
+// NewMemoryFabric creates a size-rank in-process fabric and returns one
+// connection per rank.
+func NewMemoryFabric(size int) ([]*MemoryConn, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("transport: fabric size %d", size)
+	}
+	f := &memoryFabric{size: size, queues: make([]*mailbox, size)}
+	conns := make([]*MemoryConn, size)
+	for i := 0; i < size; i++ {
+		f.queues[i] = newMailbox()
+		conns[i] = &MemoryConn{rank: i, fabric: f}
+	}
+	return conns, nil
+}
+
+// Rank implements Conn.
+func (c *MemoryConn) Rank() int { return c.rank }
+
+// Size implements Conn.
+func (c *MemoryConn) Size() int { return c.fabric.size }
+
+// Send implements Conn. The payload is not copied; callers must not reuse
+// the slice after sending (workers serialise into fresh buffers).
+func (c *MemoryConn) Send(to int, kind uint8, payload []byte) error {
+	if err := checkRank(to, c.fabric.size); err != nil {
+		return err
+	}
+	if err := c.fabric.queues[to].push(Message{From: c.rank, Kind: kind, Payload: payload}); err != nil {
+		return err
+	}
+	c.counters.sent(len(payload))
+	return nil
+}
+
+// Recv implements Conn.
+func (c *MemoryConn) Recv() (Message, error) {
+	m, err := c.fabric.queues[c.rank].pop()
+	if err != nil {
+		return Message{}, err
+	}
+	c.counters.recvd(len(m.Payload))
+	return m, nil
+}
+
+// Counters implements Conn.
+func (c *MemoryConn) Counters() Counters { return c.counters.snapshot() }
+
+// Close implements Conn: it closes only this rank's inbox; peers observe
+// ErrClosed when sending to it.
+func (c *MemoryConn) Close() error {
+	c.fabric.queues[c.rank].close()
+	return nil
+}

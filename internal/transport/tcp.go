@@ -1,0 +1,220 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPConn is one rank's endpoint of a full-mesh TCP fabric, used by
+// cmd/rippled for real multi-process deployments. Frames are
+// length-prefixed: [4B payload length][1B kind][4B from-rank][payload].
+type TCPConn struct {
+	rank  int
+	size  int
+	peers []*peerLink // indexed by rank; nil at own rank
+	inbox *mailbox
+	wg    sync.WaitGroup
+	counters
+
+	closeOnce sync.Once
+	listener  net.Listener
+}
+
+var _ Conn = (*TCPConn)(nil)
+
+// peerLink serialises writes to one peer socket.
+type peerLink struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// maxFrameSize bounds a single payload; larger frames indicate corruption
+// and are rejected rather than allocated.
+const maxFrameSize = 1 << 30
+
+// DialTCP establishes the full mesh for this rank. addrs lists every
+// rank's listen address (index = rank). The convention is deadlock-free:
+// each rank listens on addrs[rank], accepts connections from lower ranks,
+// and dials every higher rank (retrying until the peer's listener is up
+// or timeout elapses).
+func DialTCP(rank int, addrs []string, timeout time.Duration) (*TCPConn, error) {
+	size := len(addrs)
+	if err := checkRank(rank, size); err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("transport: rank %d listen %s: %w", rank, addrs[rank], err)
+	}
+	c := &TCPConn{
+		rank:     rank,
+		size:     size,
+		peers:    make([]*peerLink, size),
+		inbox:    newMailbox(),
+		listener: ln,
+	}
+
+	errs := make(chan error, size)
+	var setup sync.WaitGroup
+
+	// Accept connections from all lower ranks.
+	lower := rank
+	setup.Add(1)
+	go func() {
+		defer setup.Done()
+		for i := 0; i < lower; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errs <- fmt.Errorf("transport: rank %d accept: %w", rank, err)
+				return
+			}
+			var hello [4]byte
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				errs <- fmt.Errorf("transport: rank %d handshake read: %w", rank, err)
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hello[:]))
+			if peer < 0 || peer >= size || peer >= rank || c.peers[peer] != nil {
+				errs <- fmt.Errorf("transport: rank %d bad handshake from %d", rank, peer)
+				return
+			}
+			c.peers[peer] = &peerLink{conn: conn}
+		}
+	}()
+
+	// Dial all higher ranks.
+	deadline := time.Now().Add(timeout)
+	for peer := rank + 1; peer < size; peer++ {
+		var conn net.Conn
+		for {
+			conn, err = net.DialTimeout("tcp", addrs[peer], time.Second)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				ln.Close()
+				return nil, fmt.Errorf("transport: rank %d dial rank %d (%s): %w", rank, peer, addrs[peer], err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		var hello [4]byte
+		binary.LittleEndian.PutUint32(hello[:], uint32(rank))
+		if _, err := conn.Write(hello[:]); err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("transport: rank %d handshake to %d: %w", rank, peer, err)
+		}
+		c.peers[peer] = &peerLink{conn: conn}
+	}
+
+	setup.Wait()
+	select {
+	case err := <-errs:
+		ln.Close()
+		return nil, err
+	default:
+	}
+
+	// One reader goroutine per peer feeds the shared inbox.
+	for peer, link := range c.peers {
+		if link == nil {
+			continue
+		}
+		c.wg.Add(1)
+		go c.readLoop(peer, link.conn)
+	}
+	return c, nil
+}
+
+func (c *TCPConn) readLoop(peer int, conn net.Conn) {
+	defer c.wg.Done()
+	var hdr [9]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return // peer closed or we closed: inbox close signals Recv
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		kind := hdr[4]
+		from := int(binary.LittleEndian.Uint32(hdr[5:9]))
+		if length > maxFrameSize || from != peer {
+			return // corrupted stream; drop the link
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		c.counters.recvd(len(payload))
+		if err := c.inbox.push(Message{From: from, Kind: kind, Payload: payload}); err != nil {
+			return
+		}
+	}
+}
+
+// Rank implements Conn.
+func (c *TCPConn) Rank() int { return c.rank }
+
+// Size implements Conn.
+func (c *TCPConn) Size() int { return c.size }
+
+// Send implements Conn.
+func (c *TCPConn) Send(to int, kind uint8, payload []byte) error {
+	if err := checkRank(to, c.size); err != nil {
+		return err
+	}
+	if to == c.rank {
+		// Loopback without a socket.
+		if err := c.inbox.push(Message{From: c.rank, Kind: kind, Payload: payload}); err != nil {
+			return err
+		}
+		c.counters.sent(len(payload))
+		c.counters.recvd(len(payload))
+		return nil
+	}
+	link := c.peers[to]
+	if link == nil {
+		return fmt.Errorf("transport: rank %d has no link to %d: %w", c.rank, to, ErrClosed)
+	}
+	var hdr [9]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	hdr[4] = kind
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(c.rank))
+	link.mu.Lock()
+	defer link.mu.Unlock()
+	if _, err := link.conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: rank %d send to %d: %w", c.rank, to, err)
+	}
+	if _, err := link.conn.Write(payload); err != nil {
+		return fmt.Errorf("transport: rank %d send to %d: %w", c.rank, to, err)
+	}
+	c.counters.sent(len(payload))
+	return nil
+}
+
+// Recv implements Conn.
+func (c *TCPConn) Recv() (Message, error) {
+	return c.inbox.pop()
+}
+
+// Counters implements Conn.
+func (c *TCPConn) Counters() Counters { return c.counters.snapshot() }
+
+// Close implements Conn: closes sockets and the listener, unblocks Recv.
+func (c *TCPConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.listener.Close()
+		for _, link := range c.peers {
+			if link != nil {
+				link.conn.Close()
+			}
+		}
+		c.wg.Wait()
+		c.inbox.close()
+	})
+	return nil
+}

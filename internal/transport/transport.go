@@ -1,0 +1,123 @@
+// Package transport provides the message fabric for distributed inference,
+// standing in for the paper's MPI stack (§5.3). Two implementations share
+// one interface: an in-process fabric (goroutine workers, the default for
+// experiments — DESIGN.md §1 documents the substitution) and a real TCP
+// mesh used by cmd/rippled for multi-process runs.
+//
+// Every implementation counts serialised bytes and messages; combined with
+// the NetModel cost model this yields deterministic communication-time
+// estimates for the paper's cluster (10 Gbps Ethernet) independent of the
+// machine the benchmarks run on.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Message is one framed payload between ranks.
+type Message struct {
+	From    int
+	Kind    uint8
+	Payload []byte
+}
+
+// frameOverhead approximates per-message framing cost (length, kind, rank
+// — what our TCP framing actually sends) counted by all transports so
+// byte accounting matches across implementations.
+const frameOverhead = 9
+
+// Conn is one rank's endpoint of the cluster fabric.
+type Conn interface {
+	// Rank is this endpoint's id in [0, Size).
+	Rank() int
+	// Size is the number of ranks in the fabric.
+	Size() int
+	// Send delivers a message to rank `to`. The payload is owned by the
+	// transport after Send returns.
+	Send(to int, kind uint8, payload []byte) error
+	// Recv blocks for the next inbound message.
+	Recv() (Message, error)
+	// Counters returns a snapshot of this endpoint's traffic counters.
+	Counters() Counters
+	// Close tears the endpoint down; blocked Recv calls return an error.
+	Close() error
+}
+
+// Counters tallies traffic through one endpoint.
+type Counters struct {
+	BytesSent, BytesRecv int64
+	MsgsSent, MsgsRecv   int64
+}
+
+// Add returns the element-wise sum of two counters.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		BytesSent: c.BytesSent + o.BytesSent,
+		BytesRecv: c.BytesRecv + o.BytesRecv,
+		MsgsSent:  c.MsgsSent + o.MsgsSent,
+		MsgsRecv:  c.MsgsRecv + o.MsgsRecv,
+	}
+}
+
+// counters is the atomic implementation embedded by transports.
+type counters struct {
+	bytesSent, bytesRecv atomic.Int64
+	msgsSent, msgsRecv   atomic.Int64
+}
+
+func (c *counters) sent(n int) {
+	c.bytesSent.Add(int64(n) + frameOverhead)
+	c.msgsSent.Add(1)
+}
+
+func (c *counters) recvd(n int) {
+	c.bytesRecv.Add(int64(n) + frameOverhead)
+	c.msgsRecv.Add(1)
+}
+
+func (c *counters) snapshot() Counters {
+	return Counters{
+		BytesSent: c.bytesSent.Load(),
+		BytesRecv: c.bytesRecv.Load(),
+		MsgsSent:  c.msgsSent.Load(),
+		MsgsRecv:  c.msgsRecv.Load(),
+	}
+}
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: connection closed")
+
+// NetModel converts measured traffic into communication time for a
+// modelled interconnect: time = bytes/bandwidth + messages·latency.
+type NetModel struct {
+	// BandwidthBytesPerSec is the link bandwidth.
+	BandwidthBytesPerSec float64
+	// LatencyPerMsg is charged once per message (propagation + MPI
+	// envelope handling).
+	LatencyPerMsg time.Duration
+}
+
+// TenGigE models the paper's 10 Gbps Ethernet cluster interconnect.
+var TenGigE = NetModel{
+	BandwidthBytesPerSec: 10e9 / 8,
+	LatencyPerMsg:        50 * time.Microsecond,
+}
+
+// CommTime estimates the wire time for the given traffic.
+func (m NetModel) CommTime(bytes, msgs int64) time.Duration {
+	if m.BandwidthBytesPerSec <= 0 {
+		return time.Duration(msgs) * m.LatencyPerMsg
+	}
+	wire := time.Duration(float64(bytes) / m.BandwidthBytesPerSec * float64(time.Second))
+	return wire + time.Duration(msgs)*m.LatencyPerMsg
+}
+
+func checkRank(rank, size int) error {
+	if rank < 0 || rank >= size {
+		return fmt.Errorf("transport: rank %d out of [0,%d)", rank, size)
+	}
+	return nil
+}

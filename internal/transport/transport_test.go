@@ -1,0 +1,300 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemoryFabricBasic(t *testing.T) {
+	conns, err := NewMemoryFabric(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conns[1].Rank() != 1 || conns[1].Size() != 3 {
+		t.Error("rank/size wrong")
+	}
+	if err := conns[0].Send(2, 7, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := conns[2].Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != 0 || m.Kind != 7 || string(m.Payload) != "hello" {
+		t.Errorf("message = %+v", m)
+	}
+}
+
+func TestMemoryFabricFIFOPerSender(t *testing.T) {
+	conns, err := NewMemoryFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := conns[0].Send(1, 0, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		m, err := conns[1].Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Payload[0] != byte(i) {
+			t.Fatalf("out of order: got %d want %d", m.Payload[0], i)
+		}
+	}
+}
+
+func TestMemoryFabricCounters(t *testing.T) {
+	conns, err := NewMemoryFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 100)
+	if err := conns[0].Send(1, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conns[1].Recv(); err != nil {
+		t.Fatal(err)
+	}
+	s := conns[0].Counters()
+	r := conns[1].Counters()
+	if s.MsgsSent != 1 || s.BytesSent != 100+frameOverhead {
+		t.Errorf("send counters = %+v", s)
+	}
+	if r.MsgsRecv != 1 || r.BytesRecv != 100+frameOverhead {
+		t.Errorf("recv counters = %+v", r)
+	}
+	sum := s.Add(r)
+	if sum.BytesSent != s.BytesSent || sum.BytesRecv != r.BytesRecv {
+		t.Error("Counters.Add wrong")
+	}
+}
+
+func TestMemoryFabricCloseUnblocksRecv(t *testing.T) {
+	conns, err := NewMemoryFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := conns[1].Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	conns[1].Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Recv after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+	if err := conns[0].Send(1, 0, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send to closed = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemoryFabricValidation(t *testing.T) {
+	if _, err := NewMemoryFabric(0); err == nil {
+		t.Error("expected error for size 0")
+	}
+	conns, err := NewMemoryFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conns[0].Send(5, 0, nil); err == nil {
+		t.Error("expected error for bad destination rank")
+	}
+}
+
+func TestMemoryFabricConcurrentAllToAll(t *testing.T) {
+	const k = 8
+	const msgs = 200
+	conns, err := NewMemoryFabric(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < k; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				for to := 0; to < k; to++ {
+					if to == r {
+						continue
+					}
+					if err := conns[r].Send(to, 1, []byte{byte(r)}); err != nil {
+						t.Errorf("send: %v", err)
+						return
+					}
+				}
+			}
+			expect := msgs * (k - 1)
+			for i := 0; i < expect; i++ {
+				if _, err := conns[r].Recv(); err != nil {
+					t.Errorf("recv: %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestNetModelCommTime(t *testing.T) {
+	m := NetModel{BandwidthBytesPerSec: 1e6, LatencyPerMsg: time.Millisecond}
+	// 1 MB at 1 MB/s = 1s, plus 10 messages × 1ms.
+	got := m.CommTime(1_000_000, 10)
+	want := time.Second + 10*time.Millisecond
+	if got != want {
+		t.Errorf("CommTime = %v, want %v", got, want)
+	}
+	zero := NetModel{LatencyPerMsg: time.Millisecond}
+	if zero.CommTime(100, 5) != 5*time.Millisecond {
+		t.Error("zero bandwidth should charge latency only")
+	}
+	if TenGigE.CommTime(0, 0) != 0 {
+		t.Error("no traffic should cost nothing")
+	}
+}
+
+func tcpMesh(t *testing.T, k int) []*TCPConn {
+	t.Helper()
+	addrs := make([]string, k)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", 39100+i)
+	}
+	conns := make([]*TCPConn, k)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for r := 0; r < k; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := DialTCP(r, addrs, 10*time.Second)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			conns[r] = c
+		}(r)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	t.Cleanup(func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+	return conns
+}
+
+func TestTCPMeshExchange(t *testing.T) {
+	conns := tcpMesh(t, 3)
+	// Every rank sends its rank byte to every other rank.
+	for r := 0; r < 3; r++ {
+		for to := 0; to < 3; to++ {
+			if to == r {
+				continue
+			}
+			if err := conns[r].Send(to, 9, []byte{byte(r), 0xAB}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for r := 0; r < 3; r++ {
+		seen := map[int]bool{}
+		for i := 0; i < 2; i++ {
+			m, err := conns[r].Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Kind != 9 || int(m.Payload[0]) != m.From || m.Payload[1] != 0xAB {
+				t.Errorf("rank %d got %+v", r, m)
+			}
+			seen[m.From] = true
+		}
+		if len(seen) != 2 {
+			t.Errorf("rank %d heard from %d peers", r, len(seen))
+		}
+	}
+	c := conns[0].Counters()
+	if c.MsgsSent != 2 || c.MsgsRecv != 2 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestTCPLoopback(t *testing.T) {
+	conns := tcpMesh(t, 2)
+	if err := conns[0].Send(0, 3, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := conns[0].Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From != 0 || string(m.Payload) != "self" {
+		t.Errorf("loopback message = %+v", m)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	conns := tcpMesh(t, 2)
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if err := conns[0].Send(1, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	m, err := conns[1].Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Payload) != len(payload) {
+		t.Fatalf("got %d bytes", len(m.Payload))
+	}
+	for i := range payload {
+		if m.Payload[i] != payload[i] {
+			t.Fatalf("corruption at byte %d", i)
+		}
+	}
+}
+
+func TestTCPCloseUnblocksRecv(t *testing.T) {
+	conns := tcpMesh(t, 2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := conns[1].Recv()
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	conns[1].Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Recv after close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+}
+
+func TestDialTCPValidation(t *testing.T) {
+	if _, err := DialTCP(5, []string{"a", "b"}, time.Second); err == nil {
+		t.Error("expected error for rank out of range")
+	}
+}

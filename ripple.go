@@ -1,0 +1,168 @@
+// Package ripple is a streaming GNN inference framework: it maintains
+// exact GNN predictions over large graphs that receive continuous edge
+// additions/deletions and vertex feature updates, using incremental
+// (delta-message) propagation instead of neighbourhood recomputation.
+//
+// It is a from-scratch Go reproduction of "Ripple: Scalable Incremental
+// GNN Inferencing on Large Streaming Graphs" (Naman & Simmhan, ICDCS
+// 2025). See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured evaluation.
+//
+// # Quick start
+//
+//	g := ripple.NewGraph(numVertices)
+//	g.AddEdge(0, 1, 1.0) // bootstrap topology
+//
+//	model, _ := ripple.NewModel("GS-S", []int{featDim, 64, numClasses}, seed)
+//	eng, _ := ripple.Bootstrap(g, model, features) // offline forward pass
+//
+//	eng.ApplyBatch([]ripple.Update{
+//		{Kind: ripple.EdgeAdd, U: 3, V: 7, Weight: 1},
+//	})
+//	label := eng.Label(7) // fresh prediction, incrementally maintained
+//
+// Models: GraphConv, GraphSAGE and GINConv over the linear aggregators
+// sum, mean and weighted sum — the paper's five workloads GC-S, GS-S,
+// GC-M, GI-S and GC-W. For graphs beyond one machine's memory, see
+// BootstrapDistributed.
+package ripple
+
+import (
+	"io"
+	"time"
+
+	"ripple/internal/engine"
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// Core type surface, re-exported from the implementation packages.
+type (
+	// Graph is a directed graph over a fixed vertex set with dynamic,
+	// weighted edges.
+	Graph = graph.Graph
+	// VertexID identifies a vertex in [0, NumVertices).
+	VertexID = graph.VertexID
+	// Vector is a dense float32 vector (features, embeddings, logits).
+	Vector = tensor.Vector
+	// Update is one streaming graph update.
+	Update = engine.Update
+	// UpdateKind discriminates edge add/delete and feature updates.
+	UpdateKind = engine.UpdateKind
+	// BatchResult reports the cost and reach of one applied batch.
+	BatchResult = engine.BatchResult
+	// Model is an L-layer GNN for vertex classification.
+	Model = gnn.Model
+	// Embeddings is the per-vertex state of layer-wise inference.
+	Embeddings = gnn.Embeddings
+	// Engine incrementally maintains embeddings under streaming updates
+	// (the paper's single-machine Ripple engine).
+	Engine = engine.Ripple
+	// LabelChange is one vertex whose predicted class flipped in a batch
+	// (trigger-based serving; enable with WithLabelTracking).
+	LabelChange = engine.LabelChange
+	// Batcher turns a continuous update stream into size- or
+	// deadline-triggered batches (see NewBatcher).
+	Batcher = engine.Batcher
+)
+
+// Update kinds.
+const (
+	// EdgeAdd inserts directed edge U→V with Weight.
+	EdgeAdd = engine.EdgeAdd
+	// EdgeDelete removes directed edge U→V.
+	EdgeDelete = engine.EdgeDelete
+	// FeatureUpdate replaces vertex U's features.
+	FeatureUpdate = engine.FeatureUpdate
+)
+
+// Workloads lists the supported model/aggregator pairings: GC-S
+// (GraphConv+sum), GS-S (GraphSAGE+sum), GC-M (GraphConv+mean), GI-S
+// (GINConv+sum), GC-W (GraphConv+weighted sum).
+var Workloads = gnn.WorkloadNames
+
+// NewGraph returns an empty directed graph over n vertices.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewVector returns a zeroed feature vector of width d.
+func NewVector(d int) Vector { return tensor.NewVector(d) }
+
+// NewModel builds one of the named workload models with deterministic
+// seeded weights. dims is [featureDim, hidden..., numClasses]; the model
+// has len(dims)-1 layers.
+func NewModel(workload string, dims []int, seed int64) (*Model, error) {
+	return gnn.NewWorkload(workload, dims, seed)
+}
+
+// Infer runs the offline layer-wise forward pass over the whole graph,
+// producing the embedding state streaming updates are applied to
+// (and, at the final layer, every vertex's class logits).
+func Infer(g *Graph, model *Model, features []Vector) (*Embeddings, error) {
+	return gnn.Forward(g, model, features)
+}
+
+// Option customises engine construction in Bootstrap.
+type Option func(*engine.Config)
+
+// WithLabelTracking records per-batch label flips in
+// BatchResult.LabelChanges — the paper's trigger-based serving model:
+// consumers learn about changed predictions without polling.
+func WithLabelTracking() Option {
+	return func(c *engine.Config) { c.TrackLabels = true }
+}
+
+// WithZeroDeltaPruning drops vertices whose embedding was exactly
+// unchanged from further propagation. The paper's Ripple does not prune
+// (results remain exact either way); this is the ablation switch.
+func WithZeroDeltaPruning() Option {
+	return func(c *engine.Config) { c.PruneZeroDeltas = true }
+}
+
+// Bootstrap runs Infer and wraps the result in an incremental Engine. The
+// engine takes ownership of g; do not mutate it directly afterwards —
+// stream updates through ApplyBatch (and AddVertex/RemoveVertex) instead.
+func Bootstrap(g *Graph, model *Model, features []Vector, opts ...Option) (*Engine, error) {
+	emb, err := gnn.Forward(g, model, features)
+	if err != nil {
+		return nil, err
+	}
+	var cfg engine.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return engine.NewRipple(g, model, emb, cfg)
+}
+
+// NewBatcher wraps an engine in a dynamic batcher that flushes when
+// maxSize updates have accumulated or the oldest buffered update is
+// maxDelay old, whichever comes first (either bound may be disabled with
+// a non-positive value, not both). onBatch observes every flush.
+func NewBatcher(eng *Engine, maxSize int, maxDelay time.Duration, onBatch func(BatchResult, error)) (*Batcher, error) {
+	return engine.NewBatcher(eng, maxSize, maxDelay, onBatch)
+}
+
+// LoadEngine restores an engine from a checkpoint written by
+// Engine.Save. model must be built from the same spec (workload, dims,
+// seed) the checkpoint was taken under.
+func LoadEngine(r io.Reader, model *Model, opts ...Option) (*Engine, error) {
+	var cfg engine.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return engine.LoadRipple(r, model, cfg)
+}
+
+// LazyEngine is the request-based serving alternative (§2.2): updates are
+// O(1) mutations with no propagation; each Query recomputes the target's
+// label on demand by exact vertex-wise inference. Choose it for
+// update-heavy, query-light workloads; the trigger-based Engine wins when
+// predictions are read often.
+type LazyEngine = engine.Lazy
+
+// NewLazyEngine builds a request-based engine over the live graph and
+// features (both owned by the engine afterwards). No bootstrap forward
+// pass is needed.
+func NewLazyEngine(g *Graph, model *Model, features []Vector) (*LazyEngine, error) {
+	return engine.NewLazy(g, model, features)
+}

@@ -1,0 +1,127 @@
+package ripple_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ripple"
+)
+
+func buildSmall(t *testing.T) (*ripple.Graph, []ripple.Vector) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := ripple.NewGraph(30)
+	for i := 0; i < 120; i++ {
+		u := ripple.VertexID(rng.Intn(30))
+		v := ripple.VertexID(rng.Intn(30))
+		_ = g.AddEdge(u, v, 1)
+	}
+	x := make([]ripple.Vector, 30)
+	for i := range x {
+		x[i] = ripple.NewVector(8)
+		for j := range x[i] {
+			x[i][j] = rng.Float32()
+		}
+	}
+	return g, x
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	g, x := buildSmall(t)
+	model, err := ripple.NewModel("GS-S", []int{8, 16, 5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ripple.Bootstrap(g, model, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Label(3)
+	_ = before
+	res, err := eng.ApplyBatch([]ripple.Update{
+		{Kind: ripple.EdgeAdd, U: 2, V: 3, Weight: 1},
+		{Kind: ripple.FeatureUpdate, U: 2, Features: ripple.NewVector(8)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected == 0 {
+		t.Error("updates should affect at least one vertex")
+	}
+	if l := eng.Label(3); l < 0 || l >= 5 {
+		t.Errorf("label %d out of class range", l)
+	}
+}
+
+func TestPublicModelValidation(t *testing.T) {
+	if _, err := ripple.NewModel("nope", []int{4, 2}, 1); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+	for _, w := range ripple.Workloads {
+		if _, err := ripple.NewModel(w, []int{4, 4, 2}, 1); err != nil {
+			t.Errorf("NewModel(%s): %v", w, err)
+		}
+	}
+}
+
+func TestPublicDistributedFlow(t *testing.T) {
+	g, x := buildSmall(t)
+	model, err := ripple.NewModel("GC-S", []int{8, 16, 5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirror for ground truth.
+	g2, _ := buildSmall(t)
+	truthModelEng, err := ripple.Bootstrap(g2, model, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := ripple.BootstrapDistributed(g, model, x, ripple.DistOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	batch := []ripple.Update{
+		{Kind: ripple.EdgeAdd, U: 1, V: 2, Weight: 1},
+		{Kind: ripple.EdgeAdd, U: 5, V: 9, Weight: 1},
+	}
+	// Deduplicate against bootstrap topology.
+	valid := batch[:0]
+	for _, u := range batch {
+		if !g2.HasEdge(u.U, u.V) {
+			valid = append(valid, u)
+		}
+	}
+	if len(valid) == 0 {
+		t.Skip("random graph already contains test edges")
+	}
+	res, err := cl.ApplyBatch(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected == 0 {
+		t.Error("distributed batch affected nothing")
+	}
+	if _, err := truthModelEng.ApplyBatch(valid); err != nil {
+		t.Fatal(err)
+	}
+	if d := cl.GatherEmbeddings().MaxAbsDiff(truthModelEng.Embeddings()); d > 5e-3 {
+		t.Errorf("distributed differs from single-machine by %v", d)
+	}
+}
+
+func TestPublicDistributedValidation(t *testing.T) {
+	g, x := buildSmall(t)
+	model, err := ripple.NewModel("GC-S", []int{8, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ripple.BootstrapDistributed(g, model, x, ripple.DistOptions{Workers: 0}); err == nil {
+		t.Error("expected error for zero workers")
+	}
+	if _, err := ripple.BootstrapDistributed(g, model, x, ripple.DistOptions{Workers: 2, Partitioner: "bogus"}); err == nil {
+		t.Error("expected error for unknown partitioner")
+	}
+}
