@@ -1,9 +1,9 @@
 // Macro-benchmarks: one per table/figure of the paper's evaluation. Each
 // runs the corresponding experiment from internal/bench at a reduced scale
 // so `go test -bench=.` finishes in minutes; set RIPPLE_BENCH_SCALE (e.g.
-// "1" for the full default scales, "0.2" for smoke) to resize. The
-// authoritative paper-vs-measured record lives in EXPERIMENTS.md,
-// generated with cmd/ripplebench at the default scales.
+// "1" for the full default scales, "0.2" for smoke) to resize. See
+// DESIGN.md §5 for how these map onto the paper's evaluation; the full
+// default-scale record is generated with cmd/ripplebench.
 package ripple_test
 
 import (

@@ -1,0 +1,271 @@
+// Command rippleserve is a single-node HTTP prediction service over the
+// snapshot-isolated serving layer: the paper's trigger-based inference
+// engine (§2.2) put behind a production-shaped read/write API.
+//
+// It bootstraps a synthetic dataset (the offline substitute for OGB, see
+// DESIGN.md §1), runs the incremental engine behind internal/serve, and
+// exposes:
+//
+//	GET  /label/{v}        current predicted class of vertex v
+//	GET  /topk/{v}?k=3     v's k best classes with logit scores
+//	POST /update[?sync=1]  stream graph updates (JSON; see below)
+//	GET  /healthz          liveness + current epoch
+//	GET  /stats            serving counters (epochs, batches, flips, ...)
+//
+// Reads are lock-free snapshot reads: they never block behind an applying
+// batch and always observe a whole published epoch. Writes are coalesced
+// by the admission queue (flush on -batch size or -delay age); ?sync=1
+// bypasses the queue and returns the applied batch's cost.
+//
+// Update JSON: {"updates": [
+//	{"kind": "edge-add", "u": 1, "v": 2, "weight": 1.0},
+//	{"kind": "edge-delete", "u": 2, "v": 1},
+//	{"kind": "feature-update", "u": 3, "features": [0.1, -0.4, ...]}
+// ]}
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"ripple"
+	"ripple/internal/dataset"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "HTTP listen address")
+	ds := flag.String("dataset", "arxiv", "dataset shape: arxiv, reddit, products, papers")
+	scale := flag.Float64("scale", 0.05, "dataset scale (fraction of published |V|)")
+	workload := flag.String("workload", "GS-S", "model workload: GC-S, GS-S, GC-M, GI-S, GC-W")
+	layers := flag.Int("layers", 2, "GNN layers")
+	hidden := flag.Int("hidden", 64, "hidden width")
+	seed := flag.Int64("seed", 42, "generation seed")
+	batch := flag.Int("batch", 128, "admission queue flush size")
+	delay := flag.Duration("delay", 2*time.Millisecond, "admission queue flush age")
+	flag.Parse()
+
+	if err := run(*addr, *ds, *scale, *workload, *layers, *hidden, *seed, *batch, *delay); err != nil {
+		fmt.Fprintln(os.Stderr, "rippleserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, ds string, scale float64, workload string, layers, hidden int, seed int64, batch int, delay time.Duration) error {
+	spec, err := dataset.ByName(ds, scale)
+	if err != nil {
+		return err
+	}
+	spec.Seed = seed
+	log.Printf("generating %s at scale %v (%d vertices, ~%d edges)...", ds, scale, spec.NumVertices, spec.NumEdges())
+	g, features, err := dataset.Generate(spec)
+	if err != nil {
+		return err
+	}
+	dims := []int{spec.FeatureDim}
+	for i := 1; i < layers; i++ {
+		dims = append(dims, hidden)
+	}
+	dims = append(dims, spec.NumClasses)
+	model, err := ripple.NewModel(workload, dims, seed)
+	if err != nil {
+		return err
+	}
+	log.Printf("bootstrapping %s over %d vertices...", model, spec.NumVertices)
+	eng, err := ripple.Bootstrap(g, model, features)
+	if err != nil {
+		return err
+	}
+	// Serve enables label tracking on the engine itself.
+	srv, err := ripple.Serve(eng, ripple.WithAdmission(batch, delay))
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	api := &api{srv: srv, n: spec.NumVertices, classes: spec.NumClasses, workload: workload, dataset: ds}
+	httpSrv := &http.Server{Addr: addr, Handler: api.routes()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("serving %s/%s predictions on %s (epoch 0 published)", ds, workload, addr)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-drained // ListenAndServe returns before Shutdown finishes draining
+	log.Printf("shut down; final stats: %+v", srv.Stats())
+	return nil
+}
+
+// api holds the handlers and the static facts handlers may report without
+// touching engine-owned state.
+type api struct {
+	srv      *ripple.Server
+	n        int
+	classes  int
+	workload string
+	dataset  string
+}
+
+func (a *api) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /label/{v}", a.handleLabel)
+	mux.HandleFunc("GET /topk/{v}", a.handleTopK)
+	mux.HandleFunc("POST /update", a.handleUpdate)
+	mux.HandleFunc("GET /healthz", a.handleHealthz)
+	mux.HandleFunc("GET /stats", a.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (a *api) vertex(w http.ResponseWriter, r *http.Request) (ripple.VertexID, bool) {
+	v, err := strconv.Atoi(r.PathValue("v"))
+	if err != nil || v < 0 || v >= a.n {
+		httpError(w, http.StatusNotFound, "vertex %q out of range [0,%d)", r.PathValue("v"), a.n)
+		return 0, false
+	}
+	return ripple.VertexID(v), true
+}
+
+func (a *api) handleLabel(w http.ResponseWriter, r *http.Request) {
+	v, ok := a.vertex(w, r)
+	if !ok {
+		return
+	}
+	snap := a.srv.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vertex": v,
+		"label":  snap.Label(v),
+		"epoch":  snap.Epoch(),
+	})
+}
+
+func (a *api) handleTopK(w http.ResponseWriter, r *http.Request) {
+	v, ok := a.vertex(w, r)
+	if !ok {
+		return
+	}
+	k := 3
+	if q := r.URL.Query().Get("k"); q != "" {
+		parsed, err := strconv.Atoi(q)
+		if err != nil || parsed < 1 {
+			httpError(w, http.StatusBadRequest, "bad k %q", q)
+			return
+		}
+		k = parsed
+	}
+	snap := a.srv.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vertex": v,
+		"topk":   snap.TopK(v, k),
+		"epoch":  snap.Epoch(),
+	})
+}
+
+// updateJSON is the wire form of one streaming update.
+type updateJSON struct {
+	Kind     string    `json:"kind"`
+	U        int       `json:"u"`
+	V        int       `json:"v"`
+	Weight   float32   `json:"weight"`
+	Features []float32 `json:"features"`
+}
+
+func (a *api) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Updates []updateJSON `json:"updates"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(body.Updates) == 0 {
+		httpError(w, http.StatusBadRequest, "no updates")
+		return
+	}
+	batch := make([]ripple.Update, 0, len(body.Updates))
+	for i, u := range body.Updates {
+		upd := ripple.Update{U: ripple.VertexID(u.U), V: ripple.VertexID(u.V), Weight: u.Weight}
+		switch u.Kind {
+		case "edge-add":
+			upd.Kind = ripple.EdgeAdd
+			if upd.Weight == 0 {
+				upd.Weight = 1
+			}
+		case "edge-delete":
+			upd.Kind = ripple.EdgeDelete
+		case "feature-update", "feature":
+			upd.Kind = ripple.FeatureUpdate
+			upd.Features = ripple.Vector(u.Features)
+		default:
+			httpError(w, http.StatusBadRequest, "updates[%d]: unknown kind %q", i, u.Kind)
+			return
+		}
+		batch = append(batch, upd)
+	}
+
+	if r.URL.Query().Get("sync") != "" {
+		res, err := a.srv.Apply(batch)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "batch rejected: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"applied":     res.Updates,
+			"affected":    res.Affected,
+			"label_flips": len(res.LabelChanges),
+			"latency":     res.Total().String(),
+			"epoch":       a.srv.Snapshot().Epoch(),
+		})
+		return
+	}
+	for i, u := range batch {
+		if err := a.srv.Submit(u); err != nil {
+			httpError(w, http.StatusServiceUnavailable, "updates[%d]: %v", i, err)
+			return
+		}
+	}
+	st := a.srv.Stats()
+	writeJSON(w, http.StatusAccepted, map[string]any{"queued": len(batch), "pending": st.Pending, "epoch": st.Epoch})
+}
+
+func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": a.srv.Snapshot().Epoch()})
+}
+
+func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":  a.dataset,
+		"workload": a.workload,
+		"vertices": a.n,
+		"classes":  a.classes,
+		"serving":  a.srv.Stats(),
+	})
+}

@@ -1,8 +1,12 @@
-// Trigger-based serving: the paper's §2.2 deployment model end to end.
-// A continuous update feed flows through a deadline-bounded Batcher into
-// the engine with label tracking on; subscribers receive push
-// notifications the moment any vertex's prediction flips — no polling, no
-// recomputation on read.
+// Trigger-based serving: the paper's §2.2 deployment model end to end,
+// on the snapshot-isolated concurrent serving layer.
+//
+// A continuous update feed flows through the serving layer's admission
+// queue into the engine; subscribers receive push notifications the
+// moment any vertex's prediction flips — no polling, no recomputation on
+// read. Meanwhile a pool of reader goroutines serves lock-free label
+// lookups from published snapshots the whole time: reads never wait for
+// an applying batch and each read observes one consistent epoch.
 package main
 
 import (
@@ -10,6 +14,7 @@ import (
 	"log"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ripple"
@@ -24,13 +29,16 @@ const (
 func main() {
 	rng := rand.New(rand.NewSource(33))
 
-	// A follower graph with heavy-tailed popularity.
+	// A follower graph with heavy-tailed popularity. follows shadows the
+	// engine-owned topology so the feeder never submits duplicate edges.
 	g := ripple.NewGraph(numUsers)
+	follows := map[[2]ripple.VertexID]bool{}
 	for added := 0; added < numUsers*6; {
 		u := popular(rng)
 		v := popular(rng)
 		if u != v {
 			if err := g.AddEdge(u, v, 1); err == nil {
+				follows[[2]ripple.VertexID{u, v}] = true
 				added++
 			}
 		}
@@ -46,7 +54,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := ripple.Bootstrap(g, model, features, ripple.WithLabelTracking())
+	eng, err := ripple.Bootstrap(g, model, features)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Dynamic batching: flush at 64 updates or 5ms staleness, whichever
+	// first — the paper's §8 latency-deadline extension.
+	srv, err := ripple.Serve(eng, ripple.WithAdmission(64, 5*time.Millisecond))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,35 +72,45 @@ func main() {
 	for i := 0; i < 50; i++ {
 		watched[popular(rng)] = true
 	}
-	var mu sync.Mutex
+	flips, cancel := srv.Subscribe(4096)
+	defer cancel()
+	var notifyWG sync.WaitGroup
+	notifyWG.Add(1)
 	notifications := 0
-	batches := 0
-	onBatch := func(res ripple.BatchResult, err error) {
-		if err != nil {
-			log.Fatal(err)
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		batches++
-		for _, lc := range res.LabelChanges {
+	go func() {
+		defer notifyWG.Done()
+		for lc := range flips {
 			if watched[lc.Vertex] {
 				notifications++
 				if notifications <= 5 {
-					fmt.Printf("  push → user %d moved cohort %d→%d (batch of %d updates, %v)\n",
-						lc.Vertex, lc.Old, lc.New, res.Updates, (res.UpdateTime + res.PropagateTime).Round(time.Microsecond))
+					fmt.Printf("  push → user %d moved cohort %d→%d (epoch %d)\n",
+						lc.Vertex, lc.Old, lc.New, srv.Snapshot().Epoch())
 				}
 			}
 		}
+	}()
+
+	// The read side: 8 recommendation workers hammering lock-free label
+	// lookups while the write stream applies underneath them.
+	var stopReaders atomic.Bool
+	var reads atomic.Int64
+	var readerWG sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		readerWG.Add(1)
+		go func(seed int64) {
+			defer readerWG.Done()
+			rr := rand.New(rand.NewSource(seed))
+			for !stopReaders.Load() {
+				u := popular(rr)
+				if srv.Label(u) >= 0 {
+					reads.Add(1)
+				}
+			}
+		}(int64(r))
 	}
 
-	// Dynamic batching: flush at 64 updates or 5ms staleness, whichever
-	// first — the paper's §8 latency-deadline extension.
-	batcher, err := ripple.NewBatcher(eng, 64, 5*time.Millisecond, onBatch)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// The live feed: follows/unfollows and interest drift.
+	// The live feed: follows and interest drift through the admission
+	// queue.
 	start := time.Now()
 	const totalUpdates = 3000
 	for i := 0; i < totalUpdates; i++ {
@@ -96,27 +121,33 @@ func main() {
 			for j := range f {
 				f[j] = rng.Float32()*2 - 1
 			}
-			if err := batcher.Submit(ripple.Update{Kind: ripple.FeatureUpdate, U: u, Features: f}); err != nil {
+			if err := srv.Submit(ripple.Update{Kind: ripple.FeatureUpdate, U: u, Features: f}); err != nil {
 				log.Fatal(err)
 			}
 		default: // new follow
 			u, v := popular(rng), popular(rng)
-			if u == v || g.HasEdge(u, v) {
+			key := [2]ripple.VertexID{u, v}
+			if u == v || follows[key] {
 				continue
 			}
-			if err := batcher.Submit(ripple.Update{Kind: ripple.EdgeAdd, U: u, V: v, Weight: 1}); err != nil {
+			follows[key] = true
+			if err := srv.Submit(ripple.Update{Kind: ripple.EdgeAdd, U: u, V: v, Weight: 1}); err != nil {
 				log.Fatal(err)
 			}
 		}
 	}
-	batcher.Close()
+	srv.Close() // flushes the queue, closes the flip channel
 	elapsed := time.Since(start)
+	notifyWG.Wait()
+	stopReaders.Store(true)
+	readerWG.Wait()
 
-	mu.Lock()
-	defer mu.Unlock()
-	fmt.Printf("\nprocessed ~%d updates in %v (%.0f up/s) across %d dynamic batches\n",
-		totalUpdates, elapsed.Round(time.Millisecond), float64(totalUpdates)/elapsed.Seconds(), batches)
-	fmt.Printf("%d push notifications delivered for %d watched users\n", notifications, len(watched))
+	st := srv.Stats()
+	fmt.Printf("\nprocessed %d updates in %v (%.0f up/s) across %d dynamic batches (final epoch %d)\n",
+		st.UpdatesApplied, elapsed.Round(time.Millisecond), float64(st.UpdatesApplied)/elapsed.Seconds(), st.Batches, st.Epoch)
+	fmt.Printf("%d lock-free label reads served concurrently with the update stream\n", reads.Load())
+	fmt.Printf("%d cohort flips published, %d push notifications delivered for %d watched users\n",
+		st.LabelFlips, notifications, len(watched))
 }
 
 func popular(rng *rand.Rand) ripple.VertexID {

@@ -1,0 +1,3 @@
+module ripple
+
+go 1.24

@@ -99,7 +99,8 @@ func TestFig8Shape(t *testing.T) {
 	for _, ds := range []string{"arxiv", "products"} {
 		// Robust shape assertions (wall-clock ordering between close
 		// strategies is noisy at this tiny test scale; the authoritative
-		// ordering check is EXPERIMENTS.md at the default scales):
+		// ordering check is cmd/ripplebench at the default scales —
+		// DESIGN.md §5):
 		// vertex-wise is far slower than layer-wise, and the DGL-style
 		// immutable-graph baselines pay orders of magnitude more update
 		// (CSR rebuild) time than the edge-list strategies.

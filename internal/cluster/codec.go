@@ -109,11 +109,35 @@ func (r *reader) vec(width int, what string) tensor.Vector {
 		r.fail(what)
 		return nil
 	}
+	// Bounds-check the whole vector before allocating: a hostile or
+	// corrupt width must not trigger a giant allocation.
+	if uint64(r.off)+uint64(width)*4 > uint64(len(r.b)) {
+		r.fail(what)
+		return nil
+	}
 	v := tensor.NewVector(width)
 	for i := 0; i < width; i++ {
 		v[i] = r.f32(what)
 	}
 	return v
+}
+
+// count validates a wire-declared element count against the bytes left in
+// the payload: n elements of at least minBytes each must fit. This both
+// rejects truncated payloads early and keeps decode allocation bounded by
+// the payload size, so corrupt counts cannot cause huge allocations.
+func (r *reader) count(n uint32, minBytes int, what string) int {
+	if r.err != nil {
+		return 0
+	}
+	// Compare by division: minBytes is wire-derived in the halo case
+	// (4+width*4), so the product n*minBytes could wrap uint64 and slip
+	// past a multiplication-based guard.
+	if minBytes <= 0 || uint64(n) > uint64(len(r.b)-r.off)/uint64(minBytes) {
+		r.fail(what)
+		return 0
+	}
+	return int(n)
 }
 
 func (r *reader) done() error {
@@ -150,12 +174,14 @@ func encodeBatch(seq uint32, updates []routedUpdate) []byte {
 func decodeBatch(payload []byte) (uint32, []routedUpdate, error) {
 	r := &reader{b: payload}
 	seq := r.u32("seq")
-	n := r.u32("count")
+	// Each routed update occupies at least 18 bytes on the wire
+	// (kind + nocompute + u + v + weight + featlen).
+	n := r.count(r.u32("count"), 18, "count")
 	if r.err != nil {
 		return 0, nil, r.err
 	}
 	updates := make([]routedUpdate, 0, n)
-	for i := uint32(0); i < n && r.err == nil; i++ {
+	for i := 0; i < n && r.err == nil; i++ {
 		var u routedUpdate
 		u.Kind = engine.UpdateKind(r.byte("kind"))
 		u.NoCompute = r.byte("nocompute") == 1
@@ -196,12 +222,12 @@ func decodeHalo(payload []byte) (hop int, entries []haloEntry, err error) {
 	r := &reader{b: payload}
 	hop = int(r.u32("hop"))
 	width := int(r.u32("width"))
-	n := r.u32("count")
+	n := r.count(r.u32("count"), 4+width*4, "count")
 	if r.err != nil {
 		return 0, nil, r.err
 	}
 	entries = make([]haloEntry, 0, n)
-	for i := uint32(0); i < n && r.err == nil; i++ {
+	for i := 0; i < n && r.err == nil; i++ {
 		id := graph.VertexID(r.u32("id"))
 		vec := r.vec(width, "delta")
 		entries = append(entries, haloEntry{id: id, vec: vec})
@@ -228,12 +254,12 @@ func decodeIDs(payload []byte) (hop int, phase uint8, ids []graph.VertexID, err 
 	r := &reader{b: payload}
 	hop = int(r.u32("hop"))
 	phase = r.byte("phase")
-	n := r.u32("count")
+	n := r.count(r.u32("count"), 4, "count")
 	if r.err != nil {
 		return 0, 0, nil, r.err
 	}
 	ids = make([]graph.VertexID, 0, n)
-	for i := uint32(0); i < n && r.err == nil; i++ {
+	for i := 0; i < n && r.err == nil; i++ {
 		ids = append(ids, graph.VertexID(r.u32("id")))
 	}
 	if err := r.done(); err != nil {

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"ripple/internal/engine"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// TestDecodeRejectsOverflowingCounts pins the bounds-guard arithmetic: a
+// hostile halo header whose count×entry-size product wraps uint64 must be
+// rejected before any allocation, not admitted by the wrapped product.
+func TestDecodeRejectsOverflowingCounts(t *testing.T) {
+	payload := appendU32(appendU32(appendU32(nil, 1), 0x7FFFFFFF), 0x80000000)
+	if _, _, err := decodeHalo(payload); err == nil {
+		t.Fatal("overflowing halo count decoded without error")
+	}
+	if _, _, err := decodeBatch(appendU32(appendU32(nil, 0), 0xFFFFFFFF)); err == nil {
+		t.Fatal("oversized batch count decoded without error")
+	}
+	if _, _, _, err := decodeIDs(append(appendU32(nil, 0), 0, 0xFF, 0xFF, 0xFF, 0xFF)); err == nil {
+		t.Fatal("oversized id count decoded without error")
+	}
+}
+
+// FuzzCodecRoundTrip fuzzes every wire decoder with (kind, payload)
+// pairs. Two properties must hold for arbitrary input:
+//
+//  1. Decoding never panics and never allocates unboundedly (hostile
+//     counts/widths are rejected by the bounds checks).
+//  2. Whatever decodes successfully re-encodes canonically: a second
+//     decode+encode cycle reproduces the exact same bytes.
+//
+// The seed corpus covers every message kind of the cluster protocol
+// (kindBatch, kindHalo, kindAffect, kindNeed, kindFill, kindDone), each
+// routed to the decoder its kind selects on the real wire.
+func FuzzCodecRoundTrip(f *testing.F) {
+	// kindBatch: a routed sub-batch with all three update kinds, a
+	// NoCompute topology copy, and a feature vector.
+	f.Add(kindBatch, encodeBatch(7, []routedUpdate{
+		{Update: engine.Update{Kind: engine.EdgeAdd, U: 1, V: 2, Weight: 1.5}},
+		{Update: engine.Update{Kind: engine.EdgeDelete, U: 2, V: 1}, NoCompute: true},
+		{Update: engine.Update{Kind: engine.FeatureUpdate, U: 3, Features: tensor.Vector{0.25, -1, 3.5}}},
+	}))
+	// kindHalo / kindFill: per-hop vector payloads (incl. empty).
+	f.Add(kindHalo, encodeHalo(2, 3, []haloEntry{
+		{id: 4, vec: tensor.Vector{1, 2, 3}},
+		{id: 9, vec: tensor.Vector{-0.5, 0, 0.5}},
+	}))
+	f.Add(kindFill, encodeHalo(1, 4, nil))
+	// kindAffect / kindNeed: id lists for the RC phases.
+	f.Add(kindAffect, encodeIDs(1, 0, []graph.VertexID{0, 7, 42}))
+	f.Add(kindNeed, encodeIDs(3, 1, nil))
+	// kindDone: per-batch worker stats.
+	f.Add(kindDone, encodeDone(workerStats{
+		Seq: 9, ComputeNanos: 1e6, UpdateNanos: 2e5, Affected: 12,
+		Messages: 99, VectorOps: 1024, BytesSent: 4096, MsgsSent: 7,
+	}))
+	// Truncated/garbage seeds steer the fuzzer at the error paths.
+	f.Add(kindBatch, []byte{1, 2})
+	f.Add(kindHalo, []byte{0xff, 0xff, 0xff, 0xff})
+	// Regression: width/count chosen so n*(4+width*4) wraps uint64 to 0 —
+	// a multiplication-based bounds guard would admit a ~64 GiB
+	// preallocation. appendU32 order: hop, width, count.
+	f.Add(kindHalo, appendU32(appendU32(appendU32(nil, 1), 0x7FFFFFFF), 0x80000000))
+
+	f.Fuzz(func(t *testing.T, kind byte, payload []byte) {
+		switch kind {
+		case kindBatch:
+			seq, ups, err := decodeBatch(payload)
+			if err != nil {
+				return
+			}
+			enc := encodeBatch(seq, ups)
+			seq2, ups2, err := decodeBatch(enc)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if seq2 != seq || len(ups2) != len(ups) {
+				t.Fatalf("re-decode mismatch: seq %d→%d, %d→%d updates", seq, seq2, len(ups), len(ups2))
+			}
+			if enc2 := encodeBatch(seq2, ups2); !bytes.Equal(enc, enc2) {
+				t.Fatal("batch encoding not canonical")
+			}
+		case kindHalo, kindFill:
+			hop, entries, err := decodeHalo(payload)
+			if err != nil {
+				return
+			}
+			width := 0
+			if len(entries) > 0 {
+				width = len(entries[0].vec)
+			}
+			enc := encodeHalo(hop, width, entries)
+			hop2, entries2, err := decodeHalo(enc)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if hop2 != hop || len(entries2) != len(entries) {
+				t.Fatalf("re-decode mismatch: hop %d→%d, %d→%d entries", hop, hop2, len(entries), len(entries2))
+			}
+			if enc2 := encodeHalo(hop2, width, entries2); !bytes.Equal(enc, enc2) {
+				t.Fatal("halo encoding not canonical")
+			}
+		case kindAffect, kindNeed:
+			hop, phase, ids, err := decodeIDs(payload)
+			if err != nil {
+				return
+			}
+			enc := encodeIDs(hop, phase, ids)
+			hop2, phase2, ids2, err := decodeIDs(enc)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if hop2 != hop || phase2 != phase || len(ids2) != len(ids) {
+				t.Fatal("re-decode mismatch")
+			}
+			if enc2 := encodeIDs(hop2, phase2, ids2); !bytes.Equal(enc, enc2) {
+				t.Fatal("id-list encoding not canonical")
+			}
+		case kindDone:
+			st, err := decodeDone(payload)
+			if err != nil {
+				return
+			}
+			enc := encodeDone(st)
+			st2, err := decodeDone(enc)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if enc2 := encodeDone(st2); !bytes.Equal(enc, enc2) {
+				t.Fatal("stats encoding not canonical")
+			}
+		}
+	})
+}

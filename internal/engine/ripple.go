@@ -110,6 +110,12 @@ func NewRipple(g *graph.Graph, model *gnn.Model, emb *gnn.Embeddings, cfg Config
 // Name implements Strategy.
 func (r *Ripple) Name() string { return "Ripple" }
 
+// EnableLabelTracking switches on Config.TrackLabels after construction.
+// The serving layer depends on BatchResult.LabelChanges/FinalFrontier and
+// calls this to guarantee the invariant regardless of how the engine was
+// bootstrapped. Must not be called concurrently with ApplyBatch.
+func (r *Ripple) EnableLabelTracking() { r.cfg.TrackLabels = true }
+
 // Graph exposes the engine-owned graph for read-only inspection.
 func (r *Ripple) Graph() *graph.Graph { return r.g }
 
@@ -293,6 +299,7 @@ func (r *Ripple) ApplyBatch(batch []Update) (BatchResult, error) {
 
 		if r.cfg.TrackLabels && l == r.model.L() {
 			res.LabelChanges = r.trackLabelChanges(frontier)
+			res.FinalFrontier = append([]graph.VertexID(nil), frontier...)
 		}
 	}
 	res.PropagateTime = time.Since(start)

@@ -95,6 +95,11 @@ type BatchResult struct {
 	// this batch (only populated when Config.TrackLabels is set) — the
 	// trigger-based notification stream of §2.2.
 	LabelChanges []LabelChange
+	// FinalFrontier lists every vertex whose final-layer embedding was
+	// recomputed in this batch (only populated when Config.TrackLabels is
+	// set). A serving layer uses it to refresh exactly the stale rows of
+	// its published label/logit tables instead of rescanning all vertices.
+	FinalFrontier []graph.VertexID
 }
 
 // Total returns the end-to-end batch latency: update + propagate (or the

@@ -1,0 +1,361 @@
+// Package serve is the snapshot-isolated concurrent serving layer over
+// the Ripple engine — the missing piece between the paper's trigger-based
+// inference model (§2.2) and a deployment where many consumers read
+// predictions while the update stream is applying.
+//
+// The engine itself is single-writer: every Label read races with an
+// in-flight ApplyBatch. This package decouples the two with epoch-based
+// publication of immutable snapshots:
+//
+//   - Writes are serialised. Each applied batch rebuilds only the label
+//     and logit rows named by BatchResult.FinalFrontier (copy-on-write
+//     over the previous epoch's tables) and publishes the new Snapshot
+//     with a single atomic pointer store.
+//   - Reads are lock-free and never block a writer: a reader loads the
+//     current snapshot pointer and works on immutable data. Pinning a
+//     snapshot gives repeatable reads for arbitrarily long — the pinned
+//     epoch can never observe a half-applied batch, because batches are
+//     only ever visible as whole published epochs.
+//   - An admission queue (the engine's dynamic Batcher) coalesces
+//     individual Submit calls into batches, flushing on size or age so
+//     bursts amortise propagation cost and trickles stay fresh.
+//
+// Label-change triggers reuse the engine's TrackLabels machinery:
+// subscribers get every LabelChange pushed over a channel the moment the
+// batch that caused it is published.
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ripple/internal/engine"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults.
+type Config struct {
+	// MaxBatch is the admission queue's size trigger: a flush happens as
+	// soon as this many updates are buffered. Default 256.
+	MaxBatch int
+	// MaxAge is the admission queue's staleness trigger: a flush happens
+	// once the oldest buffered update is this old. Default 2ms.
+	MaxAge time.Duration
+	// OnBatch, when set, observes every applied (or rejected) batch from
+	// both the admission queue and direct Apply calls. It runs with the
+	// write lock held and must not call back into the Server.
+	OnBatch func(engine.BatchResult, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxAge <= 0 {
+		c.MaxAge = 2 * time.Millisecond
+	}
+	return c
+}
+
+// ErrClosed is returned by write operations after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Stats is a point-in-time counter snapshot of a Server.
+type Stats struct {
+	Epoch          uint64 `json:"epoch"`           // current published epoch
+	Batches        int64  `json:"batches"`         // batches applied
+	Rejected       int64  `json:"rejected"`        // batches rejected by validation
+	UpdatesApplied int64  `json:"updates_applied"` // updates in applied batches
+	LabelFlips     int64  `json:"label_flips"`     // label changes published
+	Dropped        int64  `json:"dropped"`         // notifications dropped on full subscriber channels
+	Reads          int64  `json:"reads"`           // explicit Snapshot() pins served
+	Pending        int    `json:"pending"`         // updates buffered in the admission queue
+	Subscribers    int    `json:"subscribers"`     // live subscriptions
+}
+
+// Server serves predictions from a Ripple engine under concurrent load.
+// All mutation goes through the Server (Submit/Apply); the wrapped engine
+// and its graph must not be touched directly while serving.
+type Server struct {
+	eng     *engine.Ripple
+	cfg     Config
+	onBatch func(engine.BatchResult, error)
+
+	cur atomic.Pointer[Snapshot]
+
+	mu      sync.Mutex // serialises ApplyBatch + publication + subscriber set
+	closed  bool
+	subs    map[int]chan engine.LabelChange
+	nextSub int
+
+	batcher *engine.Batcher
+
+	batches  atomic.Int64
+	rejected atomic.Int64
+	updates  atomic.Int64
+	flips    atomic.Int64
+	dropped  atomic.Int64
+	reads    atomic.Int64
+}
+
+// New wraps an engine in a serving layer and publishes the bootstrap
+// snapshot (epoch 0) from a full scan of the final layer. It enables the
+// engine's label tracking: the incremental snapshot rebuild and the
+// Subscribe triggers both depend on it.
+func New(eng *engine.Ripple, cfg Config) (*Server, error) {
+	if eng == nil {
+		return nil, errors.New("serve: nil engine")
+	}
+	cfg = cfg.withDefaults()
+	eng.EnableLabelTracking()
+
+	emb := eng.Embeddings()
+	n, classes := emb.N, emb.Dims[emb.L()]
+	s := &Server{
+		eng:     eng,
+		cfg:     cfg,
+		onBatch: cfg.OnBatch,
+		subs:    map[int]chan engine.LabelChange{},
+	}
+	boot := &Snapshot{
+		epoch:   0,
+		classes: classes,
+		labels:  make([]int32, n),
+		logits:  make([]float32, n*classes),
+	}
+	final := emb.H[emb.L()]
+	for v := 0; v < n; v++ {
+		copy(boot.logits[v*classes:(v+1)*classes], final[v])
+		boot.labels[v] = int32(eng.Label(graph.VertexID(v)))
+	}
+	s.cur.Store(boot)
+
+	b, err := engine.NewBatcher(applyFunc(s.applyCoalesced), cfg.MaxBatch, cfg.MaxAge, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.batcher = b
+	return s, nil
+}
+
+// applyFunc adapts a function to engine.Strategy for the admission queue.
+type applyFunc func([]engine.Update) (engine.BatchResult, error)
+
+func (applyFunc) Name() string { return "serve" }
+func (f applyFunc) ApplyBatch(batch []engine.Update) (engine.BatchResult, error) {
+	return f(batch)
+}
+
+// Snapshot pins the current epoch. The returned snapshot is immutable:
+// every read through it observes the same published state, regardless of
+// concurrent writes.
+func (s *Server) Snapshot() *Snapshot {
+	s.reads.Add(1)
+	return s.cur.Load()
+}
+
+// Label returns vertex v's predicted class at the current epoch (-1 if
+// out of range or removed). Lock-free: the convenience read paths do not
+// touch the (shared, contended) Stats.Reads counter — only explicit
+// Snapshot pins are counted.
+func (s *Server) Label(v graph.VertexID) int { return s.cur.Load().Label(v) }
+
+// Embedding returns a copy of vertex v's final-layer logits at the
+// current epoch (nil if out of range). Lock-free.
+func (s *Server) Embedding(v graph.VertexID) tensor.Vector { return s.cur.Load().Embedding(v) }
+
+// TopK returns vertex v's k best classes at the current epoch. Lock-free.
+func (s *Server) TopK(v graph.VertexID, k int) []Ranked { return s.cur.Load().TopK(v, k) }
+
+// Submit enqueues one update on the admission queue; it is applied — and
+// becomes visible as a new epoch — when the queue flushes on size or age.
+// If a coalesced flush fails validation, the valid updates in it are
+// salvaged and applied individually: one client's bad update cannot
+// discard other clients' queued writes. Rejections are observable via
+// Config.OnBatch and Stats.Rejected.
+func (s *Server) Submit(u engine.Update) error {
+	if err := s.batcher.Submit(u); err != nil {
+		if errors.Is(err, engine.ErrBatcherClosed) {
+			return ErrClosed
+		}
+		return err
+	}
+	return nil
+}
+
+// Flush forces the admission queue's buffered updates out immediately.
+func (s *Server) Flush() { s.batcher.Flush() }
+
+// Apply applies one batch synchronously, bypassing the admission queue,
+// and publishes the resulting epoch before returning. Concurrent with
+// Submit traffic; both paths serialise on the same write lock.
+func (s *Server) Apply(batch []engine.Update) (engine.BatchResult, error) {
+	return s.applyLocked(batch)
+}
+
+// applyCoalesced is the admission queue's flush path. The engine's batch
+// contract is all-or-nothing, but a coalesced flush mixes independent
+// submitters — so on rejection the batch is re-applied update by update,
+// salvaging every valid write and dropping only the invalid ones (each
+// counted in Stats.Rejected and reported to OnBatch). The transient
+// whole-batch rejection that triggers salvage is not itself counted or
+// reported: observers see only the per-update outcomes.
+func (s *Server) applyCoalesced(batch []engine.Update) (engine.BatchResult, error) {
+	res, err := s.apply(batch, len(batch) > 1)
+	if err == nil || len(batch) <= 1 || errors.Is(err, ErrClosed) {
+		return res, err
+	}
+	var agg engine.BatchResult
+	for _, u := range batch {
+		one, err := s.applyLocked([]engine.Update{u})
+		if err != nil {
+			continue // invalid (or server closed); already counted/observed
+		}
+		agg.Updates += one.Updates
+		agg.Affected += one.Affected
+		agg.Messages += one.Messages
+		agg.VectorOps += one.VectorOps
+		agg.UpdateTime += one.UpdateTime
+		agg.PropagateTime += one.PropagateTime
+		agg.LabelChanges = append(agg.LabelChanges, one.LabelChanges...)
+	}
+	return agg, nil
+}
+
+// applyLocked is the single write path: engine apply, copy-on-write
+// snapshot rebuild, atomic publication, subscriber fan-out. Rebuilding
+// clones the label/logit tables (one memmove each) and rewrites only the
+// rows named by FinalFrontier; batches that touch no final-layer row
+// republish the previous epoch's storage without copying. Per-row paging
+// to drop the O(|V|) clone on huge graphs is future work (see ROADMAP).
+func (s *Server) applyLocked(batch []engine.Update) (engine.BatchResult, error) {
+	return s.apply(batch, false)
+}
+
+// apply is applyLocked with rejection accounting optionally suppressed
+// (quietReject) for the transient whole-batch failure that precedes a
+// per-update salvage.
+func (s *Server) apply(batch []engine.Update, quietReject bool) (engine.BatchResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return engine.BatchResult{}, ErrClosed
+	}
+	res, err := s.eng.ApplyBatch(batch)
+	if err != nil {
+		if !quietReject {
+			s.rejected.Add(1)
+			if s.onBatch != nil {
+				s.onBatch(res, err)
+			}
+		}
+		return res, err
+	}
+
+	old := s.cur.Load()
+	next := &Snapshot{epoch: old.epoch + 1, classes: old.classes}
+	if len(res.FinalFrontier) == 0 {
+		// No final-layer row changed: share the previous epoch's storage
+		// (immutable either way) instead of cloning it.
+		next.labels, next.logits = old.labels, old.logits
+	} else {
+		next.labels = append([]int32(nil), old.labels...)
+		next.logits = append([]float32(nil), old.logits...)
+		final := s.eng.Embeddings().H[s.eng.Embeddings().L()]
+		for _, v := range res.FinalFrontier {
+			copy(next.logits[int(v)*next.classes:(int(v)+1)*next.classes], final[v])
+			next.labels[v] = int32(s.eng.Label(v))
+		}
+	}
+	s.cur.Store(next)
+
+	s.batches.Add(1)
+	s.updates.Add(int64(res.Updates))
+	s.flips.Add(int64(len(res.LabelChanges)))
+	for _, lc := range res.LabelChanges {
+		for _, ch := range s.subs {
+			select {
+			case ch <- lc:
+			default:
+				s.dropped.Add(1)
+			}
+		}
+	}
+	if s.onBatch != nil {
+		s.onBatch(res, nil)
+	}
+	return res, nil
+}
+
+// Subscribe registers for label-change triggers: every LabelChange of
+// every applied batch is sent on the returned channel, in batch order. A
+// subscriber that falls more than buffer notifications behind loses the
+// excess (counted in Stats.Dropped) rather than stalling the write path.
+// cancel unsubscribes and closes the channel.
+func (s *Server) Subscribe(buffer int) (<-chan engine.LabelChange, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan engine.LabelChange, buffer)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		close(ch) // a ranging consumer terminates instead of hanging forever
+		return ch, func() {}
+	}
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = ch
+	s.mu.Unlock()
+	// Whoever removes the subscription from the map owns closing the
+	// channel — this makes cancel idempotent and safe against Close.
+	cancel := func() {
+		s.mu.Lock()
+		_, live := s.subs[id]
+		delete(s.subs, id)
+		s.mu.Unlock()
+		if live {
+			close(ch)
+		}
+	}
+	return ch, cancel
+}
+
+// Stats returns current counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	subs := len(s.subs)
+	s.mu.Unlock()
+	return Stats{
+		Epoch:          s.cur.Load().epoch,
+		Batches:        s.batches.Load(),
+		Rejected:       s.rejected.Load(),
+		UpdatesApplied: s.updates.Load(),
+		LabelFlips:     s.flips.Load(),
+		Dropped:        s.dropped.Load(),
+		Reads:          s.reads.Load(),
+		Pending:        s.batcher.Pending(),
+		Subscribers:    subs,
+	}
+}
+
+// Close flushes the admission queue, stops accepting writes, and closes
+// all subscriber channels. Reads keep working against the final epoch.
+func (s *Server) Close() {
+	s.batcher.Close() // flushes the remainder through applyLocked
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	subs := s.subs
+	s.subs = map[int]chan engine.LabelChange{}
+	s.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+}

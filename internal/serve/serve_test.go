@@ -1,0 +1,571 @@
+package serve
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ripple/internal/engine"
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+const (
+	testN       = 300
+	testFeatDim = 8
+	testClasses = 6
+)
+
+// world is a bootstrapped engine plus the bookkeeping a single-threaded
+// writer needs to generate valid random batches against it.
+type world struct {
+	eng   *engine.Ripple
+	rng   *rand.Rand
+	edges map[[2]graph.VertexID]bool
+}
+
+func newWorld(t testing.TB, seed int64) *world {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(testN)
+	edges := map[[2]graph.VertexID]bool{}
+	for len(edges) < testN*4 {
+		u := graph.VertexID(rng.Intn(testN))
+		v := graph.VertexID(rng.Intn(testN))
+		if u == v || edges[[2]graph.VertexID{u, v}] {
+			continue
+		}
+		if err := g.AddEdge(u, v, 0.5+rng.Float32()); err != nil {
+			t.Fatal(err)
+		}
+		edges[[2]graph.VertexID{u, v}] = true
+	}
+	features := make([]tensor.Vector, testN)
+	for i := range features {
+		features[i] = randVec(rng, testFeatDim)
+	}
+	model, err := gnn.NewWorkload("GS-S", []int{testFeatDim, 16, testClasses}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := gnn.Forward(g, model, features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.NewRipple(g, model, emb, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &world{eng: eng, rng: rng, edges: edges}
+}
+
+func randVec(rng *rand.Rand, d int) tensor.Vector {
+	v := tensor.NewVector(d)
+	for i := range v {
+		v[i] = rng.Float32()*4 - 2
+	}
+	return v
+}
+
+// batch generates one valid random batch of size k: feature updates and
+// edge adds/deletes, each edge slot touched at most once per batch.
+func (w *world) batch(k int) []engine.Update {
+	var batch []engine.Update
+	touched := map[[2]graph.VertexID]bool{}
+	for len(batch) < k {
+		switch w.rng.Intn(3) {
+		case 0: // feature update
+			u := graph.VertexID(w.rng.Intn(testN))
+			batch = append(batch, engine.Update{Kind: engine.FeatureUpdate, U: u, Features: randVec(w.rng, testFeatDim)})
+		case 1: // edge add
+			u := graph.VertexID(w.rng.Intn(testN))
+			v := graph.VertexID(w.rng.Intn(testN))
+			key := [2]graph.VertexID{u, v}
+			if u == v || w.edges[key] || touched[key] {
+				continue
+			}
+			w.edges[key] = true
+			touched[key] = true
+			batch = append(batch, engine.Update{Kind: engine.EdgeAdd, U: u, V: v, Weight: 0.5 + w.rng.Float32()})
+		default: // edge delete
+			if len(w.edges) == 0 {
+				continue
+			}
+			for key := range w.edges {
+				if touched[key] {
+					break
+				}
+				delete(w.edges, key)
+				touched[key] = true
+				batch = append(batch, engine.Update{Kind: engine.EdgeDelete, U: key[0], V: key[1]})
+				break
+			}
+		}
+	}
+	return batch
+}
+
+// TestSnapshotMatchesEngine checks that after a stream of batches the
+// published snapshot agrees with the engine on every vertex.
+func TestSnapshotMatchesEngine(t *testing.T) {
+	w := newWorld(t, 1)
+	srv, err := New(w.eng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 40; i++ {
+		if _, err := srv.Apply(w.batch(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := srv.Snapshot()
+	if snap.Epoch() != 40 {
+		t.Fatalf("epoch = %d, want 40", snap.Epoch())
+	}
+	final := w.eng.Embeddings().H[w.eng.Embeddings().L()]
+	for v := 0; v < testN; v++ {
+		id := graph.VertexID(v)
+		if got, want := snap.Label(id), w.eng.Label(id); got != want {
+			t.Fatalf("vertex %d: snapshot label %d, engine label %d", v, got, want)
+		}
+		if got := snap.Embedding(id); got.MaxAbsDiff(final[v]) != 0 {
+			t.Fatalf("vertex %d: snapshot logits diverge from engine", v)
+		}
+	}
+}
+
+// TestSnapshotIsolation is the regression test for the core guarantee: a
+// pinned snapshot never observes any part of a later batch — not a
+// half-applied one, not a fully applied one.
+func TestSnapshotIsolation(t *testing.T) {
+	w := newWorld(t, 2)
+	srv, err := New(w.eng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Apply(w.batch(8)); err != nil {
+		t.Fatal(err)
+	}
+
+	pinned := srv.Snapshot()
+	wantEpoch := pinned.Epoch()
+	wantLabels := make([]int, testN)
+	wantLogits := make([]tensor.Vector, testN)
+	for v := 0; v < testN; v++ {
+		wantLabels[v] = pinned.Label(graph.VertexID(v))
+		wantLogits[v] = pinned.Embedding(graph.VertexID(v))
+	}
+
+	for i := 0; i < 50; i++ {
+		if _, err := srv.Apply(w.batch(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if pinned.Epoch() != wantEpoch {
+		t.Fatalf("pinned epoch mutated: %d → %d", wantEpoch, pinned.Epoch())
+	}
+	for v := 0; v < testN; v++ {
+		id := graph.VertexID(v)
+		if pinned.Label(id) != wantLabels[v] {
+			t.Fatalf("vertex %d: pinned label mutated %d → %d", v, wantLabels[v], pinned.Label(id))
+		}
+		if pinned.Embedding(id).MaxAbsDiff(wantLogits[v]) != 0 {
+			t.Fatalf("vertex %d: pinned logits mutated", v)
+		}
+	}
+	if cur := srv.Snapshot(); cur.Epoch() != wantEpoch+50 {
+		t.Fatalf("current epoch = %d, want %d", cur.Epoch(), wantEpoch+50)
+	}
+}
+
+// TestConcurrentReadsDuringApplies runs 12 reader goroutines against a
+// continuous stream of update batches (both the synchronous Apply path
+// and the admission queue) and checks, inside every pinned snapshot, the
+// epoch-consistency invariant label == argmax(logits). Run under -race
+// this is the concurrency proof for the serving layer.
+func TestConcurrentReadsDuringApplies(t *testing.T) {
+	w := newWorld(t, 3)
+	srv, err := New(w.eng, Config{MaxBatch: 16, MaxAge: 500 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 12
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var lastEpoch uint64
+			for !done.Load() {
+				snap := srv.Snapshot()
+				if e := snap.Epoch(); e < lastEpoch {
+					errs <- "epoch went backwards"
+					return
+				} else {
+					lastEpoch = e
+				}
+				for i := 0; i < 8; i++ {
+					v := graph.VertexID(rng.Intn(testN))
+					label := snap.Label(v)
+					logits := snap.Embedding(v)
+					if label != logits.ArgMax() {
+						errs <- "snapshot label inconsistent with its own logits"
+						return
+					}
+					if again := snap.Label(v); again != label {
+						errs <- "non-repeatable read within one snapshot"
+						return
+					}
+					if tk := snap.TopK(v, 3); len(tk) != 3 || tk[0].Class != label {
+						errs <- "TopK head disagrees with Label"
+						return
+					}
+				}
+				// Exercise the convenience (current-epoch) read path too.
+				srv.Label(graph.VertexID(rng.Intn(testN)))
+			}
+		}(int64(r + 100))
+	}
+
+	// Writer: 120 synchronous batches interleaved with admission-queue
+	// traffic, all from this goroutine (batch generation is stateful).
+	// Submitted updates are feature-only: they stay valid no matter how
+	// the queue's flushes interleave with the synchronous edge batches.
+stream:
+	for i := 0; i < 120; i++ {
+		if _, err := srv.Apply(w.batch(6)); err != nil {
+			t.Error(err)
+			break
+		}
+		for j := 0; j < 4; j++ {
+			u := graph.VertexID(w.rng.Intn(testN))
+			if err := srv.Submit(engine.Update{Kind: engine.FeatureUpdate, U: u, Features: randVec(w.rng, testFeatDim)}); err != nil {
+				t.Error(err)
+				break stream
+			}
+		}
+	}
+	srv.Flush()
+	done.Store(true)
+	wg.Wait()
+	srv.Close()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+
+	// Quiescent: the final epoch must agree with the engine exactly.
+	snap := srv.Snapshot()
+	for v := 0; v < testN; v++ {
+		if got, want := snap.Label(graph.VertexID(v)), w.eng.Label(graph.VertexID(v)); got != want {
+			t.Fatalf("vertex %d: final label %d, engine %d", v, got, want)
+		}
+	}
+}
+
+// TestSubscribeDeliversEveryFlip checks the trigger path: with a buffer
+// large enough to never drop, subscribers see exactly the label flips the
+// engine reported, and cancel/Close close the channel exactly once.
+func TestSubscribeDeliversEveryFlip(t *testing.T) {
+	w := newWorld(t, 4)
+	srv, err := New(w.eng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := srv.Subscribe(1 << 14)
+	for i := 0; i < 60; i++ {
+		if _, err := srv.Apply(w.batch(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	if st.LabelFlips == 0 {
+		t.Fatal("workload produced no label flips; test is vacuous")
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("%d notifications dropped despite huge buffer", st.Dropped)
+	}
+	var got int64
+	for len(ch) > 0 {
+		lc := <-ch
+		if lc.Old == lc.New {
+			t.Fatalf("notification with no flip: %+v", lc)
+		}
+		got++
+	}
+	if got != st.LabelFlips {
+		t.Fatalf("received %d notifications, engine reported %d flips", got, st.LabelFlips)
+	}
+	cancel()
+	cancel() // idempotent
+	if _, open := <-ch; open {
+		t.Fatal("channel still open after cancel")
+	}
+	srv.Close() // must not double-close the cancelled channel
+}
+
+// TestAdmissionQueueCoalesces checks the size trigger batches Submit
+// traffic and Flush drains the remainder.
+func TestAdmissionQueueCoalesces(t *testing.T) {
+	w := newWorld(t, 5)
+	srv, err := New(w.eng, Config{MaxBatch: 16, MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 64; i++ {
+		u := graph.VertexID(w.rng.Intn(testN))
+		if err := srv.Submit(engine.Update{Kind: engine.FeatureUpdate, U: u, Features: randVec(w.rng, testFeatDim)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := srv.Stats(); st.Batches != 4 || st.UpdatesApplied != 64 || st.Pending != 0 {
+		t.Fatalf("after 64 submits: %+v, want 4 batches of 16", st)
+	}
+	u := graph.VertexID(w.rng.Intn(testN))
+	if err := srv.Submit(engine.Update{Kind: engine.FeatureUpdate, U: u, Features: randVec(w.rng, testFeatDim)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.Pending != 1 {
+		t.Fatalf("pending = %d, want 1", st.Pending)
+	}
+	srv.Flush()
+	if st := srv.Stats(); st.Batches != 5 || st.Pending != 0 {
+		t.Fatalf("after flush: %+v, want 5 batches", st)
+	}
+}
+
+// TestRejectedBatchPublishesNothing checks failure atomicity end to end:
+// a batch that fails validation leaves the published epoch untouched.
+func TestRejectedBatchPublishesNothing(t *testing.T) {
+	w := newWorld(t, 6)
+	var observed error
+	srv, err := New(w.eng, Config{OnBatch: func(_ engine.BatchResult, err error) { observed = err }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var existing [2]graph.VertexID
+	for key := range w.edges {
+		existing = key
+		break
+	}
+	bad := []engine.Update{{Kind: engine.EdgeAdd, U: existing[0], V: existing[1], Weight: 1}}
+	if _, err := srv.Apply(bad); err == nil {
+		t.Fatal("duplicate edge-add accepted")
+	}
+	if observed == nil {
+		t.Fatal("OnBatch did not observe the rejection")
+	}
+	if st := srv.Stats(); st.Epoch != 0 || st.Rejected != 1 || st.Batches != 0 {
+		t.Fatalf("after rejection: %+v, want epoch 0", st)
+	}
+	if _, err := srv.Apply(w.batch(4)); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.Epoch != 1 || st.Batches != 1 {
+		t.Fatalf("after recovery: %+v, want epoch 1", st)
+	}
+}
+
+// TestWritesAfterCloseFail checks Close semantics: writes fail, reads
+// keep serving the final epoch.
+func TestWritesAfterCloseFail(t *testing.T) {
+	w := newWorld(t, 7)
+	srv, err := New(w.eng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Apply(w.batch(4)); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	if err := srv.Submit(engine.Update{Kind: engine.FeatureUpdate, U: 0, Features: randVec(w.rng, testFeatDim)}); err != ErrClosed {
+		t.Fatalf("Submit after close: %v, want ErrClosed", err)
+	}
+	if _, err := srv.Apply(w.batch(4)); err != ErrClosed {
+		t.Fatalf("Apply after close: %v, want ErrClosed", err)
+	}
+	if snap := srv.Snapshot(); snap.Epoch() != 1 || snap.Label(0) < 0 {
+		t.Fatal("reads broken after close")
+	}
+}
+
+// TestCoalescedFlushSalvagesValidUpdates checks that one submitter's
+// invalid update cannot discard other submitters' writes coalesced into
+// the same admission-queue flush.
+func TestCoalescedFlushSalvagesValidUpdates(t *testing.T) {
+	w := newWorld(t, 9)
+	srv, err := New(w.eng, Config{MaxBatch: 3, MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var existing [2]graph.VertexID
+	for key := range w.edges {
+		existing = key
+		break
+	}
+	before := w.eng.Embeddings().H[0][7].Clone()
+	feat := randVec(w.rng, testFeatDim)
+	// Flush of 3: valid feature, invalid duplicate edge-add, valid feature.
+	srv.Submit(engine.Update{Kind: engine.FeatureUpdate, U: 7, Features: feat})
+	srv.Submit(engine.Update{Kind: engine.EdgeAdd, U: existing[0], V: existing[1], Weight: 1})
+	srv.Submit(engine.Update{Kind: engine.FeatureUpdate, U: 8, Features: randVec(w.rng, testFeatDim)})
+	st := srv.Stats()
+	if st.UpdatesApplied != 2 {
+		t.Fatalf("salvaged %d updates, want 2 (stats %+v)", st.UpdatesApplied, st)
+	}
+	// Exactly 1 rejection: the bad singleton. The transient whole-flush
+	// failure that triggered the salvage must not be double-counted.
+	if st.Rejected != 1 || st.Batches != 2 || st.Pending != 0 {
+		t.Fatalf("stats %+v, want 2 applied singletons and 1 rejection", st)
+	}
+	if got := w.eng.Embeddings().H[0][7]; got.MaxAbsDiff(feat) != 0 || got.MaxAbsDiff(before) == 0 {
+		t.Fatal("valid feature update was not salvaged")
+	}
+}
+
+// TestSubscribeAfterClose checks a late subscriber gets a closed channel
+// instead of one that never delivers and never closes.
+func TestSubscribeAfterClose(t *testing.T) {
+	w := newWorld(t, 10)
+	srv, err := New(w.eng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	ch, cancel := srv.Subscribe(8)
+	if _, open := <-ch; open {
+		t.Fatal("subscription after Close should be closed")
+	}
+	cancel() // must not panic
+}
+
+// TestEmptyFrontierSharesStorage checks the no-copy publication fast
+// path: a batch touching no final-layer row advances the epoch without
+// cloning the tables. GraphConv is not self-dependent, so a feature
+// update on a vertex with no out-edges deterministically propagates
+// nowhere: the final frontier is empty.
+func TestEmptyFrontierSharesStorage(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.New(4)
+	// 2-hop path 0→1→2 so a change at 0 reaches the final layer of the
+	// 2-layer model; vertex 3 stays edge-free.
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	features := make([]tensor.Vector, 4)
+	for i := range features {
+		features[i] = randVec(rng, testFeatDim)
+	}
+	model, err := gnn.NewWorkload("GC-S", []int{testFeatDim, 16, testClasses}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := gnn.Forward(g, model, features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.NewRipple(g, model, emb, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(eng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	pre := srv.Snapshot()
+	res, err := srv.Apply([]engine.Update{{Kind: engine.FeatureUpdate, U: 3, Features: randVec(rng, testFeatDim)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalFrontier) != 0 {
+		t.Fatalf("isolated-vertex feature update reached the final layer: %v", res.FinalFrontier)
+	}
+	post := srv.Snapshot()
+	if post.Epoch() != pre.Epoch()+1 {
+		t.Fatalf("epoch %d, want %d", post.Epoch(), pre.Epoch()+1)
+	}
+	if &post.logits[0] != &pre.logits[0] {
+		t.Fatal("empty-frontier publication cloned the tables")
+	}
+	// And the copying path must not share storage.
+	res, err = srv.Apply([]engine.Update{{Kind: engine.FeatureUpdate, U: 0, Features: randVec(rng, testFeatDim)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalFrontier) == 0 {
+		t.Fatal("connected-vertex feature update should reach the final layer")
+	}
+	if cur := srv.Snapshot(); &cur.logits[0] == &post.logits[0] {
+		t.Fatal("non-empty frontier publication shared storage")
+	}
+}
+
+// TestTopKAgainstBruteForce cross-checks TopK against a full sort.
+func TestTopKAgainstBruteForce(t *testing.T) {
+	w := newWorld(t, 8)
+	srv, err := New(w.eng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	snap := srv.Snapshot()
+	for v := 0; v < 32; v++ {
+		logits := snap.Embedding(graph.VertexID(v))
+		for k := 0; k <= testClasses+1; k++ {
+			got := snap.TopK(graph.VertexID(v), k)
+			want := bruteTopK(logits, k)
+			if len(got) != len(want) {
+				t.Fatalf("v=%d k=%d: got %v, want %v", v, k, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("v=%d k=%d: got %v, want %v", v, k, got, want)
+				}
+			}
+		}
+	}
+	if snap.TopK(graph.VertexID(testN), 3) != nil || snap.TopK(-1, 3) != nil {
+		t.Fatal("TopK out of range should be nil")
+	}
+}
+
+func bruteTopK(logits tensor.Vector, k int) []Ranked {
+	if k <= 0 {
+		return nil
+	}
+	all := make([]Ranked, len(logits))
+	for c, s := range logits {
+		all[c] = Ranked{Class: c, Score: s}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].Class < all[j].Class
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// Snapshot is one immutable epoch of the serving tables: every vertex's
+// predicted label and final-layer logits as of the batch that published
+// it. Snapshots are never mutated after publication — a reader that pins
+// one sees a single consistent epoch for as long as it holds the
+// reference, no matter how many batches the writer applies meanwhile
+// (reclamation of unpinned epochs is the garbage collector's job, the Go
+// equivalent of RCU grace periods).
+type Snapshot struct {
+	epoch   uint64
+	classes int
+	labels  []int32   // labels[v]; -1 for removed vertices
+	logits  []float32 // row-major [v*classes : (v+1)*classes]
+}
+
+// Epoch returns the publication epoch: 0 for the bootstrap snapshot,
+// incremented by one for every applied batch.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// NumVertices returns the number of vertices covered by the snapshot.
+func (s *Snapshot) NumVertices() int { return len(s.labels) }
+
+// NumClasses returns the width of the final layer.
+func (s *Snapshot) NumClasses() int { return s.classes }
+
+// Label returns the predicted class of vertex v at this epoch, or -1 if v
+// is out of range or was removed.
+func (s *Snapshot) Label(v graph.VertexID) int {
+	if v < 0 || int(v) >= len(s.labels) {
+		return -1
+	}
+	return int(s.labels[v])
+}
+
+// Embedding returns a copy of vertex v's final-layer logits at this
+// epoch, or nil if v is out of range.
+func (s *Snapshot) Embedding(v graph.VertexID) tensor.Vector {
+	row := s.row(v)
+	if row == nil {
+		return nil
+	}
+	out := tensor.NewVector(s.classes)
+	copy(out, row)
+	return out
+}
+
+// row returns the internal logit row of v (shared storage — callers must
+// not write through it), or nil if v is out of range.
+func (s *Snapshot) row(v graph.VertexID) []float32 {
+	if v < 0 || int(v) >= len(s.labels) {
+		return nil
+	}
+	return s.logits[int(v)*s.classes : (int(v)+1)*s.classes]
+}
+
+// Ranked is one entry of a TopK result: a class and its logit score.
+type Ranked struct {
+	Class int     `json:"class"`
+	Score float32 `json:"score"`
+}
+
+// TopK returns vertex v's k highest-scoring classes in descending score
+// order (ties broken by lower class id), or nil if v is out of range. k
+// is clamped to the number of classes.
+func (s *Snapshot) TopK(v graph.VertexID, k int) []Ranked {
+	row := s.row(v)
+	if row == nil || k <= 0 {
+		return nil
+	}
+	if k > s.classes {
+		k = s.classes
+	}
+	out := make([]Ranked, 0, k)
+	for c, score := range row {
+		// Insert into the (small, k-bounded) sorted result.
+		i := len(out)
+		for i > 0 && out[i-1].Score < score {
+			i--
+		}
+		if i >= k {
+			continue
+		}
+		if len(out) < k {
+			out = append(out, Ranked{})
+		}
+		copy(out[i+1:], out[i:])
+		out[i] = Ranked{Class: c, Score: score}
+	}
+	return out
+}

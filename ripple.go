@@ -5,8 +5,8 @@
 //
 // It is a from-scratch Go reproduction of "Ripple: Scalable Incremental
 // GNN Inferencing on Large Streaming Graphs" (Naman & Simmhan, ICDCS
-// 2025). See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured evaluation.
+// 2025). See DESIGN.md for the system inventory, the reproduction
+// substitutions, and the paper-vs-measured evaluation notes.
 //
 // # Quick start
 //
@@ -34,6 +34,7 @@ import (
 	"ripple/internal/engine"
 	"ripple/internal/gnn"
 	"ripple/internal/graph"
+	"ripple/internal/serve"
 	"ripple/internal/tensor"
 )
 
@@ -151,6 +152,53 @@ func LoadEngine(r io.Reader, model *Model, opts ...Option) (*Engine, error) {
 		opt(&cfg)
 	}
 	return engine.LoadRipple(r, model, cfg)
+}
+
+// Concurrent serving layer, re-exported from internal/serve.
+type (
+	// Server is the snapshot-isolated concurrent serving layer: lock-free
+	// Label/Embedding/TopK reads against immutable published epochs while
+	// update batches apply, an admission queue coalescing Submit calls,
+	// and Subscribe label-change triggers. See Serve.
+	Server = serve.Server
+	// Snapshot is one immutable published epoch of the serving tables;
+	// pin one with Server.Snapshot for repeatable reads.
+	Snapshot = serve.Snapshot
+	// Ranked is one class/score entry of a TopK result.
+	Ranked = serve.Ranked
+	// ServeStats is a point-in-time counter snapshot of a Server.
+	ServeStats = serve.Stats
+)
+
+// ServeOption customises Serve.
+type ServeOption func(*serve.Config)
+
+// WithAdmission tunes the serving admission queue: a buffered batch is
+// flushed to the engine when it reaches maxBatch updates or its oldest
+// update is maxAge old, whichever comes first.
+func WithAdmission(maxBatch int, maxAge time.Duration) ServeOption {
+	return func(c *serve.Config) { c.MaxBatch, c.MaxAge = maxBatch, maxAge }
+}
+
+// WithBatchObserver registers a callback observing every applied or
+// rejected batch (admission-queue flushes and direct Apply calls alike).
+// It runs on the write path and must not call back into the Server.
+func WithBatchObserver(fn func(BatchResult, error)) ServeOption {
+	return func(c *serve.Config) { c.OnBatch = fn }
+}
+
+// Serve wraps an engine in the concurrent serving layer. The Server
+// becomes the engine's sole writer: stream updates through Submit (or
+// Apply) and read through Label/Embedding/TopK/Snapshot — reads are
+// lock-free and proceed while batches apply, each observing a whole
+// published epoch and never a half-applied batch. Label tracking is
+// enabled on the engine as a side effect.
+func Serve(eng *Engine, opts ...ServeOption) (*Server, error) {
+	var cfg serve.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return serve.New(eng, cfg)
 }
 
 // LazyEngine is the request-based serving alternative (§2.2): updates are
