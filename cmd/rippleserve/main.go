@@ -9,8 +9,9 @@
 //	GET  /label/{v}        current predicted class of vertex v
 //	GET  /topk/{v}?k=3     v's k best classes with logit scores
 //	POST /update[?sync=1]  stream graph updates (JSON; see below)
+//	POST /compact          defragment the paged snapshot; page accounting
 //	GET  /healthz          liveness + current epoch
-//	GET  /stats            serving counters (epochs, batches, flips, ...)
+//	GET  /stats            serving counters (epochs, batches, flips, pages, ...)
 //
 // Reads are lock-free snapshot reads: they never block behind an applying
 // batch and always observe a whole published epoch. Writes are coalesced
@@ -130,6 +131,7 @@ func (a *api) routes() http.Handler {
 	mux.HandleFunc("GET /label/{v}", a.handleLabel)
 	mux.HandleFunc("GET /topk/{v}", a.handleTopK)
 	mux.HandleFunc("POST /update", a.handleUpdate)
+	mux.HandleFunc("POST /compact", a.handleCompact)
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
 	mux.HandleFunc("GET /stats", a.handleStats)
 	return mux
@@ -145,21 +147,31 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-func (a *api) vertex(w http.ResponseWriter, r *http.Request) (ripple.VertexID, bool) {
+// vertex resolves the {v} path segment against the pinned snapshot, so
+// "unknown vertex" is judged by the epoch actually served: anything the
+// snapshot cannot answer — out of range, unparseable, or tombstoned by a
+// RemoveVertex — is a 404, never a null-field or fabricated 200.
+func (a *api) vertex(w http.ResponseWriter, r *http.Request, snap *ripple.Snapshot) (ripple.VertexID, bool) {
 	v, err := strconv.Atoi(r.PathValue("v"))
-	if err != nil || v < 0 || v >= a.n {
-		httpError(w, http.StatusNotFound, "vertex %q out of range [0,%d)", r.PathValue("v"), a.n)
+	if err != nil || v < 0 || v >= snap.NumVertices() {
+		httpError(w, http.StatusNotFound, "vertex %q out of range [0,%d)", r.PathValue("v"), snap.NumVertices())
+		return 0, false
+	}
+	// In-range vertices only publish -1 when removed (a live row's argmax
+	// is always a real class).
+	if snap.Label(ripple.VertexID(v)) < 0 {
+		httpError(w, http.StatusNotFound, "vertex %d removed", v)
 		return 0, false
 	}
 	return ripple.VertexID(v), true
 }
 
 func (a *api) handleLabel(w http.ResponseWriter, r *http.Request) {
-	v, ok := a.vertex(w, r)
+	snap := a.srv.Snapshot()
+	v, ok := a.vertex(w, r, snap)
 	if !ok {
 		return
 	}
-	snap := a.srv.Snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"vertex": v,
 		"label":  snap.Label(v),
@@ -168,7 +180,8 @@ func (a *api) handleLabel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *api) handleTopK(w http.ResponseWriter, r *http.Request) {
-	v, ok := a.vertex(w, r)
+	snap := a.srv.Snapshot()
+	v, ok := a.vertex(w, r, snap)
 	if !ok {
 		return
 	}
@@ -181,10 +194,15 @@ func (a *api) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 		k = parsed
 	}
-	snap := a.srv.Snapshot()
+	topk := snap.TopK(v, k)
+	if topk == nil {
+		// In-range vertices always rank with k ≥ 1; keep the array shape
+		// even if TopK ever declines, so clients never see JSON null.
+		topk = []ripple.Ranked{}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"vertex": v,
-		"topk":   snap.TopK(v, k),
+		"topk":   topk,
 		"epoch":  snap.Epoch(),
 	})
 }
@@ -254,6 +272,13 @@ func (a *api) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	st := a.srv.Stats()
 	writeJSON(w, http.StatusAccepted, map[string]any{"queued": len(batch), "pending": st.Pending, "epoch": st.Epoch})
+}
+
+// handleCompact republishes the current epoch over fresh contiguous
+// pages (see Server.Compact) and reports the publisher's copy-on-write
+// accounting, including the epoch the accounting was taken at.
+func (a *api) handleCompact(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"pages": a.srv.Compact()})
 }
 
 func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,280 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ripple"
+)
+
+const (
+	testN       = 24
+	testFeatDim = 6
+	testClasses = 4
+)
+
+// newTestAPI builds the handler set over a small deterministic engine.
+func newTestAPI(t *testing.T) *api {
+	t.Helper()
+	g := ripple.NewGraph(testN)
+	for v := 0; v < testN-1; v++ {
+		if err := g.AddEdge(ripple.VertexID(v), ripple.VertexID(v+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	features := make([]ripple.Vector, testN)
+	for v := range features {
+		features[v] = ripple.NewVector(testFeatDim)
+		for j := range features[v] {
+			features[v][j] = float32(v*testFeatDim+j)/100 - 0.5
+		}
+	}
+	model, err := ripple.NewModel("GS-S", []int{testFeatDim, 8, testClasses}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ripple.Bootstrap(g, model, features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ripple.Serve(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return &api{srv: srv, n: testN, classes: testClasses, workload: "GS-S", dataset: "test"}
+}
+
+// do runs one request through the mux and decodes the JSON response body.
+func do(t *testing.T, h http.Handler, method, target, body string) (int, string, map[string]any) {
+	t.Helper()
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, target, nil)
+	} else {
+		r = httptest.NewRequest(method, target, strings.NewReader(body))
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	raw := w.Body.String()
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(raw), &decoded); err != nil {
+		t.Fatalf("%s %s: non-JSON response %q: %v", method, target, raw, err)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("%s %s: Content-Type %q", method, target, ct)
+	}
+	return w.Code, raw, decoded
+}
+
+func TestHandleLabel(t *testing.T) {
+	h := newTestAPI(t).routes()
+	code, _, body := do(t, h, "GET", "/label/3", "")
+	if code != http.StatusOK {
+		t.Fatalf("status %d, want 200", code)
+	}
+	label, ok := body["label"].(float64)
+	if !ok || label < 0 || int(label) >= testClasses {
+		t.Fatalf("label = %v, want class in [0,%d)", body["label"], testClasses)
+	}
+	if body["vertex"].(float64) != 3 || body["epoch"].(float64) != 0 {
+		t.Fatalf("body %v", body)
+	}
+}
+
+func TestHandleLabelUnknownVertexIs404(t *testing.T) {
+	h := newTestAPI(t).routes()
+	for _, target := range []string{"/label/9999", "/label/-1", "/label/abc"} {
+		code, raw, body := do(t, h, "GET", target, "")
+		if code != http.StatusNotFound {
+			t.Fatalf("GET %s: status %d, want 404", target, code)
+		}
+		if body["error"] == nil {
+			t.Fatalf("GET %s: no error field in %q", target, raw)
+		}
+		if strings.Contains(raw, "null") {
+			t.Fatalf("GET %s: null leaked into %q", target, raw)
+		}
+	}
+}
+
+func TestHandleTopK(t *testing.T) {
+	h := newTestAPI(t).routes()
+	code, raw, body := do(t, h, "GET", "/topk/5?k=2", "")
+	if code != http.StatusOK {
+		t.Fatalf("status %d, want 200", code)
+	}
+	topk, ok := body["topk"].([]any)
+	if !ok {
+		t.Fatalf("topk is %T (%q), want array", body["topk"], raw)
+	}
+	if len(topk) != 2 {
+		t.Fatalf("topk has %d entries, want 2", len(topk))
+	}
+	head := topk[0].(map[string]any)
+	if _, ok := head["class"]; !ok {
+		t.Fatalf("topk entry %v lacks class", head)
+	}
+	// Default k and k clamped above the class count still return arrays.
+	if code, _, body := do(t, h, "GET", "/topk/5", ""); code != 200 || len(body["topk"].([]any)) != 3 {
+		t.Fatalf("default k: status %d body %v", code, body)
+	}
+	if code, _, body := do(t, h, "GET", "/topk/5?k=99", ""); code != 200 || len(body["topk"].([]any)) != testClasses {
+		t.Fatalf("clamped k: status %d body %v", code, body)
+	}
+}
+
+func TestHandleTopKBadK(t *testing.T) {
+	h := newTestAPI(t).routes()
+	for _, target := range []string{"/topk/5?k=0", "/topk/5?k=-2", "/topk/5?k=three"} {
+		if code, _, _ := do(t, h, "GET", target, ""); code != http.StatusBadRequest {
+			t.Fatalf("GET %s: status %d, want 400", target, code)
+		}
+	}
+}
+
+// TestRemovedVertexIs404 checks tombstoned vertices are not served as
+// live predictions: an in-range vertex whose snapshot label is -1 must
+// 404 on both /label and /topk instead of returning -1 as a class id or
+// a ranking fabricated from its zeroed features.
+func TestRemovedVertexIs404(t *testing.T) {
+	g := ripple.NewGraph(testN)
+	for v := 0; v < testN-1; v++ {
+		if err := g.AddEdge(ripple.VertexID(v), ripple.VertexID(v+1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	features := make([]ripple.Vector, testN)
+	for v := range features {
+		features[v] = ripple.NewVector(testFeatDim)
+		features[v][0] = float32(v)
+	}
+	model, err := ripple.NewModel("GS-S", []int{testFeatDim, 8, testClasses}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := ripple.Bootstrap(g, model, features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RemoveVertex(9); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ripple.Serve(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	h := (&api{srv: srv, n: testN, classes: testClasses, workload: "GS-S", dataset: "test"}).routes()
+	for _, target := range []string{"/label/9", "/topk/9?k=2"} {
+		code, raw, _ := do(t, h, "GET", target, "")
+		if code != http.StatusNotFound {
+			t.Fatalf("GET %s on removed vertex: status %d (%q), want 404", target, code, raw)
+		}
+	}
+	// Neighbouring live vertices still serve.
+	if code, _, _ := do(t, h, "GET", "/label/8", ""); code != http.StatusOK {
+		t.Fatalf("live vertex broken by neighbour removal: %d", code)
+	}
+}
+
+func TestHandleTopKUnknownVertexIs404NotNull(t *testing.T) {
+	h := newTestAPI(t).routes()
+	code, raw, _ := do(t, h, "GET", "/topk/9999?k=3", "")
+	if code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", code)
+	}
+	if strings.Contains(raw, "null") {
+		t.Fatalf("null leaked into 404 body %q", raw)
+	}
+}
+
+func TestHandleUpdateRejections(t *testing.T) {
+	h := newTestAPI(t).routes()
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"bad JSON", `{"updates": [`, http.StatusBadRequest},
+		{"no updates", `{"updates": []}`, http.StatusBadRequest},
+		{"unknown kind", `{"updates": [{"kind": "vertex-warp", "u": 1, "v": 2}]}`, http.StatusBadRequest},
+		{"sync duplicate edge", `{"updates": [{"kind": "edge-add", "u": 0, "v": 1, "weight": 1}]}`, http.StatusUnprocessableEntity},
+		{"sync out-of-range vertex", `{"updates": [{"kind": "edge-add", "u": 0, "v": 9999}]}`, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		target := "/update?sync=1"
+		if c.want == http.StatusBadRequest {
+			target = "/update"
+		}
+		if code, raw, _ := do(t, h, "POST", target, c.body); code != c.want {
+			t.Fatalf("%s: status %d (%q), want %d", c.name, code, raw, c.want)
+		}
+	}
+}
+
+func TestHandleUpdateSyncAndAsync(t *testing.T) {
+	a := newTestAPI(t)
+	h := a.routes()
+	code, _, body := do(t, h, "POST", "/update?sync=1",
+		`{"updates": [{"kind": "feature-update", "u": 2, "features": [1, 0, 0, 0, 0, 0]}]}`)
+	if code != http.StatusOK || body["applied"].(float64) != 1 {
+		t.Fatalf("sync apply: status %d body %v", code, body)
+	}
+	if body["epoch"].(float64) != 1 {
+		t.Fatalf("sync apply did not publish an epoch: %v", body)
+	}
+	code, _, body = do(t, h, "POST", "/update",
+		`{"updates": [{"kind": "edge-add", "u": 5, "v": 2}]}`)
+	if code != http.StatusAccepted || body["queued"].(float64) != 1 {
+		t.Fatalf("async submit: status %d body %v", code, body)
+	}
+	a.srv.Flush()
+	if got := a.srv.Stats().UpdatesApplied; got != 2 {
+		t.Fatalf("applied %d updates end to end, want 2", got)
+	}
+}
+
+func TestHandleUpdateAfterCloseIs503(t *testing.T) {
+	a := newTestAPI(t)
+	a.srv.Close()
+	code, _, _ := do(t, a.routes(), "POST", "/update",
+		`{"updates": [{"kind": "feature-update", "u": 1, "features": [0, 0, 0, 0, 0, 0]}]}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submit after close: status %d, want 503", code)
+	}
+}
+
+func TestHandleStatsAndCompact(t *testing.T) {
+	h := newTestAPI(t).routes()
+	if code, _, _ := do(t, h, "POST", "/update?sync=1",
+		`{"updates": [{"kind": "feature-update", "u": 0, "features": [1, 1, 1, 1, 1, 1]}]}`); code != 200 {
+		t.Fatalf("seeding update failed with %d", code)
+	}
+	code, _, body := do(t, h, "GET", "/stats", "")
+	if code != http.StatusOK || body["dataset"] != "test" || body["vertices"].(float64) != testN {
+		t.Fatalf("stats: status %d body %v", code, body)
+	}
+	serving := body["serving"].(map[string]any)
+	for _, key := range []string{"epoch", "batches", "pages_copied", "pages_shared"} {
+		if _, ok := serving[key]; !ok {
+			t.Fatalf("serving stats missing %q: %v", key, serving)
+		}
+	}
+	code, _, body = do(t, h, "POST", "/compact", "")
+	if code != http.StatusOK {
+		t.Fatalf("compact: status %d", code)
+	}
+	pages := body["pages"].(map[string]any)
+	if pages["page_rows"].(float64) <= 0 || pages["pages"].(float64) <= 0 {
+		t.Fatalf("compact accounting %v", pages)
+	}
+	if pages["epoch"].(float64) != 1 {
+		t.Fatalf("compact accounting taken at epoch %v, want the published epoch 1", pages["epoch"])
+	}
+	if code, _, body := do(t, h, "GET", "/healthz", ""); code != 200 || body["status"] != "ok" {
+		t.Fatalf("healthz: status %d body %v", code, body)
+	}
+}

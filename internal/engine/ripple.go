@@ -132,6 +132,37 @@ func (r *Ripple) Label(u graph.VertexID) int {
 	return r.emb.Label(int32(u))
 }
 
+// LabelTable fills dst (grown if needed) with every vertex's current
+// predicted class, -1 for tombstoned vertices, and returns it. This is
+// the bulk form of Label for consumers that need the whole table — e.g.
+// a serving layer bootstrapping its epoch-0 snapshot — reading the
+// final-layer embeddings directly instead of taking the per-vertex
+// removed-check round trip, and scanning in parallel on large graphs.
+// Must not be called concurrently with ApplyBatch.
+func (r *Ripple) LabelTable(dst []int32) []int32 {
+	n := r.g.NumVertices()
+	if cap(dst) < n {
+		dst = make([]int32, n)
+	}
+	dst = dst[:n]
+	final := r.emb.H[r.model.L()]
+	fill := func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if r.Removed(graph.VertexID(v)) {
+				dst[v] = -1
+			} else {
+				dst[v] = int32(final[v].ArgMax())
+			}
+		}
+	}
+	if r.cfg.Serial || n < 4096 {
+		fill(0, n)
+	} else {
+		par.For(n, fill)
+	}
+	return dst
+}
+
 // validateBatch checks every update against the current topology
 // (simulating intra-batch edge changes) so ApplyBatch either applies the
 // whole batch or rejects it without touching state.

@@ -8,8 +8,9 @@
 // publication of immutable snapshots:
 //
 //   - Writes are serialised. Each applied batch rebuilds only the label
-//     and logit rows named by BatchResult.FinalFrontier (copy-on-write
-//     over the previous epoch's tables) and publishes the new Snapshot
+//     and logit rows named by BatchResult.FinalFrontier — copy-on-write
+//     at page granularity over the previous epoch's tables, so an epoch
+//     costs O(pages touched), not O(|V|) — and publishes the new Snapshot
 //     with a single atomic pointer store.
 //   - Reads are lock-free and never block a writer: a reader loads the
 //     current snapshot pointer and works on immutable data. Pinning a
@@ -27,6 +28,7 @@ package serve
 
 import (
 	"errors"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +50,11 @@ type Config struct {
 	// both the admission queue and direct Apply calls. It runs with the
 	// write lock held and must not call back into the Server.
 	OnBatch func(engine.BatchResult, error)
+	// PageRows is the page granularity of the snapshot tables, rounded up
+	// to a power of two. Publishing an epoch copies every page the batch's
+	// final frontier lands on, so smaller pages copy less per scattered
+	// frontier row at the cost of a larger page table. Default 256.
+	PageRows int
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +64,11 @@ func (c Config) withDefaults() Config {
 	if c.MaxAge <= 0 {
 		c.MaxAge = 2 * time.Millisecond
 	}
+	if c.PageRows <= 0 {
+		c.PageRows = defaultPageRows
+	}
+	// Round up to a power of two so page lookup is a shift and a mask.
+	c.PageRows = 1 << bits.Len(uint(c.PageRows-1))
 	return c
 }
 
@@ -74,6 +86,22 @@ type Stats struct {
 	Reads          int64  `json:"reads"`           // explicit Snapshot() pins served
 	Pending        int    `json:"pending"`         // updates buffered in the admission queue
 	Subscribers    int    `json:"subscribers"`     // live subscriptions
+	PagesCopied    int64  `json:"pages_copied"`    // snapshot pages copy-on-written across all publishes
+	PagesShared    int64  `json:"pages_shared"`    // snapshot pages shared with the previous epoch across all copying publishes
+}
+
+// PageStats describes the paged publisher's state: the page geometry of
+// the current epoch plus the cumulative copy-on-write accounting. The
+// shared/copied ratio is the measured benefit of paging over whole-table
+// cloning — every shared page is one a whole-table clone would have
+// memmoved. Publishes with an empty frontier copy nothing under either
+// design and are excluded from the shared count.
+type PageStats struct {
+	Epoch       uint64 `json:"epoch"`        // epoch the accounting was taken at
+	PageRows    int    `json:"page_rows"`    // rows per page
+	Pages       int    `json:"pages"`        // pages in the current epoch's table
+	PagesCopied int64  `json:"pages_copied"` // pages copy-on-written across all publishes
+	PagesShared int64  `json:"pages_shared"` // pages shared across all publishes
 }
 
 // Server serves predictions from a Ripple engine under concurrent load.
@@ -93,12 +121,14 @@ type Server struct {
 
 	batcher *engine.Batcher
 
-	batches  atomic.Int64
-	rejected atomic.Int64
-	updates  atomic.Int64
-	flips    atomic.Int64
-	dropped  atomic.Int64
-	reads    atomic.Int64
+	batches     atomic.Int64
+	rejected    atomic.Int64
+	updates     atomic.Int64
+	flips       atomic.Int64
+	dropped     atomic.Int64
+	reads       atomic.Int64
+	pagesCopied atomic.Int64
+	pagesShared atomic.Int64
 }
 
 // New wraps an engine in a serving layer and publishes the bootstrap
@@ -113,25 +143,17 @@ func New(eng *engine.Ripple, cfg Config) (*Server, error) {
 	eng.EnableLabelTracking()
 
 	emb := eng.Embeddings()
-	n, classes := emb.N, emb.Dims[emb.L()]
+	classes := emb.Dims[emb.L()]
 	s := &Server{
 		eng:     eng,
 		cfg:     cfg,
 		onBatch: cfg.OnBatch,
 		subs:    map[int]chan engine.LabelChange{},
 	}
-	boot := &Snapshot{
-		epoch:   0,
-		classes: classes,
-		labels:  make([]int32, n),
-		logits:  make([]float32, n*classes),
-	}
-	final := emb.H[emb.L()]
-	for v := 0; v < n; v++ {
-		copy(boot.logits[v*classes:(v+1)*classes], final[v])
-		boot.labels[v] = int32(eng.Label(graph.VertexID(v)))
-	}
-	s.cur.Store(boot)
+	// Bootstrap the label table in one bulk argmax scan of the final
+	// layer (tombstoned vertices publish -1) instead of a per-vertex
+	// Label call through the slow removed-check path.
+	s.cur.Store(buildSnapshot(eng.LabelTable(nil), emb.H[emb.L()], classes, cfg.PageRows))
 
 	b, err := engine.NewBatcher(applyFunc(s.applyCoalesced), cfg.MaxBatch, cfg.MaxAge, nil)
 	if err != nil {
@@ -218,19 +240,29 @@ func (s *Server) applyCoalesced(batch []engine.Update) (engine.BatchResult, erro
 		agg.Affected += one.Affected
 		agg.Messages += one.Messages
 		agg.VectorOps += one.VectorOps
+		agg.KernelLaunches += one.KernelLaunches
 		agg.UpdateTime += one.UpdateTime
 		agg.PropagateTime += one.PropagateTime
+		agg.SimulatedTime += one.SimulatedTime
+		// Per-hop frontiers sum elementwise over the longest hop count seen.
+		for len(agg.FrontierPerHop) < len(one.FrontierPerHop) {
+			agg.FrontierPerHop = append(agg.FrontierPerHop, 0)
+		}
+		for l, f := range one.FrontierPerHop {
+			agg.FrontierPerHop[l] += f
+		}
 		agg.LabelChanges = append(agg.LabelChanges, one.LabelChanges...)
+		agg.FinalFrontier = append(agg.FinalFrontier, one.FinalFrontier...)
 	}
 	return agg, nil
 }
 
 // applyLocked is the single write path: engine apply, copy-on-write
 // snapshot rebuild, atomic publication, subscriber fan-out. Rebuilding
-// clones the label/logit tables (one memmove each) and rewrites only the
-// rows named by FinalFrontier; batches that touch no final-layer row
-// republish the previous epoch's storage without copying. Per-row paging
-// to drop the O(|V|) clone on huge graphs is future work (see ROADMAP).
+// clones only the page table plus the pages holding rows named by
+// FinalFrontier — O(pages touched), not O(|V|); batches that touch no
+// final-layer row republish the previous epoch's page table without
+// copying anything.
 func (s *Server) applyLocked(batch []engine.Update) (engine.BatchResult, error) {
 	return s.apply(batch, false)
 }
@@ -256,21 +288,18 @@ func (s *Server) apply(batch []engine.Update, quietReject bool) (engine.BatchRes
 	}
 
 	old := s.cur.Load()
-	next := &Snapshot{epoch: old.epoch + 1, classes: old.classes}
-	if len(res.FinalFrontier) == 0 {
-		// No final-layer row changed: share the previous epoch's storage
-		// (immutable either way) instead of cloning it.
-		next.labels, next.logits = old.labels, old.logits
-	} else {
-		next.labels = append([]int32(nil), old.labels...)
-		next.logits = append([]float32(nil), old.logits...)
-		final := s.eng.Embeddings().H[s.eng.Embeddings().L()]
-		for _, v := range res.FinalFrontier {
-			copy(next.logits[int(v)*next.classes:(int(v)+1)*next.classes], final[v])
-			next.labels[v] = int32(s.eng.Label(v))
-		}
-	}
+	final := s.eng.Embeddings().H[s.eng.Embeddings().L()]
+	next, copied := old.rebuild(res.FinalFrontier, final, func(v graph.VertexID) int32 {
+		return int32(s.eng.Label(v))
+	})
 	s.cur.Store(next)
+	s.pagesCopied.Add(int64(copied))
+	if len(res.FinalFrontier) > 0 {
+		// Empty-frontier publishes are excluded: the pre-paging design
+		// shared storage there too, so counting them would overstate
+		// paging's measured benefit.
+		s.pagesShared.Add(int64(len(next.pages) - copied))
+	}
 
 	s.batches.Add(1)
 	s.updates.Add(int64(res.Updates))
@@ -339,6 +368,31 @@ func (s *Server) Stats() Stats {
 		Reads:          s.reads.Load(),
 		Pending:        s.batcher.Pending(),
 		Subscribers:    subs,
+		PagesCopied:    s.pagesCopied.Load(),
+		PagesShared:    s.pagesShared.Load(),
+	}
+}
+
+// Compact republishes the current epoch over freshly allocated contiguous
+// pages and returns the publisher's page accounting. The published data
+// (and the epoch number) are unchanged — compaction is invisible to
+// readers — but the new table shares no page with any historical epoch,
+// so storage pinned only by old snapshots becomes reclaimable as soon as
+// those snapshots are released, and the read path regains bootstrap-like
+// locality after many copy-on-write generations. Serialised with the
+// write path; safe to call on a closed server.
+func (s *Server) Compact() PageStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cur.Load()
+	compacted := cur.compacted()
+	s.cur.Store(compacted)
+	return PageStats{
+		Epoch:       compacted.epoch,
+		PageRows:    cur.mask + 1,
+		Pages:       len(compacted.pages),
+		PagesCopied: s.pagesCopied.Load(),
+		PagesShared: s.pagesShared.Load(),
 	}
 }
 

@@ -110,10 +110,12 @@ func (w *world) batch(k int) []engine.Update {
 }
 
 // TestSnapshotMatchesEngine checks that after a stream of batches the
-// published snapshot agrees with the engine on every vertex.
+// published snapshot agrees with the engine on every vertex. PageRows 16
+// spreads the 300 test vertices over 19 pages (the last one partial), so
+// the agreement scan crosses every page boundary.
 func TestSnapshotMatchesEngine(t *testing.T) {
 	w := newWorld(t, 1)
-	srv, err := New(w.eng, Config{})
+	srv, err := New(w.eng, Config{PageRows: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,47 +143,61 @@ func TestSnapshotMatchesEngine(t *testing.T) {
 
 // TestSnapshotIsolation is the regression test for the core guarantee: a
 // pinned snapshot never observes any part of a later batch — not a
-// half-applied one, not a fully applied one.
+// half-applied one, not a fully applied one. It runs once with the
+// default (single-page at this scale) geometry and once with 8-row pages,
+// where 50 publishes copy-on-write most of the 38-page table many times
+// over: a pinned epoch must stay bit-identical even though later epochs
+// share all of its untouched pages.
 func TestSnapshotIsolation(t *testing.T) {
-	w := newWorld(t, 2)
-	srv, err := New(w.eng, Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer srv.Close()
-	if _, err := srv.Apply(w.batch(8)); err != nil {
-		t.Fatal(err)
-	}
+	for _, cfg := range []struct {
+		name string
+		conf Config
+	}{
+		{"default-pages", Config{}},
+		{"8-row-pages", Config{PageRows: 8}},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			w := newWorld(t, 2)
+			srv, err := New(w.eng, cfg.conf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			if _, err := srv.Apply(w.batch(8)); err != nil {
+				t.Fatal(err)
+			}
 
-	pinned := srv.Snapshot()
-	wantEpoch := pinned.Epoch()
-	wantLabels := make([]int, testN)
-	wantLogits := make([]tensor.Vector, testN)
-	for v := 0; v < testN; v++ {
-		wantLabels[v] = pinned.Label(graph.VertexID(v))
-		wantLogits[v] = pinned.Embedding(graph.VertexID(v))
-	}
+			pinned := srv.Snapshot()
+			wantEpoch := pinned.Epoch()
+			wantLabels := make([]int, testN)
+			wantLogits := make([]tensor.Vector, testN)
+			for v := 0; v < testN; v++ {
+				wantLabels[v] = pinned.Label(graph.VertexID(v))
+				wantLogits[v] = pinned.Embedding(graph.VertexID(v))
+			}
 
-	for i := 0; i < 50; i++ {
-		if _, err := srv.Apply(w.batch(8)); err != nil {
-			t.Fatal(err)
-		}
-	}
+			for i := 0; i < 50; i++ {
+				if _, err := srv.Apply(w.batch(8)); err != nil {
+					t.Fatal(err)
+				}
+			}
 
-	if pinned.Epoch() != wantEpoch {
-		t.Fatalf("pinned epoch mutated: %d → %d", wantEpoch, pinned.Epoch())
-	}
-	for v := 0; v < testN; v++ {
-		id := graph.VertexID(v)
-		if pinned.Label(id) != wantLabels[v] {
-			t.Fatalf("vertex %d: pinned label mutated %d → %d", v, wantLabels[v], pinned.Label(id))
-		}
-		if pinned.Embedding(id).MaxAbsDiff(wantLogits[v]) != 0 {
-			t.Fatalf("vertex %d: pinned logits mutated", v)
-		}
-	}
-	if cur := srv.Snapshot(); cur.Epoch() != wantEpoch+50 {
-		t.Fatalf("current epoch = %d, want %d", cur.Epoch(), wantEpoch+50)
+			if pinned.Epoch() != wantEpoch {
+				t.Fatalf("pinned epoch mutated: %d → %d", wantEpoch, pinned.Epoch())
+			}
+			for v := 0; v < testN; v++ {
+				id := graph.VertexID(v)
+				if pinned.Label(id) != wantLabels[v] {
+					t.Fatalf("vertex %d: pinned label mutated %d → %d", v, wantLabels[v], pinned.Label(id))
+				}
+				if pinned.Embedding(id).MaxAbsDiff(wantLogits[v]) != 0 {
+					t.Fatalf("vertex %d: pinned logits mutated", v)
+				}
+			}
+			if cur := srv.Snapshot(); cur.Epoch() != wantEpoch+50 {
+				t.Fatalf("current epoch = %d, want %d", cur.Epoch(), wantEpoch+50)
+			}
+		})
 	}
 }
 
@@ -191,8 +207,10 @@ func TestSnapshotIsolation(t *testing.T) {
 // epoch-consistency invariant label == argmax(logits). Run under -race
 // this is the concurrency proof for the serving layer.
 func TestConcurrentReadsDuringApplies(t *testing.T) {
+	// 32-row pages put the 300 vertices on 10 pages so the racing readers
+	// cross page boundaries while the writer copy-on-writes pages.
 	w := newWorld(t, 3)
-	srv, err := New(w.eng, Config{MaxBatch: 16, MaxAge: 500 * time.Microsecond})
+	srv, err := New(w.eng, Config{MaxBatch: 16, MaxAge: 500 * time.Microsecond, PageRows: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -487,7 +505,9 @@ func TestEmptyFrontierSharesStorage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(eng, Config{})
+	// 2-row pages over 4 vertices: 2 pages, so partial-copy sharing is
+	// observable.
+	srv, err := New(eng, Config{PageRows: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -505,10 +525,15 @@ func TestEmptyFrontierSharesStorage(t *testing.T) {
 	if post.Epoch() != pre.Epoch()+1 {
 		t.Fatalf("epoch %d, want %d", post.Epoch(), pre.Epoch()+1)
 	}
-	if &post.logits[0] != &pre.logits[0] {
-		t.Fatal("empty-frontier publication cloned the tables")
+	if &post.pages[0] != &pre.pages[0] {
+		t.Fatal("empty-frontier publication cloned the page table")
 	}
-	// And the copying path must not share storage.
+	// Empty-frontier publishes copy nothing and count toward neither side
+	// of the sharing ratio (the clone design skipped copying here too).
+	if st := srv.Stats(); st.PagesCopied != 0 || st.PagesShared != 0 {
+		t.Fatalf("empty-frontier publish accounting: %d copied / %d shared, want 0 / 0", st.PagesCopied, st.PagesShared)
+	}
+	// And the copying path must copy the touched page — but only that one.
 	res, err = srv.Apply([]engine.Update{{Kind: engine.FeatureUpdate, U: 0, Features: randVec(rng, testFeatDim)}})
 	if err != nil {
 		t.Fatal(err)
@@ -516,9 +541,277 @@ func TestEmptyFrontierSharesStorage(t *testing.T) {
 	if len(res.FinalFrontier) == 0 {
 		t.Fatal("connected-vertex feature update should reach the final layer")
 	}
-	if cur := srv.Snapshot(); &cur.logits[0] == &post.logits[0] {
-		t.Fatal("non-empty frontier publication shared storage")
+	cur := srv.Snapshot()
+	touched := map[int]bool{}
+	for _, v := range res.FinalFrontier {
+		touched[int(v)>>cur.shift] = true
 	}
+	for p := range cur.pages {
+		if touched[p] && cur.pages[p] == post.pages[p] {
+			t.Fatalf("page %d holds frontier rows but was shared, not copied", p)
+		}
+		if !touched[p] && cur.pages[p] != post.pages[p] {
+			t.Fatalf("page %d holds no frontier row but was copied", p)
+		}
+	}
+	if st := srv.Stats(); st.PagesCopied != int64(len(touched)) {
+		t.Fatalf("copying publish accounting: %d pages copied, want %d", st.PagesCopied, len(touched))
+	}
+}
+
+// TestSalvagedFlushAggregatesResult is the regression test for the lossy
+// salvage path: the aggregated BatchResult of a salvaged coalesced flush
+// must carry every cost/reach field of the per-update applies — the same
+// FinalFrontier set, elementwise-summed per-hop frontiers, summed kernel
+// launches — not just the subset applyCoalesced used to merge.
+func TestSalvagedFlushAggregatesResult(t *testing.T) {
+	w := newWorld(t, 12)
+	var singles []engine.BatchResult
+	srv, err := New(w.eng, Config{OnBatch: func(res engine.BatchResult, err error) {
+		if err == nil {
+			singles = append(singles, res)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var existing [2]graph.VertexID
+	for key := range w.edges {
+		existing = key
+		break
+	}
+	// Salvage flush: valid feature update, invalid duplicate edge-add,
+	// valid feature update — forced through the admission queue's path.
+	batch := []engine.Update{
+		{Kind: engine.FeatureUpdate, U: existing[0], Features: randVec(w.rng, testFeatDim)},
+		{Kind: engine.EdgeAdd, U: existing[0], V: existing[1], Weight: 1},
+		{Kind: engine.FeatureUpdate, U: existing[1], Features: randVec(w.rng, testFeatDim)},
+	}
+	agg, err := srv.applyCoalesced(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(singles) != 2 {
+		t.Fatalf("observed %d applied singletons, want 2", len(singles))
+	}
+
+	var wantFrontier []graph.VertexID
+	var wantPerHop []int
+	var wantLaunches int64
+	var wantSimulated time.Duration
+	for _, one := range singles {
+		wantFrontier = append(wantFrontier, one.FinalFrontier...)
+		for len(wantPerHop) < len(one.FrontierPerHop) {
+			wantPerHop = append(wantPerHop, 0)
+		}
+		for l, f := range one.FrontierPerHop {
+			wantPerHop[l] += f
+		}
+		wantLaunches += one.KernelLaunches
+		wantSimulated += one.SimulatedTime
+	}
+	if len(wantFrontier) == 0 {
+		t.Fatal("salvaged updates reached no final-layer row; test is vacuous")
+	}
+
+	asSet := func(vs []graph.VertexID) map[graph.VertexID]int {
+		set := map[graph.VertexID]int{}
+		for _, v := range vs {
+			set[v]++
+		}
+		return set
+	}
+	gotSet, wantSet := asSet(agg.FinalFrontier), asSet(wantFrontier)
+	if len(gotSet) != len(wantSet) {
+		t.Fatalf("aggregated FinalFrontier %v, per-update applies reported %v", agg.FinalFrontier, wantFrontier)
+	}
+	for v, n := range wantSet {
+		if gotSet[v] != n {
+			t.Fatalf("aggregated FinalFrontier %v, per-update applies reported %v", agg.FinalFrontier, wantFrontier)
+		}
+	}
+	if len(agg.FrontierPerHop) != len(wantPerHop) {
+		t.Fatalf("aggregated FrontierPerHop %v, want %v", agg.FrontierPerHop, wantPerHop)
+	}
+	for l := range wantPerHop {
+		if agg.FrontierPerHop[l] != wantPerHop[l] {
+			t.Fatalf("aggregated FrontierPerHop %v, want %v", agg.FrontierPerHop, wantPerHop)
+		}
+	}
+	if agg.KernelLaunches != wantLaunches {
+		t.Fatalf("aggregated KernelLaunches %d, want %d", agg.KernelLaunches, wantLaunches)
+	}
+	if agg.SimulatedTime != wantSimulated {
+		t.Fatalf("aggregated SimulatedTime %v, want %v", agg.SimulatedTime, wantSimulated)
+	}
+	if agg.Updates != 2 || len(agg.LabelChanges) != len(singles[0].LabelChanges)+len(singles[1].LabelChanges) {
+		t.Fatalf("aggregated Updates/LabelChanges lost: %+v", agg)
+	}
+}
+
+// TestBootstrapPublishesRemovedVertices checks epoch 0 is built from the
+// engine's bulk label table: vertices tombstoned before serving starts
+// publish -1, and every live vertex agrees with the engine.
+func TestBootstrapPublishesRemovedVertices(t *testing.T) {
+	w := newWorld(t, 13)
+	const removed = 17
+	if _, err := w.eng.RemoveVertex(removed); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the removed vertex's edges from the generator's shadow topology
+	// so later batches stay valid.
+	for key := range w.edges {
+		if key[0] == removed || key[1] == removed {
+			delete(w.edges, key)
+		}
+	}
+	srv, err := New(w.eng, Config{PageRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	snap := srv.Snapshot()
+	if snap.Epoch() != 0 {
+		t.Fatalf("bootstrap epoch = %d, want 0", snap.Epoch())
+	}
+	if got := snap.Label(removed); got != -1 {
+		t.Fatalf("removed vertex published label %d in epoch 0, want -1", got)
+	}
+	for v := 0; v < testN; v++ {
+		if got, want := snap.Label(graph.VertexID(v)), w.eng.Label(graph.VertexID(v)); got != want {
+			t.Fatalf("vertex %d: bootstrap label %d, engine label %d", v, got, want)
+		}
+	}
+	// The tombstone survives the incremental rebuild path too.
+	if _, err := srv.Apply(w.batch(8)); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Label(removed); got != -1 {
+		t.Fatalf("removed vertex label %d after applies, want -1", got)
+	}
+}
+
+// TestPageBoundaryReads exercises the paged read path directly around
+// page boundaries, including a partial last page, and checks rebuild
+// copies exactly the pages its frontier rows land on.
+func TestPageBoundaryReads(t *testing.T) {
+	const (
+		rows    = 8
+		n       = 2*rows + 3 // 19 vertices on 3 pages; last page holds 3 rows
+		classes = 4
+	)
+	labels := make([]int32, n)
+	final := make([]tensor.Vector, n)
+	for v := 0; v < n; v++ {
+		final[v] = tensor.NewVector(classes)
+		for c := 0; c < classes; c++ {
+			final[v][c] = float32(v*classes + c)
+		}
+		// Highest logit is the last class: labels are deterministic.
+		labels[v] = classes - 1
+	}
+	snap := buildSnapshot(labels, final, classes, rows)
+	if len(snap.pages) != 3 || len(snap.pages[2].labels) != 3 {
+		t.Fatalf("page table: %d pages, last holds %d rows; want 3 pages, last 3 rows", len(snap.pages), len(snap.pages[len(snap.pages)-1].labels))
+	}
+	for v := 0; v < n; v++ {
+		id := graph.VertexID(v)
+		if got := snap.Label(id); got != int(labels[v]) {
+			t.Fatalf("vertex %d: label %d, want %d", v, got, labels[v])
+		}
+		if emb := snap.Embedding(id); emb.MaxAbsDiff(final[v]) != 0 {
+			t.Fatalf("vertex %d: logits %v, want %v", v, emb, final[v])
+		}
+	}
+	if snap.Label(-1) != -1 || snap.Label(n) != -1 || snap.Embedding(n) != nil || snap.TopK(n, 2) != nil {
+		t.Fatal("out-of-range reads must be -1/nil")
+	}
+
+	// Rewrite the two rows straddling the first page boundary plus the
+	// last row of the partial page: pages 0, 1 and 2 all get copied once.
+	newRow := tensor.NewVector(classes)
+	newRow[0] = 999 // argmax flips to class 0
+	frontier := []graph.VertexID{rows - 1, rows, n - 1}
+	for _, v := range frontier {
+		final[v] = newRow
+	}
+	next, copied := snap.rebuild(frontier, final, func(graph.VertexID) int32 { return 0 })
+	if copied != 3 {
+		t.Fatalf("rebuild copied %d pages, want 3", copied)
+	}
+	for _, v := range frontier {
+		if next.Label(v) != 0 || next.Embedding(v).MaxAbsDiff(newRow) != 0 {
+			t.Fatalf("vertex %d not rewritten across page boundary", v)
+		}
+		if snap.Label(v) != classes-1 {
+			t.Fatalf("rebuild mutated the source snapshot at vertex %d", v)
+		}
+	}
+	// Rows sharing a page with a frontier row came along via the copy;
+	// everything else must be untouched and shared.
+	for v := 0; v < n; v++ {
+		id := graph.VertexID(v)
+		isFrontier := id == rows-1 || id == rows || id == graph.VertexID(n-1)
+		if !isFrontier && next.Label(id) != int(labels[v]) {
+			t.Fatalf("vertex %d: label changed to %d without being in the frontier", v, next.Label(id))
+		}
+	}
+	// A second rebuild touching only page 0 shares pages 1 and 2.
+	next2, copied := next.rebuild([]graph.VertexID{0}, final, func(graph.VertexID) int32 { return 0 })
+	if copied != 1 || next2.pages[1] != next.pages[1] || next2.pages[2] != next.pages[2] {
+		t.Fatalf("single-page rebuild copied %d pages and broke sharing", copied)
+	}
+}
+
+// TestCompactPreservesStateAndUnsharesPages checks Compact republishes
+// identical data at the same epoch over pages shared with no prior
+// snapshot, and that serving continues normally afterwards.
+func TestCompactPreservesStateAndUnsharesPages(t *testing.T) {
+	w := newWorld(t, 14)
+	srv, err := New(w.eng, Config{PageRows: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := srv.Apply(w.batch(6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := srv.Snapshot()
+	stats := srv.Compact()
+	cur := srv.Snapshot()
+	if cur.Epoch() != pre.Epoch() {
+		t.Fatalf("compaction moved the epoch %d → %d", pre.Epoch(), cur.Epoch())
+	}
+	wantPages := (testN + 7) / 8
+	if stats.PageRows != 8 || stats.Pages != wantPages {
+		t.Fatalf("PageStats %+v, want 8-row pages, %d pages", stats, wantPages)
+	}
+	if stats.PagesCopied == 0 || stats.PagesShared == 0 {
+		t.Fatalf("PageStats %+v: 10 small batches must both copy and share pages", stats)
+	}
+	for p := range cur.pages {
+		if cur.pages[p] == pre.pages[p] {
+			t.Fatalf("page %d still shared with the pre-compaction epoch", p)
+		}
+	}
+	for v := 0; v < testN; v++ {
+		id := graph.VertexID(v)
+		if cur.Label(id) != pre.Label(id) || cur.Embedding(id).MaxAbsDiff(pre.Embedding(id)) != 0 {
+			t.Fatalf("vertex %d changed across compaction", v)
+		}
+	}
+	if _, err := srv.Apply(w.batch(6)); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Snapshot().Epoch(); got != pre.Epoch()+1 {
+		t.Fatalf("post-compaction epoch = %d, want %d", got, pre.Epoch()+1)
+	}
+	srv.Close()
+	srv.Compact() // safe on a closed server
 }
 
 // TestTopKAgainstBruteForce cross-checks TopK against a full sort.

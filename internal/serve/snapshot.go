@@ -1,9 +1,32 @@
 package serve
 
 import (
+	"math/bits"
+
 	"ripple/internal/graph"
 	"ripple/internal/tensor"
 )
+
+// defaultPageRows is the default page granularity of the serving tables.
+// The choice trades copy amplification against page-table size: publishing
+// an epoch copies every page a frontier row lands on, so a page costs
+// rows·classes·4 bytes of memmove even when the batch rewrote a single
+// row in it, while the page table costs one pointer per page per epoch.
+// At 256 rows a 40-class table copies ≤40 KiB per touched page — a
+// scattered 64-row frontier on a million-vertex graph publishes ~2.6 MiB
+// instead of the old 164 MiB whole-table clone — while the page table
+// stays under 4k entries (≲32 KiB cloned per epoch). See BenchmarkPublish
+// and DESIGN.md §4.
+const defaultPageRows = 256
+
+// page is one fixed-size block of the serving tables: the labels and
+// row-major logits of pageRows consecutive vertices (fewer in the last
+// page). Pages are immutable once referenced by a published snapshot;
+// the publisher copies a page before rewriting rows in it.
+type page struct {
+	labels []int32   // labels[off]; -1 for removed vertices
+	logits []float32 // row-major [off*classes : (off+1)*classes]
+}
 
 // Snapshot is one immutable epoch of the serving tables: every vertex's
 // predicted label and final-layer logits as of the batch that published
@@ -12,11 +35,100 @@ import (
 // reference, no matter how many batches the writer applies meanwhile
 // (reclamation of unpinned epochs is the garbage collector's job, the Go
 // equivalent of RCU grace periods).
+//
+// Storage is paged copy-on-write: the tables are split into fixed-size
+// pages behind a page table, and consecutive epochs share every page the
+// publishing batch did not touch. Publishing therefore costs O(pages
+// touched by the frontier), not O(|V|).
 type Snapshot struct {
 	epoch   uint64
 	classes int
-	labels  []int32   // labels[v]; -1 for removed vertices
-	logits  []float32 // row-major [v*classes : (v+1)*classes]
+	n       int     // vertices covered
+	shift   uint    // log2(rows per page)
+	mask    int     // rows per page - 1
+	pages   []*page // page table; len = ceil(n / rows)
+}
+
+// buildSnapshot lays n = len(labels) vertices out over fresh pages of the
+// given power-of-two row count, carved from one contiguous backing
+// allocation per table for bootstrap-scan locality.
+func buildSnapshot(labels []int32, final []tensor.Vector, classes, pageRows int) *Snapshot {
+	n := len(labels)
+	s := &Snapshot{
+		classes: classes,
+		n:       n,
+		shift:   uint(bits.TrailingZeros(uint(pageRows))),
+		mask:    pageRows - 1,
+		pages:   make([]*page, (n+pageRows-1)/pageRows),
+	}
+	labs := make([]int32, n)
+	logs := make([]float32, n*classes)
+	copy(labs, labels)
+	for v := 0; v < n; v++ {
+		copy(logs[v*classes:(v+1)*classes], final[v])
+	}
+	for p := range s.pages {
+		lo := p * pageRows
+		hi := lo + pageRows
+		if hi > n {
+			hi = n
+		}
+		s.pages[p] = &page{labels: labs[lo:hi:hi], logits: logs[lo*classes : hi*classes : hi*classes]}
+	}
+	return s
+}
+
+// rebuild derives the next epoch from s: the page table is cloned, every
+// page holding a frontier row is copied before its rows are rewritten
+// from final (logits) and labelOf (label), and all other pages are shared
+// with s. It returns the new snapshot and the number of pages copied. A
+// nil/empty frontier shares the page table itself: the epoch advances
+// with zero copying.
+func (s *Snapshot) rebuild(frontier []graph.VertexID, final []tensor.Vector, labelOf func(graph.VertexID) int32) (*Snapshot, int) {
+	next := &Snapshot{epoch: s.epoch + 1, classes: s.classes, n: s.n, shift: s.shift, mask: s.mask}
+	if len(frontier) == 0 {
+		next.pages = s.pages
+		return next, 0
+	}
+	next.pages = append([]*page(nil), s.pages...)
+	copied := 0
+	for _, v := range frontier {
+		pi := int(v) >> s.shift
+		pg := next.pages[pi]
+		if pg == s.pages[pi] {
+			pg = &page{
+				labels: append([]int32(nil), pg.labels...),
+				logits: append([]float32(nil), pg.logits...),
+			}
+			next.pages[pi] = pg
+			copied++
+		}
+		off := int(v) & s.mask
+		copy(pg.logits[off*s.classes:(off+1)*s.classes], final[v])
+		pg.labels[off] = labelOf(v)
+	}
+	return next, copied
+}
+
+// compacted returns a same-epoch snapshot with every page freshly copied
+// into contiguous backing storage. The data is bit-identical (keeping the
+// epoch is sound: one epoch, one state), but the result shares no page
+// with any earlier epoch — so pages pinned only by historical snapshots
+// become reclaimable the moment those snapshots are released, and reads
+// regain bootstrap-like locality after many copy-on-write generations.
+func (s *Snapshot) compacted() *Snapshot {
+	labs := make([]int32, s.n)
+	logs := make([]float32, s.n*s.classes)
+	rows := s.mask + 1
+	next := &Snapshot{epoch: s.epoch, classes: s.classes, n: s.n, shift: s.shift, mask: s.mask, pages: make([]*page, len(s.pages))}
+	for p, pg := range s.pages {
+		lo := p * rows
+		hi := lo + len(pg.labels)
+		copy(labs[lo:hi], pg.labels)
+		copy(logs[lo*s.classes:hi*s.classes], pg.logits)
+		next.pages[p] = &page{labels: labs[lo:hi:hi], logits: logs[lo*s.classes : hi*s.classes : hi*s.classes]}
+	}
+	return next
 }
 
 // Epoch returns the publication epoch: 0 for the bootstrap snapshot,
@@ -24,7 +136,7 @@ type Snapshot struct {
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
 // NumVertices returns the number of vertices covered by the snapshot.
-func (s *Snapshot) NumVertices() int { return len(s.labels) }
+func (s *Snapshot) NumVertices() int { return s.n }
 
 // NumClasses returns the width of the final layer.
 func (s *Snapshot) NumClasses() int { return s.classes }
@@ -32,10 +144,10 @@ func (s *Snapshot) NumClasses() int { return s.classes }
 // Label returns the predicted class of vertex v at this epoch, or -1 if v
 // is out of range or was removed.
 func (s *Snapshot) Label(v graph.VertexID) int {
-	if v < 0 || int(v) >= len(s.labels) {
+	if v < 0 || int(v) >= s.n {
 		return -1
 	}
-	return int(s.labels[v])
+	return int(s.pages[int(v)>>s.shift].labels[int(v)&s.mask])
 }
 
 // Embedding returns a copy of vertex v's final-layer logits at this
@@ -53,10 +165,11 @@ func (s *Snapshot) Embedding(v graph.VertexID) tensor.Vector {
 // row returns the internal logit row of v (shared storage — callers must
 // not write through it), or nil if v is out of range.
 func (s *Snapshot) row(v graph.VertexID) []float32 {
-	if v < 0 || int(v) >= len(s.labels) {
+	if v < 0 || int(v) >= s.n {
 		return nil
 	}
-	return s.logits[int(v)*s.classes : (int(v)+1)*s.classes]
+	off := (int(v) & s.mask) * s.classes
+	return s.pages[int(v)>>s.shift].logits[off : off+s.classes]
 }
 
 // Ranked is one entry of a TopK result: a class and its logit score.

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// BenchmarkPublish measures the cost of publishing one epoch as a
+// function of graph size and frontier size, for the paged copy-on-write
+// publisher against the pre-paging whole-table-clone baseline. The paged
+// publisher's cost tracks the frontier (pages touched), the baseline's
+// tracks |V| — at 1M vertices with a 64-row frontier the paged publish
+// must be at least an order of magnitude cheaper (the PR's acceptance
+// bar; see DESIGN.md §4). Frontier rows are drawn uniformly, i.e. the
+// worst case for paging: every frontier row tends to land on its own
+// page.
+//
+// Run with: go test -run=NONE -bench=Publish ./internal/serve/
+func BenchmarkPublish(b *testing.B) {
+	const classes = 40 // arxiv-shaped final layer
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		labels, final := benchTables(n, classes)
+		paged := buildSnapshot(labels, final, classes, defaultPageRows)
+		flat := &flatSnapshot{labels: labels, logits: flatten(final, classes)}
+		labelOf := func(v graph.VertexID) int32 { return int32(final[v].ArgMax()) }
+		for _, fs := range []int{1, 64, 4096} {
+			frontier := benchFrontier(n, fs)
+			name := fmt.Sprintf("n=%d/frontier=%d", n, fs)
+			b.Run("impl=paged/"+name, func(b *testing.B) {
+				b.ReportAllocs()
+				snap := paged
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					snap, _ = snap.rebuild(frontier, final, labelOf)
+				}
+			})
+			b.Run("impl=fullclone/"+name, func(b *testing.B) {
+				b.ReportAllocs()
+				snap := flat
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					snap = snap.rebuild(classes, frontier, final, labelOf)
+				}
+			})
+		}
+	}
+}
+
+// flatSnapshot replicates the pre-paging publisher: one labels slice, one
+// row-major logits slice, both cloned whole on every publish.
+type flatSnapshot struct {
+	labels []int32
+	logits []float32
+}
+
+func (s *flatSnapshot) rebuild(classes int, frontier []graph.VertexID, final []tensor.Vector, labelOf func(graph.VertexID) int32) *flatSnapshot {
+	next := &flatSnapshot{
+		labels: append([]int32(nil), s.labels...),
+		logits: append([]float32(nil), s.logits...),
+	}
+	for _, v := range frontier {
+		copy(next.logits[int(v)*classes:(int(v)+1)*classes], final[v])
+		next.labels[v] = labelOf(v)
+	}
+	return next
+}
+
+func benchTables(n, classes int) ([]int32, []tensor.Vector) {
+	rng := rand.New(rand.NewSource(int64(n)))
+	labels := make([]int32, n)
+	final := make([]tensor.Vector, n)
+	for v := range final {
+		final[v] = tensor.NewVector(classes)
+		for c := range final[v] {
+			final[v][c] = rng.Float32()
+		}
+		labels[v] = int32(final[v].ArgMax())
+	}
+	return labels, final
+}
+
+func benchFrontier(n, size int) []graph.VertexID {
+	rng := rand.New(rand.NewSource(int64(n + size)))
+	seen := map[int]bool{}
+	frontier := make([]graph.VertexID, 0, size)
+	for len(frontier) < size {
+		v := rng.Intn(n)
+		if !seen[v] {
+			seen[v] = true
+			frontier = append(frontier, graph.VertexID(v))
+		}
+	}
+	return frontier
+}
+
+func flatten(final []tensor.Vector, classes int) []float32 {
+	out := make([]float32, len(final)*classes)
+	for v, row := range final {
+		copy(out[v*classes:(v+1)*classes], row)
+	}
+	return out
+}
+
+// TestPublishBenchmarkEquivalence pins the benchmark's two publishers to
+// the same semantics: starting from the same base tables and rewriting
+// the same frontier, paged and full-clone snapshots agree on every row.
+func TestPublishBenchmarkEquivalence(t *testing.T) {
+	const n, classes = 5000, 7
+	labels, base := benchTables(n, classes)
+	frontier := benchFrontier(n, 64)
+	updated := make([]tensor.Vector, n)
+	copy(updated, base)
+	for _, v := range frontier {
+		row := tensor.NewVector(classes)
+		for c := range row {
+			row[c] = -base[v][c]
+		}
+		updated[v] = row
+	}
+	labelOf := func(v graph.VertexID) int32 { return int32(updated[v].ArgMax()) }
+	paged, _ := buildSnapshot(labels, base, classes, 64).rebuild(frontier, updated, labelOf)
+	flat := (&flatSnapshot{labels: labels, logits: flatten(base, classes)}).rebuild(classes, frontier, updated, labelOf)
+	for v := 0; v < n; v++ {
+		id := graph.VertexID(v)
+		if int32(paged.Label(id)) != flat.labels[v] {
+			t.Fatalf("vertex %d: paged label %d, flat label %d", v, paged.Label(id), flat.labels[v])
+		}
+		if paged.Embedding(id).MaxAbsDiff(flat.logits[v*classes:(v+1)*classes]) != 0 {
+			t.Fatalf("vertex %d: paged and flat logits diverge", v)
+		}
+	}
+}

@@ -168,6 +168,10 @@ type (
 	Ranked = serve.Ranked
 	// ServeStats is a point-in-time counter snapshot of a Server.
 	ServeStats = serve.Stats
+	// PageStats describes the paged snapshot publisher: page geometry of
+	// the current epoch plus cumulative pages copied vs shared across all
+	// publishes. Returned by Server.Compact.
+	PageStats = serve.PageStats
 )
 
 // ServeOption customises Serve.
@@ -185,6 +189,14 @@ func WithAdmission(maxBatch int, maxAge time.Duration) ServeOption {
 // It runs on the write path and must not call back into the Server.
 func WithBatchObserver(fn func(BatchResult, error)) ServeOption {
 	return func(c *serve.Config) { c.OnBatch = fn }
+}
+
+// WithPageRows sets the serving snapshot's page granularity (rounded up
+// to a power of two; default 256). Publishing an epoch copies only the
+// pages the batch's final frontier touched, so smaller pages copy less
+// for scattered frontiers at the cost of a larger page table per epoch.
+func WithPageRows(rows int) ServeOption {
+	return func(c *serve.Config) { c.PageRows = rows }
 }
 
 // Serve wraps an engine in the concurrent serving layer. The Server
