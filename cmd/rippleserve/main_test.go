@@ -258,10 +258,20 @@ func TestHandleStatsAndCompact(t *testing.T) {
 		t.Fatalf("stats: status %d body %v", code, body)
 	}
 	serving := body["serving"].(map[string]any)
-	for _, key := range []string{"epoch", "batches", "pages_copied", "pages_shared"} {
+	for _, key := range []string{"epoch", "batches", "pages_copied", "pages_shared",
+		"scatter_shards", "scatter_hops_parallel", "scatter_hops_serial"} {
 		if _, ok := serving[key]; !ok {
 			t.Fatalf("serving stats missing %q: %v", key, serving)
 		}
+	}
+	if serving["scatter_shards"].(float64) < 1 {
+		t.Fatalf("scatter_shards = %v, want ≥ 1", serving["scatter_shards"])
+	}
+	// One applied batch over a 2-layer model: both hops accounted, to
+	// exactly one scatter path each.
+	if hops := serving["scatter_hops_parallel"].(float64) + serving["scatter_hops_serial"].(float64); hops != 2 {
+		t.Fatalf("scatter hop accounting %v parallel + %v serial, want 2 total",
+			serving["scatter_hops_parallel"], serving["scatter_hops_serial"])
 	}
 	code, _, body = do(t, h, "POST", "/compact", "")
 	if code != http.StatusOK {

@@ -70,6 +70,47 @@ func TestPublicPruningOptionStaysCorrect(t *testing.T) {
 	}
 }
 
+// TestPublicShardOptions checks WithShards/WithSerial plumb through the
+// facade: the knob reaches the engine (rounded up to a power of two),
+// batch results carry the scatter accounting, and shard count never
+// changes predictions.
+func TestPublicShardOptions(t *testing.T) {
+	model, err := ripple.NewModel("GS-S", []int{8, 16, 5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, x := buildSmall(t)
+	serial, err := ripple.Bootstrap(g0, model, x, ripple.WithSerial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []ripple.Update{{Kind: ripple.FeatureUpdate, U: 3, Features: ripple.NewVector(8)}}
+	if _, err := serial.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3, 8} {
+		g, _ := buildSmall(t)
+		eng, err := ripple.Bootstrap(g, model, x, ripple.WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := eng.Shards()
+		if got < shards || got&(got-1) != 0 {
+			t.Fatalf("WithShards(%d): engine has %d shards, want power of two ≥ %d", shards, got, shards)
+		}
+		res, err := eng.ApplyBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ScatterShards != got || res.ScatterHopsParallel+res.ScatterHopsSerial == 0 {
+			t.Fatalf("WithShards(%d): scatter accounting %+v", shards, res)
+		}
+		if d := serial.Embeddings().MaxAbsDiff(eng.Embeddings()); d != 0 {
+			t.Errorf("WithShards(%d) diverged from serial engine by %v", shards, d)
+		}
+	}
+}
+
 func TestPublicVertexLifecycle(t *testing.T) {
 	g, x := buildSmall(t)
 	model, err := ripple.NewModel("GI-S", []int{8, 16, 5}, 7)

@@ -1,0 +1,23 @@
+package engine
+
+import "ripple/internal/graph"
+
+// BenchScatterHop exposes exactly the scatter work of one propagation hop
+// — phases (a)+(b) of ApplyBatch — for benchmarks. It stages changed as
+// the hop-0 frontier with zeroed pre-batch embeddings (so each delta
+// equals the vertex's current h^0, full-width vector work either way),
+// runs the hop-1 scatter on the engine's configured path (serial or
+// sharded-parallel), and recycles the batch state. Returns the number of
+// messages deposited.
+func (r *Ripple) BenchScatterHop(changed []graph.VertexID) int64 {
+	for _, u := range changed {
+		r.oldH[0].Get(u) // zero old value => delta = current embedding
+	}
+	r.changed[0] = append(r.changed[0][:0], changed...)
+	r.events = r.events[:0]
+	var res BatchResult
+	r.scatterHop(1, &res)
+	r.mailbox[1].Reset(r.cfg.Serial)
+	r.oldH[0].Reset()
+	return res.Messages
+}

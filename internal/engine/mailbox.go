@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"math/bits"
+	"sort"
+
+	"ripple/internal/graph"
+	"ripple/internal/par"
+	"ripple/internal/tensor"
+)
+
+// This file is the sharded mailbox subsystem behind the engine's parallel
+// scatter (DESIGN.md §3.1). The per-hop mailboxes were previously plain
+// vecTables, single-writer by construction: every deposit appended to one
+// shared touched list, so the dominant scatter phases of ApplyBatch —
+// structural contributions and delta messages — had to run serially. A
+// shardedMailbox partitions the vertex ID space into power-of-two,
+// contiguous-range shards, giving every shard its own touched list and
+// vector pool: depositors working on different shards never share a write,
+// and merging shard-by-shard in a fixed order keeps floating-point
+// accumulation bit-identical to the serial engine.
+//
+// The subsystem is deliberately self-contained (shard mapping, deposit
+// logs, merge) so a future NUMA- or partition-aware scatter can swap the
+// shard function or move whole shards across workers without touching the
+// propagation logic in ripple.go.
+
+// message is one deferred mailbox deposit: sink's slot += coeff·vec. The
+// scatter workers log messages instead of applying them so that the vector
+// work lands in the merge phase, where each shard replays its messages in
+// global deposit order — parallel across shards, deterministic within one.
+type message struct {
+	sink  graph.VertexID
+	coeff float32
+	vec   tensor.Vector
+}
+
+// scatterBuf is one scatter worker's private state: a per-shard message
+// log plus the worker's share of the batch cost counters. Buffers are
+// owned by the engine and reused across hops and batches, so the steady
+// state allocates nothing.
+type scatterBuf struct {
+	byShard   [][]message
+	messages  int64
+	vectorOps int64
+}
+
+// reset prepares the buffer for a scatter pass over the given shard count,
+// keeping the logs' capacity. Logs arrive here already zeroed and empty:
+// mergeLogs clears each one after replaying it (see there for why), so a
+// buffer holds live vector pointers only between its scatter pass and the
+// merge that consumes it.
+func (b *scatterBuf) reset(shards int) {
+	if cap(b.byShard) < shards {
+		b.byShard = make([][]message, shards)
+	}
+	b.byShard = b.byShard[:shards]
+	for s := range b.byShard {
+		b.byShard[s] = b.byShard[s][:0]
+	}
+	b.messages, b.vectorOps = 0, 0
+}
+
+func (b *scatterBuf) push(shard int, m message) {
+	b.byShard[shard] = append(b.byShard[shard], m)
+}
+
+// shardedMailbox is a dense vertex→vector table whose bookkeeping is
+// partitioned by contiguous vertex ID ranges: shard(v) = v >> shift, with
+// a power-of-two shard count. Slot storage is one flat array (a deposit
+// for vertex v only ever races with another deposit for v's own shard, and
+// the merge gives each shard to exactly one goroutine), while the touched
+// lists and vector pools are per shard. Range sharding — rather than
+// low-bit interleaving — makes the frontier trivially deterministic: each
+// shard's touched list sorted, concatenated in shard order, is globally
+// sorted.
+type shardedMailbox struct {
+	width  int
+	shards int  // power of two
+	shift  uint // shard(v) = int(v) >> shift
+	slots  []tensor.Vector
+	sh     []mailboxShard
+}
+
+// mailboxShard is one shard's bookkeeping. The pad keeps neighbouring
+// shards' append-heavy headers off one cache line during the merge.
+type mailboxShard struct {
+	touched []graph.VertexID
+	pool    []tensor.Vector
+	_       [16]byte // two 24-byte slice headers + pad = one 64-byte line
+}
+
+func newShardedMailbox(n, width, shards int) *shardedMailbox {
+	m := &shardedMailbox{
+		width:  width,
+		shards: shards,
+		slots:  make([]tensor.Vector, n),
+		sh:     make([]mailboxShard, shards),
+	}
+	m.reshard()
+	return m
+}
+
+// reshard recomputes the range shift so every vertex ID maps into
+// [0, shards). Must only be called while the mailbox is empty.
+func (m *shardedMailbox) reshard() {
+	m.shift = 0
+	if n := len(m.slots); n > 1 {
+		if top := bits.Len(uint(n - 1)); top > bits.TrailingZeros(uint(m.shards)) {
+			m.shift = uint(top - bits.TrailingZeros(uint(m.shards)))
+		}
+	}
+}
+
+// shardOf returns the shard owning vertex u.
+func (m *shardedMailbox) shardOf(u graph.VertexID) int { return int(u) >> m.shift }
+
+// Get returns the vector for u, allocating (or reusing) a zeroed one on
+// first touch. Safe for concurrent use only across distinct shards.
+func (m *shardedMailbox) Get(u graph.VertexID) tensor.Vector {
+	return m.getShard(u, m.shardOf(u))
+}
+
+// getShard is Get with the shard precomputed (the merge loop already
+// knows it).
+func (m *shardedMailbox) getShard(u graph.VertexID, s int) tensor.Vector {
+	if v := m.slots[u]; v != nil {
+		return v
+	}
+	sh := &m.sh[s]
+	var v tensor.Vector
+	if k := len(sh.pool); k > 0 {
+		v = sh.pool[k-1]
+		sh.pool = sh.pool[:k-1]
+	} else {
+		v = tensor.NewVector(m.width)
+	}
+	m.slots[u] = v
+	sh.touched = append(sh.touched, u)
+	return v
+}
+
+// Lookup returns the vector for u, or nil if u has not been touched.
+func (m *shardedMailbox) Lookup(u graph.VertexID) tensor.Vector { return m.slots[u] }
+
+// Len returns the number of touched vertices.
+func (m *shardedMailbox) Len() int {
+	total := 0
+	for s := range m.sh {
+		total += len(m.sh[s].touched)
+	}
+	return total
+}
+
+// Frontier sorts each shard's touched list and returns their concatenation
+// in shard order, reusing dst. Because shards are contiguous ID ranges the
+// result is globally sorted — the same deterministic iteration order the
+// serial engine's single sorted list produced. Shards sort in parallel
+// (unless serial is set): sorting is order-independent, so parallelism
+// cannot perturb results.
+func (m *shardedMailbox) Frontier(dst []graph.VertexID, serial bool) []graph.VertexID {
+	sortShard := func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			t := m.sh[s].touched
+			sort.Slice(t, func(i, j int) bool { return t[i] < t[j] })
+		}
+	}
+	if total := m.Len(); serial || total < 4096 {
+		sortShard(0, m.shards)
+	} else {
+		par.For(m.shards, sortShard)
+	}
+	dst = dst[:0]
+	for s := range m.sh {
+		dst = append(dst, m.sh[s].touched...)
+	}
+	return dst
+}
+
+// mergeLogs replays every worker's per-shard message log into the mailbox,
+// shard-by-shard via par.ForShards. Within a shard, logs replay in
+// (worker, deposit) order; workers hold contiguous slices of the batch's
+// task list, so for every sink the deposits land in exactly the global
+// task order the serial scatter uses — float accumulation is bit-identical,
+// whatever the shard count or GOMAXPROCS. Each sink belongs to exactly one
+// shard, so no slot is written by two goroutines.
+func (m *shardedMailbox) mergeLogs(bufs []*scatterBuf, workers int) {
+	par.ForShards(m.shards, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			for w := 0; w < workers; w++ {
+				log := bufs[w].byShard[s]
+				for _, msg := range log {
+					m.getShard(msg.sink, s).AXPY(msg.coeff, msg.vec)
+				}
+				// Zero the log the moment it is consumed. A buffer's next
+				// reset is not enough: a worker that later hops never
+				// re-invoke (fewer tasks than GOMAXPROCS, or serial-cutoff
+				// traffic from here on) would otherwise pin superseded
+				// delta slabs and pooled old-embedding vectors through its
+				// stale message.vec fields for the engine's lifetime.
+				// Distinct (w, s) pairs are distinct slice elements, so
+				// shard goroutines never write the same header.
+				clear(log)
+				bufs[w].byShard[s] = log[:0]
+			}
+		}
+	})
+}
+
+// Grow extends the table to cover one more vertex, widening the shard
+// ranges when the new ID would fall past the last shard. Must only be
+// called between batches (the mailbox is empty).
+func (m *shardedMailbox) Grow() {
+	m.slots = append(m.slots, nil)
+	if m.shardOf(graph.VertexID(len(m.slots)-1)) >= m.shards {
+		// Doubling the range size remaps every vertex, which is safe
+		// precisely because nothing is touched right now; pooled vectors
+		// are interchangeable zeroed storage and stay where they are.
+		m.shift++
+	}
+}
+
+// Reset clears the mailbox, zeroing and recycling all touched vectors into
+// their shard's pool — in parallel across shards for large frontiers
+// (zeroing is order-independent).
+func (m *shardedMailbox) Reset(serial bool) {
+	clearShard := func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			sh := &m.sh[s]
+			for _, u := range sh.touched {
+				v := m.slots[u]
+				v.Zero()
+				sh.pool = append(sh.pool, v)
+				m.slots[u] = nil
+			}
+			sh.touched = sh.touched[:0]
+		}
+	}
+	if total := m.Len(); serial || total < 4096 {
+		clearShard(0, m.shards)
+	} else {
+		par.For(m.shards, clearShard)
+	}
+}

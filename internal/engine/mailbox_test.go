@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+func TestResolveShards(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {7, 8}, {8, 8}, {9, 16}, {1000, 1024},
+	} {
+		if got := resolveShards(tc.in); got != tc.want {
+			t.Errorf("resolveShards(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	// 0 and negatives default from GOMAXPROCS: just require a power of two ≥ 1.
+	for _, in := range []int{0, -3} {
+		got := resolveShards(in)
+		if got < 1 || got&(got-1) != 0 {
+			t.Errorf("resolveShards(%d) = %d, want a power of two", in, got)
+		}
+	}
+}
+
+// TestShardedMailboxRangeSharding checks the shard map is a monotone
+// partition of the ID space into [0, shards), so that per-shard sorted
+// touched lists concatenate into a globally sorted frontier.
+func TestShardedMailboxRangeSharding(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 8, 9, 100, 4096, 100_000} {
+		for _, shards := range []int{1, 2, 8, 64} {
+			m := newShardedMailbox(n, 4, shards)
+			prev := 0
+			for v := 0; v < n; v++ {
+				s := m.shardOf(graph.VertexID(v))
+				if s < 0 || s >= shards {
+					t.Fatalf("n=%d shards=%d: shardOf(%d) = %d out of range", n, shards, v, s)
+				}
+				if s < prev {
+					t.Fatalf("n=%d shards=%d: shardOf(%d) = %d < shardOf(%d) = %d", n, shards, v, s, v-1, prev)
+				}
+				prev = s
+			}
+		}
+	}
+}
+
+// TestShardedMailboxFrontierSortedAndReset exercises the vecTable-shaped
+// contract the propagate loop relies on: Get-once semantics, a globally
+// sorted frontier, and Reset recycling zeroed vectors.
+func TestShardedMailboxFrontierSortedAndReset(t *testing.T) {
+	const n, width = 1000, 3
+	m := newShardedMailbox(n, width, 8)
+	rng := rand.New(rand.NewSource(2))
+	want := map[graph.VertexID]bool{}
+	for i := 0; i < 300; i++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := m.Get(u)
+		if !want[u] && !v.IsZero() {
+			t.Fatalf("first Get(%d) returned non-zero vector %v", u, v)
+		}
+		v[0]++ // mark
+		want[u] = true
+	}
+	if m.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d distinct", m.Len(), len(want))
+	}
+	frontier := m.Frontier(nil, false)
+	if !sort.SliceIsSorted(frontier, func(i, j int) bool { return frontier[i] < frontier[j] }) {
+		t.Fatalf("frontier not globally sorted: %v", frontier)
+	}
+	if len(frontier) != len(want) {
+		t.Fatalf("frontier has %d vertices, want %d", len(frontier), len(want))
+	}
+	for _, u := range frontier {
+		if !want[u] {
+			t.Fatalf("frontier contains untouched vertex %d", u)
+		}
+		if got := m.Lookup(u); got == nil || got[0] == 0 {
+			t.Fatalf("Lookup(%d) = %v after deposits", u, got)
+		}
+	}
+	m.Reset(false)
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after Reset", m.Len())
+	}
+	for _, u := range frontier {
+		if m.Lookup(u) != nil {
+			t.Fatalf("Lookup(%d) non-nil after Reset", u)
+		}
+	}
+	// Recycled vectors come back zeroed.
+	if v := m.Get(frontier[0]); !v.IsZero() {
+		t.Fatalf("pooled vector not zeroed: %v", v)
+	}
+}
+
+// TestShardedMailboxGrow checks vertex addition keeps every ID inside the
+// shard range, including across the range-doubling boundary.
+func TestShardedMailboxGrow(t *testing.T) {
+	m := newShardedMailbox(8, 2, 4) // exactly 2 IDs per shard
+	for i := 0; i < 100; i++ {
+		m.Grow()
+		last := graph.VertexID(len(m.slots) - 1)
+		if s := m.shardOf(last); s < 0 || s >= m.shards {
+			t.Fatalf("after grow to %d: shardOf(%d) = %d out of [0,%d)", len(m.slots), last, s, m.shards)
+		}
+	}
+	// The mailbox still works end to end after regrowth.
+	m.Get(graph.VertexID(len(m.slots) - 1))
+	m.Get(0)
+	if f := m.Frontier(nil, true); len(f) != 2 || f[0] != 0 {
+		t.Fatalf("frontier after grow = %v", f)
+	}
+}
+
+// TestMergeLogsReplaysInGlobalOrder deposits the same message sequence
+// serially and via worker logs split at an arbitrary boundary, and
+// requires bit-identical slot contents — the determinism contract of
+// DESIGN.md §3.1 at the unit level.
+func TestMergeLogsReplaysInGlobalOrder(t *testing.T) {
+	const n, width, shards = 64, 5, 4
+	rng := rand.New(rand.NewSource(7))
+	type dep struct {
+		sink  graph.VertexID
+		coeff float32
+		vec   tensor.Vector
+	}
+	var deps []dep
+	for i := 0; i < 500; i++ {
+		vec := tensor.NewVector(width)
+		for j := range vec {
+			vec[j] = rng.Float32()*2 - 1
+		}
+		deps = append(deps, dep{graph.VertexID(rng.Intn(n)), rng.Float32() + 0.1, vec})
+	}
+
+	serial := newShardedMailbox(n, width, shards)
+	for _, d := range deps {
+		serial.Get(d.sink).AXPY(d.coeff, d.vec)
+	}
+
+	merged := newShardedMailbox(n, width, shards)
+	var bufs []*scatterBuf
+	cuts := []int{0, 137, 137, 400, len(deps)} // uneven slices, one empty worker
+	for w := 0; w+1 < len(cuts); w++ {
+		buf := &scatterBuf{}
+		buf.reset(shards)
+		for _, d := range deps[cuts[w]:cuts[w+1]] {
+			buf.push(merged.shardOf(d.sink), message{sink: d.sink, coeff: d.coeff, vec: d.vec})
+		}
+		bufs = append(bufs, buf)
+	}
+	merged.mergeLogs(bufs, len(bufs))
+
+	for v := 0; v < n; v++ {
+		a, b := serial.Lookup(graph.VertexID(v)), merged.Lookup(graph.VertexID(v))
+		if (a == nil) != (b == nil) {
+			t.Fatalf("vertex %d: touched mismatch (serial %v, merged %v)", v, a != nil, b != nil)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d[%d]: serial %x, merged %x — accumulation order diverged", v, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestValidateBatchPureFeatureStreamAllocatesNoOverlay pins the satellite
+// fix: a batch with no structural updates must not allocate the
+// intra-batch overlay map (or anything else) per call.
+func TestValidateBatchPureFeatureStreamAllocatesNoOverlay(t *testing.T) {
+	g := graph.New(16)
+	feat := tensor.NewVector(4)
+	batch := make([]Update, 64)
+	for i := range batch {
+		batch[i] = Update{Kind: FeatureUpdate, U: graph.VertexID(i % 16), Features: feat}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := validateBatch(g, 4, batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("pure feature batch: %v allocs per validateBatch, want 0", allocs)
+	}
+}
+
+// TestValidateBatchOverlayStillCatchesIntraBatchConflicts makes sure the
+// lazy overlay did not weaken validation of mixed batches.
+func TestValidateBatchOverlayStillCatchesIntraBatchConflicts(t *testing.T) {
+	g := graph.New(4)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Double-add of the same edge inside one batch must be rejected even
+	// though the live graph does not contain it.
+	err := validateBatch(g, 2, []Update{
+		{Kind: EdgeAdd, U: 2, V: 3, Weight: 1},
+		{Kind: EdgeAdd, U: 2, V: 3, Weight: 1},
+	})
+	if err == nil {
+		t.Fatal("intra-batch duplicate edge-add validated")
+	}
+	// Delete-then-re-add of a live edge is legal only through the overlay.
+	err = validateBatch(g, 2, []Update{
+		{Kind: EdgeDelete, U: 0, V: 1},
+		{Kind: EdgeAdd, U: 0, V: 1, Weight: 2},
+	})
+	if err != nil {
+		t.Fatalf("delete-then-re-add rejected: %v", err)
+	}
+}

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
 	"time"
 
 	"ripple/internal/gnn"
@@ -34,6 +36,31 @@ type Config struct {
 	// BatchResult.LabelChanges, enabling the paper's trigger-based serving
 	// model: consumers are notified of changed predictions immediately.
 	TrackLabels bool
+	// Shards is the mailbox shard count of the parallel scatter phase,
+	// rounded up to a power of two; 0 (the default) resolves at
+	// construction to the smallest power of two covering GOMAXPROCS,
+	// with a floor of 8 — shard-ordered merging pays for itself through
+	// sink-range cache locality even single-core (see BenchmarkScatter).
+	// More shards balance the merge better on skewed frontiers at the
+	// cost of per-worker log bookkeeping. Sharding never changes
+	// results: the merge replays messages in global deposit order,
+	// bit-identical to the serial engine (Ripple engine only; other
+	// strategies ignore it).
+	Shards int
+}
+
+// resolveShards applies Config.Shards' rounding/defaulting rule.
+func resolveShards(s int) int {
+	if s <= 0 {
+		s = runtime.GOMAXPROCS(0)
+		if s < 8 {
+			s = 8
+		}
+	}
+	if s <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(s-1))
 }
 
 // edgeEvent records one structural change of the current batch. Coeff
@@ -58,10 +85,19 @@ type Ripple struct {
 	emb   *gnn.Embeddings
 	cfg   Config
 
-	mailbox []*vecTable // [1..L]; mailbox[l] has width dims[l-1]
-	oldH    []*vecTable // [0..L]; pre-batch embeddings of changed vertices
+	mailbox []*shardedMailbox // [1..L]; mailbox[l] has width dims[l-1]
+	oldH    []*vecTable       // [0..L]; pre-batch embeddings of changed vertices
 	changed [][]graph.VertexID
 	events  []edgeEvent
+
+	// Parallel-scatter state (DESIGN.md §3.1): the resolved shard count,
+	// the per-worker message logs, the delta-message slab backing one row
+	// per changed vertex of the current hop, and the frontier scratch.
+	shards    int
+	scatter   []*scatterBuf
+	delta     tensor.Vector // serial-path delta scratch
+	deltaSlab []float32
+	frontier  []graph.VertexID
 
 	// affectedStamp/epoch implement an O(1) distinct-vertex counter across
 	// the hops of one batch.
@@ -92,20 +128,26 @@ func NewRipple(g *graph.Graph, model *gnn.Model, emb *gnn.Embeddings, cfg Config
 		model:         model,
 		emb:           emb,
 		cfg:           cfg,
-		mailbox:       make([]*vecTable, model.L()+1),
+		mailbox:       make([]*shardedMailbox, model.L()+1),
 		oldH:          make([]*vecTable, model.L()+1),
 		changed:       make([][]graph.VertexID, model.L()+1),
+		shards:        resolveShards(cfg.Shards),
+		delta:         tensor.NewVector(model.MaxDim()),
 		affectedStamp: make([]uint32, n),
 		scratch:       gnn.NewScratch(model.MaxDim()),
 	}
 	for l := 0; l <= model.L(); l++ {
 		r.oldH[l] = newVecTable(n, model.Dims[l])
 		if l > 0 {
-			r.mailbox[l] = newVecTable(n, model.Dims[l-1])
+			r.mailbox[l] = newShardedMailbox(n, model.Dims[l-1], r.shards)
 		}
 	}
 	return r, nil
 }
+
+// Shards returns the engine's resolved mailbox shard count (see
+// Config.Shards).
+func (r *Ripple) Shards() int { return r.shards }
 
 // Name implements Strategy.
 func (r *Ripple) Name() string { return "Ripple" }
@@ -168,14 +210,23 @@ func (r *Ripple) LabelTable(dst []int32) []int32 {
 // whole batch or rejects it without touching state.
 func validateBatch(g *graph.Graph, featDim int, batch []Update) error {
 	n := graph.VertexID(g.NumVertices())
-	// exists overlays intra-batch topology changes on the live graph.
+	// overlay simulates intra-batch topology changes on top of the live
+	// graph. It is allocated lazily, on the first edge update: pure
+	// feature streams — a common serving workload — validate without
+	// allocating at all.
 	type ekey struct{ u, v graph.VertexID }
-	overlay := map[ekey]bool{}
+	var overlay map[ekey]bool
 	edgeLive := func(u, v graph.VertexID) bool {
 		if st, ok := overlay[ekey{u, v}]; ok {
 			return st
 		}
 		return g.HasEdge(u, v)
+	}
+	setOverlay := func(u, v graph.VertexID, live bool) {
+		if overlay == nil {
+			overlay = make(map[ekey]bool)
+		}
+		overlay[ekey{u, v}] = live
 	}
 	for i, upd := range batch {
 		if upd.U < 0 || upd.U >= n {
@@ -190,12 +241,12 @@ func validateBatch(g *graph.Graph, featDim int, batch []Update) error {
 				if edgeLive(upd.U, upd.V) {
 					return fmt.Errorf("%w: batch[%d] edge-add (%d,%d) already exists", ErrBadUpdate, i, upd.U, upd.V)
 				}
-				overlay[ekey{upd.U, upd.V}] = true
+				setOverlay(upd.U, upd.V, true)
 			} else {
 				if !edgeLive(upd.U, upd.V) {
 					return fmt.Errorf("%w: batch[%d] edge-delete (%d,%d) does not exist", ErrBadUpdate, i, upd.U, upd.V)
 				}
-				overlay[ekey{upd.U, upd.V}] = false
+				setOverlay(upd.U, upd.V, false)
 			}
 		case FeatureUpdate:
 			if len(upd.Features) != featDim {
@@ -265,38 +316,16 @@ func (r *Ripple) ApplyBatch(batch []Update) (BatchResult, error) {
 
 	// --- Propagate operator: hops 1..L. ---
 	start = time.Now()
-	delta := tensor.NewVector(r.model.MaxDim())
+	res.ScatterShards = r.shards
 	for l := 1; l <= r.model.L(); l++ {
 		layer := r.model.Layers[l-1]
 		mb := r.mailbox[l]
 
-		// (a) Structural contributions of every edge event, using the
-		// pre-batch h^{l-1} of the source (paper §4.3.1, edge add/delete
-		// conditions with h_old or h_new taken as zero).
-		for _, ev := range r.events {
-			hPrev := r.oldH[l-1].Lookup(ev.src)
-			if hPrev == nil {
-				hPrev = r.emb.H[l-1][ev.src]
-			}
-			mb.Get(ev.sink).AXPY(ev.coeff, hPrev)
-			res.Messages++
-			res.VectorOps++
-		}
-
-		// (b) Delta messages from vertices whose h^{l-1} changed: one ⊖ to
-		// form the delta, one ⊕ per out-neighbour to accumulate it (the 2k′
-		// operations of the paper's benefit analysis, §4.3.3).
-		d := delta[:r.model.Dims[l-1]]
-		for _, u := range r.changed[l-1] {
-			old := r.oldH[l-1].Lookup(u)
-			tensor.AddSubInto(d, r.emb.H[l-1][u], old)
-			res.VectorOps++
-			for _, e := range r.g.Out(u) {
-				mb.Get(e.Peer).AXPY(gnn.Coeff(r.model.Agg, e.Weight), d)
-				res.Messages++
-				res.VectorOps++
-			}
-		}
+		// (a)+(b) Scatter: structural contributions of every edge event
+		// and delta messages from every changed vertex, deposited into the
+		// sharded hop-l mailbox — in parallel when the frontier warrants
+		// it, bit-identical to the serial order either way.
+		r.scatterHop(l, &res)
 
 		// (c) Self-dependence: architectures with a W_self/(1+ε) term must
 		// recompute h^l_u whenever h^{l-1}_u changed, message or not.
@@ -309,7 +338,8 @@ func (r *Ripple) ApplyBatch(batch []Update) (BatchResult, error) {
 		// (d) Apply phase: fold mailboxes into aggregates, recompute
 		// embeddings. Frontier is sorted for deterministic float
 		// accumulation; vertices are independent, so this parallelises.
-		frontier := mb.SortedTouched()
+		r.frontier = mb.Frontier(r.frontier, r.cfg.Serial)
+		frontier := r.frontier
 		res.FrontierPerHop[l-1] = len(frontier)
 		for _, v := range frontier {
 			r.oldH[l].Get(v).CopyFrom(r.emb.H[l][v])
@@ -339,10 +369,119 @@ func (r *Ripple) ApplyBatch(batch []Update) (BatchResult, error) {
 	for l := 0; l <= r.model.L(); l++ {
 		r.oldH[l].Reset()
 		if l > 0 {
-			r.mailbox[l].Reset()
+			r.mailbox[l].Reset(r.cfg.Serial)
 		}
 	}
 	return res, nil
+}
+
+// scatterSerialCutoff is the estimated message count below which the hop
+// scatters serially: on tiny frontiers the goroutine and log bookkeeping
+// costs more than the vector work it spreads. The estimate sums actual
+// out-degrees, so a handful of high-fan-out hubs — the workload the
+// parallel path exists for — is gated by its real message volume, not by
+// how few source vertices it has.
+const scatterSerialCutoff = 256
+
+// scatterHop runs the scatter phases of hop l — (a) structural
+// contributions of every edge event, using the pre-batch h^{l-1} of the
+// source (paper §4.3.1, edge add/delete conditions with h_old or h_new
+// taken as zero), and (b) delta messages from vertices whose h^{l-1}
+// changed: one ⊖ to form the delta, one ⊕ per out-neighbour to accumulate
+// it (the 2k′ operations of the paper's benefit analysis, §4.3.3).
+//
+// The parallel path treats events ++ changed as one ordered task list:
+// par.ForShards hands each worker a contiguous slice to walk in order,
+// logging messages into per-(worker, shard) buffers; the sharded merge
+// then replays every shard's logs in (worker, deposit) order, which is
+// exactly the global task order per sink — so float accumulation is
+// bit-identical to the serial path, at any shard count and GOMAXPROCS.
+func (r *Ripple) scatterHop(l int, res *BatchResult) {
+	mb := r.mailbox[l]
+	width := r.model.Dims[l-1]
+	events, changed := r.events, r.changed[l-1]
+	nEv := len(events)
+	nTasks := nEv + len(changed)
+	work := nEv
+	if !r.cfg.Serial {
+		for _, u := range changed {
+			work += len(r.g.Out(u))
+			if work >= scatterSerialCutoff {
+				break // estimate only gates the cutoff; stop at proof
+			}
+		}
+	}
+
+	if r.cfg.Serial || work < scatterSerialCutoff {
+		res.ScatterHopsSerial++
+		for _, ev := range events {
+			hPrev := r.oldH[l-1].Lookup(ev.src)
+			if hPrev == nil {
+				hPrev = r.emb.H[l-1][ev.src]
+			}
+			mb.Get(ev.sink).AXPY(ev.coeff, hPrev)
+			res.Messages++
+			res.VectorOps++
+		}
+		d := r.delta[:width]
+		for _, u := range changed {
+			tensor.AddSubInto(d, r.emb.H[l-1][u], r.oldH[l-1].Lookup(u))
+			res.VectorOps++
+			for _, e := range r.g.Out(u) {
+				mb.Get(e.Peer).AXPY(gnn.Coeff(r.model.Agg, e.Weight), d)
+				res.Messages++
+				res.VectorOps++
+			}
+		}
+		return
+	}
+
+	res.ScatterHopsParallel++
+	// One delta row per changed vertex: the rows must outlive the scatter
+	// pass, because the merge AXPYs them once per out-neighbour.
+	if need := len(changed) * width; cap(r.deltaSlab) < need {
+		r.deltaSlab = make([]float32, need)
+	}
+	slab := r.deltaSlab
+	// One GOMAXPROCS snapshot bounds both the buffer count and the
+	// fan-out (ForShardsN), so a concurrent GOMAXPROCS change can never
+	// hand a worker an index past len(r.scatter).
+	maxW := runtime.GOMAXPROCS(0)
+	for len(r.scatter) < maxW {
+		r.scatter = append(r.scatter, &scatterBuf{})
+	}
+	workers := par.ForShardsN(nTasks, maxW, func(w, lo, hi int) {
+		buf := r.scatter[w]
+		buf.reset(mb.shards)
+		for i := lo; i < hi; i++ {
+			if i < nEv {
+				ev := events[i]
+				hPrev := r.oldH[l-1].Lookup(ev.src)
+				if hPrev == nil {
+					hPrev = r.emb.H[l-1][ev.src]
+				}
+				buf.push(mb.shardOf(ev.sink), message{sink: ev.sink, coeff: ev.coeff, vec: hPrev})
+				buf.messages++
+				buf.vectorOps++
+				continue
+			}
+			c := i - nEv
+			u := changed[c]
+			d := tensor.Vector(slab[c*width : (c+1)*width])
+			tensor.AddSubInto(d, r.emb.H[l-1][u], r.oldH[l-1].Lookup(u))
+			buf.vectorOps++
+			for _, e := range r.g.Out(u) {
+				buf.push(mb.shardOf(e.Peer), message{sink: e.Peer, coeff: gnn.Coeff(r.model.Agg, e.Weight), vec: d})
+				buf.messages++
+				buf.vectorOps++
+			}
+		}
+	})
+	mb.mergeLogs(r.scatter, workers)
+	for w := 0; w < workers; w++ {
+		res.Messages += r.scatter[w].messages
+		res.VectorOps += r.scatter[w].vectorOps
+	}
 }
 
 // applyFrontier runs the apply phase of hop l over the frontier and

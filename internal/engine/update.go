@@ -83,6 +83,17 @@ type BatchResult struct {
 	// KernelLaunches counts layer-batch kernel invocations, the quantity
 	// the accelerator cost model charges launch overhead for.
 	KernelLaunches int64
+	// ScatterShards is the engine's mailbox shard count — the merge-order
+	// domain of the parallel scatter phase (see Config.Shards). Zero for
+	// strategies without sharded mailboxes (the recompute baselines).
+	ScatterShards int
+	// ScatterHopsParallel counts the propagation hops of this batch whose
+	// scatter phase ran through the sharded parallel path.
+	ScatterHopsParallel int
+	// ScatterHopsSerial counts the propagation hops of this batch whose
+	// scatter phase stayed serial (Serial config, or a frontier below the
+	// parallel cutoff).
+	ScatterHopsSerial int
 	// UpdateTime is the wall time spent applying topology/feature changes
 	// (including CSR rebuilds for the DGL-style baselines).
 	UpdateTime time.Duration

@@ -8,8 +8,10 @@ import (
 )
 
 // vecTable is a dense vertex→vector table with O(1) lookup, deterministic
-// iteration, and pooled storage. It backs both the per-hop mailboxes and
-// the per-hop old-embedding tables of the Ripple engine.
+// iteration, and pooled storage. It backs the per-hop old-embedding
+// tables of the Ripple engine (the per-hop mailboxes, once vecTables too,
+// are now shardedMailboxes — see mailbox.go — so the scatter phase can
+// deposit from many workers at once).
 //
 // The dense []tensor.Vector layout (nil = absent) trades O(n) pointers per
 // layer for map-free access: the evaluation's dense graphs routinely touch

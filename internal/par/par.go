@@ -46,7 +46,15 @@ func For(n int, fn func(lo, hi int)) {
 // callers keep deterministic per-shard accumulators that are merged in
 // shard order afterwards. shards is the exact number of shard invocations.
 func ForShards(n int, fn func(shard, lo, hi int)) (shards int) {
-	workers := runtime.GOMAXPROCS(0)
+	return ForShardsN(n, runtime.GOMAXPROCS(0), fn)
+}
+
+// ForShardsN is ForShards with an explicit worker bound: shard indices
+// stay below max(workers, 1) regardless of GOMAXPROCS. Callers that
+// pre-size per-shard state to a bound they read themselves use this form,
+// so the fan-out and the state agree by construction instead of via two
+// separate GOMAXPROCS reads that a concurrent change could split.
+func ForShardsN(n, workers int, fn func(shard, lo, hi int)) (shards int) {
 	if workers > n {
 		workers = n
 	}

@@ -1,6 +1,10 @@
 package par
 
 import (
+	"reflect"
+	"runtime"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -48,4 +52,116 @@ func TestForShardsDisjointAndComplete(t *testing.T) {
 			t.Errorf("n=%d: max shard %d with %d shards", n, maxShard, shards)
 		}
 	}
+}
+
+// shardSpans records every (shard, lo, hi) invocation of one ForShards
+// call, ordered by shard index.
+func shardSpans(n int) (spans [][3]int, shards int) {
+	var mu sync.Mutex
+	shards = ForShards(n, func(shard, lo, hi int) {
+		mu.Lock()
+		spans = append(spans, [3]int{shard, lo, hi})
+		mu.Unlock()
+	})
+	sort.Slice(spans, func(i, j int) bool { return spans[i][0] < spans[j][0] })
+	return spans, shards
+}
+
+// TestForShardsEdgeCases pins the contract the engine's sharded scatter
+// merge depends on: shard indices are dense [0, shards), spans are
+// contiguous, in shard order, and cover [0, n) exactly — including n=0,
+// n smaller than the worker count, and n not divisible by the chunk size.
+func TestForShardsEdgeCases(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	t.Run("n=0", func(t *testing.T) {
+		spans, shards := shardSpans(0)
+		if shards != 0 || len(spans) != 0 {
+			t.Fatalf("n=0: %d shards, spans %v; want no invocations", shards, spans)
+		}
+	})
+
+	t.Run("n<workers", func(t *testing.T) {
+		// 4 workers, 3 items: every shard must get exactly one item —
+		// no empty invocations, no items lost.
+		spans, shards := shardSpans(3)
+		if shards != 3 || len(spans) != 3 {
+			t.Fatalf("n=3, procs=4: %d shards, %d spans", shards, len(spans))
+		}
+		for i, s := range spans {
+			if s != [3]int{i, i, i + 1} {
+				t.Fatalf("n=3: shard %d spans [%d,%d), want [%d,%d)", s[0], s[1], s[2], i, i+1)
+			}
+		}
+	})
+
+	t.Run("n%chunk!=0", func(t *testing.T) {
+		// 10 items over 4 workers → chunk 3: spans 3,3,3,1. The ragged
+		// final shard must still be invoked with its own index.
+		spans, shards := shardSpans(10)
+		want := [][3]int{{0, 0, 3}, {1, 3, 6}, {2, 6, 9}, {3, 9, 10}}
+		if shards != 4 || !reflect.DeepEqual(spans, want) {
+			t.Fatalf("n=10, procs=4: shards=%d spans=%v, want %v", shards, spans, want)
+		}
+	})
+
+	t.Run("contiguous-any-n", func(t *testing.T) {
+		for _, n := range []int{1, 2, 4, 5, 17, 63, 64, 65, 1000} {
+			spans, shards := shardSpans(n)
+			if len(spans) != shards {
+				t.Fatalf("n=%d: %d spans for %d shards", n, len(spans), shards)
+			}
+			next := 0
+			for i, s := range spans {
+				if s[0] != i {
+					t.Fatalf("n=%d: shard indices not dense: %v", n, spans)
+				}
+				if s[1] != next || s[2] <= s[1] {
+					t.Fatalf("n=%d: span %v not contiguous from %d", n, s, next)
+				}
+				next = s[2]
+			}
+			if next != n {
+				t.Fatalf("n=%d: spans cover [0,%d)", n, next)
+			}
+		}
+	})
+
+	t.Run("explicit-worker-bound", func(t *testing.T) {
+		// ForShardsN must respect the caller's bound even when it is
+		// below (or above) GOMAXPROCS — the engine sizes per-worker state
+		// from the same number.
+		for _, workers := range []int{1, 2, 3, 100} {
+			var mu sync.Mutex
+			maxShard := -1
+			covered := 0
+			shards := ForShardsN(50, workers, func(shard, lo, hi int) {
+				mu.Lock()
+				if shard > maxShard {
+					maxShard = shard
+				}
+				covered += hi - lo
+				mu.Unlock()
+			})
+			bound := workers
+			if bound > 50 {
+				bound = 50
+			}
+			if shards > bound || maxShard != shards-1 || covered != 50 {
+				t.Fatalf("workers=%d: %d shards (max index %d, %d covered), bound %d",
+					workers, shards, maxShard, covered, bound)
+			}
+		}
+	})
+
+	t.Run("deterministic-boundaries", func(t *testing.T) {
+		// The engine's merge replays logs by shard index: two identical
+		// calls must chunk identically or worker slices would not be
+		// reproducible.
+		a, _ := shardSpans(777)
+		b, _ := shardSpans(777)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("same n chunked differently across calls:\n%v\n%v", a, b)
+		}
+	})
 }

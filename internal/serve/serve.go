@@ -88,6 +88,14 @@ type Stats struct {
 	Subscribers    int    `json:"subscribers"`     // live subscriptions
 	PagesCopied    int64  `json:"pages_copied"`    // snapshot pages copy-on-written across all publishes
 	PagesShared    int64  `json:"pages_shared"`    // snapshot pages shared with the previous epoch across all copying publishes
+
+	// Scatter parallelism of the wrapped engine's write path: the mailbox
+	// shard count the scatter merges into, and how many propagation hops
+	// took the sharded parallel path vs the serial small-frontier path
+	// across all applied batches.
+	ScatterShards       int   `json:"scatter_shards"`
+	ScatterHopsParallel int64 `json:"scatter_hops_parallel"`
+	ScatterHopsSerial   int64 `json:"scatter_hops_serial"`
 }
 
 // PageStats describes the paged publisher's state: the page geometry of
@@ -129,6 +137,8 @@ type Server struct {
 	reads       atomic.Int64
 	pagesCopied atomic.Int64
 	pagesShared atomic.Int64
+	scatterPar  atomic.Int64
+	scatterSer  atomic.Int64
 }
 
 // New wraps an engine in a serving layer and publishes the bootstrap
@@ -244,6 +254,9 @@ func (s *Server) applyCoalesced(batch []engine.Update) (engine.BatchResult, erro
 		agg.UpdateTime += one.UpdateTime
 		agg.PropagateTime += one.PropagateTime
 		agg.SimulatedTime += one.SimulatedTime
+		agg.ScatterShards = one.ScatterShards // engine constant, not additive
+		agg.ScatterHopsParallel += one.ScatterHopsParallel
+		agg.ScatterHopsSerial += one.ScatterHopsSerial
 		// Per-hop frontiers sum elementwise over the longest hop count seen.
 		for len(agg.FrontierPerHop) < len(one.FrontierPerHop) {
 			agg.FrontierPerHop = append(agg.FrontierPerHop, 0)
@@ -304,6 +317,8 @@ func (s *Server) apply(batch []engine.Update, quietReject bool) (engine.BatchRes
 	s.batches.Add(1)
 	s.updates.Add(int64(res.Updates))
 	s.flips.Add(int64(len(res.LabelChanges)))
+	s.scatterPar.Add(int64(res.ScatterHopsParallel))
+	s.scatterSer.Add(int64(res.ScatterHopsSerial))
 	for _, lc := range res.LabelChanges {
 		for _, ch := range s.subs {
 			select {
@@ -370,6 +385,10 @@ func (s *Server) Stats() Stats {
 		Subscribers:    subs,
 		PagesCopied:    s.pagesCopied.Load(),
 		PagesShared:    s.pagesShared.Load(),
+
+		ScatterShards:       s.eng.Shards(),
+		ScatterHopsParallel: s.scatterPar.Load(),
+		ScatterHopsSerial:   s.scatterSer.Load(),
 	}
 }
 

@@ -601,6 +601,7 @@ func TestSalvagedFlushAggregatesResult(t *testing.T) {
 	var wantPerHop []int
 	var wantLaunches int64
 	var wantSimulated time.Duration
+	var wantScatterHops int
 	for _, one := range singles {
 		wantFrontier = append(wantFrontier, one.FinalFrontier...)
 		for len(wantPerHop) < len(one.FrontierPerHop) {
@@ -611,6 +612,7 @@ func TestSalvagedFlushAggregatesResult(t *testing.T) {
 		}
 		wantLaunches += one.KernelLaunches
 		wantSimulated += one.SimulatedTime
+		wantScatterHops += one.ScatterHopsParallel + one.ScatterHopsSerial
 	}
 	if len(wantFrontier) == 0 {
 		t.Fatal("salvaged updates reached no final-layer row; test is vacuous")
@@ -648,6 +650,37 @@ func TestSalvagedFlushAggregatesResult(t *testing.T) {
 	}
 	if agg.Updates != 2 || len(agg.LabelChanges) != len(singles[0].LabelChanges)+len(singles[1].LabelChanges) {
 		t.Fatalf("aggregated Updates/LabelChanges lost: %+v", agg)
+	}
+	if got := agg.ScatterHopsParallel + agg.ScatterHopsSerial; got != wantScatterHops || agg.ScatterShards != w.eng.Shards() {
+		t.Fatalf("aggregated scatter accounting (hops %d, shards %d), want (%d, %d)",
+			got, agg.ScatterShards, wantScatterHops, w.eng.Shards())
+	}
+}
+
+// TestStatsSurfaceScatterCounters checks the engine's scatter parallelism
+// is visible through Stats: the shard count is the engine's, and every
+// propagation hop of every applied batch is accounted to exactly one of
+// the parallel/serial paths.
+func TestStatsSurfaceScatterCounters(t *testing.T) {
+	w := newWorld(t, 21)
+	srv, err := New(w.eng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	const layers = 2 // newWorld's model: [feat, 16, classes]
+	for i := 0; i < 6; i++ {
+		if _, err := srv.Apply(w.batch(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	if st.ScatterShards != w.eng.Shards() || st.ScatterShards < 1 {
+		t.Fatalf("Stats.ScatterShards = %d, engine has %d", st.ScatterShards, w.eng.Shards())
+	}
+	if got := st.ScatterHopsParallel + st.ScatterHopsSerial; got != st.Batches*layers {
+		t.Fatalf("scatter hops parallel %d + serial %d = %d, want batches(%d)×layers(%d)",
+			st.ScatterHopsParallel, st.ScatterHopsSerial, got, st.Batches, layers)
 	}
 }
 

@@ -120,6 +120,25 @@ func WithZeroDeltaPruning() Option {
 	return func(c *engine.Config) { c.PruneZeroDeltas = true }
 }
 
+// WithShards sets the engine's mailbox shard count for the parallel
+// scatter phase (rounded up to a power of two; the default is the
+// smallest power of two covering GOMAXPROCS, with a floor of 8 — see
+// engine.Config.Shards). More shards balance the
+// scatter merge better on skewed frontiers at the cost of per-worker log
+// bookkeeping. Sharding never changes results: messages merge in a
+// deterministic order, bit-identical to the serial engine.
+func WithShards(n int) Option {
+	return func(c *engine.Config) { c.Shards = n }
+}
+
+// WithSerial disables the engine's parallel scatter and apply phases —
+// every batch runs single-threaded. Mostly for benchmarks isolating
+// single-core behaviour; results are bit-identical to the parallel
+// default.
+func WithSerial() Option {
+	return func(c *engine.Config) { c.Serial = true }
+}
+
 // Bootstrap runs Infer and wraps the result in an incremental Engine. The
 // engine takes ownership of g; do not mutate it directly afterwards —
 // stream updates through ApplyBatch (and AddVertex/RemoveVertex) instead.
