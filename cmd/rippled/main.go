@@ -47,109 +47,164 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "mesh connect timeout")
 	flag.Parse()
 
-	if err := run(*role, *rank, *addrsFlag, *ds, *scale, *workload, *layers, *hidden, *strategy, *bs, *batches, *stream, *seed, *timeout); err != nil {
+	cfg := rankConfig{
+		Role: *role, Rank: *rank, Addrs: strings.Split(*addrsFlag, ","),
+		Dataset: *ds, Scale: *scale, Workload: *workload, Layers: *layers, Hidden: *hidden,
+		Strategy: *strategy, BatchSize: *bs, Batches: *batches, Stream: *stream,
+		Seed: *seed, Timeout: *timeout,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "rippled:", err)
 		os.Exit(1)
 	}
 }
 
-func run(role string, rank int, addrsFlag, ds string, scale float64, workload string, layers, hidden int, strategy string, bs, batches, stream int, seed int64, timeout time.Duration) error {
-	addrs := strings.Split(addrsFlag, ",")
-	if len(addrs) < 2 {
-		return fmt.Errorf("-addrs needs at least one worker plus the leader, got %q", addrsFlag)
-	}
-	k := len(addrs) - 1 // last address is the leader
+// rankConfig carries one rank's flags. Every rank of a deployment must
+// share the world-defining fields (Dataset..Seed) verbatim.
+type rankConfig struct {
+	Role  string
+	Rank  int
+	Addrs []string // one per worker, leader last
 
+	Dataset  string
+	Scale    float64
+	Workload string
+	Layers   int
+	Hidden   int
+
+	Strategy  string
+	BatchSize int
+	Batches   int
+	Stream    int
+	Seed      int64
+	Timeout   time.Duration
+}
+
+// sharedWorld is the deterministic state every rank derives identically
+// from the shared flags: the bootstrap snapshot, the update stream, the
+// model, and the partition placement.
+type sharedWorld struct {
+	k     int
+	wl    *dataset.Workload
+	model *gnn.Model
+	own   *cluster.Ownership
+	strat cluster.Strategy
+}
+
+// buildShared regenerates the shared world from the config.
+func buildShared(cfg rankConfig) (*sharedWorld, error) {
+	if len(cfg.Addrs) < 2 {
+		return nil, fmt.Errorf("-addrs needs at least one worker plus the leader, got %q", strings.Join(cfg.Addrs, ","))
+	}
 	strat := cluster.StratRipple
-	switch strategy {
+	switch cfg.Strategy {
 	case "ripple":
 	case "rc":
 		strat = cluster.StratRC
 	default:
-		return fmt.Errorf("unknown -strategy %q (want ripple or rc)", strategy)
+		return nil, fmt.Errorf("unknown -strategy %q (want ripple or rc)", cfg.Strategy)
 	}
-
-	// Deterministic shared state: every rank derives the identical world.
-	spec, err := dataset.ByName(ds, scale)
+	spec, err := dataset.ByName(cfg.Dataset, cfg.Scale)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Printf("[%s] generating %s at scale %v (n=%d)...\n", role, ds, scale, spec.NumVertices)
-	wl, err := dataset.Build(spec, dataset.StreamConfig{Total: stream, HoldoutFrac: 0.10, Seed: seed})
+	fmt.Printf("[%s] generating %s at scale %v (n=%d)...\n", cfg.Role, cfg.Dataset, cfg.Scale, spec.NumVertices)
+	wl, err := dataset.Build(spec, dataset.StreamConfig{Total: cfg.Stream, HoldoutFrac: 0.10, Seed: cfg.Seed})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	dims := []int{spec.FeatureDim}
-	for i := 1; i < layers; i++ {
-		dims = append(dims, hidden)
+	for i := 1; i < cfg.Layers; i++ {
+		dims = append(dims, cfg.Hidden)
 	}
 	dims = append(dims, spec.NumClasses)
-	model, err := gnn.NewWorkload(workload, dims, seed)
+	model, err := gnn.NewWorkload(cfg.Workload, dims, cfg.Seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	k := len(cfg.Addrs) - 1 // last address is the leader
 	assign, err := partition.Multilevel(wl.Snapshot, k, partition.DefaultMultilevelOptions)
 	if err != nil {
+		return nil, err
+	}
+	return &sharedWorld{k: k, wl: wl, model: model, own: cluster.BuildOwnership(assign), strat: strat}, nil
+}
+
+// startWorker dials the mesh and builds one worker rank over the shared
+// world. The caller runs (and is unblocked by the leader's shutdown of)
+// worker.Run, then owns closing the returned conn.
+func startWorker(sh *sharedWorld, cfg rankConfig) (*cluster.Worker, *transport.TCPConn, error) {
+	if cfg.Rank < 0 || cfg.Rank >= sh.k {
+		return nil, nil, fmt.Errorf("-rank %d out of [0,%d)", cfg.Rank, sh.k)
+	}
+	emb, err := gnn.Forward(sh.wl.Snapshot, sh.model, sh.wl.Features)
+	if err != nil {
+		return nil, nil, err
+	}
+	conn, err := transport.DialTCP(cfg.Rank, cfg.Addrs, cfg.Timeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := cluster.NewWorker(cfg.Rank, conn, sh.k, sh.model, sh.own, sh.strat, sh.wl.Snapshot, emb)
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	return w, conn, nil
+}
+
+// runLeader dials the mesh as the leader, streams the workload's batches,
+// and shuts the workers down.
+func runLeader(sh *sharedWorld, cfg rankConfig) error {
+	conn, err := transport.DialTCP(sh.k, cfg.Addrs, cfg.Timeout)
+	if err != nil {
 		return err
 	}
-	own := cluster.BuildOwnership(assign)
+	defer conn.Close()
+	leader := cluster.NewLeader(conn, sh.own, transport.TenGigE)
+	defer leader.Shutdown()
 
-	switch role {
+	all := sh.wl.Batches(cfg.BatchSize)
+	if cfg.Batches > 0 && len(all) > cfg.Batches {
+		all = all[:cfg.Batches]
+	}
+	fmt.Printf("[leader] streaming %d batches of %d updates to %d workers (%s, %s %dL)\n",
+		len(all), cfg.BatchSize, sh.k, cfg.Strategy, cfg.Workload, cfg.Layers)
+	var updates int
+	var total time.Duration
+	for i, b := range all {
+		res, err := leader.ApplyBatch(b)
+		if err != nil {
+			return err
+		}
+		updates += res.Updates
+		total += res.WallTime
+		fmt.Printf("  batch %2d: wall=%-12v affected=%-8d commBytes=%-10d simLat=%v\n",
+			i, res.WallTime.Round(time.Microsecond), res.Affected, res.CommBytes, res.SimLatency().Round(time.Microsecond))
+	}
+	if total > 0 {
+		fmt.Printf("[leader] throughput %.1f up/s over TCP (wall time)\n", float64(updates)/total.Seconds())
+	}
+	return nil
+}
+
+func run(cfg rankConfig) error {
+	sh, err := buildShared(cfg)
+	if err != nil {
+		return err
+	}
+	switch cfg.Role {
 	case "worker":
-		if rank < 0 || rank >= k {
-			return fmt.Errorf("-rank %d out of [0,%d)", rank, k)
-		}
-		emb, err := gnn.Forward(wl.Snapshot, model, wl.Features)
-		if err != nil {
-			return err
-		}
-		conn, err := transport.DialTCP(rank, addrs, timeout)
+		w, conn, err := startWorker(sh, cfg)
 		if err != nil {
 			return err
 		}
 		defer conn.Close()
-		w, err := cluster.NewWorker(rank, conn, k, model, own, strat, wl.Snapshot, emb)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("[worker %d] serving %d local vertices\n", rank, own.NumLocal(rank))
+		fmt.Printf("[worker %d] serving %d local vertices\n", cfg.Rank, sh.own.NumLocal(cfg.Rank))
 		return w.Run()
-
 	case "leader":
-		// The leader also needs the bootstrap only to keep flag parity; it
-		// holds no embedding state.
-		conn, err := transport.DialTCP(k, addrs, timeout)
-		if err != nil {
-			return err
-		}
-		defer conn.Close()
-		leader := cluster.NewLeader(conn, own, transport.TenGigE)
-		defer leader.Shutdown()
-
-		all := wl.Batches(bs)
-		if batches > 0 && len(all) > batches {
-			all = all[:batches]
-		}
-		fmt.Printf("[leader] streaming %d batches of %d updates to %d workers (%s, %s %dL)\n",
-			len(all), bs, k, strategy, workload, layers)
-		var updates int
-		var total time.Duration
-		for i, b := range all {
-			res, err := leader.ApplyBatch(b)
-			if err != nil {
-				return err
-			}
-			updates += res.Updates
-			total += res.WallTime
-			fmt.Printf("  batch %2d: wall=%-12v affected=%-8d commBytes=%-10d simLat=%v\n",
-				i, res.WallTime.Round(time.Microsecond), res.Affected, res.CommBytes, res.SimLatency().Round(time.Microsecond))
-		}
-		if total > 0 {
-			fmt.Printf("[leader] throughput %.1f up/s over TCP (wall time)\n", float64(updates)/total.Seconds())
-		}
-		return nil
-
+		return runLeader(sh, cfg)
 	default:
-		return fmt.Errorf("unknown -role %q (want worker or leader)", role)
+		return fmt.Errorf("unknown -role %q (want worker or leader)", cfg.Role)
 	}
 }

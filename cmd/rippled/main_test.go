@@ -1,0 +1,145 @@
+package main
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ripple/internal/engine"
+	"ripple/internal/gnn"
+)
+
+// freeLoopbackAddrs reserves n distinct free loopback ports and returns
+// their addresses, so parallel CI jobs (or lingering sockets) cannot
+// collide with hardcoded ports.
+func freeLoopbackAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	// Keep all n held until each is picked, so the same port is never
+	// handed out twice; DialTCP re-binds them immediately after.
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestSmokeLeaderAndWorkersOverTCP boots the real deployment path
+// in-process — leader + 2 workers meshed over loopback TCP, every rank
+// deriving the shared world from identical flags exactly as separate
+// rippled processes would — streams the workload, and checks the workers'
+// final embeddings converge to a single-node engine fed the same batches.
+func TestSmokeLeaderAndWorkersOverTCP(t *testing.T) {
+	base := rankConfig{
+		Addrs:     freeLoopbackAddrs(t, 3),
+		Dataset:   "arxiv",
+		Scale:     0.002, // ~340 vertices: big enough to partition, fast to regenerate per rank
+		Workload:  "GC-S",
+		Layers:    2,
+		Hidden:    16,
+		Strategy:  "ripple",
+		BatchSize: 25,
+		Batches:   4,
+		Stream:    150,
+		Seed:      42,
+		Timeout:   15 * time.Second,
+	}
+
+	// Workers first: each builds its own shared world from the flags (the
+	// multi-process determinism contract) and runs until the leader's
+	// shutdown.
+	type workerHandle struct {
+		sh  *sharedWorld
+		w   interface{ Embeddings() *gnn.Embeddings }
+		err error
+	}
+	handles := make([]workerHandle, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cfg := base
+			cfg.Role, cfg.Rank = "worker", r
+			sh, err := buildShared(cfg)
+			if err != nil {
+				handles[r].err = err
+				return
+			}
+			w, conn, err := startWorker(sh, cfg)
+			if err != nil {
+				handles[r].err = err
+				return
+			}
+			defer conn.Close()
+			handles[r] = workerHandle{sh: sh, w: w}
+			if err := w.Run(); err != nil {
+				handles[r].err = err
+			}
+		}(r)
+	}
+
+	// The leader streams the batches through the exact main() entry point.
+	leaderCfg := base
+	leaderCfg.Role = "leader"
+	if err := run(leaderCfg); err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	wg.Wait()
+	for r, h := range handles {
+		if h.err != nil {
+			t.Fatalf("worker %d: %v", r, h.err)
+		}
+	}
+
+	// Ground truth: a single-node engine fed the identical batch stream.
+	gtCfg := base
+	gtCfg.Role = "truth"
+	sh, err := buildShared(gtCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sh.wl.CloneSnapshot()
+	emb, err := gnn.Forward(g, sh.model, sh.wl.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.NewRipple(g, sh.model, emb, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := sh.wl.Batches(base.BatchSize)[:base.Batches]
+	var streamed int
+	for i, b := range all {
+		if _, err := eng.ApplyBatch(b); err != nil {
+			t.Fatalf("ground-truth batch %d: %v", i, err)
+		}
+		streamed += len(b)
+	}
+	if streamed == 0 {
+		t.Fatal("smoke stream was empty; nothing was exercised")
+	}
+
+	truth := eng.Embeddings()
+	const tol = 5e-3
+	for r, h := range handles {
+		own := h.sh.own
+		got := h.w.Embeddings()
+		for li, gid := range own.Locals[r] {
+			for l := range truth.H {
+				if d := got.H[l][li].MaxAbsDiff(truth.H[l][gid]); d > tol {
+					t.Fatalf("worker %d vertex %d layer %d drift %v after %d streamed updates", r, gid, l, d, streamed)
+				}
+			}
+		}
+	}
+}

@@ -1,10 +1,13 @@
-// Command rippleserve is a single-node HTTP prediction service over the
+// Command rippleserve is an HTTP prediction service over the
 // snapshot-isolated serving layer: the paper's trigger-based inference
 // engine (§2.2) put behind a production-shaped read/write API.
 //
 // It bootstraps a synthetic dataset (the offline substitute for OGB, see
-// DESIGN.md §1), runs the incremental engine behind internal/serve, and
-// exposes:
+// DESIGN.md §1), runs the incremental engine behind internal/serve —
+// single-node by default, or partitioned across an in-process distributed
+// cluster with -workers N (-partitioner picks placement); epochs are then
+// published from the leader's delta gather and /stats additionally
+// reports comm_bytes/comm_msgs/route_bytes/gather_bytes — and exposes:
 //
 //	GET  /label/{v}        current predicted class of vertex v
 //	GET  /topk/{v}?k=3     v's k best classes with logit scores
@@ -19,9 +22,11 @@
 // bypasses the queue and returns the applied batch's cost.
 //
 // Update JSON: {"updates": [
+//
 //	{"kind": "edge-add", "u": 1, "v": 2, "weight": 1.0},
 //	{"kind": "edge-delete", "u": 2, "v": 1},
 //	{"kind": "feature-update", "u": 3, "features": [0.1, -0.4, ...]}
+//
 // ]}
 package main
 
@@ -53,48 +58,80 @@ func main() {
 	seed := flag.Int64("seed", 42, "generation seed")
 	batch := flag.Int("batch", 128, "admission queue flush size")
 	delay := flag.Duration("delay", 2*time.Millisecond, "admission queue flush age")
+	workers := flag.Int("workers", 0, "distributed mode: partition across this many in-process workers (0 = single-node engine)")
+	partitioner := flag.String("partitioner", "multilevel", "distributed mode placement: multilevel, ldg or hash")
 	flag.Parse()
 
-	if err := run(*addr, *ds, *scale, *workload, *layers, *hidden, *seed, *batch, *delay); err != nil {
+	cfg := serveConfig{
+		Addr: *addr, Dataset: *ds, Scale: *scale, Workload: *workload,
+		Layers: *layers, Hidden: *hidden, Seed: *seed,
+		Batch: *batch, Delay: *delay, Workers: *workers, Partitioner: *partitioner,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "rippleserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, ds string, scale float64, workload string, layers, hidden int, seed int64, batch int, delay time.Duration) error {
-	spec, err := dataset.ByName(ds, scale)
+// serveConfig carries the daemon's flags.
+type serveConfig struct {
+	Addr        string
+	Dataset     string
+	Scale       float64
+	Workload    string
+	Layers      int
+	Hidden      int
+	Seed        int64
+	Batch       int
+	Delay       time.Duration
+	Workers     int // 0 = single-node engine backend
+	Partitioner string
+}
+
+func run(cfg serveConfig) error {
+	spec, err := dataset.ByName(cfg.Dataset, cfg.Scale)
 	if err != nil {
 		return err
 	}
-	spec.Seed = seed
-	log.Printf("generating %s at scale %v (%d vertices, ~%d edges)...", ds, scale, spec.NumVertices, spec.NumEdges())
+	spec.Seed = cfg.Seed
+	log.Printf("generating %s at scale %v (%d vertices, ~%d edges)...", cfg.Dataset, cfg.Scale, spec.NumVertices, spec.NumEdges())
 	g, features, err := dataset.Generate(spec)
 	if err != nil {
 		return err
 	}
 	dims := []int{spec.FeatureDim}
-	for i := 1; i < layers; i++ {
-		dims = append(dims, hidden)
+	for i := 1; i < cfg.Layers; i++ {
+		dims = append(dims, cfg.Hidden)
 	}
 	dims = append(dims, spec.NumClasses)
-	model, err := ripple.NewModel(workload, dims, seed)
+	model, err := ripple.NewModel(cfg.Workload, dims, cfg.Seed)
 	if err != nil {
 		return err
 	}
-	log.Printf("bootstrapping %s over %d vertices...", model, spec.NumVertices)
-	eng, err := ripple.Bootstrap(g, model, features)
-	if err != nil {
-		return err
+	var srv *ripple.Server
+	if cfg.Workers > 0 {
+		log.Printf("bootstrapping %s over %d vertices across %d workers (%s partitioning)...",
+			model, spec.NumVertices, cfg.Workers, cfg.Partitioner)
+		srv, err = ripple.ServeCluster(g, model, features,
+			ripple.DistOptions{Workers: cfg.Workers, Partitioner: cfg.Partitioner},
+			ripple.WithAdmission(cfg.Batch, cfg.Delay))
+	} else {
+		log.Printf("bootstrapping %s over %d vertices...", model, spec.NumVertices)
+		var eng *ripple.Engine
+		eng, err = ripple.Bootstrap(g, model, features)
+		if err != nil {
+			return err
+		}
+		// Serve enables label tracking on the engine itself.
+		srv, err = ripple.Serve(eng, ripple.WithAdmission(cfg.Batch, cfg.Delay))
 	}
-	// Serve enables label tracking on the engine itself.
-	srv, err := ripple.Serve(eng, ripple.WithAdmission(batch, delay))
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 
-	api := &api{srv: srv, n: spec.NumVertices, classes: spec.NumClasses, workload: workload, dataset: ds}
-	httpSrv := &http.Server{Addr: addr, Handler: api.routes()}
+	api := &api{srv: srv, n: spec.NumVertices, classes: spec.NumClasses, workload: cfg.Workload, dataset: cfg.Dataset, workers: cfg.Workers}
+	httpSrv := &http.Server{Addr: cfg.Addr, Handler: api.routes()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -107,7 +144,7 @@ func run(addr, ds string, scale float64, workload string, layers, hidden int, se
 		httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("serving %s/%s predictions on %s (epoch 0 published)", ds, workload, addr)
+	log.Printf("serving %s/%s predictions on %s (epoch 0 published)", cfg.Dataset, cfg.Workload, cfg.Addr)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
@@ -124,6 +161,7 @@ type api struct {
 	classes  int
 	workload string
 	dataset  string
+	workers  int // 0 = single-node engine backend
 }
 
 func (a *api) routes() http.Handler {
@@ -252,6 +290,12 @@ func (a *api) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("sync") != "" {
 		res, err := a.srv.Apply(batch)
 		if err != nil {
+			// Infrastructure failure is an outage (503), not the
+			// client's batch being rejected (422).
+			if errors.Is(err, ripple.ErrServeBackendFailed) {
+				httpError(w, http.StatusServiceUnavailable, "serving backend failed: %v", err)
+				return
+			}
 			httpError(w, http.StatusUnprocessableEntity, "batch rejected: %v", err)
 			return
 		}
@@ -282,6 +326,10 @@ func (a *api) handleCompact(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if a.srv.Stats().BackendFailed {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "backend_failed", "epoch": a.srv.Snapshot().Epoch()})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": a.srv.Snapshot().Epoch()})
 }
 
@@ -291,6 +339,7 @@ func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
 		"workload": a.workload,
 		"vertices": a.n,
 		"classes":  a.classes,
+		"workers":  a.workers,
 		"serving":  a.srv.Stats(),
 	})
 }

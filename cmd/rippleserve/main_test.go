@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -16,8 +17,9 @@ const (
 	testClasses = 4
 )
 
-// newTestAPI builds the handler set over a small deterministic engine.
-func newTestAPI(t *testing.T) *api {
+// testWorld builds the deterministic graph/model/features the handler
+// tests run over.
+func testWorld(t *testing.T) (*ripple.Graph, *ripple.Model, []ripple.Vector) {
 	t.Helper()
 	g := ripple.NewGraph(testN)
 	for v := 0; v < testN-1; v++ {
@@ -36,6 +38,13 @@ func newTestAPI(t *testing.T) *api {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return g, model, features
+}
+
+// newTestAPI builds the handler set over a small deterministic engine.
+func newTestAPI(t *testing.T) *api {
+	t.Helper()
+	g, model, features := testWorld(t)
 	eng, err := ripple.Bootstrap(g, model, features)
 	if err != nil {
 		t.Fatal(err)
@@ -46,6 +55,20 @@ func newTestAPI(t *testing.T) *api {
 	}
 	t.Cleanup(srv.Close)
 	return &api{srv: srv, n: testN, classes: testClasses, workload: "GS-S", dataset: "test"}
+}
+
+// newDistributedAPI builds the same handler set over a 3-worker cluster
+// backend — the -workers 3 deployment.
+func newDistributedAPI(t *testing.T) *api {
+	t.Helper()
+	g, model, features := testWorld(t)
+	srv, err := ripple.ServeCluster(g, model, features,
+		ripple.DistOptions{Workers: 3, Partitioner: "hash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return &api{srv: srv, n: testN, classes: testClasses, workload: "GS-S", dataset: "test", workers: 3}
 }
 
 // do runs one request through the mux and decodes the JSON response body.
@@ -244,6 +267,76 @@ func TestHandleUpdateAfterCloseIs503(t *testing.T) {
 		`{"updates": [{"kind": "feature-update", "u": 1, "features": [0, 0, 0, 0, 0, 0]}]}`)
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("submit after close: status %d, want 503", code)
+	}
+}
+
+// TestDistributedModeServesCorrectAnswers runs the full handler surface
+// over a 3-worker cluster backend and checks /label and /topk answer
+// exactly what a single-node deployment answers for the same world and
+// update stream — the acceptance bar for `rippleserve -workers 3`.
+func TestDistributedModeServesCorrectAnswers(t *testing.T) {
+	single := newTestAPI(t)
+	dist := newDistributedAPI(t)
+	hs, hd := single.routes(), dist.routes()
+
+	updates := []string{
+		`{"updates": [{"kind": "feature-update", "u": 2, "features": [2, 0, 0, 0, 0, 0]}]}`,
+		`{"updates": [{"kind": "edge-add", "u": 7, "v": 2, "weight": 1}]}`,
+		`{"updates": [{"kind": "edge-delete", "u": 3, "v": 4}]}`,
+	}
+	for i, body := range updates {
+		for name, h := range map[string]http.Handler{"single": hs, "distributed": hd} {
+			if code, raw, _ := do(t, h, "POST", "/update?sync=1", body); code != http.StatusOK {
+				t.Fatalf("%s update %d: status %d (%q)", name, i, code, raw)
+			}
+		}
+	}
+	for v := 0; v < testN; v++ {
+		target := "/label/" + strconv.Itoa(v)
+		codeS, _, bodyS := do(t, hs, "GET", target, "")
+		codeD, _, bodyD := do(t, hd, "GET", target, "")
+		if codeS != codeD || bodyS["label"] != bodyD["label"] || bodyS["epoch"] != bodyD["epoch"] {
+			t.Fatalf("GET %s: single %d/%v, distributed %d/%v", target, codeS, bodyS, codeD, bodyD)
+		}
+		target = "/topk/" + strconv.Itoa(v) + "?k=2"
+		_, _, bodyS = do(t, hs, "GET", target, "")
+		_, _, bodyD = do(t, hd, "GET", target, "")
+		ranksS, ranksD := bodyS["topk"].([]any), bodyD["topk"].([]any)
+		if len(ranksS) != len(ranksD) {
+			t.Fatalf("GET %s: topk sizes %d vs %d", target, len(ranksS), len(ranksD))
+		}
+		for i := range ranksS {
+			cs := ranksS[i].(map[string]any)["class"]
+			cd := ranksD[i].(map[string]any)["class"]
+			if cs != cd {
+				t.Fatalf("GET %s: rank %d class %v (single) vs %v (distributed)", target, i, cs, cd)
+			}
+		}
+	}
+
+	// A batch rejected by leader-side validation must not break serving.
+	if code, _, _ := do(t, hd, "POST", "/update?sync=1",
+		`{"updates": [{"kind": "edge-add", "u": 0, "v": 1, "weight": 1}]}`); code != http.StatusUnprocessableEntity {
+		t.Fatalf("distributed duplicate edge-add: status %d, want 422", code)
+	}
+	if code, _, _ := do(t, hd, "GET", "/label/0", ""); code != http.StatusOK {
+		t.Fatalf("distributed serving broken after rejected batch: %d", code)
+	}
+
+	// The comm counters surface at /stats in distributed mode only.
+	_, _, stats := do(t, hd, "GET", "/stats", "")
+	if stats["workers"].(float64) != 3 {
+		t.Fatalf("stats workers = %v", stats["workers"])
+	}
+	serving := stats["serving"].(map[string]any)
+	for _, key := range []string{"comm_bytes", "comm_msgs", "route_bytes", "gather_bytes"} {
+		if serving[key].(float64) <= 0 {
+			t.Fatalf("distributed serving stats %s = %v, want > 0", key, serving[key])
+		}
+	}
+	_, _, stats = do(t, hs, "GET", "/stats", "")
+	if c := stats["serving"].(map[string]any)["comm_bytes"].(float64); c != 0 {
+		t.Fatalf("single-node comm_bytes = %v, want 0", c)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"ripple/internal/cluster"
 	"ripple/internal/gnn"
 	"ripple/internal/partition"
+	"ripple/internal/serve"
 )
 
 // Cluster is an in-process distributed inference deployment: the graph and
@@ -57,4 +58,41 @@ func BootstrapDistributed(g *Graph, model *Model, features []Vector, opts DistOp
 		Assignment: assign,
 		Strategy:   strat,
 	})
+}
+
+// ServeCluster bootstraps a distributed cluster (like BootstrapDistributed)
+// and wraps it in the concurrent serving layer: the same
+// Label/Embedding/TopK/Snapshot/Submit/Subscribe surface as Serve, but the
+// propagation work runs across partitioned workers and each epoch is
+// published from a delta gather — every worker ships only the final-layer
+// rows the batch touched, so a distributed publish costs O(frontier rows
+// on the wire), not O(|V|).
+//
+// ServeCluster takes ownership of g (it becomes the leader-side validation
+// mirror); do not mutate it afterwards. opts.Baseline is rejected: the
+// recompute baseline cannot ship changed-row deltas. Closing the Server
+// shuts the cluster's workers down.
+func ServeCluster(g *Graph, model *Model, features []Vector, opts DistOptions, sopts ...ServeOption) (*Server, error) {
+	if opts.Baseline {
+		return nil, fmt.Errorf("ripple: ServeCluster requires the incremental strategy; the RC baseline cannot serve deltas")
+	}
+	cl, err := BootstrapDistributed(g, model, features, opts)
+	if err != nil {
+		return nil, err
+	}
+	backend, err := serve.NewClusterBackend(cl, g)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	var cfg serve.Config
+	for _, opt := range sopts {
+		opt(&cfg)
+	}
+	srv, err := serve.NewBackend(backend, cfg)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return srv, nil
 }

@@ -343,12 +343,12 @@ func TestBatchCodecRoundTrip(t *testing.T) {
 		{Update: engine.Update{Kind: engine.EdgeDelete, U: 7, V: 2}, NoCompute: true},
 		{Update: engine.Update{Kind: engine.FeatureUpdate, U: 4, Features: tensor.Vector{1, -2, 3.5}}},
 	}
-	seq, out, err := decodeBatch(encodeBatch(42, in))
+	seq, flags, out, err := decodeBatch(encodeBatch(42, batchFlagDelta, in))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if seq != 42 || len(out) != 3 {
-		t.Fatalf("seq=%d len=%d", seq, len(out))
+	if seq != 42 || flags != batchFlagDelta || len(out) != 3 {
+		t.Fatalf("seq=%d flags=%d len=%d", seq, flags, len(out))
 	}
 	if out[0].Kind != engine.EdgeAdd || out[0].U != 3 || out[0].V != 9 || out[0].Weight != 1.5 || out[0].NoCompute {
 		t.Errorf("update 0 = %+v", out[0])
@@ -396,6 +396,32 @@ func TestIDsCodecRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDeltaCodecRoundTrip(t *testing.T) {
+	in := []DeltaRow{
+		{Vertex: 3, OldLabel: 1, NewLabel: 2, Logits: tensor.Vector{0.5, -1, 2}},
+		{Vertex: 999999, OldLabel: -1, NewLabel: 0, Logits: tensor.Vector{1, 0, 0}},
+	}
+	seq, classes, out, err := decodeDelta(encodeDelta(11, 3, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 11 || classes != 3 || len(out) != 2 {
+		t.Fatalf("seq=%d classes=%d len=%d", seq, classes, len(out))
+	}
+	for i := range in {
+		if out[i].Vertex != in[i].Vertex || out[i].OldLabel != in[i].OldLabel || out[i].NewLabel != in[i].NewLabel {
+			t.Errorf("row %d = %+v", i, out[i])
+		}
+		if out[i].Logits.MaxAbsDiff(in[i].Logits) != 0 {
+			t.Errorf("row %d logits corrupted", i)
+		}
+	}
+	// Empty deltas are the common case for batches with no label-layer reach.
+	if seq, classes, out, err = decodeDelta(encodeDelta(4, 7, nil)); err != nil || seq != 4 || classes != 7 || len(out) != 0 {
+		t.Errorf("empty delta: seq=%d classes=%d len=%d err=%v", seq, classes, len(out), err)
+	}
+}
+
 func TestDoneCodecRoundTrip(t *testing.T) {
 	in := workerStats{Seq: 7, ComputeNanos: 123, UpdateNanos: 45, Affected: 6, Messages: 7, VectorOps: 8, BytesSent: 9, MsgsSent: 10}
 	out, err := decodeDone(encodeDone(in))
@@ -414,8 +440,17 @@ func TestCodecRejectsTruncation(t *testing.T) {
 			t.Errorf("truncation at %d not detected", cut)
 		}
 	}
-	if _, _, err := decodeBatch([]byte{1, 2}); err == nil {
+	if _, _, _, err := decodeBatch([]byte{1, 2}); err == nil {
 		t.Error("truncated batch not detected")
+	}
+	payload = encodeDelta(3, 2, []DeltaRow{{Vertex: 5, OldLabel: 0, NewLabel: 1, Logits: tensor.NewVector(2)}})
+	for _, cut := range []int{2, 7, 13, len(payload) - 1} {
+		if _, _, _, err := decodeDelta(payload[:cut]); err == nil {
+			t.Errorf("delta truncation at %d not detected", cut)
+		}
+	}
+	if _, _, _, err := decodeDelta(append(encodeDelta(1, 0, nil), 0xAB)); err == nil {
+		t.Error("delta trailing bytes not detected")
 	}
 	if _, err := decodeDone([]byte{0}); err == nil {
 		t.Error("truncated done not detected")

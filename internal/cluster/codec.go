@@ -25,6 +25,7 @@ const (
 	kindDone                      // worker→leader: per-batch stats
 	kindShutdown                  // leader→worker: terminate
 	kindError                     // worker→leader: fatal worker error
+	kindDelta                     // worker→leader: final-layer changed rows (delta gather)
 )
 
 // routedUpdate is an update as delivered to one worker. NoCompute marks
@@ -152,8 +153,14 @@ func (r *reader) done() error {
 
 // --- batch encoding ---
 
-func encodeBatch(seq uint32, updates []routedUpdate) []byte {
+// batchFlagDelta asks the worker to follow its kindDone report with a
+// kindDelta message carrying the final-layer rows its local frontier
+// touched (the serving tier's delta-gather phase).
+const batchFlagDelta uint8 = 1 << 0
+
+func encodeBatch(seq uint32, flags uint8, updates []routedUpdate) []byte {
 	b := appendU32(nil, seq)
+	b = append(b, flags)
 	b = appendU32(b, uint32(len(updates)))
 	for _, u := range updates {
 		b = append(b, byte(u.Kind))
@@ -171,14 +178,15 @@ func encodeBatch(seq uint32, updates []routedUpdate) []byte {
 	return b
 }
 
-func decodeBatch(payload []byte) (uint32, []routedUpdate, error) {
+func decodeBatch(payload []byte) (uint32, uint8, []routedUpdate, error) {
 	r := &reader{b: payload}
 	seq := r.u32("seq")
+	flags := r.byte("flags")
 	// Each routed update occupies at least 18 bytes on the wire
 	// (kind + nocompute + u + v + weight + featlen).
 	n := r.count(r.u32("count"), 18, "count")
 	if r.err != nil {
-		return 0, nil, r.err
+		return 0, 0, nil, r.err
 	}
 	updates := make([]routedUpdate, 0, n)
 	for i := 0; i < n && r.err == nil; i++ {
@@ -194,9 +202,9 @@ func decodeBatch(payload []byte) (uint32, []routedUpdate, error) {
 		updates = append(updates, u)
 	}
 	if err := r.done(); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return seq, updates, nil
+	return seq, flags, updates, nil
 }
 
 // --- halo delta encoding (Ripple) ---
@@ -236,6 +244,59 @@ func decodeHalo(payload []byte) (hop int, entries []haloEntry, err error) {
 		return 0, nil, err
 	}
 	return hop, entries, nil
+}
+
+// --- delta-gather encoding (distributed serving) ---
+
+// DeltaRow is one final-layer row a batch touched, as gathered by the
+// leader for epoch publication: the vertex's global id, its predicted
+// class before and after the batch, and its fresh logits. Shipping only
+// these rows makes a distributed epoch publish cost O(frontier rows on
+// the wire) instead of a whole-table gather's O(|V|·classes).
+type DeltaRow struct {
+	Vertex             graph.VertexID
+	OldLabel, NewLabel int32
+	Logits             tensor.Vector
+}
+
+func encodeDelta(seq uint32, classes int, rows []DeltaRow) []byte {
+	b := appendU32(nil, seq)
+	b = appendU32(b, uint32(classes))
+	b = appendU32(b, uint32(len(rows)))
+	for _, row := range rows {
+		b = appendU32(b, uint32(row.Vertex))
+		b = appendU32(b, uint32(row.OldLabel))
+		b = appendU32(b, uint32(row.NewLabel))
+		b = appendVec(b, row.Logits)
+	}
+	return b
+}
+
+func decodeDelta(payload []byte) (seq uint32, classes int, rows []DeltaRow, err error) {
+	r := &reader{b: payload}
+	seq = r.u32("seq")
+	classes = int(r.u32("classes"))
+	// Each row is id + old + new + the logits: 12 + classes*4 bytes. The
+	// division-based count guard rejects wire-chosen widths whose product
+	// would wrap before any allocation happens.
+	n := r.count(r.u32("count"), 12+classes*4, "count")
+	if r.err != nil {
+		return 0, 0, nil, r.err
+	}
+	rows = make([]DeltaRow, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		row := DeltaRow{
+			Vertex:   graph.VertexID(r.u32("vertex")),
+			OldLabel: int32(r.u32("old")),
+			NewLabel: int32(r.u32("new")),
+		}
+		row.Logits = r.vec(classes, "logits")
+		rows = append(rows, row)
+	}
+	if err := r.done(); err != nil {
+		return 0, 0, nil, err
+	}
+	return seq, classes, rows, nil
 }
 
 // --- id list encoding (RC affect marks and need lists) ---

@@ -17,11 +17,20 @@ func TestDecodeRejectsOverflowingCounts(t *testing.T) {
 	if _, _, err := decodeHalo(payload); err == nil {
 		t.Fatal("overflowing halo count decoded without error")
 	}
-	if _, _, err := decodeBatch(appendU32(appendU32(nil, 0), 0xFFFFFFFF)); err == nil {
+	if _, _, _, err := decodeBatch(appendU32(append(appendU32(nil, 0), 0), 0xFFFFFFFF)); err == nil {
 		t.Fatal("oversized batch count decoded without error")
 	}
 	if _, _, _, err := decodeIDs(append(appendU32(nil, 0), 0, 0xFF, 0xFF, 0xFF, 0xFF)); err == nil {
 		t.Fatal("oversized id count decoded without error")
+	}
+	// A delta header with classes/count chosen so n·(12+classes·4) wraps
+	// uint64 must be rejected by the division-based guard, like the halo
+	// case above. appendU32 order: seq, classes, count.
+	if _, _, _, err := decodeDelta(appendU32(appendU32(appendU32(nil, 1), 0x7FFFFFFF), 0x80000000)); err == nil {
+		t.Fatal("overflowing delta count decoded without error")
+	}
+	if _, _, _, err := decodeDelta(appendU32(appendU32(appendU32(nil, 1), 2), 0xFFFFFFFF)); err == nil {
+		t.Fatal("oversized delta count decoded without error")
 	}
 }
 
@@ -34,12 +43,13 @@ func TestDecodeRejectsOverflowingCounts(t *testing.T) {
 //     decode+encode cycle reproduces the exact same bytes.
 //
 // The seed corpus covers every message kind of the cluster protocol
-// (kindBatch, kindHalo, kindAffect, kindNeed, kindFill, kindDone), each
-// routed to the decoder its kind selects on the real wire.
+// (kindBatch, kindHalo, kindAffect, kindNeed, kindFill, kindDone,
+// kindDelta), each routed to the decoder its kind selects on the real
+// wire.
 func FuzzCodecRoundTrip(f *testing.F) {
 	// kindBatch: a routed sub-batch with all three update kinds, a
-	// NoCompute topology copy, and a feature vector.
-	f.Add(kindBatch, encodeBatch(7, []routedUpdate{
+	// NoCompute topology copy, a feature vector, and the delta-gather flag.
+	f.Add(kindBatch, encodeBatch(7, batchFlagDelta, []routedUpdate{
 		{Update: engine.Update{Kind: engine.EdgeAdd, U: 1, V: 2, Weight: 1.5}},
 		{Update: engine.Update{Kind: engine.EdgeDelete, U: 2, V: 1}, NoCompute: true},
 		{Update: engine.Update{Kind: engine.FeatureUpdate, U: 3, Features: tensor.Vector{0.25, -1, 3.5}}},
@@ -58,6 +68,13 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		Seq: 9, ComputeNanos: 1e6, UpdateNanos: 2e5, Affected: 12,
 		Messages: 99, VectorOps: 1024, BytesSent: 4096, MsgsSent: 7,
 	}))
+	// kindDelta: gathered final-layer rows (incl. empty, the common case
+	// for batches whose frontier dies before the label layer).
+	f.Add(kindDelta, encodeDelta(5, 3, []DeltaRow{
+		{Vertex: 2, OldLabel: 1, NewLabel: 0, Logits: tensor.Vector{2, 1, -3}},
+		{Vertex: 40, OldLabel: -1, NewLabel: 2, Logits: tensor.Vector{0, 0, 1}},
+	}))
+	f.Add(kindDelta, encodeDelta(6, 4, nil))
 	// Truncated/garbage seeds steer the fuzzer at the error paths.
 	f.Add(kindBatch, []byte{1, 2})
 	f.Add(kindHalo, []byte{0xff, 0xff, 0xff, 0xff})
@@ -65,23 +82,25 @@ func FuzzCodecRoundTrip(f *testing.F) {
 	// a multiplication-based bounds guard would admit a ~64 GiB
 	// preallocation. appendU32 order: hop, width, count.
 	f.Add(kindHalo, appendU32(appendU32(appendU32(nil, 1), 0x7FFFFFFF), 0x80000000))
+	// Same wrap shape against the delta decoder (seq, classes, count).
+	f.Add(kindDelta, appendU32(appendU32(appendU32(nil, 1), 0x7FFFFFFF), 0x80000000))
 
 	f.Fuzz(func(t *testing.T, kind byte, payload []byte) {
 		switch kind {
 		case kindBatch:
-			seq, ups, err := decodeBatch(payload)
+			seq, flags, ups, err := decodeBatch(payload)
 			if err != nil {
 				return
 			}
-			enc := encodeBatch(seq, ups)
-			seq2, ups2, err := decodeBatch(enc)
+			enc := encodeBatch(seq, flags, ups)
+			seq2, flags2, ups2, err := decodeBatch(enc)
 			if err != nil {
 				t.Fatalf("re-decode failed: %v", err)
 			}
-			if seq2 != seq || len(ups2) != len(ups) {
-				t.Fatalf("re-decode mismatch: seq %d→%d, %d→%d updates", seq, seq2, len(ups), len(ups2))
+			if seq2 != seq || flags2 != flags || len(ups2) != len(ups) {
+				t.Fatalf("re-decode mismatch: seq %d→%d, flags %d→%d, %d→%d updates", seq, seq2, flags, flags2, len(ups), len(ups2))
 			}
-			if enc2 := encodeBatch(seq2, ups2); !bytes.Equal(enc, enc2) {
+			if enc2 := encodeBatch(seq2, flags2, ups2); !bytes.Equal(enc, enc2) {
 				t.Fatal("batch encoding not canonical")
 			}
 		case kindHalo, kindFill:
@@ -119,6 +138,22 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			}
 			if enc2 := encodeIDs(hop2, phase2, ids2); !bytes.Equal(enc, enc2) {
 				t.Fatal("id-list encoding not canonical")
+			}
+		case kindDelta:
+			seq, classes, rows, err := decodeDelta(payload)
+			if err != nil {
+				return
+			}
+			enc := encodeDelta(seq, classes, rows)
+			seq2, classes2, rows2, err := decodeDelta(enc)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if seq2 != seq || classes2 != classes || len(rows2) != len(rows) {
+				t.Fatalf("re-decode mismatch: seq %d→%d, classes %d→%d, %d→%d rows", seq, seq2, classes, classes2, len(rows), len(rows2))
+			}
+			if enc2 := encodeDelta(seq2, classes2, rows2); !bytes.Equal(enc, enc2) {
+				t.Fatal("delta encoding not canonical")
 			}
 		case kindDone:
 			st, err := decodeDone(payload)

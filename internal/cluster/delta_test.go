@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"ripple/internal/engine"
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/partition"
+	"ripple/internal/tensor"
+	"ripple/internal/transport"
+)
+
+// TestApplyBatchDeltaRowsMatchState checks the delta-gather phase end to
+// end: the gathered rows are globally id-sorted, carry the post-batch
+// final-layer logits and labels, and name exactly the vertices whose final
+// layer the batch recomputed.
+func TestApplyBatchDeltaRowsMatchState(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggSum, Dims: []int{5, 6, 4}, Seed: 21}
+	w := newWorld(t, spec, 60, 250, 121)
+	c := w.cluster(3, StratRipple, "hash")
+
+	for b := 0; b < 5; b++ {
+		batch := w.randomBatch(6)
+		res, rows, err := c.ApplyBatchDelta(batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		if res.GatherMsgs != 3 {
+			t.Fatalf("batch %d: gather msgs %d, want one per worker", b, res.GatherMsgs)
+		}
+		if res.GatherBytes <= 0 {
+			t.Fatalf("batch %d: gather bytes %d", b, res.GatherBytes)
+		}
+		emb := c.GatherEmbeddings()
+		final := emb.H[len(emb.Dims)-1]
+		for i, row := range rows {
+			if i > 0 && rows[i-1].Vertex >= row.Vertex {
+				t.Fatalf("batch %d: rows not strictly id-sorted at %d: %v >= %v", b, i, rows[i-1].Vertex, row.Vertex)
+			}
+			if d := row.Logits.MaxAbsDiff(final[row.Vertex]); d != 0 {
+				t.Fatalf("batch %d: row %v logits drift %v from worker state", b, row.Vertex, d)
+			}
+			if int(row.NewLabel) != final[row.Vertex].ArgMax() {
+				t.Fatalf("batch %d: row %v label %d, state says %d", b, row.Vertex, row.NewLabel, final[row.Vertex].ArgMax())
+			}
+		}
+	}
+
+	// An empty batch reaches no final-layer row: the gather is k headers
+	// and zero rows.
+	res, rows, err := c.ApplyBatchDelta(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("empty batch gathered %d rows", len(rows))
+	}
+	if res.GatherMsgs != 3 {
+		t.Fatalf("empty batch gather msgs %d", res.GatherMsgs)
+	}
+}
+
+// TestApplyBatchDeltaLabelFlips cross-checks the gathered old/new labels
+// against a single-node engine fed the identical stream: the set of
+// vertices whose label flipped must agree.
+func TestApplyBatchDeltaLabelFlips(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphSAGE, Agg: gnn.AggSum, Dims: []int{5, 8, 4}, Seed: 23}
+	w := newWorld(t, spec, 50, 220, 131)
+	refGraph := w.g.Clone()
+	refEmb := w.truth().Clone()
+	model, err := gnn.NewModel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.NewRipple(refGraph, model, refEmb, engine.Config{TrackLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.cluster(3, StratRipple, "hash")
+
+	for b := 0; b < 5; b++ {
+		batch := w.randomBatch(5)
+		_, rows, err := c.ApplyBatchDelta(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refRes, err := eng.ApplyBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flips := map[graph.VertexID][2]int32{}
+		for _, row := range rows {
+			if row.OldLabel != row.NewLabel {
+				flips[row.Vertex] = [2]int32{row.OldLabel, row.NewLabel}
+			}
+		}
+		if len(flips) != len(refRes.LabelChanges) {
+			t.Fatalf("batch %d: %d gathered flips, engine saw %d", b, len(flips), len(refRes.LabelChanges))
+		}
+		for _, lc := range refRes.LabelChanges {
+			got, ok := flips[lc.Vertex]
+			if !ok || got[0] != int32(lc.Old) || got[1] != int32(lc.New) {
+				t.Fatalf("batch %d: flip %+v missing or wrong in gathered rows (%v)", b, lc, got)
+			}
+		}
+	}
+}
+
+// TestDeltaGatherRequiresRipple pins the contract that the RC baseline is
+// not a serving backend: a delta-gather request fails the batch with a
+// worker error instead of shipping bogus rows.
+func TestDeltaGatherRequiresRipple(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggSum, Dims: []int{4, 3}, Seed: 25}
+	w := newWorld(t, spec, 20, 60, 141)
+	c := w.cluster(2, StratRC, "hash")
+	if _, _, err := c.ApplyBatchDelta(w.randomBatch(3)); !errors.Is(err, ErrWorkerFailed) {
+		t.Fatalf("RC delta gather error = %v, want ErrWorkerFailed", err)
+	}
+}
+
+// TestDeltaGatherBytesScaleWithFrontier is the wire-cost guarantee: the
+// gather ships O(final frontier) bytes, independent of |V|. The same
+// update stream over the same active subgraph must gather byte-identical
+// volume on a 10× larger graph, and that volume must be far below a
+// whole-table ship.
+func TestDeltaGatherBytesScaleWithFrontier(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggSum, Dims: []int{4, 5, 3}, Seed: 27}
+	classes := spec.Dims[len(spec.Dims)-1]
+
+	// The active subgraph is vertices 0..9 wired in a ring; every other
+	// vertex is isolated and never touched by the stream.
+	gather := func(n int) int64 {
+		t.Helper()
+		model, err := gnn.NewModel(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := graph.New(n)
+		for i := 0; i < 10; i++ {
+			if err := g.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%10), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		x := make([]tensor.Vector, n)
+		for i := range x {
+			x[i] = tensor.NewVector(spec.Dims[0])
+			x[i][i%spec.Dims[0]] = float32(i%7) - 3
+		}
+		emb, err := gnn.Forward(g, model, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assign, err := partition.ByName("hash", g, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewLocal(LocalConfig{Graph: g, Model: model, Embeddings: emb, Assignment: assign, Strategy: StratRipple})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+
+		var total int64
+		for b := 0; b < 3; b++ {
+			feat := tensor.NewVector(spec.Dims[0])
+			feat[0] = float32(b + 1)
+			res, _, err := c.ApplyBatchDelta([]engine.Update{
+				{Kind: engine.FeatureUpdate, U: graph.VertexID(b), Features: feat},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.GatherBytes
+		}
+		return total
+	}
+
+	small := gather(200)
+	large := gather(2000)
+	if small != large {
+		t.Errorf("gather bytes depend on |V|: %d at n=200, %d at n=2000", small, large)
+	}
+	// A whole-table gather would ship ≥ |V|·classes·4 bytes per batch.
+	wholeTable := int64(3 * 2000 * classes * 4)
+	if large >= wholeTable/10 {
+		t.Errorf("gather bytes %d not ≪ whole-table %d", large, wholeTable)
+	}
+	if small == 0 {
+		t.Error("gather shipped zero bytes for a live frontier")
+	}
+}
+
+// fakeWorkerEnv builds a 1-worker fabric whose "worker" end is driven by
+// the test, so protocol error paths (seq mismatches, unsolicited deltas)
+// can be exercised deterministically.
+func fakeWorkerEnv(t *testing.T) (*Leader, transport.Conn) {
+	t.Helper()
+	conns, err := transport.NewMemoryFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		conns[0].Close()
+		conns[1].Close()
+	})
+	own := BuildOwnership(&partition.Assignment{K: 1, Part: []int32{0, 0}})
+	return NewLeader(conns[1], own, transport.TenGigE), conns[0]
+}
+
+// TestLeaderRejectsSeqMismatch covers the sequencing error paths of both
+// the done barrier and the delta-gather phase.
+func TestLeaderRejectsSeqMismatch(t *testing.T) {
+	t.Run("done", func(t *testing.T) {
+		leader, wconn := fakeWorkerEnv(t)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := wconn.Recv(); err != nil {
+				t.Errorf("fake worker recv: %v", err)
+				return
+			}
+			_ = wconn.Send(1, kindDone, encodeDone(workerStats{Seq: 99}))
+		}()
+		_, err := leader.ApplyBatch(nil)
+		wg.Wait()
+		if err == nil || !strings.Contains(err.Error(), "answered batch") {
+			t.Fatalf("stale done error = %v", err)
+		}
+		// A desynced barrier leaves stale traffic in the mesh: the leader
+		// must fail fast from then on, not choke message by message.
+		if _, err := leader.ApplyBatch(nil); !errors.Is(err, ErrWorkerFailed) {
+			t.Fatalf("post-desync batch error = %v, want ErrWorkerFailed", err)
+		}
+	})
+	t.Run("delta", func(t *testing.T) {
+		leader, wconn := fakeWorkerEnv(t)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := wconn.Recv(); err != nil {
+				t.Errorf("fake worker recv: %v", err)
+				return
+			}
+			_ = wconn.Send(1, kindDone, encodeDone(workerStats{Seq: 1}))
+			_ = wconn.Send(1, kindDelta, encodeDelta(42, 3, nil))
+		}()
+		_, _, err := leader.ApplyBatchDelta(nil)
+		wg.Wait()
+		if err == nil || !strings.Contains(err.Error(), "shipped delta for batch") {
+			t.Fatalf("stale delta error = %v", err)
+		}
+		if _, _, err := leader.ApplyBatchDelta(nil); !errors.Is(err, ErrWorkerFailed) {
+			t.Fatalf("post-desync delta batch error = %v, want ErrWorkerFailed", err)
+		}
+	})
+	t.Run("unsolicited", func(t *testing.T) {
+		leader, wconn := fakeWorkerEnv(t)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := wconn.Recv(); err != nil {
+				t.Errorf("fake worker recv: %v", err)
+				return
+			}
+			_ = wconn.Send(1, kindDelta, encodeDelta(1, 3, nil))
+		}()
+		_, err := leader.ApplyBatch(nil)
+		wg.Wait()
+		if err == nil || !strings.Contains(err.Error(), "unsolicited delta") {
+			t.Fatalf("unsolicited delta error = %v", err)
+		}
+	})
+}
+
+// TestHaloAccumulatorReusesAllocations pins the halo-table pooling: after
+// a warm-up round, accumulating and resetting an arbitrary number of
+// remote-sink deltas allocates nothing — previously every hop allocated a
+// fresh map plus one vector per remote sink.
+func TestHaloAccumulatorReusesAllocations(t *testing.T) {
+	ht := newHaloTable(16)
+	src := tensor.NewVector(16)
+	for i := range src {
+		src[i] = float32(i)
+	}
+	round := func(width, sinks int) {
+		for i := 0; i < sinks; i++ {
+			ht.get(graph.VertexID(i*3), width).AXPY(0.5, src[:width])
+		}
+		ht.reset()
+	}
+	round(16, 64) // warm the pool at the widest hop
+	allocs := testing.AllocsPerRun(50, func() {
+		round(12, 64) // narrower hop reuses the wide buffers
+		round(16, 48)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state halo accumulation allocates %.1f/run, want 0", allocs)
+	}
+
+	// Pool reuse must hand back fully zeroed accumulators.
+	v := ht.get(7, 16)
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("pooled accumulator not zeroed at %d: %v", i, x)
+		}
+	}
+}

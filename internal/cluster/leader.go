@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -35,6 +36,21 @@ func NewLeader(conn transport.Conn, own *Ownership, net transport.NetModel) *Lea
 // K returns the number of workers.
 func (l *Leader) K() int { return l.own.K }
 
+// fail marks the leader permanently broken and returns err. Any failure
+// after the batch fan-out has started — a partial send, a desynced or
+// undecodable reply, an aborted barrier — leaves unconsumed messages in
+// the mesh, so no later batch can be sequenced reliably; subsequent
+// ApplyBatch calls fail fast with ErrWorkerFailed instead of choking on
+// the stale traffic one message at a time.
+func (l *Leader) fail(err error) error {
+	l.mu.Lock()
+	if l.broken == nil {
+		l.broken = err
+	}
+	l.mu.Unlock()
+	return err
+}
+
 // routeBatch splits a batch across workers (§5.2): every update goes to
 // the owner of its hop-0 vertex; cross-partition edge updates additionally
 // produce a no-compute topology request for the sink's owner.
@@ -55,41 +71,90 @@ func routeBatch(own *Ownership, batch []engine.Update) [][]routedUpdate {
 // ApplyBatch routes one update batch to the workers, waits for the BSP
 // propagation to complete, and aggregates the workers' reports.
 func (l *Leader) ApplyBatch(batch []engine.Update) (Result, error) {
+	res, _, err := l.apply(batch, false)
+	return res, err
+}
+
+// ApplyBatchDelta is ApplyBatch plus the delta-gather phase of the
+// distributed serving tier: after every worker's kindDone report, each
+// worker ships the final-layer rows its local frontier touched, and the
+// leader merges them into one globally id-sorted changed-rows delta. The
+// wire cost of the gather (Result.GatherBytes) is O(frontier rows), never
+// O(|V|) — the distributed analogue of the serving layer's O(pages
+// touched) copy-on-write publish.
+func (l *Leader) ApplyBatchDelta(batch []engine.Update) (Result, []DeltaRow, error) {
+	return l.apply(batch, true)
+}
+
+func (l *Leader) apply(batch []engine.Update, gather bool) (Result, []DeltaRow, error) {
 	l.mu.Lock()
 	if l.broken != nil {
 		err := l.broken
 		l.mu.Unlock()
-		return Result{}, fmt.Errorf("%w: %v", ErrWorkerFailed, err)
+		return Result{}, nil, fmt.Errorf("%w: %v", ErrWorkerFailed, err)
 	}
 	l.seq++
 	seq := l.seq
 	l.mu.Unlock()
 
+	var flags uint8
+	if gather {
+		flags |= batchFlagDelta
+	}
+
 	res := Result{Updates: len(batch)}
 	routed := routeBatch(l.own, batch)
 	before := l.conn.Counters()
 	start := time.Now()
+	// Fan the per-worker sends out: encoding and socket writes for the K
+	// sub-batches overlap instead of serialising on one goroutine (the
+	// transports serialise per-peer internally, so concurrent sends to
+	// distinct ranks are safe). All sends complete before the receive loop
+	// so a failed send surfaces here instead of deadlocking the barrier.
+	sendErrs := make([]error, l.own.K)
+	var sends sync.WaitGroup
 	for r := 0; r < l.own.K; r++ {
-		if err := l.conn.Send(r, kindBatch, encodeBatch(seq, routed[r])); err != nil {
-			return res, fmt.Errorf("cluster: sending batch to worker %d: %w", r, err)
+		sends.Add(1)
+		go func(r int) {
+			defer sends.Done()
+			sendErrs[r] = l.conn.Send(r, kindBatch, encodeBatch(seq, flags, routed[r]))
+		}(r)
+	}
+	sends.Wait()
+	for r, err := range sendErrs {
+		if err != nil {
+			// Other workers may already hold (and answer) this batch.
+			return res, nil, l.fail(fmt.Errorf("cluster: sending batch to worker %d: %w", r, err))
 		}
 	}
 	res.RouteBytes = l.conn.Counters().BytesSent - before.BytesSent
 
+	// Collect every worker's kindDone. Fast workers may ship their
+	// kindDelta before a slow worker's kindDone arrives; stash those for
+	// the gather phase instead of treating them as protocol errors.
+	var pendingDeltas []transport.Message
 	var maxWorkerComm time.Duration
-	for received := 0; received < l.own.K; received++ {
+	doneFrom := make([]bool, l.own.K)
+	for dones := 0; dones < l.own.K; {
 		msg, err := l.conn.Recv()
 		if err != nil {
-			return res, fmt.Errorf("cluster: leader recv: %w", err)
+			return res, nil, l.fail(fmt.Errorf("cluster: leader recv: %w", err))
 		}
 		switch msg.Kind {
 		case kindDone:
+			// Exactly one done per rank, like the delta phase's dedup: a
+			// duplicate would end the barrier while a worker still runs.
+			if msg.From < 0 || msg.From >= l.own.K || doneFrom[msg.From] {
+				return res, nil, l.fail(fmt.Errorf("cluster: duplicate/invalid done from %d", msg.From))
+			}
+			doneFrom[msg.From] = true
+			dones++
 			st, err := decodeDone(msg.Payload)
 			if err != nil {
-				return res, fmt.Errorf("cluster: done from worker %d: %w", msg.From, err)
+				return res, nil, l.fail(fmt.Errorf("cluster: done from worker %d: %w", msg.From, err))
 			}
 			if st.Seq != seq {
-				return res, fmt.Errorf("cluster: worker %d answered batch %d, expected %d", msg.From, st.Seq, seq)
+				return res, nil, l.fail(fmt.Errorf("cluster: worker %d answered batch %d, expected %d", msg.From, st.Seq, seq))
 			}
 			res.Affected += st.Affected
 			res.VectorOps += st.VectorOps
@@ -105,21 +170,102 @@ func (l *Leader) ApplyBatch(batch []engine.Update) (Result, error) {
 			if d := l.net.CommTime(st.BytesSent, st.MsgsSent); d > maxWorkerComm {
 				maxWorkerComm = d
 			}
-		case kindError:
-			err := fmt.Errorf("%w: %s", ErrWorkerFailed, msg.Payload)
-			l.mu.Lock()
-			if l.broken == nil {
-				l.broken = err
+		case kindDelta:
+			if !gather {
+				return res, nil, l.fail(fmt.Errorf("cluster: leader got unsolicited delta from %d", msg.From))
 			}
-			l.mu.Unlock()
-			return res, err
+			pendingDeltas = append(pendingDeltas, msg)
+		case kindError:
+			return res, nil, l.fail(fmt.Errorf("%w: %s", ErrWorkerFailed, msg.Payload))
 		default:
-			return res, fmt.Errorf("cluster: leader got unexpected kind %d from %d", msg.Kind, msg.From)
+			return res, nil, l.fail(fmt.Errorf("cluster: leader got unexpected kind %d from %d", msg.Kind, msg.From))
+		}
+	}
+
+	var rows []DeltaRow
+	if gather {
+		var err error
+		rows, err = l.gatherDeltas(seq, pendingDeltas, &res)
+		if err != nil {
+			return res, nil, err
 		}
 	}
 	res.WallTime = time.Since(start)
-	res.SimCommTime = maxWorkerComm + l.net.CommTime(res.RouteBytes, int64(l.own.K))
-	return res, nil
+	res.SimCommTime = maxWorkerComm + l.net.CommTime(res.RouteBytes+res.GatherBytes, int64(l.own.K)+res.GatherMsgs)
+	return res, rows, nil
+}
+
+// gatherDeltas completes the delta-gather phase: exactly one kindDelta per
+// worker (some possibly stashed during the done barrier), merged and
+// sorted by global vertex id so the publication order is deterministic
+// regardless of worker finishing order.
+func (l *Leader) gatherDeltas(seq uint32, pending []transport.Message, res *Result) ([]DeltaRow, error) {
+	k := l.own.K
+	got := make([]bool, k)
+	classes := -1
+	var rows []DeltaRow
+	consume := func(msg transport.Message) error {
+		if msg.From < 0 || msg.From >= k || got[msg.From] {
+			return fmt.Errorf("cluster: duplicate/invalid delta from %d", msg.From)
+		}
+		got[msg.From] = true
+		mseq, mclasses, workerRows, err := decodeDelta(msg.Payload)
+		if err != nil {
+			return fmt.Errorf("cluster: delta from worker %d: %w", msg.From, err)
+		}
+		if mseq != seq {
+			return fmt.Errorf("cluster: worker %d shipped delta for batch %d, expected %d", msg.From, mseq, seq)
+		}
+		// All ranks must agree on the final-layer width, or wrong-width
+		// logits would silently truncate into the published tables (a
+		// mismatched world flag in a multi-process deployment).
+		if classes == -1 {
+			classes = mclasses
+		} else if mclasses != classes {
+			return fmt.Errorf("cluster: worker %d shipped %d-class delta rows, others shipped %d", msg.From, mclasses, classes)
+		}
+		// Distrust wire-decoded ids like the rest of the protocol does: a
+		// row must name a vertex the sender actually owns (or it would
+		// index past, or into someone else's rows of, the serving tables),
+		// and rows must be strictly ascending — workers emit them sorted,
+		// and a duplicate would publish contradictory logits/flips for
+		// one vertex.
+		for i, row := range workerRows {
+			if row.Vertex < 0 || int(row.Vertex) >= len(l.own.Owner) || l.own.Owner[row.Vertex] != int32(msg.From) {
+				return fmt.Errorf("cluster: worker %d shipped delta row for vertex %d it does not own", msg.From, row.Vertex)
+			}
+			if i > 0 && workerRows[i-1].Vertex >= row.Vertex {
+				return fmt.Errorf("cluster: worker %d shipped unsorted/duplicate delta row for vertex %d", msg.From, row.Vertex)
+			}
+		}
+		res.GatherBytes += int64(len(msg.Payload))
+		res.GatherMsgs++
+		rows = append(rows, workerRows...)
+		return nil
+	}
+	for _, msg := range pending {
+		if err := consume(msg); err != nil {
+			return nil, l.fail(err)
+		}
+	}
+	for received := len(pending); received < k; received++ {
+		msg, err := l.conn.Recv()
+		if err != nil {
+			return nil, l.fail(fmt.Errorf("cluster: leader delta recv: %w", err))
+		}
+		switch msg.Kind {
+		case kindDelta:
+			if err := consume(msg); err != nil {
+				return nil, l.fail(err)
+			}
+		case kindError:
+			return nil, l.fail(fmt.Errorf("%w: %s", ErrWorkerFailed, msg.Payload))
+		default:
+			return nil, l.fail(fmt.Errorf("cluster: leader got unexpected kind %d from %d during delta gather", msg.Kind, msg.From))
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Vertex < rows[j].Vertex })
+	return rows, nil
 }
 
 // Shutdown asks every worker to terminate (best effort).

@@ -10,6 +10,7 @@ import (
 	"ripple/internal/gnn"
 	"ripple/internal/graph"
 	"ripple/internal/partition"
+	"ripple/internal/tensor"
 	"ripple/internal/transport"
 )
 
@@ -31,6 +32,10 @@ type Result struct {
 	ComputeTime time.Duration
 	// RouteBytes is what the leader shipped to workers for this batch.
 	RouteBytes int64
+	// GatherBytes/GatherMsgs measure the delta-gather phase (ApplyBatchDelta
+	// only): the changed final-layer rows workers shipped back for epoch
+	// publication. O(frontier rows), never O(|V|).
+	GatherBytes, GatherMsgs int64
 	// CommBytes/CommMsgs total the workers' sent traffic (halo exchanges,
 	// RC pulls).
 	CommBytes, CommMsgs int64
@@ -113,6 +118,13 @@ func NewLocal(cfg LocalConfig) (*LocalCluster, error) {
 // K returns the number of workers.
 func (c *LocalCluster) K() int { return c.own.K }
 
+// NumVertices returns the number of vertices across all partitions.
+func (c *LocalCluster) NumVertices() int { return len(c.own.Owner) }
+
+// Dims returns the model dimensions [featDim, hidden..., classes] of the
+// maintained embeddings.
+func (c *LocalCluster) Dims() []int { return c.workers[0].st.emb.Dims }
+
 // ApplyBatch routes one update batch to the workers, runs the BSP
 // propagation, and aggregates the workers' reports.
 func (c *LocalCluster) ApplyBatch(batch []engine.Update) (Result, error) {
@@ -123,6 +135,43 @@ func (c *LocalCluster) ApplyBatch(batch []engine.Update) (Result, error) {
 	}
 	c.mu.Unlock()
 	return c.leader.ApplyBatch(batch)
+}
+
+// ApplyBatchDelta is ApplyBatch plus the delta-gather phase: the returned
+// rows are the final-layer rows this batch touched, globally id-sorted —
+// what a serving tier needs to publish the next epoch. See
+// Leader.ApplyBatchDelta.
+func (c *LocalCluster) ApplyBatchDelta(batch []engine.Update) (Result, []DeltaRow, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Result{}, nil, transport.ErrClosed
+	}
+	c.mu.Unlock()
+	return c.leader.ApplyBatchDelta(batch)
+}
+
+// GatherFinalLayer stitches only the workers' final-layer embeddings —
+// the label/logit source — into one global table of copied rows. This is
+// what a serving tier bootstraps from: O(|V|·classes) instead of
+// GatherEmbeddings' every-layer-every-aggregate copy. Only valid while no
+// batch is in flight.
+func (c *LocalCluster) GatherFinalLayer() []tensor.Vector {
+	dims := c.Dims()
+	l := len(dims) - 1
+	classes := dims[l]
+	n := len(c.own.Owner)
+	backing := make([]float32, n*classes)
+	out := make([]tensor.Vector, n)
+	for v := range out {
+		out[v] = backing[v*classes : (v+1)*classes : (v+1)*classes]
+	}
+	for r, w := range c.workers {
+		for li, gid := range c.own.Locals[r] {
+			out[gid].CopyFrom(w.st.emb.H[l][li])
+		}
+	}
+	return out
 }
 
 // GatherEmbeddings stitches the workers' local embeddings back into a

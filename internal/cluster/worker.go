@@ -101,6 +101,7 @@ type Worker struct {
 	oldH    []*localTable
 	changed [][]int32
 	events  []wEdgeEvent
+	halo    *haloTable // pooled remote-sink accumulators, recycled per hop
 
 	// RC state.
 	affectStamp []uint32
@@ -136,6 +137,7 @@ func NewWorker(rank int, conn transport.Conn, leaderRank int, model *gnn.Model, 
 		mailbox:       make([]*localTable, model.L()+1),
 		oldH:          make([]*localTable, model.L()+1),
 		changed:       make([][]int32, model.L()+1),
+		halo:          newHaloTable(model.MaxDim()),
 		affectStamp:   make([]uint32, nLocal),
 		affectedStamp: make([]uint32, nLocal),
 	}
@@ -178,9 +180,9 @@ func (w *Worker) Run() error {
 		case kindShutdown:
 			return nil
 		case kindBatch:
-			seq, updates, err := decodeBatch(msg.Payload)
+			seq, flags, updates, err := decodeBatch(msg.Payload)
 			if err == nil {
-				err = w.processBatch(seq, updates)
+				err = w.processBatch(seq, flags, updates)
 			}
 			if err != nil {
 				sendErr := w.conn.Send(w.leaderRank, kindError, []byte(fmt.Sprintf("worker %d: %v", w.rank, err)))
@@ -196,8 +198,10 @@ func (w *Worker) Run() error {
 }
 
 // processBatch applies one routed sub-batch and participates in the BSP
-// propagation rounds for every hop.
-func (w *Worker) processBatch(seq uint32, updates []routedUpdate) error {
+// propagation rounds for every hop. When the leader set batchFlagDelta it
+// additionally ships the final-layer rows this worker's local frontier
+// touched, as a kindDelta message following the kindDone report.
+func (w *Worker) processBatch(seq uint32, flags uint8, updates []routedUpdate) error {
 	before := w.conn.Counters()
 	stats := workerStats{Seq: seq}
 	w.epoch++
@@ -235,6 +239,17 @@ func (w *Worker) processBatch(seq uint32, updates []routedUpdate) error {
 		return err
 	}
 
+	// The delta payload must be built before the per-batch tables reset:
+	// the old labels come from oldH's pre-batch final-layer rows.
+	var delta []byte
+	if flags&batchFlagDelta != 0 {
+		rows, err := w.deltaRows()
+		if err != nil {
+			return err
+		}
+		delta = encodeDelta(seq, w.model.Dims[w.model.L()], rows)
+	}
+
 	for l := 0; l <= w.model.L(); l++ {
 		w.oldH[l].reset()
 		if l > 0 {
@@ -245,7 +260,42 @@ func (w *Worker) processBatch(seq uint32, updates []routedUpdate) error {
 	after := w.conn.Counters()
 	stats.BytesSent = after.BytesSent - before.BytesSent
 	stats.MsgsSent = after.MsgsSent - before.MsgsSent
-	return w.conn.Send(w.leaderRank, kindDone, encodeDone(stats))
+	if err := w.conn.Send(w.leaderRank, kindDone, encodeDone(stats)); err != nil {
+		return err
+	}
+	// Gather traffic rides after the stats snapshot on purpose: the leader
+	// accounts it separately (Result.GatherBytes), keeping the workers'
+	// propagation byte counts comparable with and without a serving tier.
+	if delta != nil {
+		return w.conn.Send(w.leaderRank, kindDelta, delta)
+	}
+	return nil
+}
+
+// deltaRows collects the final-layer rows this batch touched, in local
+// (hence ascending-global) frontier order. Only the incremental strategy
+// maintains the pre-batch final-layer table the old labels come from; the
+// RC baseline is a measurement harness, not a serving backend.
+func (w *Worker) deltaRows() ([]DeltaRow, error) {
+	if w.strat != StratRipple {
+		return nil, fmt.Errorf("cluster: delta gather requires the %q strategy, worker %d runs %q", StratRipple, w.rank, w.strat)
+	}
+	l := w.model.L()
+	rows := make([]DeltaRow, 0, len(w.changed[l]))
+	for _, lv := range w.changed[l] {
+		h := w.st.emb.H[l][lv]
+		oldLabel := int32(-1)
+		if old := w.oldH[l].lookup(lv); old != nil {
+			oldLabel = int32(old.ArgMax())
+		}
+		rows = append(rows, DeltaRow{
+			Vertex:   w.own.Locals[w.rank][lv],
+			OldLabel: oldLabel,
+			NewLabel: int32(h.ArgMax()),
+			Logits:   h,
+		})
+	}
+	return rows, nil
 }
 
 // applyUpdate applies one routed update to the local topology/features.

@@ -10,6 +10,56 @@ import (
 	"ripple/internal/tensor"
 )
 
+// haloTable is the pooled accumulator for remote (halo) sink deltas. One
+// instance lives on the worker and is recycled across hops and batches:
+// accumulator vectors are carved from a pool of MaxDim-wide buffers and
+// zeroed back into it on reset, so steady-state propagation allocates
+// nothing per hop regardless of how many remote sinks the frontier
+// touches (pinned by TestHaloAccumulatorReusesAllocations).
+type haloTable struct {
+	maxDim  int
+	m       map[graph.VertexID]tensor.Vector
+	touched []graph.VertexID
+	pool    []tensor.Vector
+}
+
+func newHaloTable(maxDim int) *haloTable {
+	return &haloTable{maxDim: maxDim, m: make(map[graph.VertexID]tensor.Vector)}
+}
+
+// get returns sink's accumulator, handing out a zeroed width-wide slice of
+// a pooled buffer on first touch. width must not vary within one hop.
+func (t *haloTable) get(sink graph.VertexID, width int) tensor.Vector {
+	if v, ok := t.m[sink]; ok {
+		return v
+	}
+	var v tensor.Vector
+	if k := len(t.pool); k > 0 {
+		v = t.pool[k-1]
+		t.pool = t.pool[:k-1]
+	} else {
+		v = tensor.NewVector(t.maxDim)
+	}
+	v = v[:width]
+	t.m[sink] = v
+	t.touched = append(t.touched, sink)
+	return v
+}
+
+// reset zeroes every handed-out accumulator and returns it to the pool.
+// Pooled buffers are fully zero by induction: only the handed-out prefix
+// is ever written, and exactly that prefix is zeroed here — so a later get
+// at a larger width still sees zeroes past the old prefix.
+func (t *haloTable) reset() {
+	for _, sink := range t.touched {
+		v := t.m[sink]
+		v.Zero()
+		t.pool = append(t.pool, v[:cap(v)])
+		delete(t.m, sink)
+	}
+	t.touched = t.touched[:0]
+}
+
 // propagateRipple runs the distributed incremental propagation (§5.3): per
 // hop, messages destined to remote (halo) vertices accumulate in halo stub
 // mailboxes, one aggregated message per peer is exchanged (the BSP
@@ -24,7 +74,7 @@ func (w *Worker) propagateRipple(stats *workerStats) error {
 		layer := w.model.Layers[l-1]
 		width := w.model.Dims[l-1]
 		mb := w.mailbox[l]
-		halo := make(map[graph.VertexID]tensor.Vector)
+		halo := w.halo
 
 		deposit := func(sink graph.VertexID, coeff float32, vec tensor.Vector) {
 			stats.Messages++
@@ -33,12 +83,7 @@ func (w *Worker) propagateRipple(stats *workerStats) error {
 				mb.get(w.localOf(sink)).AXPY(coeff, vec)
 				return
 			}
-			acc, ok := halo[sink]
-			if !ok {
-				acc = tensor.NewVector(width)
-				halo[sink] = acc
-			}
-			acc.AXPY(coeff, vec)
+			halo.get(sink, width).AXPY(coeff, vec)
 		}
 
 		// (a) Structural contributions from this batch's edge events, using
@@ -93,13 +138,15 @@ func (w *Worker) propagateRipple(stats *workerStats) error {
 
 // exchangeHalo sends this hop's halo deltas (grouped per owner, sorted per
 // sink) to every peer and merges the k-1 inbound messages, in sender-rank
-// order, into the local mailboxes.
-func (w *Worker) exchangeHalo(hop, width int, halo map[graph.VertexID]tensor.Vector, waitNanos *int64) error {
+// order, into the local mailboxes. The accumulator table is recycled into
+// its pool before returning — the encoded sends own their bytes by then.
+func (w *Worker) exchangeHalo(hop, width int, halo *haloTable, waitNanos *int64) error {
+	defer halo.reset()
 	k := w.own.K
 	perPeer := make([][]haloEntry, k)
-	for sink, vec := range halo {
+	for _, sink := range halo.touched {
 		owner := w.own.Owner[sink]
-		perPeer[owner] = append(perPeer[owner], haloEntry{id: sink, vec: vec})
+		perPeer[owner] = append(perPeer[owner], haloEntry{id: sink, vec: halo.m[sink]})
 	}
 	for r := 0; r < k; r++ {
 		if r == w.rank {

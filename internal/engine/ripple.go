@@ -205,6 +205,18 @@ func (r *Ripple) LabelTable(dst []int32) []int32 {
 	return dst
 }
 
+// ValidateBatch checks every update in batch against the topology g,
+// simulating intra-batch edge changes, without touching any state. It is
+// the topology/shape validation ApplyBatch runs before applying —
+// exported so a distributed serving backend can enforce identical
+// all-or-nothing batch semantics at the leader, where a bad update must
+// be rejected before it reaches (and fatally breaks) a worker. It does
+// NOT cover ApplyBatch's tombstoned-vertex check (RemoveVertex is a
+// single-node feature; the distributed runtime never tombstones).
+func ValidateBatch(g *graph.Graph, featDim int, batch []Update) error {
+	return validateBatch(g, featDim, batch)
+}
+
 // validateBatch checks every update against the current topology
 // (simulating intra-batch edge changes) so ApplyBatch either applies the
 // whole batch or rejects it without touching state.

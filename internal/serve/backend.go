@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"errors"
+
+	"ripple/internal/engine"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// Row is one refreshed final-layer row of the serving tables: a vertex
+// whose prediction the last applied batch recomputed, with its new label
+// and logits. Rows are the currency between a Backend and the publisher —
+// the snapshot rebuild copies exactly these rows into copy-on-write pages,
+// so publication cost is O(rows), never O(|V|).
+//
+// Logits are borrowed from the backend: they stay valid until the
+// backend's next ApplyBatch, which is long enough for the publisher to
+// copy them (the write path is serialised).
+type Row struct {
+	Vertex graph.VertexID
+	Label  int32
+	Logits tensor.Vector
+}
+
+// Backend is the write-side contract of the serving layer: some engine —
+// single-node or distributed — that applies update batches and reports
+// which final-layer rows each batch touched. The Server is agnostic to
+// what stands behind it: epochs, snapshots, the admission queue, salvage
+// and triggers behave identically over any implementation (the backend
+// conformance suite asserts this for the two shipped ones).
+type Backend interface {
+	// Bootstrap scans the backend's current state into dense label/logit
+	// tables for the epoch-0 snapshot. Called once, before any ApplyBatch.
+	Bootstrap() (labels []int32, logits []tensor.Vector, classes int)
+	// ApplyBatch applies one update batch. On success it returns the
+	// engine-level accounting — FinalFrontier and LabelChanges must be
+	// populated — plus one Row per touched final-layer row, sorted by
+	// vertex id. On validation failure the backend's state is unchanged
+	// and the error is returned with no rows.
+	ApplyBatch(batch []engine.Update) (engine.BatchResult, []Row, error)
+}
+
+// CommStats are the cumulative distributed-communication counters of a
+// cluster-backed server: worker-to-worker propagation traffic, the
+// leader's routed sub-batches, and the delta-gather phase that ships
+// changed rows back for publication. A single-node backend reports zeros.
+type CommStats struct {
+	CommBytes   int64 `json:"comm_bytes"`   // worker propagation traffic (halo exchanges)
+	CommMsgs    int64 `json:"comm_msgs"`    // worker propagation messages
+	RouteBytes  int64 `json:"route_bytes"`  // leader→worker routed sub-batches
+	GatherBytes int64 `json:"gather_bytes"` // worker→leader changed-row deltas
+}
+
+// commReporter is the optional Backend face exposing comm counters.
+type commReporter interface{ CommStats() CommStats }
+
+// shardReporter is the optional Backend face exposing the engine's
+// mailbox shard count (see engine.Config.Shards).
+type shardReporter interface{ Shards() int }
+
+// engineBackend adapts the single-node Ripple engine to the Backend
+// interface — a thin shim: the engine already reports FinalFrontier and
+// LabelChanges, so the adapter only dresses the frontier rows up with
+// their labels and (borrowed) logit vectors.
+type engineBackend struct {
+	eng  *engine.Ripple
+	rows []Row // reused across batches; consumers copy before the next apply
+}
+
+// NewEngineBackend wraps a single-node engine as a serving backend. Label
+// tracking is enabled on the engine as a side effect — the incremental
+// publication and the Subscribe triggers depend on it.
+func NewEngineBackend(eng *engine.Ripple) (Backend, error) {
+	if eng == nil {
+		return nil, errors.New("serve: nil engine")
+	}
+	eng.EnableLabelTracking()
+	return &engineBackend{eng: eng}, nil
+}
+
+func (b *engineBackend) Bootstrap() ([]int32, []tensor.Vector, int) {
+	emb := b.eng.Embeddings()
+	// One bulk argmax scan of the final layer (tombstoned vertices publish
+	// -1) instead of a per-vertex Label call through the slow removed-check
+	// path.
+	return b.eng.LabelTable(nil), emb.H[emb.L()], emb.Dims[emb.L()]
+}
+
+func (b *engineBackend) ApplyBatch(batch []engine.Update) (engine.BatchResult, []Row, error) {
+	res, err := b.eng.ApplyBatch(batch)
+	if err != nil {
+		return res, nil, err
+	}
+	emb := b.eng.Embeddings()
+	final := emb.H[emb.L()]
+	b.rows = b.rows[:0]
+	for _, v := range res.FinalFrontier {
+		b.rows = append(b.rows, Row{Vertex: v, Label: int32(b.eng.Label(v)), Logits: final[v]})
+	}
+	return res, b.rows, nil
+}
+
+// Shards reports the wrapped engine's mailbox shard count for Stats.
+func (b *engineBackend) Shards() int { return b.eng.Shards() }

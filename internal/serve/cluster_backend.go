@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"ripple/internal/cluster"
+	"ripple/internal/engine"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// clusterBackend serves epochs from a partitioned in-process cluster: the
+// paper's §5 multi-machine runtime promoted from a benchmark harness to a
+// serving tier. Each applied batch runs the distributed BSP propagation
+// and then the delta-gather phase — every worker ships only the
+// final-layer rows its local frontier touched — so an epoch publication
+// costs O(frontier rows on the wire), the distributed mirror of the
+// publisher's O(pages touched) copy-on-write locally.
+//
+// The backend keeps a leader-side shadow of the global topology purely
+// for validation: workers treat an invalid update as a fatal protocol
+// error (their state would diverge), so the leader enforces the engine's
+// exact all-or-nothing ApplyBatch contract before routing anything. A
+// rejected batch therefore mutates neither the cluster nor the published
+// epoch — identical failure atomicity to the single-node backend.
+type clusterBackend struct {
+	c       *cluster.LocalCluster
+	shadow  *graph.Graph // leader-side topology mirror, validation only
+	featDim int
+	classes int
+
+	rows []Row // reused across batches; consumed during publication
+
+	commBytes   atomic.Int64
+	commMsgs    atomic.Int64
+	routeBytes  atomic.Int64
+	gatherBytes atomic.Int64
+}
+
+// NewClusterBackend adapts an in-process distributed cluster to the
+// serving Backend interface. shadow must be the same topology the cluster
+// was bootstrapped from; the backend takes ownership of it (as its
+// validation mirror) and, via the Server, of the cluster: closing the
+// Server shuts the workers down. The cluster must run the incremental
+// (ripple) strategy — the RC baseline cannot ship changed-row deltas.
+func NewClusterBackend(c *cluster.LocalCluster, shadow *graph.Graph) (Backend, error) {
+	if c == nil || shadow == nil {
+		return nil, errors.New("serve: nil cluster or shadow graph")
+	}
+	if c.NumVertices() != shadow.NumVertices() {
+		return nil, fmt.Errorf("serve: cluster covers %d vertices, shadow graph %d", c.NumVertices(), shadow.NumVertices())
+	}
+	dims := c.Dims()
+	return &clusterBackend{
+		c:       c,
+		shadow:  shadow,
+		featDim: dims[0],
+		classes: dims[len(dims)-1],
+	}, nil
+}
+
+// Bootstrap gathers every partition's final layer into the epoch-0
+// tables. This is the one full-table scan of a serving deployment's
+// lifetime; every subsequent epoch moves only deltas.
+func (b *clusterBackend) Bootstrap() ([]int32, []tensor.Vector, int) {
+	final := b.c.GatherFinalLayer()
+	labels := make([]int32, len(final))
+	for v := range labels {
+		labels[v] = int32(final[v].ArgMax())
+	}
+	return labels, final, b.classes
+}
+
+func (b *clusterBackend) ApplyBatch(batch []engine.Update) (engine.BatchResult, []Row, error) {
+	if err := engine.ValidateBatch(b.shadow, b.featDim, batch); err != nil {
+		return engine.BatchResult{}, nil, err
+	}
+	// Row widths need no re-check here: the leader rejects cross-rank
+	// width disagreements, and the agreed width is by construction the
+	// same worker-model Dims this backend read b.classes from.
+	res, delta, err := b.c.ApplyBatchDelta(batch)
+	if err != nil {
+		return engine.BatchResult{}, nil, err
+	}
+	// The batch is applied cluster-side; mirror its topology on the
+	// shadow. Validation already proved every step legal, so errors here
+	// are impossible by construction.
+	for _, u := range batch {
+		switch u.Kind {
+		case engine.EdgeAdd:
+			_ = b.shadow.AddEdge(u.U, u.V, u.Weight)
+		case engine.EdgeDelete:
+			_, _ = b.shadow.RemoveEdge(u.U, u.V)
+		}
+	}
+
+	b.commBytes.Add(res.CommBytes)
+	b.commMsgs.Add(res.CommMsgs)
+	b.routeBytes.Add(res.RouteBytes)
+	b.gatherBytes.Add(res.GatherBytes)
+
+	out := engine.BatchResult{
+		Updates:       res.Updates,
+		Affected:      int(res.Affected),
+		Messages:      res.Messages,
+		VectorOps:     res.VectorOps,
+		UpdateTime:    res.UpdateTime,
+		PropagateTime: res.ComputeTime,
+	}
+	// FinalFrontier escapes with the BatchResult (observers, Apply
+	// callers), so it is freshly allocated per batch; the Row buffer is
+	// only borrowed until publication and is reused.
+	b.rows = b.rows[:0]
+	if len(delta) > 0 {
+		out.FinalFrontier = make([]graph.VertexID, 0, len(delta))
+	}
+	for _, row := range delta {
+		b.rows = append(b.rows, Row{Vertex: row.Vertex, Label: row.NewLabel, Logits: row.Logits})
+		out.FinalFrontier = append(out.FinalFrontier, row.Vertex)
+		if row.OldLabel != row.NewLabel {
+			out.LabelChanges = append(out.LabelChanges, engine.LabelChange{
+				Vertex: row.Vertex,
+				Old:    int(row.OldLabel),
+				New:    int(row.NewLabel),
+			})
+		}
+	}
+	return out, b.rows, nil
+}
+
+// CommStats implements the optional comm-counter face of Backend.
+func (b *clusterBackend) CommStats() CommStats {
+	return CommStats{
+		CommBytes:   b.commBytes.Load(),
+		CommMsgs:    b.commMsgs.Load(),
+		RouteBytes:  b.routeBytes.Load(),
+		GatherBytes: b.gatherBytes.Load(),
+	}
+}
+
+// Close shuts the cluster's workers down.
+func (b *clusterBackend) Close() error { return b.c.Close() }

@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ripple/internal/cluster"
+	"ripple/internal/engine"
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/partition"
+	"ripple/internal/tensor"
+)
+
+// The backend conformance suite: the serving layer must behave
+// identically over the single-node engine and the distributed cluster —
+// same epochs, same label tables, same logits (within float-accumulation
+// tolerance), same trigger stream, same rejection semantics — for the
+// same update stream. This is the contract that makes the cluster a
+// drop-in serving tier rather than a benchmark harness.
+
+// confTol bounds the float drift between single-node and distributed
+// accumulation orders (mirrors the cluster suite's distTol).
+const confTol = 5e-3
+
+// confWorld owns the reference topology/features and generates one valid
+// update stream that both backends consume.
+type confWorld struct {
+	t     *testing.T
+	rng   *rand.Rand
+	model *gnn.Model
+	g     *graph.Graph // reference topology, mutated as the stream is drawn
+	x     []tensor.Vector
+	edges [][2]graph.VertexID
+}
+
+func newConfWorld(t *testing.T, n, m int, seed int64) *confWorld {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	model, err := gnn.NewWorkload("GC-S", []int{6, 8, 5}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(n)
+	var edges [][2]graph.VertexID
+	for i := 0; i < m; i++ {
+		u, v := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		if u != v && g.AddEdge(u, v, 0.2+rng.Float32()) == nil {
+			edges = append(edges, [2]graph.VertexID{u, v})
+		}
+	}
+	x := make([]tensor.Vector, n)
+	for i := range x {
+		x[i] = randVec(rng, model.Dims[0])
+	}
+	return &confWorld{t: t, rng: rng, model: model, g: g, x: x, edges: edges}
+}
+
+// servers builds one Server per backend over identical bootstrap state.
+func (w *confWorld) servers(workers int, cfg Config) (engSrv, cluSrv *Server) {
+	w.t.Helper()
+	build := func() (*graph.Graph, *gnn.Embeddings) {
+		g := w.g.Clone()
+		emb, err := gnn.Forward(g, w.model, w.x)
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		return g, emb
+	}
+
+	engGraph, engEmb := build()
+	eng, err := engine.NewRipple(engGraph, w.model, engEmb, engine.Config{})
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	engSrv, err = New(eng, cfg)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.t.Cleanup(engSrv.Close)
+
+	cluGraph, cluEmb := build()
+	assign, err := partition.ByName("hash", cluGraph, workers)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	c, err := cluster.NewLocal(cluster.LocalConfig{
+		Graph:      cluGraph,
+		Model:      w.model,
+		Embeddings: cluEmb,
+		Assignment: assign,
+		Strategy:   cluster.StratRipple,
+	})
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	backend, err := NewClusterBackend(c, cluGraph.Clone())
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	cluSrv, err = NewBackend(backend, cfg)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.t.Cleanup(cluSrv.Close) // closes the cluster through the backend
+	return engSrv, cluSrv
+}
+
+// batch draws one valid batch against the reference topology (mutating
+// it, so successive batches stay valid on both backends).
+func (w *confWorld) batch(k int) []engine.Update {
+	w.t.Helper()
+	n := w.g.NumVertices()
+	var batch []engine.Update
+	for len(batch) < k {
+		switch w.rng.Intn(3) {
+		case 0:
+			u, v := graph.VertexID(w.rng.Intn(n)), graph.VertexID(w.rng.Intn(n))
+			if u == v || w.g.HasEdge(u, v) {
+				continue
+			}
+			wt := 0.2 + w.rng.Float32()
+			if err := w.g.AddEdge(u, v, wt); err != nil {
+				w.t.Fatal(err)
+			}
+			w.edges = append(w.edges, [2]graph.VertexID{u, v})
+			batch = append(batch, engine.Update{Kind: engine.EdgeAdd, U: u, V: v, Weight: wt})
+		case 1:
+			if len(w.edges) == 0 {
+				continue
+			}
+			i := w.rng.Intn(len(w.edges))
+			e := w.edges[i]
+			w.edges[i] = w.edges[len(w.edges)-1]
+			w.edges = w.edges[:len(w.edges)-1]
+			if !w.g.HasEdge(e[0], e[1]) {
+				continue
+			}
+			if _, err := w.g.RemoveEdge(e[0], e[1]); err != nil {
+				w.t.Fatal(err)
+			}
+			batch = append(batch, engine.Update{Kind: engine.EdgeDelete, U: e[0], V: e[1]})
+		default:
+			u := graph.VertexID(w.rng.Intn(n))
+			feat := randVec(w.rng, w.model.Dims[0])
+			w.x[u].CopyFrom(feat)
+			batch = append(batch, engine.Update{Kind: engine.FeatureUpdate, U: u, Features: feat.Clone()})
+		}
+	}
+	return batch
+}
+
+// assertAgreement compares the two servers' published epochs row by row.
+func assertAgreement(t *testing.T, engSrv, cluSrv *Server, n int, ctx string) {
+	t.Helper()
+	es, cs := engSrv.Snapshot(), cluSrv.Snapshot()
+	if es.Epoch() != cs.Epoch() {
+		t.Fatalf("%s: engine epoch %d, cluster epoch %d", ctx, es.Epoch(), cs.Epoch())
+	}
+	if es.NumVertices() != n || cs.NumVertices() != n {
+		t.Fatalf("%s: snapshot sizes %d/%d, want %d", ctx, es.NumVertices(), cs.NumVertices(), n)
+	}
+	for v := 0; v < n; v++ {
+		id := graph.VertexID(v)
+		if es.Label(id) != cs.Label(id) {
+			t.Fatalf("%s: vertex %d label %d (engine) vs %d (cluster)", ctx, v, es.Label(id), cs.Label(id))
+		}
+		if d := es.Embedding(id).MaxAbsDiff(cs.Embedding(id)); d > confTol {
+			t.Fatalf("%s: vertex %d logits drift %v", ctx, v, d)
+		}
+	}
+}
+
+// TestBackendConformanceApply streams synchronous batches through both
+// backends and checks every published epoch agrees on every row.
+func TestBackendConformanceApply(t *testing.T) {
+	const n = 60
+	w := newConfWorld(t, n, 240, 51)
+	engSrv, cluSrv := w.servers(3, Config{})
+
+	assertAgreement(t, engSrv, cluSrv, n, "bootstrap")
+	for b := 0; b < 8; b++ {
+		batch := w.batch(1 + w.rng.Intn(6))
+		eres, err := engSrv.Apply(batch)
+		if err != nil {
+			t.Fatalf("batch %d engine: %v", b, err)
+		}
+		cres, err := cluSrv.Apply(batch)
+		if err != nil {
+			t.Fatalf("batch %d cluster: %v", b, err)
+		}
+		if len(eres.FinalFrontier) != len(cres.FinalFrontier) {
+			t.Fatalf("batch %d: final frontier %d (engine) vs %d (cluster)", b, len(eres.FinalFrontier), len(cres.FinalFrontier))
+		}
+		assertAgreement(t, engSrv, cluSrv, n, fmt.Sprintf("batch %d", b))
+	}
+
+	est, cst := engSrv.Stats(), cluSrv.Stats()
+	if est.Batches != cst.Batches || est.Epoch != cst.Epoch || est.UpdatesApplied != cst.UpdatesApplied {
+		t.Fatalf("stats diverge: engine %+v, cluster %+v", est, cst)
+	}
+	if est.LabelFlips != cst.LabelFlips {
+		t.Fatalf("label flips diverge: engine %d, cluster %d", est.LabelFlips, cst.LabelFlips)
+	}
+	// Only the cluster moves bytes over a wire.
+	if est.CommBytes != 0 || est.GatherBytes != 0 {
+		t.Errorf("engine backend reports comm traffic: %+v", est.CommStats)
+	}
+	if cst.CommBytes <= 0 || cst.RouteBytes <= 0 || cst.GatherBytes <= 0 || cst.CommMsgs <= 0 {
+		t.Errorf("cluster backend comm counters not populated: %+v", cst.CommStats)
+	}
+}
+
+// TestBackendConformanceTriggers pins the Subscribe stream: both backends
+// must deliver the identical label-flip sequence, in order.
+func TestBackendConformanceTriggers(t *testing.T) {
+	const n = 50
+	w := newConfWorld(t, n, 200, 53)
+	engSrv, cluSrv := w.servers(2, Config{})
+
+	engCh, engCancel := engSrv.Subscribe(4096)
+	defer engCancel()
+	cluCh, cluCancel := cluSrv.Subscribe(4096)
+	defer cluCancel()
+
+	for b := 0; b < 6; b++ {
+		batch := w.batch(4)
+		if _, err := engSrv.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cluSrv.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain := func(ch <-chan engine.LabelChange) []engine.LabelChange {
+		var out []engine.LabelChange
+		for {
+			select {
+			case lc := <-ch:
+				out = append(out, lc)
+			default:
+				return out
+			}
+		}
+	}
+	engFlips, cluFlips := drain(engCh), drain(cluCh)
+	if len(engFlips) != len(cluFlips) {
+		t.Fatalf("trigger streams: %d flips (engine) vs %d (cluster)", len(engFlips), len(cluFlips))
+	}
+	for i := range engFlips {
+		if engFlips[i] != cluFlips[i] {
+			t.Fatalf("trigger %d: %+v (engine) vs %+v (cluster)", i, engFlips[i], cluFlips[i])
+		}
+	}
+}
+
+// TestBackendConformanceRejection pins failure atomicity: an invalid
+// batch is rejected by both backends with the same error class, publishes
+// nothing — and, crucially for the cluster, leaves the backend alive for
+// subsequent valid batches (workers never see the bad update).
+func TestBackendConformanceRejection(t *testing.T) {
+	const n = 40
+	w := newConfWorld(t, n, 160, 57)
+	engSrv, cluSrv := w.servers(2, Config{})
+
+	dup := engine.Update{Kind: engine.EdgeAdd, U: w.edges[0][0], V: w.edges[0][1], Weight: 1}
+	missing := engine.Update{Kind: engine.EdgeDelete, U: 1, V: 1}
+	outOfRange := engine.Update{Kind: engine.FeatureUpdate, U: graph.VertexID(n + 5), Features: tensor.NewVector(w.model.Dims[0])}
+	for name, srv := range map[string]*Server{"engine": engSrv, "cluster": cluSrv} {
+		for _, bad := range [][]engine.Update{{dup}, {missing}, {outOfRange}} {
+			if _, err := srv.Apply(bad); !errors.Is(err, engine.ErrBadUpdate) {
+				t.Fatalf("%s backend: bad batch error = %v, want ErrBadUpdate", name, err)
+			}
+		}
+		if st := srv.Stats(); st.Epoch != 0 || st.Rejected != 3 {
+			t.Fatalf("%s backend: epoch %d rejected %d after 3 bad batches", name, st.Epoch, st.Rejected)
+		}
+	}
+
+	// Both backends must still serve valid traffic afterwards.
+	batch := w.batch(4)
+	if _, err := engSrv.Apply(batch); err != nil {
+		t.Fatalf("engine after rejections: %v", err)
+	}
+	if _, err := cluSrv.Apply(batch); err != nil {
+		t.Fatalf("cluster after rejections: %v", err)
+	}
+	assertAgreement(t, engSrv, cluSrv, n, "post-rejection")
+}
+
+// TestBackendConformanceAdmissionQueue runs the coalescing Submit path —
+// including the per-update salvage of a poisoned flush — over both
+// backends and checks they converge to the same published state.
+func TestBackendConformanceAdmissionQueue(t *testing.T) {
+	const n = 50
+	w := newConfWorld(t, n, 200, 59)
+	engSrv, cluSrv := w.servers(2, Config{MaxBatch: 8, MaxAge: time.Hour})
+
+	var stream []engine.Update
+	for b := 0; b < 4; b++ {
+		stream = append(stream, w.batch(5)...)
+	}
+	// Poison one flush with an out-of-range update: the salvage path must
+	// keep every valid neighbour on both backends.
+	bad := engine.Update{Kind: engine.FeatureUpdate, U: graph.VertexID(n + 1), Features: tensor.NewVector(w.model.Dims[0])}
+	stream = append(stream[:7:7], append([]engine.Update{bad}, stream[7:]...)...)
+
+	for _, srv := range []*Server{engSrv, cluSrv} {
+		for _, u := range stream {
+			if err := srv.Submit(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		srv.Flush()
+	}
+	est, cst := engSrv.Stats(), cluSrv.Stats()
+	if est.Rejected != 1 || cst.Rejected != 1 {
+		t.Fatalf("salvage rejections: engine %d, cluster %d, want 1 each", est.Rejected, cst.Rejected)
+	}
+	if est.UpdatesApplied != cst.UpdatesApplied {
+		t.Fatalf("updates applied diverge: %d vs %d", est.UpdatesApplied, cst.UpdatesApplied)
+	}
+	// Epochs can differ (salvage splits flushes), but the final tables
+	// must agree row for row.
+	es, cs := engSrv.Snapshot(), cluSrv.Snapshot()
+	for v := 0; v < n; v++ {
+		id := graph.VertexID(v)
+		if es.Label(id) != cs.Label(id) {
+			t.Fatalf("vertex %d label %d (engine) vs %d (cluster)", v, es.Label(id), cs.Label(id))
+		}
+		if d := es.Embedding(id).MaxAbsDiff(cs.Embedding(id)); d > confTol {
+			t.Fatalf("vertex %d logits drift %v", v, d)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"ripple/internal/engine"
+	"ripple/internal/tensor"
+)
+
+// faultBackend wraps a healthy backend and injects one infrastructure
+// error on demand, counting pass-through calls.
+type faultBackend struct {
+	inner   Backend
+	inject  error
+	applies int
+}
+
+func (f *faultBackend) Bootstrap() ([]int32, []tensor.Vector, int) { return f.inner.Bootstrap() }
+
+func (f *faultBackend) ApplyBatch(batch []engine.Update) (engine.BatchResult, []Row, error) {
+	f.applies++
+	if f.inject != nil {
+		err := f.inject
+		f.inject = nil
+		return engine.BatchResult{}, nil, err
+	}
+	return f.inner.ApplyBatch(batch)
+}
+
+// TestBackendFailureLatches pins the outage contract: an infrastructure
+// error from the backend (anything that is not an ErrBadUpdate-class
+// rejection) latches the server into a failed state — writes are refused
+// fast with ErrBackendFailed and never reach the backend again, nothing
+// is counted as a client rejection, no salvage retries run, and reads
+// keep serving the last published epoch.
+func TestBackendFailureLatches(t *testing.T) {
+	w := newWorld(t, 31)
+	inner, err := NewEngineBackend(w.eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := &faultBackend{inner: inner}
+	srv, err := NewBackend(fb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A rejection first: counted, not latching.
+	bad := engine.Update{Kind: engine.FeatureUpdate, U: 5, Features: tensor.NewVector(1)}
+	if _, err := srv.Apply([]engine.Update{bad}); !errors.Is(err, engine.ErrBadUpdate) {
+		t.Fatalf("bad-update error = %v", err)
+	}
+	if _, err := srv.Apply(w.batch(3)); err != nil {
+		t.Fatalf("healthy apply after rejection: %v", err)
+	}
+	epoch := srv.Snapshot().Epoch()
+
+	// Infrastructure failure: latches, is not a rejection.
+	fb.inject = errors.New("transport: connection closed")
+	_, err = srv.Apply(w.batch(2))
+	if !errors.Is(err, ErrBackendFailed) {
+		t.Fatalf("infra failure error = %v, want ErrBackendFailed", err)
+	}
+	st := srv.Stats()
+	if !st.BackendFailed {
+		t.Fatal("Stats.BackendFailed not set")
+	}
+	if st.Rejected != 1 {
+		t.Fatalf("infra failure counted as rejection: Rejected = %d, want 1 (the bad update only)", st.Rejected)
+	}
+	if st.Epoch != epoch {
+		t.Fatalf("failed batch moved the epoch: %d → %d", epoch, st.Epoch)
+	}
+
+	// Writes now fail fast without touching the backend; no salvage runs.
+	applies := fb.applies
+	if _, err := srv.Apply(w.batch(2)); !errors.Is(err, ErrBackendFailed) {
+		t.Fatalf("post-failure Apply error = %v", err)
+	}
+	if err := srv.Submit(w.batch(1)[0]); !errors.Is(err, ErrBackendFailed) {
+		t.Fatalf("post-failure Submit error = %v", err)
+	}
+	srv.Flush()
+	if fb.applies != applies {
+		t.Fatalf("failed server still drove the backend: %d extra applies", fb.applies-applies)
+	}
+
+	// Reads keep serving the last published epoch.
+	snap := srv.Snapshot()
+	if snap.Epoch() != epoch || snap.Label(0) < 0 {
+		t.Fatalf("reads degraded after backend failure: epoch %d label %d", snap.Epoch(), snap.Label(0))
+	}
+}
+
+// TestBackendFailureSkipsSalvage checks the coalesced-flush path: a flush
+// that dies on infrastructure failure is not retried update-by-update.
+func TestBackendFailureSkipsSalvage(t *testing.T) {
+	w := newWorld(t, 33)
+	inner, err := NewEngineBackend(w.eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := &faultBackend{inner: inner}
+	srv, err := NewBackend(fb, Config{MaxBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, u := range w.batch(5) {
+		if err := srv.Submit(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fb.inject = errors.New("cluster: worker failed")
+	applies := fb.applies
+	srv.Flush() // one coalesced flush hits the injected failure
+	if fb.applies != applies+1 {
+		t.Fatalf("flush drove the backend %d times, want exactly 1 (no per-update salvage)", fb.applies-applies)
+	}
+	if st := srv.Stats(); !st.BackendFailed || st.Rejected != 0 {
+		t.Fatalf("after failed flush: BackendFailed=%v Rejected=%d", st.BackendFailed, st.Rejected)
+	}
+}

@@ -1,11 +1,12 @@
-// Package serve is the snapshot-isolated concurrent serving layer over
-// the Ripple engine — the missing piece between the paper's trigger-based
-// inference model (§2.2) and a deployment where many consumers read
-// predictions while the update stream is applying.
+// Package serve is the snapshot-isolated concurrent serving layer over a
+// write Backend — the single-node Ripple engine or the distributed
+// cluster — the missing piece between the paper's trigger-based inference
+// model (§2.2) and a deployment where many consumers read predictions
+// while the update stream is applying.
 //
-// The engine itself is single-writer: every Label read races with an
-// in-flight ApplyBatch. This package decouples the two with epoch-based
-// publication of immutable snapshots:
+// A backend is single-writer: every label read races with an in-flight
+// ApplyBatch. This package decouples the two with epoch-based publication
+// of immutable snapshots:
 //
 //   - Writes are serialised. Each applied batch rebuilds only the label
 //     and logit rows named by BatchResult.FinalFrontier — copy-on-write
@@ -28,6 +29,8 @@ package serve
 
 import (
 	"errors"
+	"fmt"
+	"io"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -75,6 +78,21 @@ func (c Config) withDefaults() Config {
 // ErrClosed is returned by write operations after Close.
 var ErrClosed = errors.New("serve: server closed")
 
+// ErrBackendFailed is returned by write operations after the backend has
+// failed out from under the server — a distributed worker died, the
+// transport closed, the protocol desynced. Unlike a per-batch rejection
+// (ErrBadUpdate-class errors, which leave the backend serving), a failed
+// backend can never apply another batch: the server stops accepting
+// writes and reports Stats.BackendFailed, while reads keep serving the
+// last published epoch.
+var ErrBackendFailed = errors.New("serve: backend failed")
+
+// isRejection distinguishes per-batch validation rejections — the
+// batch's fault, backend still healthy — from infrastructure failure.
+func isRejection(err error) bool {
+	return errors.Is(err, engine.ErrBadUpdate) || errors.Is(err, engine.ErrVertexRemoved)
+}
+
 // Stats is a point-in-time counter snapshot of a Server.
 type Stats struct {
 	Epoch          uint64 `json:"epoch"`           // current published epoch
@@ -86,16 +104,26 @@ type Stats struct {
 	Reads          int64  `json:"reads"`           // explicit Snapshot() pins served
 	Pending        int    `json:"pending"`         // updates buffered in the admission queue
 	Subscribers    int    `json:"subscribers"`     // live subscriptions
+	BackendFailed  bool   `json:"backend_failed"`  // backend infrastructure failed; writes are refused
 	PagesCopied    int64  `json:"pages_copied"`    // snapshot pages copy-on-written across all publishes
 	PagesShared    int64  `json:"pages_shared"`    // snapshot pages shared with the previous epoch across all copying publishes
 
 	// Scatter parallelism of the wrapped engine's write path: the mailbox
 	// shard count the scatter merges into, and how many propagation hops
 	// took the sharded parallel path vs the serial small-frontier path
-	// across all applied batches.
+	// across all applied batches. Zero for backends without sharded
+	// mailboxes (the distributed cluster parallelises across partitions).
 	ScatterShards       int   `json:"scatter_shards"`
 	ScatterHopsParallel int64 `json:"scatter_hops_parallel"`
 	ScatterHopsSerial   int64 `json:"scatter_hops_serial"`
+
+	// CommStats (embedded, so comm_bytes/comm_msgs/route_bytes/gather_bytes
+	// surface as top-level counters) holds the cumulative
+	// distributed-communication traffic of a cluster backend: worker
+	// propagation traffic, leader routing bytes, and the delta-gather
+	// bytes each epoch publication cost on the wire. All zero for a
+	// single-node engine backend.
+	CommStats
 }
 
 // PageStats describes the paged publisher's state: the page geometry of
@@ -112,11 +140,12 @@ type PageStats struct {
 	PagesShared int64  `json:"pages_shared"` // pages shared across all publishes
 }
 
-// Server serves predictions from a Ripple engine under concurrent load.
-// All mutation goes through the Server (Submit/Apply); the wrapped engine
-// and its graph must not be touched directly while serving.
+// Server serves predictions from a Backend — the single-node engine or
+// the distributed cluster — under concurrent load. All mutation goes
+// through the Server (Submit/Apply); the wrapped backend and its state
+// must not be touched directly while serving.
 type Server struct {
-	eng     *engine.Ripple
+	backend Backend
 	cfg     Config
 	onBatch func(engine.BatchResult, error)
 
@@ -126,6 +155,11 @@ type Server struct {
 	closed  bool
 	subs    map[int]chan engine.LabelChange
 	nextSub int
+
+	// failed latches backend infrastructure failure. Atomic (not under
+	// mu) so Submit's fail-fast check never blocks behind an in-flight
+	// batch holding the write lock.
+	failed atomic.Bool
 
 	batcher *engine.Batcher
 
@@ -141,29 +175,34 @@ type Server struct {
 	scatterSer  atomic.Int64
 }
 
-// New wraps an engine in a serving layer and publishes the bootstrap
-// snapshot (epoch 0) from a full scan of the final layer. It enables the
-// engine's label tracking: the incremental snapshot rebuild and the
-// Subscribe triggers both depend on it.
+// New wraps a single-node engine in a serving layer — shorthand for
+// NewBackend over NewEngineBackend. Label tracking is enabled on the
+// engine: the incremental snapshot rebuild and the Subscribe triggers
+// both depend on it.
 func New(eng *engine.Ripple, cfg Config) (*Server, error) {
-	if eng == nil {
-		return nil, errors.New("serve: nil engine")
+	b, err := NewEngineBackend(eng)
+	if err != nil {
+		return nil, err
+	}
+	return NewBackend(b, cfg)
+}
+
+// NewBackend wraps any serving backend and publishes the bootstrap
+// snapshot (epoch 0) from the backend's full table scan. The Server
+// becomes the backend's sole writer.
+func NewBackend(backend Backend, cfg Config) (*Server, error) {
+	if backend == nil {
+		return nil, errors.New("serve: nil backend")
 	}
 	cfg = cfg.withDefaults()
-	eng.EnableLabelTracking()
-
-	emb := eng.Embeddings()
-	classes := emb.Dims[emb.L()]
 	s := &Server{
-		eng:     eng,
+		backend: backend,
 		cfg:     cfg,
 		onBatch: cfg.OnBatch,
 		subs:    map[int]chan engine.LabelChange{},
 	}
-	// Bootstrap the label table in one bulk argmax scan of the final
-	// layer (tombstoned vertices publish -1) instead of a per-vertex
-	// Label call through the slow removed-check path.
-	s.cur.Store(buildSnapshot(eng.LabelTable(nil), emb.H[emb.L()], classes, cfg.PageRows))
+	labels, logits, classes := backend.Bootstrap()
+	s.cur.Store(buildSnapshot(labels, logits, classes, cfg.PageRows))
 
 	b, err := engine.NewBatcher(applyFunc(s.applyCoalesced), cfg.MaxBatch, cfg.MaxAge, nil)
 	if err != nil {
@@ -209,6 +248,9 @@ func (s *Server) TopK(v graph.VertexID, k int) []Ranked { return s.cur.Load().To
 // discard other clients' queued writes. Rejections are observable via
 // Config.OnBatch and Stats.Rejected.
 func (s *Server) Submit(u engine.Update) error {
+	if s.failed.Load() {
+		return ErrBackendFailed
+	}
 	if err := s.batcher.Submit(u); err != nil {
 		if errors.Is(err, engine.ErrBatcherClosed) {
 			return ErrClosed
@@ -237,7 +279,9 @@ func (s *Server) Apply(batch []engine.Update) (engine.BatchResult, error) {
 // reported: observers see only the per-update outcomes.
 func (s *Server) applyCoalesced(batch []engine.Update) (engine.BatchResult, error) {
 	res, err := s.apply(batch, len(batch) > 1)
-	if err == nil || len(batch) <= 1 || errors.Is(err, ErrClosed) {
+	if err == nil || len(batch) <= 1 || errors.Is(err, ErrClosed) || errors.Is(err, ErrBackendFailed) {
+		// A failed backend cannot salvage anything: retrying the flush
+		// update-by-update would only re-apply work against dead workers.
 		return res, err
 	}
 	var agg engine.BatchResult
@@ -289,8 +333,23 @@ func (s *Server) apply(batch []engine.Update, quietReject bool) (engine.BatchRes
 	if s.closed {
 		return engine.BatchResult{}, ErrClosed
 	}
-	res, err := s.eng.ApplyBatch(batch)
+	if s.failed.Load() {
+		return engine.BatchResult{}, ErrBackendFailed
+	}
+	res, rows, err := s.backend.ApplyBatch(batch)
 	if err != nil {
+		if !isRejection(err) {
+			// Infrastructure failure, not the batch's fault: no later
+			// batch (or per-update salvage retry) can succeed either.
+			// Latch failure so writes fail fast and distinguishably;
+			// reads keep serving the last published epoch.
+			s.failed.Store(true)
+			err = fmt.Errorf("%w: %v", ErrBackendFailed, err)
+			if s.onBatch != nil {
+				s.onBatch(res, err)
+			}
+			return res, err
+		}
 		if !quietReject {
 			s.rejected.Add(1)
 			if s.onBatch != nil {
@@ -301,13 +360,10 @@ func (s *Server) apply(batch []engine.Update, quietReject bool) (engine.BatchRes
 	}
 
 	old := s.cur.Load()
-	final := s.eng.Embeddings().H[s.eng.Embeddings().L()]
-	next, copied := old.rebuild(res.FinalFrontier, final, func(v graph.VertexID) int32 {
-		return int32(s.eng.Label(v))
-	})
+	next, copied := old.rebuild(rows)
 	s.cur.Store(next)
 	s.pagesCopied.Add(int64(copied))
-	if len(res.FinalFrontier) > 0 {
+	if len(rows) > 0 {
 		// Empty-frontier publishes are excluded: the pre-paging design
 		// shared storage there too, so counting them would overstate
 		// paging's measured benefit.
@@ -373,7 +429,8 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	subs := len(s.subs)
 	s.mu.Unlock()
-	return Stats{
+	st := Stats{
+		BackendFailed:  s.failed.Load(),
 		Epoch:          s.cur.Load().epoch,
 		Batches:        s.batches.Load(),
 		Rejected:       s.rejected.Load(),
@@ -386,10 +443,16 @@ func (s *Server) Stats() Stats {
 		PagesCopied:    s.pagesCopied.Load(),
 		PagesShared:    s.pagesShared.Load(),
 
-		ScatterShards:       s.eng.Shards(),
 		ScatterHopsParallel: s.scatterPar.Load(),
 		ScatterHopsSerial:   s.scatterSer.Load(),
 	}
+	if sh, ok := s.backend.(shardReporter); ok {
+		st.ScatterShards = sh.Shards()
+	}
+	if cr, ok := s.backend.(commReporter); ok {
+		st.CommStats = cr.CommStats()
+	}
+	return st
 }
 
 // Compact republishes the current epoch over freshly allocated contiguous
@@ -415,8 +478,10 @@ func (s *Server) Compact() PageStats {
 	}
 }
 
-// Close flushes the admission queue, stops accepting writes, and closes
-// all subscriber channels. Reads keep working against the final epoch.
+// Close flushes the admission queue, stops accepting writes, closes all
+// subscriber channels, and shuts the backend down if it is closable (a
+// cluster backend terminates its workers). Reads keep working against the
+// final epoch.
 func (s *Server) Close() {
 	s.batcher.Close() // flushes the remainder through applyLocked
 	s.mu.Lock()
@@ -430,5 +495,8 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	for _, ch := range subs {
 		close(ch)
+	}
+	if c, ok := s.backend.(io.Closer); ok {
+		c.Close()
 	}
 }

@@ -770,7 +770,11 @@ func TestPageBoundaryReads(t *testing.T) {
 	for _, v := range frontier {
 		final[v] = newRow
 	}
-	next, copied := snap.rebuild(frontier, final, func(graph.VertexID) int32 { return 0 })
+	rebuilt := make([]Row, 0, len(frontier))
+	for _, v := range frontier {
+		rebuilt = append(rebuilt, Row{Vertex: v, Label: 0, Logits: final[v]})
+	}
+	next, copied := snap.rebuild(rebuilt)
 	if copied != 3 {
 		t.Fatalf("rebuild copied %d pages, want 3", copied)
 	}
@@ -792,7 +796,7 @@ func TestPageBoundaryReads(t *testing.T) {
 		}
 	}
 	// A second rebuild touching only page 0 shares pages 1 and 2.
-	next2, copied := next.rebuild([]graph.VertexID{0}, final, func(graph.VertexID) int32 { return 0 })
+	next2, copied := next.rebuild([]Row{{Vertex: 0, Label: 0, Logits: final[0]}})
 	if copied != 1 || next2.pages[1] != next.pages[1] || next2.pages[2] != next.pages[2] {
 		t.Fatalf("single-page rebuild copied %d pages and broke sharing", copied)
 	}

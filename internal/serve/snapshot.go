@@ -79,21 +79,21 @@ func buildSnapshot(labels []int32, final []tensor.Vector, classes, pageRows int)
 }
 
 // rebuild derives the next epoch from s: the page table is cloned, every
-// page holding a frontier row is copied before its rows are rewritten
-// from final (logits) and labelOf (label), and all other pages are shared
-// with s. It returns the new snapshot and the number of pages copied. A
-// nil/empty frontier shares the page table itself: the epoch advances
-// with zero copying.
-func (s *Snapshot) rebuild(frontier []graph.VertexID, final []tensor.Vector, labelOf func(graph.VertexID) int32) (*Snapshot, int) {
+// page holding a changed row is copied before its rows are rewritten from
+// the backend-reported delta, and all other pages are shared with s. It
+// returns the new snapshot and the number of pages copied. A nil/empty
+// delta shares the page table itself: the epoch advances with zero
+// copying.
+func (s *Snapshot) rebuild(rows []Row) (*Snapshot, int) {
 	next := &Snapshot{epoch: s.epoch + 1, classes: s.classes, n: s.n, shift: s.shift, mask: s.mask}
-	if len(frontier) == 0 {
+	if len(rows) == 0 {
 		next.pages = s.pages
 		return next, 0
 	}
 	next.pages = append([]*page(nil), s.pages...)
 	copied := 0
-	for _, v := range frontier {
-		pi := int(v) >> s.shift
+	for _, row := range rows {
+		pi := int(row.Vertex) >> s.shift
 		pg := next.pages[pi]
 		if pg == s.pages[pi] {
 			pg = &page{
@@ -103,9 +103,9 @@ func (s *Snapshot) rebuild(frontier []graph.VertexID, final []tensor.Vector, lab
 			next.pages[pi] = pg
 			copied++
 		}
-		off := int(v) & s.mask
-		copy(pg.logits[off*s.classes:(off+1)*s.classes], final[v])
-		pg.labels[off] = labelOf(v)
+		off := int(row.Vertex) & s.mask
+		copy(pg.logits[off*s.classes:(off+1)*s.classes], row.Logits)
+		pg.labels[off] = row.Label
 	}
 	return next, copied
 }

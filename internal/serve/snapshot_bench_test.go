@@ -29,13 +29,14 @@ func BenchmarkPublish(b *testing.B) {
 		labelOf := func(v graph.VertexID) int32 { return int32(final[v].ArgMax()) }
 		for _, fs := range []int{1, 64, 4096} {
 			frontier := benchFrontier(n, fs)
+			rows := benchRows(frontier, final, labelOf)
 			name := fmt.Sprintf("n=%d/frontier=%d", n, fs)
 			b.Run("impl=paged/"+name, func(b *testing.B) {
 				b.ReportAllocs()
 				snap := paged
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					snap, _ = snap.rebuild(frontier, final, labelOf)
+					snap, _ = snap.rebuild(rows)
 				}
 			})
 			b.Run("impl=fullclone/"+name, func(b *testing.B) {
@@ -97,6 +98,16 @@ func benchFrontier(n, size int) []graph.VertexID {
 	return frontier
 }
 
+// benchRows dresses a frontier up as the backend changed-rows delta the
+// paged publisher consumes.
+func benchRows(frontier []graph.VertexID, final []tensor.Vector, labelOf func(graph.VertexID) int32) []Row {
+	rows := make([]Row, 0, len(frontier))
+	for _, v := range frontier {
+		rows = append(rows, Row{Vertex: v, Label: labelOf(v), Logits: final[v]})
+	}
+	return rows
+}
+
 func flatten(final []tensor.Vector, classes int) []float32 {
 	out := make([]float32, len(final)*classes)
 	for v, row := range final {
@@ -122,7 +133,7 @@ func TestPublishBenchmarkEquivalence(t *testing.T) {
 		updated[v] = row
 	}
 	labelOf := func(v graph.VertexID) int32 { return int32(updated[v].ArgMax()) }
-	paged, _ := buildSnapshot(labels, base, classes, 64).rebuild(frontier, updated, labelOf)
+	paged, _ := buildSnapshot(labels, base, classes, 64).rebuild(benchRows(frontier, updated, labelOf))
 	flat := (&flatSnapshot{labels: labels, logits: flatten(base, classes)}).rebuild(classes, frontier, updated, labelOf)
 	for v := 0; v < n; v++ {
 		id := graph.VertexID(v)

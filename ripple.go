@@ -187,11 +187,27 @@ type (
 	Ranked = serve.Ranked
 	// ServeStats is a point-in-time counter snapshot of a Server.
 	ServeStats = serve.Stats
+	// CommStats are the cumulative distributed-communication counters of
+	// a cluster-backed Server (see ServeCluster); zero for a single-node
+	// Server.
+	CommStats = serve.CommStats
+	// ServeBackend is the write-side contract behind a Server: Serve wraps
+	// the single-node engine, ServeCluster the distributed cluster. The
+	// serving semantics — epochs, snapshot isolation, admission queue,
+	// triggers — are identical over any backend.
+	ServeBackend = serve.Backend
 	// PageStats describes the paged snapshot publisher: page geometry of
 	// the current epoch plus cumulative pages copied vs shared across all
 	// publishes. Returned by Server.Compact.
 	PageStats = serve.PageStats
 )
+
+// ErrServeBackendFailed is returned by Server write operations after the
+// serving backend has failed out from under it (a cluster worker died,
+// the transport closed). Writes are refused from then on — distinguishing
+// an outage from per-batch validation rejections — while reads keep
+// serving the last published epoch. See ServeStats.BackendFailed.
+var ErrServeBackendFailed = serve.ErrBackendFailed
 
 // ServeOption customises Serve.
 type ServeOption func(*serve.Config)
