@@ -14,20 +14,34 @@
 //
 // The address list has one entry per worker rank plus the leader's address
 // last. All ranks must use identical -dataset/-scale/-workload/… flags.
+//
+// With -data-dir (a directory all ranks can read — same machine or shared
+// storage) the deployment is durable: the leader write-ahead-logs every
+// streamed batch and cuts a barrier-checkpoint manifest every
+// -checkpoint-every batches (each worker serializes its partition, the
+// leader writes one manifest) plus once when the stream completes. On
+// reboot, workers rebuild their partitions straight from the manifest (no
+// bootstrap forward pass), the leader replays the WAL tail through the
+// normal batch path, and the stream resumes at the first unapplied batch.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"ripple/internal/cluster"
 	"ripple/internal/dataset"
+	"ripple/internal/engine"
 	"ripple/internal/gnn"
+	"ripple/internal/graph"
 	"ripple/internal/partition"
 	"ripple/internal/transport"
+	"ripple/internal/wal"
 )
 
 func main() {
@@ -45,13 +59,15 @@ func main() {
 	stream := flag.Int("stream", 3000, "update stream length")
 	seed := flag.Int64("seed", 42, "shared seed")
 	timeout := flag.Duration("timeout", 60*time.Second, "mesh connect timeout")
+	dataDir := flag.String("data-dir", "", "durability: leader WAL + barrier-checkpoint manifests under this (rank-shared) directory; recover/resume from it on boot")
+	ckptEvery := flag.Int("checkpoint-every", 5, "leader: barrier checkpoint interval in batches (0 = never, recovery replays the whole WAL)")
 	flag.Parse()
 
 	cfg := rankConfig{
 		Role: *role, Rank: *rank, Addrs: strings.Split(*addrsFlag, ","),
 		Dataset: *ds, Scale: *scale, Workload: *workload, Layers: *layers, Hidden: *hidden,
 		Strategy: *strategy, BatchSize: *bs, Batches: *batches, Stream: *stream,
-		Seed: *seed, Timeout: *timeout,
+		Seed: *seed, Timeout: *timeout, DataDir: *dataDir, CkptEvery: *ckptEvery,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "rippled:", err)
@@ -78,17 +94,30 @@ type rankConfig struct {
 	Stream    int
 	Seed      int64
 	Timeout   time.Duration
+
+	DataDir   string // "" = not durable
+	CkptEvery int
 }
 
 // sharedWorld is the deterministic state every rank derives identically
 // from the shared flags: the bootstrap snapshot, the update stream, the
-// model, and the partition placement.
+// model, and the partition placement. With -data-dir and an existing
+// barrier-checkpoint manifest, the placement (and each rank's restart
+// state) comes from the manifest instead — every rank reads the same
+// shared directory, so the multi-process determinism contract holds.
 type sharedWorld struct {
 	k     int
 	wl    *dataset.Workload
 	model *gnn.Model
 	own   *cluster.Ownership
 	strat cluster.Strategy
+
+	// Manifest recovery state (nil/zero without -data-dir or before the
+	// first checkpoint): the checkpointed topology, embeddings, and the
+	// number of batches the manifest covers.
+	ckptGraph *graph.Graph
+	ckptEmb   *gnn.Embeddings
+	ckptEpoch uint64
 }
 
 // buildShared regenerates the shared world from the config.
@@ -123,29 +152,82 @@ func buildShared(cfg rankConfig) (*sharedWorld, error) {
 		return nil, err
 	}
 	k := len(cfg.Addrs) - 1 // last address is the leader
-	assign, err := partition.Multilevel(wl.Snapshot, k, partition.DefaultMultilevelOptions)
-	if err != nil {
-		return nil, err
+	sh := &sharedWorld{k: k, wl: wl, model: model, strat: strat}
+	if cfg.DataDir != "" {
+		if err := loadNewestManifest(cfg.DataDir, sh); err != nil {
+			return nil, err
+		}
 	}
-	return &sharedWorld{k: k, wl: wl, model: model, own: cluster.BuildOwnership(assign), strat: strat}, nil
+	if sh.ckptGraph != nil {
+		fmt.Printf("[%s] resuming from checkpoint manifest at batch %d\n", cfg.Role, sh.ckptEpoch)
+	} else {
+		assign, err := partition.Multilevel(wl.Snapshot, k, partition.DefaultMultilevelOptions)
+		if err != nil {
+			return nil, err
+		}
+		sh.own = cluster.BuildOwnership(assign)
+	}
+	return sh, nil
+}
+
+// manifestEpochs lists the batch counts of the checkpoint manifests in
+// dir, newest first.
+func manifestEpochs(dir string) []uint64 {
+	return wal.ListEpochFiles(dir, "ckpt-", ".manifest")
+}
+
+func manifestPath(dir string, epoch uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%016x.manifest", epoch))
+}
+
+// loadNewestManifest fills sh's recovery state from the newest loadable
+// manifest in dir (skipping unreadable ones); no manifest leaves sh on
+// the bootstrap path.
+func loadNewestManifest(dir string, sh *sharedWorld) error {
+	for _, epoch := range manifestEpochs(dir) {
+		f, err := os.Open(manifestPath(dir, epoch))
+		if err != nil {
+			continue
+		}
+		g, assign, emb, err := cluster.LoadManifest(f)
+		f.Close()
+		if err != nil {
+			fmt.Printf("[warn] skipping unreadable manifest at batch %d: %v\n", epoch, err)
+			continue
+		}
+		if assign.K != sh.k {
+			return fmt.Errorf("manifest at batch %d partitions %d workers, -addrs implies %d", epoch, assign.K, sh.k)
+		}
+		sh.ckptGraph, sh.ckptEmb, sh.ckptEpoch = g, emb, epoch
+		sh.own = cluster.BuildOwnership(assign)
+		return nil
+	}
+	return nil
 }
 
 // startWorker dials the mesh and builds one worker rank over the shared
-// world. The caller runs (and is unblocked by the leader's shutdown of)
-// worker.Run, then owns closing the returned conn.
+// world — from the checkpoint manifest when one exists (no forward pass),
+// from the deterministic bootstrap otherwise. The caller runs (and is
+// unblocked by the leader's shutdown of) worker.Run, then owns closing
+// the returned conn.
 func startWorker(sh *sharedWorld, cfg rankConfig) (*cluster.Worker, *transport.TCPConn, error) {
 	if cfg.Rank < 0 || cfg.Rank >= sh.k {
 		return nil, nil, fmt.Errorf("-rank %d out of [0,%d)", cfg.Rank, sh.k)
 	}
-	emb, err := gnn.Forward(sh.wl.Snapshot, sh.model, sh.wl.Features)
-	if err != nil {
-		return nil, nil, err
+	g, emb := sh.ckptGraph, sh.ckptEmb
+	if emb == nil {
+		g = sh.wl.Snapshot
+		var err error
+		emb, err = gnn.Forward(g, sh.model, sh.wl.Features)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	conn, err := transport.DialTCP(cfg.Rank, cfg.Addrs, cfg.Timeout)
 	if err != nil {
 		return nil, nil, err
 	}
-	w, err := cluster.NewWorker(cfg.Rank, conn, sh.k, sh.model, sh.own, sh.strat, sh.wl.Snapshot, emb)
+	w, err := cluster.NewWorker(cfg.Rank, conn, sh.k, sh.model, sh.own, sh.strat, g, emb)
 	if err != nil {
 		conn.Close()
 		return nil, nil, err
@@ -154,7 +236,12 @@ func startWorker(sh *sharedWorld, cfg rankConfig) (*cluster.Worker, *transport.T
 }
 
 // runLeader dials the mesh as the leader, streams the workload's batches,
-// and shuts the workers down.
+// and shuts the workers down. With -data-dir the leader is durable: it
+// replays the WAL tail left by a previous run (the workers, booted from
+// the same manifest, catch up through the normal batch path), resumes the
+// stream at the first unapplied batch, writes every new batch ahead to
+// the WAL, and cuts barrier-checkpoint manifests every -checkpoint-every
+// batches plus once at the end of the stream.
 func runLeader(sh *sharedWorld, cfg rankConfig) error {
 	conn, err := transport.DialTCP(sh.k, cfg.Addrs, cfg.Timeout)
 	if err != nil {
@@ -168,24 +255,125 @@ func runLeader(sh *sharedWorld, cfg rankConfig) error {
 	if cfg.Batches > 0 && len(all) > cfg.Batches {
 		all = all[:cfg.Batches]
 	}
-	fmt.Printf("[leader] streaming %d batches of %d updates to %d workers (%s, %s %dL)\n",
-		len(all), cfg.BatchSize, sh.k, cfg.Strategy, cfg.Workload, cfg.Layers)
-	var updates int
+
+	var wlog *wal.Log
+	var shadow *graph.Graph
+	applied := uint64(0)
+	if cfg.DataDir != "" {
+		// The leader's topology shadow: the checkpointed topology or the
+		// bootstrap snapshot, mirroring every applied batch so the next
+		// manifest records the current graph.
+		shadow = sh.ckptGraph
+		if shadow == nil {
+			shadow = sh.wl.CloneSnapshot()
+		}
+		wlog, err = wal.Open(filepath.Join(cfg.DataDir, "wal"), wal.Config{})
+		if err != nil {
+			return err
+		}
+		defer wlog.Close()
+		applied = sh.ckptEpoch
+		err = wlog.Replay(sh.ckptEpoch, func(epoch uint64, payload []byte) error {
+			batch, err := cluster.DecodeUpdates(payload)
+			if err != nil {
+				return err
+			}
+			if epoch != applied+1 {
+				return fmt.Errorf("wal gap: record for batch %d after %d", epoch, applied)
+			}
+			if _, err := leader.ApplyBatch(batch); err != nil {
+				return err
+			}
+			mirrorTopology(shadow, batch)
+			applied++
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("replaying wal: %w", err)
+		}
+		if recovered := applied - sh.ckptEpoch; recovered > 0 {
+			fmt.Printf("[leader] recovered %d batches from the WAL (resuming at batch %d)\n", recovered, applied)
+		}
+	}
+	checkpoint := func() error {
+		emb, err := leader.GatherState()
+		if err != nil {
+			return err
+		}
+		err = wal.WriteFileAtomic(manifestPath(cfg.DataDir, applied), func(w io.Writer) error {
+			return cluster.WriteManifest(w, shadow, sh.own, emb)
+		})
+		if err != nil {
+			return fmt.Errorf("writing manifest: %w", err)
+		}
+		for _, old := range manifestEpochs(cfg.DataDir) {
+			if old != applied {
+				os.Remove(manifestPath(cfg.DataDir, old))
+			}
+		}
+		fmt.Printf("[leader] barrier checkpoint at batch %d\n", applied)
+		return wlog.MarkCheckpoint(applied)
+	}
+
+	if int(applied) >= len(all) {
+		fmt.Printf("[leader] stream already complete at batch %d; nothing to do\n", applied)
+		return nil
+	}
+	fmt.Printf("[leader] streaming batches %d..%d of %d updates to %d workers (%s, %s %dL)\n",
+		applied, len(all)-1, cfg.BatchSize, sh.k, cfg.Strategy, cfg.Workload, cfg.Layers)
+	var updates, sinceCkpt int
 	var total time.Duration
-	for i, b := range all {
+	for i := int(applied); i < len(all); i++ {
+		b := all[i]
+		if wlog != nil {
+			if err := wlog.Append(uint64(i+1), cluster.EncodeUpdates(b)); err != nil {
+				return err
+			}
+		}
 		res, err := leader.ApplyBatch(b)
 		if err != nil {
 			return err
 		}
+		if shadow != nil {
+			mirrorTopology(shadow, b)
+		}
+		applied++
 		updates += res.Updates
 		total += res.WallTime
 		fmt.Printf("  batch %2d: wall=%-12v affected=%-8d commBytes=%-10d simLat=%v\n",
 			i, res.WallTime.Round(time.Microsecond), res.Affected, res.CommBytes, res.SimLatency().Round(time.Microsecond))
+		if wlog != nil && cfg.CkptEvery > 0 {
+			if sinceCkpt++; sinceCkpt >= cfg.CkptEvery {
+				if err := checkpoint(); err != nil {
+					return err
+				}
+				sinceCkpt = 0
+			}
+		}
+	}
+	if wlog != nil && cfg.CkptEvery > 0 && sinceCkpt > 0 {
+		if err := checkpoint(); err != nil {
+			return err
+		}
 	}
 	if total > 0 {
 		fmt.Printf("[leader] throughput %.1f up/s over TCP (wall time)\n", float64(updates)/total.Seconds())
 	}
 	return nil
+}
+
+// mirrorTopology applies a batch's structural changes to the leader's
+// shadow graph (features live on the workers; the manifest only needs
+// topology).
+func mirrorTopology(g *graph.Graph, batch []engine.Update) {
+	for _, u := range batch {
+		switch u.Kind {
+		case engine.EdgeAdd:
+			_ = g.AddEdge(u.U, u.V, u.Weight)
+		case engine.EdgeDelete:
+			_, _ = g.RemoveEdge(u.U, u.V)
+		}
+	}
 }
 
 func run(cfg rankConfig) error {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"ripple/internal/cluster"
 	"ripple/internal/engine"
 	"ripple/internal/gnn"
 )
@@ -31,6 +32,144 @@ func freeLoopbackAddrs(t *testing.T, n int) []string {
 		ln.Close()
 	}
 	return addrs
+}
+
+// runRanks boots one leader + (k-1 from base.Addrs) workers in-process
+// over loopback TCP — every rank deriving its world from the flags and
+// data dir exactly as separate rippled processes would — and returns the
+// workers' handles after the leader's run completes.
+type rankHandle struct {
+	sh  *sharedWorld
+	w   *cluster.Worker
+	err error
+}
+
+func runRanks(t *testing.T, base rankConfig) []rankHandle {
+	t.Helper()
+	k := len(base.Addrs) - 1
+	handles := make([]rankHandle, k)
+	var wg sync.WaitGroup
+	for r := 0; r < k; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cfg := base
+			cfg.Role, cfg.Rank = "worker", r
+			sh, err := buildShared(cfg)
+			if err != nil {
+				handles[r].err = err
+				return
+			}
+			w, conn, err := startWorker(sh, cfg)
+			if err != nil {
+				handles[r].err = err
+				return
+			}
+			defer conn.Close()
+			handles[r].sh, handles[r].w = sh, w
+			if err := w.Run(); err != nil {
+				handles[r].err = err
+			}
+		}(r)
+	}
+	leaderCfg := base
+	leaderCfg.Role = "leader"
+	if err := run(leaderCfg); err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	wg.Wait()
+	for r, h := range handles {
+		if h.err != nil {
+			t.Fatalf("worker %d: %v", r, h.err)
+		}
+	}
+	return handles
+}
+
+// TestDurableResumeOverTCP is the deployment-level recovery drill: a run
+// that stops mid-stream (batches only in the WAL, no manifest yet), a
+// resumed run that replays the WAL, streams the rest and cuts barrier
+// manifests, and a third boot whose workers rebuild purely from the
+// manifest — each time the workers' state must match a single-node engine
+// fed the identical full stream.
+func TestDurableResumeOverTCP(t *testing.T) {
+	dir := t.TempDir()
+	base := rankConfig{
+		Dataset:   "arxiv",
+		Scale:     0.002,
+		Workload:  "GC-S",
+		Layers:    2,
+		Hidden:    16,
+		Strategy:  "ripple",
+		BatchSize: 25,
+		Stream:    150,
+		Seed:      42,
+		Timeout:   15 * time.Second,
+		DataDir:   dir,
+	}
+
+	// Ground truth: a single-node engine fed the full 4-batch stream.
+	gtCfg := base
+	gtCfg.Role, gtCfg.Addrs, gtCfg.DataDir = "truth", []string{"x", "y", "z"}, "" // 2 workers implied; no recovery
+	sh, err := buildShared(gtCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sh.wl.CloneSnapshot()
+	emb, err := gnn.Forward(g, sh.model, sh.wl.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.NewRipple(g, sh.model, emb, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := sh.wl.Batches(base.BatchSize)[:4]
+	for i, b := range all {
+		if _, err := eng.ApplyBatch(b); err != nil {
+			t.Fatalf("ground-truth batch %d: %v", i, err)
+		}
+	}
+	truth := eng.Embeddings()
+
+	assertMatchesTruth := func(phase string, handles []rankHandle) {
+		t.Helper()
+		const tol = 5e-3
+		for r, h := range handles {
+			got := h.w.Embeddings()
+			for li, gid := range h.sh.own.Locals[r] {
+				for l := range truth.H {
+					if d := got.H[l][li].MaxAbsDiff(truth.H[l][gid]); d > tol {
+						t.Fatalf("%s: worker %d vertex %d layer %d drift %v", phase, r, gid, l, d)
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 1: stream 2 of 4 batches with checkpoints disabled — the run
+	// "dies" with its history only in the WAL.
+	p1 := base
+	p1.Addrs, p1.Batches, p1.CkptEvery = freeLoopbackAddrs(t, 3), 2, 0
+	runRanks(t, p1)
+	if got := manifestEpochs(dir); len(got) != 0 {
+		t.Fatalf("phase 1 left manifests %v, wanted WAL only", got)
+	}
+
+	// Phase 2: reboot; the leader replays the 2 WAL batches over freshly
+	// bootstrapped workers, streams batches 2..3, and checkpoints.
+	p2 := base
+	p2.Addrs, p2.Batches, p2.CkptEvery = freeLoopbackAddrs(t, 3), 4, 2
+	assertMatchesTruth("wal-replay resume", runRanks(t, p2))
+	if got := manifestEpochs(dir); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("phase 2 manifests %v, want exactly one at batch 4", got)
+	}
+
+	// Phase 3: reboot again; workers rebuild purely from the manifest (no
+	// forward pass), the leader finds nothing left to stream.
+	p3 := base
+	p3.Addrs, p3.Batches, p3.CkptEvery = freeLoopbackAddrs(t, 3), 4, 2
+	assertMatchesTruth("manifest boot", runRanks(t, p3))
 }
 
 // TestSmokeLeaderAndWorkersOverTCP boots the real deployment path

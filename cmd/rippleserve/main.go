@@ -13,8 +13,18 @@
 //	GET  /topk/{v}?k=3     v's k best classes with logit scores
 //	POST /update[?sync=1]  stream graph updates (JSON; see below)
 //	POST /compact          defragment the paged snapshot; page accounting
-//	GET  /healthz          liveness + current epoch
+//	POST /checkpoint       cut a durable checkpoint now (-data-dir mode)
+//	GET  /healthz          liveness + current epoch (+ durability state)
 //	GET  /stats            serving counters (epochs, batches, flips, pages, ...)
+//
+// With -data-dir the daemon is durable: admitted batches are written
+// ahead to a WAL, checkpoints run every -checkpoint-every batches (and on
+// demand, and at graceful shutdown), and a restart pointed at the same
+// directory recovers — checkpoint load plus WAL-tail replay — resuming at
+// the exact pre-crash epoch with bit-identical predictions. A SIGKILL'd
+// daemon loses nothing admitted; a SIGTERM'd one drains in-flight
+// requests, flushes the admission queue, and takes a clean final
+// checkpoint so the restart replays zero batches.
 //
 // Reads are lock-free snapshot reads: they never block behind an applying
 // batch and always observe a whole published epoch. Writes are coalesced
@@ -37,10 +47,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -60,12 +72,16 @@ func main() {
 	delay := flag.Duration("delay", 2*time.Millisecond, "admission queue flush age")
 	workers := flag.Int("workers", 0, "distributed mode: partition across this many in-process workers (0 = single-node engine)")
 	partitioner := flag.String("partitioner", "multilevel", "distributed mode placement: multilevel, ldg or hash")
+	dataDir := flag.String("data-dir", "", "durability: WAL + checkpoints under this directory; recover from it on boot")
+	fsync := flag.Bool("fsync", false, "fsync the WAL after every admitted batch (power-loss durability)")
+	ckptEvery := flag.Int("checkpoint-every", 256, "automatic checkpoint interval in batches (0 = only /checkpoint and shutdown)")
 	flag.Parse()
 
 	cfg := serveConfig{
 		Addr: *addr, Dataset: *ds, Scale: *scale, Workload: *workload,
 		Layers: *layers, Hidden: *hidden, Seed: *seed,
 		Batch: *batch, Delay: *delay, Workers: *workers, Partitioner: *partitioner,
+		DataDir: *dataDir, Fsync: *fsync, CheckpointEvery: *ckptEvery,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "rippleserve:", err)
@@ -86,6 +102,10 @@ type serveConfig struct {
 	Delay       time.Duration
 	Workers     int // 0 = single-node engine backend
 	Partitioner string
+
+	DataDir         string // "" = not durable
+	Fsync           bool
+	CheckpointEvery int
 }
 
 func run(cfg serveConfig) error {
@@ -94,10 +114,29 @@ func run(cfg serveConfig) error {
 		return err
 	}
 	spec.Seed = cfg.Seed
+	// The listener comes up before the (possibly long) dataset
+	// generation, bootstrap or recovery, so health probes see 503
+	// "starting" — degraded, not connection-refused — until the first
+	// epoch is published.
+	api := &api{n: spec.NumVertices, classes: spec.NumClasses, workload: cfg.Workload, dataset: cfg.Dataset, workers: cfg.Workers, durable: cfg.DataDir != ""}
+	httpSrv := &http.Server{Handler: api.routes()}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- httpSrv.Serve(ln) }()
+	log.Printf("listening on %s (503 starting until bootstrap/recovery completes)", cfg.Addr)
+	fail := func(err error) error {
+		httpSrv.Close()
+		<-serveDone
+		return err
+	}
+
 	log.Printf("generating %s at scale %v (%d vertices, ~%d edges)...", cfg.Dataset, cfg.Scale, spec.NumVertices, spec.NumEdges())
 	g, features, err := dataset.Generate(spec)
 	if err != nil {
-		return err
+		return fail(err)
 	}
 	dims := []int{spec.FeatureDim}
 	for i := 1; i < cfg.Layers; i++ {
@@ -106,32 +145,46 @@ func run(cfg serveConfig) error {
 	dims = append(dims, spec.NumClasses)
 	model, err := ripple.NewModel(cfg.Workload, dims, cfg.Seed)
 	if err != nil {
-		return err
+		return fail(err)
+	}
+
+	sopts := []ripple.ServeOption{ripple.WithAdmission(cfg.Batch, cfg.Delay)}
+	if cfg.DataDir != "" {
+		sopts = append(sopts,
+			ripple.WithDataDir(cfg.DataDir),
+			ripple.WithFsync(cfg.Fsync),
+			ripple.WithCheckpointEvery(cfg.CheckpointEvery))
 	}
 	var srv *ripple.Server
 	if cfg.Workers > 0 {
 		log.Printf("bootstrapping %s over %d vertices across %d workers (%s partitioning)...",
 			model, spec.NumVertices, cfg.Workers, cfg.Partitioner)
 		srv, err = ripple.ServeCluster(g, model, features,
-			ripple.DistOptions{Workers: cfg.Workers, Partitioner: cfg.Partitioner},
-			ripple.WithAdmission(cfg.Batch, cfg.Delay))
+			ripple.DistOptions{Workers: cfg.Workers, Partitioner: cfg.Partitioner}, sopts...)
 	} else {
 		log.Printf("bootstrapping %s over %d vertices...", model, spec.NumVertices)
 		var eng *ripple.Engine
 		eng, err = ripple.Bootstrap(g, model, features)
-		if err != nil {
-			return err
+		if err == nil {
+			// Serve enables label tracking on the engine itself.
+			srv, err = ripple.Serve(eng, sopts...)
 		}
-		// Serve enables label tracking on the engine itself.
-		srv, err = ripple.Serve(eng, ripple.WithAdmission(cfg.Batch, cfg.Delay))
 	}
 	if err != nil {
-		return err
+		return fail(err)
 	}
-	defer srv.Close()
-
-	api := &api{srv: srv, n: spec.NumVertices, classes: spec.NumClasses, workload: cfg.Workload, dataset: cfg.Dataset, workers: cfg.Workers}
-	httpSrv := &http.Server{Addr: cfg.Addr, Handler: api.routes()}
+	defer func() {
+		// Graceful shutdown: the HTTP server has drained, Close flushes
+		// the admission queue and (durable mode) takes the clean final
+		// checkpoint, so the next boot replays zero batches.
+		srv.Close()
+		log.Printf("shut down; final stats: %+v", srv.Stats())
+	}()
+	if st := srv.Stats(); cfg.DataDir != "" {
+		log.Printf("durable under %s: recovered %d batches from the WAL, resuming at epoch %d (checkpoint epoch %d)",
+			cfg.DataDir, st.RecoveredBatches, st.Epoch, st.LastCheckpointEpoch)
+	}
+	api.srv.Store(srv)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -144,24 +197,36 @@ func run(cfg serveConfig) error {
 		httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("serving %s/%s predictions on %s (epoch 0 published)", cfg.Dataset, cfg.Workload, cfg.Addr)
-	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+	log.Printf("serving %s/%s predictions on %s (epoch %d published)", cfg.Dataset, cfg.Workload, cfg.Addr, srv.Snapshot().Epoch())
+	if err := <-serveDone; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	<-drained // ListenAndServe returns before Shutdown finishes draining
-	log.Printf("shut down; final stats: %+v", srv.Stats())
+	<-drained // Serve returns before Shutdown finishes draining
 	return nil
 }
 
 // api holds the handlers and the static facts handlers may report without
-// touching engine-owned state.
+// touching engine-owned state. srv is nil until bootstrap/recovery
+// completes — the listener comes up first so health checks see a 503
+// "starting" instead of a connection refused while a long recovery runs.
 type api struct {
-	srv      *ripple.Server
+	srv      atomic.Pointer[ripple.Server]
 	n        int
 	classes  int
 	workload string
 	dataset  string
-	workers  int // 0 = single-node engine backend
+	workers  int  // 0 = single-node engine backend
+	durable  bool // -data-dir set; /checkpoint is live
+}
+
+// server returns the serving layer once it is up, or answers 503 and
+// reports false while the daemon is still bootstrapping/recovering.
+func (a *api) server(w http.ResponseWriter) (*ripple.Server, bool) {
+	if srv := a.srv.Load(); srv != nil {
+		return srv, true
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+	return nil, false
 }
 
 func (a *api) routes() http.Handler {
@@ -170,6 +235,7 @@ func (a *api) routes() http.Handler {
 	mux.HandleFunc("GET /topk/{v}", a.handleTopK)
 	mux.HandleFunc("POST /update", a.handleUpdate)
 	mux.HandleFunc("POST /compact", a.handleCompact)
+	mux.HandleFunc("POST /checkpoint", a.handleCheckpoint)
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
 	mux.HandleFunc("GET /stats", a.handleStats)
 	return mux
@@ -205,7 +271,11 @@ func (a *api) vertex(w http.ResponseWriter, r *http.Request, snap *ripple.Snapsh
 }
 
 func (a *api) handleLabel(w http.ResponseWriter, r *http.Request) {
-	snap := a.srv.Snapshot()
+	srv, ok := a.server(w)
+	if !ok {
+		return
+	}
+	snap := srv.Snapshot()
 	v, ok := a.vertex(w, r, snap)
 	if !ok {
 		return
@@ -218,7 +288,11 @@ func (a *api) handleLabel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *api) handleTopK(w http.ResponseWriter, r *http.Request) {
-	snap := a.srv.Snapshot()
+	srv, ok := a.server(w)
+	if !ok {
+		return
+	}
+	snap := srv.Snapshot()
 	v, ok := a.vertex(w, r, snap)
 	if !ok {
 		return
@@ -255,6 +329,10 @@ type updateJSON struct {
 }
 
 func (a *api) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	srv, ok := a.server(w)
+	if !ok {
+		return
+	}
 	var body struct {
 		Updates []updateJSON `json:"updates"`
 	}
@@ -288,7 +366,7 @@ func (a *api) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if r.URL.Query().Get("sync") != "" {
-		res, err := a.srv.Apply(batch)
+		res, err := srv.Apply(batch)
 		if err != nil {
 			// Infrastructure failure is an outage (503), not the
 			// client's batch being rejected (422).
@@ -304,17 +382,17 @@ func (a *api) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			"affected":    res.Affected,
 			"label_flips": len(res.LabelChanges),
 			"latency":     res.Total().String(),
-			"epoch":       a.srv.Snapshot().Epoch(),
+			"epoch":       srv.Snapshot().Epoch(),
 		})
 		return
 	}
 	for i, u := range batch {
-		if err := a.srv.Submit(u); err != nil {
+		if err := srv.Submit(u); err != nil {
 			httpError(w, http.StatusServiceUnavailable, "updates[%d]: %v", i, err)
 			return
 		}
 	}
-	st := a.srv.Stats()
+	st := srv.Stats()
 	writeJSON(w, http.StatusAccepted, map[string]any{"queued": len(batch), "pending": st.Pending, "epoch": st.Epoch})
 }
 
@@ -322,24 +400,75 @@ func (a *api) handleUpdate(w http.ResponseWriter, r *http.Request) {
 // pages (see Server.Compact) and reports the publisher's copy-on-write
 // accounting, including the epoch the accounting was taken at.
 func (a *api) handleCompact(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"pages": a.srv.Compact()})
+	srv, ok := a.server(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"pages": srv.Compact()})
+}
+
+// handleCheckpoint cuts a durable checkpoint on demand: the backend's
+// state is serialized at the current epoch (the cluster backend runs the
+// leader's barrier) and the WAL segments it covers are truncated.
+func (a *api) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !a.durable {
+		httpError(w, http.StatusConflict, "server is not durable; restart with -data-dir")
+		return
+	}
+	srv, ok := a.server(w)
+	if !ok {
+		return
+	}
+	st, err := srv.Checkpoint()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "checkpoint failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"checkpoint": st})
 }
 
 func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if a.srv.Stats().BackendFailed {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "backend_failed", "epoch": a.srv.Snapshot().Epoch()})
+	srv, ok := a.server(w)
+	if !ok {
+		// 503 "starting": the listener is up but bootstrap/recovery has
+		// not finished — degraded, not dead.
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "epoch": a.srv.Snapshot().Epoch()})
+	st := srv.Stats()
+	body := map[string]any{
+		"status": "ok",
+		"epoch":  srv.Snapshot().Epoch(),
+	}
+	if a.durable {
+		body["recovered_batches"] = st.RecoveredBatches
+		body["last_checkpoint_epoch"] = st.LastCheckpointEpoch
+	}
+	switch {
+	case st.BackendFailed:
+		body["status"] = "backend_failed"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	case st.Recovering:
+		// Degraded: the WAL tail is still replaying (reachable when an
+		// embedder serves these handlers while serve.Open runs; this
+		// daemon reports "starting" for that whole window instead).
+		body["status"] = "recovering"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	default:
+		writeJSON(w, http.StatusOK, body)
+	}
 }
 
 func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
+	srv, ok := a.server(w)
+	if !ok {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dataset":  a.dataset,
 		"workload": a.workload,
 		"vertices": a.n,
 		"classes":  a.classes,
 		"workers":  a.workers,
-		"serving":  a.srv.Stats(),
+		"serving":  srv.Stats(),
 	})
 }

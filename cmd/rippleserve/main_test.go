@@ -54,7 +54,9 @@ func newTestAPI(t *testing.T) *api {
 		t.Fatal(err)
 	}
 	t.Cleanup(srv.Close)
-	return &api{srv: srv, n: testN, classes: testClasses, workload: "GS-S", dataset: "test"}
+	a := &api{n: testN, classes: testClasses, workload: "GS-S", dataset: "test"}
+	a.srv.Store(srv)
+	return a
 }
 
 // newDistributedAPI builds the same handler set over a 3-worker cluster
@@ -68,7 +70,28 @@ func newDistributedAPI(t *testing.T) *api {
 		t.Fatal(err)
 	}
 	t.Cleanup(srv.Close)
-	return &api{srv: srv, n: testN, classes: testClasses, workload: "GS-S", dataset: "test", workers: 3}
+	a := &api{n: testN, classes: testClasses, workload: "GS-S", dataset: "test", workers: 3}
+	a.srv.Store(srv)
+	return a
+}
+
+// newDurableAPI builds the handler set over a durable single-node server
+// rooted at a fresh data dir.
+func newDurableAPI(t *testing.T) *api {
+	t.Helper()
+	g, model, features := testWorld(t)
+	eng, err := ripple.Bootstrap(g, model, features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ripple.Serve(eng, ripple.WithDataDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	a := &api{n: testN, classes: testClasses, workload: "GS-S", dataset: "test", durable: true}
+	a.srv.Store(srv)
+	return a
 }
 
 // do runs one request through the mux and decodes the JSON response body.
@@ -191,7 +214,9 @@ func TestRemovedVertexIs404(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(srv.Close)
-	h := (&api{srv: srv, n: testN, classes: testClasses, workload: "GS-S", dataset: "test"}).routes()
+	a := &api{n: testN, classes: testClasses, workload: "GS-S", dataset: "test"}
+	a.srv.Store(srv)
+	h := a.routes()
 	for _, target := range []string{"/label/9", "/topk/9?k=2"} {
 		code, raw, _ := do(t, h, "GET", target, "")
 		if code != http.StatusNotFound {
@@ -254,15 +279,15 @@ func TestHandleUpdateSyncAndAsync(t *testing.T) {
 	if code != http.StatusAccepted || body["queued"].(float64) != 1 {
 		t.Fatalf("async submit: status %d body %v", code, body)
 	}
-	a.srv.Flush()
-	if got := a.srv.Stats().UpdatesApplied; got != 2 {
+	a.srv.Load().Flush()
+	if got := a.srv.Load().Stats().UpdatesApplied; got != 2 {
 		t.Fatalf("applied %d updates end to end, want 2", got)
 	}
 }
 
 func TestHandleUpdateAfterCloseIs503(t *testing.T) {
 	a := newTestAPI(t)
-	a.srv.Close()
+	a.srv.Load().Close()
 	code, _, _ := do(t, a.routes(), "POST", "/update",
 		`{"updates": [{"kind": "feature-update", "u": 1, "features": [0, 0, 0, 0, 0, 0]}]}`)
 	if code != http.StatusServiceUnavailable {
@@ -378,6 +403,71 @@ func TestHandleStatsAndCompact(t *testing.T) {
 		t.Fatalf("compact accounting taken at epoch %v, want the published epoch 1", pages["epoch"])
 	}
 	if code, _, body := do(t, h, "GET", "/healthz", ""); code != 200 || body["status"] != "ok" {
+		t.Fatalf("healthz: status %d body %v", code, body)
+	}
+}
+
+// TestStartingStateIs503: before bootstrap/recovery publishes the first
+// epoch (the listener comes up first), every data endpoint — healthz
+// included — answers 503 "starting" instead of connection-refused or a
+// nil-server panic.
+func TestStartingStateIs503(t *testing.T) {
+	h := (&api{n: testN, classes: testClasses, workload: "GS-S", dataset: "test", durable: true}).routes()
+	for _, probe := range []struct{ method, target string }{
+		{"GET", "/healthz"},
+		{"GET", "/label/3"},
+		{"GET", "/topk/3"},
+		{"GET", "/stats"},
+		{"POST", "/checkpoint"},
+	} {
+		code, _, body := do(t, h, probe.method, probe.target, "")
+		if code != http.StatusServiceUnavailable || body["status"] != "starting" {
+			t.Fatalf("%s %s before startup: status %d body %v, want 503 starting", probe.method, probe.target, code, body)
+		}
+	}
+	if code, _, _ := do(t, h, "POST", "/update?sync=1",
+		`{"updates": [{"kind": "feature-update", "u": 0, "features": [1, 1, 1, 1, 1, 1]}]}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("update before startup: status %d, want 503", code)
+	}
+}
+
+// TestHandleCheckpoint covers the durability endpoint: a conflict on a
+// non-durable server, and on a durable one a checkpoint cut at the
+// current epoch with the WAL truncated behind it and the durability
+// counters surfaced through /stats and /healthz.
+func TestHandleCheckpoint(t *testing.T) {
+	h := newTestAPI(t).routes()
+	if code, _, _ := do(t, h, "POST", "/checkpoint", ""); code != http.StatusConflict {
+		t.Fatalf("non-durable checkpoint: status %d, want 409", code)
+	}
+
+	h = newDurableAPI(t).routes()
+	if code, _, _ := do(t, h, "POST", "/update?sync=1",
+		`{"updates": [{"kind": "feature-update", "u": 0, "features": [1, 1, 1, 1, 1, 1]}]}`); code != 200 {
+		t.Fatalf("seeding update failed with %d", code)
+	}
+	code, _, body := do(t, h, "POST", "/checkpoint", "")
+	if code != http.StatusOK {
+		t.Fatalf("checkpoint: status %d body %v", code, body)
+	}
+	ckpt := body["checkpoint"].(map[string]any)
+	if ckpt["epoch"].(float64) != 1 || ckpt["bytes"].(float64) <= 0 || ckpt["wal_bytes"].(float64) != 0 {
+		t.Fatalf("checkpoint accounting %v: want epoch 1, a real file, an empty WAL", ckpt)
+	}
+	code, _, body = do(t, h, "GET", "/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	serving := body["serving"].(map[string]any)
+	for _, key := range []string{"wal_bytes", "wal_segments", "last_checkpoint_epoch", "recovered_batches"} {
+		if _, ok := serving[key]; !ok {
+			t.Fatalf("serving stats missing %q: %v", key, serving)
+		}
+	}
+	if serving["last_checkpoint_epoch"].(float64) != 1 {
+		t.Fatalf("last_checkpoint_epoch = %v, want 1", serving["last_checkpoint_epoch"])
+	}
+	if code, _, body := do(t, h, "GET", "/healthz", ""); code != 200 || body["last_checkpoint_epoch"].(float64) != 1 {
 		t.Fatalf("healthz: status %d body %v", code, body)
 	}
 }

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain lets this test binary double as the rippleserve daemon: the
+// kill-and-restart test re-execs itself with RIPPLESERVE_CHILD=1 so a
+// real process — with real flags, a real HTTP listener and a real data
+// dir — can be SIGKILL'd mid-serve and rebooted, exactly what a crashed
+// production daemon goes through.
+func TestMain(m *testing.M) {
+	if os.Getenv("RIPPLESERVE_CHILD") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// freeLoopbackAddr reserves one free loopback port.
+func freeLoopbackAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+type daemon struct {
+	t    *testing.T
+	cmd  *exec.Cmd
+	base string
+}
+
+func startDaemon(t *testing.T, addr, dataDir string, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{
+		"-addr", addr,
+		"-dataset", "arxiv", "-scale", "0.002", // ~340 vertices: fast to regenerate
+		"-workload", "GS-S", "-layers", "2", "-hidden", "16",
+		"-batch", "4",
+		"-data-dir", dataDir, "-checkpoint-every", "3",
+	}, extra...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "RIPPLESERVE_CHILD=1")
+	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return &daemon{t: t, cmd: cmd, base: "http://" + addr}
+}
+
+func (d *daemon) waitHealthy(timeout time.Duration) map[string]any {
+	d.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.base + "/healthz")
+		if err == nil {
+			var body map[string]any
+			err := json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if err == nil && resp.StatusCode == http.StatusOK {
+				return body
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	d.t.Fatalf("daemon at %s never became healthy", d.base)
+	return nil
+}
+
+func (d *daemon) getJSON(path string) map[string]any {
+	d.t.Helper()
+	resp, err := http.Get(d.base + path)
+	if err != nil {
+		d.t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		d.t.Fatalf("GET %s: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		d.t.Fatalf("GET %s: status %d: %v", path, resp.StatusCode, body)
+	}
+	return body
+}
+
+// applySync posts one feature update through the synchronous path, so
+// every call publishes (and durably logs) exactly one epoch.
+func (d *daemon) applySync(v int, seed float64) {
+	d.t.Helper()
+	features := make([]float64, 128) // arxiv feature width
+	for j := range features {
+		features[j] = seed + float64(j)/1000
+	}
+	payload, _ := json.Marshal(map[string]any{
+		"updates": []map[string]any{{"kind": "feature-update", "u": v, "features": features}},
+	})
+	resp, err := http.Post(d.base+"/update?sync=1", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		d.t.Fatalf("sync update: status %d", resp.StatusCode)
+	}
+}
+
+func (d *daemon) servingStats() map[string]any {
+	d.t.Helper()
+	return d.getJSON("/stats")["serving"].(map[string]any)
+}
+
+func (d *daemon) labels(n int) []float64 {
+	d.t.Helper()
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		out[v] = d.getJSON(fmt.Sprintf("/label/%d", v))["label"].(float64)
+	}
+	return out
+}
+
+// TestKillRestartRecovery is the production crash drill: boot a real
+// rippleserve with -data-dir, admit batches, SIGKILL it (no shutdown
+// path runs), boot a fresh process on the same dir, and require the
+// recovered daemon to answer with the same epoch and the same labels.
+// Then a SIGTERM drill: a graceful shutdown's final checkpoint must make
+// the next boot replay zero batches.
+func TestKillRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemon processes")
+	}
+	dir := t.TempDir()
+	addr := freeLoopbackAddr(t)
+	const probe = 12 // vertices whose labels we pin across the crash
+
+	d1 := startDaemon(t, addr, dir)
+	defer d1.cmd.Process.Kill()
+	d1.waitHealthy(90 * time.Second)
+	// 7 synchronous single-update batches → epochs 1..7, with automatic
+	// checkpoints at 3 and 6; epoch 7 lives only in the WAL tail.
+	for i := 0; i < 7; i++ {
+		d1.applySync(i, float64(i)*0.1-0.3)
+	}
+	st := d1.servingStats()
+	wantEpoch := st["epoch"].(float64)
+	if wantEpoch != 7 {
+		t.Fatalf("pre-crash epoch %v, want 7", wantEpoch)
+	}
+	wantLabels := d1.labels(probe)
+
+	// Crash: SIGKILL, no drain, no final checkpoint.
+	if err := d1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d1.cmd.Wait()
+
+	d2 := startDaemon(t, addr, dir)
+	defer d2.cmd.Process.Kill()
+	health := d2.waitHealthy(90 * time.Second)
+	if health["recovered_batches"].(float64) != 1 { // epoch 7 replayed over checkpoint 6
+		t.Fatalf("healthz after crash: %v, want 1 recovered batch", health)
+	}
+	st = d2.servingStats()
+	if st["epoch"].(float64) != wantEpoch {
+		t.Fatalf("recovered epoch %v, want %v", st["epoch"], wantEpoch)
+	}
+	if st["last_checkpoint_epoch"].(float64) != 6 || st["recovered_batches"].(float64) != 1 {
+		t.Fatalf("recovery stats %v, want checkpoint 6 + 1 replayed", st)
+	}
+	if got := d2.labels(probe); fmt.Sprint(got) != fmt.Sprint(wantLabels) {
+		t.Fatalf("labels after crash recovery: %v, want %v", got, wantLabels)
+	}
+
+	// Graceful drill: SIGTERM drains and checkpoints; the next boot must
+	// replay nothing and still serve the same state.
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.cmd.Wait(); err != nil {
+		t.Fatalf("graceful shutdown exited with %v", err)
+	}
+
+	d3 := startDaemon(t, addr, dir)
+	defer func() {
+		d3.cmd.Process.Signal(syscall.SIGTERM)
+		d3.cmd.Wait()
+	}()
+	d3.waitHealthy(90 * time.Second)
+	st = d3.servingStats()
+	if st["recovered_batches"].(float64) != 0 || st["epoch"].(float64) != wantEpoch {
+		t.Fatalf("post-graceful boot stats %v, want zero replay at epoch %v", st, wantEpoch)
+	}
+	if got := d3.labels(probe); fmt.Sprint(got) != fmt.Sprint(wantLabels) {
+		t.Fatalf("labels after graceful restart: %v, want %v", got, wantLabels)
+	}
+}

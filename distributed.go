@@ -2,6 +2,7 @@ package ripple
 
 import (
 	"fmt"
+	"io"
 
 	"ripple/internal/cluster"
 	"ripple/internal/gnn"
@@ -72,27 +73,74 @@ func BootstrapDistributed(g *Graph, model *Model, features []Vector, opts DistOp
 // mirror); do not mutate it afterwards. opts.Baseline is rejected: the
 // recompute baseline cannot ship changed-row deltas. Closing the Server
 // shuts the cluster's workers down.
+//
+// With WithDataDir the distributed server is durable: checkpoints run the
+// leader-coordinated barrier (every worker serializes its partition, the
+// leader writes one manifest), and on start a data dir holding prior
+// state rebuilds the whole cluster from the manifest — topology,
+// placement and embeddings, skipping the bootstrap forward pass — then
+// replays the WAL tail to the exact pre-crash epoch. The manifest's
+// worker count must match opts.Workers.
 func ServeCluster(g *Graph, model *Model, features []Vector, opts DistOptions, sopts ...ServeOption) (*Server, error) {
 	if opts.Baseline {
 		return nil, fmt.Errorf("ripple: ServeCluster requires the incremental strategy; the RC baseline cannot serve deltas")
-	}
-	cl, err := BootstrapDistributed(g, model, features, opts)
-	if err != nil {
-		return nil, err
-	}
-	backend, err := serve.NewClusterBackend(cl, g)
-	if err != nil {
-		cl.Close()
-		return nil, err
 	}
 	var cfg serve.Config
 	for _, opt := range sopts {
 		opt(&cfg)
 	}
-	srv, err := serve.NewBackend(backend, cfg)
-	if err != nil {
-		cl.Close()
-		return nil, err
+	if cfg.DataDir == "" {
+		cl, err := BootstrapDistributed(g, model, features, opts)
+		if err != nil {
+			return nil, err
+		}
+		backend, err := serve.NewClusterBackend(cl, g)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		srv, err := serve.NewBackend(backend, cfg)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		return srv, nil
 	}
-	return srv, nil
+	return serve.Open(func(ckpt io.Reader) (serve.Backend, error) {
+		if ckpt == nil {
+			cl, err := BootstrapDistributed(g, model, features, opts)
+			if err != nil {
+				return nil, err
+			}
+			backend, err := serve.NewClusterBackend(cl, g)
+			if err != nil {
+				cl.Close()
+				return nil, err
+			}
+			return backend, nil
+		}
+		topo, assign, emb, err := cluster.LoadManifest(ckpt)
+		if err != nil {
+			return nil, err
+		}
+		if assign.K != opts.Workers {
+			return nil, fmt.Errorf("ripple: checkpoint manifest partitions %d workers, flags ask for %d (repartitioning a checkpoint is not supported)", assign.K, opts.Workers)
+		}
+		cl, err := cluster.NewLocal(cluster.LocalConfig{
+			Graph:      topo,
+			Model:      model,
+			Embeddings: emb,
+			Assignment: assign,
+			Strategy:   cluster.StratRipple,
+		})
+		if err != nil {
+			return nil, err
+		}
+		backend, err := serve.NewClusterBackend(cl, topo)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		return backend, nil
+	}, cfg)
 }

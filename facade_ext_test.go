@@ -111,6 +111,77 @@ func TestPublicShardOptions(t *testing.T) {
 	}
 }
 
+// TestPublicDurableServeRestart drives the facade's durability surface:
+// a durable Server survives an abrupt restart — same epoch, same labels —
+// through WithDataDir recovery, for both the single-node and the
+// distributed backend.
+func TestPublicDurableServeRestart(t *testing.T) {
+	model, err := ripple.NewModel("GS-S", []int{8, 16, 5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := func(srv *ripple.Server) {
+		t.Helper()
+		rng := rand.New(rand.NewSource(31))
+		for i := 0; i < 6; i++ {
+			f := ripple.NewVector(8)
+			for j := range f {
+				f[j] = rng.Float32()*4 - 2
+			}
+			if _, err := srv.Apply([]ripple.Update{{Kind: ripple.FeatureUpdate, U: ripple.VertexID(rng.Intn(30)), Features: f}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	check := func(name string, open func() (*ripple.Server, error)) {
+		t.Helper()
+		srv, err := open()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		stream(srv)
+		wantEpoch := srv.Snapshot().Epoch()
+		wantLabels := make([]int, 30)
+		for v := range wantLabels {
+			wantLabels[v] = srv.Label(ripple.VertexID(v))
+		}
+		srv.Close() // graceful: final checkpoint, zero replay on reopen
+
+		srv2, err := open()
+		if err != nil {
+			t.Fatalf("%s restart: %v", name, err)
+		}
+		defer srv2.Close()
+		st := srv2.Stats()
+		if st.Epoch != wantEpoch || st.LastCheckpointEpoch != wantEpoch || st.RecoveredBatches != 0 {
+			t.Fatalf("%s restart: %+v, want epoch %d from clean checkpoint", name, st, wantEpoch)
+		}
+		for v := range wantLabels {
+			if got := srv2.Label(ripple.VertexID(v)); got != wantLabels[v] {
+				t.Fatalf("%s restart: vertex %d label %d, want %d", name, v, got, wantLabels[v])
+			}
+		}
+	}
+
+	engDir := t.TempDir()
+	check("engine", func() (*ripple.Server, error) {
+		g, x := buildSmall(t)
+		eng, err := ripple.Bootstrap(g, model, x)
+		if err != nil {
+			return nil, err
+		}
+		return ripple.Serve(eng, ripple.WithDataDir(engDir), ripple.WithCheckpointEvery(2))
+	})
+
+	cluDir := t.TempDir()
+	check("cluster", func() (*ripple.Server, error) {
+		g, x := buildSmall(t)
+		return ripple.ServeCluster(g, model, x,
+			ripple.DistOptions{Workers: 2, Partitioner: "hash"},
+			ripple.WithDataDir(cluDir), ripple.WithCheckpointEvery(2))
+	})
+}
+
 func TestPublicVertexLifecycle(t *testing.T) {
 	g, x := buildSmall(t)
 	model, err := ripple.NewModel("GI-S", []int{8, 16, 5}, 7)

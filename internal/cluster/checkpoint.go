@@ -1,0 +1,358 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/partition"
+)
+
+// Barrier checkpoint (durability subsystem, distributed side): the leader
+// asks every worker to serialize its partition's embedding state, then
+// assembles the per-rank payloads — together with its own topology mirror
+// and the placement — into one manifest a future process can rebuild the
+// whole cluster from without re-running the bootstrap forward pass.
+//
+// The barrier runs between batches (the serving tier holds its write lock
+// across it), so every rank's state belongs to the same epoch: the
+// manifest is an epoch-consistent cut of the distributed state.
+
+// --- ckpt-state wire encoding (kindCkpt / kindCkptState) ---
+
+// encodeCkptState serializes one worker's local embedding state: every
+// layer's H rows and (for l>0) raw aggregate A rows, in ascending local
+// index — the same row order the engine checkpoint uses.
+func encodeCkptState(seq uint32, emb *gnn.Embeddings) []byte {
+	n := emb.N
+	b := appendU32(nil, seq)
+	b = appendU32(b, uint32(len(emb.Dims)))
+	for _, d := range emb.Dims {
+		b = appendU32(b, uint32(d))
+	}
+	b = appendU32(b, uint32(n))
+	for l := range emb.H {
+		for i := 0; i < n; i++ {
+			b = appendVec(b, emb.H[l][i])
+			if l > 0 {
+				b = appendVec(b, emb.A[l][i])
+			}
+		}
+	}
+	return b
+}
+
+// decodeCkptState decodes a worker's checkpoint payload into a local
+// Embeddings. Like every decoder here it distrusts the wire: the declared
+// geometry must match the payload length exactly before any row is read.
+func decodeCkptState(payload []byte) (seq uint32, emb *gnn.Embeddings, err error) {
+	r := &reader{b: payload}
+	seq = r.u32("seq")
+	ndims := r.count(r.u32("ndims"), 4, "ndims")
+	dims := make([]int, 0, ndims)
+	for i := 0; i < ndims && r.err == nil; i++ {
+		dims = append(dims, int(r.u32("dim")))
+	}
+	n := int(r.u32("nlocal"))
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	if len(dims) < 2 {
+		return 0, nil, fmt.Errorf("cluster: checkpoint state with %d dims", len(dims))
+	}
+	rowFloats := 0
+	for l, d := range dims {
+		if d <= 0 {
+			return 0, nil, fmt.Errorf("cluster: checkpoint state dim[%d] = %d", l, d)
+		}
+		rowFloats += d
+		if l > 0 {
+			rowFloats += dims[l-1]
+		}
+	}
+	// Division-based geometry guard, like the codec's count checks: the
+	// n·rowFloats·4 product of wire-chosen values could wrap uint64 and
+	// slip past an equality-only comparison.
+	remaining := uint64(len(payload) - r.off)
+	perVertex := uint64(rowFloats) * 4
+	if n < 0 || uint64(n) > remaining/perVertex || uint64(n)*perVertex != remaining {
+		return 0, nil, fmt.Errorf("cluster: checkpoint state geometry (%d vertices × %d floats) does not match %d payload bytes", n, rowFloats, remaining)
+	}
+	emb = gnn.NewEmbeddings(n, dims)
+	for l := range emb.H {
+		for i := 0; i < n; i++ {
+			emb.H[l][i] = r.vec(dims[l], "H")
+			if l > 0 {
+				emb.A[l][i] = r.vec(dims[l-1], "A")
+			}
+		}
+	}
+	if err := r.done(); err != nil {
+		return 0, nil, err
+	}
+	return seq, emb, nil
+}
+
+// GatherState runs the leader side of the barrier checkpoint: every
+// worker serializes its partition and the payloads are assembled into one
+// global embedding table via the ownership map. Must not overlap a batch;
+// like a batch, any protocol failure breaks the leader permanently (the
+// mesh may hold unconsumed messages).
+func (l *Leader) GatherState() (*gnn.Embeddings, error) {
+	l.mu.Lock()
+	if l.broken != nil {
+		err := l.broken
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrWorkerFailed, err)
+	}
+	l.seq++
+	seq := l.seq
+	l.mu.Unlock()
+
+	for r := 0; r < l.own.K; r++ {
+		if err := l.conn.Send(r, kindCkpt, appendU32(nil, seq)); err != nil {
+			return nil, l.fail(fmt.Errorf("cluster: sending checkpoint request to worker %d: %w", r, err))
+		}
+	}
+
+	var emb *gnn.Embeddings
+	got := make([]bool, l.own.K)
+	for received := 0; received < l.own.K; received++ {
+		msg, err := l.conn.Recv()
+		if err != nil {
+			return nil, l.fail(fmt.Errorf("cluster: leader checkpoint recv: %w", err))
+		}
+		switch msg.Kind {
+		case kindCkptState:
+			if msg.From < 0 || msg.From >= l.own.K || got[msg.From] {
+				return nil, l.fail(fmt.Errorf("cluster: duplicate/invalid checkpoint state from %d", msg.From))
+			}
+			got[msg.From] = true
+			mseq, local, err := decodeCkptState(msg.Payload)
+			if err != nil {
+				return nil, l.fail(fmt.Errorf("cluster: checkpoint state from worker %d: %w", msg.From, err))
+			}
+			if mseq != seq {
+				return nil, l.fail(fmt.Errorf("cluster: worker %d shipped checkpoint %d, expected %d", msg.From, mseq, seq))
+			}
+			if local.N != l.own.NumLocal(msg.From) {
+				return nil, l.fail(fmt.Errorf("cluster: worker %d shipped %d rows, owns %d", msg.From, local.N, l.own.NumLocal(msg.From)))
+			}
+			if emb == nil {
+				emb = gnn.NewEmbeddings(len(l.own.Owner), local.Dims)
+			} else if !equalDims(emb.Dims, local.Dims) {
+				return nil, l.fail(fmt.Errorf("cluster: worker %d shipped dims %v, others %v", msg.From, local.Dims, emb.Dims))
+			}
+			for li, gid := range l.own.Locals[msg.From] {
+				for layer := range emb.H {
+					emb.H[layer][gid].CopyFrom(local.H[layer][li])
+					if layer > 0 {
+						emb.A[layer][gid].CopyFrom(local.A[layer][li])
+					}
+				}
+			}
+		case kindError:
+			return nil, l.fail(fmt.Errorf("%w: %s", ErrWorkerFailed, msg.Payload))
+		default:
+			return nil, l.fail(fmt.Errorf("cluster: leader got unexpected kind %d from %d during checkpoint", msg.Kind, msg.From))
+		}
+	}
+	return emb, nil
+}
+
+func equalDims(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckpointEmbeddings runs the leader-coordinated barrier checkpoint and
+// returns the epoch-consistent global embedding table. Must not overlap a
+// batch (the serving tier serialises it on its write lock).
+func (c *LocalCluster) CheckpointEmbeddings() (*gnn.Embeddings, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrWorkerFailed
+	}
+	c.mu.Unlock()
+	return c.leader.GatherState()
+}
+
+// Ownership exposes the cluster's placement metadata (read-only).
+func (c *LocalCluster) Ownership() *Ownership { return c.own }
+
+// --- manifest serialization ---
+
+const manifestMagic = "RIPPLMAN"
+const manifestVersion = 1
+
+// ErrBadManifest wraps corruption and mismatch failures in LoadManifest.
+var ErrBadManifest = errors.New("cluster: invalid checkpoint manifest")
+
+// WriteManifest persists an epoch-consistent cut of a distributed
+// deployment: the global topology, the partition placement, and the
+// barrier-gathered embedding/aggregate state. Everything a restarted
+// process needs to rebuild the cluster — workers slice their partitions
+// straight out of it — without the bootstrap forward pass. Model weights
+// are NOT included (like the engine checkpoint, they are the product of
+// the shared model spec/seed).
+func WriteManifest(w io.Writer, g *graph.Graph, own *Ownership, emb *gnn.Embeddings) error {
+	n := g.NumVertices()
+	if emb.N != n || len(own.Owner) != n {
+		return fmt.Errorf("cluster: manifest pieces disagree: graph %d, embeddings %d, ownership %d vertices", n, emb.N, len(own.Owner))
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(manifestMagic); err != nil {
+		return fmt.Errorf("cluster: writing manifest: %w", err)
+	}
+	writeU32 := func(v uint32) { _ = binary.Write(bw, binary.LittleEndian, v) }
+	writeU32(manifestVersion)
+	writeU32(uint32(n))
+	writeU32(uint32(own.K))
+	writeU32(uint32(len(emb.Dims)))
+	for _, d := range emb.Dims {
+		writeU32(uint32(d))
+	}
+	for _, r := range own.Owner {
+		writeU32(uint32(r))
+	}
+
+	writeU32(uint32(g.NumEdges()))
+	var edgeErr error
+	g.ForEachEdge(func(u, v graph.VertexID, wgt float32) {
+		writeU32(uint32(u))
+		writeU32(uint32(v))
+		if err := binary.Write(bw, binary.LittleEndian, wgt); err != nil && edgeErr == nil {
+			edgeErr = err
+		}
+	})
+	if edgeErr != nil {
+		return fmt.Errorf("cluster: writing manifest edges: %w", edgeErr)
+	}
+
+	for l := range emb.H {
+		for u := 0; u < n; u++ {
+			if err := binary.Write(bw, binary.LittleEndian, []float32(emb.H[l][u])); err != nil {
+				return fmt.Errorf("cluster: writing manifest embeddings: %w", err)
+			}
+			if l > 0 {
+				if err := binary.Write(bw, binary.LittleEndian, []float32(emb.A[l][u])); err != nil {
+					return fmt.Errorf("cluster: writing manifest embeddings: %w", err)
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadManifest reconstructs the global topology, placement and embedding
+// state from a manifest written by WriteManifest. The result feeds
+// straight into NewLocal (or a worker's local-state slicing), skipping
+// the offline forward pass entirely.
+func LoadManifest(rd io.Reader) (*graph.Graph, *partition.Assignment, *gnn.Embeddings, error) {
+	br := bufio.NewReader(rd)
+	magic := make([]byte, len(manifestMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != manifestMagic {
+		return nil, nil, nil, fmt.Errorf("%w: bad magic", ErrBadManifest)
+	}
+	readU32 := func(what string) (uint32, error) {
+		var v uint32
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return 0, fmt.Errorf("%w: truncated %s: %v", ErrBadManifest, what, err)
+		}
+		return v, nil
+	}
+	version, err := readU32("version")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if version != manifestVersion {
+		return nil, nil, nil, fmt.Errorf("%w: version %d, want %d", ErrBadManifest, version, manifestVersion)
+	}
+	n, err := readU32("vertex count")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	k, err := readU32("worker count")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ndims, err := readU32("dims count")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if k == 0 || ndims < 2 || ndims > 1024 {
+		return nil, nil, nil, fmt.Errorf("%w: k=%d, %d dims", ErrBadManifest, k, ndims)
+	}
+	dims := make([]int, ndims)
+	for i := range dims {
+		d, err := readU32("dim")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if d == 0 {
+			return nil, nil, nil, fmt.Errorf("%w: dim[%d] = 0", ErrBadManifest, i)
+		}
+		dims[i] = int(d)
+	}
+	assign := &partition.Assignment{K: int(k), Part: make([]int32, n)}
+	for u := range assign.Part {
+		p, err := readU32("owner")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if p >= k {
+			return nil, nil, nil, fmt.Errorf("%w: vertex %d owned by rank %d of %d", ErrBadManifest, u, p, k)
+		}
+		assign.Part[u] = int32(p)
+	}
+
+	g := graph.New(int(n))
+	m, err := readU32("edge count")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for i := uint32(0); i < m; i++ {
+		u, err := readU32("edge source")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		v, err := readU32("edge sink")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		var wgt float32
+		if err := binary.Read(br, binary.LittleEndian, &wgt); err != nil {
+			return nil, nil, nil, fmt.Errorf("%w: truncated edge weight: %v", ErrBadManifest, err)
+		}
+		if err := g.AddEdge(graph.VertexID(u), graph.VertexID(v), wgt); err != nil {
+			return nil, nil, nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
+		}
+	}
+
+	emb := gnn.NewEmbeddings(int(n), dims)
+	for l := range emb.H {
+		for u := 0; u < int(n); u++ {
+			if err := binary.Read(br, binary.LittleEndian, []float32(emb.H[l][u])); err != nil {
+				return nil, nil, nil, fmt.Errorf("%w: truncated embeddings: %v", ErrBadManifest, err)
+			}
+			if l > 0 {
+				if err := binary.Read(br, binary.LittleEndian, []float32(emb.A[l][u])); err != nil {
+					return nil, nil, nil, fmt.Errorf("%w: truncated embeddings: %v", ErrBadManifest, err)
+				}
+			}
+		}
+	}
+	return g, assign, emb, nil
+}

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ripple/internal/engine"
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/partition"
+	"ripple/internal/tensor"
+)
+
+// ckptWorld builds a small bootstrapped world shared by the barrier tests.
+func ckptWorld(t *testing.T, n, m, k int, seed int64) (*graph.Graph, *gnn.Model, *gnn.Embeddings, *partition.Assignment) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	model, err := gnn.NewWorkload("GC-S", []int{5, 7, 4}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		u, v := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		if u != v {
+			_ = g.AddEdge(u, v, 0.2+rng.Float32())
+		}
+	}
+	x := make([]tensor.Vector, n)
+	for i := range x {
+		x[i] = tensor.NewVector(model.Dims[0])
+		for j := range x[i] {
+			x[i][j] = rng.Float32() - 0.5
+		}
+	}
+	emb, err := gnn.Forward(g, model, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := partition.ByName("hash", g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, model, emb, assign
+}
+
+// TestBarrierCheckpointGathersGlobalState: the leader-coordinated barrier
+// must reassemble exactly the per-worker state — including batches applied
+// after bootstrap — bit-identically to the in-process gather.
+func TestBarrierCheckpointGathersGlobalState(t *testing.T) {
+	g, model, emb, assign := ckptWorld(t, 48, 200, 3, 11)
+	c, err := NewLocal(LocalConfig{Graph: g.Clone(), Model: model, Embeddings: emb, Assignment: assign, Strategy: StratRipple})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Mutate state past bootstrap so the barrier is not trivially the
+	// bootstrap embedding.
+	if _, err := c.ApplyBatch([]engine.Update{
+		{Kind: engine.FeatureUpdate, U: 3, Features: tensor.NewVector(model.Dims[0])},
+		{Kind: engine.FeatureUpdate, U: 17, Features: tensor.NewVector(model.Dims[0])},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	gathered, err := c.CheckpointEmbeddings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := c.GatherEmbeddings()
+	if d := gathered.MaxAbsDiff(direct); d != 0 {
+		t.Fatalf("barrier checkpoint drifts from direct gather by %v", d)
+	}
+
+	// The cluster must keep applying batches after a barrier.
+	if _, err := c.ApplyBatch([]engine.Update{{Kind: engine.FeatureUpdate, U: 9, Features: tensor.NewVector(model.Dims[0])}}); err != nil {
+		t.Fatalf("batch after barrier: %v", err)
+	}
+}
+
+// TestManifestRoundTrip: WriteManifest → LoadManifest must reproduce the
+// topology, placement and embeddings bit-identically, and a cluster
+// rebuilt from the manifest must continue from the same state.
+func TestManifestRoundTrip(t *testing.T) {
+	g, model, emb, assign := ckptWorld(t, 40, 160, 2, 13)
+	own := BuildOwnership(assign)
+
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, g, own, emb); err != nil {
+		t.Fatal(err)
+	}
+	g2, assign2, emb2, err := LoadManifest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("topology mismatch: %d/%d vertices, %d/%d edges", g2.NumVertices(), g.NumVertices(), g2.NumEdges(), g.NumEdges())
+	}
+	g.ForEachEdge(func(u, v graph.VertexID, w float32) {
+		if !g2.HasEdge(u, v) {
+			t.Fatalf("edge (%d,%d) lost in manifest", u, v)
+		}
+	})
+	if assign2.K != assign.K {
+		t.Fatalf("K %d, want %d", assign2.K, assign.K)
+	}
+	for u := range assign.Part {
+		if assign.Part[u] != assign2.Part[u] {
+			t.Fatalf("vertex %d owner %d, want %d", u, assign2.Part[u], assign.Part[u])
+		}
+	}
+	if d := emb2.MaxAbsDiff(emb); d != 0 {
+		t.Fatalf("embeddings drift %v through manifest", d)
+	}
+
+	// A cluster rebuilt from the manifest serves the same labels and
+	// accepts further batches.
+	c, err := NewLocal(LocalConfig{Graph: g2, Model: model, Embeddings: emb2, Assignment: assign2, Strategy: StratRipple})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for v := 0; v < g.NumVertices(); v++ {
+		if got, want := c.Label(graph.VertexID(v)), emb.Label(int32(v)); got != want {
+			t.Fatalf("vertex %d label %d after manifest rebuild, want %d", v, got, want)
+		}
+	}
+	if _, err := c.ApplyBatch([]engine.Update{{Kind: engine.FeatureUpdate, U: 1, Features: tensor.NewVector(model.Dims[0])}}); err != nil {
+		t.Fatalf("batch after manifest rebuild: %v", err)
+	}
+}
+
+// TestLoadManifestRejectsCorruption: truncations and bit flips must fail
+// with ErrBadManifest (or a structural error), never a panic or a
+// silently wrong load.
+func TestLoadManifestTruncation(t *testing.T) {
+	g, _, emb, assign := ckptWorld(t, 12, 40, 2, 17)
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, g, BuildOwnership(assign), emb); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, _, _, err := LoadManifest(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncated manifest (%d of %d bytes) loaded", cut, len(full))
+		} else if !errors.Is(err, ErrBadManifest) {
+			t.Fatalf("truncated manifest error %v, want ErrBadManifest", err)
+		}
+	}
+}
+
+// TestUpdatesCodecRoundTrip pins the WAL payload encoding.
+func TestUpdatesCodecRoundTrip(t *testing.T) {
+	batch := []engine.Update{
+		{Kind: engine.EdgeAdd, U: 3, V: 9, Weight: 1.25},
+		{Kind: engine.EdgeDelete, U: 9, V: 3},
+		{Kind: engine.FeatureUpdate, U: 7, Features: tensor.Vector{0.5, -1, 2.25}},
+	}
+	got, err := DecodeUpdates(EncodeUpdates(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("decoded %d updates, want %d", len(got), len(batch))
+	}
+	for i := range batch {
+		w, g := batch[i], got[i]
+		if w.Kind != g.Kind || w.U != g.U || w.V != g.V || w.Weight != g.Weight || len(w.Features) != len(g.Features) {
+			t.Fatalf("update %d: %+v != %+v", i, g, w)
+		}
+		for j := range w.Features {
+			if w.Features[j] != g.Features[j] {
+				t.Fatalf("update %d feature %d mismatch", i, j)
+			}
+		}
+	}
+	// Truncations must error, not misparse.
+	enc := EncodeUpdates(batch)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeUpdates(enc[:cut]); err == nil {
+			t.Fatalf("truncated updates payload (%d of %d bytes) decoded", cut, len(enc))
+		}
+	}
+}

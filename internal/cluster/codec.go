@@ -17,15 +17,17 @@ import (
 
 // Message kinds on the wire.
 const (
-	kindBatch    uint8 = iota + 1 // leader→worker: routed sub-batch
-	kindHalo                      // worker→worker: per-hop halo deltas (Ripple)
-	kindAffect                    // worker→worker: per-hop affected marks (RC)
-	kindNeed                      // worker→worker: embedding requests (RC)
-	kindFill                      // worker→worker: embedding responses (RC)
-	kindDone                      // worker→leader: per-batch stats
-	kindShutdown                  // leader→worker: terminate
-	kindError                     // worker→leader: fatal worker error
-	kindDelta                     // worker→leader: final-layer changed rows (delta gather)
+	kindBatch     uint8 = iota + 1 // leader→worker: routed sub-batch
+	kindHalo                       // worker→worker: per-hop halo deltas (Ripple)
+	kindAffect                     // worker→worker: per-hop affected marks (RC)
+	kindNeed                       // worker→worker: embedding requests (RC)
+	kindFill                       // worker→worker: embedding responses (RC)
+	kindDone                       // worker→leader: per-batch stats
+	kindShutdown                   // leader→worker: terminate
+	kindError                      // worker→leader: fatal worker error
+	kindDelta                      // worker→leader: final-layer changed rows (delta gather)
+	kindCkpt                       // leader→worker: barrier-checkpoint state request
+	kindCkptState                  // worker→leader: serialized partition state
 )
 
 // routedUpdate is an update as delivered to one worker. NoCompute marks
@@ -205,6 +207,54 @@ func decodeBatch(payload []byte) (uint32, uint8, []routedUpdate, error) {
 		return 0, 0, nil, err
 	}
 	return seq, flags, updates, nil
+}
+
+// --- plain update-batch encoding (WAL payloads) ---
+
+// EncodeUpdates serializes one admitted update batch in the same wire
+// form the leader's routed sub-batches use, minus the routing envelope
+// (no seq/flags/no-compute). It is the payload format of the durability
+// WAL: the serving tier frames exactly the accepted-batch sequence
+// through internal/wal with this encoding.
+func EncodeUpdates(batch []engine.Update) []byte {
+	b := appendU32(nil, uint32(len(batch)))
+	for _, u := range batch {
+		b = append(b, byte(u.Kind))
+		b = appendU32(b, uint32(u.U))
+		b = appendU32(b, uint32(u.V))
+		b = appendF32(b, u.Weight)
+		b = appendU32(b, uint32(len(u.Features)))
+		b = appendVec(b, u.Features)
+	}
+	return b
+}
+
+// DecodeUpdates is the inverse of EncodeUpdates, with the same
+// truncation/overflow hardening as the routed-batch decoder.
+func DecodeUpdates(payload []byte) ([]engine.Update, error) {
+	r := &reader{b: payload}
+	// Each update occupies at least 17 bytes on the wire
+	// (kind + u + v + weight + featlen).
+	n := r.count(r.u32("count"), 17, "count")
+	if r.err != nil {
+		return nil, r.err
+	}
+	updates := make([]engine.Update, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		var u engine.Update
+		u.Kind = engine.UpdateKind(r.byte("kind"))
+		u.U = graph.VertexID(r.u32("u"))
+		u.V = graph.VertexID(r.u32("v"))
+		u.Weight = r.f32("weight")
+		if fl := r.u32("featlen"); fl > 0 {
+			u.Features = r.vec(int(fl), "features")
+		}
+		updates = append(updates, u)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return updates, nil
 }
 
 // --- halo delta encoding (Ripple) ---

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ripple/internal/engine"
+	"ripple/internal/gnn"
 	"ripple/internal/graph"
 	"ripple/internal/tensor"
 )
@@ -84,6 +85,18 @@ func FuzzCodecRoundTrip(f *testing.F) {
 	f.Add(kindHalo, appendU32(appendU32(appendU32(nil, 1), 0x7FFFFFFF), 0x80000000))
 	// Same wrap shape against the delta decoder (seq, classes, count).
 	f.Add(kindDelta, appendU32(appendU32(appendU32(nil, 1), 0x7FFFFFFF), 0x80000000))
+	// kindCkptState: a barrier-checkpoint partition payload, plus a
+	// geometry/length mismatch that must be rejected before allocation.
+	ckptEmb := gnn.NewEmbeddings(3, []int{2, 2})
+	ckptEmb.H[1][1][0] = 4.5
+	f.Add(kindCkptState, encodeCkptState(3, ckptEmb))
+	f.Add(kindCkptState, appendU32(appendU32(appendU32(appendU32(appendU32(nil, 1), 2), 4), 4), 0x7FFFFFFF))
+	// The WAL payload codec (byte 0 is not a wire kind; it routes the
+	// fuzzer at EncodeUpdates/DecodeUpdates).
+	f.Add(byte(0), EncodeUpdates([]engine.Update{
+		{Kind: engine.EdgeAdd, U: 1, V: 2, Weight: 1.5},
+		{Kind: engine.FeatureUpdate, U: 3, Features: tensor.Vector{0.25, -1, 3.5}},
+	}))
 
 	f.Fuzz(func(t *testing.T, kind byte, payload []byte) {
 		switch kind {
@@ -154,6 +167,38 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			}
 			if enc2 := encodeDelta(seq2, classes2, rows2); !bytes.Equal(enc, enc2) {
 				t.Fatal("delta encoding not canonical")
+			}
+		case kindCkptState:
+			seq, emb, err := decodeCkptState(payload)
+			if err != nil {
+				return
+			}
+			enc := encodeCkptState(seq, emb)
+			seq2, emb2, err := decodeCkptState(enc)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if seq2 != seq || emb2.N != emb.N || emb2.MaxAbsDiff(emb) != 0 {
+				t.Fatal("ckpt-state re-decode mismatch")
+			}
+			if enc2 := encodeCkptState(seq2, emb2); !bytes.Equal(enc, enc2) {
+				t.Fatal("ckpt-state encoding not canonical")
+			}
+		case 0:
+			ups, err := DecodeUpdates(payload)
+			if err != nil {
+				return
+			}
+			enc := EncodeUpdates(ups)
+			ups2, err := DecodeUpdates(enc)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if len(ups2) != len(ups) {
+				t.Fatal("updates re-decode mismatch")
+			}
+			if enc2 := EncodeUpdates(ups2); !bytes.Equal(enc, enc2) {
+				t.Fatal("updates encoding not canonical")
 			}
 		case kindDone:
 			st, err := decodeDone(payload)

@@ -171,7 +171,7 @@ func (w *Worker) Run() error {
 		// can outrun the leader's batch message on independent TCP links;
 		// buffer it instead of treating it as a protocol error.
 		msg, err := w.nextMessage(func(m transport.Message) bool {
-			return m.Kind == kindBatch || m.Kind == kindShutdown
+			return m.Kind == kindBatch || m.Kind == kindShutdown || m.Kind == kindCkpt
 		})
 		if err != nil {
 			return fmt.Errorf("cluster: worker %d recv: %w", w.rank, err)
@@ -179,6 +179,22 @@ func (w *Worker) Run() error {
 		switch msg.Kind {
 		case kindShutdown:
 			return nil
+		case kindCkpt:
+			// Barrier checkpoint: serialize this partition's embedding
+			// state for the leader's manifest. Arrives only between
+			// batches, so the reply is an epoch-consistent cut.
+			r := &reader{b: msg.Payload}
+			seq := r.u32("seq")
+			if err := r.done(); err == nil {
+				err = w.conn.Send(w.leaderRank, kindCkptState, encodeCkptState(seq, w.st.emb))
+			}
+			if err != nil {
+				sendErr := w.conn.Send(w.leaderRank, kindError, []byte(fmt.Sprintf("worker %d: %v", w.rank, err)))
+				if sendErr != nil {
+					return fmt.Errorf("cluster: worker %d: %v (and report failed: %w)", w.rank, err, sendErr)
+				}
+				return fmt.Errorf("cluster: worker %d: %w", w.rank, err)
+			}
 		case kindBatch:
 			seq, flags, updates, err := decodeBatch(msg.Payload)
 			if err == nil {

@@ -161,6 +161,16 @@ func (r *Ripple) EnableLabelTracking() { r.cfg.TrackLabels = true }
 // Graph exposes the engine-owned graph for read-only inspection.
 func (r *Ripple) Graph() *graph.Graph { return r.g }
 
+// Model exposes the engine's model. A restart path needs it (plus the
+// engine's Config) to reload a checkpoint of this engine via LoadRipple.
+func (r *Ripple) Model() *gnn.Model { return r.model }
+
+// Config returns a copy of the engine's resolved configuration, so a
+// recovery path can rebuild an engine with identical behaviour knobs
+// (shards, serial mode, pruning, label tracking) — the preconditions for
+// bit-identical replay.
+func (r *Ripple) Config() Config { return r.cfg }
+
 // Embeddings exposes the engine-owned embedding state for read-only
 // inspection (e.g. label lookups by a serving layer).
 func (r *Ripple) Embeddings() *gnn.Embeddings { return r.emb }
@@ -271,22 +281,31 @@ func validateBatch(g *graph.Graph, featDim int, batch []Update) error {
 	return nil
 }
 
-// ApplyBatch applies one batch of streaming updates and incrementally
-// refreshes all affected embeddings. It implements the paper's two
-// operators: update (hop-0 state changes + hop-1 seeding) and propagate
-// (apply/compute per hop). On validation error the state is untouched.
-func (r *Ripple) ApplyBatch(batch []Update) (BatchResult, error) {
+// ValidateBatch checks batch against this engine's full admission rules —
+// the tombstone check plus the topology/shape validation — without
+// touching any state. It accepts exactly the batches ApplyBatch would
+// apply; the durability WAL relies on this to log a batch before applying
+// it, knowing the apply cannot then be rejected.
+func (r *Ripple) ValidateBatch(batch []Update) error {
 	if r.removed != nil {
 		for i, upd := range batch {
 			if r.Removed(upd.U) || (upd.Kind != FeatureUpdate && r.Removed(upd.V)) {
 				// RemoveVertex's own cleanup batch is exempt: it zeroes the
 				// features before the tombstone is set, so it never hits
 				// this path.
-				return BatchResult{}, fmt.Errorf("batch[%d]: %w", i, ErrVertexRemoved)
+				return fmt.Errorf("batch[%d]: %w", i, ErrVertexRemoved)
 			}
 		}
 	}
-	if err := validateBatch(r.g, r.model.Dims[0], batch); err != nil {
+	return validateBatch(r.g, r.model.Dims[0], batch)
+}
+
+// ApplyBatch applies one batch of streaming updates and incrementally
+// refreshes all affected embeddings. It implements the paper's two
+// operators: update (hop-0 state changes + hop-1 seeding) and propagate
+// (apply/compute per hop). On validation error the state is untouched.
+func (r *Ripple) ApplyBatch(batch []Update) (BatchResult, error) {
+	if err := r.ValidateBatch(batch); err != nil {
 		return BatchResult{}, err
 	}
 	res := BatchResult{Updates: len(batch), FrontierPerHop: make([]int, r.model.L())}

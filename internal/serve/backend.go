@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"io"
 
 	"ripple/internal/engine"
 	"ripple/internal/graph"
@@ -103,3 +104,14 @@ func (b *engineBackend) ApplyBatch(batch []engine.Update) (engine.BatchResult, [
 
 // Shards reports the wrapped engine's mailbox shard count for Stats.
 func (b *engineBackend) Shards() int { return b.eng.Shards() }
+
+// ValidateBatch implements the durable-serving face: it accepts exactly
+// the batches the engine's ApplyBatch would apply (tombstones included),
+// so the WAL can log a batch before applying it.
+func (b *engineBackend) ValidateBatch(batch []engine.Update) error {
+	return b.eng.ValidateBatch(batch)
+}
+
+// SaveCheckpoint serializes the engine's full state (topology,
+// embeddings, aggregates, tombstones) via the engine checkpoint format.
+func (b *engineBackend) SaveCheckpoint(w io.Writer) error { return b.eng.Save(w) }

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync/atomic"
 
 	"ripple/internal/cluster"
@@ -73,8 +74,28 @@ func (b *clusterBackend) Bootstrap() ([]int32, []tensor.Vector, int) {
 	return labels, final, b.classes
 }
 
+// ValidateBatch implements the durable-serving face against the leader's
+// shadow topology — the same check ApplyBatch runs first, so a batch the
+// WAL logs can never be rejected when it is applied or replayed.
+func (b *clusterBackend) ValidateBatch(batch []engine.Update) error {
+	return engine.ValidateBatch(b.shadow, b.featDim, batch)
+}
+
+// SaveCheckpoint implements the durable-serving face: the leader runs the
+// barrier checkpoint — every worker serializes its partition — and writes
+// one manifest holding the topology, the placement and the gathered
+// embedding state. Serialised with ApplyBatch by the Server's write lock,
+// so the cut is epoch-consistent.
+func (b *clusterBackend) SaveCheckpoint(w io.Writer) error {
+	emb, err := b.c.CheckpointEmbeddings()
+	if err != nil {
+		return err
+	}
+	return cluster.WriteManifest(w, b.shadow, b.c.Ownership(), emb)
+}
+
 func (b *clusterBackend) ApplyBatch(batch []engine.Update) (engine.BatchResult, []Row, error) {
-	if err := engine.ValidateBatch(b.shadow, b.featDim, batch); err != nil {
+	if err := b.ValidateBatch(batch); err != nil {
 		return engine.BatchResult{}, nil, err
 	}
 	// Row widths need no re-check here: the leader rejects cross-rank

@@ -1,0 +1,319 @@
+package serve
+
+// The durability subsystem: everything the paper's serving state is —
+// the accumulated product of every update batch since bootstrap — is
+// expensive to rebuild, so a durable Server persists two things under
+// Config.DataDir:
+//
+//   - A write-ahead log (internal/wal) of the admitted-batch sequence:
+//     on the admission path each batch is validated, appended to the WAL
+//     (framed with the cluster codec's batch encoding), and only then
+//     applied. Exactly the batches that produced epochs are durable.
+//   - Epoch-consistent checkpoints: the backend serializes its full
+//     state (engine checkpoint, or the cluster's leader-coordinated
+//     barrier manifest) at a published epoch, after which the WAL
+//     segments that checkpoint covers are deleted — steady-state disk is
+//     O(one checkpoint + batches since it).
+//
+// Open reverses the two: load the newest valid checkpoint, replay the
+// WAL tail through the normal Backend.ApplyBatch path (re-deriving
+// snapshots, stats and trigger state), and resume at the exact pre-crash
+// epoch — bit-identical labels/logits to an uninterrupted run. A torn
+// tail record (the crash interrupted an append) is detected by the WAL's
+// CRC framing and discarded: that batch never produced an epoch, so
+// discarding it is the correct history.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ripple/internal/cluster"
+	"ripple/internal/engine"
+	"ripple/internal/wal"
+)
+
+// validatingBackend is the Backend face a durable server requires for
+// the WAL admission path: the batch must be proven admissible before it
+// is logged, so the log holds exactly the batches that will apply.
+type validatingBackend interface {
+	// ValidateBatch accepts exactly the batches ApplyBatch would apply,
+	// without touching state.
+	ValidateBatch(batch []engine.Update) error
+}
+
+// durableBackend is the Backend face a durable server requires for
+// checkpoints: a full-state serialization a future process can hand back
+// through Open's load callback.
+type durableBackend interface {
+	// SaveCheckpoint serializes the backend's complete state at the
+	// current (quiescent) epoch. For the cluster backend this runs the
+	// leader-coordinated barrier checkpoint.
+	SaveCheckpoint(w io.Writer) error
+}
+
+// Serve-level checkpoint files wrap the backend payload with an envelope
+// recording the published epoch the state belongs to.
+const ckptMagic = "RIPPLSCK"
+const ckptVersion = 1
+const ckptSuffix = ".ckpt"
+
+// ErrBadCheckpointFile wraps envelope-level checkpoint corruption.
+var ErrBadCheckpointFile = errors.New("serve: invalid checkpoint file")
+
+func checkpointPath(dir string, epoch uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%016x%s", epoch, ckptSuffix))
+}
+
+// listCheckpoints returns the epoch of every checkpoint file in dir,
+// newest first.
+func listCheckpoints(dir string) []uint64 {
+	return wal.ListEpochFiles(dir, "ckpt-", ckptSuffix)
+}
+
+// writeCheckpointHeader / readCheckpointHeader frame the backend payload.
+func writeCheckpointHeader(w io.Writer, epoch uint64) error {
+	var hdr [20]byte
+	copy(hdr[:], ckptMagic)
+	putU32 := func(off int, v uint32) {
+		hdr[off], hdr[off+1], hdr[off+2], hdr[off+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	putU32(8, ckptVersion)
+	putU32(12, uint32(epoch))
+	putU32(16, uint32(epoch>>32))
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+func readCheckpointHeader(r io.Reader) (uint64, error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: truncated header: %v", ErrBadCheckpointFile, err)
+	}
+	if string(hdr[:8]) != ckptMagic {
+		return 0, fmt.Errorf("%w: bad magic", ErrBadCheckpointFile)
+	}
+	u32 := func(off int) uint64 {
+		return uint64(hdr[off]) | uint64(hdr[off+1])<<8 | uint64(hdr[off+2])<<16 | uint64(hdr[off+3])<<24
+	}
+	if v := u32(8); v != ckptVersion {
+		return 0, fmt.Errorf("%w: version %d, want %d", ErrBadCheckpointFile, v, ckptVersion)
+	}
+	return u32(12) | u32(16)<<32, nil
+}
+
+// loadNewestCheckpoint hands the newest readable checkpoint payload to
+// the load callback, falling back to older checkpoints on failure (a
+// crash mid-checkpoint never leaves a half-written file — they go
+// through wal.WriteFileAtomic — but a corrupted disk can). With no
+// checkpoint file at all, load(nil) asks the caller for bootstrap state;
+// if checkpoints EXIST but none loads, Open fails instead — the WAL
+// behind them was truncated, so bootstrapping would silently serve a
+// state missing the checkpointed history.
+func loadNewestCheckpoint(dir string, load func(io.Reader) (Backend, error)) (uint64, Backend, bool, error) {
+	epochs := listCheckpoints(dir)
+	var firstErr error
+	for _, epoch := range epochs {
+		backend, err := func() (Backend, error) {
+			f, err := os.Open(checkpointPath(dir, epoch))
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			hdrEpoch, err := readCheckpointHeader(f)
+			if err != nil {
+				return nil, err
+			}
+			if hdrEpoch != epoch {
+				return nil, fmt.Errorf("%w: file named for epoch %d holds epoch %d", ErrBadCheckpointFile, epoch, hdrEpoch)
+			}
+			return load(f)
+		}()
+		if err == nil {
+			return epoch, backend, true, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return 0, nil, false, fmt.Errorf("serve: %d checkpoint file(s) present but none loadable (newest: %w); refusing to serve bootstrap state over checkpointed history", len(epochs), firstErr)
+	}
+	backend, err := load(nil)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	return 0, backend, false, nil
+}
+
+// Open builds a durable Server under cfg.DataDir: it loads the newest
+// valid checkpoint (handing its payload to load; load(nil) must return
+// the backend in bootstrap state), replays the WAL tail through the
+// normal apply path — Config.OnBatch observes the replayed batches and
+// Stats/trigger state are re-derived — and resumes at the exact pre-crash
+// epoch. The returned server appends every subsequently admitted batch to
+// the WAL before applying it.
+//
+// Recovering from a WAL with no checkpoint assumes load(nil) rebuilds the
+// identical bootstrap state the log was written over (deterministic
+// regeneration); a checkpoint removes that assumption.
+func Open(load func(ckpt io.Reader) (Backend, error), cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if load == nil {
+		return nil, errors.New("serve: Open requires a backend loader")
+	}
+	if cfg.DataDir == "" {
+		return nil, errors.New("serve: Open requires Config.DataDir")
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: creating data dir: %w", err)
+	}
+	// A crash mid-checkpoint can strand a temp file; it holds nothing the
+	// envelope protocol admits, so clear it.
+	if strays, err := filepath.Glob(filepath.Join(cfg.DataDir, "*.tmp")); err == nil {
+		for _, stray := range strays {
+			os.Remove(stray)
+		}
+	}
+
+	epoch, backend, hasCkpt, err := loadNewestCheckpoint(cfg.DataDir, load)
+	if err != nil {
+		return nil, err
+	}
+	closeBackend := func() {
+		if c, ok := backend.(io.Closer); ok {
+			c.Close()
+		}
+	}
+	if _, ok := backend.(validatingBackend); !ok {
+		closeBackend()
+		return nil, errors.New("serve: backend cannot pre-validate batches; durability requires ValidateBatch")
+	}
+	if _, ok := backend.(durableBackend); !ok {
+		closeBackend()
+		return nil, errors.New("serve: backend cannot checkpoint; durability requires SaveCheckpoint")
+	}
+	s, err := newServer(backend, cfg, epoch)
+	if err != nil {
+		closeBackend()
+		return nil, err
+	}
+	s.hasCkpt = hasCkpt
+	s.lastCkpt.Store(epoch)
+
+	w, err := wal.Open(filepath.Join(cfg.DataDir, "wal"), wal.Config{
+		SegmentBytes: cfg.SegmentBytes,
+		Fsync:        cfg.Fsync,
+	})
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	// Replay the tail: every admitted batch after the checkpoint, in
+	// epoch order, through the normal apply path. s.wal is still nil, so
+	// replayed batches are not re-appended.
+	s.recovering.Store(true)
+	err = w.Replay(epoch, s.replayRecord)
+	s.recovering.Store(false)
+	if err != nil {
+		w.Close()
+		s.Close()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.wal = w
+	s.mu.Unlock()
+	return s, nil
+}
+
+// replayRecord re-applies one WAL record during recovery. The record was
+// validated before it was logged, so a rejection here (or an epoch
+// desync) means the log and the checkpoint disagree — recovery fails
+// loudly rather than serving a diverged history.
+func (s *Server) replayRecord(epoch uint64, payload []byte) error {
+	batch, err := cluster.DecodeUpdates(payload)
+	if err != nil {
+		return fmt.Errorf("serve: wal record for epoch %d: %w", epoch, err)
+	}
+	if _, err := s.applyLocked(batch); err != nil {
+		return fmt.Errorf("serve: replaying wal record for epoch %d: %w", epoch, err)
+	}
+	if got := s.cur.Load().epoch; got != epoch {
+		return fmt.Errorf("serve: wal replay desync: record for epoch %d published epoch %d", epoch, got)
+	}
+	s.recovered.Add(1)
+	return nil
+}
+
+// CheckpointStats describes a completed checkpoint: the epoch it cut,
+// its file size, and the WAL footprint left after truncation.
+type CheckpointStats struct {
+	Epoch       uint64 `json:"epoch"`
+	Bytes       int64  `json:"bytes"`
+	WALBytes    int64  `json:"wal_bytes"`
+	WALSegments int    `json:"wal_segments"`
+}
+
+// Checkpoint serializes the backend's state at the current epoch,
+// durably replaces the previous checkpoint, and truncates the WAL
+// segments the new checkpoint covers. Serialised with the write path: the
+// saved state is an epoch-consistent cut (for the cluster backend, via
+// the leader's barrier). If the current epoch is already checkpointed
+// this is a no-op.
+func (s *Server) Checkpoint() (CheckpointStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+func (s *Server) checkpointLocked() (CheckpointStats, error) {
+	s.sinceCkpt = 0
+	if s.wal == nil {
+		return CheckpointStats{}, errors.New("serve: server is not durable (no data dir)")
+	}
+	if s.failed.Load() {
+		return CheckpointStats{}, ErrBackendFailed
+	}
+	epoch := s.cur.Load().epoch
+	path := checkpointPath(s.cfg.DataDir, epoch)
+	if epoch == s.lastCkpt.Load() && s.hasCkpt {
+		st := s.wal.Stats()
+		info, err := os.Stat(path)
+		if err != nil {
+			return CheckpointStats{}, err
+		}
+		return CheckpointStats{Epoch: epoch, Bytes: info.Size(), WALBytes: st.Bytes, WALSegments: st.Segments}, nil
+	}
+
+	db := s.backend.(durableBackend) // interface checked at Open
+	err := wal.WriteFileAtomic(path, func(w io.Writer) error {
+		if err := writeCheckpointHeader(w, epoch); err != nil {
+			return err
+		}
+		return db.SaveCheckpoint(w)
+	})
+	if err != nil {
+		return CheckpointStats{}, fmt.Errorf("serve: writing checkpoint: %w", err)
+	}
+
+	// The checkpoint is durable; everything it covers is dead weight.
+	if err := s.wal.MarkCheckpoint(epoch); err != nil {
+		return CheckpointStats{}, err
+	}
+	for _, old := range listCheckpoints(s.cfg.DataDir) {
+		if old != epoch {
+			os.Remove(checkpointPath(s.cfg.DataDir, old))
+		}
+	}
+	s.hasCkpt = true
+	s.lastCkpt.Store(epoch)
+
+	st := s.wal.Stats()
+	out := CheckpointStats{Epoch: epoch, WALBytes: st.Bytes, WALSegments: st.Segments}
+	if info, err := os.Stat(path); err == nil {
+		out.Bytes = info.Size()
+	}
+	return out, nil
+}

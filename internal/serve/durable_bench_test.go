@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ripple/internal/dataset"
+	"ripple/internal/engine"
+	"ripple/internal/gnn"
+)
+
+// BenchmarkRecovery measures serve.Open's full recovery path at serving
+// scale — 100k vertices (arxiv shape) — from a crash image holding one
+// checkpoint plus a WAL tail: checkpoint load, engine reconstruction,
+// and tail replay through the normal apply path. The reported
+// replayed-batches/op metric is the tail length each op re-derived.
+func BenchmarkRecovery(b *testing.B) {
+	const (
+		scale      = 0.6 // 169343 × 0.6 ≈ 100k vertices
+		batchSize  = 64
+		total      = 48 // batches streamed before the crash
+		ckptAfter  = 16 // checkpoint position: 32-batch replay tail
+		hiddenDim  = 32
+		walSegSize = 64 << 20
+	)
+	spec, err := dataset.ByName("arxiv", scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := dataset.Build(spec, dataset.StreamConfig{Total: total * batchSize, HoldoutFrac: 0.1, Seed: spec.Seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := gnn.NewWorkload("GC-S", []int{spec.FeatureDim, hiddenDim, spec.NumClasses}, spec.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loader := func(ckpt io.Reader) (Backend, error) {
+		if ckpt != nil {
+			eng, err := engine.LoadRipple(ckpt, model, engine.Config{})
+			if err != nil {
+				return nil, err
+			}
+			return NewEngineBackend(eng)
+		}
+		g := wl.CloneSnapshot()
+		emb, err := gnn.Forward(g, model, wl.Features)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := engine.NewRipple(g, model, emb, engine.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return NewEngineBackend(eng)
+	}
+
+	// Build the crash image once: bootstrap, stream, checkpoint mid-way,
+	// abandon without Close so the WAL tail survives.
+	image := b.TempDir()
+	srv, err := Open(loader, Config{DataDir: image, SegmentBytes: walSegSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := wl.Batches(batchSize)
+	if len(batches) > total {
+		batches = batches[:total]
+	}
+	for i, batch := range batches {
+		if _, err := srv.Apply(batch); err != nil {
+			b.Fatalf("batch %d: %v", i, err)
+		}
+		if i+1 == ckptAfter {
+			if _, err := srv.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Deliberately no srv.Close(): a close would checkpoint the tail away.
+
+	var replayed int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		benchCopyDir(b, image, dir)
+		b.StartTimer()
+		rsrv, err := Open(loader, Config{DataDir: dir, SegmentBytes: walSegSize})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		st := rsrv.Stats()
+		replayed += st.RecoveredBatches
+		if st.Epoch != uint64(len(batches)) {
+			b.Fatalf("recovered to epoch %d, want %d", st.Epoch, len(batches))
+		}
+		// Skip Close's final checkpoint: the image copy is discarded.
+		rsrv.batcher.Close()
+		rsrv.mu.Lock()
+		rsrv.closed = true
+		rsrv.wal.Close()
+		rsrv.mu.Unlock()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(replayed)/float64(b.N), "replayed-batches/op")
+}
+
+func benchCopyDir(b *testing.B, src, dst string) {
+	b.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

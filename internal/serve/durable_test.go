@@ -1,0 +1,563 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ripple/internal/cluster"
+	"ripple/internal/engine"
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/partition"
+	"ripple/internal/tensor"
+)
+
+// The durability suite. The central property — crash equivalence — is
+// the ISSUE's acceptance criterion: for ANY prefix of the WAL (including
+// mid-record torn writes), recovering from the newest checkpoint plus the
+// surviving tail and then replaying the remaining stream must end in a
+// state bit-identical to an uninterrupted run: same epoch, same labels,
+// same logits, same trigger history. Both backends are held to it.
+
+// durWorld freezes a bootstrap state and pre-draws the whole admitted
+// stream, so reference runs, durable runs and recovery runs all consume
+// identical history.
+type durWorld struct {
+	t       *testing.T
+	model   *gnn.Model
+	bootG   *graph.Graph
+	bootX   []tensor.Vector
+	batches [][]engine.Update
+}
+
+func newDurWorld(t *testing.T, n, m, nbatch, maxK int, seed int64) *durWorld {
+	t.Helper()
+	w := newConfWorld(t, n, m, seed)
+	bootG := w.g.Clone()
+	bootX := make([]tensor.Vector, len(w.x))
+	for i := range bootX {
+		bootX[i] = w.x[i].Clone()
+	}
+	batches := make([][]engine.Update, 0, nbatch)
+	for b := 0; b < nbatch; b++ {
+		batches = append(batches, w.batch(1+w.rng.Intn(maxK)))
+	}
+	return &durWorld{t: t, model: w.model, bootG: bootG, bootX: bootX, batches: batches}
+}
+
+// engineLoader is the recovery callback for a single-node deployment:
+// reload the engine checkpoint, or redo the deterministic bootstrap.
+func (w *durWorld) engineLoader() func(io.Reader) (Backend, error) {
+	return func(ckpt io.Reader) (Backend, error) {
+		if ckpt != nil {
+			eng, err := engine.LoadRipple(ckpt, w.model, engine.Config{})
+			if err != nil {
+				return nil, err
+			}
+			return NewEngineBackend(eng)
+		}
+		g := w.bootG.Clone()
+		emb, err := gnn.Forward(g, w.model, w.bootX)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := engine.NewRipple(g, w.model, emb, engine.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return NewEngineBackend(eng)
+	}
+}
+
+// clusterLoader is the recovery callback for a distributed deployment:
+// rebuild the cluster from the barrier manifest (no forward pass), or
+// bootstrap and partition from scratch.
+func (w *durWorld) clusterLoader(k int) func(io.Reader) (Backend, error) {
+	return func(ckpt io.Reader) (Backend, error) {
+		if ckpt != nil {
+			g, assign, emb, err := cluster.LoadManifest(ckpt)
+			if err != nil {
+				return nil, err
+			}
+			c, err := cluster.NewLocal(cluster.LocalConfig{
+				Graph: g, Model: w.model, Embeddings: emb,
+				Assignment: assign, Strategy: cluster.StratRipple,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return NewClusterBackend(c, g)
+		}
+		g := w.bootG.Clone()
+		emb, err := gnn.Forward(g, w.model, w.bootX)
+		if err != nil {
+			return nil, err
+		}
+		assign, err := partition.ByName("hash", g, k)
+		if err != nil {
+			return nil, err
+		}
+		c, err := cluster.NewLocal(cluster.LocalConfig{
+			Graph: g, Model: w.model, Embeddings: emb,
+			Assignment: assign, Strategy: cluster.StratRipple,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return NewClusterBackend(c, g)
+	}
+}
+
+// copyDir clones a data directory (one level of subdirectories, which is
+// all the durability layout uses).
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flipCollector accumulates the per-epoch trigger history via OnBatch.
+type flipCollector struct {
+	perEpoch [][]engine.LabelChange
+}
+
+func (c *flipCollector) observe(res engine.BatchResult, err error) {
+	if err == nil {
+		c.perEpoch = append(c.perEpoch, append([]engine.LabelChange(nil), res.LabelChanges...))
+	}
+}
+
+func sameFlips(a, b [][]engine.LabelChange) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// assertBitIdentical compares two snapshots row by row, exactly — no
+// tolerance: recovery replays the same deterministic pipeline, so even
+// the float accumulation order is reproduced.
+func assertBitIdentical(t *testing.T, got, want *Snapshot, ctx string) {
+	t.Helper()
+	if got.Epoch() != want.Epoch() {
+		t.Fatalf("%s: epoch %d, want %d", ctx, got.Epoch(), want.Epoch())
+	}
+	if got.NumVertices() != want.NumVertices() {
+		t.Fatalf("%s: %d vertices, want %d", ctx, got.NumVertices(), want.NumVertices())
+	}
+	for v := 0; v < want.NumVertices(); v++ {
+		id := vid(v)
+		if got.Label(id) != want.Label(id) {
+			t.Fatalf("%s: vertex %d label %d, want %d", ctx, v, got.Label(id), want.Label(id))
+		}
+		gl, wl := got.Embedding(id), want.Embedding(id)
+		for c := range wl {
+			if gl[c] != wl[c] {
+				t.Fatalf("%s: vertex %d logit %d = %v, want %v (not bit-identical)", ctx, v, c, gl[c], wl[c])
+			}
+		}
+	}
+}
+
+// runCrashEquivalence drives the property: build a reference run, a
+// durable run crash-imaged after the full stream (with a checkpoint cut
+// at ckptAfter batches; 0 = crash before any checkpoint), then for WAL
+// truncation points every `step` bytes (plus the exact end and a
+// one-byte tear) recover, replay the remaining stream, and demand bit
+// identity.
+func runCrashEquivalence(t *testing.T, w *durWorld, loader func(io.Reader) (Backend, error), ckptAfter int, step int) {
+	t.Helper()
+	M := len(w.batches)
+
+	// Reference: one uninterrupted, non-durable run.
+	refBackend, err := loader(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refFlips flipCollector
+	refSrv, err := NewBackend(refBackend, Config{OnBatch: refFlips.observe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(refSrv.Close)
+	for i, b := range w.batches {
+		if _, err := refSrv.Apply(b); err != nil {
+			t.Fatalf("reference batch %d: %v", i, err)
+		}
+	}
+	refSnap := refSrv.Snapshot()
+
+	// Durable run: same stream, then image the data dir as a crash would
+	// leave it (no Close, no final checkpoint).
+	dir := t.TempDir()
+	dsrv, err := Open(loader, Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range w.batches {
+		if _, err := dsrv.Apply(b); err != nil {
+			t.Fatalf("durable batch %d: %v", i, err)
+		}
+		if i+1 == ckptAfter {
+			if _, err := dsrv.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint after batch %d: %v", i, err)
+			}
+		}
+	}
+	image := t.TempDir()
+	copyDir(t, dir, image)
+	dsrv.Close()
+
+	segs, err := filepath.Glob(filepath.Join(image, "wal", "*.wal"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("crash image holds %d WAL segments (%v), expected 1", len(segs), err)
+	}
+	full, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	segName := filepath.Base(segs[0])
+
+	cuts := []int{len(full), len(full) - 1, 0}
+	for cut := step; cut < len(full); cut += step {
+		cuts = append(cuts, cut)
+	}
+	sawFull, sawPartial := false, false
+	for _, cut := range cuts {
+		cdir := t.TempDir()
+		copyDir(t, image, cdir)
+		if err := os.Truncate(filepath.Join(cdir, "wal", segName), int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		var flips flipCollector
+		rsrv, err := Open(loader, Config{DataDir: cdir, OnBatch: flips.observe})
+		if err != nil {
+			t.Fatalf("cut %d/%d: recovery failed: %v", cut, len(full), err)
+		}
+		e := int(rsrv.Snapshot().Epoch())
+		if e < ckptAfter || e > M {
+			t.Fatalf("cut %d: recovered to epoch %d outside [%d,%d]", cut, e, ckptAfter, M)
+		}
+		if e == M {
+			sawFull = true
+		} else {
+			sawPartial = true
+		}
+		if st := rsrv.Stats(); st.RecoveredBatches != int64(e-ckptAfter) {
+			t.Fatalf("cut %d: stats report %d recovered batches, epoch says %d", cut, st.RecoveredBatches, e-ckptAfter)
+		}
+		// Replay the remaining stream — the batches whose epochs the
+		// crash destroyed — through the normal write path.
+		for i, b := range w.batches[e:] {
+			if _, err := rsrv.Apply(b); err != nil {
+				t.Fatalf("cut %d: re-applying batch %d: %v", cut, e+i, err)
+			}
+		}
+		assertBitIdentical(t, rsrv.Snapshot(), refSnap, "cut "+segName)
+		// Trigger history: replayed + re-applied flips must be the
+		// reference's, epoch for epoch, from the checkpoint on.
+		if !sameFlips(flips.perEpoch, refFlips.perEpoch[ckptAfter:]) {
+			t.Fatalf("cut %d: trigger history diverges from reference", cut)
+		}
+		rsrv.Close()
+	}
+	if !sawFull || !sawPartial {
+		t.Fatalf("cut schedule did not cover both full (%v) and torn (%v) recovery", sawFull, sawPartial)
+	}
+}
+
+func TestCrashEquivalenceEngine(t *testing.T) {
+	w := newDurWorld(t, 60, 240, 9, 5, 101)
+	runCrashEquivalence(t, w, w.engineLoader(), 3, 23)
+}
+
+func TestCrashEquivalenceEngineNoCheckpoint(t *testing.T) {
+	w := newDurWorld(t, 40, 160, 6, 4, 103)
+	runCrashEquivalence(t, w, w.engineLoader(), 0, 61)
+}
+
+func TestCrashEquivalenceCluster(t *testing.T) {
+	w := newDurWorld(t, 48, 200, 6, 4, 107)
+	runCrashEquivalence(t, w, w.clusterLoader(3), 2, 211)
+}
+
+// TestCheckpointTruncatesWAL pins the steady-state disk bound: with
+// periodic checkpoints the on-disk footprint is one checkpoint plus the
+// batches since it — the WAL never grows with total history, and old
+// checkpoints are pruned.
+func TestCheckpointTruncatesWAL(t *testing.T) {
+	w := newDurWorld(t, 40, 160, 24, 3, 109)
+	srv, err := Open(w.engineLoader(), Config{DataDir: t.TempDir(), CheckpointEvery: 4, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var walPeak, intervalPeak int64
+	for i, b := range w.batches {
+		if _, err := srv.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+		st := srv.Stats()
+		if st.WALBytes > walPeak {
+			walPeak = st.WALBytes
+		}
+		if i < 4 && st.WALBytes > intervalPeak {
+			intervalPeak = st.WALBytes // footprint of one full interval
+		}
+		if (i+1)%4 == 0 {
+			if st.WALBytes != 0 {
+				t.Fatalf("after auto checkpoint at batch %d: %d live WAL bytes", i+1, st.WALBytes)
+			}
+			if st.LastCheckpointEpoch != uint64(i+1) {
+				t.Fatalf("after batch %d: last checkpoint epoch %d", i+1, st.LastCheckpointEpoch)
+			}
+		}
+	}
+	// The WAL never outgrew O(batches since the last checkpoint): across
+	// 6 checkpoint intervals its peak stayed within one interval's bytes
+	// (×2 slack for batch-size variance), never O(total history).
+	if walPeak == 0 || walPeak > 2*intervalPeak {
+		t.Fatalf("WAL peaked at %d bytes; one interval is %d — footprint grows with history", walPeak, intervalPeak)
+	}
+	if st := srv.Stats(); st.WALSegments > 2 {
+		t.Fatalf("steady state holds %d WAL segments", st.WALSegments)
+	}
+
+	// Exactly one checkpoint file lives on disk (older ones pruned).
+	ckpts, err := filepath.Glob(filepath.Join(srv.cfg.DataDir, "ckpt-*"+ckptSuffix))
+	if err != nil || len(ckpts) != 1 {
+		t.Fatalf("%d checkpoint files on disk (%v), want 1", len(ckpts), err)
+	}
+}
+
+// TestGracefulCloseNeedsZeroReplay: Close takes a clean final checkpoint,
+// so the next Open replays nothing.
+func TestGracefulCloseNeedsZeroReplay(t *testing.T) {
+	w := newDurWorld(t, 40, 160, 5, 4, 113)
+	dir := t.TempDir()
+	srv, err := Open(w.engineLoader(), Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range w.batches {
+		if _, err := srv.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := srv.Snapshot()
+	srv.Close()
+
+	srv2, err := Open(w.engineLoader(), Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	st := srv2.Stats()
+	if st.RecoveredBatches != 0 {
+		t.Fatalf("clean restart replayed %d batches", st.RecoveredBatches)
+	}
+	if st.LastCheckpointEpoch != uint64(len(w.batches)) {
+		t.Fatalf("clean restart resumed from checkpoint epoch %d, want %d", st.LastCheckpointEpoch, len(w.batches))
+	}
+	if st.WALBytes != 0 {
+		t.Fatalf("clean restart found %d live WAL bytes", st.WALBytes)
+	}
+	assertBitIdentical(t, srv2.Snapshot(), want, "clean restart")
+}
+
+// TestDurableRejectionsStayOut: a batch that fails validation must not
+// reach the WAL — recovery must not replay garbage — and the durable
+// server keeps the engine's rejection semantics (including the admission
+// queue's per-update salvage).
+func TestDurableRejectionsStayOut(t *testing.T) {
+	w := newDurWorld(t, 30, 120, 3, 3, 127)
+	dir := t.TempDir()
+	srv, err := Open(w.engineLoader(), Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range w.batches {
+		if _, err := srv.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad := []engine.Update{{Kind: engine.FeatureUpdate, U: vid(1000), Features: tensor.NewVector(w.model.Dims[0])}}
+	if _, err := srv.Apply(bad); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	st := srv.Stats()
+	if st.Rejected != 1 || st.Epoch != uint64(len(w.batches)) {
+		t.Fatalf("rejection accounting: %+v", st)
+	}
+	srv.Close()
+
+	srv2, err := Open(w.engineLoader(), Config{DataDir: dir})
+	if err != nil {
+		t.Fatalf("recovery after rejection: %v", err)
+	}
+	defer srv2.Close()
+	if got := srv2.Snapshot().Epoch(); got != uint64(len(w.batches)) {
+		t.Fatalf("recovered epoch %d, want %d", got, len(w.batches))
+	}
+}
+
+// TestOpenRefusesCorruptCheckpoint: when checkpoint files exist but none
+// loads, Open must fail — the WAL behind a checkpoint was truncated, so
+// silently falling back to bootstrap would serve a state missing the
+// checkpointed history as if nothing were wrong.
+func TestOpenRefusesCorruptCheckpoint(t *testing.T) {
+	w := newDurWorld(t, 30, 120, 4, 3, 137)
+	dir := t.TempDir()
+	srv, err := Open(w.engineLoader(), Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range w.batches {
+		if _, err := srv.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Close() // final checkpoint; WAL fully truncated
+
+	ckpts, err := filepath.Glob(filepath.Join(dir, "ckpt-*"+ckptSuffix))
+	if err != nil || len(ckpts) != 1 {
+		t.Fatalf("checkpoint files: %v (%v)", ckpts, err)
+	}
+	b, err := os.ReadFile(ckpts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff // break the envelope magic: the checkpoint no longer loads
+	if err := os.WriteFile(ckpts[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(w.engineLoader(), Config{DataDir: dir}); err == nil {
+		t.Fatal("Open served bootstrap state over an existing (corrupt) checkpoint")
+	}
+
+	// A truncated backend payload (structural corruption past the
+	// envelope) must refuse the same way.
+	if err := os.WriteFile(ckpts[0], append([]byte{}, b[:len(b)/2]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff // restore magic; payload is now half missing
+	if err := os.WriteFile(ckpts[0], b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(w.engineLoader(), Config{DataDir: dir}); err == nil {
+		t.Fatal("Open served bootstrap state over a truncated checkpoint")
+	}
+}
+
+// failingBackend wraps a real backend and fails ApplyBatch with an
+// infrastructure-class error once armed — validation still passes, so
+// the batch reaches the WAL before the apply fails.
+type failingBackend struct {
+	Backend
+	arm bool
+}
+
+func (f *failingBackend) ApplyBatch(batch []engine.Update) (engine.BatchResult, []Row, error) {
+	if f.arm {
+		return engine.BatchResult{}, nil, errors.New("injected infrastructure failure")
+	}
+	return f.Backend.ApplyBatch(batch)
+}
+func (f *failingBackend) ValidateBatch(batch []engine.Update) error {
+	return f.Backend.(interface {
+		ValidateBatch([]engine.Update) error
+	}).ValidateBatch(batch)
+}
+func (f *failingBackend) SaveCheckpoint(w io.Writer) error {
+	return f.Backend.(interface{ SaveCheckpoint(io.Writer) error }).SaveCheckpoint(w)
+}
+
+// TestInfraFailureDoesNotResurrectLoggedBatch: a batch that was logged
+// but whose apply failed with an infrastructure error was reported as
+// failed to its client — the WAL record must be withdrawn so recovery
+// does not silently apply it.
+func TestInfraFailureDoesNotResurrectLoggedBatch(t *testing.T) {
+	w := newDurWorld(t, 30, 120, 4, 3, 139)
+	dir := t.TempDir()
+	var fb *failingBackend
+	loader := func(ckpt io.Reader) (Backend, error) {
+		b, err := w.engineLoader()(ckpt)
+		if err != nil {
+			return nil, err
+		}
+		fb = &failingBackend{Backend: b}
+		return fb, nil
+	}
+	srv, err := Open(loader, Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range w.batches[:3] {
+		if _, err := srv.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fb.arm = true
+	if _, err := srv.Apply(w.batches[3]); !errors.Is(err, ErrBackendFailed) {
+		t.Fatalf("injected failure surfaced as %v, want ErrBackendFailed", err)
+	}
+	srv.Close() // failed backend: no final checkpoint; WAL is the truth
+
+	srv2, err := Open(w.engineLoader(), Config{DataDir: dir})
+	if err != nil {
+		t.Fatalf("recovery after infrastructure failure: %v", err)
+	}
+	defer srv2.Close()
+	st := srv2.Stats()
+	if st.Epoch != 3 || st.RecoveredBatches != 3 {
+		t.Fatalf("recovered to epoch %d with %d replayed — the failed batch was resurrected (want epoch 3)", st.Epoch, st.RecoveredBatches)
+	}
+}
+
+// TestNewBackendRejectsDataDir: the non-recovering constructors must not
+// silently ignore a durability config.
+func TestNewBackendRejectsDataDir(t *testing.T) {
+	w := newDurWorld(t, 20, 60, 1, 2, 131)
+	b, err := w.engineLoader()(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBackend(b, Config{DataDir: t.TempDir()}); err == nil {
+		t.Fatal("NewBackend accepted a DataDir")
+	}
+}
+
+// vid converts an int vertex index for readability in the tests above.
+func vid(v int) graph.VertexID { return graph.VertexID(v) }

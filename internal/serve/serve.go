@@ -36,9 +36,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ripple/internal/cluster"
 	"ripple/internal/engine"
 	"ripple/internal/graph"
 	"ripple/internal/tensor"
+	"ripple/internal/wal"
 )
 
 // Config tunes a Server. The zero value gets sensible defaults.
@@ -58,6 +60,23 @@ type Config struct {
 	// final frontier lands on, so smaller pages copy less per scattered
 	// frontier row at the cost of a larger page table. Default 256.
 	PageRows int
+
+	// DataDir, when set, makes the server durable: admitted batches are
+	// written ahead to a WAL under this directory and checkpoints replace
+	// the log periodically. Durable servers are built with Open (New and
+	// NewBackend reject a DataDir — they cannot recover prior state).
+	DataDir string
+	// Fsync syncs the WAL after every admitted batch. Off (the default),
+	// appends survive process death immediately and power loss only after
+	// the next checkpoint/rotation/close; recovery stays exact either way
+	// because torn tails are detected and discarded.
+	Fsync bool
+	// CheckpointEvery takes an automatic checkpoint (truncating the WAL)
+	// after this many applied batches. 0 disables automatic checkpoints:
+	// only Checkpoint calls and the final checkpoint in Close cut the log.
+	CheckpointEvery int
+	// SegmentBytes is the WAL's segment-rotation threshold (default 4 MiB).
+	SegmentBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +136,18 @@ type Stats struct {
 	ScatterHopsParallel int64 `json:"scatter_hops_parallel"`
 	ScatterHopsSerial   int64 `json:"scatter_hops_serial"`
 
+	// Durability counters (all zero for a non-durable server): the WAL's
+	// live on-disk footprint, the newest checkpoint's epoch, and how many
+	// logged batches the last Open replayed to reach the current state.
+	WALBytes            int64  `json:"wal_bytes"`
+	WALSegments         int    `json:"wal_segments"`
+	LastCheckpointEpoch uint64 `json:"last_checkpoint_epoch"`
+	RecoveredBatches    int64  `json:"recovered_batches"`
+	// Recovering is true while Open replays the WAL tail: the state is
+	// still behind the pre-crash epoch, so a health endpoint should report
+	// degraded until it clears.
+	Recovering bool `json:"recovering"`
+
 	// CommStats (embedded, so comm_bytes/comm_msgs/route_bytes/gather_bytes
 	// surface as top-level counters) holds the cumulative
 	// distributed-communication traffic of a cluster backend: worker
@@ -163,6 +194,16 @@ type Server struct {
 
 	batcher *engine.Batcher
 
+	// Durability state (nil/zero for non-durable servers). wal is set once
+	// by Open after the tail replay and never changes; it is only written
+	// through under mu.
+	wal        *wal.Log
+	hasCkpt    bool // a checkpoint file exists on disk (guarded by mu)
+	sinceCkpt  int  // batches applied since the last checkpoint (guarded by mu)
+	lastCkpt   atomic.Uint64
+	recovered  atomic.Int64
+	recovering atomic.Bool
+
 	batches     atomic.Int64
 	rejected    atomic.Int64
 	updates     atomic.Int64
@@ -189,12 +230,23 @@ func New(eng *engine.Ripple, cfg Config) (*Server, error) {
 
 // NewBackend wraps any serving backend and publishes the bootstrap
 // snapshot (epoch 0) from the backend's full table scan. The Server
-// becomes the backend's sole writer.
+// becomes the backend's sole writer. For a durable server (Config.DataDir)
+// use Open, which can recover prior state; NewBackend rejects the config.
 func NewBackend(backend Backend, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataDir != "" {
+		return nil, errors.New("serve: Config.DataDir requires Open (NewBackend cannot recover prior state)")
+	}
+	return newServer(backend, cfg, 0)
+}
+
+// newServer builds a Server whose first published snapshot — scanned from
+// the backend's current tables — carries the given epoch: 0 at bootstrap,
+// the checkpoint's epoch during recovery.
+func newServer(backend Backend, cfg Config, epoch uint64) (*Server, error) {
 	if backend == nil {
 		return nil, errors.New("serve: nil backend")
 	}
-	cfg = cfg.withDefaults()
 	s := &Server{
 		backend: backend,
 		cfg:     cfg,
@@ -202,7 +254,9 @@ func NewBackend(backend Backend, cfg Config) (*Server, error) {
 		subs:    map[int]chan engine.LabelChange{},
 	}
 	labels, logits, classes := backend.Bootstrap()
-	s.cur.Store(buildSnapshot(labels, logits, classes, cfg.PageRows))
+	snap := buildSnapshot(labels, logits, classes, cfg.PageRows)
+	snap.epoch = epoch
+	s.cur.Store(snap)
 
 	b, err := engine.NewBatcher(applyFunc(s.applyCoalesced), cfg.MaxBatch, cfg.MaxAge, nil)
 	if err != nil {
@@ -336,9 +390,46 @@ func (s *Server) apply(batch []engine.Update, quietReject bool) (engine.BatchRes
 	if s.failed.Load() {
 		return engine.BatchResult{}, ErrBackendFailed
 	}
+	var loggedEpoch uint64
+	if s.wal != nil {
+		// Durable admission: prove the batch admissible, then log it,
+		// then apply — so the WAL holds exactly the accepted-batch
+		// sequence and a logged batch can never be rejected on replay.
+		// (The backend re-validates inside ApplyBatch; the duplicate is
+		// deliberate — validation is O(batch) with a lazy, alloc-free
+		// overlay, dwarfed by propagation, and keeping ApplyBatch
+		// self-contained keeps the all-or-nothing contract local.)
+		if err := s.backend.(validatingBackend).ValidateBatch(batch); err != nil {
+			if !quietReject {
+				s.rejected.Add(1)
+				if s.onBatch != nil {
+					s.onBatch(engine.BatchResult{}, err)
+				}
+			}
+			return engine.BatchResult{}, err
+		}
+		loggedEpoch = s.cur.Load().epoch + 1
+		if err := s.wal.Append(loggedEpoch, cluster.EncodeUpdates(batch)); err != nil {
+			// A write path that cannot log cannot promise durability:
+			// fail like infrastructure, keep serving reads.
+			s.failed.Store(true)
+			err = fmt.Errorf("%w: %v", ErrBackendFailed, err)
+			if s.onBatch != nil {
+				s.onBatch(engine.BatchResult{}, err)
+			}
+			return engine.BatchResult{}, err
+		}
+	}
 	res, rows, err := s.backend.ApplyBatch(batch)
 	if err != nil {
 		if !isRejection(err) {
+			if s.wal != nil && loggedEpoch != 0 {
+				// The logged batch never became an epoch: withdraw the
+				// record (best effort — a crash in this window replays
+				// it, which is at-least-once, not wrong) so recovery
+				// does not resurrect a write this client saw fail.
+				_ = s.wal.AbortLast(loggedEpoch)
+			}
 			// Infrastructure failure, not the batch's fault: no later
 			// batch (or per-update salvage retry) can succeed either.
 			// Latch failure so writes fail fast and distinguishably;
@@ -386,6 +477,14 @@ func (s *Server) apply(batch []engine.Update, quietReject bool) (engine.BatchRes
 	}
 	if s.onBatch != nil {
 		s.onBatch(res, nil)
+	}
+	if s.wal != nil && s.cfg.CheckpointEvery > 0 {
+		s.sinceCkpt++
+		if s.sinceCkpt >= s.cfg.CheckpointEvery {
+			// Best effort: a failed automatic checkpoint leaves the WAL
+			// intact (recovery still works) and retries an interval later.
+			_, _ = s.checkpointLocked()
+		}
 	}
 	return res, nil
 }
@@ -445,6 +544,14 @@ func (s *Server) Stats() Stats {
 
 		ScatterHopsParallel: s.scatterPar.Load(),
 		ScatterHopsSerial:   s.scatterSer.Load(),
+
+		LastCheckpointEpoch: s.lastCkpt.Load(),
+		RecoveredBatches:    s.recovered.Load(),
+		Recovering:          s.recovering.Load(),
+	}
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		st.WALBytes, st.WALSegments = ws.Bytes, ws.Segments
 	}
 	if sh, ok := s.backend.(shardReporter); ok {
 		st.ScatterShards = sh.Shards()
@@ -480,8 +587,9 @@ func (s *Server) Compact() PageStats {
 
 // Close flushes the admission queue, stops accepting writes, closes all
 // subscriber channels, and shuts the backend down if it is closable (a
-// cluster backend terminates its workers). Reads keep working against the
-// final epoch.
+// cluster backend terminates its workers). A durable server additionally
+// takes a clean final checkpoint (so a restart replays zero batches) and
+// closes the WAL. Reads keep working against the final epoch.
 func (s *Server) Close() {
 	s.batcher.Close() // flushes the remainder through applyLocked
 	s.mu.Lock()
@@ -496,6 +604,16 @@ func (s *Server) Close() {
 	for _, ch := range subs {
 		close(ch)
 	}
+	s.mu.Lock()
+	if s.wal != nil {
+		if !s.failed.Load() && (!s.hasCkpt || s.cur.Load().epoch > s.lastCkpt.Load()) {
+			// Best effort: a failed final checkpoint leaves the WAL as the
+			// durable truth and the next Open replays it.
+			_, _ = s.checkpointLocked()
+		}
+		s.wal.Close()
+	}
+	s.mu.Unlock()
 	if c, ok := s.backend.(io.Closer); ok {
 		c.Close()
 	}

@@ -1,0 +1,97 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALRecords throws arbitrary bytes at the segment scanner — the
+// record-framing sibling of the cluster codec fuzzers. Whatever the bytes
+// are, Open must not panic, must recover only a strictly epoch-increasing
+// record prefix, and the reopened log must accept appends that survive a
+// further reopen (i.e. corruption never wedges the log).
+func FuzzWALRecords(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x00}, 64))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	// A valid two-record stream, so mutations explore near-valid framing.
+	valid := appendRecord(nil, 1, []byte("first"))
+	valid = appendRecord(valid, 2, []byte("second"))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	// An epoch regression: second record must be dropped.
+	regress := appendRecord(nil, 7, []byte("seven"))
+	regress = appendRecord(regress, 3, []byte("three"))
+	f.Add(regress)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segment{index: 1}.name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, Config{})
+		if err != nil {
+			t.Fatalf("open over fuzzed segment: %v", err)
+		}
+		last := uint64(0)
+		if err := l.Replay(0, func(epoch uint64, payload []byte) error {
+			if epoch <= last {
+				t.Fatalf("replay emitted non-increasing epoch %d after %d", epoch, last)
+			}
+			last = epoch
+			return nil
+		}); err != nil {
+			t.Fatalf("replay over recovered prefix: %v", err)
+		}
+		if st := l.Stats(); st.LastEpoch != last {
+			t.Fatalf("stats.LastEpoch = %d, replay ended at %d", st.LastEpoch, last)
+		}
+
+		// The recovered log must keep working: append, reopen, re-read.
+		if err := l.Append(last+1, []byte("post-recovery")); err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Open(dir, Config{})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer l2.Close()
+		found := false
+		if err := l2.Replay(last, func(epoch uint64, payload []byte) error {
+			if epoch == last+1 && string(payload) == "post-recovery" {
+				found = true
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatal("post-recovery append lost across reopen")
+		}
+	})
+}
+
+// FuzzWALRecordRoundTrip pins the framing itself: any payload appended is
+// parsed back bit-identically, and any prefix truncation of the framed
+// bytes is rejected rather than misparsed.
+func FuzzWALRecordRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint64(1))
+	f.Add([]byte("hello"), uint64(42))
+	f.Fuzz(func(t *testing.T, payload []byte, epoch uint64) {
+		rec := appendRecord(nil, epoch, payload)
+		n, gotEpoch, gotPayload, ok := parseRecord(rec)
+		if !ok || n != int64(len(rec)) || gotEpoch != epoch || !bytes.Equal(gotPayload, payload) {
+			t.Fatalf("round trip failed: ok=%v n=%d epoch=%d", ok, n, gotEpoch)
+		}
+		for cut := 0; cut < len(rec); cut++ {
+			if _, _, _, ok := parseRecord(rec[:cut]); ok {
+				t.Fatalf("truncated record (%d of %d bytes) parsed as valid", cut, len(rec))
+			}
+		}
+	})
+}

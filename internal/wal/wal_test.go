@@ -1,0 +1,398 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// collect replays everything after `after` into a slice of (epoch, payload).
+func collect(t *testing.T, l *Log, after uint64) (epochs []uint64, payloads [][]byte) {
+	t.Helper()
+	err := l.Replay(after, func(epoch uint64, payload []byte) error {
+		epochs = append(epochs, epoch)
+		payloads = append(payloads, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return epochs, payloads
+}
+
+func payloadFor(e uint64) []byte {
+	return []byte(fmt.Sprintf("batch-%d-%s", e, bytes.Repeat([]byte{byte(e)}, int(e%32))))
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for e := uint64(1); e <= n; e++ {
+		if err := l.Append(e, payloadFor(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(l *Log, ctx string) {
+		t.Helper()
+		epochs, payloads := collect(t, l, 0)
+		if len(epochs) != n {
+			t.Fatalf("%s: replayed %d records, want %d", ctx, len(epochs), n)
+		}
+		for i, e := range epochs {
+			if e != uint64(i+1) {
+				t.Fatalf("%s: record %d has epoch %d", ctx, i, e)
+			}
+			if !bytes.Equal(payloads[i], payloadFor(e)) {
+				t.Fatalf("%s: record %d payload mismatch", ctx, i)
+			}
+		}
+	}
+	check(l, "live")
+	if st := l.Stats(); st.LastEpoch != n || st.Bytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reopened log replays the identical sequence and appends after it.
+	l2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	check(l2, "reopened")
+	if err := l2.Append(n, []byte("stale")); err == nil {
+		t.Fatal("out-of-order append accepted")
+	}
+	if err := l2.Append(n+1, payloadFor(n+1)); err != nil {
+		t.Fatal(err)
+	}
+	if epochs, _ := collect(t, l2, n); len(epochs) != 1 || epochs[0] != n+1 {
+		t.Fatalf("tail replay after %d = %v", n, epochs)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 40
+	for e := uint64(1); e <= n; e++ {
+		if err := l.Append(e, payloadFor(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation at 128-byte segments, got %d segments", st.Segments)
+	}
+	if epochs, _ := collect(t, l, 0); len(epochs) != n {
+		t.Fatalf("replayed %d across segments, want %d", len(epochs), n)
+	}
+}
+
+// TestTornTailTruncation is the crash contract at the record-framing
+// level: for every possible truncation length of the log's byte stream,
+// reopening recovers exactly the records whose bytes fully survived, and
+// appends continue cleanly after them.
+func TestTornTailTruncation(t *testing.T) {
+	ref := t.TempDir()
+	l, err := Open(ref, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var boundaries []int64 // cumulative record end offsets
+	off := int64(0)
+	for e := uint64(1); e <= n; e++ {
+		p := payloadFor(e)
+		if err := l.Append(e, p); err != nil {
+			t.Fatal(err)
+		}
+		off += headerSize + int64(len(p))
+		boundaries = append(boundaries, off)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segName := filepath.Join(ref, segment{index: 1}.name())
+	full, err := os.ReadFile(segName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) != off {
+		t.Fatalf("segment is %d bytes, expected %d", len(full), off)
+	}
+
+	survivors := func(cut int64) int {
+		k := 0
+		for _, b := range boundaries {
+			if b <= cut {
+				k++
+			}
+		}
+		return k
+	}
+	for cut := int64(0); cut <= int64(len(full)); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segment{index: 1}.name()), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		lt, err := Open(dir, Config{})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		epochs, payloads := collect(t, lt, 0)
+		want := survivors(cut)
+		if len(epochs) != want {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(epochs), want)
+		}
+		for i, e := range epochs {
+			if e != uint64(i+1) || !bytes.Equal(payloads[i], payloadFor(e)) {
+				t.Fatalf("cut %d: record %d corrupted", cut, i)
+			}
+		}
+		// The log must accept new appends right after the torn point.
+		next := uint64(want + 1)
+		if err := lt.Append(next, payloadFor(next)); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if epochs, _ := collect(t, lt, 0); len(epochs) != want+1 {
+			t.Fatalf("cut %d: %d records after post-recovery append, want %d", cut, len(epochs), want+1)
+		}
+		lt.Close()
+	}
+}
+
+// TestCorruptMiddleDiscardsLaterSegments: a flipped bit mid-history must
+// not let replay skip a gap — everything from the corruption on is
+// discarded at open.
+func TestCorruptMiddleDiscardsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{SegmentBytes: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 20; e++ {
+		if err := l.Append(e, payloadFor(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segsBefore := l.Stats().Segments
+	if segsBefore < 3 {
+		t.Fatalf("need ≥3 segments for this test, got %d", segsBefore)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the second segment's first record payload.
+	second := filepath.Join(dir, segment{index: 2}.name())
+	b, err := os.ReadFile(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[headerSize] ^= 0xff
+	if err := os.WriteFile(second, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Config{SegmentBytes: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	epochs, _ := collect(t, l2, 0)
+	if len(epochs) == 0 || len(epochs) >= 20 {
+		t.Fatalf("recovered %d records, want the first-segment prefix only", len(epochs))
+	}
+	for i, e := range epochs {
+		if e != uint64(i+1) {
+			t.Fatalf("gap in recovered epochs: %v", epochs)
+		}
+	}
+	if st := l2.Stats(); st.Segments > 2 {
+		t.Fatalf("later segments survived corruption: %+v", st)
+	}
+}
+
+func TestMarkCheckpointDropsDeadSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{SegmentBytes: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for e := uint64(1); e <= 30; e++ {
+		if err := l.Append(e, payloadFor(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := l.Stats()
+	if err := l.MarkCheckpoint(30); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Bytes != 0 || st.Segments != 1 {
+		t.Fatalf("after covering checkpoint: %+v (was %+v)", st, grown)
+	}
+	if epochs, _ := collect(t, l, 30); len(epochs) != 0 {
+		t.Fatalf("replay after full checkpoint returned %d records", len(epochs))
+	}
+	// Appends continue with the epoch sequence intact.
+	if err := l.Append(31, payloadFor(31)); err != nil {
+		t.Fatal(err)
+	}
+	if epochs, _ := collect(t, l, 30); len(epochs) != 1 || epochs[0] != 31 {
+		t.Fatal("post-checkpoint append not replayable")
+	}
+
+	// A partial checkpoint keeps the segments holding newer records.
+	for e := uint64(32); e <= 60; e++ {
+		if err := l.Append(e, payloadFor(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.MarkCheckpoint(45); err != nil {
+		t.Fatal(err)
+	}
+	epochs, _ := collect(t, l, 45)
+	if len(epochs) != 15 || epochs[0] != 46 || epochs[len(epochs)-1] != 60 {
+		t.Fatalf("post-partial-checkpoint replay = %d records [%v..]", len(epochs), epochs[0])
+	}
+}
+
+// TestAbortLast: a withdrawn record must vanish from replay, survive a
+// reopen as gone, free its epoch for re-append, and refuse once anything
+// (another append consumed the undo slot via a later abort, a rotation,
+// a checkpoint) invalidated the one-deep undo.
+func TestAbortLast(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 3; e++ {
+		if err := l.Append(e, payloadFor(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AbortLast(2); err == nil {
+		t.Fatal("aborted a non-last record")
+	}
+	if err := l.AbortLast(3); err != nil {
+		t.Fatal(err)
+	}
+	if epochs, _ := collect(t, l, 0); len(epochs) != 2 || epochs[1] != 2 {
+		t.Fatalf("replay after abort = %v, want [1 2]", epochs)
+	}
+	if err := l.AbortLast(2); err == nil {
+		t.Fatal("double abort accepted (undo is one-deep)")
+	}
+	// The aborted epoch is free again; its re-appended payload wins.
+	if err := l.Append(3, []byte("retried")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	epochs, payloads := collect(t, l2, 0)
+	if len(epochs) != 3 || string(payloads[2]) != "retried" {
+		t.Fatalf("reopen after abort+retry = %v records, last %q", len(epochs), payloads[len(payloads)-1])
+	}
+	if err := l2.AbortLast(3); err == nil {
+		t.Fatal("abort across reopen accepted")
+	}
+}
+
+func TestWriteFileAtomicAndListEpochFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := func(e uint64) string { return filepath.Join(dir, fmt.Sprintf("ckpt-%016x.x", e)) }
+	for _, e := range []uint64{3, 12, 7} {
+		if err := WriteFileAtomic(path(e), func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "epoch %d", e)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ListEpochFiles(dir, "ckpt-", ".x"); len(got) != 3 || got[0] != 12 || got[2] != 3 {
+		t.Fatalf("ListEpochFiles = %v, want [12 7 3]", got)
+	}
+	// A failed write must leave no artifact — not the temp, not the target.
+	bad := filepath.Join(dir, "ckpt-0000000000000020.x")
+	if err := WriteFileAtomic(bad, func(w io.Writer) error { return fmt.Errorf("boom") }); err == nil {
+		t.Fatal("failed write reported success")
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatal("failed write left the target file")
+	}
+	if strays, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(strays) != 0 {
+		t.Fatalf("failed write left temp files %v", strays)
+	}
+	if b, err := os.ReadFile(path(12)); err != nil || string(b) != "epoch 12" {
+		t.Fatalf("published file = %q, %v", b, err)
+	}
+}
+
+func TestFsyncPolicy(t *testing.T) {
+	for _, fsync := range []bool{false, true} {
+		dir := t.TempDir()
+		l, err := Open(dir, Config{Fsync: fsync})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := uint64(1); e <= 10; e++ {
+			if err := l.Append(e, payloadFor(e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Both policies must replay the full prefix after reopen (process
+		// death keeps the page cache; only power loss differs).
+		l.Close()
+		l2, err := Open(dir, Config{Fsync: fsync})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epochs, _ := collect(t, l2, 0); len(epochs) != 10 {
+			t.Fatalf("fsync=%v: replayed %d records", fsync, len(epochs))
+		}
+		l2.Close()
+	}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	payload := bytes.Repeat([]byte{0xab}, 4096) // ~a routed 100-update batch
+	for _, mode := range []struct {
+		name  string
+		fsync bool
+	}{{"NoFsync", false}, {"Fsync", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			l, err := Open(b.TempDir(), Config{Fsync: mode.fsync, SegmentBytes: 64 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.SetBytes(int64(len(payload)) + headerSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.Append(uint64(i+1), payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

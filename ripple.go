@@ -200,6 +200,10 @@ type (
 	// the current epoch plus cumulative pages copied vs shared across all
 	// publishes. Returned by Server.Compact.
 	PageStats = serve.PageStats
+	// CheckpointStats describes a completed checkpoint of a durable
+	// server (see WithDataDir): the epoch it cut, its file size, and the
+	// WAL footprint left after truncation. Returned by Server.Checkpoint.
+	CheckpointStats = serve.CheckpointStats
 )
 
 // ErrServeBackendFailed is returned by Server write operations after the
@@ -234,18 +238,71 @@ func WithPageRows(rows int) ServeOption {
 	return func(c *serve.Config) { c.PageRows = rows }
 }
 
+// WithDataDir makes the server durable: every admitted batch is written
+// ahead to a segment WAL under dir before it is applied, and checkpoints
+// (periodic via WithCheckpointEvery, on demand via Server.Checkpoint, and
+// a final one in Server.Close) persist the full backend state and
+// truncate the log. On start, Serve/ServeCluster recover from dir — the
+// newest valid checkpoint plus a replay of the WAL tail — and resume at
+// the exact pre-crash epoch, with labels, logits and trigger state
+// bit-identical to an uninterrupted run; a torn tail record from the
+// crash is detected (CRC framing) and discarded, never replayed.
+func WithDataDir(dir string) ServeOption {
+	return func(c *serve.Config) { c.DataDir = dir }
+}
+
+// WithFsync sets the durable server's WAL sync policy: on, every
+// admitted batch is fsynced before it is applied (durable against power
+// loss); off (the default), batches are durable against process death
+// immediately and against power loss from the next checkpoint/rotation —
+// recovery stays exact either way, the tradeoff is only how many trailing
+// batches a whole-machine crash can shed.
+func WithFsync(on bool) ServeOption {
+	return func(c *serve.Config) { c.Fsync = on }
+}
+
+// WithCheckpointEvery takes an automatic checkpoint after every n applied
+// batches, truncating the WAL segments the checkpoint covers — the knob
+// bounding both recovery time and steady-state disk (one checkpoint +
+// batches since it). 0 (the default) leaves checkpointing to
+// Server.Checkpoint calls and the final checkpoint in Close.
+func WithCheckpointEvery(n int) ServeOption {
+	return func(c *serve.Config) { c.CheckpointEvery = n }
+}
+
 // Serve wraps an engine in the concurrent serving layer. The Server
 // becomes the engine's sole writer: stream updates through Submit (or
 // Apply) and read through Label/Embedding/TopK/Snapshot — reads are
 // lock-free and proceed while batches apply, each observing a whole
 // published epoch and never a half-applied batch. Label tracking is
 // enabled on the engine as a side effect.
+//
+// With WithDataDir the server is durable, and if the data dir already
+// holds state from a previous run the server RECOVERS it: the engine is
+// reconstructed from the newest checkpoint (using eng's model and config;
+// eng's own bootstrap state is discarded) and the WAL tail is replayed,
+// resuming at the exact pre-crash epoch.
 func Serve(eng *Engine, opts ...ServeOption) (*Server, error) {
 	var cfg serve.Config
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return serve.New(eng, cfg)
+	if cfg.DataDir == "" {
+		return serve.New(eng, cfg)
+	}
+	return serve.Open(func(ckpt io.Reader) (serve.Backend, error) {
+		use := eng
+		if ckpt != nil {
+			// Same model, same knobs: the preconditions for the replayed
+			// tail to be bit-identical to the pre-crash run.
+			restored, err := engine.LoadRipple(ckpt, eng.Model(), eng.Config())
+			if err != nil {
+				return nil, err
+			}
+			use = restored
+		}
+		return serve.NewEngineBackend(use)
+	}, cfg)
 }
 
 // LazyEngine is the request-based serving alternative (§2.2): updates are
