@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHandleTopKAbsurdKIs400: a k orders of magnitude beyond any class
+// space is a malformed request (400), while a merely-large k keeps
+// degrading gracefully to the full class ranking.
+func TestHandleTopKAbsurdKIs400(t *testing.T) {
+	h := newTestAPI(t).routes()
+	for _, target := range []string{"/topk/5?k=5000", "/topk/5?k=1000000000"} {
+		code, raw, body := do(t, h, "GET", target, "")
+		if code != http.StatusBadRequest {
+			t.Fatalf("GET %s: status %d (%q), want 400", target, code, raw)
+		}
+		if body["error"] == nil {
+			t.Fatalf("GET %s: no error field in %q", target, raw)
+		}
+	}
+	// The boundary itself is still served, clamped to the class count.
+	if code, _, body := do(t, h, "GET", "/topk/5?k=4096", ""); code != 200 || len(body["topk"].([]any)) != testClasses {
+		t.Fatalf("k at limit: status %d body %v", code, body)
+	}
+}
+
+// TestHandleUpdateOversizedIs413: a body past the 8 MiB admission limit
+// must answer 413 "split the batch", not masquerade as a JSON syntax
+// error (the shape MaxBytesReader truncation takes by default).
+func TestHandleUpdateOversizedIs413(t *testing.T) {
+	h := newTestAPI(t).routes()
+	body := `{"pad": "` + strings.Repeat("x", 9<<20) + `", "updates": []}`
+	code, raw, decoded := do(t, h, "POST", "/update", body)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized update: status %d (%.80q), want 413", code, raw)
+	}
+	if msg, _ := decoded["error"].(string); !strings.Contains(msg, "split the batch") {
+		t.Fatalf("413 body should tell the client to split the batch: %q", raw)
+	}
+}
+
+// TestHandleUpdateAsyncAllOrNothing: a rejected async batch queues
+// NOTHING — the 503 body carries queued 0 as a guarantee, and the
+// admission queue holds no partial prefix a retry could double-apply.
+func TestHandleUpdateAsyncAllOrNothing(t *testing.T) {
+	a := newTestAPI(t)
+	a.srv.Load().Close()
+	code, raw, body := do(t, a.routes(), "POST", "/update",
+		`{"updates": [
+			{"kind": "edge-add", "u": 5, "v": 2},
+			{"kind": "edge-add", "u": 6, "v": 2},
+			{"kind": "feature-update", "u": 1, "features": [0, 0, 0, 0, 0, 0]}
+		]}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("async submit after close: status %d (%q), want 503", code, raw)
+	}
+	queued, ok := body["queued"].(float64)
+	if !ok || queued != 0 {
+		t.Fatalf("503 body must guarantee queued 0, got %q", raw)
+	}
+	if pending := a.srv.Load().Stats().Pending; pending != 0 {
+		t.Fatalf("rejected batch left %d updates in the admission queue", pending)
+	}
+}
+
+// failingWriter simulates a client that went away: every body write
+// fails. Headers still collect so writeJSON can run its full path.
+type failingWriter struct{ header http.Header }
+
+func (f *failingWriter) Header() http.Header       { return f.header }
+func (f *failingWriter) WriteHeader(int)           {}
+func (f *failingWriter) Write([]byte) (int, error) { return 0, errors.New("broken pipe") }
+
+// TestWriteJSONEncodeErrorsCounted: a response body that fails to
+// serialize is no longer silently dropped — it increments the counter
+// surfaced as encode_errors in /stats.
+func TestWriteJSONEncodeErrorsCounted(t *testing.T) {
+	a := newTestAPI(t)
+	// Transport failure: the write side of Encode errors.
+	a.writeJSON(&failingWriter{header: http.Header{}}, http.StatusOK, map[string]any{"ok": true})
+	// Marshal failure: the value itself cannot be encoded.
+	a.writeJSON(httptest.NewRecorder(), http.StatusOK, map[string]any{"f": func() {}})
+	if got := a.encodeErrs.Load(); got != 2 {
+		t.Fatalf("encodeErrs = %d, want 2", got)
+	}
+	code, raw, body := do(t, a.routes(), "GET", "/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if body["encode_errors"].(float64) != 2 {
+		t.Fatalf("stats encode_errors = %v, want 2 (%q)", body["encode_errors"], raw)
+	}
+}
+
+// TestHandleLabels: the batched read returns one row per requested id in
+// request order, every row from ONE epoch, with out-of-range ids folded
+// in as label -1 instead of failing the batch.
+func TestHandleLabels(t *testing.T) {
+	h := newTestAPI(t).routes()
+	code, raw, body := do(t, h, "POST", "/labels", `{"ids": [3, 9999, -1, 0, 3]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d (%q), want 200", code, raw)
+	}
+	if _, ok := body["epoch"].(float64); !ok {
+		t.Fatalf("no epoch in %q", raw)
+	}
+	rows, ok := body["rows"].([]any)
+	if !ok || len(rows) != 5 {
+		t.Fatalf("rows = %v, want 5 entries", body["rows"])
+	}
+	wantVertex := []float64{3, 9999, -1, 0, 3}
+	for i, r := range rows {
+		row := r.(map[string]any)
+		if row["vertex"].(float64) != wantVertex[i] {
+			t.Fatalf("rows[%d].vertex = %v, want %v (order must follow the request)", i, row["vertex"], wantVertex[i])
+		}
+	}
+	if rows[1].(map[string]any)["label"].(float64) != -1 || rows[2].(map[string]any)["label"].(float64) != -1 {
+		t.Fatalf("out-of-range ids must fold in as label -1: %q", raw)
+	}
+	// In-range rows agree with the single-id endpoint.
+	for _, i := range []int{0, 3, 4} {
+		row := rows[i].(map[string]any)
+		target := "/label/" + strconv.Itoa(int(row["vertex"].(float64)))
+		_, _, single := do(t, h, "GET", target, "")
+		if row["label"] != single["label"] {
+			t.Fatalf("batched label %v for %s disagrees with single read %v", row["label"], target, single["label"])
+		}
+	}
+}
+
+// TestHandleLabelsBinary: with Accept: application/octet-stream the rows
+// come back as little-endian {u32 vertex, i32 label} pairs after a u64
+// epoch — cross-checked row for row against the JSON mode.
+func TestHandleLabelsBinary(t *testing.T) {
+	h := newTestAPI(t).routes()
+	const reqBody = `{"ids": [0, 7, 9999, 3]}`
+
+	r := httptest.NewRequest("POST", "/labels", strings.NewReader(reqBody))
+	r.Header.Set("Accept", "application/octet-stream")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("binary /labels: status %d (%q)", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("binary /labels: Content-Type %q", ct)
+	}
+	raw := w.Body.Bytes()
+	const nids = 4
+	if len(raw) != 8+8*nids {
+		t.Fatalf("binary body is %d bytes, want %d", len(raw), 8+8*nids)
+	}
+	epoch := binary.LittleEndian.Uint64(raw)
+
+	_, _, jsonBody := do(t, h, "POST", "/labels", reqBody)
+	if uint64(jsonBody["epoch"].(float64)) != epoch {
+		t.Fatalf("binary epoch %d, JSON epoch %v", epoch, jsonBody["epoch"])
+	}
+	rows := jsonBody["rows"].([]any)
+	for i := 0; i < nids; i++ {
+		vertex := binary.LittleEndian.Uint32(raw[8+8*i:])
+		label := int32(binary.LittleEndian.Uint32(raw[12+8*i:]))
+		row := rows[i].(map[string]any)
+		if uint32(row["vertex"].(float64)) != vertex || int32(row["label"].(float64)) != label {
+			t.Fatalf("binary row %d = {%d, %d}, JSON row %v", i, vertex, label, row)
+		}
+	}
+	if got := int32(binary.LittleEndian.Uint32(raw[12+8*2:])); got != -1 {
+		t.Fatalf("binary row for out-of-range id 9999 has label %d, want -1", got)
+	}
+}
+
+// TestHandleLabelsRejections: malformed, empty, oversized-count and
+// oversized-body requests are all refused before touching a snapshot.
+func TestHandleLabelsRejections(t *testing.T) {
+	h := newTestAPI(t).routes()
+
+	var many strings.Builder
+	many.WriteString(`{"ids": [`)
+	for i := 0; i <= maxLabelBatch; i++ {
+		if i > 0 {
+			many.WriteByte(',')
+		}
+		many.WriteString(strconv.Itoa(i))
+	}
+	many.WriteString(`]}`)
+
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"bad JSON", `{"ids": [`, http.StatusBadRequest},
+		{"no ids", `{"ids": []}`, http.StatusBadRequest},
+		{"missing ids", `{}`, http.StatusBadRequest},
+		{"too many ids", many.String(), http.StatusBadRequest},
+		{"oversized body", `{"pad": "` + strings.Repeat("x", 5<<20) + `", "ids": [1]}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, c := range cases {
+		if code, raw, _ := do(t, h, "POST", "/labels", c.body); code != c.want {
+			t.Fatalf("%s: status %d (%.80q), want %d", c.name, code, raw, c.want)
+		}
+	}
+}
+
+// TestHandleLabelsBinaryAllocs pins the allocation behaviour of the
+// batched binary read end to end: the request-size-independent overhead
+// (decoder, recorder, header map) is allowed, but nothing may scale with
+// the 1000 requested ids — the pooled scratch absorbs ids, labels and
+// the response bytes.
+func TestHandleLabelsBinaryAllocs(t *testing.T) {
+	a := newTestAPI(t)
+	var req bytes.Buffer
+	req.WriteString(`{"ids": [`)
+	for i := 0; i < 1000; i++ {
+		if i > 0 {
+			req.WriteByte(',')
+		}
+		req.WriteString(strconv.Itoa(i % (testN + 2)))
+	}
+	req.WriteString(`]}`)
+	reqBody := req.Bytes()
+
+	run := func() {
+		r := httptest.NewRequest("POST", "/labels", bytes.NewReader(reqBody))
+		r.Header.Set("Accept", "application/octet-stream")
+		w := httptest.NewRecorder()
+		a.handleLabels(w, r)
+		if w.Code != http.StatusOK {
+			t.Fatalf("binary /labels: status %d (%.120q)", w.Code, w.Body.String())
+		}
+	}
+	run() // warm the scratch pool before measuring
+	allocs := testing.AllocsPerRun(50, run)
+	if allocs > 100 {
+		t.Errorf("binary /labels with 1000 ids allocated %v times per request — scales with ids, want O(1) overhead only", allocs)
+	}
+}

@@ -11,6 +11,8 @@
 //
 //	GET  /label/{v}        current predicted class of vertex v
 //	GET  /topk/{v}?k=3     v's k best classes with logit scores
+//	POST /labels           batched label read: {"ids": [...]} → one epoch's rows
+//	                       (Accept: application/octet-stream for binary rows)
 //	POST /update[?sync=1]  stream graph updates (JSON; see below)
 //	POST /compact          defragment the paged snapshot; page accounting
 //	POST /checkpoint       cut a durable checkpoint now (-data-dir mode)
@@ -42,6 +44,7 @@ package main
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -52,6 +55,8 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -217,6 +222,11 @@ type api struct {
 	dataset  string
 	workers  int  // 0 = single-node engine backend
 	durable  bool // -data-dir set; /checkpoint is live
+
+	// encodeErrs counts response bodies that failed to serialize after the
+	// status line was already written — the only place the failure can
+	// still be observed. Surfaced as encode_errors in /stats.
+	encodeErrs atomic.Int64
 }
 
 // server returns the serving layer once it is up, or answers 503 and
@@ -225,7 +235,7 @@ func (a *api) server(w http.ResponseWriter) (*ripple.Server, bool) {
 	if srv := a.srv.Load(); srv != nil {
 		return srv, true
 	}
-	writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+	a.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
 	return nil, false
 }
 
@@ -233,6 +243,7 @@ func (a *api) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /label/{v}", a.handleLabel)
 	mux.HandleFunc("GET /topk/{v}", a.handleTopK)
+	mux.HandleFunc("POST /labels", a.handleLabels)
 	mux.HandleFunc("POST /update", a.handleUpdate)
 	mux.HandleFunc("POST /compact", a.handleCompact)
 	mux.HandleFunc("POST /checkpoint", a.handleCheckpoint)
@@ -241,14 +252,22 @@ func (a *api) routes() http.Handler {
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON sends v as the response body. By the time Encode can fail the
+// status line is on the wire and nothing can be retracted, so the failure
+// is logged and counted (encode_errors in /stats) rather than silently
+// dropped: a spike in the counter means clients are seeing truncated
+// bodies under a 2xx status.
+func (a *api) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		a.encodeErrs.Add(1)
+		log.Printf("rippleserve: encoding %d response body: %v", status, err)
+	}
 }
 
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+func (a *api) httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	a.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 // vertex resolves the {v} path segment against the pinned snapshot, so
@@ -258,13 +277,13 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 func (a *api) vertex(w http.ResponseWriter, r *http.Request, snap *ripple.Snapshot) (ripple.VertexID, bool) {
 	v, err := strconv.Atoi(r.PathValue("v"))
 	if err != nil || v < 0 || v >= snap.NumVertices() {
-		httpError(w, http.StatusNotFound, "vertex %q out of range [0,%d)", r.PathValue("v"), snap.NumVertices())
+		a.httpError(w, http.StatusNotFound, "vertex %q out of range [0,%d)", r.PathValue("v"), snap.NumVertices())
 		return 0, false
 	}
 	// In-range vertices only publish -1 when removed (a live row's argmax
 	// is always a real class).
 	if snap.Label(ripple.VertexID(v)) < 0 {
-		httpError(w, http.StatusNotFound, "vertex %d removed", v)
+		a.httpError(w, http.StatusNotFound, "vertex %d removed", v)
 		return 0, false
 	}
 	return ripple.VertexID(v), true
@@ -280,12 +299,18 @@ func (a *api) handleLabel(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	a.writeJSON(w, http.StatusOK, map[string]any{
 		"vertex": v,
 		"label":  snap.Label(v),
 		"epoch":  snap.Epoch(),
 	})
 }
+
+// maxTopK bounds the ?k= parameter of /topk. Any real request wants at
+// most the class count; a k orders of magnitude beyond any plausible
+// class space is a malformed request, not a big one, and is refused
+// outright instead of silently clamped.
+const maxTopK = 4096
 
 func (a *api) handleTopK(w http.ResponseWriter, r *http.Request) {
 	srv, ok := a.server(w)
@@ -301,10 +326,18 @@ func (a *api) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("k"); q != "" {
 		parsed, err := strconv.Atoi(q)
 		if err != nil || parsed < 1 {
-			httpError(w, http.StatusBadRequest, "bad k %q", q)
+			a.httpError(w, http.StatusBadRequest, "bad k %q", q)
+			return
+		}
+		if parsed > maxTopK {
+			a.httpError(w, http.StatusBadRequest, "k %d exceeds limit %d", parsed, maxTopK)
 			return
 		}
 		k = parsed
+	}
+	// Reasonable-but-large k degrades gracefully: you get every class.
+	if k > snap.NumClasses() {
+		k = snap.NumClasses()
 	}
 	topk := snap.TopK(v, k)
 	if topk == nil {
@@ -312,11 +345,101 @@ func (a *api) handleTopK(w http.ResponseWriter, r *http.Request) {
 		// even if TopK ever declines, so clients never see JSON null.
 		topk = []ripple.Ranked{}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	a.writeJSON(w, http.StatusOK, map[string]any{
 		"vertex": v,
 		"topk":   topk,
 		"epoch":  snap.Epoch(),
 	})
+}
+
+// maxLabelBatch bounds one POST /labels request; clients with more ids
+// split them across requests (epochs may differ between requests — each
+// response reports the epoch its rows were read at).
+const maxLabelBatch = 65536
+
+// labelsScratch recycles the buffers of POST /labels so the steady-state
+// batched read allocates nothing per id: the JSON decoder refills ids in
+// place (encoding/json reuses a decoded slice's backing array),
+// Snapshot.Labels fills labels in place, and binary responses are
+// assembled into buf.
+type labelsScratch struct {
+	ids    []ripple.VertexID
+	labels []int32
+	buf    []byte
+}
+
+var labelsPool = sync.Pool{New: func() any { return new(labelsScratch) }}
+
+// labelRow is one row of a POST /labels JSON response. Label -1 is the
+// per-id analogue of /label's 404 (out of range or removed), folded into
+// the row so one bad id cannot fail the batch.
+type labelRow struct {
+	Vertex ripple.VertexID `json:"vertex"`
+	Label  int32           `json:"label"`
+}
+
+// handleLabels is the batched read: {"ids": [...]} in, every row read
+// from ONE pinned snapshot, so the batch is epoch-consistent in a way a
+// loop over GET /label can never be. With "Accept:
+// application/octet-stream" the response is binary little-endian — a u64
+// epoch followed by one {u32 vertex, i32 label} pair per id, in request
+// order — for pollers that would otherwise spend their budget on JSON.
+func (a *api) handleLabels(w http.ResponseWriter, r *http.Request) {
+	srv, ok := a.server(w)
+	if !ok {
+		return
+	}
+	sc := labelsPool.Get().(*labelsScratch)
+	defer labelsPool.Put(sc)
+	var body struct {
+		Ids []ripple.VertexID `json:"ids"`
+	}
+	body.Ids = sc.ids[:0]
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&body); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			a.httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		a.httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	sc.ids = body.Ids // keep any grown backing array for the pool
+	if len(body.Ids) == 0 {
+		a.httpError(w, http.StatusBadRequest, "no ids")
+		return
+	}
+	if len(body.Ids) > maxLabelBatch {
+		a.httpError(w, http.StatusBadRequest, "%d ids exceeds limit %d", len(body.Ids), maxLabelBatch)
+		return
+	}
+	snap := srv.Snapshot()
+	sc.labels = snap.Labels(body.Ids, sc.labels)
+
+	if strings.Contains(r.Header.Get("Accept"), "application/octet-stream") {
+		need := 8 + 8*len(body.Ids)
+		if cap(sc.buf) < need {
+			sc.buf = make([]byte, need)
+		}
+		buf := sc.buf[:need]
+		binary.LittleEndian.PutUint64(buf, snap.Epoch())
+		for i, id := range body.Ids {
+			binary.LittleEndian.PutUint32(buf[8+8*i:], uint32(id))
+			binary.LittleEndian.PutUint32(buf[12+8*i:], uint32(sc.labels[i]))
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write(buf); err != nil {
+			a.encodeErrs.Add(1)
+			log.Printf("rippleserve: writing binary /labels response: %v", err)
+		}
+		return
+	}
+	rows := make([]labelRow, len(body.Ids))
+	for i, id := range body.Ids {
+		rows[i] = labelRow{Vertex: id, Label: sc.labels[i]}
+	}
+	a.writeJSON(w, http.StatusOK, map[string]any{"rows": rows, "epoch": snap.Epoch()})
 }
 
 // updateJSON is the wire form of one streaming update.
@@ -337,11 +460,19 @@ func (a *api) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		Updates []updateJSON `json:"updates"`
 	}
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&body); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		// MaxBytesReader truncation surfaces as a JSON syntax error;
+		// unwrap it so an oversized batch reads as "split your batch"
+		// (413), not "your JSON is malformed" (400).
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			a.httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes; split the batch", tooBig.Limit)
+			return
+		}
+		a.httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
 	if len(body.Updates) == 0 {
-		httpError(w, http.StatusBadRequest, "no updates")
+		a.httpError(w, http.StatusBadRequest, "no updates")
 		return
 	}
 	batch := make([]ripple.Update, 0, len(body.Updates))
@@ -359,7 +490,7 @@ func (a *api) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			upd.Kind = ripple.FeatureUpdate
 			upd.Features = ripple.Vector(u.Features)
 		default:
-			httpError(w, http.StatusBadRequest, "updates[%d]: unknown kind %q", i, u.Kind)
+			a.httpError(w, http.StatusBadRequest, "updates[%d]: unknown kind %q", i, u.Kind)
 			return
 		}
 		batch = append(batch, upd)
@@ -371,13 +502,13 @@ func (a *api) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			// Infrastructure failure is an outage (503), not the
 			// client's batch being rejected (422).
 			if errors.Is(err, ripple.ErrServeBackendFailed) {
-				httpError(w, http.StatusServiceUnavailable, "serving backend failed: %v", err)
+				a.httpError(w, http.StatusServiceUnavailable, "serving backend failed: %v", err)
 				return
 			}
-			httpError(w, http.StatusUnprocessableEntity, "batch rejected: %v", err)
+			a.httpError(w, http.StatusUnprocessableEntity, "batch rejected: %v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		a.writeJSON(w, http.StatusOK, map[string]any{
 			"applied":     res.Updates,
 			"affected":    res.Affected,
 			"label_flips": len(res.LabelChanges),
@@ -386,14 +517,16 @@ func (a *api) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	for i, u := range batch {
-		if err := srv.Submit(u); err != nil {
-			httpError(w, http.StatusServiceUnavailable, "updates[%d]: %v", i, err)
-			return
-		}
+	// All-or-nothing admission: SubmitAll either queues the whole batch or
+	// nothing, so "queued": 0 in the error body is a guarantee, not a
+	// guess — a retry cannot double-apply a previously-queued prefix.
+	if err := srv.SubmitAll(batch); err != nil {
+		a.writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"error": fmt.Sprintf("batch not queued: %v", err), "queued": 0})
+		return
 	}
 	st := srv.Stats()
-	writeJSON(w, http.StatusAccepted, map[string]any{"queued": len(batch), "pending": st.Pending, "epoch": st.Epoch})
+	a.writeJSON(w, http.StatusAccepted, map[string]any{"queued": len(batch), "pending": st.Pending, "epoch": st.Epoch})
 }
 
 // handleCompact republishes the current epoch over fresh contiguous
@@ -404,7 +537,7 @@ func (a *api) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"pages": srv.Compact()})
+	a.writeJSON(w, http.StatusOK, map[string]any{"pages": srv.Compact()})
 }
 
 // handleCheckpoint cuts a durable checkpoint on demand: the backend's
@@ -412,7 +545,7 @@ func (a *api) handleCompact(w http.ResponseWriter, r *http.Request) {
 // leader's barrier) and the WAL segments it covers are truncated.
 func (a *api) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if !a.durable {
-		httpError(w, http.StatusConflict, "server is not durable; restart with -data-dir")
+		a.httpError(w, http.StatusConflict, "server is not durable; restart with -data-dir")
 		return
 	}
 	srv, ok := a.server(w)
@@ -421,10 +554,10 @@ func (a *api) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := srv.Checkpoint()
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "checkpoint failed: %v", err)
+		a.httpError(w, http.StatusInternalServerError, "checkpoint failed: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"checkpoint": st})
+	a.writeJSON(w, http.StatusOK, map[string]any{"checkpoint": st})
 }
 
 func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -446,15 +579,15 @@ func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case st.BackendFailed:
 		body["status"] = "backend_failed"
-		writeJSON(w, http.StatusServiceUnavailable, body)
+		a.writeJSON(w, http.StatusServiceUnavailable, body)
 	case st.Recovering:
 		// Degraded: the WAL tail is still replaying (reachable when an
 		// embedder serves these handlers while serve.Open runs; this
 		// daemon reports "starting" for that whole window instead).
 		body["status"] = "recovering"
-		writeJSON(w, http.StatusServiceUnavailable, body)
+		a.writeJSON(w, http.StatusServiceUnavailable, body)
 	default:
-		writeJSON(w, http.StatusOK, body)
+		a.writeJSON(w, http.StatusOK, body)
 	}
 }
 
@@ -463,12 +596,13 @@ func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"dataset":  a.dataset,
-		"workload": a.workload,
-		"vertices": a.n,
-		"classes":  a.classes,
-		"workers":  a.workers,
-		"serving":  srv.Stats(),
+	a.writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":       a.dataset,
+		"workload":      a.workload,
+		"vertices":      a.n,
+		"classes":       a.classes,
+		"workers":       a.workers,
+		"encode_errors": a.encodeErrs.Load(),
+		"serving":       srv.Stats(),
 	})
 }

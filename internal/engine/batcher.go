@@ -65,6 +65,34 @@ func (b *Batcher) Submit(u Update) error {
 	return nil
 }
 
+// SubmitAll enqueues a slice of updates atomically: either every update is
+// buffered or (if the batcher is closed) none is — a caller never has to
+// reason about a partially-enqueued prefix. The whole slice is appended
+// under one lock hold, so no flush can interleave mid-slice; if the size
+// threshold is crossed the combined buffer flushes as one batch.
+func (b *Batcher) SubmitAll(updates []Update) error {
+	if len(updates) == 0 {
+		return nil
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrBatcherClosed
+	}
+	b.buf = append(b.buf, updates...)
+	if b.maxSize > 0 && len(b.buf) >= b.maxSize {
+		batch := b.take()
+		b.mu.Unlock()
+		b.apply(batch)
+		return nil
+	}
+	if b.maxDelay > 0 && b.timer == nil {
+		b.timer = time.AfterFunc(b.maxDelay, b.deadlineFlush)
+	}
+	b.mu.Unlock()
+	return nil
+}
+
 // take detaches the pending buffer and disarms the timer. Caller holds mu.
 func (b *Batcher) take() []Update {
 	batch := b.buf

@@ -299,6 +299,57 @@ func TestBatcherSizeTrigger(t *testing.T) {
 	}
 }
 
+func TestBatcherSubmitAll(t *testing.T) {
+	r, w := newBatcherEngine(t)
+	var mu sync.Mutex
+	var flushes []int
+	b, err := NewBatcher(r, 4, 0, func(res BatchResult, err error) {
+		if err != nil {
+			t.Errorf("flush error: %v", err)
+		}
+		mu.Lock()
+		flushes = append(flushes, res.Updates)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates := w.randomBatch(10)
+
+	// A slice crossing the size threshold flushes as ONE combined batch —
+	// no interleaved flush can split it.
+	if err := b.SubmitAll(updates[:6]); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got := append([]int(nil), flushes...)
+	mu.Unlock()
+	if len(got) != 1 || got[0] != 6 {
+		t.Errorf("SubmitAll(6) flushes = %v, want [6]", got)
+	}
+
+	// Below the threshold: buffered, nothing flushed.
+	if err := b.SubmitAll(updates[6:8]); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", b.Pending())
+	}
+
+	// Empty slice is a no-op even after close; non-empty after close is
+	// all-or-nothing rejected with nothing buffered.
+	b.Close()
+	if err := b.SubmitAll(nil); err != nil {
+		t.Errorf("SubmitAll(nil) after close = %v, want nil", err)
+	}
+	if err := b.SubmitAll(updates[8:]); !errors.Is(err, ErrBatcherClosed) {
+		t.Errorf("SubmitAll after close = %v, want ErrBatcherClosed", err)
+	}
+	if b.Pending() != 0 {
+		t.Errorf("pending after rejected SubmitAll = %d, want 0", b.Pending())
+	}
+}
+
 func TestBatcherDeadlineTrigger(t *testing.T) {
 	r, w := newBatcherEngine(t)
 	done := make(chan BatchResult, 1)

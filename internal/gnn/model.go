@@ -129,10 +129,7 @@ func (l *Layer) UpdateInto(dst, hSelf, rawAgg tensor.Vector, inDeg int, s *Scrat
 	if l.Agg == AggMean {
 		norm := s.a[:l.In]
 		if inDeg > 0 {
-			inv := 1 / float32(inDeg)
-			for i, x := range rawAgg {
-				norm[i] = x * inv
-			}
+			tensor.ScaleInto(norm, rawAgg, 1/float32(inDeg))
 		} else {
 			norm.Zero()
 		}
@@ -149,9 +146,7 @@ func (l *Layer) UpdateInto(dst, hSelf, rawAgg tensor.Vector, inDeg int, s *Scrat
 		dst.Add(l.B)
 	case GINConv:
 		z := s.b[:l.In]
-		for i := range z {
-			z[i] = (1+l.Eps)*hSelf[i] + agg[i]
-		}
+		tensor.ScaleAddInto(z, hSelf, agg, 1+l.Eps)
 		hid := s.a[:l.Out] // safe: agg (aliasing s.a) is consumed into z above
 		l.W1.MatVec(hid, z)
 		hid.Add(l.B1)

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"testing"
+
+	"ripple/internal/graph"
+)
+
+// TestSnapshotLabels checks the bulk read against the single-id read:
+// same values in id order, -1 folded in for out-of-range ids, dst reused
+// in place. PageRows 16 forces the id walk across page boundaries.
+func TestSnapshotLabels(t *testing.T) {
+	w := newWorld(t, 11)
+	srv, err := New(w.eng, Config{PageRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := srv.Apply(w.batch(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := srv.Snapshot()
+
+	ids := []graph.VertexID{0, 17, 16, testN - 1, -1, graph.VertexID(testN), 5, 5, 299, 1 << 30}
+	got := snap.Labels(ids, nil)
+	if len(got) != len(ids) {
+		t.Fatalf("len(Labels) = %d, want %d", len(got), len(ids))
+	}
+	for i, id := range ids {
+		if want := int32(snap.Label(id)); got[i] != want {
+			t.Errorf("Labels[%d] (vertex %d) = %d, want %d", i, id, got[i], want)
+		}
+	}
+	if got[4] != -1 || got[5] != -1 || got[9] != -1 {
+		t.Errorf("out-of-range ids must read -1, got %v", got)
+	}
+
+	// dst reuse: the returned slice shares dst's storage and truncates any
+	// previous contents.
+	dst := make([]int32, 3, len(ids))
+	dst[0], dst[1], dst[2] = 42, 42, 42
+	got2 := snap.Labels(ids, dst)
+	if &got2[0] != &dst[:1][0] {
+		t.Error("Labels did not reuse dst's backing array")
+	}
+	for i := range got {
+		if got2[i] != got[i] {
+			t.Fatalf("reused-dst read diverges at %d: %d vs %d", i, got2[i], got[i])
+		}
+	}
+}
+
+// TestSnapshotLabelsZeroAlloc pins the zero-allocation contract of the
+// batched read path: with cap(dst) >= len(ids), Labels allocates nothing.
+func TestSnapshotLabelsZeroAlloc(t *testing.T) {
+	w := newWorld(t, 12)
+	srv, err := New(w.eng, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	snap := srv.Snapshot()
+
+	ids := make([]graph.VertexID, 1000)
+	for i := range ids {
+		ids[i] = graph.VertexID(i % (testN + 5)) // a few out-of-range
+	}
+	dst := make([]int32, 0, len(ids))
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = snap.Labels(ids, dst)
+	})
+	if allocs != 0 {
+		t.Errorf("Snapshot.Labels allocated %v times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkLabelsBatch measures the bulk label read behind POST /labels:
+// 1k ids against a pinned snapshot, amortising the snapshot pin and
+// bounds checks over the batch.
+func BenchmarkLabelsBatch(b *testing.B) {
+	w := newWorld(b, 13)
+	srv, err := New(w.eng, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := srv.Apply(w.batch(8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	snap := srv.Snapshot()
+	ids := make([]graph.VertexID, 1000)
+	for i := range ids {
+		ids[i] = graph.VertexID((i * 7) % testN)
+	}
+	dst := make([]int32, 0, len(ids))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = snap.Labels(ids, dst)
+	}
+	_ = dst
+}

@@ -141,6 +141,8 @@ type Stats struct {
 	// logged batches the last Open replayed to reach the current state.
 	WALBytes            int64  `json:"wal_bytes"`
 	WALSegments         int    `json:"wal_segments"`
+	WALAppends          uint64 `json:"wal_appends"`
+	WALFsyncs           uint64 `json:"wal_fsyncs"`
 	LastCheckpointEpoch uint64 `json:"last_checkpoint_epoch"`
 	RecoveredBatches    int64  `json:"recovered_batches"`
 	// Recovering is true while Open replays the WAL tail: the state is
@@ -306,6 +308,24 @@ func (s *Server) Submit(u engine.Update) error {
 		return ErrBackendFailed
 	}
 	if err := s.batcher.Submit(u); err != nil {
+		if errors.Is(err, engine.ErrBatcherClosed) {
+			return ErrClosed
+		}
+		return err
+	}
+	return nil
+}
+
+// SubmitAll enqueues a whole slice of updates on the admission queue
+// atomically: either every update is buffered (and will flush on size or
+// age like individual Submits) or none is. This is the all-or-nothing
+// ingress for multi-update requests — a caller that gets an error knows
+// zero of its updates were queued, never a silent prefix.
+func (s *Server) SubmitAll(updates []engine.Update) error {
+	if s.failed.Load() {
+		return ErrBackendFailed
+	}
+	if err := s.batcher.SubmitAll(updates); err != nil {
 		if errors.Is(err, engine.ErrBatcherClosed) {
 			return ErrClosed
 		}
@@ -552,6 +572,7 @@ func (s *Server) Stats() Stats {
 	if s.wal != nil {
 		ws := s.wal.Stats()
 		st.WALBytes, st.WALSegments = ws.Bytes, ws.Segments
+		st.WALAppends, st.WALFsyncs = ws.Appends, ws.Fsyncs
 	}
 	if sh, ok := s.backend.(shardReporter); ok {
 		st.ScatterShards = sh.Shards()

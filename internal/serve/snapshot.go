@@ -150,6 +150,26 @@ func (s *Snapshot) Label(v graph.VertexID) int {
 	return int(s.pages[int(v)>>s.shift].labels[int(v)&s.mask])
 }
 
+// Labels bulk-reads the predicted classes of ids at this epoch into dst,
+// reusing dst's storage (it is truncated and appended to; pass a slice
+// with cap(dst) >= len(ids) for a zero-allocation read) and returning the
+// filled slice. Out-of-range and removed vertices yield -1 at their
+// position — the per-id analogue of a 404, folded into the row so one bad
+// id cannot fail a batch. This is the read path behind POST /labels: one
+// snapshot pin serves the whole batch, so every row is from the same
+// epoch.
+func (s *Snapshot) Labels(ids []graph.VertexID, dst []int32) []int32 {
+	dst = dst[:0]
+	for _, v := range ids {
+		if v < 0 || int(v) >= s.n {
+			dst = append(dst, -1)
+			continue
+		}
+		dst = append(dst, s.pages[int(v)>>s.shift].labels[int(v)&s.mask])
+	}
+	return dst
+}
+
 // Embedding returns a copy of vertex v's final-layer logits at this
 // epoch, or nil if v is out of range.
 func (s *Snapshot) Embedding(v graph.VertexID) tensor.Vector {

@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"math/rand"
+	"strconv"
 	"testing"
 )
 
@@ -50,5 +51,63 @@ func BenchmarkAddSubInto602(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		AddSubInto(dst, a, c)
+	}
+}
+
+// BenchmarkKernels pins the unrolled kernels against their scalar
+// references at the hot dimensions (128 = arxiv features and the per-hop
+// message width there, 602 = reddit). The unrolled/scalar ratio is the
+// win the BCE + unrolling rewrite bought on this machine; see
+// BENCH_kernels.json for recorded points.
+func BenchmarkKernels(b *testing.B) {
+	for _, dim := range []int{128, 602} {
+		rng := rand.New(rand.NewSource(int64(dim)))
+		u, v, w := NewVector(dim), NewVector(dim), NewVector(dim)
+		for i := range u {
+			u[i] = rng.Float32() - 0.5
+			v[i] = rng.Float32() - 0.5
+			w[i] = rng.Float32() - 0.5
+		}
+		name := func(op, impl string) string {
+			return op + "/" + strconv.Itoa(dim) + "/" + impl
+		}
+		b.Run(name("AXPY", "unrolled"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v.AXPY(0.5, u)
+			}
+		})
+		b.Run(name("AXPY", "scalar"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				axpyScalar(v, 0.5, u)
+			}
+		})
+		var sink float32
+		b.Run(name("Dot", "unrolled"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink += v.Dot(u)
+			}
+		})
+		b.Run(name("Dot", "scalar"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink += dotScalar(v, u)
+			}
+		})
+		b.Run(name("ScaleDeltaInto", "unrolled"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ScaleDeltaInto(w, u, v, 0.25)
+			}
+		})
+		b.Run(name("ScaleDeltaInto", "scalar"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				scaleDeltaIntoScalar(w, u, v, 0.25)
+			}
+		})
+		_ = sink
 	}
 }

@@ -1,0 +1,157 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// kernelLens covers the unroll edges: empty, sub-block, exact block,
+// block+1, several non-multiples of 8, and the real hot sizes (128 = the
+// arxiv feature width, 602 = reddit).
+var kernelLens = []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 33, 63, 64, 100, 128, 602}
+
+// specials are the values the unrolled kernels must pass through exactly
+// like the scalar references: NaN, both infinities, both zeros, a
+// denormal, and magnitude extremes that overflow/underflow intermediates.
+var specials = []float32{
+	float32(math.NaN()),
+	float32(math.Inf(1)),
+	float32(math.Inf(-1)),
+	float32(math.Copysign(0, -1)),
+	0,
+	1.401298464e-45, // smallest denormal
+	math.MaxFloat32,
+	-math.MaxFloat32,
+	1, -1, 0.5, -2.75,
+}
+
+// fillVector mixes uniform values with specials so every run exercises the
+// non-finite paths.
+func fillVector(rng *rand.Rand, v Vector) {
+	for i := range v {
+		if rng.Intn(4) == 0 {
+			v[i] = specials[rng.Intn(len(specials))]
+		} else {
+			v[i] = rng.Float32()*20 - 10
+		}
+	}
+}
+
+// sameBits fails the test unless got and want are bit-for-bit identical —
+// signed zeros included, so -0 != +0 unlike float comparison — with one
+// carve-out: two NaNs match regardless of payload. When both inputs of an
+// add are NaN the hardware keeps the payload of whichever operand the
+// compiler put in the destination register, so payloads are codegen
+// noise, not semantics (IEEE 754 leaves them unspecified); what the
+// kernels do guarantee is NaN in → NaN out at the same position.
+func sameBits(t *testing.T, ctx string, got, want Vector) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if !oneBitsMatch(got[i], want[i]) {
+			t.Fatalf("%s: [%d] = %x (%v), scalar reference %x (%v)",
+				ctx, i, math.Float32bits(got[i]), got[i], math.Float32bits(want[i]), want[i])
+		}
+	}
+}
+
+func oneBitsMatch(got, want float32) bool {
+	if math.IsNaN(float64(got)) || math.IsNaN(float64(want)) {
+		return math.IsNaN(float64(got)) && math.IsNaN(float64(want))
+	}
+	return math.Float32bits(got) == math.Float32bits(want)
+}
+
+// diffKernels drives one (length, alpha, input) instance through every
+// kernel and its scalar reference. Shared by the seeded differential test
+// and the fuzz target.
+func diffKernels(t *testing.T, n int, alpha float32, src Vector) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n)*31 + 7))
+	a, b := make(Vector, n), make(Vector, n)
+	copy(a, src)
+	fillVector(rng, b)
+
+	run := func(ctx string, kernel, scalar func(dst Vector)) {
+		t.Helper()
+		kd, sd := make(Vector, n), make(Vector, n)
+		fillVector(rng, kd)
+		copy(sd, kd)
+		kernel(kd)
+		scalar(sd)
+		sameBits(t, ctx, kd, sd)
+	}
+
+	run("AXPY", func(d Vector) { d.AXPY(alpha, a) }, func(d Vector) { axpyScalar(d, alpha, a) })
+	run("Add", func(d Vector) { d.Add(a) }, func(d Vector) { addScalar(d, a) })
+	run("Sub", func(d Vector) { d.Sub(a) }, func(d Vector) { subScalar(d, a) })
+	run("Scale", func(d Vector) { d.Scale(alpha) }, func(d Vector) { scaleScalar(d, alpha) })
+	run("AddSubInto", func(d Vector) { AddSubInto(d, a, b) }, func(d Vector) { addSubIntoScalar(d, a, b) })
+	run("ScaleDeltaInto", func(d Vector) { ScaleDeltaInto(d, a, b, alpha) }, func(d Vector) { scaleDeltaIntoScalar(d, a, b, alpha) })
+	run("ScaleInto", func(d Vector) { ScaleInto(d, a, alpha) }, func(d Vector) { scaleIntoScalar(d, a, alpha) })
+	run("ScaleAddInto", func(d Vector) { ScaleAddInto(d, a, b, alpha) }, func(d Vector) { scaleAddIntoScalar(d, a, b, alpha) })
+	run("ReLU", func(d Vector) { ReLU(d) }, func(d Vector) { reluScalar(d) })
+	run("ReLUInto", func(d Vector) { ReLUInto(d, a) }, func(d Vector) { reluIntoScalar(d, a) })
+
+	kDot, sDot := a.Dot(b), dotScalar(a, b)
+	if !oneBitsMatch(kDot, sDot) {
+		t.Fatalf("Dot(n=%d): %x (%v), scalar reference %x (%v)",
+			n, math.Float32bits(kDot), kDot, math.Float32bits(sDot), sDot)
+	}
+}
+
+// TestKernelsMatchScalarReference is the differential pin: across unroll
+// edge lengths and many random inputs (specials included), every unrolled
+// kernel must produce exactly the scalar reference's bits.
+func TestKernelsMatchScalarReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphas := []float32{0, 1, -1, 0.5, -3.25, float32(math.NaN()), float32(math.Inf(1)), 1.401298464e-45}
+	for _, n := range kernelLens {
+		for trial := 0; trial < 25; trial++ {
+			src := make(Vector, n)
+			fillVector(rng, src)
+			alpha := alphas[trial%len(alphas)]
+			diffKernels(t, n, alpha, src)
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(300)
+		src := make(Vector, n)
+		fillVector(rng, src)
+		diffKernels(t, n, rng.Float32()*8-4, src)
+	}
+}
+
+// FuzzKernels lets the fuzzer pick raw bytes that become the input vector
+// and alpha, hunting for bit patterns where an unrolled kernel and its
+// scalar reference diverge.
+func FuzzKernels(f *testing.F) {
+	f.Add(uint32(0x3f800000), []byte{0, 0, 0x80, 0x7f, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(uint32(0x7fc00000), []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0x80})
+	f.Add(uint32(0), []byte{})
+	f.Fuzz(func(t *testing.T, alphaBits uint32, raw []byte) {
+		if len(raw) > 4096 {
+			raw = raw[:4096]
+		}
+		n := len(raw) / 4
+		src := make(Vector, n)
+		for i := 0; i < n; i++ {
+			src[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+		}
+		diffKernels(t, n, math.Float32frombits(alphaBits), src)
+	})
+}
+
+// TestAXPYZeroAlphaNoop pins the alpha==0 early-out: v must be untouched
+// bit for bit even where u holds NaN (0*NaN would poison it).
+func TestAXPYZeroAlphaNoop(t *testing.T) {
+	v := Vector{1, float32(math.Copysign(0, -1)), 3}
+	u := Vector{float32(math.NaN()), float32(math.Inf(1)), 5}
+	want := append(Vector(nil), v...)
+	v.AXPY(0, u)
+	sameBits(t, "AXPY(0, u)", v, want)
+}

@@ -1,9 +1,38 @@
 package tensor
 
-// ReLU applies max(0, x) element-wise in place.
+// ReLU applies max(0, x) element-wise in place. NaN is not less than zero
+// and passes through unchanged, matching the scalar reference.
 func ReLU(v Vector) {
-	for i, x := range v {
-		if x < 0 {
+	i := 0
+	for ; i+8 <= len(v); i += 8 {
+		vv := v[i : i+8 : i+8]
+		if vv[0] < 0 {
+			vv[0] = 0
+		}
+		if vv[1] < 0 {
+			vv[1] = 0
+		}
+		if vv[2] < 0 {
+			vv[2] = 0
+		}
+		if vv[3] < 0 {
+			vv[3] = 0
+		}
+		if vv[4] < 0 {
+			vv[4] = 0
+		}
+		if vv[5] < 0 {
+			vv[5] = 0
+		}
+		if vv[6] < 0 {
+			vv[6] = 0
+		}
+		if vv[7] < 0 {
+			vv[7] = 0
+		}
+	}
+	for ; i < len(v); i++ {
+		if v[i] < 0 {
 			v[i] = 0
 		}
 	}
@@ -14,13 +43,30 @@ func ReLUInto(dst, src Vector) {
 	if len(dst) != len(src) {
 		panic("tensor: ReLUInto length mismatch")
 	}
-	for i, x := range src {
-		if x < 0 {
-			dst[i] = 0
-		} else {
-			dst[i] = x
-		}
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		dd := dst[i : i+8 : i+8]
+		ss := src[i : i+8 : i+8]
+		dd[0] = reluOne(ss[0])
+		dd[1] = reluOne(ss[1])
+		dd[2] = reluOne(ss[2])
+		dd[3] = reluOne(ss[3])
+		dd[4] = reluOne(ss[4])
+		dd[5] = reluOne(ss[5])
+		dd[6] = reluOne(ss[6])
+		dd[7] = reluOne(ss[7])
 	}
+	for ; i < len(dst); i++ {
+		dst[i] = reluOne(src[i])
+	}
+}
+
+// reluOne is max(0, x) with NaN passed through (NaN < 0 is false).
+func reluOne(x float32) float32 {
+	if x < 0 {
+		return 0
+	}
+	return x
 }
 
 // Activation selects the nonlinearity applied after a layer's Update step.

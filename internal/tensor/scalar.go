@@ -1,0 +1,101 @@
+package tensor
+
+// This file holds the one-element-at-a-time scalar reference
+// implementations of every unrolled kernel in vector.go and ops.go. They
+// are the semantic ground truth: kernels_test.go drives random inputs
+// (including NaN, infinities, signed zeros and denormals) through both
+// versions and demands bit-for-bit identical results, so any future change
+// to an unrolled kernel that alters even a rounding step fails loudly.
+//
+// Keep these boring. No unrolling, no bounds-check games — each function
+// is the loop the package shipped with before the kernels were unrolled
+// (PR 6), except dotScalar, which reproduces Dot's eight-lane reduction
+// order one element at a time (the order is part of Dot's contract; a
+// single left-to-right accumulator would be a different float sum).
+
+func axpyScalar(v Vector, alpha float32, u Vector) {
+	if alpha == 0 {
+		return
+	}
+	for i, x := range u {
+		v[i] += alpha * x
+	}
+}
+
+func dotScalar(v, u Vector) float32 {
+	// Element i accumulates into lane i mod 8; lanes combine by the same
+	// fixed pairwise tree as Dot; the non-multiple-of-8 tail folds into
+	// the combined sum left to right. Exactly Dot's arithmetic, scheduled
+	// one element at a time.
+	var lanes [8]float32
+	n := len(v) &^ 7
+	for i := 0; i < n; i++ {
+		lanes[i&7] += v[i] * u[i]
+	}
+	s := ((lanes[0] + lanes[4]) + (lanes[1] + lanes[5])) + ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7]))
+	for i := n; i < len(v); i++ {
+		s += v[i] * u[i]
+	}
+	return s
+}
+
+func scaleScalar(v Vector, alpha float32) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+func addScalar(v, u Vector) {
+	for i, x := range u {
+		v[i] += x
+	}
+}
+
+func subScalar(v, u Vector) {
+	for i, x := range u {
+		v[i] -= x
+	}
+}
+
+func addSubIntoScalar(dst, a, b Vector) {
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+func scaleDeltaIntoScalar(dst, a, b Vector, alpha float32) {
+	for i := range dst {
+		dst[i] = alpha * (a[i] - b[i])
+	}
+}
+
+func scaleIntoScalar(dst, a Vector, alpha float32) {
+	for i := range dst {
+		dst[i] = alpha * a[i]
+	}
+}
+
+func scaleAddIntoScalar(dst, a, b Vector, alpha float32) {
+	for i := range dst {
+		t := alpha * a[i] // rounded before the add, like the kernel
+		dst[i] = t + b[i]
+	}
+}
+
+func reluScalar(v Vector) {
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+}
+
+func reluIntoScalar(dst, src Vector) {
+	for i, x := range src {
+		if x < 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = x
+		}
+	}
+}

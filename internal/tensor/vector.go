@@ -7,6 +7,23 @@
 // All operations are deterministic and stdlib-only. Destination-buffer
 // variants (…Into) are provided for the hot paths so the engine can reuse
 // scratch memory across updates.
+//
+// # Kernel style
+//
+// The hot kernels (AXPY, Dot, Scale, Add, Sub, the …Into family, ReLU) are
+// written as 8-wide unrolled loops over constant-length sub-slices:
+//
+//	vv := v[i : i+8 : i+8] // len(vv) == 8 is a compile-time fact
+//
+// gives the compiler a slice whose length it can prove, so the eight
+// element accesses inside the block carry no bounds checks — one check per
+// slice expression instead of one per element — and the independent
+// per-lane statements break the loop-carried dependence so the scheduler
+// can overlap them. Verify with `go build -gcflags='-d=ssa/check_bce'`:
+// only the per-block slice operations and the remainder loop report
+// checks. Every kernel has a straight-line twin in scalar.go
+// (`axpyScalar`, …) that the differential tests in kernels_test.go pin it
+// against bit for bit; see DESIGN.md §3.
 package tensor
 
 import (
@@ -60,8 +77,21 @@ func (v Vector) Add(u Vector) {
 	if len(v) != len(u) {
 		panic(fmt.Sprintf("tensor: Add length mismatch %d != %d", len(v), len(u)))
 	}
-	for i, x := range u {
-		v[i] += x
+	i := 0
+	for ; i+8 <= len(v); i += 8 {
+		vv := v[i : i+8 : i+8]
+		uu := u[i : i+8 : i+8]
+		vv[0] += uu[0]
+		vv[1] += uu[1]
+		vv[2] += uu[2]
+		vv[3] += uu[3]
+		vv[4] += uu[4]
+		vv[5] += uu[5]
+		vv[6] += uu[6]
+		vv[7] += uu[7]
+	}
+	for ; i < len(v); i++ {
+		v[i] += u[i]
 	}
 }
 
@@ -70,8 +100,21 @@ func (v Vector) Sub(u Vector) {
 	if len(v) != len(u) {
 		panic(fmt.Sprintf("tensor: Sub length mismatch %d != %d", len(v), len(u)))
 	}
-	for i, x := range u {
-		v[i] -= x
+	i := 0
+	for ; i+8 <= len(v); i += 8 {
+		vv := v[i : i+8 : i+8]
+		uu := u[i : i+8 : i+8]
+		vv[0] -= uu[0]
+		vv[1] -= uu[1]
+		vv[2] -= uu[2]
+		vv[3] -= uu[3]
+		vv[4] -= uu[4]
+		vv[5] -= uu[5]
+		vv[6] -= uu[6]
+		vv[7] -= uu[7]
+	}
+	for ; i < len(v); i++ {
+		v[i] -= u[i]
 	}
 }
 
@@ -84,26 +127,74 @@ func (v Vector) AXPY(alpha float32, u Vector) {
 	if alpha == 0 {
 		return
 	}
-	for i, x := range u {
-		v[i] += alpha * x
+	i := 0
+	for ; i+8 <= len(v); i += 8 {
+		vv := v[i : i+8 : i+8]
+		uu := u[i : i+8 : i+8]
+		vv[0] += alpha * uu[0]
+		vv[1] += alpha * uu[1]
+		vv[2] += alpha * uu[2]
+		vv[3] += alpha * uu[3]
+		vv[4] += alpha * uu[4]
+		vv[5] += alpha * uu[5]
+		vv[6] += alpha * uu[6]
+		vv[7] += alpha * uu[7]
+	}
+	for ; i < len(v); i++ {
+		v[i] += alpha * u[i]
 	}
 }
 
 // Scale multiplies every element of v by alpha.
 func (v Vector) Scale(alpha float32) {
-	for i := range v {
+	i := 0
+	for ; i+8 <= len(v); i += 8 {
+		vv := v[i : i+8 : i+8]
+		vv[0] *= alpha
+		vv[1] *= alpha
+		vv[2] *= alpha
+		vv[3] *= alpha
+		vv[4] *= alpha
+		vv[5] *= alpha
+		vv[6] *= alpha
+		vv[7] *= alpha
+	}
+	for ; i < len(v); i++ {
 		v[i] *= alpha
 	}
 }
 
 // Dot returns the inner product of v and u.
+//
+// The reduction runs over eight independent accumulator lanes (element i
+// lands in lane i mod 8) combined by a fixed pairwise tree, which breaks
+// the latency-bound single-accumulator dependence chain. The lane order is
+// part of the function's contract: dotScalar reproduces it exactly, so the
+// differential tests can demand bit equality. No production caller depends
+// on the old left-to-right order — MatVec/MatVecAcc carry their own inline
+// accumulation, deliberately untouched because their sum order is visible
+// in published logits.
 func (v Vector) Dot(u Vector) float32 {
 	if len(v) != len(u) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d != %d", len(v), len(u)))
 	}
-	var s float32
-	for i, x := range u {
-		s += v[i] * x
+	var s0, s1, s2, s3, s4, s5, s6, s7 float32
+	i := 0
+	for ; i+8 <= len(v); i += 8 {
+		vv := v[i : i+8 : i+8]
+		uu := u[i : i+8 : i+8]
+		s0 += vv[0] * uu[0]
+		s1 += vv[1] * uu[1]
+		s2 += vv[2] * uu[2]
+		s3 += vv[3] * uu[3]
+		s4 += vv[4] * uu[4]
+		s5 += vv[5] * uu[5]
+		s6 += vv[6] * uu[6]
+		s7 += vv[7] * uu[7]
+	}
+	s := ((s0 + s4) + (s1 + s5)) + ((s2 + s6) + (s3 + s7))
+	for ; i < len(v); i++ {
+		s += v[i] * u[i]
 	}
 	return s
 }
@@ -167,7 +258,21 @@ func AddSubInto(dst, a, b Vector) {
 	if len(dst) != len(a) || len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: AddSubInto length mismatch %d/%d/%d", len(dst), len(a), len(b)))
 	}
-	for i := range dst {
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		dd := dst[i : i+8 : i+8]
+		aa := a[i : i+8 : i+8]
+		bb := b[i : i+8 : i+8]
+		dd[0] = aa[0] - bb[0]
+		dd[1] = aa[1] - bb[1]
+		dd[2] = aa[2] - bb[2]
+		dd[3] = aa[3] - bb[3]
+		dd[4] = aa[4] - bb[4]
+		dd[5] = aa[5] - bb[5]
+		dd[6] = aa[6] - bb[6]
+		dd[7] = aa[7] - bb[7]
+	}
+	for ; i < len(dst); i++ {
 		dst[i] = a[i] - b[i]
 	}
 }
@@ -178,7 +283,82 @@ func ScaleDeltaInto(dst, a, b Vector, alpha float32) {
 	if len(dst) != len(a) || len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: ScaleDeltaInto length mismatch %d/%d/%d", len(dst), len(a), len(b)))
 	}
-	for i := range dst {
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		dd := dst[i : i+8 : i+8]
+		aa := a[i : i+8 : i+8]
+		bb := b[i : i+8 : i+8]
+		dd[0] = alpha * (aa[0] - bb[0])
+		dd[1] = alpha * (aa[1] - bb[1])
+		dd[2] = alpha * (aa[2] - bb[2])
+		dd[3] = alpha * (aa[3] - bb[3])
+		dd[4] = alpha * (aa[4] - bb[4])
+		dd[5] = alpha * (aa[5] - bb[5])
+		dd[6] = alpha * (aa[6] - bb[6])
+		dd[7] = alpha * (aa[7] - bb[7])
+	}
+	for ; i < len(dst); i++ {
 		dst[i] = alpha * (a[i] - b[i])
+	}
+}
+
+// ScaleInto computes dst = alpha*a without allocating — the mean
+// aggregator's degree normalisation (alpha = 1/deg over the raw sum).
+func ScaleInto(dst, a Vector, alpha float32) {
+	if len(dst) != len(a) {
+		panic(fmt.Sprintf("tensor: ScaleInto length mismatch %d != %d", len(dst), len(a)))
+	}
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		dd := dst[i : i+8 : i+8]
+		aa := a[i : i+8 : i+8]
+		dd[0] = alpha * aa[0]
+		dd[1] = alpha * aa[1]
+		dd[2] = alpha * aa[2]
+		dd[3] = alpha * aa[3]
+		dd[4] = alpha * aa[4]
+		dd[5] = alpha * aa[5]
+		dd[6] = alpha * aa[6]
+		dd[7] = alpha * aa[7]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = alpha * a[i]
+	}
+}
+
+// ScaleAddInto computes dst = alpha*a + b without allocating — GINConv's
+// (1+ε)·h_self + aggregate combine. The alpha*a product is rounded before
+// the add (an explicit float32 intermediate), so the result is identical
+// on platforms whose compilers would otherwise contract the expression
+// into a fused multiply-add.
+func ScaleAddInto(dst, a, b Vector, alpha float32) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: ScaleAddInto length mismatch %d/%d/%d", len(dst), len(a), len(b)))
+	}
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		dd := dst[i : i+8 : i+8]
+		aa := a[i : i+8 : i+8]
+		bb := b[i : i+8 : i+8]
+		t0 := alpha * aa[0]
+		t1 := alpha * aa[1]
+		t2 := alpha * aa[2]
+		t3 := alpha * aa[3]
+		t4 := alpha * aa[4]
+		t5 := alpha * aa[5]
+		t6 := alpha * aa[6]
+		t7 := alpha * aa[7]
+		dd[0] = t0 + bb[0]
+		dd[1] = t1 + bb[1]
+		dd[2] = t2 + bb[2]
+		dd[3] = t3 + bb[3]
+		dd[4] = t4 + bb[4]
+		dd[5] = t5 + bb[5]
+		dd[6] = t6 + bb[6]
+		dd[7] = t7 + bb[7]
+	}
+	for ; i < len(dst); i++ {
+		t := alpha * a[i]
+		dst[i] = t + b[i]
 	}
 }

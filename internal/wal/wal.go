@@ -76,11 +76,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats is a point-in-time snapshot of the log's on-disk footprint.
+// Stats is a point-in-time snapshot of the log's on-disk footprint and
+// its append/fsync traffic.
 type Stats struct {
 	Bytes     int64  // total bytes across all live segments
 	Segments  int    // live segment files (including the active one)
 	LastEpoch uint64 // epoch of the newest record, 0 if none
+	Appends   uint64 // records written since Open
+	// Fsyncs counts fsyncs of the active segment since Open. Under
+	// Config.Fsync with concurrent appenders, group commit amortises one
+	// sync across every record written while the previous sync ran, so
+	// this stays below Appends.
+	Fsyncs uint64
 }
 
 // segment is one on-disk log file: its creation index, the epoch range of
@@ -111,6 +118,22 @@ type Log struct {
 	lastEpoch uint64 // newest record epoch across the whole log
 	dirty     bool   // active segment has unsynced appends
 
+	// Group-commit state (Config.Fsync): appenders write their record
+	// under mu, then wait until an fsync covers it. The first waiter not
+	// already covered becomes the leader — it snapshots the write
+	// sequence, drops mu, fsyncs once, and wakes every waiter whose
+	// record that single sync made durable. All fields below are guarded
+	// by mu; the leader's f.Sync itself runs outside it, so anything that
+	// retires or truncates the active file (rotation, abort, Close) must
+	// first drain an in-flight sync via waitSyncLocked.
+	flushed   sync.Cond // broadcast when a sync completes or fails
+	writeSeq  uint64    // records written to the active file
+	syncedSeq uint64    // records covered by a completed fsync
+	syncing   bool      // a leader is fsyncing outside mu
+	syncErr   error     // sticky: an fsync failed; the log can no longer promise durability
+	appends   uint64    // records written since Open
+	fsyncs    uint64    // fsyncs of the active segment since Open
+
 	// One-deep undo state for AbortLast: the active segment and epoch
 	// as they were before the most recent Append. Invalidated by
 	// rotation, checkpointing, aborting, and Open.
@@ -133,6 +156,7 @@ func Open(dir string, cfg Config) (*Log, error) {
 		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
 	}
 	l := &Log{dir: dir, cfg: cfg}
+	l.flushed.L = &l.mu
 
 	names, err := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
 	if err != nil {
@@ -268,11 +292,24 @@ func (l *Log) openSegmentLocked() error {
 	return syncDir(l.dir)
 }
 
+// waitSyncLocked drains an in-flight group-commit fsync. Anything that
+// retires, truncates or closes the active file must call this first: the
+// leader syncs l.f outside mu, and yanking the file out from under it
+// would turn an ordinary rotation into a spurious sync failure.
+func (l *Log) waitSyncLocked() {
+	for l.syncing {
+		l.flushed.Wait()
+	}
+}
+
 // rotateLocked retires the active segment (syncing it) and opens a new one.
 func (l *Log) rotateLocked() error {
+	l.waitSyncLocked()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: syncing segment: %w", err)
 	}
+	l.fsyncs++
+	l.syncedSeq = l.writeSeq // everything written so far is in the synced file
 	l.dirty = false
 	l.canUndo = false
 	if err := l.f.Close(); err != nil {
@@ -288,6 +325,10 @@ func (l *Log) rotateLocked() error {
 // storage when Append returns. Rotation happens before the write, so the
 // newest record always sits at the tail of the active segment (the
 // invariant AbortLast relies on).
+//
+// Concurrent Appends are safe and, under Config.Fsync, group-committed:
+// see AppendNext for the variant concurrent appenders actually want
+// (strictly-increasing epochs make externally chosen epochs race).
 func (l *Log) Append(epoch uint64, payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -296,6 +337,39 @@ func (l *Log) Append(epoch uint64, payload []byte) error {
 	}
 	if epoch <= l.lastEpoch {
 		return fmt.Errorf("wal: append epoch %d out of order (last %d)", epoch, l.lastEpoch)
+	}
+	return l.appendLocked(epoch, payload)
+}
+
+// AppendNext writes one record at the next free epoch (lastEpoch+1) and
+// returns the epoch it was assigned. This is the concurrent-appender
+// entry point: the epoch is allocated under the same critical section as
+// the write, so any number of goroutines can append without racing the
+// strictly-increasing-epoch check, and under Config.Fsync their syncs are
+// group-committed — the first uncovered appender fsyncs once for every
+// record written while the previous sync was in flight (see
+// BenchmarkWALAppend's fsyncs/append metric).
+func (l *Log) AppendNext(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	epoch := l.lastEpoch + 1
+	if err := l.appendLocked(epoch, payload); err != nil {
+		return 0, err
+	}
+	return epoch, nil
+}
+
+// appendLocked validates nothing about epoch (callers do); it rotates if
+// due, writes the framed record, updates the bookkeeping, and — under
+// Config.Fsync — blocks until a group-commit fsync covers the record.
+func (l *Log) appendLocked(epoch uint64, payload []byte) error {
+	if l.syncErr != nil {
+		// A failed fsync already broke the durability promise for some
+		// earlier record; admitting more would silently widen the hole.
+		return l.syncErr
 	}
 	if l.active.bytes >= l.cfg.SegmentBytes && l.active.first != 0 {
 		if err := l.rotateLocked(); err != nil {
@@ -309,12 +383,8 @@ func (l *Log) Append(epoch uint64, payload []byte) error {
 		return fmt.Errorf("wal: appending record: %w", err)
 	}
 	l.dirty = true
-	if l.cfg.Fsync {
-		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("wal: syncing record: %w", err)
-		}
-		l.dirty = false
-	}
+	l.appends++
+	l.writeSeq++
 	if l.active.first == 0 {
 		l.active.first = epoch
 	}
@@ -322,6 +392,55 @@ func (l *Log) Append(epoch uint64, payload []byte) error {
 	l.active.bytes += int64(len(rec))
 	l.lastEpoch = epoch
 	l.undo, l.canUndo = undo, true
+	if l.cfg.Fsync {
+		return l.groupSyncLocked(l.writeSeq)
+	}
+	return nil
+}
+
+// groupSyncLocked blocks until an fsync covers write sequence seq. The
+// caller's record is already in the file; if no sync is running, the
+// caller becomes the leader — it snapshots how far the file has been
+// written, fsyncs outside mu (appenders keep writing meanwhile), then
+// marks every record up to the snapshot durable and wakes the waiters.
+// If a sync is already in flight the caller waits: either that sync's
+// snapshot covers it, or it becomes the next leader when the current one
+// finishes. mu is held on entry and exit, released around the fsync.
+func (l *Log) groupSyncLocked(seq uint64) error {
+	for l.syncedSeq < seq {
+		if l.syncErr != nil {
+			return l.syncErr
+		}
+		if l.closed {
+			// Close drains and syncs before closing the file, so a waiter
+			// can only observe closed with its record already covered or
+			// the sync error set; this is unreachable, kept as a guard
+			// against leading a sync on a closed file.
+			return ErrClosed
+		}
+		if l.syncing {
+			l.flushed.Wait()
+			continue
+		}
+		l.syncing = true
+		upTo := l.writeSeq
+		f := l.f
+		l.mu.Unlock()
+		err := f.Sync()
+		l.mu.Lock()
+		l.syncing = false
+		l.fsyncs++
+		if err != nil && l.syncErr == nil {
+			l.syncErr = fmt.Errorf("wal: syncing record: %w", err)
+		}
+		if err == nil && upTo > l.syncedSeq {
+			l.syncedSeq = upTo
+		}
+		l.dirty = l.syncedSeq < l.writeSeq
+		l.flushed.Broadcast()
+	}
+	// syncedSeq reached seq: this record is on stable storage, whatever
+	// later records' syncs may have done.
 	return nil
 }
 
@@ -340,6 +459,7 @@ func (l *Log) AbortLast(epoch uint64) error {
 	if !l.canUndo || epoch != l.lastEpoch {
 		return fmt.Errorf("wal: cannot abort record %d (last appended %d, undo available %v)", epoch, l.lastEpoch, l.canUndo)
 	}
+	l.waitSyncLocked() // never truncate a file a leader is fsyncing
 	if err := l.f.Truncate(l.undo.bytes); err != nil {
 		return fmt.Errorf("wal: aborting record: %w", err)
 	}
@@ -448,15 +568,27 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return ErrClosed
 	}
+	l.waitSyncLocked()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs++
+	l.syncedSeq = l.writeSeq
 	l.dirty = false
-	return l.f.Sync()
+	return nil
 }
 
-// Stats returns the log's current on-disk footprint.
+// Stats returns the log's current on-disk footprint and traffic counters.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	st := Stats{LastEpoch: l.lastEpoch, Segments: len(l.segs) + 1, Bytes: l.active.bytes}
+	st := Stats{
+		LastEpoch: l.lastEpoch,
+		Segments:  len(l.segs) + 1,
+		Bytes:     l.active.bytes,
+		Appends:   l.appends,
+		Fsyncs:    l.fsyncs,
+	}
 	for _, seg := range l.segs {
 		st.Bytes += seg.bytes
 	}
@@ -464,19 +596,31 @@ func (l *Log) Stats() Stats {
 }
 
 // Close syncs and closes the active segment. Further operations return
-// ErrClosed.
+// ErrClosed. An in-flight group-commit sync is drained first, and the
+// final sync marks every written record durable, so appenders still
+// waiting on a group commit return success rather than ErrClosed — their
+// records are on disk.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return nil
 	}
+	l.waitSyncLocked()
 	l.closed = true
-	if err := l.f.Sync(); err != nil {
-		l.f.Close()
-		return err
+	err := l.f.Sync()
+	if err == nil {
+		l.fsyncs++
+		l.syncedSeq = l.writeSeq
+		l.dirty = false
+	} else if l.syncErr == nil {
+		l.syncErr = err
 	}
-	return l.f.Close()
+	l.flushed.Broadcast()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // syncDir fsyncs a directory so entry creations/removals survive power
