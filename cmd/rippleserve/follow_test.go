@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// startFollower boots this test binary as a rippleserve replica: -follow
+// pointed at a leader's replication listener, optionally durable. A
+// follower needs no dataset flags — it has no model or engine.
+func startFollower(t *testing.T, addr, leaderRepl, dataDir string) *daemon {
+	t.Helper()
+	args := []string{"-addr", addr, "-follow", leaderRepl}
+	if dataDir != "" {
+		args = append(args, "-data-dir", dataDir, "-checkpoint-every", "3")
+	}
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "RIPPLESERVE_CHILD=1")
+	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return &daemon{t: t, cmd: cmd, base: "http://" + addr}
+}
+
+// waitCaughtUp polls /healthz until the daemon serves an epoch at or past
+// the target with zero reported lag, returning the final healthz body.
+func (d *daemon) waitCaughtUp(epoch float64, timeout time.Duration) map[string]any {
+	d.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.base + "/healthz")
+		if err == nil {
+			var body map[string]any
+			jerr := json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if jerr == nil && resp.StatusCode == http.StatusOK {
+				e, _ := body["epoch"].(float64)
+				lag, _ := body["lag_epochs"].(float64)
+				if e >= epoch && lag == 0 {
+					return body
+				}
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	d.t.Fatalf("daemon at %s never caught up to epoch %v", d.base, epoch)
+	return nil
+}
+
+// TestFollowerReplicationE2E is the replication drill over real
+// processes and real loopback TCP: a leader with -replicate-addr, two
+// followers (one durable, one memory-only) with -follow, label parity at
+// every probed point, writes misdirected off the replica, and a SIGKILL'd
+// durable follower recovering from its own checkpoint + WAL tail before
+// catching the rest up from the leader.
+func TestFollowerReplicationE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemon processes")
+	}
+	leaderDir, folDir := t.TempDir(), t.TempDir()
+	leaderAddr, replAddr := freeLoopbackAddr(t), freeLoopbackAddr(t)
+	f1Addr, f2Addr := freeLoopbackAddr(t), freeLoopbackAddr(t)
+	const probe = 12
+
+	leader := startDaemon(t, leaderAddr, leaderDir, "-replicate-addr", replAddr)
+	defer leader.cmd.Process.Kill()
+	leader.waitHealthy(90 * time.Second)
+
+	// Followers join at the bootstrap epoch, before any batch, so the
+	// durable one builds its checkpoint/WAL history as epochs stream in.
+	f1 := startFollower(t, f1Addr, replAddr, folDir)
+	defer f1.cmd.Process.Kill()
+	f2 := startFollower(t, f2Addr, replAddr, "")
+	defer f2.cmd.Process.Kill()
+	f1.waitHealthy(60 * time.Second)
+	f2.waitHealthy(60 * time.Second)
+
+	// 7 synchronous batches → epochs 1..7; -checkpoint-every 3 on the
+	// durable follower leaves epoch 7 only in its WAL tail.
+	for i := 0; i < 7; i++ {
+		leader.applySync(i, float64(i)*0.1-0.3)
+	}
+	wantEpoch := leader.servingStats()["epoch"].(float64)
+	wantLabels := leader.labels(probe)
+
+	h1 := f1.waitCaughtUp(wantEpoch, 60*time.Second)
+	h2 := f2.waitCaughtUp(wantEpoch, 60*time.Second)
+	for i, h := range []map[string]any{h1, h2} {
+		if h["role"] != "follower" || h["connected"] != true {
+			t.Fatalf("follower %d healthz: %v", i+1, h)
+		}
+	}
+	if got := f1.labels(probe); fmt.Sprint(got) != fmt.Sprint(wantLabels) {
+		t.Fatalf("durable follower labels %v, leader %v", got, wantLabels)
+	}
+	if got := f2.labels(probe); fmt.Sprint(got) != fmt.Sprint(wantLabels) {
+		t.Fatalf("memory follower labels %v, leader %v", got, wantLabels)
+	}
+
+	// Writes are misdirected on a replica: 421 pointing at the leader.
+	resp, err := http.Post(f1.base+"/update?sync=1", "application/json",
+		bytes.NewReader([]byte(`{"updates":[{"kind":"edge-delete","u":0,"v":1}]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("write on follower: status %d, want 421", resp.StatusCode)
+	}
+
+	// The leader's /stats surfaces the replication hub.
+	if st := leader.servingStats(); st["repl_followers"].(float64) != 2 || st["repl_frames_sent"].(float64) == 0 {
+		t.Fatalf("leader replication stats: followers=%v frames=%v", st["repl_followers"], st["repl_frames_sent"])
+	}
+
+	// Crash drill: SIGKILL the durable follower (no shutdown checkpoint),
+	// advance the leader while it is down, reboot on the same data dir.
+	if err := f1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	f1.cmd.Wait()
+	for i := 0; i < 3; i++ {
+		leader.applySync(i, 0.4+float64(i)*0.05)
+	}
+	wantEpoch = leader.servingStats()["epoch"].(float64)
+	wantLabels = leader.labels(probe)
+
+	f1b := startFollower(t, f1Addr, replAddr, folDir)
+	defer f1b.cmd.Process.Kill()
+	h := f1b.waitCaughtUp(wantEpoch, 60*time.Second)
+	if h["recovered_frames"].(float64) == 0 {
+		t.Fatalf("restarted follower replayed no WAL frames: %v", h)
+	}
+	if got := f1b.labels(probe); fmt.Sprint(got) != fmt.Sprint(wantLabels) {
+		t.Fatalf("labels after follower crash recovery: %v, want %v", got, wantLabels)
+	}
+
+	// The memory-only follower rode the live stream the whole time.
+	f2.waitCaughtUp(wantEpoch, 60*time.Second)
+	if got := f2.labels(probe); fmt.Sprint(got) != fmt.Sprint(wantLabels) {
+		t.Fatalf("memory follower labels after advance: %v, want %v", got, wantLabels)
+	}
+}

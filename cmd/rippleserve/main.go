@@ -19,6 +19,17 @@
 //	GET  /healthz          liveness + current epoch (+ durability state)
 //	GET  /stats            serving counters (epochs, batches, flips, pages, ...)
 //
+// With -replicate-addr the daemon is additionally a replication leader:
+// every published epoch is streamed as a delta frame to connected
+// followers, and /stats gains the repl_* counters. With -follow
+// <leader-replication-addr> the daemon is a read-only follower instead:
+// no dataset, model, or engine — it catches up from the leader (or its
+// own -data-dir checkpoint + WAL tail) and applies live delta frames
+// into its own paged snapshots. Reads serve exactly as on the leader;
+// writes (POST /update) answer 421 with a pointer at the leader;
+// /healthz reports role, leader epoch, and lag; if the leader dies the
+// follower keeps serving its last applied epoch and reconnects forever.
+//
 // With -data-dir the daemon is durable: admitted batches are written
 // ahead to a WAL, checkpoints run every -checkpoint-every batches (and on
 // demand, and at graceful shutdown), and a restart pointed at the same
@@ -80,6 +91,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durability: WAL + checkpoints under this directory; recover from it on boot")
 	fsync := flag.Bool("fsync", false, "fsync the WAL after every admitted batch (power-loss durability)")
 	ckptEvery := flag.Int("checkpoint-every", 256, "automatic checkpoint interval in batches (0 = only /checkpoint and shutdown)")
+	replicateAddr := flag.String("replicate-addr", "", "leader mode: stream published epochs to followers on this address")
+	follow := flag.String("follow", "", "follower mode: replicate read-only state from this leader replication address")
 	flag.Parse()
 
 	cfg := serveConfig{
@@ -87,8 +100,17 @@ func main() {
 		Layers: *layers, Hidden: *hidden, Seed: *seed,
 		Batch: *batch, Delay: *delay, Workers: *workers, Partitioner: *partitioner,
 		DataDir: *dataDir, Fsync: *fsync, CheckpointEvery: *ckptEvery,
+		ReplicateAddr: *replicateAddr, Follow: *follow,
 	}
-	if err := run(cfg); err != nil {
+	if cfg.Follow != "" && cfg.ReplicateAddr != "" {
+		fmt.Fprintln(os.Stderr, "rippleserve: -follow and -replicate-addr are mutually exclusive (a follower cannot lead)")
+		os.Exit(2)
+	}
+	runFn := run
+	if cfg.Follow != "" {
+		runFn = runFollower
+	}
+	if err := runFn(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "rippleserve:", err)
 		os.Exit(1)
 	}
@@ -111,6 +133,9 @@ type serveConfig struct {
 	DataDir         string // "" = not durable
 	Fsync           bool
 	CheckpointEvery int
+
+	ReplicateAddr string // leader mode: replication listener ("" = off)
+	Follow        string // follower mode: leader's replication address
 }
 
 func run(cfg serveConfig) error {
@@ -189,6 +214,13 @@ func run(cfg serveConfig) error {
 		log.Printf("durable under %s: recovered %d batches from the WAL, resuming at epoch %d (checkpoint epoch %d)",
 			cfg.DataDir, st.RecoveredBatches, st.Epoch, st.LastCheckpointEpoch)
 	}
+	if cfg.ReplicateAddr != "" {
+		repl, err := srv.StartReplication(cfg.ReplicateAddr)
+		if err != nil {
+			return fail(err)
+		}
+		log.Printf("replication leader on %s", repl.Addr())
+	}
 	api.srv.Store(srv)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -210,12 +242,85 @@ func run(cfg serveConfig) error {
 	return nil
 }
 
+// runFollower is the -follow mode: no dataset, model, or engine — the
+// daemon replicates read-only state from a leader's replication listener
+// and serves the same read API off its own paged snapshots. With
+// -data-dir it recovers from its local checkpoint + WAL tail first and
+// can serve (stale) reads before the leader is even reachable.
+func runFollower(cfg serveConfig) error {
+	api := &api{leader: cfg.Follow, durable: cfg.DataDir != ""}
+	httpSrv := &http.Server{Handler: api.routes()}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- httpSrv.Serve(ln) }()
+	log.Printf("listening on %s (503 starting until the first epoch is caught up)", cfg.Addr)
+
+	var opts []ripple.FollowOption
+	if cfg.DataDir != "" {
+		opts = append(opts,
+			ripple.FollowWithDataDir(cfg.DataDir),
+			ripple.FollowWithFsync(cfg.Fsync),
+			ripple.FollowWithCheckpointEvery(cfg.CheckpointEvery))
+	}
+	fol, err := ripple.Follow(cfg.Follow, opts...)
+	if err != nil {
+		httpSrv.Close()
+		<-serveDone
+		return err
+	}
+	defer func() {
+		// Graceful shutdown: sever the leader stream and (durable mode)
+		// cut a final checkpoint so the next boot replays zero frames.
+		fol.Close()
+		log.Printf("shut down; final follower stats: %+v", fol.Stats())
+	}()
+	if cfg.DataDir != "" {
+		log.Printf("following %s (durable under %s)", cfg.Follow, cfg.DataDir)
+	} else {
+		log.Printf("following %s", cfg.Follow)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// Reads open up at the first servable epoch: recovery's checkpoint
+		// if there is one, else the leader's snapshot/catch-up.
+		select {
+		case <-fol.Ready():
+			api.fol.Store(fol)
+			st := fol.Stats()
+			log.Printf("follower ready: serving epoch %d (leader epoch %d, lag %d)", st.Epoch, st.LeaderEpoch, st.LagEpochs)
+		case <-ctx.Done():
+		}
+	}()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+	if err := <-serveDone; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-drained
+	return nil
+}
+
 // api holds the handlers and the static facts handlers may report without
 // touching engine-owned state. srv is nil until bootstrap/recovery
 // completes — the listener comes up first so health checks see a 503
 // "starting" instead of a connection refused while a long recovery runs.
+// In follower mode fol (not srv) is set once the first epoch is servable,
+// and leader names the replication address writes should go to instead.
 type api struct {
 	srv      atomic.Pointer[ripple.Server]
+	fol      atomic.Pointer[ripple.Follower]
+	leader   string // non-empty = follower mode (-follow target)
 	n        int
 	classes  int
 	workload string
@@ -230,10 +335,42 @@ type api struct {
 }
 
 // server returns the serving layer once it is up, or answers 503 and
-// reports false while the daemon is still bootstrapping/recovering.
+// reports false while the daemon is still bootstrapping/recovering. In
+// follower mode there is no server: write-shaped endpoints that call this
+// answer 421 pointing at the leader instead — the request is valid, this
+// replica just cannot be its target.
 func (a *api) server(w http.ResponseWriter) (*ripple.Server, bool) {
 	if srv := a.srv.Load(); srv != nil {
 		return srv, true
+	}
+	if a.leader != "" {
+		a.httpError(w, http.StatusMisdirectedRequest,
+			"read-only follower (replicating from %s); send writes to the leader", a.leader)
+		return nil, false
+	}
+	a.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+	return nil, false
+}
+
+// follower returns the replication follower once its first epoch is
+// servable, or answers 503 "starting" and reports false.
+func (a *api) follower(w http.ResponseWriter) (*ripple.Follower, bool) {
+	if fol := a.fol.Load(); fol != nil {
+		return fol, true
+	}
+	a.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting", "role": "follower"})
+	return nil, false
+}
+
+// snapshot pins the current epoch for a read, whichever role publishes
+// it — the server's publisher or the follower's. Reads are identical in
+// both roles; only the write path knows the difference.
+func (a *api) snapshot(w http.ResponseWriter) (*ripple.Snapshot, bool) {
+	if srv := a.srv.Load(); srv != nil {
+		return srv.Snapshot(), true
+	}
+	if fol := a.fol.Load(); fol != nil {
+		return fol.Snapshot(), true
 	}
 	a.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
 	return nil, false
@@ -290,11 +427,10 @@ func (a *api) vertex(w http.ResponseWriter, r *http.Request, snap *ripple.Snapsh
 }
 
 func (a *api) handleLabel(w http.ResponseWriter, r *http.Request) {
-	srv, ok := a.server(w)
+	snap, ok := a.snapshot(w)
 	if !ok {
 		return
 	}
-	snap := srv.Snapshot()
 	v, ok := a.vertex(w, r, snap)
 	if !ok {
 		return
@@ -313,11 +449,10 @@ func (a *api) handleLabel(w http.ResponseWriter, r *http.Request) {
 const maxTopK = 4096
 
 func (a *api) handleTopK(w http.ResponseWriter, r *http.Request) {
-	srv, ok := a.server(w)
+	snap, ok := a.snapshot(w)
 	if !ok {
 		return
 	}
-	snap := srv.Snapshot()
 	v, ok := a.vertex(w, r, snap)
 	if !ok {
 		return
@@ -385,7 +520,7 @@ type labelRow struct {
 // epoch followed by one {u32 vertex, i32 label} pair per id, in request
 // order — for pollers that would otherwise spend their budget on JSON.
 func (a *api) handleLabels(w http.ResponseWriter, r *http.Request) {
-	srv, ok := a.server(w)
+	snap, ok := a.snapshot(w)
 	if !ok {
 		return
 	}
@@ -413,7 +548,6 @@ func (a *api) handleLabels(w http.ResponseWriter, r *http.Request) {
 		a.httpError(w, http.StatusBadRequest, "%d ids exceeds limit %d", len(body.Ids), maxLabelBatch)
 		return
 	}
-	snap := srv.Snapshot()
 	sc.labels = snap.Labels(body.Ids, sc.labels)
 
 	if strings.Contains(r.Header.Get("Accept"), "application/octet-stream") {
@@ -533,6 +667,16 @@ func (a *api) handleUpdate(w http.ResponseWriter, r *http.Request) {
 // pages (see Server.Compact) and reports the publisher's copy-on-write
 // accounting, including the epoch the accounting was taken at.
 func (a *api) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if a.leader != "" {
+		// Compaction is page maintenance on this replica's own snapshots,
+		// not replicated state: a follower runs it locally.
+		fol, ok := a.follower(w)
+		if !ok {
+			return
+		}
+		a.writeJSON(w, http.StatusOK, map[string]any{"pages": fol.Compact()})
+		return
+	}
 	srv, ok := a.server(w)
 	if !ok {
 		return
@@ -548,6 +692,19 @@ func (a *api) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		a.httpError(w, http.StatusConflict, "server is not durable; restart with -data-dir")
 		return
 	}
+	if a.leader != "" {
+		fol, ok := a.follower(w)
+		if !ok {
+			return
+		}
+		st, err := fol.Checkpoint()
+		if err != nil {
+			a.httpError(w, http.StatusInternalServerError, "checkpoint failed: %v", err)
+			return
+		}
+		a.writeJSON(w, http.StatusOK, map[string]any{"checkpoint": st})
+		return
+	}
 	srv, ok := a.server(w)
 	if !ok {
 		return
@@ -561,6 +718,30 @@ func (a *api) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if a.leader != "" {
+		fol, ok := a.follower(w)
+		if !ok {
+			return
+		}
+		st := fol.Stats()
+		body := map[string]any{
+			"status":       "ok",
+			"role":         "follower",
+			"epoch":        st.Epoch,
+			"leader_epoch": st.LeaderEpoch,
+			"lag_epochs":   st.LagEpochs,
+			"connected":    st.Connected,
+		}
+		if a.durable {
+			body["recovered_frames"] = st.RecoveredFrames
+			body["last_checkpoint_epoch"] = st.LastCheckpointEpoch
+		}
+		// A dead leader does not make the follower unhealthy: it keeps
+		// serving pinned reads at its last applied epoch — 200 with
+		// connected=false is the signal, not a 5xx.
+		a.writeJSON(w, http.StatusOK, body)
+		return
+	}
 	srv, ok := a.server(w)
 	if !ok {
 		// 503 "starting": the listener is up but bootstrap/recovery has
@@ -592,6 +773,19 @@ func (a *api) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
+	if a.leader != "" {
+		fol, ok := a.follower(w)
+		if !ok {
+			return
+		}
+		a.writeJSON(w, http.StatusOK, map[string]any{
+			"role":          "follower",
+			"leader":        a.leader,
+			"encode_errors": a.encodeErrs.Load(),
+			"serving":       fol.Stats(),
+		})
+		return
+	}
 	srv, ok := a.server(w)
 	if !ok {
 		return

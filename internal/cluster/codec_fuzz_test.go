@@ -97,6 +97,16 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		{Kind: engine.EdgeAdd, U: 1, V: 2, Weight: 1.5},
 		{Kind: engine.FeatureUpdate, U: 3, Features: tensor.Vector{0.25, -1, 3.5}},
 	}))
+	// Replication frames (0x20+): the leader→follower stream's
+	// epoch-tagged payloads, including the count-wrap shapes that must be
+	// rejected before allocation.
+	f.Add(KindRepHello, EncodeEpochFrame(1<<40))
+	f.Add(KindRepDelta, EncodeDeltaFrame(41, 3, []DeltaRow{
+		{Vertex: 2, OldLabel: 1, NewLabel: 0, Logits: tensor.Vector{2, 1, -3}},
+	}))
+	f.Add(KindRepDelta, appendU32(appendU32(appendU64(nil, 1), 0x7FFFFFFF), 0x80000000))
+	f.Add(KindRepSnapshot, EncodeSnapshotFrame(9, 2, []int32{1, -1, 0}, []float32{1, 2, 3, 4, 5, 6}))
+	f.Add(KindRepSnapshot, appendU32(appendU32(appendU64(nil, 1), 0x7FFFFFFF), 0x80000000))
 
 	f.Fuzz(func(t *testing.T, kind byte, payload []byte) {
 		switch kind {
@@ -183,6 +193,46 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			}
 			if enc2 := encodeCkptState(seq2, emb2); !bytes.Equal(enc, enc2) {
 				t.Fatal("ckpt-state encoding not canonical")
+			}
+		case KindRepSubscribe, KindRepHello:
+			epoch, err := DecodeEpochFrame(payload)
+			if err != nil {
+				return
+			}
+			if !bytes.Equal(EncodeEpochFrame(epoch), payload) {
+				t.Fatal("epoch frame encoding not canonical")
+			}
+		case KindRepDelta:
+			epoch, classes, rows, err := DecodeDeltaFrame(payload)
+			if err != nil {
+				return
+			}
+			enc := EncodeDeltaFrame(epoch, classes, rows)
+			epoch2, classes2, rows2, err := DecodeDeltaFrame(enc)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if epoch2 != epoch || classes2 != classes || len(rows2) != len(rows) {
+				t.Fatalf("re-decode mismatch: epoch %d→%d, classes %d→%d, %d→%d rows", epoch, epoch2, classes, classes2, len(rows), len(rows2))
+			}
+			if enc2 := EncodeDeltaFrame(epoch2, classes2, rows2); !bytes.Equal(enc, enc2) {
+				t.Fatal("replication delta encoding not canonical")
+			}
+		case KindRepSnapshot:
+			epoch, classes, labels, logits, err := DecodeSnapshotFrame(payload)
+			if err != nil {
+				return
+			}
+			enc := EncodeSnapshotFrame(epoch, classes, labels, logits)
+			epoch2, classes2, labels2, logits2, err := DecodeSnapshotFrame(enc)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if epoch2 != epoch || classes2 != classes || len(labels2) != len(labels) || len(logits2) != len(logits) {
+				t.Fatal("snapshot frame re-decode mismatch")
+			}
+			if enc2 := EncodeSnapshotFrame(epoch2, classes2, labels2, logits2); !bytes.Equal(enc, enc2) {
+				t.Fatal("snapshot frame encoding not canonical")
 			}
 		case 0:
 			ups, err := DecodeUpdates(payload)

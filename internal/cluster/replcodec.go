@@ -1,0 +1,143 @@
+package cluster
+
+// Replication stream codec. The serving tier's leader→replica stream
+// (internal/serve) speaks four frame kinds over a point-to-point
+// transport stream; the payloads reuse this package's wire primitives and
+// the delta-gather row shape (DeltaRow), because a replication delta IS
+// the delta-gather result the leader already computed for publication —
+// just epoch-tagged instead of seq-tagged.
+//
+// The kinds live in a separate numeric space (0x20+) from the private
+// intra-cluster kinds so a frame can never be misrouted across protocols.
+
+import (
+	"fmt"
+
+	"ripple/internal/graph"
+)
+
+const (
+	// KindRepSubscribe (follower→leader) opens a session: the payload is
+	// an epoch frame carrying the follower's watermark — the newest epoch
+	// it already has (MaxUint64 for an empty follower, which the leader
+	// answers with a full snapshot rather than deltas).
+	KindRepSubscribe uint8 = 0x20 + iota
+	// KindRepHello (leader→follower) carries the leader's current epoch:
+	// once at session start (the follower's lag baseline) and periodically
+	// as a heartbeat so lag is observable even when no batches flow.
+	KindRepHello
+	// KindRepSnapshot (leader→follower) resyncs a follower that is too
+	// far behind the in-memory replication log: full dense tables at one
+	// epoch.
+	KindRepSnapshot
+	// KindRepDelta (leader→follower) is one published epoch's changed
+	// rows.
+	KindRepDelta
+)
+
+// EncodeEpochFrame serializes a bare epoch watermark (subscribe, hello).
+func EncodeEpochFrame(epoch uint64) []byte {
+	return appendU64(nil, epoch)
+}
+
+// DecodeEpochFrame is the inverse of EncodeEpochFrame.
+func DecodeEpochFrame(payload []byte) (uint64, error) {
+	r := &reader{b: payload}
+	epoch := r.u64("epoch")
+	if err := r.done(); err != nil {
+		return 0, err
+	}
+	return epoch, nil
+}
+
+// EncodeDeltaFrame serializes one published epoch's changed rows — the
+// epoch-tagged twin of the private delta-gather encoding.
+func EncodeDeltaFrame(epoch uint64, classes int, rows []DeltaRow) []byte {
+	b := appendU64(nil, epoch)
+	b = appendU32(b, uint32(classes))
+	b = appendU32(b, uint32(len(rows)))
+	for _, row := range rows {
+		b = appendU32(b, uint32(row.Vertex))
+		b = appendU32(b, uint32(row.OldLabel))
+		b = appendU32(b, uint32(row.NewLabel))
+		b = appendVec(b, row.Logits)
+	}
+	return b
+}
+
+// DecodeDeltaFrame is the inverse of EncodeDeltaFrame, with the same
+// truncation/overflow hardening as the intra-cluster decoders.
+func DecodeDeltaFrame(payload []byte) (epoch uint64, classes int, rows []DeltaRow, err error) {
+	r := &reader{b: payload}
+	epoch = r.u64("epoch")
+	classes = int(r.u32("classes"))
+	// Each row is id + old + new + the logits: 12 + classes*4 bytes; the
+	// division-based count guard rejects widths whose product would wrap.
+	n := r.count(r.u32("count"), 12+classes*4, "count")
+	if r.err != nil {
+		return 0, 0, nil, r.err
+	}
+	rows = make([]DeltaRow, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		row := DeltaRow{
+			Vertex:   graph.VertexID(r.u32("vertex")),
+			OldLabel: int32(r.u32("old")),
+			NewLabel: int32(r.u32("new")),
+		}
+		row.Logits = r.vec(classes, "logits")
+		rows = append(rows, row)
+	}
+	if err := r.done(); err != nil {
+		return 0, 0, nil, err
+	}
+	return epoch, classes, rows, nil
+}
+
+// EncodeSnapshotFrame serializes full dense serving tables at one epoch:
+// every vertex's label and its row-major final-layer logits. This is the
+// follower resync payload and the follower's checkpoint payload — one
+// format, one decoder.
+func EncodeSnapshotFrame(epoch uint64, classes int, labels []int32, logits []float32) []byte {
+	b := appendU64(nil, epoch)
+	b = appendU32(b, uint32(classes))
+	b = appendU32(b, uint32(len(labels)))
+	for _, l := range labels {
+		b = appendU32(b, uint32(l))
+	}
+	for _, x := range logits {
+		b = appendF32(b, x)
+	}
+	return b
+}
+
+// DecodeSnapshotFrame is the inverse of EncodeSnapshotFrame. The returned
+// slices are freshly allocated.
+func DecodeSnapshotFrame(payload []byte) (epoch uint64, classes int, labels []int32, logits []float32, err error) {
+	r := &reader{b: payload}
+	epoch = r.u64("epoch")
+	classes = int(r.u32("classes"))
+	if classes < 0 {
+		return 0, 0, nil, nil, fmt.Errorf("cluster: snapshot frame classes overflow")
+	}
+	// Each vertex owns 4 label bytes + classes*4 logit bytes; the count
+	// guard bounds the allocation by the payload size.
+	n := r.count(r.u32("vertices"), 4+classes*4, "vertices")
+	if r.err != nil {
+		return 0, 0, nil, nil, r.err
+	}
+	labels = make([]int32, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		labels[i] = int32(r.u32("label"))
+	}
+	logits = make([]float32, n*classes)
+	for i := range logits {
+		if r.err != nil {
+			break
+		}
+		logits[i] = r.f32("logit")
+	}
+	if err := r.done(); err != nil {
+		return 0, 0, nil, nil, err
+	}
+	return epoch, classes, labels, logits, nil
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"ripple/internal/tensor"
+)
+
+func TestEpochFrameRoundTrip(t *testing.T) {
+	for _, epoch := range []uint64{0, 1, 1 << 20, math.MaxUint64} {
+		got, err := DecodeEpochFrame(EncodeEpochFrame(epoch))
+		if err != nil || got != epoch {
+			t.Fatalf("epoch %d: got %d err %v", epoch, got, err)
+		}
+	}
+	if _, err := DecodeEpochFrame([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated epoch frame decoded")
+	}
+	if _, err := DecodeEpochFrame(append(EncodeEpochFrame(7), 0)); err == nil {
+		t.Fatal("epoch frame with trailing bytes decoded")
+	}
+}
+
+func TestDeltaFrameRoundTrip(t *testing.T) {
+	rows := []DeltaRow{
+		{Vertex: 3, OldLabel: 1, NewLabel: 2, Logits: tensor.Vector{0.5, -1.25, 3}},
+		{Vertex: 9, OldLabel: -1, NewLabel: 0, Logits: tensor.Vector{0, 0, float32(math.Inf(1))}},
+	}
+	payload := EncodeDeltaFrame(41, 3, rows)
+	epoch, classes, got, err := DecodeDeltaFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 41 || classes != 3 || len(got) != len(rows) {
+		t.Fatalf("decoded epoch=%d classes=%d rows=%d", epoch, classes, len(got))
+	}
+	for i, row := range rows {
+		g := got[i]
+		if g.Vertex != row.Vertex || g.OldLabel != row.OldLabel || g.NewLabel != row.NewLabel {
+			t.Fatalf("row %d: %+v != %+v", i, g, row)
+		}
+		for j := range row.Logits {
+			if math.Float32bits(g.Logits[j]) != math.Float32bits(row.Logits[j]) {
+				t.Fatalf("row %d logit %d: %x != %x", i, j, g.Logits[j], row.Logits[j])
+			}
+		}
+	}
+
+	// An empty epoch (admitted batch that flipped nothing) is legal.
+	if _, _, got, err := DecodeDeltaFrame(EncodeDeltaFrame(5, 3, nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty delta frame: rows=%d err=%v", len(got), err)
+	}
+
+	// Truncation at every byte boundary errors instead of panicking or
+	// fabricating rows.
+	for cut := 0; cut < len(payload); cut++ {
+		if _, _, _, err := DecodeDeltaFrame(payload[:cut]); err == nil {
+			t.Fatalf("truncated delta frame (%d/%d bytes) decoded", cut, len(payload))
+		}
+	}
+	// A forged row count cannot force a huge allocation: the count guard
+	// rejects counts the payload cannot hold.
+	forged := EncodeDeltaFrame(1, 3, rows)
+	forged[12], forged[13], forged[14], forged[15] = 0xff, 0xff, 0xff, 0x7f
+	if _, _, _, err := DecodeDeltaFrame(forged); err == nil {
+		t.Fatal("forged row count decoded")
+	}
+}
+
+func TestSnapshotFrameRoundTrip(t *testing.T) {
+	labels := []int32{2, -1, 0, 1}
+	logits := make([]float32, len(labels)*3)
+	for i := range logits {
+		logits[i] = float32(i) * 0.75
+	}
+	payload := EncodeSnapshotFrame(9, 3, labels, logits)
+	epoch, classes, gl, gx, err := DecodeSnapshotFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 9 || classes != 3 || len(gl) != len(labels) || len(gx) != len(logits) {
+		t.Fatalf("decoded epoch=%d classes=%d labels=%d logits=%d", epoch, classes, len(gl), len(gx))
+	}
+	for i := range labels {
+		if gl[i] != labels[i] {
+			t.Fatalf("label %d: %d != %d", i, gl[i], labels[i])
+		}
+	}
+	for i := range logits {
+		if math.Float32bits(gx[i]) != math.Float32bits(logits[i]) {
+			t.Fatalf("logit %d: %x != %x", i, gx[i], logits[i])
+		}
+	}
+
+	for cut := 0; cut < len(payload); cut++ {
+		if _, _, _, _, err := DecodeSnapshotFrame(payload[:cut]); err == nil {
+			t.Fatalf("truncated snapshot frame (%d/%d bytes) decoded", cut, len(payload))
+		}
+	}
+	forged := EncodeSnapshotFrame(9, 3, labels, logits)
+	forged[12], forged[13], forged[14], forged[15] = 0xff, 0xff, 0xff, 0x7f
+	if _, _, _, _, err := DecodeSnapshotFrame(forged); err == nil {
+		t.Fatal("forged vertex count decoded")
+	}
+}

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// steadyStateAllocBudget bounds what one warmed-up ApplyBatch may
+// allocate on the parallel scatter + apply path: the result's own
+// FrontierPerHop slice plus the handful of closures the parallel helpers
+// force to the heap. Everything sized by the workload — delta slabs,
+// scatter logs, apply scratches, mailbox vectors, frontier lists — is
+// pooled on the engine and must not show up here.
+const steadyStateAllocBudget = 11
+
+// TestApplyBatchSteadyStateAllocs pins the scatter/apply slab pooling:
+// after warmup, a batch big enough to take the parallel scatter AND the
+// parallel apply path (both engage at frontier ≥ 256) allocates only the
+// per-batch result bookkeeping — no per-worker gnn.Scratch, no delta
+// slab, no sort closures. Run at GOMAXPROCS=1 so the parallel helpers
+// execute inline and AllocsPerRun observes every allocation.
+func TestApplyBatchSteadyStateAllocs(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+
+	spec := gnn.Spec{Kind: gnn.GraphSAGE, Agg: gnn.AggSum, Dims: []int{8, 16, 6}, Seed: 7}
+	w := newTestWorld(t, spec, 800, 4000, 99)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One batch of feature updates over 400 distinct vertices: changed[0]
+	// alone clears the 256-task parallel-scatter cutoff, and their
+	// out-neighbourhoods push the hop-1 frontier past the parallel-apply
+	// cutoff too.
+	const touched = 400
+	feats := make([]tensor.Vector, touched)
+	batch := make([]Update, touched)
+	for i := range batch {
+		feats[i] = tensor.NewVector(spec.Dims[0])
+		for j := range feats[i] {
+			feats[i][j] = float32(i+j) * 0.01
+		}
+		batch[i] = Update{Kind: FeatureUpdate, U: graph.VertexID(i), Features: feats[i]}
+	}
+
+	// Warm the pools (slabs, scratches, mailbox vectors, frontier lists
+	// all grow to the batch's working set) and check the batch actually
+	// exercises the parallel paths it is meant to pin.
+	for i := 0; i < 3; i++ {
+		res, err := r.ApplyBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			if res.ScatterHopsParallel == 0 {
+				t.Fatalf("batch stayed on the serial scatter path: %+v", res)
+			}
+			if res.FrontierPerHop[0] < 256 {
+				t.Fatalf("hop-1 frontier %d below the parallel-apply cutoff", res.FrontierPerHop[0])
+			}
+		}
+	}
+
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := r.ApplyBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > steadyStateAllocBudget {
+		t.Fatalf("steady-state ApplyBatch: %v allocs per batch, budget %d — a pooled slab regressed", allocs, steadyStateAllocBudget)
+	}
+}

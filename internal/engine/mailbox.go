@@ -2,7 +2,7 @@ package engine
 
 import (
 	"math/bits"
-	"sort"
+	"slices"
 
 	"ripple/internal/graph"
 	"ripple/internal/par"
@@ -161,8 +161,10 @@ func (m *shardedMailbox) Len() int {
 func (m *shardedMailbox) Frontier(dst []graph.VertexID, serial bool) []graph.VertexID {
 	sortShard := func(lo, hi int) {
 		for s := lo; s < hi; s++ {
-			t := m.sh[s].touched
-			sort.Slice(t, func(i, j int) bool { return t[i] < t[j] })
+			// slices.Sort, not sort.Slice: the generic sort has no
+			// per-call closure or interface allocation, keeping the
+			// steady-state apply path allocation-free.
+			slices.Sort(m.sh[s].touched)
 		}
 	}
 	if total := m.Len(); serial || total < 4096 {

@@ -99,6 +99,12 @@ type Ripple struct {
 	deltaSlab []float32
 	frontier  []graph.VertexID
 
+	// applyScratch pools the apply phase's per-worker gnn.Scratch
+	// buffers across batches (grown to the GOMAXPROCS snapshot of each
+	// parallel apply), so the steady-state hot path stops allocating one
+	// scratch per worker per hop.
+	applyScratch []*gnn.Scratch
+
 	// affectedStamp/epoch implement an O(1) distinct-vertex counter across
 	// the hops of one batch.
 	affectedStamp []uint32
@@ -518,25 +524,37 @@ func (r *Ripple) scatterHop(l int, res *BatchResult) {
 // applyFrontier runs the apply phase of hop l over the frontier and
 // returns the number of vector operations performed.
 func (r *Ripple) applyFrontier(layer *gnn.Layer, l int, frontier []graph.VertexID) int64 {
-	mb := r.mailbox[l]
-	apply := func(s *gnn.Scratch, v graph.VertexID) {
-		agg := r.emb.A[l][v]
-		agg.Add(mb.Lookup(v))
-		layer.UpdateInto(r.emb.H[l][v], r.emb.H[l-1][v], agg, r.g.InDegree(v), s)
-	}
 	if r.cfg.Serial || len(frontier) < 256 {
 		for _, v := range frontier {
-			apply(r.scratch, v)
+			r.applyOne(layer, l, v, r.scratch)
 		}
 		return int64(len(frontier))
 	}
-	par.For(len(frontier), func(lo, hi int) {
-		s := gnn.NewScratch(r.model.MaxDim())
+	// One GOMAXPROCS snapshot bounds both the scratch pool and the
+	// fan-out (ForShardsN), the same discipline as scatterHop: a
+	// concurrent GOMAXPROCS change can never hand a worker an index past
+	// len(r.applyScratch), and the pooled scratches make the parallel
+	// apply phase allocation-free in steady state.
+	maxW := runtime.GOMAXPROCS(0)
+	for len(r.applyScratch) < maxW {
+		r.applyScratch = append(r.applyScratch, gnn.NewScratch(r.model.MaxDim()))
+	}
+	par.ForShardsN(len(frontier), maxW, func(w, lo, hi int) {
+		s := r.applyScratch[w]
 		for i := lo; i < hi; i++ {
-			apply(s, frontier[i])
+			r.applyOne(layer, l, frontier[i], s)
 		}
 	})
 	return int64(len(frontier))
+}
+
+// applyOne folds vertex v's hop-l mailbox into its aggregate and
+// recomputes h^l_v. A method rather than a closure so the hot apply loop
+// does not allocate a heap closure per hop.
+func (r *Ripple) applyOne(layer *gnn.Layer, l int, v graph.VertexID, s *gnn.Scratch) {
+	agg := r.emb.A[l][v]
+	agg.Add(r.mailbox[l].Lookup(v))
+	layer.UpdateInto(r.emb.H[l][v], r.emb.H[l-1][v], agg, r.g.InDegree(v), s)
 }
 
 // countAffected counts v once per batch toward the affected-vertex total.

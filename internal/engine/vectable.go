@@ -1,7 +1,7 @@
 package engine
 
 import (
-	"sort"
+	"slices"
 
 	"ripple/internal/graph"
 	"ripple/internal/tensor"
@@ -60,7 +60,8 @@ func (t *vecTable) Len() int { return len(t.touched) }
 // order — deterministic across runs, preserving the paper's deterministic-
 // inference guarantee.
 func (t *vecTable) SortedTouched() []graph.VertexID {
-	sort.Slice(t.touched, func(i, j int) bool { return t.touched[i] < t.touched[j] })
+	// slices.Sort over sort.Slice for the allocation-free generic sort.
+	slices.Sort(t.touched)
 	return t.touched
 }
 

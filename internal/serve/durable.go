@@ -240,7 +240,7 @@ func (s *Server) replayRecord(epoch uint64, payload []byte) error {
 	if _, err := s.applyLocked(batch); err != nil {
 		return fmt.Errorf("serve: replaying wal record for epoch %d: %w", epoch, err)
 	}
-	if got := s.cur.Load().epoch; got != epoch {
+	if got := s.pub.Current().epoch; got != epoch {
 		return fmt.Errorf("serve: wal replay desync: record for epoch %d published epoch %d", epoch, got)
 	}
 	s.recovered.Add(1)
@@ -276,7 +276,7 @@ func (s *Server) checkpointLocked() (CheckpointStats, error) {
 	if s.failed.Load() {
 		return CheckpointStats{}, ErrBackendFailed
 	}
-	epoch := s.cur.Load().epoch
+	epoch := s.pub.Current().epoch
 	path := checkpointPath(s.cfg.DataDir, epoch)
 	if epoch == s.lastCkpt.Load() && s.hasCkpt {
 		st := s.wal.Stats()

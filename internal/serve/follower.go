@@ -1,0 +1,629 @@
+package serve
+
+// Follower is the replica side of leader→replica replication: a read-only
+// serving process that maintains its own paged copy-on-write snapshots
+// from the leader's streamed delta frames, without ever running
+// propagation. It owns a Publisher — the same epoch-publication/read half
+// the leader serves from — so replica reads get identical semantics:
+// lock-free, pinnable, repeatable at an epoch watermark.
+//
+// Catch-up is layered exactly like the leader's own recovery:
+//
+//  1. newest local checkpoint (a snapshot frame under the serve
+//     checkpoint envelope) bootstraps the tables at its epoch;
+//  2. the local WAL tail — raw delta-frame bytes, appended before each
+//     apply — replays the epochs after it (wal.TailReader);
+//  3. the live session resumes from the resulting watermark: the leader
+//     either backfills from its in-memory log or, if the follower is too
+//     far behind, resyncs it with a full snapshot frame.
+//
+// Application is exactly-once by epoch arithmetic: a frame at or below
+// the watermark is a duplicate (dropped), watermark+1 applies, anything
+// further ahead is a desync (session ends; reconnecting re-negotiates).
+// If the leader dies, the follower keeps serving its last published epoch
+// and redials until the leader returns.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ripple/internal/cluster"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+	"ripple/internal/transport"
+	"ripple/internal/wal"
+)
+
+// FollowerConfig tunes a Follower. Leader is required; the zero value of
+// everything else gets sensible defaults.
+type FollowerConfig struct {
+	// Leader is the leader's replication listener address (the
+	// StartReplication / rippleserve -replicate-addr endpoint).
+	Leader string
+	// PageRows is the page granularity of the replica's snapshot tables
+	// (same semantics as Config.PageRows). Default 256.
+	PageRows int
+
+	// DataDir, when set, makes the follower durable: applied delta frames
+	// are written ahead to a local WAL and snapshot checkpoints replace
+	// the log periodically, so a restarted follower catches up from disk
+	// instead of a full leader resync.
+	DataDir string
+	// Fsync syncs the follower's WAL after every applied frame.
+	Fsync bool
+	// CheckpointEvery takes an automatic local checkpoint after this many
+	// applied frames. 0 defaults to 1024; negative disables automatic
+	// checkpoints.
+	CheckpointEvery int
+	// SegmentBytes is the follower WAL's rotation threshold (default 4 MiB).
+	SegmentBytes int64
+
+	// DialTimeout bounds each leader dial (default 5s); RetryEvery is the
+	// redial backoff after a failed dial or a dead session (default 250ms).
+	DialTimeout time.Duration
+	RetryEvery  time.Duration
+}
+
+func (c FollowerConfig) withDefaults() FollowerConfig {
+	if c.PageRows <= 0 {
+		c.PageRows = defaultPageRows
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1024
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.RetryEvery <= 0 {
+		c.RetryEvery = 250 * time.Millisecond
+	}
+	return c
+}
+
+// FollowerStats is a point-in-time counter snapshot of a Follower.
+type FollowerStats struct {
+	Epoch       uint64 `json:"epoch"`        // newest locally published epoch
+	LeaderEpoch uint64 `json:"leader_epoch"` // newest epoch the leader has reported
+	LagEpochs   uint64 `json:"lag_epochs"`   // LeaderEpoch - Epoch (0 when caught up)
+	Connected   bool   `json:"connected"`    // a live session to the leader exists
+	Ready       bool   `json:"ready"`        // a snapshot has been published (reads serve)
+
+	FramesApplied   int64 `json:"frames_applied"`   // delta frames applied (all sessions)
+	RowsApplied     int64 `json:"rows_applied"`     // changed rows applied
+	SnapshotResyncs int64 `json:"snapshot_resyncs"` // full-snapshot installs over existing state
+	Sessions        int64 `json:"sessions"`         // leader sessions established
+	RecoveredFrames int64 `json:"recovered_frames"` // frames replayed from the local WAL at start
+
+	Reads       int64 `json:"reads"`        // explicit Snapshot() pins served
+	PagesCopied int64 `json:"pages_copied"` // snapshot pages copy-on-written
+	PagesShared int64 `json:"pages_shared"` // snapshot pages shared across publishes
+
+	// Durability counters (zero for a non-durable follower).
+	WALBytes            int64  `json:"wal_bytes"`
+	WALSegments         int    `json:"wal_segments"`
+	WALAppends          uint64 `json:"wal_appends"`
+	WALFsyncs           uint64 `json:"wal_fsyncs"`
+	LastCheckpointEpoch uint64 `json:"last_checkpoint_epoch"`
+}
+
+// Follower follows a replication leader. Build with Follow; reads are
+// safe from any goroutine the moment Ready() closes (or immediately — a
+// not-yet-ready follower just misses: Label -1, Snapshot nil).
+type Follower struct {
+	cfg FollowerConfig
+	pub *Publisher
+
+	// mu serialises state transitions: frame application, snapshot
+	// installs, checkpoints, the live-stream handle, close. The read path
+	// never takes it.
+	mu        sync.Mutex
+	wal       *wal.Log
+	hasCkpt   bool
+	sinceCkpt int
+	stream    *transport.Stream // live session, severed by Close
+	rowBuf    []Row             // apply scratch
+	labBuf    []int32           // checkpoint scratch
+	logBuf    []float32
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	ready     chan struct{}
+	readyOnce sync.Once
+	wg        sync.WaitGroup
+
+	connected   atomic.Bool
+	leaderEpoch atomic.Uint64
+	frames      atomic.Int64
+	rows        atomic.Int64
+	resyncs     atomic.Int64
+	sessions    atomic.Int64
+	recovered   atomic.Int64
+	lastCkpt    atomic.Uint64
+}
+
+// Follow builds a follower: recover whatever DataDir holds (checkpoint +
+// WAL tail), then keep a session to the leader, applying live frames. It
+// returns once local recovery is complete; catching up to the leader
+// happens in the background (wait on Ready for the first served epoch).
+func Follow(cfg FollowerConfig) (*Follower, error) {
+	if cfg.Leader == "" {
+		return nil, errors.New("serve: FollowerConfig.Leader is required")
+	}
+	cfg = cfg.withDefaults()
+	f := &Follower{
+		cfg:    cfg,
+		pub:    NewPublisher(cfg.PageRows),
+		closed: make(chan struct{}),
+		ready:  make(chan struct{}),
+	}
+	if cfg.DataDir != "" {
+		if err := f.recover(); err != nil {
+			if f.wal != nil {
+				f.wal.Close()
+			}
+			return nil, err
+		}
+	}
+	f.wg.Add(1)
+	go f.run()
+	return f, nil
+}
+
+// recover loads the newest local checkpoint and replays the WAL tail
+// after it — the same shape as the leader's Open, over follower-native
+// artifacts (snapshot-frame checkpoints, delta-frame WAL records).
+func (f *Follower) recover() error {
+	dir := f.cfg.DataDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("serve: creating follower data dir: %w", err)
+	}
+	if strays, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
+		for _, stray := range strays {
+			os.Remove(stray)
+		}
+	}
+
+	epochs := listCheckpoints(dir)
+	var firstErr error
+	for _, epoch := range epochs {
+		err := f.loadCheckpoint(epoch)
+		if err == nil {
+			f.hasCkpt = true
+			f.lastCkpt.Store(epoch)
+			break
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if !f.hasCkpt {
+		if firstErr != nil {
+			return fmt.Errorf("serve: %d follower checkpoint file(s) present but none loadable (newest: %w)", len(epochs), firstErr)
+		}
+		// No base tables: a WAL alone is unusable (its frames are deltas
+		// over a checkpointed state). Start clean; the leader will resync.
+		if err := os.RemoveAll(filepath.Join(dir, "wal")); err != nil {
+			return fmt.Errorf("serve: clearing orphaned follower wal: %w", err)
+		}
+	}
+
+	w, err := wal.Open(filepath.Join(dir, "wal"), wal.Config{
+		SegmentBytes: f.cfg.SegmentBytes,
+		Fsync:        f.cfg.Fsync,
+	})
+	if err != nil {
+		return err
+	}
+	f.wal = w
+
+	if f.hasCkpt {
+		// Replay the tail through the normal frame-apply path, minus the
+		// WAL append (the records are already on disk).
+		tail := w.Tail(f.lastCkpt.Load())
+		for {
+			epoch, payload, ok, err := tail.Next()
+			if err != nil {
+				return fmt.Errorf("serve: follower wal tail: %w", err)
+			}
+			if !ok {
+				break
+			}
+			if err := f.applyFrame(payload, false); err != nil {
+				return fmt.Errorf("serve: replaying follower wal record for epoch %d: %w", epoch, err)
+			}
+			f.recovered.Add(1)
+		}
+		f.markReady()
+	}
+	return nil
+}
+
+// loadCheckpoint publishes the snapshot held by one checkpoint file.
+func (f *Follower) loadCheckpoint(epoch uint64) error {
+	file, err := os.Open(checkpointPath(f.cfg.DataDir, epoch))
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	hdrEpoch, err := readCheckpointHeader(file)
+	if err != nil {
+		return err
+	}
+	if hdrEpoch != epoch {
+		return fmt.Errorf("%w: file named for epoch %d holds epoch %d", ErrBadCheckpointFile, epoch, hdrEpoch)
+	}
+	payload, err := io.ReadAll(file)
+	if err != nil {
+		return err
+	}
+	frameEpoch, classes, labels, logits, err := cluster.DecodeSnapshotFrame(payload)
+	if err != nil {
+		return err
+	}
+	if frameEpoch != epoch {
+		return fmt.Errorf("%w: snapshot frame for epoch %d under header epoch %d", ErrBadCheckpointFile, frameEpoch, epoch)
+	}
+	f.pub.BootstrapFlat(labels, logits, classes, epoch)
+	f.maxLeaderEpoch(epoch)
+	return nil
+}
+
+// run is the session loop: dial, subscribe, consume until the session
+// dies, redial — until Close.
+func (f *Follower) run() {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-f.closed:
+			return
+		default:
+		}
+		st, err := transport.DialStream(f.cfg.Leader, f.cfg.DialTimeout)
+		if err == nil {
+			f.mu.Lock()
+			select {
+			case <-f.closed:
+				f.mu.Unlock()
+				st.Close()
+				return
+			default:
+			}
+			f.stream = st
+			f.mu.Unlock()
+			f.session(st)
+			f.connected.Store(false)
+			st.Close()
+			f.mu.Lock()
+			f.stream = nil
+			f.mu.Unlock()
+		}
+		select {
+		case <-f.closed:
+			return
+		case <-time.After(f.cfg.RetryEvery):
+		}
+	}
+}
+
+// session runs one subscribe→consume exchange. Any protocol violation or
+// transport error returns; the caller redials.
+func (f *Follower) session(st *transport.Stream) {
+	// An empty follower has no base tables for deltas to land on; the
+	// MaxUint64 sentinel makes the leader resync it with a full snapshot
+	// even when its delta log nominally reaches back to epoch 1 (and even
+	// when the leader itself is still at its bootstrap epoch).
+	watermark := uint64(math.MaxUint64)
+	if cur := f.pub.Current(); cur != nil {
+		watermark = cur.epoch
+	}
+	if st.Send(cluster.KindRepSubscribe, cluster.EncodeEpochFrame(watermark)) != nil {
+		return
+	}
+	f.sessions.Add(1)
+	f.connected.Store(true)
+	for {
+		msg, err := st.Recv()
+		if err != nil {
+			return
+		}
+		switch msg.Kind {
+		case cluster.KindRepHello:
+			epoch, err := cluster.DecodeEpochFrame(msg.Payload)
+			if err != nil {
+				return
+			}
+			f.maxLeaderEpoch(epoch)
+		case cluster.KindRepSnapshot:
+			if f.installSnapshot(msg.Payload) != nil {
+				return
+			}
+		case cluster.KindRepDelta:
+			if f.applyFrame(msg.Payload, true) != nil {
+				return
+			}
+		default:
+			return // unknown frame: protocol desync
+		}
+	}
+}
+
+// applyFrame applies one delta frame: sequencing check, bounds check,
+// WAL-append (live frames only), publish. Duplicate epochs are dropped
+// silently — the at-least-once session boundary makes them normal.
+func (f *Follower) applyFrame(payload []byte, logToWAL bool) error {
+	epoch, classes, rows, err := cluster.DecodeDeltaFrame(payload)
+	if err != nil {
+		return err
+	}
+	cur := f.pub.Current()
+	if cur == nil {
+		return errors.New("serve: delta frame before any snapshot")
+	}
+	if epoch <= cur.epoch {
+		return nil // duplicate across a session boundary
+	}
+	if epoch != cur.epoch+1 {
+		return fmt.Errorf("serve: delta frame for epoch %d over local epoch %d (gap)", epoch, cur.epoch)
+	}
+	if classes != cur.classes {
+		return fmt.Errorf("serve: delta frame with %d classes over %d-class tables", classes, cur.classes)
+	}
+	for _, row := range rows {
+		if row.Vertex < 0 || int(row.Vertex) >= cur.n {
+			return fmt.Errorf("serve: delta frame row for vertex %d outside table of %d", row.Vertex, cur.n)
+		}
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	select {
+	case <-f.closed:
+		return ErrClosed
+	default:
+	}
+	if logToWAL && f.wal != nil {
+		if err := f.wal.Append(epoch, payload); err != nil {
+			return fmt.Errorf("serve: follower wal append: %w", err)
+		}
+	}
+	f.rowBuf = f.rowBuf[:0]
+	for _, row := range rows {
+		f.rowBuf = append(f.rowBuf, Row{Vertex: row.Vertex, Label: row.NewLabel, Logits: row.Logits})
+	}
+	f.pub.Publish(f.rowBuf)
+	f.frames.Add(1)
+	f.rows.Add(int64(len(rows)))
+	f.maxLeaderEpoch(epoch)
+	if f.wal != nil && f.cfg.CheckpointEvery > 0 {
+		f.sinceCkpt++
+		if f.sinceCkpt >= f.cfg.CheckpointEvery {
+			// Best effort, like the leader's automatic checkpoints.
+			_, _ = f.checkpointLocked()
+		}
+	}
+	return nil
+}
+
+// installSnapshot replaces the local tables with a full-snapshot resync
+// frame. For a durable follower the frame is also the new on-disk
+// checkpoint — written before the install so a crash never strands a WAL
+// whose base tables were lost.
+func (f *Follower) installSnapshot(payload []byte) error {
+	epoch, classes, labels, logits, err := cluster.DecodeSnapshotFrame(payload)
+	if err != nil {
+		return err
+	}
+	if len(logits) != len(labels)*classes {
+		return fmt.Errorf("serve: snapshot frame tables disagree: %d labels, %d logits, %d classes", len(labels), len(logits), classes)
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	select {
+	case <-f.closed:
+		return ErrClosed
+	default:
+	}
+	if f.wal != nil {
+		if last := f.wal.Stats().LastEpoch; last != 0 && last >= epoch {
+			// The local WAL is ahead of the offered snapshot: this leader
+			// rewound (or is a different deployment). Refuse rather than
+			// serve a forked history; the operator clears the data dir.
+			return fmt.Errorf("serve: leader offers snapshot at epoch %d behind local wal epoch %d (diverged history; clear the follower data dir)", epoch, last)
+		}
+		if err := f.writeCheckpointLocked(epoch, payload); err != nil {
+			return err
+		}
+	}
+	had := f.pub.Current() != nil
+	f.pub.BootstrapFlat(labels, logits, classes, epoch)
+	if had {
+		f.resyncs.Add(1)
+	}
+	f.maxLeaderEpoch(epoch)
+	f.markReady()
+	return nil
+}
+
+// Checkpoint takes a local checkpoint at the current epoch, truncating
+// the follower's WAL behind it. Errors for a non-durable follower.
+func (f *Follower) Checkpoint() (CheckpointStats, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.checkpointLocked()
+}
+
+func (f *Follower) checkpointLocked() (CheckpointStats, error) {
+	f.sinceCkpt = 0
+	if f.wal == nil {
+		return CheckpointStats{}, errors.New("serve: follower is not durable (no data dir)")
+	}
+	cur := f.pub.Current()
+	if cur == nil {
+		return CheckpointStats{}, errors.New("serve: nothing to checkpoint yet")
+	}
+	epoch := cur.epoch
+	if epoch == f.lastCkpt.Load() && f.hasCkpt {
+		st := f.wal.Stats()
+		out := CheckpointStats{Epoch: epoch, WALBytes: st.Bytes, WALSegments: st.Segments}
+		if info, err := os.Stat(checkpointPath(f.cfg.DataDir, epoch)); err == nil {
+			out.Bytes = info.Size()
+		}
+		return out, nil
+	}
+	f.labBuf, f.logBuf = cur.Tables(f.labBuf, f.logBuf)
+	payload := cluster.EncodeSnapshotFrame(epoch, cur.classes, f.labBuf, f.logBuf)
+	if err := f.writeCheckpointLocked(epoch, payload); err != nil {
+		return CheckpointStats{}, err
+	}
+	st := f.wal.Stats()
+	out := CheckpointStats{Epoch: epoch, WALBytes: st.Bytes, WALSegments: st.Segments}
+	if info, err := os.Stat(checkpointPath(f.cfg.DataDir, epoch)); err == nil {
+		out.Bytes = info.Size()
+	}
+	return out, nil
+}
+
+// writeCheckpointLocked durably writes a snapshot-frame checkpoint at
+// epoch, retires the WAL records it covers, and prunes older checkpoints.
+func (f *Follower) writeCheckpointLocked(epoch uint64, payload []byte) error {
+	path := checkpointPath(f.cfg.DataDir, epoch)
+	err := wal.WriteFileAtomic(path, func(w io.Writer) error {
+		if err := writeCheckpointHeader(w, epoch); err != nil {
+			return err
+		}
+		_, err := w.Write(payload)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("serve: writing follower checkpoint: %w", err)
+	}
+	if err := f.wal.MarkCheckpoint(epoch); err != nil {
+		return err
+	}
+	for _, old := range listCheckpoints(f.cfg.DataDir) {
+		if old != epoch {
+			os.Remove(checkpointPath(f.cfg.DataDir, old))
+		}
+	}
+	f.hasCkpt = true
+	f.lastCkpt.Store(epoch)
+	f.sinceCkpt = 0
+	return nil
+}
+
+// maxLeaderEpoch raises the observed leader watermark monotonically.
+func (f *Follower) maxLeaderEpoch(epoch uint64) {
+	for {
+		cur := f.leaderEpoch.Load()
+		if epoch <= cur || f.leaderEpoch.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+func (f *Follower) markReady() {
+	f.readyOnce.Do(func() { close(f.ready) })
+}
+
+// Ready closes once the follower has published its first snapshot —
+// recovered locally or installed from the leader. Reads before that
+// simply miss (Snapshot nil, Label -1).
+func (f *Follower) Ready() <-chan struct{} { return f.ready }
+
+// Snapshot pins the current epoch (nil before Ready). Identical
+// semantics to Server.Snapshot: immutable, repeatable reads.
+func (f *Follower) Snapshot() *Snapshot { return f.pub.Snapshot() }
+
+// Label returns vertex v's predicted class at the current epoch (-1 if
+// out of range, removed, or not ready). Lock-free.
+func (f *Follower) Label(v graph.VertexID) int { return f.pub.Label(v) }
+
+// Embedding returns a copy of vertex v's final-layer logits at the
+// current epoch (nil if out of range or not ready). Lock-free.
+func (f *Follower) Embedding(v graph.VertexID) tensor.Vector { return f.pub.Embedding(v) }
+
+// TopK returns vertex v's k best classes at the current epoch. Lock-free.
+func (f *Follower) TopK(v graph.VertexID, k int) []Ranked { return f.pub.TopK(v, k) }
+
+// Stats returns current counters. Epoch/LeaderEpoch/LagEpochs are the
+// replication watermarks a health endpoint should surface.
+func (f *Follower) Stats() FollowerStats {
+	var epoch uint64
+	ready := false
+	if cur := f.pub.Current(); cur != nil {
+		epoch, ready = cur.epoch, true
+	}
+	leader := f.leaderEpoch.Load()
+	var lag uint64
+	if leader > epoch {
+		lag = leader - epoch
+	}
+	st := FollowerStats{
+		Epoch:       epoch,
+		LeaderEpoch: leader,
+		LagEpochs:   lag,
+		Connected:   f.connected.Load(),
+		Ready:       ready,
+
+		FramesApplied:   f.frames.Load(),
+		RowsApplied:     f.rows.Load(),
+		SnapshotResyncs: f.resyncs.Load(),
+		Sessions:        f.sessions.Load(),
+		RecoveredFrames: f.recovered.Load(),
+
+		Reads:       f.pub.reads.Load(),
+		PagesCopied: f.pub.pagesCopied.Load(),
+		PagesShared: f.pub.pagesShared.Load(),
+
+		LastCheckpointEpoch: f.lastCkpt.Load(),
+	}
+	f.mu.Lock()
+	if f.wal != nil {
+		ws := f.wal.Stats()
+		st.WALBytes, st.WALSegments = ws.Bytes, ws.Segments
+		st.WALAppends, st.WALFsyncs = ws.Appends, ws.Fsyncs
+	}
+	f.mu.Unlock()
+	return st
+}
+
+// Compact republishes the current epoch over contiguous pages (see
+// Server.Compact). Serialised with frame application.
+func (f *Follower) Compact() PageStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pub.Compact()
+}
+
+// Close stops following: the session is severed, the loop exits, and a
+// durable follower takes a final checkpoint (so a restart replays zero
+// frames) and closes its WAL. Reads keep serving the final epoch.
+func (f *Follower) Close() {
+	f.closeOnce.Do(func() {
+		close(f.closed)
+		f.mu.Lock()
+		st := f.stream
+		f.mu.Unlock()
+		if st != nil {
+			st.Close() // unblock the session's Recv
+		}
+		f.wg.Wait()
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.wal != nil {
+			if cur := f.pub.Current(); cur != nil && (!f.hasCkpt || cur.epoch > f.lastCkpt.Load()) {
+				// Best effort: on failure the WAL remains the durable truth.
+				_, _ = f.checkpointLocked()
+			}
+			f.wal.Close()
+		}
+	})
+}

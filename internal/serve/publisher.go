@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// Publisher is the epoch-publication/read half of the serving layer: the
+// paged copy-on-write snapshot store, the atomic pointer readers pin, and
+// the page accounting. It is deliberately free of any write path — it does
+// not know about backends, admission queues, or WALs — so it can serve two
+// masters: Server drives one from its backend's ApplyBatch deltas, and a
+// replication Follower drives one from delta frames streamed off a leader,
+// giving replicas the exact same lock-free pinned-read semantics as the
+// leader without ever running propagation.
+//
+// Concurrency contract: reads (Snapshot/Current/Label/Embedding/TopK) are
+// lock-free and safe from any goroutine at any time. Mutation (Bootstrap,
+// Publish, Compact) must be serialised by the owner — Server under its
+// write lock, Follower under its apply loop.
+type Publisher struct {
+	pageRows int
+
+	cur atomic.Pointer[Snapshot]
+
+	reads       atomic.Int64
+	pagesCopied atomic.Int64
+	pagesShared atomic.Int64
+}
+
+// NewPublisher returns an empty publisher with the given page granularity
+// (rounded up to a power of two; <=0 selects the default). No snapshot is
+// published until Bootstrap: Current returns nil and reads miss.
+func NewPublisher(pageRows int) *Publisher {
+	if pageRows <= 0 {
+		pageRows = defaultPageRows
+	}
+	pageRows = 1 << bits.Len(uint(pageRows-1))
+	return &Publisher{pageRows: pageRows}
+}
+
+// PageRows returns the (power-of-two) page granularity.
+func (p *Publisher) PageRows() int { return p.pageRows }
+
+// Bootstrap publishes the first snapshot from dense tables at the given
+// epoch: 0 at a fresh boot, the checkpoint's epoch during recovery, the
+// leader's epoch when a follower instals a streamed snapshot. The inputs
+// are copied; callers may reuse them.
+func (p *Publisher) Bootstrap(labels []int32, logits []tensor.Vector, classes int, epoch uint64) *Snapshot {
+	snap := buildSnapshot(labels, logits, classes, p.pageRows)
+	snap.epoch = epoch
+	p.cur.Store(snap)
+	return snap
+}
+
+// BootstrapFlat is Bootstrap from a flat row-major logit table — the wire
+// form carried by replication snapshot frames and follower checkpoints.
+// The inputs are copied; callers may reuse them.
+func (p *Publisher) BootstrapFlat(labels []int32, logits []float32, classes int, epoch uint64) *Snapshot {
+	snap := buildSnapshotFlat(labels, logits, classes, p.pageRows)
+	snap.epoch = epoch
+	p.cur.Store(snap)
+	return snap
+}
+
+// Publish derives and publishes the next epoch from the current snapshot
+// by copy-on-write: only pages holding rows in the delta are copied, the
+// rest are shared with the previous epoch. It returns the new snapshot.
+// Must be serialised by the owner; panics if called before Bootstrap.
+func (p *Publisher) Publish(rows []Row) *Snapshot {
+	old := p.cur.Load()
+	next, copied := old.rebuild(rows)
+	p.cur.Store(next)
+	p.pagesCopied.Add(int64(copied))
+	if len(rows) > 0 {
+		// Empty-frontier publishes are excluded: the pre-paging design
+		// shared storage there too, so counting them would overstate
+		// paging's measured benefit.
+		p.pagesShared.Add(int64(len(next.pages) - copied))
+	}
+	return next
+}
+
+// Snapshot pins the current epoch and counts the pin (Stats.Reads). The
+// returned snapshot is immutable; nil before Bootstrap.
+func (p *Publisher) Snapshot() *Snapshot {
+	p.reads.Add(1)
+	return p.cur.Load()
+}
+
+// Current returns the current snapshot without counting a pin — the
+// convenience read paths use it so single-vertex lookups never contend on
+// the shared read counter. Nil before Bootstrap.
+func (p *Publisher) Current() *Snapshot { return p.cur.Load() }
+
+// Label returns vertex v's predicted class at the current epoch (-1 if
+// out of range, removed, or nothing is published yet). Lock-free.
+func (p *Publisher) Label(v graph.VertexID) int {
+	cur := p.cur.Load()
+	if cur == nil {
+		return -1
+	}
+	return cur.Label(v)
+}
+
+// Embedding returns a copy of vertex v's final-layer logits at the
+// current epoch (nil if out of range or nothing is published). Lock-free.
+func (p *Publisher) Embedding(v graph.VertexID) tensor.Vector {
+	cur := p.cur.Load()
+	if cur == nil {
+		return nil
+	}
+	return cur.Embedding(v)
+}
+
+// TopK returns vertex v's k best classes at the current epoch (nil if out
+// of range or nothing is published). Lock-free.
+func (p *Publisher) TopK(v graph.VertexID, k int) []Ranked {
+	cur := p.cur.Load()
+	if cur == nil {
+		return nil
+	}
+	return cur.TopK(v, k)
+}
+
+// Compact republishes the current epoch over freshly allocated contiguous
+// pages (see Server.Compact for the why) and returns the page accounting.
+// Must be serialised with Publish by the owner; no-op before Bootstrap.
+func (p *Publisher) Compact() PageStats {
+	cur := p.cur.Load()
+	if cur == nil {
+		return PageStats{PageRows: p.pageRows}
+	}
+	compacted := cur.compacted()
+	p.cur.Store(compacted)
+	return PageStats{
+		Epoch:       compacted.epoch,
+		PageRows:    cur.mask + 1,
+		Pages:       len(compacted.pages),
+		PagesCopied: p.pagesCopied.Load(),
+		PagesShared: p.pagesShared.Load(),
+	}
+}

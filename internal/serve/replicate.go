@@ -1,0 +1,357 @@
+package serve
+
+// Leader-side replication: StartReplication turns a Server into a
+// replication leader. The admission path already computes, for every
+// published epoch, exactly the changed label/logit rows a remote reader
+// needs (the delta-gather result it publishes from) — the hub records
+// those rows as encoded epoch-tagged delta frames in a bounded in-memory
+// log and streams them to any number of connected followers over
+// internal/transport streams.
+//
+// Session protocol (one follower connection):
+//
+//	follower → leader  KindRepSubscribe(watermark)   newest epoch it has
+//	leader → follower  KindRepHello(leaderEpoch)     lag baseline
+//	leader → follower  [KindRepSnapshot(tables)]     only if the watermark
+//	                                                 predates the in-memory log
+//	leader → follower  KindRepDelta(epoch E)...      backlog, then live, in
+//	                                                 strictly increasing order
+//	leader → follower  KindRepHello(leaderEpoch)     ~1s heartbeat when idle
+//
+// The hub never blocks the write path: frames are handed to per-follower
+// buffered channels, and a follower that cannot drain its buffer is
+// dropped (it reconnects and catches up from its watermark — the same
+// path as any other reconnect). Delivery is therefore at-least-once per
+// session boundary; the follower's epoch watermark makes application
+// exactly-once.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ripple/internal/cluster"
+	"ripple/internal/transport"
+)
+
+// errReplStarted rejects a second StartReplication: one hub per server.
+var errReplStarted = errors.New("serve: replication already started")
+
+// replSendBuffer is the per-follower frame queue; a follower this many
+// epochs behind the live stream is dropped to reconnect.
+const replSendBuffer = 256
+
+// replHeartbeat is the idle-stream hello interval keeping follower lag
+// observable when no batches flow.
+const replHeartbeat = time.Second
+
+// ReplStats is the leader-side replication hub's counter snapshot,
+// embedded in Stats.
+type ReplStats struct {
+	ReplFollowers     int    `json:"repl_followers"`      // connected followers
+	ReplLogEpochs     int    `json:"repl_log_epochs"`     // epochs the in-memory log holds
+	ReplFramesSent    int64  `json:"repl_frames_sent"`    // delta frames streamed
+	ReplBytesSent     int64  `json:"repl_bytes_sent"`     // delta/snapshot payload bytes streamed
+	ReplSnapshotsSent int64  `json:"repl_snapshots_sent"` // full-snapshot resyncs served
+	ReplDropped       int64  `json:"repl_dropped"`        // followers dropped for not draining
+	ReplEpoch         uint64 `json:"repl_epoch"`          // newest epoch recorded to the log
+}
+
+// replFrame is one recorded epoch: its already-encoded delta frame.
+type replFrame struct {
+	epoch   uint64
+	payload []byte
+}
+
+// replSub is one connected follower's send side.
+type replSub struct {
+	id int
+	ch chan replFrame
+	st *transport.Stream
+}
+
+// Replication is the leader-side hub. Create with Server.StartReplication;
+// it lives until the server closes.
+type Replication struct {
+	srv *Server
+	ln  *transport.StreamListener
+
+	mu      sync.Mutex
+	log     []replFrame // consecutive epochs, oldest first, bounded
+	maxLog  int
+	subs    map[int]*replSub
+	nextSub int
+	closed  bool
+
+	wg sync.WaitGroup
+
+	frames atomic.Int64
+	bytes  atomic.Int64
+	snaps  atomic.Int64
+	drops  atomic.Int64
+
+	// scratch for encoding under the server's write lock (record is the
+	// only writer, serialised by Server.mu).
+	rowScratch []cluster.DeltaRow
+}
+
+// StartReplication binds a replication listener (":0" for an ephemeral
+// port) and starts streaming every subsequently published epoch to
+// connecting followers. One hub per server; the hub closes with the
+// server.
+func (s *Server) StartReplication(addr string) (*Replication, error) {
+	ln, err := transport.ListenStream(addr)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replication{
+		srv:    s,
+		ln:     ln,
+		maxLog: s.cfg.ReplicationLogEpochs,
+		subs:   map[int]*replSub{},
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, ErrClosed
+	}
+	if s.repl != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errReplStarted
+	}
+	s.repl = r
+	s.mu.Unlock()
+
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the listener's bound address (what followers dial).
+func (r *Replication) Addr() string { return r.ln.Addr() }
+
+// record logs one published epoch and fans it out. Called from the
+// server's apply path under Server.mu — prev is the snapshot the rows
+// were applied over (source of the old labels), next the one just
+// published. Row logits are borrowed from the backend and die at the next
+// ApplyBatch; encoding here, synchronously, is what makes handing frames
+// to asynchronous senders safe.
+func (r *Replication) record(prev, next *Snapshot, rows []Row) {
+	r.rowScratch = r.rowScratch[:0]
+	for _, row := range rows {
+		r.rowScratch = append(r.rowScratch, cluster.DeltaRow{
+			Vertex:   row.Vertex,
+			OldLabel: int32(prev.Label(row.Vertex)),
+			NewLabel: row.Label,
+			Logits:   row.Logits,
+		})
+	}
+	frame := replFrame{
+		epoch:   next.epoch,
+		payload: cluster.EncodeDeltaFrame(next.epoch, next.classes, r.rowScratch),
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.log = append(r.log, frame)
+	if len(r.log) > r.maxLog {
+		// Drop the oldest epoch; shift instead of re-slice so the backing
+		// array (and its dead frames) do not pin memory forever.
+		copy(r.log, r.log[1:])
+		r.log = r.log[:len(r.log)-1]
+	}
+	for id, sub := range r.subs {
+		select {
+		case sub.ch <- frame:
+		default:
+			// The follower is not draining; cut it loose rather than
+			// stalling or buffering unboundedly. It will reconnect and
+			// catch up from its watermark.
+			delete(r.subs, id)
+			close(sub.ch)
+			sub.st.Close()
+			r.drops.Add(1)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// stats snapshots the hub's counters.
+func (r *Replication) stats() ReplStats {
+	r.mu.Lock()
+	followers := len(r.subs)
+	logLen := len(r.log)
+	var newest uint64
+	if logLen > 0 {
+		newest = r.log[logLen-1].epoch
+	}
+	r.mu.Unlock()
+	return ReplStats{
+		ReplFollowers:     followers,
+		ReplLogEpochs:     logLen,
+		ReplFramesSent:    r.frames.Load(),
+		ReplBytesSent:     r.bytes.Load(),
+		ReplSnapshotsSent: r.snaps.Load(),
+		ReplDropped:       r.drops.Load(),
+		ReplEpoch:         newest,
+	}
+}
+
+func (r *Replication) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		st, err := r.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			r.handleFollower(st)
+		}()
+	}
+}
+
+// handleFollower runs one follower session: handshake, catch-up, live
+// stream, heartbeats. Any send/recv error ends the session; the follower
+// owns reconnecting.
+func (r *Replication) handleFollower(st *transport.Stream) {
+	defer st.Close()
+	msg, err := st.Recv()
+	if err != nil || msg.Kind != cluster.KindRepSubscribe {
+		return
+	}
+	watermark, err := cluster.DecodeEpochFrame(msg.Payload)
+	if err != nil {
+		return
+	}
+
+	// Decide the catch-up plan and register for live frames under one
+	// lock acquisition, so no published epoch can fall between the backlog
+	// and the subscription.
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	cur := r.srv.pub.Current()
+	needSnapshot := false
+	if watermark > cur.epoch {
+		// A fresh follower subscribes with the MaxUint64 sentinel (it has
+		// no tables at all), and a follower of a different or wiped leader
+		// history can claim any future epoch. Both need full tables —
+		// deltas presume a base at the watermark that neither has — so
+		// force the snapshot even when the delta log nominally covers
+		// everything, and even when this leader is still at epoch 0.
+		watermark = 0
+		needSnapshot = true
+	}
+	var backlog []replFrame
+	if !needSnapshot && watermark < cur.epoch {
+		covered := len(r.log) > 0 && r.log[0].epoch <= watermark+1 && r.log[len(r.log)-1].epoch == cur.epoch
+		if covered {
+			start := 0
+			for start < len(r.log) && r.log[start].epoch <= watermark {
+				start++
+			}
+			backlog = append([]replFrame(nil), r.log[start:]...)
+		} else {
+			needSnapshot = true
+		}
+	}
+	sub := &replSub{id: r.nextSub, ch: make(chan replFrame, replSendBuffer), st: st}
+	r.nextSub++
+	r.subs[sub.id] = sub
+	r.mu.Unlock()
+	defer r.unsubscribe(sub)
+
+	hello := func() error {
+		epoch := r.srv.pub.Current().epoch
+		return st.Send(cluster.KindRepHello, cluster.EncodeEpochFrame(epoch))
+	}
+	if hello() != nil {
+		return
+	}
+	if needSnapshot {
+		snap := r.srv.pub.Snapshot()
+		labels, logits := snap.Tables(nil, nil)
+		payload := cluster.EncodeSnapshotFrame(snap.epoch, snap.classes, labels, logits)
+		if st.Send(cluster.KindRepSnapshot, payload) != nil {
+			return
+		}
+		r.snaps.Add(1)
+		r.bytes.Add(int64(len(payload)))
+		watermark = snap.epoch
+	}
+	send := func(f replFrame) bool {
+		if f.epoch <= watermark {
+			return true // duplicate across the backlog/live boundary
+		}
+		if st.Send(cluster.KindRepDelta, f.payload) != nil {
+			return false
+		}
+		watermark = f.epoch
+		r.frames.Add(1)
+		r.bytes.Add(int64(len(f.payload)))
+		return true
+	}
+	for _, f := range backlog {
+		if !send(f) {
+			return
+		}
+	}
+	heartbeat := time.NewTicker(replHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case f, ok := <-sub.ch:
+			if !ok || !send(f) {
+				return // dropped by record(), or the follower went away
+			}
+		case <-heartbeat.C:
+			if hello() != nil {
+				return
+			}
+		}
+	}
+}
+
+// unsubscribe removes a follower registration if record() has not already
+// dropped it.
+func (r *Replication) unsubscribe(sub *replSub) {
+	r.mu.Lock()
+	if cur, ok := r.subs[sub.id]; ok && cur == sub {
+		delete(r.subs, sub.id)
+		close(sub.ch)
+	}
+	r.mu.Unlock()
+}
+
+// close tears the hub down: stop accepting, sever every follower, wait
+// for the session goroutines. Called by Server.Close.
+func (r *Replication) close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	subs := make([]*replSub, 0, len(r.subs))
+	for _, sub := range r.subs {
+		subs = append(subs, sub)
+	}
+	r.subs = map[int]*replSub{}
+	r.mu.Unlock()
+	r.ln.Close()
+	for _, sub := range subs {
+		close(sub.ch)
+		sub.st.Close()
+	}
+	r.wg.Wait()
+}

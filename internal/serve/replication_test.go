@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The replication conformance suite: a Follower's published tables must be
+// bit-identical to its leader's at every epoch — the wire codec
+// round-trips raw float32 bits, so unlike the backend conformance suite
+// there is no tolerance, not even one ULP. Covered here: fresh bootstrap
+// over both serving backends, durable restart catch-up from checkpoint +
+// WAL tail, full-snapshot resync past the leader's log bound, and pinned
+// reads surviving leader death.
+
+const replWait = 10 * time.Second
+
+func waitReady(t *testing.T, f *Follower) {
+	t.Helper()
+	select {
+	case <-f.Ready():
+	case <-time.After(replWait):
+		t.Fatalf("follower never became ready: %+v", f.Stats())
+	}
+}
+
+func waitFollowerEpoch(t *testing.T, f *Follower, epoch uint64) {
+	t.Helper()
+	deadline := time.Now().Add(replWait)
+	for {
+		if cur := f.pub.Current(); cur != nil && cur.epoch >= epoch {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck waiting for epoch %d: %+v", epoch, f.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// assertMirror requires the follower's tables to be bit-identical to the
+// leader's at the same epoch.
+func assertMirror(t *testing.T, srv *Server, f *Follower, ctx string) {
+	t.Helper()
+	ls, fs := srv.pub.Current(), f.pub.Current()
+	if fs == nil {
+		t.Fatalf("%s: follower has no published snapshot", ctx)
+	}
+	if ls.epoch != fs.epoch {
+		t.Fatalf("%s: leader at epoch %d, follower at %d", ctx, ls.epoch, fs.epoch)
+	}
+	if ls.n != fs.n || ls.classes != fs.classes {
+		t.Fatalf("%s: geometry %d×%d (leader) vs %d×%d (follower)", ctx, ls.n, ls.classes, fs.n, fs.classes)
+	}
+	ll, lx := ls.Tables(nil, nil)
+	fl, fx := fs.Tables(nil, nil)
+	for v := range ll {
+		if ll[v] != fl[v] {
+			t.Fatalf("%s: vertex %d label %d (leader) vs %d (follower)", ctx, v, ll[v], fl[v])
+		}
+	}
+	for i := range lx {
+		if math.Float32bits(lx[i]) != math.Float32bits(fx[i]) {
+			t.Fatalf("%s: logit %d bits %08x (leader) vs %08x (follower)", ctx, i, math.Float32bits(lx[i]), math.Float32bits(fx[i]))
+		}
+	}
+}
+
+// TestReplicationMirrorsBothBackends runs a leader with two followers
+// over each serving backend (single-node engine and distributed cluster)
+// and checks bit-identical tables at the bootstrap epoch and after every
+// applied batch, plus end-to-end lag observability on both sides.
+func TestReplicationMirrorsBothBackends(t *testing.T) {
+	const n = 60
+	w := newConfWorld(t, n, 240, 77)
+	engSrv, cluSrv := w.servers(3, Config{})
+
+	type side struct {
+		name      string
+		srv       *Server
+		followers []*Follower
+	}
+	sides := []*side{{name: "engine", srv: engSrv}, {name: "cluster", srv: cluSrv}}
+	for _, s := range sides {
+		repl, err := s.srv.StartReplication("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			f, err := Follow(FollowerConfig{Leader: repl.Addr()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(f.Close)
+			s.followers = append(s.followers, f)
+		}
+	}
+
+	// A fresh follower has no base tables, so it must be bootstrapped by a
+	// full snapshot of the leader's bootstrap epoch — before any batch has
+	// put a delta in the log.
+	for _, s := range sides {
+		for i, f := range s.followers {
+			waitReady(t, f)
+			assertMirror(t, s.srv, f, fmt.Sprintf("%s follower %d bootstrap", s.name, i))
+		}
+	}
+
+	for b := 0; b < 8; b++ {
+		batch := w.batch(1 + w.rng.Intn(5))
+		for _, s := range sides {
+			if _, err := s.srv.Apply(batch); err != nil {
+				t.Fatalf("%s batch %d: %v", s.name, b, err)
+			}
+			target := s.srv.pub.Current().epoch
+			for i, f := range s.followers {
+				waitFollowerEpoch(t, f, target)
+				assertMirror(t, s.srv, f, fmt.Sprintf("%s follower %d batch %d", s.name, i, b))
+			}
+		}
+	}
+
+	for _, s := range sides {
+		st := s.srv.Stats()
+		if st.ReplFollowers != 2 || st.ReplEpoch != st.Epoch || st.ReplFramesSent == 0 || st.ReplSnapshotsSent < 2 {
+			t.Fatalf("%s leader replication stats: %+v", s.name, st.ReplStats)
+		}
+		for i, f := range s.followers {
+			fs := f.Stats()
+			if !fs.Ready || !fs.Connected || fs.LagEpochs != 0 || fs.Epoch != st.Epoch || fs.FramesApplied == 0 {
+				t.Fatalf("%s follower %d stats: %+v", s.name, i, fs)
+			}
+		}
+	}
+}
+
+// TestFollowerDurableRestartCatchUp kills a durable follower (via a
+// crash-image copy of its data dir), advances the leader, and checks the
+// restarted follower recovers from its local checkpoint + WAL tail, then
+// catches the rest up from the leader's delta log — no snapshot resync —
+// and ends bit-identical.
+func TestFollowerDurableRestartCatchUp(t *testing.T) {
+	const n = 40
+	w := newConfWorld(t, n, 160, 83)
+	srv, _ := w.servers(2, Config{})
+	repl, err := srv.StartReplication("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "live")
+	f1, err := Follow(FollowerConfig{Leader: repl.Addr(), DataDir: dir, CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, f1)
+	for b := 0; b < 6; b++ {
+		if _, err := srv.Apply(w.batch(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFollowerEpoch(t, f1, srv.pub.Current().epoch)
+
+	// CheckpointEvery=4 over 6 epochs leaves the last 2 frames in the WAL
+	// past the newest automatic checkpoint; freeze that state now.
+	crash := filepath.Join(t.TempDir(), "crash")
+	copyDir(t, dir, crash)
+	f1.Close()
+
+	// The leader moves on while the follower is down (still within the
+	// default in-memory delta log).
+	for b := 0; b < 3; b++ {
+		if _, err := srv.Apply(w.batch(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f2, err := Follow(FollowerConfig{Leader: repl.Addr(), DataDir: crash, CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f2.Close)
+	if st := f2.Stats(); st.RecoveredFrames == 0 {
+		t.Fatalf("restart replayed no WAL frames: %+v", st)
+	}
+	waitFollowerEpoch(t, f2, srv.pub.Current().epoch)
+	assertMirror(t, srv, f2, "after restart catch-up")
+	if st := f2.Stats(); st.SnapshotResyncs != 0 {
+		t.Fatalf("in-log catch-up fell back to a snapshot resync: %+v", st)
+	}
+}
+
+// TestFollowerSnapshotResyncPastLogBound restarts a follower whose
+// watermark has fallen off the leader's bounded delta log: catch-up must
+// come as exactly one full-snapshot resync, after which the follower is
+// bit-identical again.
+func TestFollowerSnapshotResyncPastLogBound(t *testing.T) {
+	const n = 40
+	w := newConfWorld(t, n, 160, 89)
+	srv, _ := w.servers(2, Config{ReplicationLogEpochs: 4})
+	repl, err := srv.StartReplication("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	f1, err := Follow(FollowerConfig{Leader: repl.Addr(), DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, f1)
+	for b := 0; b < 3; b++ {
+		if _, err := srv.Apply(w.batch(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFollowerEpoch(t, f1, srv.pub.Current().epoch)
+	f1.Close()
+
+	// Eight more epochs: the 4-epoch log no longer reaches back to the
+	// follower's watermark.
+	for b := 0; b < 8; b++ {
+		if _, err := srv.Apply(w.batch(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f2, err := Follow(FollowerConfig{Leader: repl.Addr(), DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f2.Close)
+	waitFollowerEpoch(t, f2, srv.pub.Current().epoch)
+	assertMirror(t, srv, f2, "after snapshot resync")
+	if st := f2.Stats(); st.SnapshotResyncs != 1 {
+		t.Fatalf("want exactly one snapshot resync, got %+v", st)
+	}
+	if st := srv.Stats(); st.ReplSnapshotsSent < 2 {
+		t.Fatalf("leader served %d snapshot frames, want ≥ 2 (initial + resync)", st.ReplSnapshotsSent)
+	}
+}
+
+// TestFollowerServesPinnedReadsAcrossLeaderDeath pins a snapshot on a
+// caught-up follower, kills the leader, and checks the follower keeps
+// serving: the pin is repeatable, fresh snapshots stay at the last
+// replicated epoch, and the only state change is Connected going false.
+func TestFollowerServesPinnedReadsAcrossLeaderDeath(t *testing.T) {
+	const n = 40
+	w := newConfWorld(t, n, 160, 97)
+	srv, _ := w.servers(2, Config{})
+	repl, err := srv.StartReplication("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Follow(FollowerConfig{Leader: repl.Addr(), RetryEvery: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	waitReady(t, f)
+	for b := 0; b < 5; b++ {
+		if _, err := srv.Apply(w.batch(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := srv.pub.Current().epoch
+	waitFollowerEpoch(t, f, target)
+
+	pinned := f.Snapshot()
+	wantLabels, wantLogits := pinned.Tables(nil, nil)
+
+	srv.Close() // leader dies: hub severs the session, listener stops
+
+	deadline := time.Now().Add(replWait)
+	for f.Stats().Connected {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower still reports a live session after leader close: %+v", f.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	st := f.Stats()
+	if !st.Ready || st.Epoch != target {
+		t.Fatalf("follower lost its published epoch with the leader: %+v", st)
+	}
+	// The pre-death pin is repeatable bit for bit.
+	gotLabels, gotLogits := pinned.Tables(nil, nil)
+	for v := range wantLabels {
+		if gotLabels[v] != wantLabels[v] {
+			t.Fatalf("pinned label %d changed after leader death", v)
+		}
+	}
+	for i := range wantLogits {
+		if math.Float32bits(gotLogits[i]) != math.Float32bits(wantLogits[i]) {
+			t.Fatalf("pinned logit %d changed after leader death", i)
+		}
+	}
+	// Fresh reads still serve the last replicated epoch (Server.Close keeps
+	// the leader's own reads alive too, so the mirror check still applies).
+	if fresh := f.Snapshot(); fresh.Epoch() != target {
+		t.Fatalf("fresh snapshot at epoch %d, want %d", fresh.Epoch(), target)
+	}
+	assertMirror(t, srv, f, "after leader death")
+}

@@ -77,6 +77,13 @@ type Config struct {
 	CheckpointEvery int
 	// SegmentBytes is the WAL's segment-rotation threshold (default 4 MiB).
 	SegmentBytes int64
+
+	// ReplicationLogEpochs bounds the in-memory replication log: the
+	// leader keeps the encoded delta frames of this many recent epochs so
+	// reconnecting followers can catch up incrementally; one that has
+	// fallen further behind is resynced with a full snapshot frame
+	// instead. Only consulted once StartReplication is called. Default 1024.
+	ReplicationLogEpochs int
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	// Round up to a power of two so page lookup is a shift and a mask.
 	c.PageRows = 1 << bits.Len(uint(c.PageRows-1))
+	if c.ReplicationLogEpochs <= 0 {
+		c.ReplicationLogEpochs = 1024
+	}
 	return c
 }
 
@@ -157,6 +167,11 @@ type Stats struct {
 	// bytes each epoch publication cost on the wire. All zero for a
 	// single-node engine backend.
 	CommStats
+
+	// ReplStats (embedded) holds the leader-side replication hub's
+	// counters: connected followers, frames/bytes streamed, snapshot
+	// resyncs. All zero until StartReplication.
+	ReplStats
 }
 
 // PageStats describes the paged publisher's state: the page geometry of
@@ -182,12 +197,20 @@ type Server struct {
 	cfg     Config
 	onBatch func(engine.BatchResult, error)
 
-	cur atomic.Pointer[Snapshot]
+	// pub owns the epoch-publication/read half: the paged copy-on-write
+	// snapshot store and its accounting. Server is its sole mutator.
+	pub *Publisher
 
 	mu      sync.Mutex // serialises ApplyBatch + publication + subscriber set
 	closed  bool
 	subs    map[int]chan engine.LabelChange
 	nextSub int
+
+	// repl, when non-nil, is the leader-side replication hub: every
+	// published epoch's delta rows are recorded to its in-memory log and
+	// fanned out to connected followers. Set once by StartReplication
+	// (under mu) and only read under mu thereafter.
+	repl *Replication
 
 	// failed latches backend infrastructure failure. Atomic (not under
 	// mu) so Submit's fail-fast check never blocks behind an in-flight
@@ -206,16 +229,13 @@ type Server struct {
 	recovered  atomic.Int64
 	recovering atomic.Bool
 
-	batches     atomic.Int64
-	rejected    atomic.Int64
-	updates     atomic.Int64
-	flips       atomic.Int64
-	dropped     atomic.Int64
-	reads       atomic.Int64
-	pagesCopied atomic.Int64
-	pagesShared atomic.Int64
-	scatterPar  atomic.Int64
-	scatterSer  atomic.Int64
+	batches    atomic.Int64
+	rejected   atomic.Int64
+	updates    atomic.Int64
+	flips      atomic.Int64
+	dropped    atomic.Int64
+	scatterPar atomic.Int64
+	scatterSer atomic.Int64
 }
 
 // New wraps a single-node engine in a serving layer — shorthand for
@@ -253,12 +273,11 @@ func newServer(backend Backend, cfg Config, epoch uint64) (*Server, error) {
 		backend: backend,
 		cfg:     cfg,
 		onBatch: cfg.OnBatch,
+		pub:     NewPublisher(cfg.PageRows),
 		subs:    map[int]chan engine.LabelChange{},
 	}
 	labels, logits, classes := backend.Bootstrap()
-	snap := buildSnapshot(labels, logits, classes, cfg.PageRows)
-	snap.epoch = epoch
-	s.cur.Store(snap)
+	s.pub.Bootstrap(labels, logits, classes, epoch)
 
 	b, err := engine.NewBatcher(applyFunc(s.applyCoalesced), cfg.MaxBatch, cfg.MaxAge, nil)
 	if err != nil {
@@ -279,23 +298,20 @@ func (f applyFunc) ApplyBatch(batch []engine.Update) (engine.BatchResult, error)
 // Snapshot pins the current epoch. The returned snapshot is immutable:
 // every read through it observes the same published state, regardless of
 // concurrent writes.
-func (s *Server) Snapshot() *Snapshot {
-	s.reads.Add(1)
-	return s.cur.Load()
-}
+func (s *Server) Snapshot() *Snapshot { return s.pub.Snapshot() }
 
 // Label returns vertex v's predicted class at the current epoch (-1 if
 // out of range or removed). Lock-free: the convenience read paths do not
 // touch the (shared, contended) Stats.Reads counter — only explicit
 // Snapshot pins are counted.
-func (s *Server) Label(v graph.VertexID) int { return s.cur.Load().Label(v) }
+func (s *Server) Label(v graph.VertexID) int { return s.pub.Label(v) }
 
 // Embedding returns a copy of vertex v's final-layer logits at the
 // current epoch (nil if out of range). Lock-free.
-func (s *Server) Embedding(v graph.VertexID) tensor.Vector { return s.cur.Load().Embedding(v) }
+func (s *Server) Embedding(v graph.VertexID) tensor.Vector { return s.pub.Embedding(v) }
 
 // TopK returns vertex v's k best classes at the current epoch. Lock-free.
-func (s *Server) TopK(v graph.VertexID, k int) []Ranked { return s.cur.Load().TopK(v, k) }
+func (s *Server) TopK(v graph.VertexID, k int) []Ranked { return s.pub.TopK(v, k) }
 
 // Submit enqueues one update on the admission queue; it is applied — and
 // becomes visible as a new epoch — when the queue flushes on size or age.
@@ -428,7 +444,7 @@ func (s *Server) apply(batch []engine.Update, quietReject bool) (engine.BatchRes
 			}
 			return engine.BatchResult{}, err
 		}
-		loggedEpoch = s.cur.Load().epoch + 1
+		loggedEpoch = s.pub.Current().epoch + 1
 		if err := s.wal.Append(loggedEpoch, cluster.EncodeUpdates(batch)); err != nil {
 			// A write path that cannot log cannot promise durability:
 			// fail like infrastructure, keep serving reads.
@@ -470,15 +486,13 @@ func (s *Server) apply(batch []engine.Update, quietReject bool) (engine.BatchRes
 		return res, err
 	}
 
-	old := s.cur.Load()
-	next, copied := old.rebuild(rows)
-	s.cur.Store(next)
-	s.pagesCopied.Add(int64(copied))
-	if len(rows) > 0 {
-		// Empty-frontier publishes are excluded: the pre-paging design
-		// shared storage there too, so counting them would overstate
-		// paging's measured benefit.
-		s.pagesShared.Add(int64(len(next.pages) - copied))
+	prev := s.pub.Current()
+	next := s.pub.Publish(rows)
+	if s.repl != nil {
+		// Record the published delta while the backend-borrowed row logits
+		// are still valid (they die at the next ApplyBatch) and mu still
+		// orders epochs: followers see exactly the leader's epoch sequence.
+		s.repl.record(prev, next, rows)
 	}
 
 	s.batches.Add(1)
@@ -547,20 +561,21 @@ func (s *Server) Subscribe(buffer int) (<-chan engine.LabelChange, func()) {
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	subs := len(s.subs)
+	repl := s.repl
 	s.mu.Unlock()
 	st := Stats{
 		BackendFailed:  s.failed.Load(),
-		Epoch:          s.cur.Load().epoch,
+		Epoch:          s.pub.Current().epoch,
 		Batches:        s.batches.Load(),
 		Rejected:       s.rejected.Load(),
 		UpdatesApplied: s.updates.Load(),
 		LabelFlips:     s.flips.Load(),
 		Dropped:        s.dropped.Load(),
-		Reads:          s.reads.Load(),
+		Reads:          s.pub.reads.Load(),
 		Pending:        s.batcher.Pending(),
 		Subscribers:    subs,
-		PagesCopied:    s.pagesCopied.Load(),
-		PagesShared:    s.pagesShared.Load(),
+		PagesCopied:    s.pub.pagesCopied.Load(),
+		PagesShared:    s.pub.pagesShared.Load(),
 
 		ScatterHopsParallel: s.scatterPar.Load(),
 		ScatterHopsSerial:   s.scatterSer.Load(),
@@ -580,6 +595,9 @@ func (s *Server) Stats() Stats {
 	if cr, ok := s.backend.(commReporter); ok {
 		st.CommStats = cr.CommStats()
 	}
+	if repl != nil {
+		st.ReplStats = repl.stats()
+	}
 	return st
 }
 
@@ -594,16 +612,7 @@ func (s *Server) Stats() Stats {
 func (s *Server) Compact() PageStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cur := s.cur.Load()
-	compacted := cur.compacted()
-	s.cur.Store(compacted)
-	return PageStats{
-		Epoch:       compacted.epoch,
-		PageRows:    cur.mask + 1,
-		Pages:       len(compacted.pages),
-		PagesCopied: s.pagesCopied.Load(),
-		PagesShared: s.pagesShared.Load(),
-	}
+	return s.pub.Compact()
 }
 
 // Close flushes the admission queue, stops accepting writes, closes all
@@ -621,13 +630,17 @@ func (s *Server) Close() {
 	s.closed = true
 	subs := s.subs
 	s.subs = map[int]chan engine.LabelChange{}
+	repl := s.repl
 	s.mu.Unlock()
 	for _, ch := range subs {
 		close(ch)
 	}
+	if repl != nil {
+		repl.close()
+	}
 	s.mu.Lock()
 	if s.wal != nil {
-		if !s.failed.Load() && (!s.hasCkpt || s.cur.Load().epoch > s.lastCkpt.Load()) {
+		if !s.failed.Load() && (!s.hasCkpt || s.pub.Current().epoch > s.lastCkpt.Load()) {
 			// Best effort: a failed final checkpoint leaves the WAL as the
 			// durable truth and the next Open replays it.
 			_, _ = s.checkpointLocked()

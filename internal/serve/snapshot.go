@@ -54,6 +54,18 @@ type Snapshot struct {
 // allocation per table for bootstrap-scan locality.
 func buildSnapshot(labels []int32, final []tensor.Vector, classes, pageRows int) *Snapshot {
 	n := len(labels)
+	logs := make([]float32, n*classes)
+	for v := 0; v < n; v++ {
+		copy(logs[v*classes:(v+1)*classes], final[v])
+	}
+	return buildSnapshotFlat(labels, logs, classes, pageRows)
+}
+
+// buildSnapshotFlat is buildSnapshot from an already-flat row-major logit
+// table — the wire form of replication snapshot frames and follower
+// checkpoints. Both inputs are copied; callers may reuse them.
+func buildSnapshotFlat(labels []int32, logits []float32, classes, pageRows int) *Snapshot {
+	n := len(labels)
 	s := &Snapshot{
 		classes: classes,
 		n:       n,
@@ -64,9 +76,7 @@ func buildSnapshot(labels []int32, final []tensor.Vector, classes, pageRows int)
 	labs := make([]int32, n)
 	logs := make([]float32, n*classes)
 	copy(labs, labels)
-	for v := 0; v < n; v++ {
-		copy(logs[v*classes:(v+1)*classes], final[v])
-	}
+	copy(logs, logits)
 	for p := range s.pages {
 		lo := p * pageRows
 		hi := lo + pageRows
@@ -76,6 +86,20 @@ func buildSnapshot(labels []int32, final []tensor.Vector, classes, pageRows int)
 		s.pages[p] = &page{labels: labs[lo:hi:hi], logits: logs[lo*classes : hi*classes : hi*classes]}
 	}
 	return s
+}
+
+// Tables materialises the snapshot's dense label and flat row-major logit
+// tables, appending into the truncated dst slices so callers can reuse
+// capacity across epochs. This is the inverse of buildSnapshotFlat: the
+// exact payload a replication snapshot frame or a follower checkpoint
+// carries.
+func (s *Snapshot) Tables(labels []int32, logits []float32) ([]int32, []float32) {
+	labels, logits = labels[:0], logits[:0]
+	for _, pg := range s.pages {
+		labels = append(labels, pg.labels...)
+		logits = append(logits, pg.logits...)
+	}
+	return labels, logits
 }
 
 // rebuild derives the next epoch from s: the page table is cloned, every

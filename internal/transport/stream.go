@@ -1,0 +1,129 @@
+package transport
+
+// Point-to-point framed streams, the transport face of the serving
+// tier's leader→replica replication (internal/serve). Unlike the
+// full-mesh Conn fabric — fixed membership, rank handshake, shared inbox
+// — a Stream is one ephemeral client/server connection: the leader
+// listens, followers dial and redial, and either side can go away without
+// desyncing a cluster protocol. Frames reuse the mesh's wire format
+// ([4B length][1B kind][4B reserved][payload]) and the same traffic
+// counters, so replication bytes are accounted like any other transport.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Stream is one endpoint of a framed point-to-point connection. Send and
+// Recv are each internally serialised (one lock per direction), so one
+// writer and one reader may run concurrently; Close is safe from any
+// goroutine and unblocks a pending Recv.
+type Stream struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	rmu  sync.Mutex
+	counters
+
+	closeOnce sync.Once
+}
+
+// DialStream connects to a stream listener, honoring the given dial
+// timeout (<=0 selects 5s).
+func DialStream(addr string, timeout time.Duration) (*Stream, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial stream %s: %w", addr, err)
+	}
+	return &Stream{conn: conn}, nil
+}
+
+// Send writes one frame. The payload is not retained.
+func (s *Stream) Send(kind uint8, payload []byte) error {
+	if len(payload) > maxFrameSize {
+		return fmt.Errorf("transport: stream frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [9]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	hdr[4] = kind
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if _, err := s.conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: stream send: %w", err)
+	}
+	if _, err := s.conn.Write(payload); err != nil {
+		return fmt.Errorf("transport: stream send: %w", err)
+	}
+	s.counters.sent(len(payload))
+	return nil
+}
+
+// Recv blocks for the next inbound frame. Message.From is always 0:
+// streams have no rank space. Returns an error once the peer (or Close)
+// tears the connection down.
+func (s *Stream) Recv() (Message, error) {
+	s.rmu.Lock()
+	defer s.rmu.Unlock()
+	var hdr [9]byte
+	if _, err := io.ReadFull(s.conn, hdr[:]); err != nil {
+		return Message{}, fmt.Errorf("transport: stream recv: %w", ErrClosed)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	if length > maxFrameSize {
+		s.conn.Close()
+		return Message{}, fmt.Errorf("transport: stream frame of %d bytes exceeds limit", length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(s.conn, payload); err != nil {
+		return Message{}, fmt.Errorf("transport: stream recv: %w", ErrClosed)
+	}
+	s.counters.recvd(len(payload))
+	return Message{Kind: hdr[4], Payload: payload}, nil
+}
+
+// Counters returns a snapshot of this endpoint's traffic counters.
+func (s *Stream) Counters() Counters { return s.counters.snapshot() }
+
+// Close tears the connection down; pending Recv calls on either side
+// return an error.
+func (s *Stream) Close() error {
+	s.closeOnce.Do(func() { s.conn.Close() })
+	return nil
+}
+
+// StreamListener accepts inbound Streams.
+type StreamListener struct {
+	ln net.Listener
+}
+
+// ListenStream binds a stream listener (pass ":0" for an ephemeral port;
+// Addr reports the bound address).
+func ListenStream(addr string) (*StreamListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen stream %s: %w", addr, err)
+	}
+	return &StreamListener{ln: ln}, nil
+}
+
+// Accept blocks for the next inbound connection. Returns an error once
+// the listener is closed.
+func (l *StreamListener) Accept() (*Stream, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: stream accept: %w", ErrClosed)
+	}
+	return &Stream{conn: conn}, nil
+}
+
+// Addr returns the listener's bound address.
+func (l *StreamListener) Addr() string { return l.ln.Addr().String() }
+
+// Close stops accepting; established streams are unaffected.
+func (l *StreamListener) Close() error { return l.ln.Close() }

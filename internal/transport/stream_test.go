@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestStreamRoundTrip covers the point-to-point stream endpoint end to
+// end: dial, bidirectional framed send/recv, counter accounting, and the
+// close semantics the replication follower's redial loop depends on.
+func TestStreamRoundTrip(t *testing.T) {
+	ln, err := ListenStream("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan *Stream, 1)
+	go func() {
+		st, err := ln.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			close(accepted)
+			return
+		}
+		accepted <- st
+	}()
+	cl, err := DialStream(ln.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	sv, ok := <-accepted
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	defer sv.Close()
+
+	// Client → server.
+	payload := []byte("subscribe-from-epoch-42")
+	if err := cl.Send(0x21, payload); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := sv.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Kind != 0x21 || !bytes.Equal(msg.Payload, payload) || msg.From != 0 {
+		t.Fatalf("server received %+v, want kind 0x21 payload %q from 0", msg, payload)
+	}
+
+	// Server → client, including an empty frame (heartbeats are small).
+	big := bytes.Repeat([]byte{0xab}, 1<<16)
+	if err := sv.Send(0x23, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Send(0x22, nil); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err = cl.Recv(); err != nil || !bytes.Equal(msg.Payload, big) {
+		t.Fatalf("big frame: err=%v len=%d", err, len(msg.Payload))
+	}
+	if msg, err = cl.Recv(); err != nil || msg.Kind != 0x22 || len(msg.Payload) != 0 {
+		t.Fatalf("empty frame: %+v err=%v", msg, err)
+	}
+
+	// Counters account payload + framing on both ends.
+	wantSent := int64(len(payload)) + frameOverhead
+	if c := cl.Counters(); c.BytesSent != wantSent || c.MsgsSent != 1 || c.MsgsRecv != 2 {
+		t.Fatalf("client counters %+v", c)
+	}
+	if c := sv.Counters(); c.MsgsRecv != 1 || c.MsgsSent != 2 || c.BytesRecv != wantSent {
+		t.Fatalf("server counters %+v", c)
+	}
+
+	// Closing one side errors the peer's pending Recv with ErrClosed —
+	// the follower's signal to redial.
+	sv.Close()
+	if _, err := cl.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv after peer close: %v, want ErrClosed", err)
+	}
+}
+
+// TestStreamListenerClose pins that a closed listener fails Accept (the
+// leader hub's accept loop exits on it) without touching live streams.
+func TestStreamListenerClose(t *testing.T) {
+	ln, err := ListenStream("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		done <- err
+	}()
+	ln.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("accept after close: %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept did not return after Close")
+	}
+}
+
+// TestDialTCPHonorsTimeout is the regression test for the dial loop
+// hardcoding 1s attempts: a caller's sub-second budget must bound the
+// whole dial, not be rounded up to the fixed per-attempt timeout.
+// 100::/64 is the IPv6 discard prefix (RFC 6666): a dial there either
+// hangs (packets dropped — the case the old code turned into a full
+// 1s attempt) or fails fast where IPv6 is unrouted; under the budget
+// cap both end the dial within the caller's timeout.
+func TestDialTCPHonorsTimeout(t *testing.T) {
+	t.Parallel()
+	const budget = 300 * time.Millisecond
+	start := time.Now()
+	c, err := DialTCP(0, []string{"127.0.0.1:0", "[100::1]:1"}, budget)
+	elapsed := time.Since(start)
+	if err == nil {
+		c.Close()
+		t.Skip("environment answers dials into the discard prefix; no blackhole to test against")
+	}
+	if elapsed > 3*budget {
+		t.Fatalf("DialTCP ignored its %v budget: returned after %v", budget, elapsed)
+	}
+}

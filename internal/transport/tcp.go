@@ -89,12 +89,27 @@ func DialTCP(rank int, addrs []string, timeout time.Duration) (*TCPConn, error) 
 		}
 	}()
 
-	// Dial all higher ranks.
+	// Dial all higher ranks. The caller's timeout is a budget over the
+	// whole mesh setup: each attempt gets at most one second (so a dead
+	// peer cannot eat the budget in one syscall) but never more than the
+	// time remaining, and the retry loop stops once the budget is spent.
 	deadline := time.Now().Add(timeout)
 	for peer := rank + 1; peer < size; peer++ {
 		var conn net.Conn
 		for {
-			conn, err = net.DialTimeout("tcp", addrs[peer], time.Second)
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				ln.Close()
+				if err == nil {
+					err = fmt.Errorf("timed out after %v", timeout)
+				}
+				return nil, fmt.Errorf("transport: rank %d dial rank %d (%s): %w", rank, peer, addrs[peer], err)
+			}
+			attempt := time.Second
+			if remaining < attempt {
+				attempt = remaining
+			}
+			conn, err = net.DialTimeout("tcp", addrs[peer], attempt)
 			if err == nil {
 				break
 			}

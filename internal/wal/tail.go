@@ -1,0 +1,163 @@
+package wal
+
+// Tail-follow reads: a TailReader iterates the log's records from a
+// watermark forward while appenders keep writing — the read side of the
+// serving tier's replication follower, which replays its own WAL tail on
+// recovery and must never observe a torn or duplicated record.
+//
+// Torn-read safety falls out of the append protocol: appendLocked writes
+// each framed record with a single Write under l.mu and only then
+// publishes the segment's validated byte count, so a reader that snapshots
+// the counts under l.mu and reads at most that many bytes sees whole,
+// CRC-valid records — even while concurrent AppendNext group commits race.
+// Exactly-once falls out of the epoch discipline: epochs are strictly
+// increasing across the log, so "newer than the last delivered epoch" is
+// a complete dedupe.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// TailReader iterates records with epoch > a watermark, in epoch order.
+// Not safe for concurrent use by multiple goroutines; safe to use while
+// other goroutines Append/AppendNext/rotate. Concurrent MarkCheckpoint is
+// tolerated — a retired segment's records are covered by the owner's
+// checkpoint, so the reader skips ahead — but concurrent AbortLast is not
+// (the aborted record may already have been delivered).
+type TailReader struct {
+	l    *Log
+	last uint64 // newest epoch delivered (floor passed to Tail initially)
+
+	seg    uint64 // current segment index; 0 = not positioned yet
+	off    int64  // validated bytes consumed from seg
+	buf    []byte // whole validated records, refilled in chunks
+	bufOff int
+}
+
+// Tail returns a reader positioned after epoch `after`: the first Next
+// delivers the oldest record with a greater epoch.
+func (l *Log) Tail(after uint64) *TailReader {
+	return &TailReader{l: l, last: after}
+}
+
+// Next returns the next record, or ok=false when the reader has caught up
+// with the log's validated end (more records may appear later — call Next
+// again to poll). The returned payload is valid until the next call.
+func (t *TailReader) Next() (epoch uint64, payload []byte, ok bool, err error) {
+	for {
+		for t.bufOff < len(t.buf) {
+			n, epoch, payload, ok := parseRecord(t.buf[t.bufOff:])
+			if !ok {
+				// Unreachable while the append protocol holds: the buffer
+				// only ever contains bytes the log counted as validated.
+				return 0, nil, false, fmt.Errorf("wal: tail: corrupt record in segment %d", t.seg)
+			}
+			t.bufOff += int(n)
+			if epoch <= t.last {
+				continue // already delivered (or below the floor)
+			}
+			t.last = epoch
+			return epoch, payload, true, nil
+		}
+		more, err := t.refill()
+		if err != nil {
+			return 0, nil, false, err
+		}
+		if !more {
+			return 0, nil, false, nil
+		}
+	}
+}
+
+// refill loads the next chunk of validated bytes into t.buf, advancing
+// across rotated segments and skipping checkpoint-retired ones. Returns
+// false with no error when the reader is caught up.
+func (t *TailReader) refill() (bool, error) {
+	t.buf, t.bufOff = t.buf[:0], 0
+	for {
+		l := t.l
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return false, ErrClosed
+		}
+		activeIdx := l.active.index
+		if t.seg == 0 {
+			// Initial positioning: the oldest live segment that can still
+			// hold undelivered records (the active one always qualifies —
+			// it may grow).
+			t.seg, t.off = activeIdx, 0
+			for _, seg := range l.segs {
+				if seg.last > t.last || seg.first == 0 {
+					t.seg = seg.index
+					break
+				}
+			}
+		}
+		// Locate the current segment and snapshot its validated size.
+		end, found := int64(-1), false
+		if t.seg == activeIdx {
+			end, found = l.active.bytes, true
+		} else {
+			for _, seg := range l.segs {
+				if seg.index == t.seg {
+					end, found = seg.bytes, true
+					break
+				}
+			}
+		}
+		// The segment we were reading is gone: MarkCheckpoint retired it,
+		// meaning every record it held is covered by the owner's
+		// checkpoint. Skip to the oldest live segment after it.
+		next := activeIdx
+		if !found {
+			for _, seg := range l.segs {
+				if seg.index > t.seg {
+					next = seg.index
+					break
+				}
+			}
+		}
+		l.mu.Unlock()
+
+		switch {
+		case !found:
+			t.seg, t.off = next, 0
+			continue
+		case end < t.off:
+			return false, fmt.Errorf("wal: tail: segment %d shrank under the reader (%d < %d)", t.seg, end, t.off)
+		case end == t.off:
+			if t.seg == activeIdx {
+				return false, nil // caught up with the validated end
+			}
+			// Rotated segment fully consumed: move one segment forward.
+			// The next live index is re-derived under the lock next pass;
+			// incrementing is enough because indices only grow.
+			t.seg, t.off = t.seg+1, 0
+			continue
+		}
+
+		// Read [t.off, end) outside the lock: those bytes are immutable
+		// whole records (appends only grow the file past end; only
+		// AbortLast violates this, and tailing across aborts is excluded
+		// by contract).
+		f, err := os.Open(filepath.Join(l.dir, segment{index: t.seg}.name()))
+		if err != nil {
+			return false, fmt.Errorf("wal: tail: opening segment: %w", err)
+		}
+		n := end - t.off
+		if cap(t.buf) < int(n) {
+			t.buf = make([]byte, n)
+		}
+		t.buf = t.buf[:n]
+		_, err = f.ReadAt(t.buf, t.off)
+		f.Close()
+		if err != nil {
+			return false, fmt.Errorf("wal: tail: reading segment %d: %w", t.seg, err)
+		}
+		t.off = end
+		return true, nil
+	}
+}

@@ -319,6 +319,34 @@ func (l *Log) rotateLocked() error {
 	return l.openSegmentLocked()
 }
 
+// rotateIfDueLocked rotates the active segment when it has reached its
+// size limit. Rotation must drain any in-flight group commit first, and
+// that wait releases mu — so every fact established before the wait is
+// stale after it. The loop re-evaluates from scratch after each wait and
+// only calls rotateLocked once no sync is in flight, making the rotation
+// itself (sync, close, reopen) run under an uninterrupted mu hold.
+//
+// Callers rotate via this helper BEFORE choosing/validating the record's
+// epoch: because the wait inside can release mu, an epoch chosen earlier
+// could be allocated twice (two AppendNext callers both reading
+// lastEpoch+1 across a rotation wait was exactly that bug). After this
+// returns, the caller holds mu continuously through the record write.
+func (l *Log) rotateIfDueLocked() error {
+	for {
+		if l.syncErr != nil {
+			return l.syncErr
+		}
+		if l.active.bytes < l.cfg.SegmentBytes || l.active.first == 0 {
+			return nil // not due (or freshly rotated by a racing appender)
+		}
+		if l.syncing {
+			l.waitSyncLocked() // releases mu; loop re-checks everything
+			continue
+		}
+		return l.rotateLocked()
+	}
+}
+
 // Append writes one record. epoch must be strictly greater than every
 // previously appended epoch — records are the admitted-batch sequence and
 // epochs are its positions. With Config.Fsync the record is on stable
@@ -335,6 +363,12 @@ func (l *Log) Append(epoch uint64, payload []byte) error {
 	if l.closed {
 		return ErrClosed
 	}
+	if err := l.rotateIfDueLocked(); err != nil {
+		return err
+	}
+	// Checked after the rotation point: rotating can release mu, and the
+	// ordering decision must be made in the same critical section as the
+	// write or a racing appender invalidates it.
 	if epoch <= l.lastEpoch {
 		return fmt.Errorf("wal: append epoch %d out of order (last %d)", epoch, l.lastEpoch)
 	}
@@ -343,17 +377,21 @@ func (l *Log) Append(epoch uint64, payload []byte) error {
 
 // AppendNext writes one record at the next free epoch (lastEpoch+1) and
 // returns the epoch it was assigned. This is the concurrent-appender
-// entry point: the epoch is allocated under the same critical section as
-// the write, so any number of goroutines can append without racing the
-// strictly-increasing-epoch check, and under Config.Fsync their syncs are
-// group-committed — the first uncovered appender fsyncs once for every
-// record written while the previous sync was in flight (see
-// BenchmarkWALAppend's fsyncs/append metric).
+// entry point: the epoch is allocated after the rotation point, in the
+// same uninterrupted critical section as the write, so any number of
+// goroutines can append without racing the strictly-increasing-epoch
+// invariant, and under Config.Fsync their syncs are group-committed —
+// the first uncovered appender fsyncs once for every record written
+// while the previous sync was in flight (see BenchmarkWALAppend's
+// fsyncs/append metric).
 func (l *Log) AppendNext(payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, ErrClosed
+	}
+	if err := l.rotateIfDueLocked(); err != nil {
+		return 0, err
 	}
 	epoch := l.lastEpoch + 1
 	if err := l.appendLocked(epoch, payload); err != nil {
@@ -362,19 +400,17 @@ func (l *Log) AppendNext(payload []byte) (uint64, error) {
 	return epoch, nil
 }
 
-// appendLocked validates nothing about epoch (callers do); it rotates if
-// due, writes the framed record, updates the bookkeeping, and — under
-// Config.Fsync — blocks until a group-commit fsync covers the record.
+// appendLocked validates nothing about epoch (callers do, after rotating
+// via rotateIfDueLocked); it writes the framed record, updates the
+// bookkeeping, and — under Config.Fsync — blocks until a group-commit
+// fsync covers the record. mu is held without release from entry until
+// the record is written and the bookkeeping (lastEpoch included) updated;
+// only the group-commit wait afterwards may release it.
 func (l *Log) appendLocked(epoch uint64, payload []byte) error {
 	if l.syncErr != nil {
 		// A failed fsync already broke the durability promise for some
 		// earlier record; admitting more would silently widen the hole.
 		return l.syncErr
-	}
-	if l.active.bytes >= l.cfg.SegmentBytes && l.active.first != 0 {
-		if err := l.rotateLocked(); err != nil {
-			return err
-		}
 	}
 	undo := l.undo
 	undo.bytes, undo.first, undo.last, undo.lastEpoch = l.active.bytes, l.active.first, l.active.last, l.lastEpoch

@@ -270,6 +270,15 @@ func WithCheckpointEvery(n int) ServeOption {
 	return func(c *serve.Config) { c.CheckpointEvery = n }
 }
 
+// WithReplicationLog bounds the in-memory replication log a leader keeps
+// once Server.StartReplication is called: the encoded delta frames of the
+// most recent n epochs. A reconnecting follower whose watermark is still
+// inside the log catches up incrementally; one further behind is resynced
+// with a full snapshot frame. Default 1024.
+func WithReplicationLog(epochs int) ServeOption {
+	return func(c *serve.Config) { c.ReplicationLogEpochs = epochs }
+}
+
 // Serve wraps an engine in the concurrent serving layer. The Server
 // becomes the engine's sole writer: stream updates through Submit (or
 // Apply) and read through Label/Embedding/TopK/Snapshot — reads are
@@ -303,6 +312,79 @@ func Serve(eng *Engine, opts ...ServeOption) (*Server, error) {
 		}
 		return serve.NewEngineBackend(use)
 	}, cfg)
+}
+
+// Read replication, re-exported from internal/serve. A leader Server
+// started with StartReplication streams every published epoch's changed
+// rows; any number of Followers maintain bit-identical local snapshots
+// from that stream and serve the same lock-free pinned reads — the read
+// tier scales horizontally while the write path stays single-leader.
+type (
+	// Follower is a read-only replica: it follows a leader's replication
+	// stream, applies epoch-tagged delta frames into its own paged
+	// copy-on-write snapshots, and serves Label/TopK/Snapshot reads with
+	// leader-identical semantics. See Follow.
+	Follower = serve.Follower
+	// FollowerStats is a point-in-time counter snapshot of a Follower,
+	// including the Epoch/LeaderEpoch/LagEpochs replication watermarks.
+	FollowerStats = serve.FollowerStats
+	// Replication is the leader-side hub returned by
+	// Server.StartReplication.
+	Replication = serve.Replication
+	// ReplStats are the leader-side replication counters, embedded in
+	// ServeStats.
+	ReplStats = serve.ReplStats
+)
+
+// FollowOption customises Follow.
+type FollowOption func(*serve.FollowerConfig)
+
+// FollowWithDataDir makes the follower durable: applied delta frames are
+// written ahead to a local WAL under dir and snapshot checkpoints replace
+// the log periodically. A restarted follower recovers from dir — newest
+// checkpoint plus WAL tail — and resumes from its watermark instead of a
+// full leader resync.
+func FollowWithDataDir(dir string) FollowOption {
+	return func(c *serve.FollowerConfig) { c.DataDir = dir }
+}
+
+// FollowWithFsync sets the durable follower's WAL sync policy (same
+// tradeoff as WithFsync on a leader).
+func FollowWithFsync(on bool) FollowOption {
+	return func(c *serve.FollowerConfig) { c.Fsync = on }
+}
+
+// FollowWithCheckpointEvery takes an automatic local checkpoint after
+// every n applied frames (default 1024; negative disables).
+func FollowWithCheckpointEvery(n int) FollowOption {
+	return func(c *serve.FollowerConfig) { c.CheckpointEvery = n }
+}
+
+// FollowWithPageRows sets the replica snapshot's page granularity (same
+// semantics as WithPageRows).
+func FollowWithPageRows(rows int) FollowOption {
+	return func(c *serve.FollowerConfig) { c.PageRows = rows }
+}
+
+// FollowWithTimeouts tunes the leader dial timeout and the redial backoff
+// after a failed dial or dead session (defaults 5s / 250ms).
+func FollowWithTimeouts(dial, retry time.Duration) FollowOption {
+	return func(c *serve.FollowerConfig) { c.DialTimeout, c.RetryEvery = dial, retry }
+}
+
+// Follow starts a read replica against a leader's replication address
+// (Server.StartReplication on the leader, or rippleserve
+// -replicate-addr). It returns after local recovery; catch-up to the
+// leader proceeds in the background — wait on Follower.Ready() for the
+// first served epoch. If the leader dies the follower keeps serving its
+// last epoch (pinned reads stay repeatable) and redials until the leader
+// returns.
+func Follow(leader string, opts ...FollowOption) (*Follower, error) {
+	cfg := serve.FollowerConfig{Leader: leader}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return serve.Follow(cfg)
 }
 
 // LazyEngine is the request-based serving alternative (§2.2): updates are
