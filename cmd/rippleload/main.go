@@ -1,0 +1,523 @@
+// Command rippleload is the load harness for rippleserve: an open-loop
+// mixed read/write generator that drives the HTTP API and reports the
+// serving numbers the admission pipeline is judged by — sustained QPS,
+// read latency quantiles (p50/p99/p999), write latency, epoch-publish
+// lag, fsyncs per admitted batch, and checkpoint stall time — as a JSON
+// document (BENCH_serve.json by convention).
+//
+// Two modes:
+//
+//   - Against a running daemon: rippleload -addr host:port ...
+//   - Self-hosted: rippleload -serve-bin ./rippleserve ... spawns the
+//     daemon (durable, fsync on, loopback) per phase, drives it, tears it
+//     down. -compare-serial runs two phases on the same build — the
+//     serial write path (-pipeline-depth=-1) then the staged pipeline —
+//     and reports the write-throughput speedup, which is the tentpole
+//     claim a commit gate can assert on.
+//
+// Load shape: -rate is the target TOTAL arrival rate (ops/s) split by
+// -read-ratio; arrivals are independent of completions (open loop), so a
+// server that cannot keep up shows queueing latency, not a flattered
+// closed-loop QPS. -rate 0 means closed loop: every worker issues
+// back-to-back requests, measuring sustained capacity instead of
+// latency-under-load. Reads draw from a hot set (-hot-frac of the
+// vertices drawn with probability -hot-prob) over GET /label/{v};
+// writes POST -write-batch feature updates through /update?sync=1, so
+// every acknowledged write is a durable published epoch.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "", "drive an already-running rippleserve at this address (host:port)")
+	serveBin := flag.String("serve-bin", "", "spawn this rippleserve binary per phase instead of using -addr")
+	dataset := flag.String("dataset", "arxiv", "spawned daemon's dataset shape")
+	scale := flag.Float64("scale", 0.002, "spawned daemon's dataset scale")
+	duration := flag.Duration("duration", 10*time.Second, "measured load per phase")
+	warmup := flag.Duration("warmup", 1*time.Second, "untimed warmup before each measured phase")
+	rate := flag.Float64("rate", 0, "target total arrival rate in ops/s (open loop); 0 = closed loop at max capacity")
+	readRatio := flag.Float64("read-ratio", 0.5, "fraction of arrivals that are reads")
+	readRate := flag.Float64("read-rate", 0, "open-loop read arrival rate, overriding -rate/-read-ratio for reads only (0 = follow -rate, or closed loop)")
+	writeRate := flag.Float64("write-rate", 0, "open-loop write arrival rate, overriding -rate/-read-ratio for writes only (0 = follow -rate, or closed loop)")
+	writers := flag.Int("writers", 8, "concurrent write workers")
+	readers := flag.Int("readers", 4, "concurrent read workers")
+	writeBatch := flag.Int("write-batch", 1, "feature updates per write request")
+	hotFrac := flag.Float64("hot-frac", 0.1, "fraction of vertices forming the read hot set")
+	hotProb := flag.Float64("hot-prob", 0.9, "probability a read lands in the hot set")
+	seed := flag.Int64("seed", 1, "generator seed")
+	serveArgs := flag.String("serve-args", "", "extra space-separated flags for the spawned rippleserve (e.g. \"-hidden 8\")")
+	out := flag.String("out", "BENCH_serve.json", "output JSON path (- for stdout)")
+	compareSerial := flag.Bool("compare-serial", false, "run a serial-baseline phase (-pipeline-depth=-1) before the pipelined phase and report the speedup (requires -serve-bin)")
+	flag.Parse()
+
+	cfg := loadConfig{
+		Dataset: *dataset, Scale: *scale,
+		Duration: *duration, Warmup: *warmup,
+		Rate: *rate, ReadRatio: *readRatio,
+		ReadRate: *readRate, WriteRate: *writeRate,
+		Writers: *writers, Readers: *readers, WriteBatch: *writeBatch,
+		HotFrac: *hotFrac, HotProb: *hotProb, Seed: *seed,
+		ServeArgs: strings.Fields(*serveArgs),
+	}
+	if err := run(cfg, *addr, *serveBin, *compareSerial, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "rippleload:", err)
+		os.Exit(1)
+	}
+}
+
+type loadConfig struct {
+	Dataset    string        `json:"dataset,omitempty"`
+	Scale      float64       `json:"scale,omitempty"`
+	Duration   time.Duration `json:"-"`
+	Warmup     time.Duration `json:"-"`
+	Rate       float64       `json:"rate_ops_per_s"` // 0 = closed loop
+	ReadRatio  float64       `json:"read_ratio"`
+	ReadRate   float64       `json:"read_rate_ops_per_s,omitempty"`  // per-class override
+	WriteRate  float64       `json:"write_rate_ops_per_s,omitempty"` // per-class override
+	ServeArgs  []string      `json:"serve_args,omitempty"`
+	Writers    int           `json:"writers"`
+	Readers    int           `json:"readers"`
+	WriteBatch int           `json:"write_batch"`
+	HotFrac    float64       `json:"hot_frac"`
+	HotProb    float64       `json:"hot_prob"`
+	Seed       int64         `json:"seed"`
+}
+
+// report is the BENCH_serve.json document.
+type report struct {
+	Config     loadConfig    `json:"config"`
+	DurationS  float64       `json:"duration_s"`
+	Phases     []phaseResult `json:"phases"`
+	SpeedupPct float64       `json:"write_qps_speedup_pipelined_vs_serial,omitempty"`
+}
+
+type latencySummary struct {
+	Ops   int64   `json:"ops"`
+	QPS   float64 `json:"qps"`
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	P999  float64 `json:"p999_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// phaseResult is one measured phase: client-side throughput/latency plus
+// the server-side /stats delta over the measured window.
+type phaseResult struct {
+	Name          string         `json:"name"`
+	Reads         latencySummary `json:"reads"`
+	Writes        latencySummary `json:"writes"`
+	Shed          int64          `json:"shed_arrivals"` // open-loop arrivals dropped: workers saturated AND queue full
+	Errors        int64          `json:"errors"`
+	EpochLagAtEnd int64          `json:"epoch_publish_lag_at_end"` // acked writes not yet published when load stopped
+
+	WALAppends        uint64  `json:"wal_appends"`
+	WALFsyncs         uint64  `json:"wal_fsyncs"`
+	FsyncsPerAppend   float64 `json:"fsyncs_per_append"`
+	CheckpointStallMS float64 `json:"checkpoint_stall_ms"`
+	QueueWaitP99MS    float64 `json:"queue_wait_p99_ms"`
+	FsyncWaitP99MS    float64 `json:"fsync_wait_p99_ms"`
+	ApplyP99MS        float64 `json:"apply_p99_ms"`
+}
+
+func run(cfg loadConfig, addr, serveBin string, compareSerial bool, out string) error {
+	if addr == "" && serveBin == "" {
+		return errors.New("need -addr (running daemon) or -serve-bin (spawn one)")
+	}
+	if compareSerial && serveBin == "" {
+		return errors.New("-compare-serial spawns its own daemons; it requires -serve-bin")
+	}
+
+	rep := report{Config: cfg, DurationS: cfg.Duration.Seconds()}
+	if compareSerial {
+		for _, ph := range []struct {
+			name  string
+			depth int
+		}{
+			{"serial", -1},
+			{"pipelined", 0},
+		} {
+			res, err := runSpawnedPhase(cfg, serveBin, ph.name, ph.depth)
+			if err != nil {
+				return fmt.Errorf("phase %s: %w", ph.name, err)
+			}
+			rep.Phases = append(rep.Phases, *res)
+		}
+		if s, p := rep.Phases[0].Writes.QPS, rep.Phases[1].Writes.QPS; s > 0 {
+			rep.SpeedupPct = p / s
+		}
+	} else if serveBin != "" {
+		res, err := runSpawnedPhase(cfg, serveBin, "pipelined", 0)
+		if err != nil {
+			return err
+		}
+		rep.Phases = append(rep.Phases, *res)
+	} else {
+		res, err := runPhase(cfg, "http://"+addr, "remote")
+		if err != nil {
+			return err
+		}
+		rep.Phases = append(rep.Phases, *res)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	for _, ph := range rep.Phases {
+		fmt.Printf("  %-10s writes %8.0f/s (p99 %6.2fms)  reads %8.0f/s (p99 %6.2fms)  fsyncs/append %.3f\n",
+			ph.Name, ph.Writes.QPS, ph.Writes.P99MS, ph.Reads.QPS, ph.Reads.P99MS, ph.FsyncsPerAppend)
+	}
+	if rep.SpeedupPct != 0 {
+		fmt.Printf("  pipelined/serial write throughput: %.2fx\n", rep.SpeedupPct)
+	}
+	return nil
+}
+
+// runSpawnedPhase boots a fresh durable fsync-enabled daemon at the given
+// pipeline depth, runs one measured phase against it, and tears it down.
+func runSpawnedPhase(cfg loadConfig, serveBin, name string, depth int) (*phaseResult, error) {
+	dir, err := os.MkdirTemp("", "rippleload-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	port, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	args := []string{
+		"-addr", addr,
+		"-dataset", cfg.Dataset,
+		"-scale", fmt.Sprint(cfg.Scale),
+		"-data-dir", dir,
+		"-fsync",
+		"-checkpoint-every", "256",
+		"-pipeline-depth", fmt.Sprint(depth),
+	}
+	args = append(args, cfg.ServeArgs...)
+	cmd := exec.Command(serveBin, args...)
+	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+	base := "http://" + addr
+	if err := waitHealthy(base, 120*time.Second); err != nil {
+		return nil, err
+	}
+	return runPhase(cfg, base, name)
+}
+
+func freePort() (int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port, nil
+}
+
+func waitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s not healthy after %v", base, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// serverFacts reads the target's shape from /stats: how many vertices to
+// spread load over and how wide a valid feature update must be.
+func serverFacts(client *http.Client, base string) (vertices, featDim int, serving map[string]any, err error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, 0, nil, err
+	}
+	v, _ := body["vertices"].(float64)
+	fd, _ := body["feature_dim"].(float64)
+	sv, _ := body["serving"].(map[string]any)
+	if v == 0 || fd == 0 || sv == nil {
+		return 0, 0, nil, fmt.Errorf("/stats missing vertices/feature_dim/serving: %v", body)
+	}
+	return int(v), int(fd), sv, nil
+}
+
+func statU64(m map[string]any, k string) uint64  { f, _ := m[k].(float64); return uint64(f) }
+func statI64(m map[string]any, k string) int64   { f, _ := m[k].(float64); return int64(f) }
+func statF64(m map[string]any, k string) float64 { f, _ := m[k].(float64); return f }
+
+// worker accumulates one goroutine's completions; merged after the run.
+type worker struct {
+	lat  []int64 // ns, measured window only
+	ops  int64
+	errs int64
+}
+
+func runPhase(cfg loadConfig, base, name string) (*phaseResult, error) {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Writers + cfg.Readers + 4,
+		MaxIdleConnsPerHost: cfg.Writers + cfg.Readers + 4,
+	}}
+	vertices, featDim, before, err := serverFacts(client, base)
+	if err != nil {
+		return nil, err
+	}
+	hotN := int(float64(vertices) * cfg.HotFrac)
+	if hotN < 1 {
+		hotN = 1
+	}
+
+	// Pre-render write bodies (feature updates, rotating vertices) so the
+	// generator does not JSON-encode on the hot path.
+	bodies := prerenderWrites(cfg, vertices, featDim)
+
+	var (
+		measuring atomic.Bool
+		stop      atomic.Bool
+		shed      atomic.Int64
+		acked     atomic.Int64 // sync writes acknowledged during measurement
+	)
+	// Open-loop arrival queues: the dispatcher ticks at the target rate
+	// regardless of completions. Each class is open- or closed-loop on its
+	// own: -read-rate/-write-rate override the -rate/-read-ratio split, so
+	// a run can hold reads at a fixed arrival rate (comparable latency
+	// across phases) while writes run closed loop at max capacity.
+	readRate, writeRate := cfg.ReadRate, cfg.WriteRate
+	if cfg.Rate > 0 {
+		if readRate == 0 {
+			readRate = cfg.Rate * cfg.ReadRatio
+		}
+		if writeRate == 0 {
+			writeRate = cfg.Rate * (1 - cfg.ReadRatio)
+		}
+	}
+	var readTok, writeTok chan struct{}
+	dispatch := func(tok chan struct{}, rate float64) {
+		interval := time.Duration(float64(time.Second) / rate)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for !stop.Load() {
+			<-tick.C
+			select {
+			case tok <- struct{}{}:
+			default:
+				if measuring.Load() {
+					shed.Add(1)
+				}
+			}
+		}
+	}
+	if readRate > 0 {
+		readTok = make(chan struct{}, 4096)
+		go dispatch(readTok, readRate)
+	}
+	if writeRate > 0 {
+		writeTok = make(chan struct{}, 4096)
+		go dispatch(writeTok, writeRate)
+	}
+
+	var wg sync.WaitGroup
+	readWs := make([]*worker, cfg.Readers)
+	writeWs := make([]*worker, cfg.Writers)
+	for i := range readWs {
+		readWs[i] = &worker{}
+		wg.Add(1)
+		go func(w *worker, id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+			for !stop.Load() {
+				if readTok != nil {
+					select {
+					case <-readTok:
+					case <-time.After(10 * time.Millisecond):
+						continue
+					}
+				}
+				v := rng.Intn(vertices)
+				if rng.Float64() < cfg.HotProb {
+					v = rng.Intn(hotN)
+				}
+				start := time.Now()
+				resp, err := client.Get(fmt.Sprintf("%s/label/%d", base, v))
+				if err == nil {
+					resp.Body.Close()
+				}
+				if measuring.Load() {
+					if err != nil || resp.StatusCode != http.StatusOK {
+						w.errs++
+						continue
+					}
+					w.lat = append(w.lat, time.Since(start).Nanoseconds())
+					w.ops++
+				}
+			}
+		}(readWs[i], i)
+	}
+	for i := range writeWs {
+		writeWs[i] = &worker{}
+		wg.Add(1)
+		go func(w *worker, id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(id)))
+			for !stop.Load() {
+				if writeTok != nil {
+					select {
+					case <-writeTok:
+					case <-time.After(10 * time.Millisecond):
+						continue
+					}
+				}
+				body := bodies[rng.Intn(len(bodies))]
+				start := time.Now()
+				resp, err := client.Post(base+"/update?sync=1", "application/json", bytes.NewReader(body))
+				if err == nil {
+					resp.Body.Close()
+				}
+				if measuring.Load() {
+					if err != nil || resp.StatusCode != http.StatusOK {
+						w.errs++
+						continue
+					}
+					w.lat = append(w.lat, time.Since(start).Nanoseconds())
+					w.ops++
+					acked.Add(1)
+				}
+			}
+		}(writeWs[i], i)
+	}
+
+	time.Sleep(cfg.Warmup)
+	_, _, before, err = serverFacts(client, base) // delta starts at the measured window
+	if err != nil {
+		stop.Store(true)
+		wg.Wait()
+		return nil, err
+	}
+	measuring.Store(true)
+	time.Sleep(cfg.Duration)
+	measuring.Store(false)
+	epochAtStop := int64(0)
+	if _, _, atStop, err := serverFacts(client, base); err == nil {
+		epochAtStop = statI64(atStop, "epoch")
+	}
+	stop.Store(true)
+	wg.Wait()
+	_, _, after, err := serverFacts(client, base)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &phaseResult{Name: name, Shed: shed.Load()}
+	res.Reads = summarize(readWs, cfg.Duration)
+	res.Writes = summarize(writeWs, cfg.Duration)
+	for _, w := range append(append([]*worker{}, readWs...), writeWs...) {
+		res.Errors += w.errs
+	}
+	// Epoch-publish lag: how many acknowledged (durable, applied) writes
+	// had not surfaced as published epochs the moment load stopped. With
+	// ?sync=1 an ack implies publication, so any lag here is epochs from
+	// the warmup/async tail — expected ~0.
+	epochDelta := epochAtStop - statI64(before, "epoch")
+	if lag := acked.Load() - epochDelta; lag > 0 {
+		res.EpochLagAtEnd = lag
+	}
+	res.WALAppends = statU64(after, "wal_appends") - statU64(before, "wal_appends")
+	res.WALFsyncs = statU64(after, "wal_fsyncs") - statU64(before, "wal_fsyncs")
+	if res.WALAppends > 0 {
+		res.FsyncsPerAppend = float64(res.WALFsyncs) / float64(res.WALAppends)
+	}
+	res.CheckpointStallMS = float64(statI64(after, "checkpoint_stall_ns")-statI64(before, "checkpoint_stall_ns")) / 1e6
+	res.QueueWaitP99MS = statF64(after, "queue_wait_p99_ns") / 1e6
+	res.FsyncWaitP99MS = statF64(after, "fsync_wait_p99_ns") / 1e6
+	res.ApplyP99MS = statF64(after, "apply_p99_ns") / 1e6
+	return res, nil
+}
+
+func prerenderWrites(cfg loadConfig, vertices, featDim int) [][]byte {
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	const variants = 64
+	bodies := make([][]byte, 0, variants)
+	for b := 0; b < variants; b++ {
+		updates := make([]map[string]any, cfg.WriteBatch)
+		for i := range updates {
+			features := make([]float64, featDim)
+			for j := range features {
+				features[j] = rng.NormFloat64()
+			}
+			updates[i] = map[string]any{
+				"kind":     "feature-update",
+				"u":        rng.Intn(vertices),
+				"features": features,
+			}
+		}
+		body, _ := json.Marshal(map[string]any{"updates": updates})
+		bodies = append(bodies, body)
+	}
+	return bodies
+}
+
+func summarize(ws []*worker, d time.Duration) latencySummary {
+	var all []int64
+	var s latencySummary
+	for _, w := range ws {
+		all = append(all, w.lat...)
+		s.Ops += w.ops
+	}
+	s.QPS = float64(s.Ops) / d.Seconds()
+	if len(all) == 0 {
+		return s
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) float64 {
+		i := int(p * float64(len(all)))
+		if i >= len(all) {
+			i = len(all) - 1
+		}
+		return float64(all[i]) / 1e6
+	}
+	s.P50MS, s.P99MS, s.P999 = q(0.50), q(0.99), q(0.999)
+	s.MaxMS = float64(all[len(all)-1]) / 1e6
+	return s
+}

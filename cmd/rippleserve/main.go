@@ -63,6 +63,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling handlers for the -pprof-addr side listener
 	"os"
 	"os/signal"
 	"strconv"
@@ -93,6 +94,8 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 256, "automatic checkpoint interval in batches (0 = only /checkpoint and shutdown)")
 	replicateAddr := flag.String("replicate-addr", "", "leader mode: stream published epochs to followers on this address")
 	follow := flag.String("follow", "", "follower mode: replicate read-only state from this leader replication address")
+	pipelineDepth := flag.Int("pipeline-depth", 0, "admission pipeline depth: in-flight admitted batches before admission blocks (0 = default 8, negative = serial baseline write path)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side address (off when empty; keep it loopback-only)")
 	flag.Parse()
 
 	cfg := serveConfig{
@@ -101,6 +104,18 @@ func main() {
 		Batch: *batch, Delay: *delay, Workers: *workers, Partitioner: *partitioner,
 		DataDir: *dataDir, Fsync: *fsync, CheckpointEvery: *ckptEvery,
 		ReplicateAddr: *replicateAddr, Follow: *follow,
+		PipelineDepth: *pipelineDepth,
+	}
+	if *pprofAddr != "" {
+		// The profiling listener is a separate server on a separate
+		// address: the serving mux never exposes pprof, so an operator
+		// cannot accidentally publish heap dumps on the service port.
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("rippleserve: pprof listener: %v", err)
+			}
+		}()
 	}
 	if cfg.Follow != "" && cfg.ReplicateAddr != "" {
 		fmt.Fprintln(os.Stderr, "rippleserve: -follow and -replicate-addr are mutually exclusive (a follower cannot lead)")
@@ -133,6 +148,7 @@ type serveConfig struct {
 	DataDir         string // "" = not durable
 	Fsync           bool
 	CheckpointEvery int
+	PipelineDepth   int // 0 = default depth, negative = serial baseline
 
 	ReplicateAddr string // leader mode: replication listener ("" = off)
 	Follow        string // follower mode: leader's replication address
@@ -148,7 +164,7 @@ func run(cfg serveConfig) error {
 	// generation, bootstrap or recovery, so health probes see 503
 	// "starting" — degraded, not connection-refused — until the first
 	// epoch is published.
-	api := &api{n: spec.NumVertices, classes: spec.NumClasses, workload: cfg.Workload, dataset: cfg.Dataset, workers: cfg.Workers, durable: cfg.DataDir != ""}
+	api := &api{n: spec.NumVertices, classes: spec.NumClasses, featDim: spec.FeatureDim, workload: cfg.Workload, dataset: cfg.Dataset, workers: cfg.Workers, durable: cfg.DataDir != ""}
 	httpSrv := &http.Server{Handler: api.routes()}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -178,7 +194,10 @@ func run(cfg serveConfig) error {
 		return fail(err)
 	}
 
-	sopts := []ripple.ServeOption{ripple.WithAdmission(cfg.Batch, cfg.Delay)}
+	sopts := []ripple.ServeOption{
+		ripple.WithAdmission(cfg.Batch, cfg.Delay),
+		ripple.WithPipelineDepth(cfg.PipelineDepth),
+	}
 	if cfg.DataDir != "" {
 		sopts = append(sopts,
 			ripple.WithDataDir(cfg.DataDir),
@@ -323,6 +342,7 @@ type api struct {
 	leader   string // non-empty = follower mode (-follow target)
 	n        int
 	classes  int
+	featDim  int
 	workload string
 	dataset  string
 	workers  int  // 0 = single-node engine backend
@@ -795,6 +815,7 @@ func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
 		"workload":      a.workload,
 		"vertices":      a.n,
 		"classes":       a.classes,
+		"feature_dim":   a.featDim,
 		"workers":       a.workers,
 		"encode_errors": a.encodeErrs.Load(),
 		"serving":       srv.Stats(),

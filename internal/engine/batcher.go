@@ -19,11 +19,11 @@ type Batcher struct {
 	maxDelay time.Duration
 	onBatch  func(BatchResult, error)
 
-	mu      sync.Mutex
-	buf     []Update
-	timer   *time.Timer
-	closed  bool
-	applyMu sync.Mutex // serialises ApplyBatch (strategies are not concurrent)
+	mu       sync.Mutex
+	buf      []Update
+	timer    *time.Timer
+	closed   bool
+	flushSem chan struct{} // bounds concurrent ApplyBatch calls (default 1)
 }
 
 // ErrBatcherClosed is returned by Submit after Close.
@@ -40,7 +40,29 @@ func NewBatcher(s Strategy, maxSize int, maxDelay time.Duration, onBatch func(Ba
 	if onBatch == nil {
 		onBatch = func(BatchResult, error) {}
 	}
-	return &Batcher{strategy: s, maxSize: maxSize, maxDelay: maxDelay, onBatch: onBatch}, nil
+	return &Batcher{
+		strategy: s,
+		maxSize:  maxSize,
+		maxDelay: maxDelay,
+		onBatch:  onBatch,
+		flushSem: make(chan struct{}, 1),
+	}, nil
+}
+
+// SetMaxConcurrentFlushes bounds how many ApplyBatch calls may run at
+// once. The default is 1: strategies are not concurrency-safe, and with
+// n > 1 two flushes touching the same vertex can apply out of submission
+// order — only raise it for strategies that tolerate both (e.g. a sharded
+// or commutative apply). n < 1 is clamped to 1. Call it before the first
+// Submit; changing the bound while flushes are in flight only affects
+// flushes that start afterwards.
+func (b *Batcher) SetMaxConcurrentFlushes(n int) {
+	if n < 1 {
+		n = 1
+	}
+	b.mu.Lock()
+	b.flushSem = make(chan struct{}, n)
+	b.mu.Unlock()
 }
 
 // Submit enqueues one update, flushing if the size threshold is reached.
@@ -149,8 +171,11 @@ func (b *Batcher) apply(batch []Update) {
 	if len(batch) == 0 {
 		return
 	}
-	b.applyMu.Lock()
+	b.mu.Lock()
+	sem := b.flushSem
+	b.mu.Unlock()
+	sem <- struct{}{}
 	res, err := b.strategy.ApplyBatch(batch)
-	b.applyMu.Unlock()
+	<-sem
 	b.onBatch(res, err)
 }

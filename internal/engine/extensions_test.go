@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -444,5 +445,75 @@ func TestBatcherEquivalentToDirectBatches(t *testing.T) {
 	b.Close()
 	if d := direct.Embeddings().MaxAbsDiff(r.Embeddings()); d > 1e-5 {
 		t.Errorf("batcher result differs from direct batching by %v", d)
+	}
+}
+
+// gateStrategy counts in-flight ApplyBatch calls and records the peak, with
+// an optional stall so flushes pile up.
+type gateStrategy struct {
+	stall    time.Duration
+	inFlight atomic.Int64
+	peak     atomic.Int64
+	applied  atomic.Int64
+}
+
+func (g *gateStrategy) Name() string { return "gate" }
+
+func (g *gateStrategy) ApplyBatch(batch []Update) (BatchResult, error) {
+	n := g.inFlight.Add(1)
+	for {
+		p := g.peak.Load()
+		if n <= p || g.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	if g.stall > 0 {
+		time.Sleep(g.stall)
+	}
+	g.inFlight.Add(-1)
+	g.applied.Add(int64(len(batch)))
+	return BatchResult{Updates: len(batch)}, nil
+}
+
+// TestBatcherFlushConcurrencyBound pins SetMaxConcurrentFlushes: the default
+// serialises flushes even when many submitters race, and a raised bound is
+// still a bound, not a free-for-all.
+func TestBatcherFlushConcurrencyBound(t *testing.T) {
+	run := func(limit int) *gateStrategy {
+		gs := &gateStrategy{stall: 2 * time.Millisecond}
+		b, err := NewBatcher(gs, 1, 0, nil) // every submit flushes immediately
+		if err != nil {
+			t.Fatal(err)
+		}
+		if limit > 0 {
+			b.SetMaxConcurrentFlushes(limit)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < 5; j++ {
+					if err := b.Submit(Update{Kind: FeatureUpdate, U: graph.VertexID(j), Features: tensor.Vector{0, 0, 0, 0, 0}}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		b.Close()
+		return gs
+	}
+
+	if gs := run(0); gs.peak.Load() != 1 {
+		t.Errorf("default flush concurrency peak = %d, want 1", gs.peak.Load())
+	}
+	gs := run(4)
+	if p := gs.peak.Load(); p > 4 {
+		t.Errorf("flush concurrency peak = %d, want <= 4", p)
+	}
+	if got := gs.applied.Load(); got != 40 {
+		t.Errorf("applied %d updates, want 40", got)
 	}
 }

@@ -24,11 +24,13 @@ package serve
 // discarding it is the correct history.
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"ripple/internal/cluster"
 	"ripple/internal/engine"
@@ -200,7 +202,7 @@ func Open(load func(ckpt io.Reader) (Backend, error), cfg Config) (*Server, erro
 		closeBackend()
 		return nil, err
 	}
-	s.hasCkpt = hasCkpt
+	s.hasCkpt.Store(hasCkpt)
 	s.lastCkpt.Store(epoch)
 
 	w, err := wal.Open(filepath.Join(cfg.DataDir, "wal"), wal.Config{
@@ -222,6 +224,10 @@ func Open(load func(ckpt io.Reader) (Backend, error), cfg Config) (*Server, erro
 		s.Close()
 		return nil, err
 	}
+	// A checkpoint that truncated every segment leaves the reopened log
+	// with no records: raise its epoch floor so the next admitted batch
+	// continues the pre-crash sequence instead of restarting at 1.
+	w.AdvanceEpoch(s.pub.Current().epoch)
 	s.mu.Lock()
 	s.wal = w
 	s.mu.Unlock()
@@ -237,7 +243,7 @@ func (s *Server) replayRecord(epoch uint64, payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("serve: wal record for epoch %d: %w", epoch, err)
 	}
-	if _, err := s.applyLocked(batch); err != nil {
+	if _, err := s.applyOne(batch); err != nil {
 		return fmt.Errorf("serve: replaying wal record for epoch %d: %w", epoch, err)
 	}
 	if got := s.pub.Current().epoch; got != epoch {
@@ -258,16 +264,93 @@ type CheckpointStats struct {
 
 // Checkpoint serializes the backend's state at the current epoch,
 // durably replaces the previous checkpoint, and truncates the WAL
-// segments the new checkpoint covers. Serialised with the write path: the
-// saved state is an epoch-consistent cut (for the cluster backend, via
-// the leader's barrier). If the current epoch is already checkpointed
+// segments the new checkpoint covers. The state encoding is serialised
+// with the write path (so the cut is epoch-consistent; for the cluster
+// backend, via the leader's barrier), but the file write, fsync, rename
+// and WAL truncation run off the write lock — admission proceeds while
+// the checkpoint hits disk. If the current epoch is already checkpointed
 // this is a no-op.
 func (s *Server) Checkpoint() (CheckpointStats, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.checkpointLocked()
+	if s.serial {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.checkpointLocked()
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	return s.doCheckpoint(false)
 }
 
+// doCheckpoint is the pipelined checkpoint: phase 1 encodes the backend
+// state into memory under a short mu hold (the only part that can stall
+// admission — accounted in Stats.CheckpointStallNS); phase 2 writes,
+// fsyncs and renames the file and truncates the WAL with no server lock
+// held. Caller holds ckptMu (whole checkpoints are single-flight). final
+// marks Close's last checkpoint, which must run although closed is set.
+func (s *Server) doCheckpoint(final bool) (CheckpointStats, error) {
+	s.mu.Lock()
+	s.sinceCkpt = 0
+	if s.wal == nil {
+		s.mu.Unlock()
+		return CheckpointStats{}, errors.New("serve: server is not durable (no data dir)")
+	}
+	if s.failed.Load() {
+		s.mu.Unlock()
+		return CheckpointStats{}, ErrBackendFailed
+	}
+	if s.closed && !final {
+		s.mu.Unlock()
+		return CheckpointStats{}, ErrClosed
+	}
+	epoch := s.pub.Current().epoch
+	path := checkpointPath(s.cfg.DataDir, epoch)
+	if epoch == s.lastCkpt.Load() && s.hasCkpt.Load() {
+		st := s.wal.Stats()
+		s.mu.Unlock()
+		info, err := os.Stat(path)
+		if err != nil {
+			return CheckpointStats{}, err
+		}
+		return CheckpointStats{Epoch: epoch, Bytes: info.Size(), WALBytes: st.Bytes, WALSegments: st.Segments}, nil
+	}
+	start := time.Now()
+	var buf bytes.Buffer
+	err := writeCheckpointHeader(&buf, epoch)
+	if err == nil {
+		err = s.backend.(durableBackend).SaveCheckpoint(&buf) // interface checked at Open
+	}
+	s.ckptStall.Add(time.Since(start).Nanoseconds())
+	s.mu.Unlock()
+	if err != nil {
+		return CheckpointStats{}, fmt.Errorf("serve: writing checkpoint: %w", err)
+	}
+
+	if err := s.writeCkpt(path, buf.Bytes()); err != nil {
+		return CheckpointStats{}, fmt.Errorf("serve: writing checkpoint: %w", err)
+	}
+	// The checkpoint is durable; everything it covers is dead weight. The
+	// WAL's own lock orders this against concurrent admissions appending.
+	if err := s.wal.MarkCheckpoint(epoch); err != nil {
+		return CheckpointStats{}, err
+	}
+	for _, old := range listCheckpoints(s.cfg.DataDir) {
+		if old != epoch {
+			os.Remove(checkpointPath(s.cfg.DataDir, old))
+		}
+	}
+	s.hasCkpt.Store(true)
+	s.lastCkpt.Store(epoch)
+
+	st := s.wal.Stats()
+	out := CheckpointStats{Epoch: epoch, WALBytes: st.Bytes, WALSegments: st.Segments}
+	if info, err := os.Stat(path); err == nil {
+		out.Bytes = info.Size()
+	}
+	return out, nil
+}
+
+// checkpointLocked is the serial baseline's checkpoint: everything —
+// encode, file write, fsync, WAL truncation — under the caller's mu hold.
 func (s *Server) checkpointLocked() (CheckpointStats, error) {
 	s.sinceCkpt = 0
 	if s.wal == nil {
@@ -278,7 +361,7 @@ func (s *Server) checkpointLocked() (CheckpointStats, error) {
 	}
 	epoch := s.pub.Current().epoch
 	path := checkpointPath(s.cfg.DataDir, epoch)
-	if epoch == s.lastCkpt.Load() && s.hasCkpt {
+	if epoch == s.lastCkpt.Load() && s.hasCkpt.Load() {
 		st := s.wal.Stats()
 		info, err := os.Stat(path)
 		if err != nil {
@@ -287,6 +370,7 @@ func (s *Server) checkpointLocked() (CheckpointStats, error) {
 		return CheckpointStats{Epoch: epoch, Bytes: info.Size(), WALBytes: st.Bytes, WALSegments: st.Segments}, nil
 	}
 
+	start := time.Now()
 	db := s.backend.(durableBackend) // interface checked at Open
 	err := wal.WriteFileAtomic(path, func(w io.Writer) error {
 		if err := writeCheckpointHeader(w, epoch); err != nil {
@@ -294,6 +378,7 @@ func (s *Server) checkpointLocked() (CheckpointStats, error) {
 		}
 		return db.SaveCheckpoint(w)
 	})
+	s.ckptStall.Add(time.Since(start).Nanoseconds())
 	if err != nil {
 		return CheckpointStats{}, fmt.Errorf("serve: writing checkpoint: %w", err)
 	}
@@ -307,7 +392,7 @@ func (s *Server) checkpointLocked() (CheckpointStats, error) {
 			os.Remove(checkpointPath(s.cfg.DataDir, old))
 		}
 	}
-	s.hasCkpt = true
+	s.hasCkpt.Store(true)
 	s.lastCkpt.Store(epoch)
 
 	st := s.wal.Stats()

@@ -98,7 +98,14 @@ func BenchmarkRecovery(b *testing.B) {
 			b.Fatalf("recovered to epoch %d, want %d", st.Epoch, len(batches))
 		}
 		// Skip Close's final checkpoint: the image copy is discarded.
+		// Drain the admission pipeline first so the applier goroutine
+		// exits before the WAL goes away underneath it.
 		rsrv.batcher.Close()
+		rsrv.admitMu.Lock()
+		rsrv.admitClosed = true
+		close(rsrv.applyQ)
+		rsrv.admitMu.Unlock()
+		<-rsrv.applierDone
 		rsrv.mu.Lock()
 		rsrv.closed = true
 		rsrv.wal.Close()

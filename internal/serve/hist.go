@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latHist is a fixed-bucket latency histogram for the admission path's
+// observability counters: power-of-two nanosecond buckets (bucket i holds
+// durations in [2^(i-1), 2^i)), each an atomic counter, so observing on
+// the hot path is one atomic add — no allocation, no lock. Quantiles are
+// therefore 2×-granular upper bounds, which is exactly enough to tell "the
+// fsync wait is ~100µs" from "~3ms" without paying for a sketch.
+type latHist struct {
+	buckets [latHistBuckets]atomic.Uint64
+	count   atomic.Uint64
+}
+
+// latHistBuckets covers [1ns, 2^47ns ≈ 39h); anything longer clamps into
+// the top bucket.
+const latHistBuckets = 48
+
+// observe records one duration. Negative durations (clock steps) count as
+// zero rather than corrupting a bucket index.
+func (h *latHist) observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	idx := bits.Len64(ns) // 0 for 0ns, else ⌈log2⌉ bucket
+	if idx >= latHistBuckets {
+		idx = latHistBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+}
+
+// quantile returns an upper bound (in ns) for the q-quantile of every
+// observation so far — the top of the first bucket whose cumulative count
+// reaches q. Zero with no observations.
+func (h *latHist) quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < latHistBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return int64(1) << i
+		}
+	}
+	return int64(1) << (latHistBuckets - 1)
+}

@@ -1,0 +1,365 @@
+package serve
+
+// The staged admission pipeline: the write path split so the expensive,
+// overlappable work — the WAL fsync, the subscriber fan-out, the
+// checkpoint file write — leaves the big critical section.
+//
+// Stages (Config.PipelineDepth >= 0; PipelineDepth < 0 keeps the old
+// serial path as a measurable baseline):
+//
+//   - Admission (caller's goroutine, admitMu + a short mu hold): prove
+//     the batch admissible against the published state PLUS the tail of
+//     in-flight admitted batches, assign its epoch by appending the WAL
+//     record without waiting for the fsync (wal.AppendNextNoWait), and
+//     enqueue it on the bounded apply queue. admitMu makes admission
+//     order, WAL record order and queue order the same total order.
+//   - Group commit (caller's goroutine, no server lock): wait until an
+//     fsync covers the record. Concurrent admitters pile into one
+//     wal group commit here, and the wait overlaps the applier working
+//     on earlier epochs — this is where the old path burned one full
+//     fsync per batch inside the lock.
+//   - Apply (single applier goroutine): consume admissions in order;
+//     re-confirm durability; ApplyBatch + publish + replication record
+//     under mu (the epoch-consistency critical section); subscriber
+//     fan-out after unlock, ordered by fanMu.
+//
+// Invariants the stages preserve (pinned by the durability and
+// replication suites plus the pipeline tests):
+//
+//   - WAL record order == epoch order: epochs are allocated by the WAL
+//     append inside admitMu, and the single applier publishes in queue
+//     order, checking record epoch == published epoch + 1.
+//   - Durability before visibility: an epoch is published, replicated
+//     and its submitter acked only after WaitDurable covered its record.
+//   - The validation tail (pendingUpd) and the backend state always
+//     compose to the same topology: both are mutated under mu — the
+//     applier trims a batch from the tail in the same critical section
+//     that applies it.
+
+import (
+	"fmt"
+	"time"
+
+	"ripple/internal/cluster"
+	"ripple/internal/engine"
+)
+
+// defaultPipelineDepth bounds the apply queue when Config.PipelineDepth
+// is zero: deep enough to keep the applier fed while a group commit
+// forms, shallow enough that admission backpressure kicks in before the
+// validation tail grows past a few batches.
+const defaultPipelineDepth = 8
+
+// admission is one batch's ride through the pipeline.
+type admission struct {
+	batch []engine.Update
+	quiet bool // suppress rejection accounting (pre-salvage probe)
+
+	// Durable-admission state (zero on non-durable servers): the WAL
+	// epoch the record was logged at, the WAL write sequence WaitDurable
+	// must cover before the batch may become visible, and how many
+	// updates the admission appended to the in-flight validation tail.
+	epoch uint64
+	seq   uint64
+	trim  int
+
+	// reject marks a report-only entry: admission-time validation (or the
+	// WAL append) refused the batch. It rides the queue anyway so OnBatch
+	// observers see admissions — acceptances and rejections — in
+	// admission order.
+	reject error
+
+	res      engine.BatchResult
+	err      error
+	enqueued time.Time
+	done     chan struct{}
+}
+
+// applyPipelined is the staged write path: admit under admitMu, then wait
+// off-lock for durability and the applier's completion signal.
+func (s *Server) applyPipelined(batch []engine.Update, quietReject bool) (engine.BatchResult, error) {
+	a := &admission{batch: batch, quiet: quietReject, done: make(chan struct{})}
+	s.admitMu.Lock()
+	if s.admitClosed {
+		s.admitMu.Unlock()
+		return engine.BatchResult{}, ErrClosed
+	}
+	if s.failed.Load() {
+		s.admitMu.Unlock()
+		return engine.BatchResult{}, ErrBackendFailed
+	}
+	s.mu.Lock()
+	if s.wal != nil {
+		// Durable admission: prove the batch admissible over the in-flight
+		// tail, then log it — so the WAL holds exactly the accepted-batch
+		// sequence and a logged batch can never be rejected on replay.
+		if err := s.validateInflightLocked(batch); err != nil {
+			a.reject = err
+		} else if epoch, seq, err := s.wal.AppendNextNoWait(cluster.EncodeUpdates(batch)); err != nil {
+			// A write path that cannot log cannot promise durability:
+			// fail like infrastructure, keep serving reads.
+			s.failed.Store(true)
+			a.reject = fmt.Errorf("%w: %v", ErrBackendFailed, err)
+		} else {
+			a.epoch, a.seq = epoch, seq
+			s.pendingUpd = append(s.pendingUpd, batch...)
+			a.trim = len(batch)
+		}
+	}
+	s.mu.Unlock()
+	a.enqueued = time.Now()
+	// The queue is bounded: a full pipeline blocks admission here (holding
+	// admitMu, NOT mu) until the applier drains a slot — backpressure, not
+	// unbounded buffering. The applier never takes admitMu, so this cannot
+	// deadlock.
+	s.applyQ <- a
+	s.admitMu.Unlock()
+
+	if a.seq != 0 {
+		// Drive the group commit from the submitter's goroutine: waiters
+		// racing here are what forms fsync groups, and the wait overlaps
+		// the applier working on earlier epochs. The applier re-checks
+		// durability before publishing; an error here surfaces there.
+		_ = s.wal.WaitDurable(a.seq)
+	}
+	<-a.done
+	return a.res, a.err
+}
+
+// validateInflightLocked proves batch admissible against the published
+// state plus every in-flight admitted batch. Validation is compositional
+// — the backend's overlay simulates the tail's edge changes sequentially
+// — so validating tail++batch accepts batch exactly when it would be
+// accepted after the tail applies. Caller holds mu (the tail and the
+// backend state only change under it).
+func (s *Server) validateInflightLocked(batch []engine.Update) error {
+	vb := s.backend.(validatingBackend) // interface checked at Open
+	if len(s.pendingUpd) == 0 {
+		return vb.ValidateBatch(batch)
+	}
+	s.valScratch = append(s.valScratch[:0], s.pendingUpd...)
+	s.valScratch = append(s.valScratch, batch...)
+	err := vb.ValidateBatch(s.valScratch)
+	if err == nil {
+		return nil
+	}
+	// Error fidelity: the combined error indexes into tail++batch. If the
+	// batch is invalid on its own report that error verbatim; otherwise
+	// the conflict is with an in-flight admission.
+	if own := vb.ValidateBatch(batch); own != nil {
+		return own
+	}
+	return fmt.Errorf("serve: batch conflicts with in-flight admission: %w", err)
+}
+
+// trimPendingLocked retires the front n updates of the validation tail —
+// the batch the applier just resolved. Caller holds mu. The tail must
+// shrink in the same critical section that changes the backend state (or
+// resolves the batch without applying it): a stale tail entry would make
+// the validation overlay re-apply an update the topology already holds.
+func (s *Server) trimPendingLocked(n int) {
+	if n <= 0 {
+		return
+	}
+	s.pendingUpd = append(s.pendingUpd[:0], s.pendingUpd[n:]...)
+}
+
+// applyLoop is the pipeline's single consumer: it resolves admissions in
+// admission order until Close closes the queue, then signals applierDone.
+func (s *Server) applyLoop() {
+	defer close(s.applierDone)
+	for a := range s.applyQ {
+		s.processAdmission(a)
+	}
+}
+
+// processAdmission resolves one admission: report-only entries just
+// surface their verdict; admitted batches wait for durability, apply and
+// publish under mu, and fan out label flips after unlock.
+func (s *Server) processAdmission(a *admission) {
+	defer close(a.done)
+	s.queueWaitH.observe(time.Since(a.enqueued))
+
+	if a.reject != nil {
+		// Report in admission order, like the old in-lock accounting.
+		s.mu.Lock()
+		if isRejection(a.reject) {
+			if !a.quiet {
+				s.rejected.Add(1)
+				if s.onBatch != nil {
+					s.onBatch(engine.BatchResult{}, a.reject)
+				}
+			}
+		} else if s.onBatch != nil {
+			s.onBatch(engine.BatchResult{}, a.reject)
+		}
+		s.mu.Unlock()
+		a.err = a.reject
+		return
+	}
+
+	if a.seq != 0 {
+		// Durability before visibility. Usually already covered — the
+		// submitter drove the group commit while earlier epochs applied —
+		// so this is a re-check, not a stall.
+		start := time.Now()
+		err := s.wal.WaitDurable(a.seq)
+		s.fsyncWaitH.observe(time.Since(start))
+		if err != nil {
+			err = fmt.Errorf("%w: %v", ErrBackendFailed, err)
+			s.mu.Lock()
+			s.trimPendingLocked(a.trim)
+			s.failed.Store(true)
+			if s.onBatch != nil {
+				s.onBatch(engine.BatchResult{}, err)
+			}
+			s.mu.Unlock()
+			a.err = err
+			return
+		}
+	}
+
+	if s.failed.Load() {
+		// An earlier admission latched infrastructure failure. This
+		// batch's record (if any) stays in the log — the same
+		// at-least-once window as a crash between append and abort.
+		s.mu.Lock()
+		s.trimPendingLocked(a.trim)
+		s.mu.Unlock()
+		a.err = ErrBackendFailed
+		return
+	}
+
+	start := time.Now()
+	s.mu.Lock()
+	if a.epoch != 0 && a.epoch != s.pub.Current().epoch+1 {
+		// Defensive: admission order, queue order and epoch order are one
+		// total order by construction; a desync means the pipeline is
+		// broken and publishing would corrupt the WAL-replay contract.
+		s.trimPendingLocked(a.trim)
+		s.failed.Store(true)
+		err := fmt.Errorf("%w: pipeline desync: record epoch %d over published epoch %d", ErrBackendFailed, a.epoch, s.pub.Current().epoch)
+		if s.onBatch != nil {
+			s.onBatch(engine.BatchResult{}, err)
+		}
+		s.mu.Unlock()
+		a.err = err
+		return
+	}
+	res, rows, err := s.backend.ApplyBatch(a.batch)
+	s.trimPendingLocked(a.trim)
+	if err != nil {
+		if !isRejection(err) {
+			if s.wal != nil && a.epoch != 0 {
+				// The logged batch never became an epoch: withdraw the
+				// record (best effort — later in-flight records, or a
+				// crash in this window, leave it to replay, which is
+				// at-least-once, not wrong) so recovery does not
+				// resurrect a write this client saw fail.
+				_ = s.wal.AbortLast(a.epoch)
+			}
+			s.failed.Store(true)
+			err = fmt.Errorf("%w: %v", ErrBackendFailed, err)
+			if s.onBatch != nil {
+				s.onBatch(res, err)
+			}
+			s.mu.Unlock()
+			a.res, a.err = res, err
+			return
+		}
+		// Unreachable for durable servers (admission pre-validated over
+		// the tail); non-durable pipelines discover rejections here.
+		if !a.quiet {
+			s.rejected.Add(1)
+			if s.onBatch != nil {
+				s.onBatch(res, err)
+			}
+		}
+		s.mu.Unlock()
+		a.res, a.err = res, err
+		return
+	}
+
+	prev := s.pub.Current()
+	next := s.pub.Publish(rows)
+	if s.repl != nil {
+		// Record the published delta while the backend-borrowed row logits
+		// are still valid (they die at the next ApplyBatch — issued only
+		// by this goroutine) and mu still orders epochs: followers see
+		// exactly the leader's epoch sequence.
+		s.repl.record(prev, next, rows)
+	}
+
+	s.batches.Add(1)
+	s.updates.Add(int64(res.Updates))
+	s.flips.Add(int64(len(res.LabelChanges)))
+	s.scatterPar.Add(int64(res.ScatterHopsParallel))
+	s.scatterSer.Add(int64(res.ScatterHopsSerial))
+	if s.onBatch != nil {
+		s.onBatch(res, nil)
+	}
+	if s.wal != nil && s.cfg.CheckpointEvery > 0 {
+		s.sinceCkpt++
+		if s.sinceCkpt >= s.cfg.CheckpointEvery && s.ckptBusy.CompareAndSwap(false, true) {
+			// Single-flight background checkpoint: state is encoded under
+			// a short mu hold inside, file IO and WAL truncation off it —
+			// admission never stalls behind the checkpoint.
+			go s.backgroundCheckpoint()
+		}
+	}
+	var fan []chan engine.LabelChange
+	if len(res.LabelChanges) > 0 && len(s.subs) > 0 {
+		s.fanScratch = s.fanScratch[:0]
+		for _, ch := range s.subs {
+			s.fanScratch = append(s.fanScratch, ch)
+		}
+		fan = s.fanScratch
+	}
+	if fan == nil {
+		s.mu.Unlock()
+		s.applyH.observe(time.Since(start))
+		a.res, a.err = res, nil
+		return
+	}
+	// Fan out after unlock: the sends no longer extend the write critical
+	// section by flips × subscribers. fanMu is taken BEFORE mu is released
+	// so batches fan out in epoch order per subscriber, and a concurrent
+	// cancel/Close (which closes channels under fanMu) cannot race a send.
+	s.fanMu.Lock()
+	s.mu.Unlock()
+	s.applyH.observe(time.Since(start))
+	for _, lc := range res.LabelChanges {
+		for _, ch := range fan {
+			select {
+			case ch <- lc:
+			default:
+				s.dropped.Add(1)
+			}
+		}
+	}
+	s.fanMu.Unlock()
+	a.res, a.err = res, nil
+}
+
+// backgroundCheckpoint runs automatic checkpoints off the write path.
+// Best effort, like the old in-line automatic checkpoint: failure leaves
+// the WAL intact (recovery still works) and a later interval retries.
+// After each checkpoint it re-checks the trigger: admissions that crossed
+// the interval while this one was in flight lost their CAS and nobody
+// else will retry if the stream pauses — an interval must not silently
+// stretch just because the previous checkpoint was slow.
+func (s *Server) backgroundCheckpoint() {
+	for {
+		s.ckptMu.Lock()
+		_, _ = s.doCheckpoint(false)
+		s.ckptMu.Unlock()
+		s.ckptBusy.Store(false)
+		s.mu.Lock()
+		again := !s.closed && s.wal != nil && !s.failed.Load() &&
+			s.cfg.CheckpointEvery > 0 && s.sinceCkpt >= s.cfg.CheckpointEvery
+		s.mu.Unlock()
+		if !again || !s.ckptBusy.CompareAndSwap(false, true) {
+			return
+		}
+	}
+}

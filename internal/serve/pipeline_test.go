@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ripple/internal/engine"
+	"ripple/internal/graph"
+	"ripple/internal/tensor"
+)
+
+// featUpdate builds an always-valid single-vertex feature update (feature
+// updates commute at the validation level: any interleaving of them is
+// admissible, which is what a concurrency test needs).
+func featUpdate(v, gor, it int) engine.Update {
+	f := make(tensor.Vector, 6) // conf-world model input dim
+	for c := range f {
+		f[c] = float32(gor+1)*0.125 + float32(it)*0.01 + float32(c)*0.001
+	}
+	return engine.Update{Kind: engine.FeatureUpdate, U: graph.VertexID(v), Features: f}
+}
+
+// TestPipelinedConcurrentSubmitters hammers the staged admission pipeline
+// with many synchronous submitters under the race detector and pins the
+// pipeline's user-visible contract:
+//
+//   - every valid batch is admitted exactly once: final epoch, applied-batch
+//     count and WAL append count all equal the number of successful Applies;
+//   - acks respect epoch order: after a submitter's k-th Apply returns, the
+//     published epoch is at least k (durability-before-visibility means the
+//     ack can only trail the publish);
+//   - invalid batches are rejected without consuming an epoch or leaving a
+//     WAL record, even when racing valid admissions;
+//   - a graceful close then reopen recovers the exact final state with zero
+//     replay (nothing was acked that was not durable).
+func TestPipelinedConcurrentSubmitters(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 16
+		badApplies = 10
+	)
+	w := newDurWorld(t, 40, 160, 1, 1, 131)
+	dir := t.TempDir()
+	srv, err := Open(w.engineLoader(), Config{DataDir: dir, Fsync: true, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines+1)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := srv.Apply([]engine.Update{featUpdate((g*7+i)%40, g, i)}); err != nil {
+					errc <- fmt.Errorf("goroutine %d apply %d: %w", g, i, err)
+					return
+				}
+				// Ack-ordering invariant: my k-th ack implies epoch >= k.
+				if ep := srv.Stats().Epoch; ep < uint64(i+1) {
+					errc <- fmt.Errorf("goroutine %d: epoch %d after %d acks", g, ep, i+1)
+					return
+				}
+			}
+		}(g)
+	}
+	// One adversarial submitter races wrong-width feature updates (an
+	// ErrBadUpdate-class rejection) against the valid stream.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < badApplies; i++ {
+			bad := engine.Update{Kind: engine.FeatureUpdate, U: graph.VertexID(i % 40), Features: tensor.Vector{1, 2}}
+			if _, err := srv.Apply([]engine.Update{bad}); !errors.Is(err, engine.ErrBadUpdate) {
+				errc <- fmt.Errorf("bad apply %d: err = %v, want ErrBadUpdate", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	st := srv.Stats()
+	const want = goroutines * perG
+	if st.Epoch != want || st.Batches != want {
+		t.Fatalf("epoch %d, batches %d, want %d", st.Epoch, st.Batches, want)
+	}
+	if st.Rejected != badApplies {
+		t.Fatalf("rejected %d, want %d", st.Rejected, badApplies)
+	}
+	if st.WALAppends != want {
+		t.Fatalf("wal appends %d, want %d (rejections must not log)", st.WALAppends, want)
+	}
+	if st.WALFsyncs > st.WALAppends {
+		t.Fatalf("wal fsyncs %d > appends %d", st.WALFsyncs, st.WALAppends)
+	}
+
+	final := srv.Snapshot()
+	srv.Close()
+
+	rsrv, err := Open(w.engineLoader(), Config{DataDir: dir, Fsync: true, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsrv.Close()
+	if n := rsrv.Stats().RecoveredBatches; n != 0 {
+		t.Fatalf("graceful close reopened with %d replayed batches, want 0", n)
+	}
+	assertBitIdentical(t, rsrv.Snapshot(), final, "reopen after concurrent run")
+}
+
+// TestSlowCheckpointDoesNotBlockAdmission is the stall regression test:
+// with the checkpoint's file write artificially blocked, admission must
+// keep applying and publishing batches — on the old serial path the
+// in-line automatic checkpoint held the write lock for its whole duration,
+// so a stuck disk froze every writer.
+func TestSlowCheckpointDoesNotBlockAdmission(t *testing.T) {
+	w := newDurWorld(t, 40, 160, 24, 3, 137)
+	dir := t.TempDir()
+	srv, err := Open(w.engineLoader(), Config{DataDir: dir, CheckpointEvery: 2, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	orig := srv.writeCkpt
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	srv.writeCkpt = func(path string, data []byte) error {
+		once.Do(func() { close(entered) })
+		<-gate
+		return orig(path, data)
+	}
+
+	for _, b := range w.batches[:2] {
+		if _, err := srv.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("automatic checkpoint never reached its file write")
+	}
+
+	// The checkpoint is wedged in its file write, holding ckptMu but no
+	// server lock. Every remaining batch must admit, apply and publish.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, b := range w.batches[2:] {
+			if _, err := srv.Apply(b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("admission stalled behind a slow checkpoint")
+	}
+	st := srv.Stats()
+	if st.Epoch != uint64(len(w.batches)) {
+		t.Fatalf("epoch %d with checkpoint wedged, want %d", st.Epoch, len(w.batches))
+	}
+	if st.LastCheckpointEpoch != 0 {
+		t.Fatalf("checkpoint completed at epoch %d despite blocked writer", st.LastCheckpointEpoch)
+	}
+
+	close(gate)
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().LastCheckpointEpoch == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("released checkpoint never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	final := srv.Snapshot()
+	srv.Close()
+	rsrv, err := Open(w.engineLoader(), Config{DataDir: dir, CheckpointEvery: 2, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsrv.Close()
+	assertBitIdentical(t, rsrv.Snapshot(), final, "reopen after wedged checkpoint")
+}
+
+// TestPipelineValidatesAgainstInflightTail pins compositional admission:
+// a batch that conflicts with an admitted-but-not-yet-applied batch is
+// rejected at admission time, not replayed-and-rejected after a crash.
+// (Crash equivalence depends on the WAL holding only admissible batches.)
+func TestPipelineValidatesAgainstInflightTail(t *testing.T) {
+	w := newDurWorld(t, 40, 160, 1, 1, 139)
+	srv, err := Open(w.engineLoader(), Config{DataDir: t.TempDir(), SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Find a non-edge to add.
+	var u, v graph.VertexID
+	add := engine.Update{}
+search:
+	for a := 0; a < 40; a++ {
+		for b := a + 1; b < 40; b++ {
+			u, v = graph.VertexID(a), graph.VertexID(b)
+			add = engine.Update{Kind: engine.EdgeAdd, U: u, V: v, Weight: 0.5}
+			if err := srv.backend.(validatingBackend).ValidateBatch([]engine.Update{add}); err == nil {
+				break search
+			}
+		}
+	}
+
+	// White-box: with the edge add sitting in the in-flight tail, admitting
+	// it again must reject — validation composes the tail over the
+	// published topology. An unrelated feature update stays admissible.
+	srv.mu.Lock()
+	srv.pendingUpd = append(srv.pendingUpd, add)
+	dupErr := srv.validateInflightLocked([]engine.Update{add})
+	okErr := srv.validateInflightLocked([]engine.Update{featUpdate(int(u), 0, 0)})
+	srv.pendingUpd = srv.pendingUpd[:0]
+	srv.mu.Unlock()
+	if !errors.Is(dupErr, engine.ErrBadUpdate) {
+		t.Fatalf("duplicate over in-flight tail = %v, want ErrBadUpdate", dupErr)
+	}
+	if okErr != nil {
+		t.Fatalf("independent update over in-flight tail = %v, want nil", okErr)
+	}
+
+	// End to end: two racing admissions of the same edge add. Exactly one
+	// may win — whichever admits second is rejected (against the tail if
+	// the first is still in flight, against the published state otherwise)
+	// and, critically, never reaches the WAL.
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = srv.Apply([]engine.Update{add})
+		}(i)
+	}
+	wg.Wait()
+	okN, dupN := 0, 0
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			okN++
+		case errors.Is(err, engine.ErrBadUpdate):
+			dupN++
+		default:
+			t.Fatalf("racing edge add: unexpected error %v", err)
+		}
+	}
+	if okN != 1 || dupN != 1 {
+		t.Fatalf("racing duplicate adds: %d accepted, %d rejected, want 1 and 1", okN, dupN)
+	}
+	st := srv.Stats()
+	if st.Epoch != 1 || st.WALAppends != 1 {
+		t.Fatalf("epoch %d, wal appends %d after duplicate rejection, want 1, 1", st.Epoch, st.WALAppends)
+	}
+}

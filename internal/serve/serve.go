@@ -78,6 +78,15 @@ type Config struct {
 	// SegmentBytes is the WAL's segment-rotation threshold (default 4 MiB).
 	SegmentBytes int64
 
+	// PipelineDepth bounds the staged admission pipeline's apply queue:
+	// how many admitted batches may be in flight — logged and awaiting
+	// their group-commit fsync or their turn to apply — before admission
+	// blocks. 0 means the default depth (8). A negative depth disables
+	// the pipeline entirely and restores the serial write path (validate,
+	// log+fsync, apply, publish and fan out under one lock) — kept as the
+	// measurable baseline the pipeline is benchmarked against.
+	PipelineDepth int
+
 	// ReplicationLogEpochs bounds the in-memory replication log: the
 	// leader keeps the encoded delta frames of this many recent epochs so
 	// reconnecting followers can catch up incrementally; one that has
@@ -160,6 +169,19 @@ type Stats struct {
 	// degraded until it clears.
 	Recovering bool `json:"recovering"`
 
+	// Admission-pipeline observability (all zero on the serial baseline
+	// except the fsync/apply pair, which both paths record). Quantiles
+	// come from fixed power-of-two-ns histograms — 2×-granular upper
+	// bounds, one atomic add per observation on the hot path.
+	InFlight          int   `json:"in_flight"`           // admitted batches queued for apply
+	QueueWaitP50NS    int64 `json:"queue_wait_p50_ns"`   // admission → applier pickup
+	QueueWaitP99NS    int64 `json:"queue_wait_p99_ns"`
+	FsyncWaitP50NS    int64 `json:"fsync_wait_p50_ns"`   // applier's residual durability wait
+	FsyncWaitP99NS    int64 `json:"fsync_wait_p99_ns"`
+	ApplyP50NS        int64 `json:"apply_p50_ns"`        // ApplyBatch + publish critical section
+	ApplyP99NS        int64 `json:"apply_p99_ns"`
+	CheckpointStallNS int64 `json:"checkpoint_stall_ns"` // cumulative write-lock time spent encoding checkpoints
+
 	// CommStats (embedded, so comm_bytes/comm_msgs/route_bytes/gather_bytes
 	// surface as top-level counters) holds the cumulative
 	// distributed-communication traffic of a cluster backend: worker
@@ -219,15 +241,54 @@ type Server struct {
 
 	batcher *engine.Batcher
 
+	// Staged admission pipeline (see pipeline.go; unused when serial).
+	// admitMu orders admissions — validate, WAL append, enqueue are one
+	// critical section per batch, so admission order, WAL record order
+	// and queue order are the same total order. The applier goroutine
+	// (applyLoop) never takes admitMu.
+	serial      bool // Config.PipelineDepth < 0: old single-lock write path
+	admitMu     sync.Mutex
+	admitClosed bool // set by Close before applyQ closes (guarded by admitMu)
+	applyQ      chan *admission
+	applierDone chan struct{}
+
+	// pendingUpd is the flattened update tail of every admitted-but-not-
+	// yet-applied batch; admissions validate against published state plus
+	// this tail. valScratch is its reusable concatenation buffer. Both
+	// guarded by mu (admitters extend, the applier trims).
+	pendingUpd []engine.Update
+	valScratch []engine.Update
+
+	// fanMu orders subscriber fan-out after mu is released: the applier
+	// acquires it before unlocking mu, and cancel/Close close subscriber
+	// channels under it, so off-lock sends stay per-subscriber ordered
+	// and never race a close.
+	fanMu      sync.Mutex
+	fanScratch []chan engine.LabelChange
+
+	queueWaitH latHist
+	fsyncWaitH latHist
+	applyH     latHist
+
 	// Durability state (nil/zero for non-durable servers). wal is set once
 	// by Open after the tail replay and never changes; it is only written
 	// through under mu.
 	wal        *wal.Log
-	hasCkpt    bool // a checkpoint file exists on disk (guarded by mu)
-	sinceCkpt  int  // batches applied since the last checkpoint (guarded by mu)
+	hasCkpt    atomic.Bool // a checkpoint file exists on disk
+	sinceCkpt  int         // batches applied since the last checkpoint (guarded by mu)
 	lastCkpt   atomic.Uint64
 	recovered  atomic.Int64
 	recovering atomic.Bool
+
+	// Checkpoint single-flight state: ckptMu serialises whole checkpoints
+	// (manual, automatic-background and Close's final one); ckptBusy
+	// gates spawning a second background checkpoint; ckptStall sums the
+	// write-lock time spent encoding checkpoint state; writeCkpt is the
+	// phase-2 file writer (a test seam — defaults to wal.WriteFileAtomic).
+	ckptMu    sync.Mutex
+	ckptBusy  atomic.Bool
+	ckptStall atomic.Int64
+	writeCkpt func(path string, data []byte) error
 
 	batches    atomic.Int64
 	rejected   atomic.Int64
@@ -275,6 +336,13 @@ func newServer(backend Backend, cfg Config, epoch uint64) (*Server, error) {
 		onBatch: cfg.OnBatch,
 		pub:     NewPublisher(cfg.PageRows),
 		subs:    map[int]chan engine.LabelChange{},
+		serial:  cfg.PipelineDepth < 0,
+	}
+	s.writeCkpt = func(path string, data []byte) error {
+		return wal.WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := w.Write(data)
+			return err
+		})
 	}
 	labels, logits, classes := backend.Bootstrap()
 	s.pub.Bootstrap(labels, logits, classes, epoch)
@@ -284,6 +352,15 @@ func newServer(backend Backend, cfg Config, epoch uint64) (*Server, error) {
 		return nil, err
 	}
 	s.batcher = b
+	if !s.serial {
+		depth := cfg.PipelineDepth
+		if depth == 0 {
+			depth = defaultPipelineDepth
+		}
+		s.applyQ = make(chan *admission, depth)
+		s.applierDone = make(chan struct{})
+		go s.applyLoop()
+	}
 	return s, nil
 }
 
@@ -354,10 +431,12 @@ func (s *Server) SubmitAll(updates []engine.Update) error {
 func (s *Server) Flush() { s.batcher.Flush() }
 
 // Apply applies one batch synchronously, bypassing the admission queue,
-// and publishes the resulting epoch before returning. Concurrent with
-// Submit traffic; both paths serialise on the same write lock.
+// and publishes the resulting epoch before returning. Concurrent Apply
+// callers are pipelined: admission (validation, WAL append) is ordered
+// under a short lock, the group-commit fsync and the completion wait
+// happen off it.
 func (s *Server) Apply(batch []engine.Update) (engine.BatchResult, error) {
-	return s.applyLocked(batch)
+	return s.applyOne(batch)
 }
 
 // applyCoalesced is the admission queue's flush path. The engine's batch
@@ -376,7 +455,7 @@ func (s *Server) applyCoalesced(batch []engine.Update) (engine.BatchResult, erro
 	}
 	var agg engine.BatchResult
 	for _, u := range batch {
-		one, err := s.applyLocked([]engine.Update{u})
+		one, err := s.applyOne([]engine.Update{u})
 		if err != nil {
 			continue // invalid (or server closed); already counted/observed
 		}
@@ -404,20 +483,32 @@ func (s *Server) applyCoalesced(batch []engine.Update) (engine.BatchResult, erro
 	return agg, nil
 }
 
-// applyLocked is the single write path: engine apply, copy-on-write
+// applyOne is the write path for one batch: engine apply, copy-on-write
 // snapshot rebuild, atomic publication, subscriber fan-out. Rebuilding
 // clones only the page table plus the pages holding rows named by
 // FinalFrontier — O(pages touched), not O(|V|); batches that touch no
 // final-layer row republish the previous epoch's page table without
 // copying anything.
-func (s *Server) applyLocked(batch []engine.Update) (engine.BatchResult, error) {
+func (s *Server) applyOne(batch []engine.Update) (engine.BatchResult, error) {
 	return s.apply(batch, false)
 }
 
-// apply is applyLocked with rejection accounting optionally suppressed
-// (quietReject) for the transient whole-batch failure that precedes a
-// per-update salvage.
+// apply dispatches a batch to the staged admission pipeline, or to the
+// retained serial baseline when Config.PipelineDepth < 0. quietReject
+// suppresses rejection accounting for the transient whole-batch failure
+// that precedes a per-update salvage.
 func (s *Server) apply(batch []engine.Update, quietReject bool) (engine.BatchResult, error) {
+	if s.serial {
+		return s.applySerial(batch, quietReject)
+	}
+	return s.applyPipelined(batch, quietReject)
+}
+
+// applySerial is the pre-pipeline write path, kept intact as the
+// measurable baseline (rippleload --compare-serial, the admission
+// benchmarks): validate, WAL append + fsync, apply, publish, fan-out and
+// the automatic checkpoint all under one mu hold.
+func (s *Server) applySerial(batch []engine.Update, quietReject bool) (engine.BatchResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -445,7 +536,10 @@ func (s *Server) apply(batch []engine.Update, quietReject bool) (engine.BatchRes
 			return engine.BatchResult{}, err
 		}
 		loggedEpoch = s.pub.Current().epoch + 1
-		if err := s.wal.Append(loggedEpoch, cluster.EncodeUpdates(batch)); err != nil {
+		fsyncStart := time.Now()
+		err := s.wal.Append(loggedEpoch, cluster.EncodeUpdates(batch))
+		s.fsyncWaitH.observe(time.Since(fsyncStart))
+		if err != nil {
 			// A write path that cannot log cannot promise durability:
 			// fail like infrastructure, keep serving reads.
 			s.failed.Store(true)
@@ -456,6 +550,7 @@ func (s *Server) apply(batch []engine.Update, quietReject bool) (engine.BatchRes
 			return engine.BatchResult{}, err
 		}
 	}
+	applyStart := time.Now()
 	res, rows, err := s.backend.ApplyBatch(batch)
 	if err != nil {
 		if !isRejection(err) {
@@ -494,6 +589,7 @@ func (s *Server) apply(batch []engine.Update, quietReject bool) (engine.BatchRes
 		// orders epochs: followers see exactly the leader's epoch sequence.
 		s.repl.record(prev, next, rows)
 	}
+	s.applyH.observe(time.Since(applyStart))
 
 	s.batches.Add(1)
 	s.updates.Add(int64(res.Updates))
@@ -544,14 +640,19 @@ func (s *Server) Subscribe(buffer int) (<-chan engine.LabelChange, func()) {
 	s.subs[id] = ch
 	s.mu.Unlock()
 	// Whoever removes the subscription from the map owns closing the
-	// channel — this makes cancel idempotent and safe against Close.
+	// channel — this makes cancel idempotent and safe against Close. The
+	// close itself happens under fanMu: the pipelined applier fans out
+	// over a snapshot of the map after releasing mu, so the map removal
+	// alone cannot prove no send is in flight.
 	cancel := func() {
 		s.mu.Lock()
 		_, live := s.subs[id]
 		delete(s.subs, id)
 		s.mu.Unlock()
 		if live {
+			s.fanMu.Lock()
 			close(ch)
+			s.fanMu.Unlock()
 		}
 	}
 	return ch, cancel
@@ -583,6 +684,15 @@ func (s *Server) Stats() Stats {
 		LastCheckpointEpoch: s.lastCkpt.Load(),
 		RecoveredBatches:    s.recovered.Load(),
 		Recovering:          s.recovering.Load(),
+
+		InFlight:          len(s.applyQ),
+		QueueWaitP50NS:    s.queueWaitH.quantile(0.50),
+		QueueWaitP99NS:    s.queueWaitH.quantile(0.99),
+		FsyncWaitP50NS:    s.fsyncWaitH.quantile(0.50),
+		FsyncWaitP99NS:    s.fsyncWaitH.quantile(0.99),
+		ApplyP50NS:        s.applyH.quantile(0.50),
+		ApplyP99NS:        s.applyH.quantile(0.99),
+		CheckpointStallNS: s.ckptStall.Load(),
 	}
 	if s.wal != nil {
 		ws := s.wal.Stats()
@@ -615,13 +725,24 @@ func (s *Server) Compact() PageStats {
 	return s.pub.Compact()
 }
 
-// Close flushes the admission queue, stops accepting writes, closes all
-// subscriber channels, and shuts the backend down if it is closable (a
-// cluster backend terminates its workers). A durable server additionally
-// takes a clean final checkpoint (so a restart replays zero batches) and
-// closes the WAL. Reads keep working against the final epoch.
+// Close flushes the admission queue, drains the pipeline (every already-
+// admitted batch completes — published and durable), stops accepting
+// writes, closes all subscriber channels, and shuts the backend down if
+// it is closable (a cluster backend terminates its workers). A durable
+// server additionally takes a clean final checkpoint (so a restart
+// replays zero batches) and closes the WAL. Reads keep working against
+// the final epoch.
 func (s *Server) Close() {
-	s.batcher.Close() // flushes the remainder through applyLocked
+	s.batcher.Close() // flushes the remainder through the admission path
+	if !s.serial {
+		s.admitMu.Lock()
+		if !s.admitClosed {
+			s.admitClosed = true
+			close(s.applyQ)
+		}
+		s.admitMu.Unlock()
+		<-s.applierDone // pipeline drained: every admitted batch resolved
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -632,22 +753,36 @@ func (s *Server) Close() {
 	s.subs = map[int]chan engine.LabelChange{}
 	repl := s.repl
 	s.mu.Unlock()
+	s.fanMu.Lock() // no fan-out can race the closes (applier has exited)
 	for _, ch := range subs {
 		close(ch)
 	}
+	s.fanMu.Unlock()
 	if repl != nil {
 		repl.close()
 	}
-	s.mu.Lock()
 	if s.wal != nil {
-		if !s.failed.Load() && (!s.hasCkpt || s.pub.Current().epoch > s.lastCkpt.Load()) {
-			// Best effort: a failed final checkpoint leaves the WAL as the
-			// durable truth and the next Open replays it.
-			_, _ = s.checkpointLocked()
+		if s.serial {
+			s.mu.Lock()
+			if !s.failed.Load() && (!s.hasCkpt.Load() || s.pub.Current().epoch > s.lastCkpt.Load()) {
+				// Best effort: a failed final checkpoint leaves the WAL as
+				// the durable truth and the next Open replays it.
+				_, _ = s.checkpointLocked()
+			}
+			s.wal.Close()
+			s.mu.Unlock()
+		} else {
+			// ckptMu serialises the final checkpoint and the WAL close
+			// against an in-flight background checkpoint; one that starts
+			// after sees s.closed and refuses.
+			s.ckptMu.Lock()
+			if !s.failed.Load() && (!s.hasCkpt.Load() || s.pub.Current().epoch > s.lastCkpt.Load()) {
+				_, _ = s.doCheckpoint(true)
+			}
+			s.wal.Close()
+			s.ckptMu.Unlock()
 		}
-		s.wal.Close()
 	}
-	s.mu.Unlock()
 	if c, ok := s.backend.(io.Closer); ok {
 		c.Close()
 	}

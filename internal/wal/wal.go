@@ -372,7 +372,13 @@ func (l *Log) Append(epoch uint64, payload []byte) error {
 	if epoch <= l.lastEpoch {
 		return fmt.Errorf("wal: append epoch %d out of order (last %d)", epoch, l.lastEpoch)
 	}
-	return l.appendLocked(epoch, payload)
+	if err := l.appendLocked(epoch, payload); err != nil {
+		return err
+	}
+	if l.cfg.Fsync {
+		return l.groupSyncLocked(l.writeSeq)
+	}
+	return nil
 }
 
 // AppendNext writes one record at the next free epoch (lastEpoch+1) and
@@ -397,15 +403,75 @@ func (l *Log) AppendNext(payload []byte) (uint64, error) {
 	if err := l.appendLocked(epoch, payload); err != nil {
 		return 0, err
 	}
+	if l.cfg.Fsync {
+		if err := l.groupSyncLocked(l.writeSeq); err != nil {
+			return 0, err
+		}
+	}
 	return epoch, nil
 }
 
+// AppendNextNoWait is AppendNext with the durability wait split off: it
+// assigns the next free epoch and writes the record, but returns without
+// waiting for an fsync to cover it. The returned write sequence is the
+// record's position in the append order — hand it to WaitDurable before
+// acting on the record (publishing its epoch, acking its client). This is
+// the staged-admission entry point: the caller can release its own
+// admission lock between the write and the durability wait, so concurrent
+// admitters pile into one group commit while earlier epochs apply.
+func (l *Log) AppendNextNoWait(payload []byte) (epoch, seq uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, 0, ErrClosed
+	}
+	if err := l.rotateIfDueLocked(); err != nil {
+		return 0, 0, err
+	}
+	epoch = l.lastEpoch + 1
+	if err := l.appendLocked(epoch, payload); err != nil {
+		return 0, 0, err
+	}
+	return epoch, l.writeSeq, nil
+}
+
+// WaitDurable blocks until an fsync covers the record AppendNextNoWait
+// wrote at write sequence seq. Without Config.Fsync it returns
+// immediately — the log's durability policy is then page-cache-level and
+// the torn-tail recovery contract absorbs the difference. Concurrent
+// waiters group-commit: the first uncovered one fsyncs once for every
+// record written while the previous sync ran.
+func (l *Log) WaitDurable(seq uint64) error {
+	if !l.cfg.Fsync {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.groupSyncLocked(seq)
+}
+
+// AdvanceEpoch raises the log's epoch floor: subsequent AppendNext /
+// AppendNextNoWait calls allocate from epoch+1. Recovery calls this after
+// replay when a checkpoint truncated every segment — the on-disk log is
+// empty, but the next admitted batch must continue the pre-crash epoch
+// sequence, not restart at 1. A floor at or below the newest record is a
+// no-op.
+func (l *Log) AdvanceEpoch(epoch uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if epoch > l.lastEpoch {
+		l.lastEpoch = epoch
+		l.canUndo = false
+	}
+}
+
 // appendLocked validates nothing about epoch (callers do, after rotating
-// via rotateIfDueLocked); it writes the framed record, updates the
-// bookkeeping, and — under Config.Fsync — blocks until a group-commit
-// fsync covers the record. mu is held without release from entry until
-// the record is written and the bookkeeping (lastEpoch included) updated;
-// only the group-commit wait afterwards may release it.
+// via rotateIfDueLocked); it writes the framed record and updates the
+// bookkeeping. It does NOT wait for durability — callers that promise it
+// (Append, AppendNext) follow up with groupSyncLocked; callers that defer
+// it (AppendNextNoWait) hand the returned write sequence to WaitDurable.
+// mu is held without release from entry to exit, so the record write and
+// the bookkeeping (lastEpoch included) are one atomic step.
 func (l *Log) appendLocked(epoch uint64, payload []byte) error {
 	if l.syncErr != nil {
 		// A failed fsync already broke the durability promise for some
@@ -428,9 +494,6 @@ func (l *Log) appendLocked(epoch uint64, payload []byte) error {
 	l.active.bytes += int64(len(rec))
 	l.lastEpoch = epoch
 	l.undo, l.canUndo = undo, true
-	if l.cfg.Fsync {
-		return l.groupSyncLocked(l.writeSeq)
-	}
 	return nil
 }
 

@@ -270,6 +270,17 @@ func WithCheckpointEvery(n int) ServeOption {
 	return func(c *serve.Config) { c.CheckpointEvery = n }
 }
 
+// WithPipelineDepth bounds the staged admission pipeline's apply queue:
+// how many admitted batches may be in flight — logged and awaiting their
+// group-commit fsync or their turn to apply — before admission blocks.
+// 0 (the default) uses the built-in depth (8). A negative depth disables
+// the pipeline and restores the serial write path (validate, log+fsync,
+// apply and publish under one lock), kept as the measurable baseline the
+// pipeline is benchmarked against.
+func WithPipelineDepth(n int) ServeOption {
+	return func(c *serve.Config) { c.PipelineDepth = n }
+}
+
 // WithReplicationLog bounds the in-memory replication log a leader keeps
 // once Server.StartReplication is called: the encoded delta frames of the
 // most recent n epochs. A reconnecting follower whose watermark is still
