@@ -62,9 +62,38 @@ func main() {
 	hotProb := flag.Float64("hot-prob", 0.9, "probability a read lands in the hot set")
 	seed := flag.Int64("seed", 1, "generator seed")
 	serveArgs := flag.String("serve-args", "", "extra space-separated flags for the spawned rippleserve (e.g. \"-hidden 8\")")
-	out := flag.String("out", "BENCH_serve.json", "output JSON path (- for stdout)")
+	out := flag.String("out", "BENCH_serve.json", "output JSON path (- for stdout; defaults to BENCH_recovery.json under -measure-recovery)")
 	compareSerial := flag.Bool("compare-serial", false, "run a serial-baseline phase (-pipeline-depth=-1) before the pipelined phase and report the speedup (requires -serve-bin)")
+	minWriteSpeedup := flag.Float64("min-write-speedup", 0, "with -compare-serial: fail unless pipelined/serial write throughput is at least this (0 = report only)")
+	measureRecovery := flag.Bool("measure-recovery", false, "measure restart cost instead of serving load: codec bench + SIGKILL crash drills (serial vs pipelined) + delta checkpoint bytes (requires -serve-bin)")
+	recoveryWrites := flag.Int("recovery-writes", 240, "sync writes per crash drill phase")
+	recoveryTail := flag.Int("recovery-tail", 60, "writes after the mid-stream checkpoint: the WAL tail recovery must replay")
+	recoveryScale := flag.Float64("recovery-scale", 0.1, "dataset scale for the crash drill daemons")
+	codecScale := flag.Float64("codec-scale", 0.05, "dataset scale for the in-process checkpoint codec bench")
+	minRecoverySpeedup := flag.Float64("min-recovery-speedup", 0, "with -measure-recovery: fail unless serial/pipelined recovery seconds is at least this (0 = report only)")
+	minCkptSpeedup := flag.Float64("min-ckpt-speedup", 0, "with -measure-recovery: fail unless the sectioned checkpoint loads at least this much faster than the serial codec (0 = report only)")
 	flag.Parse()
+
+	if *measureRecovery {
+		if *serveBin == "" {
+			fmt.Fprintln(os.Stderr, "rippleload: -measure-recovery spawns its own daemons; it requires -serve-bin")
+			os.Exit(1)
+		}
+		rout := *out
+		if rout == "BENCH_serve.json" {
+			rout = "BENCH_recovery.json"
+		}
+		rcfg := recoveryConfig{
+			Dataset: *dataset, Scale: *recoveryScale, CodecScale: *codecScale,
+			Writes: *recoveryWrites, Tail: *recoveryTail, Seed: *seed,
+			MinRecoverySpeedup: *minRecoverySpeedup, MinCkptSpeedup: *minCkptSpeedup,
+		}
+		if err := runRecovery(rcfg, *serveBin, rout); err != nil {
+			fmt.Fprintln(os.Stderr, "rippleload:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := loadConfig{
 		Dataset: *dataset, Scale: *scale,
@@ -75,7 +104,7 @@ func main() {
 		HotFrac: *hotFrac, HotProb: *hotProb, Seed: *seed,
 		ServeArgs: strings.Fields(*serveArgs),
 	}
-	if err := run(cfg, *addr, *serveBin, *compareSerial, *out); err != nil {
+	if err := run(cfg, *addr, *serveBin, *compareSerial, *minWriteSpeedup, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "rippleload:", err)
 		os.Exit(1)
 	}
@@ -135,7 +164,7 @@ type phaseResult struct {
 	ApplyP99MS        float64 `json:"apply_p99_ms"`
 }
 
-func run(cfg loadConfig, addr, serveBin string, compareSerial bool, out string) error {
+func run(cfg loadConfig, addr, serveBin string, compareSerial bool, minWriteSpeedup float64, out string) error {
 	if addr == "" && serveBin == "" {
 		return errors.New("need -addr (running daemon) or -serve-bin (spawn one)")
 	}
@@ -194,6 +223,12 @@ func run(cfg loadConfig, addr, serveBin string, compareSerial bool, out string) 
 	}
 	if rep.SpeedupPct != 0 {
 		fmt.Printf("  pipelined/serial write throughput: %.2fx\n", rep.SpeedupPct)
+	}
+	// The gate runs after the report is written: a failing threshold
+	// still leaves the measured numbers on disk for the build log.
+	if minWriteSpeedup > 0 && rep.SpeedupPct < minWriteSpeedup {
+		return fmt.Errorf("pipelined/serial write speedup %.2fx below gate %.2fx (serial %.0f/s, pipelined %.0f/s)",
+			rep.SpeedupPct, minWriteSpeedup, rep.Phases[0].Writes.QPS, rep.Phases[1].Writes.QPS)
 	}
 	return nil
 }

@@ -1,0 +1,483 @@
+// The -measure-recovery mode: the restart-cost benchmark behind
+// BENCH_recovery.json. Three measurements, one document:
+//
+//  1. An in-process checkpoint codec bench — the same engine state
+//     encoded and decoded through the serial v1 codec and the sectioned
+//     shard-parallel v2 codec, timed best-of-3. This isolates the
+//     checkpoint half of restart cost from daemon noise.
+//  2. A crash drill per write path — boot a durable rippleserve, admit
+//     writes with a mid-stream checkpoint, SIGKILL it, reboot on the
+//     same directory, and read the server-side recovery gauge (seconds,
+//     replayed batches/s, checkpoint load included) off /stats. Run
+//     once with the whole serial baseline (-pipeline-depth=-1: v1
+//     codec + serial replay) and once with the default pipelined path;
+//     the ratio is the restart-cost speedup a gate can assert on.
+//  3. A delta-cadence run — manual checkpoints under
+//     -full-checkpoint-every 4 with a localized write stream, reporting
+//     full vs delta checkpoint bytes from /stats: the steady-state
+//     checkpoint-bytes reduction incremental checkpoints buy.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"runtime"
+	"time"
+
+	"ripple"
+	ds "ripple/internal/dataset"
+)
+
+// recoveryReport is the BENCH_recovery.json document.
+type recoveryReport struct {
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Dataset    string          `json:"dataset"`
+	Scale      float64         `json:"scale"`
+	Writes     int             `json:"writes_per_phase"`
+	Codec      codecBench      `json:"checkpoint_codec"`
+	Phases     []recoveryPhase `json:"phases"`
+	// RecoverySpeedup is serial recovery seconds over pipelined recovery
+	// seconds for the same workload: >1 means restarts got faster.
+	RecoverySpeedup   float64    `json:"recovery_speedup_pipelined_vs_serial"`
+	ReplayRateSpeedup float64    `json:"replay_rate_speedup_pipelined_vs_serial"`
+	DeltaCheckpoint   deltaBench `json:"delta_checkpoint"`
+}
+
+// codecBench compares the v1 serial and v2 sectioned checkpoint codecs
+// on identical engine state, in-process.
+type codecBench struct {
+	Vertices          int     `json:"vertices"`
+	Edges             int     `json:"edges"`
+	SerialBytes       int     `json:"serial_bytes"`
+	SectionedBytes    int     `json:"sectioned_bytes"`
+	SerialEncodeMS    float64 `json:"serial_encode_ms"`
+	SectionedEncodeMS float64 `json:"sectioned_encode_ms"`
+	SerialDecodeMS    float64 `json:"serial_decode_ms"`
+	SectionedDecodeMS float64 `json:"sectioned_decode_ms"`
+	EncodeSpeedup     float64 `json:"encode_speedup"`
+	DecodeSpeedup     float64 `json:"decode_speedup"`
+}
+
+// recoveryPhase is one crash drill: load, kill, reboot, measure.
+type recoveryPhase struct {
+	Name          string  `json:"name"`
+	PipelineDepth int     `json:"pipeline_depth"`
+	WritesPerS    float64 `json:"load_writes_per_s"`
+	// Server-side recovery gauge: begins at serve.Open entry (checkpoint
+	// load included), ends when the WAL tail is fully replayed.
+	RecoveredBatches int64   `json:"recovered_batches"`
+	RecoverySeconds  float64 `json:"recovery_seconds"`
+	ReplayRate       float64 `json:"replayed_batches_per_s"`
+	// Client-side kill→healthy wall clock; includes dataset regeneration
+	// and bootstrap, which recovery optimisations cannot touch.
+	BootSeconds float64 `json:"boot_seconds"`
+}
+
+// deltaBench reports the checkpoint-bytes effect of incremental
+// checkpoints under a localized write stream.
+type deltaBench struct {
+	FullCheckpoints  int64   `json:"full_checkpoints"`
+	DeltaCheckpoints int64   `json:"delta_checkpoints"`
+	LastFullBytes    int64   `json:"last_full_checkpoint_bytes"`
+	LastDeltaBytes   int64   `json:"last_delta_checkpoint_bytes"`
+	// DeltaBytesRatio is delta/full: the steady-state fraction of a full
+	// checkpoint a delta costs. <1 means incremental checkpoints shrink
+	// steady-state checkpoint IO.
+	DeltaBytesRatio float64 `json:"delta_bytes_ratio"`
+}
+
+// recoveryConfig carries the -measure-recovery knobs.
+type recoveryConfig struct {
+	Dataset    string
+	Scale      float64 // crash-drill daemon scale
+	CodecScale float64 // in-process codec bench scale
+	Writes     int     // sync writes per drill
+	Tail       int     // writes after the mid-stream checkpoint = WAL tail recovery replays
+	Seed       int64
+
+	MinRecoverySpeedup float64 // 0 = report only
+	MinCkptSpeedup     float64 // 0 = report only
+}
+
+func runRecovery(cfg recoveryConfig, serveBin, out string) error {
+	rep := recoveryReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Dataset:    cfg.Dataset, Scale: cfg.Scale, Writes: cfg.Writes,
+	}
+
+	fmt.Fprintf(os.Stderr, "rippleload: codec bench (%s scale %v)...\n", cfg.Dataset, cfg.CodecScale)
+	codec, err := benchCodec(cfg)
+	if err != nil {
+		return fmt.Errorf("codec bench: %w", err)
+	}
+	rep.Codec = *codec
+
+	for _, ph := range []struct {
+		name  string
+		depth int
+	}{
+		{"serial", -1},
+		{"pipelined", 0},
+	} {
+		fmt.Fprintf(os.Stderr, "rippleload: crash drill (%s)...\n", ph.name)
+		res, err := runCrashDrill(cfg, serveBin, ph.name, ph.depth)
+		if err != nil {
+			return fmt.Errorf("crash drill %s: %w", ph.name, err)
+		}
+		rep.Phases = append(rep.Phases, *res)
+	}
+	serial, pipelined := rep.Phases[0], rep.Phases[1]
+	if pipelined.RecoverySeconds > 0 {
+		rep.RecoverySpeedup = serial.RecoverySeconds / pipelined.RecoverySeconds
+	}
+	if serial.ReplayRate > 0 {
+		rep.ReplayRateSpeedup = pipelined.ReplayRate / serial.ReplayRate
+	}
+
+	fmt.Fprintln(os.Stderr, "rippleload: delta checkpoint cadence...")
+	deltas, err := runDeltaCadence(cfg, serveBin)
+	if err != nil {
+		return fmt.Errorf("delta cadence: %w", err)
+	}
+	rep.DeltaCheckpoint = *deltas
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	} else {
+		fmt.Printf("wrote %s\n", out)
+	}
+	fmt.Printf("  codec: encode %.2fx, decode %.2fx (serial %.1fms -> sectioned %.1fms over %d vertices, GOMAXPROCS=%d)\n",
+		rep.Codec.EncodeSpeedup, rep.Codec.DecodeSpeedup,
+		rep.Codec.SerialDecodeMS, rep.Codec.SectionedDecodeMS, rep.Codec.Vertices, rep.GOMAXPROCS)
+	for _, ph := range rep.Phases {
+		fmt.Printf("  %-10s recovered %d batches in %.3fs (%.0f/s; boot %.2fs)\n",
+			ph.Name, ph.RecoveredBatches, ph.RecoverySeconds, ph.ReplayRate, ph.BootSeconds)
+	}
+	fmt.Printf("  recovery speedup: %.2fx (replay rate %.2fx)\n", rep.RecoverySpeedup, rep.ReplayRateSpeedup)
+	fmt.Printf("  delta checkpoints: %d full / %d delta, delta costs %.2fx of a full (%d vs %d bytes)\n",
+		rep.DeltaCheckpoint.FullCheckpoints, rep.DeltaCheckpoint.DeltaCheckpoints,
+		rep.DeltaCheckpoint.DeltaBytesRatio, rep.DeltaCheckpoint.LastDeltaBytes, rep.DeltaCheckpoint.LastFullBytes)
+
+	// Gates last, after the report is on disk: a failing gate still
+	// leaves the measured numbers for the build log to point at.
+	if cfg.MinCkptSpeedup > 0 && rep.Codec.DecodeSpeedup < cfg.MinCkptSpeedup {
+		return fmt.Errorf("checkpoint load speedup %.2fx below gate %.2fx (serial %.1fms, sectioned %.1fms)",
+			rep.Codec.DecodeSpeedup, cfg.MinCkptSpeedup, rep.Codec.SerialDecodeMS, rep.Codec.SectionedDecodeMS)
+	}
+	if cfg.MinRecoverySpeedup > 0 && rep.RecoverySpeedup < cfg.MinRecoverySpeedup {
+		return fmt.Errorf("recovery speedup %.2fx below gate %.2fx (serial %.3fs, pipelined %.3fs)",
+			rep.RecoverySpeedup, cfg.MinRecoverySpeedup, serial.RecoverySeconds, pipelined.RecoverySeconds)
+	}
+	return nil
+}
+
+// benchCodec times encode/decode of identical engine state through both
+// checkpoint codecs, best of 3.
+func benchCodec(cfg recoveryConfig) (*codecBench, error) {
+	spec, err := ds.ByName(cfg.Dataset, cfg.CodecScale)
+	if err != nil {
+		return nil, err
+	}
+	spec.Seed = cfg.Seed
+	g, features, err := ds.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	// A serving-shaped model (wide hidden layer): most checkpoint bytes are
+	// embedding rows, which is where the two codecs differ.
+	model, err := ripple.NewModel("GS-S", []int{spec.FeatureDim, 128, spec.NumClasses}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := ripple.Bootstrap(g, model, features)
+	if err != nil {
+		return nil, err
+	}
+
+	// Best-of-3 with an untimed warmup (sizes the reused buffers) and a GC
+	// fence before each timed run: a collection triggered mid-iteration by
+	// the ~20MB working set would otherwise bill GC pause to the codec.
+	bench := func(f func() error) (float64, error) {
+		if err := f(); err != nil {
+			return 0, err
+		}
+		best := -1.0
+		for i := 0; i < 3; i++ {
+			runtime.GC()
+			start := time.Now()
+			if err := f(); err != nil {
+				return 0, err
+			}
+			if ms := float64(time.Since(start).Nanoseconds()) / 1e6; best < 0 || ms < best {
+				best = ms
+			}
+		}
+		return best, nil
+	}
+
+	res := &codecBench{Vertices: spec.NumVertices, Edges: int(spec.NumEdges())}
+	var serial, sectioned bytes.Buffer
+	if res.SerialEncodeMS, err = bench(func() error {
+		serial.Reset()
+		return eng.SaveSerial(&serial)
+	}); err != nil {
+		return nil, err
+	}
+	if res.SectionedEncodeMS, err = bench(func() error {
+		sectioned.Reset()
+		return eng.Save(&sectioned)
+	}); err != nil {
+		return nil, err
+	}
+	res.SerialBytes, res.SectionedBytes = serial.Len(), sectioned.Len()
+	if res.SerialDecodeMS, err = bench(func() error {
+		_, err := ripple.LoadEngine(bytes.NewReader(serial.Bytes()), model)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if res.SectionedDecodeMS, err = bench(func() error {
+		_, err := ripple.LoadEngine(bytes.NewReader(sectioned.Bytes()), model)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if res.SectionedEncodeMS > 0 {
+		res.EncodeSpeedup = res.SerialEncodeMS / res.SectionedEncodeMS
+	}
+	if res.SectionedDecodeMS > 0 {
+		res.DecodeSpeedup = res.SerialDecodeMS / res.SectionedDecodeMS
+	}
+	return res, nil
+}
+
+// recoveryDaemon spawns a durable rippleserve on a fresh port over dir.
+type recoveryDaemon struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+func spawnRecoveryDaemon(cfg recoveryConfig, serveBin, dir string, depth int, extra ...string) (*recoveryDaemon, error) {
+	port, err := freePort()
+	if err != nil {
+		return nil, err
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	args := append([]string{
+		"-addr", addr,
+		"-dataset", cfg.Dataset,
+		"-scale", fmt.Sprint(cfg.Scale),
+		"-data-dir", dir,
+		"-checkpoint-every", "0", // manual checkpoints only: the drill controls the WAL tail
+		"-pipeline-depth", fmt.Sprint(depth),
+	}, extra...)
+	cmd := exec.Command(serveBin, args...)
+	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &recoveryDaemon{cmd: cmd, base: "http://" + addr}, nil
+}
+
+func (d *recoveryDaemon) kill() {
+	d.cmd.Process.Kill()
+	d.cmd.Wait()
+}
+
+func (d *recoveryDaemon) stats() (map[string]any, error) {
+	resp, err := http.Get(d.base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/stats: %d: %v", resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+func (d *recoveryDaemon) post(path string, body []byte) error {
+	resp, err := http.Post(d.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: status %d", path, resp.StatusCode)
+	}
+	return nil
+}
+
+// featureBody renders one single-update sync write body for vertex v.
+func featureBody(v, featDim int, rng *rand.Rand) []byte {
+	features := make([]float64, featDim)
+	for j := range features {
+		features[j] = rng.NormFloat64()
+	}
+	body, _ := json.Marshal(map[string]any{
+		"updates": []map[string]any{{"kind": "feature-update", "u": v, "features": features}},
+	})
+	return body
+}
+
+// runCrashDrill is measurement 2: load, checkpoint mid-stream, SIGKILL,
+// reboot, read the recovery gauge.
+func runCrashDrill(cfg recoveryConfig, serveBin, name string, depth int) (*recoveryPhase, error) {
+	dir, err := os.MkdirTemp("", "rippleload-recovery-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	d, err := spawnRecoveryDaemon(cfg, serveBin, dir, depth)
+	if err != nil {
+		return nil, err
+	}
+	defer d.kill()
+	if err := waitHealthy(d.base, 120*time.Second); err != nil {
+		return nil, err
+	}
+	client := &http.Client{}
+	vertices, featDim, _, err := serverFacts(client, d.base)
+	if err != nil {
+		return nil, err
+	}
+
+	// Load: cfg.Writes sync single-update batches, each one a WAL record,
+	// with one checkpoint cut mid-stream so recovery exercises BOTH halves
+	// of the restart critical path — checkpoint load and WAL-tail replay.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ckptAt := cfg.Writes - cfg.Tail - 1
+	if ckptAt < 0 {
+		return nil, fmt.Errorf("-recovery-tail %d leaves no room in %d writes", cfg.Tail, cfg.Writes)
+	}
+	loadStart := time.Now()
+	for i := 0; i < cfg.Writes; i++ {
+		if err := d.post("/update?sync=1", featureBody(rng.Intn(vertices), featDim, rng)); err != nil {
+			return nil, fmt.Errorf("write %d: %w", i, err)
+		}
+		if i == ckptAt {
+			if err := d.post("/checkpoint", nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res := &recoveryPhase{Name: name, PipelineDepth: depth,
+		WritesPerS: float64(cfg.Writes) / time.Since(loadStart).Seconds()}
+
+	// Crash: SIGKILL, no drain, no final checkpoint — the WAL tail since
+	// the mid-stream checkpoint is what the reboot must replay. A killed
+	// reboot leaves the directory untouched (no checkpoint was cut), so
+	// the same drill reruns bit-identically; best-of-3 reboots filters
+	// scheduler noise out of a sub-100ms measurement.
+	d.kill()
+	for attempt := 0; attempt < 3; attempt++ {
+		bootStart := time.Now()
+		d2, err := spawnRecoveryDaemon(cfg, serveBin, dir, depth)
+		if err != nil {
+			return nil, err
+		}
+		if err := waitHealthy(d2.base, 120*time.Second); err != nil {
+			d2.kill()
+			return nil, err
+		}
+		boot := time.Since(bootStart).Seconds()
+		st, err := d2.stats()
+		d2.kill()
+		if err != nil {
+			return nil, err
+		}
+		rec, _ := st["recovery"].(map[string]any)
+		if rec == nil {
+			return nil, fmt.Errorf("/stats has no recovery gauge after a crash reboot: %v", st)
+		}
+		if got := statI64(rec, "recovered_batches"); got != int64(cfg.Tail) {
+			return nil, fmt.Errorf("recovered %d batches, expected the %d-batch WAL tail", got, cfg.Tail)
+		}
+		if secs := statF64(rec, "seconds"); attempt == 0 || secs < res.RecoverySeconds {
+			res.RecoveredBatches = statI64(rec, "recovered_batches")
+			res.RecoverySeconds = secs
+			res.ReplayRate = statF64(rec, "replay_rate")
+			res.BootSeconds = boot
+		}
+	}
+	return res, nil
+}
+
+// runDeltaCadence is measurement 3: manual checkpoints every 16 writes
+// under -full-checkpoint-every 4 with a localized write stream (all
+// updates hit one vertex), then read the byte accounting.
+func runDeltaCadence(cfg recoveryConfig, serveBin string) (*deltaBench, error) {
+	dir, err := os.MkdirTemp("", "rippleload-delta-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	d, err := spawnRecoveryDaemon(cfg, serveBin, dir, 0, "-full-checkpoint-every", "4")
+	if err != nil {
+		return nil, err
+	}
+	defer d.kill()
+	if err := waitHealthy(d.base, 120*time.Second); err != nil {
+		return nil, err
+	}
+	client := &http.Client{}
+	_, featDim, _, err := serverFacts(client, d.base)
+	if err != nil {
+		return nil, err
+	}
+
+	// 8 checkpoints: the 4-cadence cuts full, delta, delta, delta, full,
+	// delta, delta, delta — both kinds' byte counters end populated.
+	rng := rand.New(rand.NewSource(cfg.Seed + 31))
+	for ckpt := 0; ckpt < 8; ckpt++ {
+		for i := 0; i < 16; i++ {
+			if err := d.post("/update?sync=1", featureBody(1, featDim, rng)); err != nil {
+				return nil, err
+			}
+		}
+		if err := d.post("/checkpoint", nil); err != nil {
+			return nil, err
+		}
+	}
+	st, err := d.stats()
+	if err != nil {
+		return nil, err
+	}
+	serving, _ := st["serving"].(map[string]any)
+	if serving == nil {
+		return nil, fmt.Errorf("/stats missing serving: %v", st)
+	}
+	res := &deltaBench{
+		FullCheckpoints:  statI64(serving, "full_checkpoints"),
+		DeltaCheckpoints: statI64(serving, "delta_checkpoints"),
+		LastFullBytes:    statI64(serving, "last_full_checkpoint_bytes"),
+		LastDeltaBytes:   statI64(serving, "last_delta_checkpoint_bytes"),
+	}
+	if res.LastFullBytes > 0 {
+		res.DeltaBytesRatio = float64(res.LastDeltaBytes) / float64(res.LastFullBytes)
+	}
+	if res.DeltaCheckpoints == 0 || res.FullCheckpoints == 0 {
+		return nil, fmt.Errorf("delta cadence cut %d full / %d delta checkpoints; expected both kinds", res.FullCheckpoints, res.DeltaCheckpoints)
+	}
+	return res, nil
+}

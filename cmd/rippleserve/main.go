@@ -92,6 +92,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durability: WAL + checkpoints under this directory; recover from it on boot")
 	fsync := flag.Bool("fsync", false, "fsync the WAL after every admitted batch (power-loss durability)")
 	ckptEvery := flag.Int("checkpoint-every", 256, "automatic checkpoint interval in batches (0 = only /checkpoint and shutdown)")
+	fullCkptEvery := flag.Int("full-checkpoint-every", 0, "incremental checkpoints: every nth checkpoint is full, the rest persist only changed rows (0 or 1 = always full)")
 	replicateAddr := flag.String("replicate-addr", "", "leader mode: stream published epochs to followers on this address")
 	follow := flag.String("follow", "", "follower mode: replicate read-only state from this leader replication address")
 	pipelineDepth := flag.Int("pipeline-depth", 0, "admission pipeline depth: in-flight admitted batches before admission blocks (0 = default 8, negative = serial baseline write path)")
@@ -103,6 +104,7 @@ func main() {
 		Layers: *layers, Hidden: *hidden, Seed: *seed,
 		Batch: *batch, Delay: *delay, Workers: *workers, Partitioner: *partitioner,
 		DataDir: *dataDir, Fsync: *fsync, CheckpointEvery: *ckptEvery,
+		FullCheckpointEvery: *fullCkptEvery,
 		ReplicateAddr: *replicateAddr, Follow: *follow,
 		PipelineDepth: *pipelineDepth,
 	}
@@ -145,10 +147,11 @@ type serveConfig struct {
 	Workers     int // 0 = single-node engine backend
 	Partitioner string
 
-	DataDir         string // "" = not durable
-	Fsync           bool
-	CheckpointEvery int
-	PipelineDepth   int // 0 = default depth, negative = serial baseline
+	DataDir             string // "" = not durable
+	Fsync               bool
+	CheckpointEvery     int
+	FullCheckpointEvery int // >1 = delta checkpoints between every nth full
+	PipelineDepth       int // 0 = default depth, negative = serial baseline
 
 	ReplicateAddr string // leader mode: replication listener ("" = off)
 	Follow        string // follower mode: leader's replication address
@@ -199,10 +202,16 @@ func run(cfg serveConfig) error {
 		ripple.WithPipelineDepth(cfg.PipelineDepth),
 	}
 	if cfg.DataDir != "" {
+		// The progress gauge lets /healthz answer "recovering, N batches at
+		// R/s" while ripple.Serve is still replaying — the handlers are
+		// already listening at that point, holding a nil srv.
+		api.progress = &ripple.RecoveryProgress{}
 		sopts = append(sopts,
 			ripple.WithDataDir(cfg.DataDir),
 			ripple.WithFsync(cfg.Fsync),
-			ripple.WithCheckpointEvery(cfg.CheckpointEvery))
+			ripple.WithCheckpointEvery(cfg.CheckpointEvery),
+			ripple.WithFullCheckpointEvery(cfg.FullCheckpointEvery),
+			ripple.WithRecoveryProgress(api.progress))
 	}
 	var srv *ripple.Server
 	if cfg.Workers > 0 {
@@ -212,8 +221,17 @@ func run(cfg serveConfig) error {
 			ripple.DistOptions{Workers: cfg.Workers, Partitioner: cfg.Partitioner}, sopts...)
 	} else {
 		log.Printf("bootstrapping %s over %d vertices...", model, spec.NumVertices)
+		var bopts []ripple.Option
+		if cfg.PipelineDepth < 0 {
+			// -pipeline-depth < 0 selects the whole serial baseline, not
+			// just the serial write path: checkpoints encode with the v1
+			// serial codec and the WAL replays without the read-ahead
+			// pipeline, so an A/B against the default daemon measures every
+			// restart-cost optimisation at once.
+			bopts = append(bopts, ripple.WithSerialCheckpoint())
+		}
 		var eng *ripple.Engine
-		eng, err = ripple.Bootstrap(g, model, features)
+		eng, err = ripple.Bootstrap(g, model, features, bopts...)
 		if err == nil {
 			// Serve enables label tracking on the engine itself.
 			srv, err = ripple.Serve(eng, sopts...)
@@ -347,6 +365,10 @@ type api struct {
 	dataset  string
 	workers  int  // 0 = single-node engine backend
 	durable  bool // -data-dir set; /checkpoint is live
+	// progress is the live recovery gauge (durable mode): while srv is
+	// still nil because ripple.Serve is replaying, health checks read it to
+	// report recovery progress instead of a bare "starting".
+	progress *ripple.RecoveryProgress
 
 	// encodeErrs counts response bodies that failed to serialize after the
 	// status line was already written — the only place the failure can
@@ -368,8 +390,25 @@ func (a *api) server(w http.ResponseWriter) (*ripple.Server, bool) {
 			"read-only follower (replicating from %s); send writes to the leader", a.leader)
 		return nil, false
 	}
-	a.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+	a.writeJSON(w, http.StatusServiceUnavailable, a.startingBody())
 	return nil, false
+}
+
+// startingBody is the 503 payload served before srv is set. While
+// durable recovery is running it upgrades from a bare "starting" to live
+// progress — recovered batch count and replay rate — so an operator
+// watching a slow boot can tell a long replay from a hung process.
+func (a *api) startingBody() map[string]any {
+	body := map[string]any{"status": "starting"}
+	if a.progress != nil {
+		if snap := a.progress.Snapshot(); snap.Active {
+			body["status"] = "recovering"
+			body["recovered_batches"] = snap.Batches
+			body["replay_rate"] = snap.BatchesPerSec
+			body["recovery_seconds"] = snap.Seconds
+		}
+	}
+	return body
 }
 
 // follower returns the replication follower once its first epoch is
@@ -392,7 +431,7 @@ func (a *api) snapshot(w http.ResponseWriter) (*ripple.Snapshot, bool) {
 	if fol := a.fol.Load(); fol != nil {
 		return fol.Snapshot(), true
 	}
-	a.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+	a.writeJSON(w, http.StatusServiceUnavailable, a.startingBody())
 	return nil, false
 }
 
@@ -810,7 +849,7 @@ func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	a.writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"dataset":       a.dataset,
 		"workload":      a.workload,
 		"vertices":      a.n,
@@ -819,5 +858,14 @@ func (a *api) handleStats(w http.ResponseWriter, r *http.Request) {
 		"workers":       a.workers,
 		"encode_errors": a.encodeErrs.Load(),
 		"serving":       srv.Stats(),
-	})
+	}
+	// The final recovery totals stay readable after boot: the gauge
+	// freezes its clock at end(), so this is the whole-recovery replay
+	// rate — what a restart drill measures, server-side precise.
+	if a.progress != nil {
+		if snap := a.progress.Snapshot(); snap.Started {
+			body["recovery"] = snap
+		}
+	}
+	a.writeJSON(w, http.StatusOK, body)
 }

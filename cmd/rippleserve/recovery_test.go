@@ -6,11 +6,17 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"sort"
 	"syscall"
 	"testing"
 	"time"
+
+	"ripple"
+	"ripple/internal/dataset"
 )
 
 // TestMain lets this test binary double as the rippleserve daemon: the
@@ -131,6 +137,172 @@ func (d *daemon) labels(n int) []float64 {
 		out[v] = d.getJSON(fmt.Sprintf("/label/%d", v))["label"].(float64)
 	}
 	return out
+}
+
+// copyTree mirrors src into dst — the crash image, taken before Close so
+// no graceful final checkpoint sneaks in.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		s, d := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
+		if e.IsDir() {
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			copyTree(t, s, d)
+			continue
+		}
+		b, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(d, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestHealthzReportsRecoveryProgress pins the operator-facing contract of
+// a long replay boot: while ripple.Serve is still replaying the WAL, the
+// already-listening /healthz answers 503 "recovering" with a live,
+// monotonically nondecreasing recovered_batches count and a replay rate —
+// distinguishable both from a bare "starting" and from a hung process —
+// and flips to 200 with the full count once recovery lands.
+func TestHealthzReportsRecoveryProgress(t *testing.T) {
+	spec, err := dataset.ByName("arxiv", 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Seed = 7
+	g, features, err := dataset.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ripple.NewModel("GS-S", []int{spec.FeatureDim, 16, spec.NumClasses}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bootstrap := func() *ripple.Engine {
+		eng, err := ripple.Bootstrap(g, model, features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	// Phase 1: build the crash image — a WAL of 60 single-update batches
+	// and no checkpoint, copied before Close so recovery must replay all
+	// of it.
+	const nbatch = 60
+	dir := t.TempDir()
+	srv, err := ripple.Serve(bootstrap(), ripple.WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat := make(ripple.Vector, spec.FeatureDim)
+	for i := 0; i < nbatch; i++ {
+		for j := range feat {
+			feat[j] = float32(i)*0.01 + float32(j)*0.001
+		}
+		u := ripple.Update{Kind: ripple.FeatureUpdate, U: ripple.VertexID(i % spec.NumVertices), Features: feat}
+		if _, err := srv.Apply([]ripple.Update{u}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	image := t.TempDir()
+	copyTree(t, dir, image)
+	srv.Close()
+
+	// Phase 2: the daemon's handler stack, listening before recovery —
+	// exactly run()'s boot order. A batch observer throttles the replay so
+	// the recovering window is wide enough to poll through.
+	api := &api{n: spec.NumVertices, classes: spec.NumClasses, featDim: spec.FeatureDim,
+		workload: "GS-S", dataset: "arxiv", durable: true,
+		progress: &ripple.RecoveryProgress{}}
+	ts := httptest.NewServer(api.routes())
+	defer ts.Close()
+
+	recovered := make(chan *ripple.Server, 1)
+	recoverErr := make(chan error, 1)
+	go func() {
+		rsrv, err := ripple.Serve(bootstrap(),
+			ripple.WithDataDir(image),
+			ripple.WithRecoveryProgress(api.progress),
+			ripple.WithBatchObserver(func(ripple.BatchResult, error) { time.Sleep(3 * time.Millisecond) }))
+		if err != nil {
+			recoverErr <- err
+			return
+		}
+		api.srv.Store(rsrv)
+		recovered <- rsrv
+	}()
+
+	poll := func() (int, map[string]any) {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	var samples []int64
+	deadline := time.After(60 * time.Second)
+	for {
+		select {
+		case err := <-recoverErr:
+			t.Fatalf("recovery failed: %v", err)
+		case rsrv := <-recovered:
+			defer rsrv.Close()
+			// Recovery done: healthz must be 200 with the whole WAL replayed.
+			code, body := poll()
+			if code != http.StatusOK || body["status"] != "ok" {
+				t.Fatalf("healthz after recovery: %d %v", code, body)
+			}
+			if got := body["recovered_batches"].(float64); got != nbatch {
+				t.Fatalf("recovered_batches after recovery = %v, want %d", got, nbatch)
+			}
+			// The poll loop must have caught the live window: every sample
+			// monotone nondecreasing, and at least two distinct values —
+			// progress observed MOVING, not one lucky snapshot.
+			if !sort.SliceIsSorted(samples, func(i, j int) bool { return samples[i] < samples[j] }) {
+				t.Fatalf("recovered_batches went backwards during replay: %v", samples)
+			}
+			distinct := map[int64]bool{}
+			for _, s := range samples {
+				distinct[s] = true
+			}
+			if len(distinct) < 2 {
+				t.Fatalf("saw %d distinct progress values during replay (samples %v); the gauge never moved", len(distinct), samples)
+			}
+			for _, s := range samples {
+				if s < 0 || s > nbatch {
+					t.Fatalf("recovered_batches sample %d outside [0,%d]", s, nbatch)
+				}
+			}
+			return
+		case <-deadline:
+			t.Fatalf("recovery never finished; progress samples: %v", samples)
+		default:
+		}
+		code, body := poll()
+		if code == http.StatusServiceUnavailable && body["status"] == "recovering" {
+			n := int64(body["recovered_batches"].(float64))
+			samples = append(samples, n)
+			if _, ok := body["replay_rate"]; !ok {
+				t.Fatalf("recovering healthz without replay_rate: %v", body)
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // TestKillRestartRecovery is the production crash drill: boot a real

@@ -195,7 +195,14 @@ func (c *LocalCluster) Ownership() *Ownership { return c.own }
 // --- manifest serialization ---
 
 const manifestMagic = "RIPPLMAN"
-const manifestVersion = 1
+const (
+	// v1: serial per-vertex binary.Write/Read embedding loops (seed era).
+	// v2: the gnn sectioned embedding block — contiguous row ranges behind
+	//     a per-section CRC index, encoded/decoded by a worker pool.
+	// WriteManifest emits v2; LoadManifest reads both.
+	manifestVersionSerial    = 1
+	manifestVersionSectioned = 2
+)
 
 // ErrBadManifest wraps corruption and mismatch failures in LoadManifest.
 var ErrBadManifest = errors.New("cluster: invalid checkpoint manifest")
@@ -217,7 +224,7 @@ func WriteManifest(w io.Writer, g *graph.Graph, own *Ownership, emb *gnn.Embeddi
 		return fmt.Errorf("cluster: writing manifest: %w", err)
 	}
 	writeU32 := func(v uint32) { _ = binary.Write(bw, binary.LittleEndian, v) }
-	writeU32(manifestVersion)
+	writeU32(manifestVersionSectioned)
 	writeU32(uint32(n))
 	writeU32(uint32(own.K))
 	writeU32(uint32(len(emb.Dims)))
@@ -241,19 +248,16 @@ func WriteManifest(w io.Writer, g *graph.Graph, own *Ownership, emb *gnn.Embeddi
 		return fmt.Errorf("cluster: writing manifest edges: %w", edgeErr)
 	}
 
-	for l := range emb.H {
-		for u := 0; u < n; u++ {
-			if err := binary.Write(bw, binary.LittleEndian, []float32(emb.H[l][u])); err != nil {
-				return fmt.Errorf("cluster: writing manifest embeddings: %w", err)
-			}
-			if l > 0 {
-				if err := binary.Write(bw, binary.LittleEndian, []float32(emb.A[l][u])); err != nil {
-					return fmt.Errorf("cluster: writing manifest embeddings: %w", err)
-				}
-			}
-		}
+	// The embedding state — the bulk of the manifest — goes out as the
+	// sectioned block, encoded in parallel and byte-identical at any
+	// worker count.
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("cluster: writing manifest: %w", err)
 	}
-	return bw.Flush()
+	if _, err := w.Write(emb.AppendSectioned(nil)); err != nil {
+		return fmt.Errorf("cluster: writing manifest embeddings: %w", err)
+	}
+	return nil
 }
 
 // LoadManifest reconstructs the global topology, placement and embedding
@@ -277,8 +281,9 @@ func LoadManifest(rd io.Reader) (*graph.Graph, *partition.Assignment, *gnn.Embed
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	if version != manifestVersion {
-		return nil, nil, nil, fmt.Errorf("%w: version %d, want %d", ErrBadManifest, version, manifestVersion)
+	if version != manifestVersionSerial && version != manifestVersionSectioned {
+		return nil, nil, nil, fmt.Errorf("%w: version %d, want %d or %d", ErrBadManifest,
+			version, manifestVersionSerial, manifestVersionSectioned)
 	}
 	n, err := readU32("vertex count")
 	if err != nil {
@@ -341,18 +346,32 @@ func LoadManifest(rd io.Reader) (*graph.Graph, *partition.Assignment, *gnn.Embed
 		}
 	}
 
-	emb := gnn.NewEmbeddings(int(n), dims)
-	for l := range emb.H {
-		for u := 0; u < int(n); u++ {
-			if err := binary.Read(br, binary.LittleEndian, []float32(emb.H[l][u])); err != nil {
-				return nil, nil, nil, fmt.Errorf("%w: truncated embeddings: %v", ErrBadManifest, err)
-			}
-			if l > 0 {
-				if err := binary.Read(br, binary.LittleEndian, []float32(emb.A[l][u])); err != nil {
+	if version == manifestVersionSerial {
+		emb := gnn.NewEmbeddings(int(n), dims)
+		for l := range emb.H {
+			for u := 0; u < int(n); u++ {
+				if err := binary.Read(br, binary.LittleEndian, []float32(emb.H[l][u])); err != nil {
 					return nil, nil, nil, fmt.Errorf("%w: truncated embeddings: %v", ErrBadManifest, err)
+				}
+				if l > 0 {
+					if err := binary.Read(br, binary.LittleEndian, []float32(emb.A[l][u])); err != nil {
+						return nil, nil, nil, fmt.Errorf("%w: truncated embeddings: %v", ErrBadManifest, err)
+					}
 				}
 			}
 		}
+		return g, assign, emb, nil
+	}
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: reading embeddings: %v", ErrBadManifest, err)
+	}
+	emb, rest, err := gnn.DecodeSectioned(data, int(n), dims)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	if len(rest) != 0 {
+		return nil, nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrBadManifest, len(rest))
 	}
 	return g, assign, emb, nil
 }

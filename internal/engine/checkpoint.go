@@ -2,10 +2,14 @@ package engine
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
+	"sort"
 
 	"ripple/internal/gnn"
 	"ripple/internal/graph"
@@ -18,23 +22,115 @@ import (
 // (which on the paper's large graphs takes minutes and requires the
 // feature matrix). The format is versioned, little-endian, and
 // self-validating against the model the state is loaded for.
+//
+// Two full-checkpoint versions coexist:
+//
+//	v1 — the seed-era serial format: per-edge and per-vector binary.Write/
+//	     Read loops. Retained as the measured restart-cost baseline
+//	     (Config.SerialCheckpoint / SaveSerial) and for old files.
+//	v2 — the sectioned format: per-vertex out-lists plus the gnn sectioned
+//	     embedding block (contiguous row ranges behind a CRC index) that a
+//	     worker pool encodes and decodes concurrently. The header, topology
+//	     and tombstone blocks carry their own CRC. Identical logical state
+//	     encodes to identical bytes at any parallelism.
+//
+// Delta checkpoints ("RIPPLDLT") persist only the rows whose embeddings,
+// adjacency, or tombstone changed since the last checkpoint — the engine
+// tracks that set when EnableDirtyTracking is on — so steady-state
+// checkpoint bytes are O(changed rows), not O(|V|).
 
 const checkpointMagic = "RIPPLCKP"
-const checkpointVersion = 1
+const (
+	checkpointVersionSerial    = 1
+	checkpointVersionSectioned = 2
+)
+
+const deltaMagic = "RIPPLDLT"
+const deltaVersion = 1
 
 // ErrBadCheckpoint wraps corruption and mismatch failures during Load.
 var ErrBadCheckpoint = errors.New("engine: invalid checkpoint")
 
-// Save writes the engine's state to w. The model weights are NOT included
-// (they are the deterministic product of the model spec/seed); the loader
-// must supply the same model.
+// Save writes the engine's state to w in the sectioned v2 format (or the
+// serial v1 format when Config.SerialCheckpoint is set). The model weights
+// are NOT included (they are the deterministic product of the model
+// spec/seed); the loader must supply the same model.
 func (r *Ripple) Save(w io.Writer) error {
+	if r.cfg.SerialCheckpoint {
+		return r.SaveSerial(w)
+	}
+	buf := r.encodeV2()
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("engine: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// encodeV2 builds the complete v2 checkpoint image in memory. Layout:
+//
+//	magic, u32 version
+//	u32 n, u32 numDims, numDims × u32 dim
+//	u64 m, per vertex: u32 outDeg + outDeg × {u32 peer, u32 weightBits}
+//	u32 tombstoneCount + count × u32 id
+//	u32 CRC32-IEEE over everything above
+//	sectioned embedding block (own per-section CRCs)
+func (r *Ripple) encodeV2() []byte {
+	n := r.g.NumVertices()
+	m := r.g.NumEdges()
+	dims := r.model.Dims
+	tombs := 0
+	for u := 0; u < n; u++ {
+		if r.Removed(graph.VertexID(u)) {
+			tombs++
+		}
+	}
+	prefix := 8 + 4 + 4 + 4 + 4*len(dims) + 8 + 4*n + 8*int(m) + 4 + 4*tombs + 4
+	buf := make([]byte, 0, prefix+gnn.SectionedSize(n, dims))
+	buf = append(buf, checkpointMagic...)
+	buf = appendU32(buf, checkpointVersionSectioned)
+	buf = appendU32(buf, uint32(n))
+	buf = appendU32(buf, uint32(len(dims)))
+	for _, d := range dims {
+		buf = appendU32(buf, uint32(d))
+	}
+	buf = appendU64(buf, uint64(m))
+	for u := 0; u < n; u++ {
+		out := r.g.Out(graph.VertexID(u))
+		buf = appendU32(buf, uint32(len(out)))
+		for _, e := range out {
+			buf = appendU32(buf, uint32(e.Peer))
+			buf = appendU32(buf, math.Float32bits(e.Weight))
+		}
+	}
+	buf = appendU32(buf, uint32(tombs))
+	for u := 0; u < n; u++ {
+		if r.Removed(graph.VertexID(u)) {
+			buf = appendU32(buf, uint32(u))
+		}
+	}
+	buf = appendU32(buf, crc32.ChecksumIEEE(buf))
+	return r.emb.AppendSectioned(buf)
+}
+
+// SaveSerial writes the seed-era v1 checkpoint: single-threaded binary.Write
+// loops over edges and vectors. It is the serial baseline that restart-cost
+// benchmarks measure the sectioned format against.
+func (r *Ripple) SaveSerial(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(checkpointMagic); err != nil {
 		return fmt.Errorf("engine: writing checkpoint: %w", err)
 	}
 	writeU32 := func(v uint32) { _ = binary.Write(bw, binary.LittleEndian, v) }
-	writeU32(checkpointVersion)
+	writeU32(checkpointVersionSerial)
 	n := r.g.NumVertices()
 	writeU32(uint32(n))
 	writeU32(uint32(len(r.model.Dims)))
@@ -93,24 +189,37 @@ func writeVec(w io.Writer, v tensor.Vector) error {
 	return nil
 }
 
-// LoadRipple reconstructs an engine from a checkpoint written by Save.
-// model must be identical to the one the checkpoint was taken under
-// (dimension mismatches are detected; weight mismatches cannot be and
-// will produce wrong-but-plausible inferences — supply the same spec).
+// LoadRipple reconstructs an engine from a checkpoint written by Save (v2)
+// or SaveSerial (v1). model must be identical to the one the checkpoint was
+// taken under (dimension mismatches are detected; weight mismatches cannot
+// be and will produce wrong-but-plausible inferences — supply the same
+// spec).
 func LoadRipple(rd io.Reader, model *gnn.Model, cfg Config) (*Ripple, error) {
-	br := bufio.NewReader(rd)
-	magic := make([]byte, len(checkpointMagic))
-	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != checkpointMagic {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading: %v", ErrBadCheckpoint, err)
+	}
+	if len(data) < len(checkpointMagic)+4 || string(data[:len(checkpointMagic)]) != checkpointMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
 	}
-	var version, n, numDims uint32
-	for _, p := range []*uint32{&version, &n, &numDims} {
+	switch version := binary.LittleEndian.Uint32(data[len(checkpointMagic):]); version {
+	case checkpointVersionSerial:
+		return loadV1(bytes.NewReader(data[len(checkpointMagic)+4:]), model, cfg)
+	case checkpointVersionSectioned:
+		return loadV2(data, model, cfg)
+	default:
+		return nil, fmt.Errorf("%w: version %d, want %d or %d", ErrBadCheckpoint,
+			version, checkpointVersionSerial, checkpointVersionSectioned)
+	}
+}
+
+// loadV1 parses the serial v1 body (magic and version already consumed).
+func loadV1(br io.Reader, model *gnn.Model, cfg Config) (*Ripple, error) {
+	var n, numDims uint32
+	for _, p := range []*uint32{&n, &numDims} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
 			return nil, fmt.Errorf("%w: truncated header: %v", ErrBadCheckpoint, err)
 		}
-	}
-	if version != checkpointVersion {
-		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadCheckpoint, version, checkpointVersion)
 	}
 	if numDims != uint32(len(model.Dims)) {
 		return nil, fmt.Errorf("%w: %d dims, model has %d", ErrBadCheckpoint, numDims, len(model.Dims))
@@ -189,5 +298,309 @@ func readVec(r io.Reader, v tensor.Vector) error {
 	if err := binary.Read(r, binary.LittleEndian, []float32(v)); err != nil {
 		return fmt.Errorf("%w: truncated embeddings: %v", ErrBadCheckpoint, err)
 	}
+	return nil
+}
+
+// cursor is a bounds-checked little-endian reader over a byte image.
+type cursor struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (c *cursor) u32() uint32 {
+	if c.bad || c.off+4 > len(c.b) {
+		c.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if c.bad || c.off+8 > len(c.b) {
+		c.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+// checkDims validates the n/dims header fields against the model.
+func checkDims(c *cursor, model *gnn.Model, what string) (int, error) {
+	n := int(c.u32())
+	numDims := int(c.u32())
+	if c.bad {
+		return 0, fmt.Errorf("%w: truncated %s header", ErrBadCheckpoint, what)
+	}
+	if numDims != len(model.Dims) {
+		return 0, fmt.Errorf("%w: %d dims, model has %d", ErrBadCheckpoint, numDims, len(model.Dims))
+	}
+	for i := 0; i < numDims; i++ {
+		d := int(c.u32())
+		if c.bad {
+			return 0, fmt.Errorf("%w: truncated %s dims", ErrBadCheckpoint, what)
+		}
+		if d != model.Dims[i] {
+			return 0, fmt.Errorf("%w: dim[%d]=%d, model has %d", ErrBadCheckpoint, i, d, model.Dims[i])
+		}
+	}
+	return n, nil
+}
+
+// loadV2 parses a complete v2 image, decoding embedding sections in
+// parallel.
+func loadV2(data []byte, model *gnn.Model, cfg Config) (*Ripple, error) {
+	c := &cursor{b: data, off: len(checkpointMagic) + 4}
+	n, err := checkDims(c, model, "checkpoint")
+	if err != nil {
+		return nil, err
+	}
+	m := c.u64()
+	if c.bad || m > uint64(len(data))/8 {
+		return nil, fmt.Errorf("%w: implausible edge count %d", ErrBadCheckpoint, m)
+	}
+	out := make([][]graph.Edge, n)
+	var total uint64
+	for u := 0; u < n; u++ {
+		deg := int(c.u32())
+		if c.bad || c.off+8*deg > len(data) {
+			return nil, fmt.Errorf("%w: truncated out-list of vertex %d", ErrBadCheckpoint, u)
+		}
+		if deg > 0 {
+			list := make([]graph.Edge, deg)
+			for i := range list {
+				peer := c.u32()
+				w := math.Float32frombits(c.u32())
+				if peer >= uint32(n) {
+					return nil, fmt.Errorf("%w: edge peer %d out of range", ErrBadCheckpoint, peer)
+				}
+				list[i] = graph.Edge{Peer: graph.VertexID(peer), Weight: w}
+			}
+			out[u] = list
+			total += uint64(deg)
+		}
+	}
+	if total != m {
+		return nil, fmt.Errorf("%w: out-lists hold %d edges, header says %d", ErrBadCheckpoint, total, m)
+	}
+	tombs := int(c.u32())
+	if c.bad || c.off+4*tombs > len(data) {
+		return nil, fmt.Errorf("%w: truncated tombstones", ErrBadCheckpoint)
+	}
+	var removed []bool
+	for i := 0; i < tombs; i++ {
+		u := c.u32()
+		if u >= uint32(n) {
+			return nil, fmt.Errorf("%w: tombstone %d out of range", ErrBadCheckpoint, u)
+		}
+		if removed == nil {
+			removed = make([]bool, n)
+		}
+		removed[u] = true
+	}
+	crcOff := c.off
+	if got, want := c.u32(), crc32.ChecksumIEEE(data[:crcOff]); c.bad || got != want {
+		return nil, fmt.Errorf("%w: header/topology CRC mismatch", ErrBadCheckpoint)
+	}
+
+	emb, rest, err := gnn.DecodeSectioned(data[c.off:], n, model.Dims)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(rest))
+	}
+	r, err := NewRipple(graph.NewFromOutLists(out), model, emb, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.removed = removed
+	return r, nil
+}
+
+// --- Dirty-row tracking and delta checkpoints ---
+
+// EnableDirtyTracking starts recording which vertices' checkpointed state
+// (embedding rows, adjacency, tombstone) changes across batches, the input
+// to SaveDelta. Must not be called concurrently with ApplyBatch. Tracking
+// costs O(1) per touched vertex and nothing when disabled.
+func (r *Ripple) EnableDirtyTracking() {
+	if r.dirty == nil {
+		r.dirty = make([]bool, r.g.NumVertices())
+	}
+}
+
+// markDirty records v as changed since the last ResetDirty. No-op unless
+// EnableDirtyTracking was called.
+func (r *Ripple) markDirty(v graph.VertexID) {
+	if r.dirty == nil || r.dirty[v] {
+		return
+	}
+	r.dirty[v] = true
+	r.dirtyList = append(r.dirtyList, v)
+}
+
+// ResetDirty clears the dirty set: the next SaveDelta captures changes from
+// this point. Called after every persisted checkpoint, full or delta.
+func (r *Ripple) ResetDirty() {
+	for _, v := range r.dirtyList {
+		r.dirty[v] = false
+	}
+	r.dirtyList = r.dirtyList[:0]
+}
+
+// DirtyRows returns the number of vertices in the current dirty set.
+func (r *Ripple) DirtyRows() int { return len(r.dirtyList) }
+
+// SaveDelta writes a delta checkpoint: the state of every vertex touched
+// since the last ResetDirty — all embedding layers, both adjacency lists
+// verbatim (out-list order is semantically load-bearing), and the tombstone
+// flag — plus the live edge count. Applying it to the state as of the last
+// checkpoint reproduces the current state bit-identically. The caller
+// resets the baseline (ResetDirty) once the delta is durable.
+func (r *Ripple) SaveDelta(w io.Writer) error {
+	if r.dirty == nil {
+		return fmt.Errorf("engine: SaveDelta without EnableDirtyTracking")
+	}
+	ids := append([]graph.VertexID(nil), r.dirtyList...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	dims := r.model.Dims
+	rowB := gnn.RowBytes(dims)
+	size := 8 + 4 + 4 + 4 + 4*len(dims) + 8 + 4
+	for _, v := range ids {
+		size += 4 + 4 + 4 + 8*len(r.g.Out(v)) + 4 + 8*len(r.g.In(v)) + rowB
+	}
+	buf := make([]byte, 0, size+4)
+	buf = append(buf, deltaMagic...)
+	buf = appendU32(buf, deltaVersion)
+	buf = appendU32(buf, uint32(r.g.NumVertices()))
+	buf = appendU32(buf, uint32(len(dims)))
+	for _, d := range dims {
+		buf = appendU32(buf, uint32(d))
+	}
+	buf = appendU64(buf, uint64(r.g.NumEdges()))
+	buf = appendU32(buf, uint32(len(ids)))
+	for _, v := range ids {
+		var flags uint32
+		if r.Removed(v) {
+			flags |= 1
+		}
+		buf = appendU32(buf, uint32(v))
+		buf = appendU32(buf, flags)
+		for _, list := range [][]graph.Edge{r.g.Out(v), r.g.In(v)} {
+			buf = appendU32(buf, uint32(len(list)))
+			for _, e := range list {
+				buf = appendU32(buf, uint32(e.Peer))
+				buf = appendU32(buf, math.Float32bits(e.Weight))
+			}
+		}
+		buf = r.emb.AppendRow(buf, int(v))
+	}
+	buf = appendU32(buf, crc32.ChecksumIEEE(buf))
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("engine: writing delta checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ApplyDelta applies a delta checkpoint written by SaveDelta onto the
+// current state, which must be the state the delta was taken against (the
+// serving layer guarantees this by chaining deltas off checkpoint epochs).
+func (r *Ripple) ApplyDelta(rd io.Reader) error {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return fmt.Errorf("%w: reading delta: %v", ErrBadCheckpoint, err)
+	}
+	if len(data) < len(deltaMagic)+8 || string(data[:len(deltaMagic)]) != deltaMagic {
+		return fmt.Errorf("%w: bad delta magic", ErrBadCheckpoint)
+	}
+	if got, want := binary.LittleEndian.Uint32(data[len(data)-4:]), crc32.ChecksumIEEE(data[:len(data)-4]); got != want {
+		return fmt.Errorf("%w: delta CRC mismatch", ErrBadCheckpoint)
+	}
+	c := &cursor{b: data[:len(data)-4], off: len(deltaMagic)}
+	if v := c.u32(); v != deltaVersion {
+		return fmt.Errorf("%w: delta version %d, want %d", ErrBadCheckpoint, v, deltaVersion)
+	}
+	n, err := checkDims(c, r.model, "delta")
+	if err != nil {
+		return err
+	}
+	if n != r.g.NumVertices() {
+		return fmt.Errorf("%w: delta over %d vertices, state has %d", ErrBadCheckpoint, n, r.g.NumVertices())
+	}
+	m := int64(c.u64())
+	count := int(c.u32())
+
+	// Two passes: parse and validate everything first, mutate only after the
+	// whole delta is proven well-formed. Recovery leans on this — a rejected
+	// delta must leave the state it was offered exactly as it found it, so
+	// the chain walk can fall back to WAL replay from that state.
+	type deltaEntry struct {
+		v      graph.VertexID
+		flags  uint32
+		out    []graph.Edge
+		in     []graph.Edge
+		rowOff int
+	}
+	rowBytes := gnn.RowBytes(r.model.Dims)
+	entries := make([]deltaEntry, 0, count)
+	prev := graph.VertexID(-1)
+	for i := 0; i < count; i++ {
+		v := graph.VertexID(c.u32())
+		flags := c.u32()
+		if c.bad || v <= prev || int(v) >= n {
+			return fmt.Errorf("%w: bad delta vertex order at entry %d", ErrBadCheckpoint, i)
+		}
+		prev = v
+		var lists [2][]graph.Edge
+		for li := range lists {
+			deg := int(c.u32())
+			if c.bad || c.off+8*deg > len(c.b) {
+				return fmt.Errorf("%w: truncated delta adjacency of vertex %d", ErrBadCheckpoint, v)
+			}
+			if deg > 0 {
+				list := make([]graph.Edge, deg)
+				for j := range list {
+					peer := c.u32()
+					w := math.Float32frombits(c.u32())
+					if peer >= uint32(n) {
+						return fmt.Errorf("%w: delta peer %d out of range", ErrBadCheckpoint, peer)
+					}
+					list[j] = graph.Edge{Peer: graph.VertexID(peer), Weight: w}
+				}
+				lists[li] = list
+			}
+		}
+		if c.off+rowBytes > len(c.b) {
+			return fmt.Errorf("%w: truncated delta row of vertex %d", ErrBadCheckpoint, v)
+		}
+		entries = append(entries, deltaEntry{v: v, flags: flags, out: lists[0], in: lists[1], rowOff: c.off})
+		c.off += rowBytes
+	}
+	if c.off != len(c.b) {
+		return fmt.Errorf("%w: %d trailing delta bytes", ErrBadCheckpoint, len(c.b)-c.off)
+	}
+
+	for _, e := range entries {
+		if _, err := r.emb.DecodeRow(c.b[e.rowOff:e.rowOff+rowBytes], int(e.v)); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		}
+		if err := r.g.ReplaceAdjacency(e.v, e.out, e.in); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+		}
+		if e.flags&1 != 0 {
+			if r.removed == nil {
+				r.removed = make([]bool, n)
+			}
+			r.removed[e.v] = true
+		} else if r.removed != nil {
+			r.removed[e.v] = false
+		}
+	}
+	r.g.SetNumEdges(m)
 	return nil
 }

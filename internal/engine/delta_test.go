@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"ripple/internal/gnn"
+	"ripple/internal/graph"
+)
+
+// --- sectioned (v2) vs serial (v1) checkpoint formats ---
+
+// TestCheckpointFormatsInterchangeable: the serial v1 writer and the
+// sectioned v2 writer encode the same state into different bytes, and
+// both load back into bit-identical engines that keep streaming in
+// lockstep.
+func TestCheckpointFormatsInterchangeable(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphSAGE, Agg: gnn.AggSum, Dims: []int{5, 6, 4}, Seed: 83}
+	w := newTestWorld(t, spec, 40, 160, 421)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.ApplyBatch(w.randomBatch(6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.RemoveVertex(graph.VertexID(7)); err != nil {
+		t.Fatal(err)
+	}
+
+	var v2 bytes.Buffer
+	if err := r.Save(&v2); err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if err := r.SaveSerial(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(v1.Bytes(), v2.Bytes()) {
+		t.Fatal("SaveSerial and Save produced identical bytes — v2 format not in effect")
+	}
+	// Config.SerialCheckpoint routes Save through the v1 writer.
+	rs, err := LoadRipple(bytes.NewReader(v2.Bytes()), w.model, Config{SerialCheckpoint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaCfg bytes.Buffer
+	if err := rs.Save(&viaCfg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaCfg.Bytes(), v1.Bytes()) {
+		t.Fatal("Config.SerialCheckpoint did not select the v1 writer")
+	}
+
+	fromV1, err := LoadRipple(bytes.NewReader(v1.Bytes()), w.model, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromV2, err := LoadRipple(bytes.NewReader(v2.Bytes()), w.model, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fromV1.Embeddings().MaxAbsDiff(fromV2.Embeddings()); d != 0 {
+		t.Fatalf("v1 and v2 restores differ by %v", d)
+	}
+	// Same stream applied to both restores and the original: the three
+	// engines must stay bit-identical (v2 restores the exact out-list
+	// order, so even float accumulation order is reproduced).
+	batch := w.randomBatchAvoiding(6, graph.VertexID(7))
+	for _, e := range []*Ripple{r, fromV1, fromV2} {
+		if _, err := e.ApplyBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := fromV2.Embeddings().MaxAbsDiff(r.Embeddings()); d != 0 {
+		t.Fatalf("v2 restore diverged from the original by %v", d)
+	}
+	if d := fromV1.Embeddings().MaxAbsDiff(r.Embeddings()); d != 0 {
+		t.Fatalf("v1 restore diverged from the original by %v", d)
+	}
+}
+
+// TestCheckpointBytesIndependentOfParallelism: the v2 checkpoint encodes
+// sections with a worker pool, but the file is a pure function of the
+// state — crash-equivalence depends on a checkpoint written on an 8-core
+// box loading identically on a 1-core one.
+func TestCheckpointBytesIndependentOfParallelism(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggMean, Dims: []int{5, 8, 4}, Seed: 89}
+	w := newTestWorld(t, spec, 120, 480, 433)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ApplyBatch(w.randomBatch(10)); err != nil {
+		t.Fatal(err)
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var first []byte
+	for _, workers := range []int{1, 4} {
+		runtime.GOMAXPROCS(workers)
+		var buf bytes.Buffer
+		if err := r.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = append([]byte(nil), buf.Bytes()...)
+			continue
+		}
+		if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatalf("GOMAXPROCS=%d produced different checkpoint bytes", workers)
+		}
+	}
+}
+
+// --- incremental delta checkpoints ---
+
+// TestDeltaCheckpointEquivalence is the delta-chain core property:
+// applying a saved delta onto the exact baseline state it was tracked
+// from reproduces the source engine bit-identically — embeddings,
+// topology (including adjacency order, which fixes float accumulation
+// order), tombstones — and the restored engine keeps streaming in
+// lockstep.
+func TestDeltaCheckpointEquivalence(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphSAGE, Agg: gnn.AggSum, Dims: []int{5, 6, 4}, Seed: 91}
+	w := newTestWorld(t, spec, 50, 200, 443)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := r.ApplyBatch(w.randomBatch(5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Freeze the baseline as a second engine via a full checkpoint.
+	var full bytes.Buffer
+	if err := r.Save(&full); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadRipple(bytes.NewReader(full.Bytes()), w.model, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r.EnableDirtyTracking() // baseline = current state; dirty set empty
+	victim := graph.VertexID(11)
+	for i := 0; i < 4; i++ {
+		if _, err := r.ApplyBatch(w.randomBatchAvoiding(6, victim)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.RemoveVertex(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	var delta bytes.Buffer
+	if err := r.SaveDelta(&delta); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.ApplyDelta(bytes.NewReader(delta.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	if d := base.Embeddings().MaxAbsDiff(r.Embeddings()); d != 0 {
+		t.Fatalf("delta restore differs by %v", d)
+	}
+	if base.Graph().NumEdges() != r.Graph().NumEdges() {
+		t.Fatalf("edge count %d, want %d", base.Graph().NumEdges(), r.Graph().NumEdges())
+	}
+	for v := 0; v < r.Graph().NumVertices(); v++ {
+		id := graph.VertexID(v)
+		bo, ro := base.Graph().Out(id), r.Graph().Out(id)
+		if len(bo) != len(ro) {
+			t.Fatalf("vertex %d out-degree %d, want %d", v, len(bo), len(ro))
+		}
+		for j := range ro {
+			if bo[j] != ro[j] {
+				t.Fatalf("vertex %d out-list order diverged at %d", v, j)
+			}
+		}
+		if base.Removed(id) != r.Removed(id) {
+			t.Fatalf("vertex %d tombstone mismatch", v)
+		}
+	}
+	// Lockstep streaming proves the restore is complete, not just
+	// value-equal at the final layer.
+	batch := w.randomBatchAvoiding(5, victim)
+	if _, err := r.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if d := base.Embeddings().MaxAbsDiff(r.Embeddings()); d != 0 {
+		t.Fatalf("post-delta divergence %v", d)
+	}
+}
+
+// TestDeltaRejectsCorruptionWithoutMutating: ApplyDelta validates the
+// whole payload before touching state — recovery's fallback (drop the
+// delta, replay the WAL) is only sound if a rejected delta leaves the
+// state exactly as it found it.
+func TestDeltaRejectsCorruptionWithoutMutating(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggSum, Dims: []int{4, 5, 3}, Seed: 97}
+	w := newTestWorld(t, spec, 30, 120, 449)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full bytes.Buffer
+	if err := r.Save(&full); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadRipple(bytes.NewReader(full.Bytes()), w.model, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.EnableDirtyTracking()
+	for i := 0; i < 3; i++ {
+		if _, err := r.ApplyBatch(w.randomBatch(5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var delta bytes.Buffer
+	if err := r.SaveDelta(&delta); err != nil {
+		t.Fatal(err)
+	}
+	good := delta.Bytes()
+
+	variants := map[string][]byte{
+		"empty":          nil,
+		"bad magic":      append([]byte("XXXXXXXX"), good[8:]...),
+		"truncated tail": good[:len(good)-3],
+		"truncated half": good[:len(good)/2],
+	}
+	// A flipped payload byte keeps the structure parseable up to the CRC.
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0x10
+	variants["flipped byte"] = flipped
+
+	pristine := func() []byte {
+		var buf bytes.Buffer
+		if err := base.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	before := pristine()
+	for name, bad := range variants {
+		if err := base.ApplyDelta(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("%s: corrupt delta accepted", name)
+		}
+		if !bytes.Equal(pristine(), before) {
+			t.Fatalf("%s: rejected delta mutated the engine", name)
+		}
+	}
+	// The intact delta still applies after all the rejections.
+	if err := base.ApplyDelta(bytes.NewReader(good)); err != nil {
+		t.Fatal(err)
+	}
+	if d := base.Embeddings().MaxAbsDiff(r.Embeddings()); d != 0 {
+		t.Fatalf("delta restore differs by %v after rejection gauntlet", d)
+	}
+}
+
+// TestDeltaSmallerThanFullForLocalizedChange pins the steady-state
+// bytes argument: when a batch touches a small neighbourhood of a large
+// graph, the delta persists only the dirtied rows and is a fraction of
+// the full checkpoint. (On a tiny graph where one batch's propagation
+// reaches most vertices, a delta can legitimately exceed a full — it
+// also carries adjacency — which is why this property needs scale.)
+func TestDeltaSmallerThanFullForLocalizedChange(t *testing.T) {
+	spec := gnn.Spec{Kind: gnn.GraphConv, Agg: gnn.AggSum, Dims: []int{5, 6, 4}, Seed: 101}
+	w := newTestWorld(t, spec, 600, 1200, 457)
+	g, emb := w.bootstrap()
+	r, err := NewRipple(g, w.model, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full bytes.Buffer
+	if err := r.Save(&full); err != nil {
+		t.Fatal(err)
+	}
+	r.EnableDirtyTracking()
+	if _, err := r.ApplyBatch(w.randomBatch(2)); err != nil {
+		t.Fatal(err)
+	}
+	var delta bytes.Buffer
+	if err := r.SaveDelta(&delta); err != nil {
+		t.Fatal(err)
+	}
+	if delta.Len()*4 >= full.Len() {
+		t.Fatalf("localized delta is %d bytes vs %d full — not O(changed rows)", delta.Len(), full.Len())
+	}
+}
+
+// TestSaveDeltaRequiresTracking: a delta without a baseline would be
+// silently empty — refuse instead.
+func TestSaveDeltaRequiresTracking(t *testing.T) {
+	g, x := paperGraph(t)
+	m := identitySum(2)
+	emb, err := gnn.Forward(g, m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRipple(g, m, emb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.SaveDelta(&buf); err == nil {
+		t.Fatal("SaveDelta succeeded without EnableDirtyTracking")
+	}
+}

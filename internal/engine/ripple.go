@@ -36,6 +36,12 @@ type Config struct {
 	// BatchResult.LabelChanges, enabling the paper's trigger-based serving
 	// model: consumers are notified of changed predictions immediately.
 	TrackLabels bool
+	// SerialCheckpoint makes Save emit the seed-era v1 checkpoint format
+	// (single-threaded binary.Write loops) instead of the sectioned v2
+	// format. LoadRipple reads both. This is the measured baseline for
+	// restart-cost benchmarks (rippleload -measure-recovery A/Bs it); new
+	// deployments should leave it false.
+	SerialCheckpoint bool
 	// Shards is the mailbox shard count of the parallel scatter phase,
 	// rounded up to a power of two; 0 (the default) resolves at
 	// construction to the smallest power of two covering GOMAXPROCS,
@@ -112,6 +118,13 @@ type Ripple struct {
 
 	// removed marks tombstoned vertices (nil until RemoveVertex is used).
 	removed []bool
+
+	// Dirty-row tracking for incremental delta checkpoints: nil until
+	// EnableDirtyTracking. dirty flags each vertex whose embedding rows,
+	// adjacency, or tombstone changed since the last ResetDirty; dirtyList
+	// holds the same set in first-touch order for O(dirty) reset and save.
+	dirty     []bool
+	dirtyList []graph.VertexID
 
 	scratch *gnn.Scratch
 }
@@ -328,12 +341,18 @@ func (r *Ripple) ApplyBatch(batch []Update) (BatchResult, error) {
 				return res, fmt.Errorf("engine: applying validated batch: %w", err)
 			}
 			r.events = append(r.events, edgeEvent{src: upd.U, sink: upd.V, coeff: gnn.Coeff(r.model.Agg, upd.Weight)})
+			// Both endpoints' adjacency lists changed, even if neither ends
+			// up on any frontier (e.g. a source with an unchanged h^0).
+			r.markDirty(upd.U)
+			r.markDirty(upd.V)
 		case EdgeDelete:
 			w, err := r.g.RemoveEdge(upd.U, upd.V)
 			if err != nil {
 				return res, fmt.Errorf("engine: applying validated batch: %w", err)
 			}
 			r.events = append(r.events, edgeEvent{src: upd.U, sink: upd.V, coeff: -gnn.Coeff(r.model.Agg, w)})
+			r.markDirty(upd.U)
+			r.markDirty(upd.V)
 		case FeatureUpdate:
 			if !r.oldH[0].Has(upd.U) {
 				r.oldH[0].Get(upd.U).CopyFrom(r.emb.H[0][upd.U])
@@ -344,6 +363,10 @@ func (r *Ripple) ApplyBatch(batch []Update) (BatchResult, error) {
 	// changed[0] = feature-updated vertices whose h^0 actually changed.
 	r.changed[0] = r.changed[0][:0]
 	for _, u := range r.oldH[0].SortedTouched() {
+		// Every feature-updated vertex is dirty for delta checkpoints,
+		// including pruned zero-delta ones: h^0 was overwritten, and
+		// value-equal floats can still differ in bits (-0 vs +0).
+		r.markDirty(u)
 		if !r.cfg.PruneZeroDeltas || r.oldH[0].Lookup(u).MaxAbsDiff(r.emb.H[0][u]) != 0 {
 			r.changed[0] = append(r.changed[0], u)
 			r.countAffected(u, epoch, &res)
@@ -381,6 +404,9 @@ func (r *Ripple) ApplyBatch(batch []Update) (BatchResult, error) {
 		for _, v := range frontier {
 			r.oldH[l].Get(v).CopyFrom(r.emb.H[l][v])
 			r.countAffected(v, epoch, &res)
+			// Every frontier vertex gets A^l and h^l rewritten by the apply
+			// phase below, so it is dirty even when the new value matches.
+			r.markDirty(v)
 		}
 		applyOps := r.applyFrontier(layer, l, frontier)
 		res.VectorOps += applyOps

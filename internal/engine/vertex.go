@@ -42,6 +42,10 @@ func (r *Ripple) AddVertex(features tensor.Vector) (graph.VertexID, error) {
 	if r.removed != nil {
 		r.removed = append(r.removed, false)
 	}
+	if r.dirty != nil {
+		r.dirty = append(r.dirty, false)
+		r.markDirty(id)
+	}
 
 	// Embedding chain of an isolated vertex: zero aggregate at every hop.
 	r.emb.H[0][id].CopyFrom(features)
@@ -80,6 +84,7 @@ func (r *Ripple) RemoveVertex(u graph.VertexID) (BatchResult, error) {
 		r.removed = append(r.removed, false)
 	}
 	r.removed[u] = true
+	r.markDirty(u) // the tombstone itself is delta-checkpointed state
 	return res, nil
 }
 

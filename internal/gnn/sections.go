@@ -1,0 +1,213 @@
+package gnn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"runtime"
+
+	"ripple/internal/par"
+)
+
+// Sectioned embedding codec: the embedding tables (every layer's H rows plus
+// the A aggregates for l ≥ 1) are split into contiguous vertex-row ranges —
+// sections — behind a small index of per-section CRCs. A worker pool encodes
+// or decodes sections concurrently; because section boundaries are a pure
+// function of N and sections land at fixed offsets, the encoded bytes are
+// identical at any parallelism. This is the checkpoint fast path: the legacy
+// per-vector binary.Write/Read loops remain in the v1 formats as the serial
+// baseline.
+//
+// Block layout (all integers little-endian):
+//
+//	u32 sectionCount
+//	sectionCount × u32 CRC32-IEEE over that section's row bytes
+//	row bytes, section 0 .. section S-1 concatenated
+//
+// A row is vertex v's state in layer order: H[0][v] .. H[L][v], then
+// A[1][v] .. A[L][v], each float32 LE. Row width is fixed by Dims, so every
+// offset is computable without reading the payload.
+
+// sectionRowQuantum and maxSections bound the section count: small states
+// still split into a handful of sections (so tests exercise the multi-section
+// path) while large states cap at maxSections row ranges.
+const (
+	sectionRowQuantum = 16
+	maxSections       = 64
+)
+
+// NumSections returns the section count used for n vertex rows. It depends
+// only on n, never on GOMAXPROCS, so encoded bytes are machine-independent.
+func NumSections(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	s := (n + sectionRowQuantum - 1) / sectionRowQuantum
+	if s > maxSections {
+		s = maxSections
+	}
+	return s
+}
+
+// RowBytes returns the encoded size of one vertex row for the given dims.
+func RowBytes(dims []int) int {
+	total := 0
+	for l, d := range dims {
+		total += d
+		if l > 0 {
+			total += dims[l-1] // A^l has the width of layer l-1
+		}
+	}
+	return total * 4
+}
+
+// SectionedSize returns the exact encoded size of the sectioned block for n
+// rows of the given dims.
+func SectionedSize(n int, dims []int) int {
+	return 4 + 4*NumSections(n) + n*RowBytes(dims)
+}
+
+// AppendSectioned appends the sectioned encoding of e to dst and returns the
+// extended slice. Sections are filled in place by a worker pool; the output
+// is byte-identical regardless of worker count.
+func (e *Embeddings) AppendSectioned(dst []byte) []byte {
+	n, dims := e.N, e.Dims
+	S := NumSections(n)
+	rowB := RowBytes(dims)
+	base := len(dst)
+	dst = append(dst, make([]byte, SectionedSize(n, dims))...)
+	b := dst[base:]
+	binary.LittleEndian.PutUint32(b, uint32(S))
+	index := b[4 : 4+4*S]
+	payload := b[4+4*S:]
+	chunk := (n + S - 1) / S
+	par.ForShardsN(S, runtime.GOMAXPROCS(0), func(_, slo, shi int) {
+		for s := slo; s < shi; s++ {
+			lo := s * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo > hi {
+				lo = hi
+			}
+			out := payload[lo*rowB : hi*rowB]
+			off := 0
+			for v := lo; v < hi; v++ {
+				off = e.putRow(out, off, v)
+			}
+			binary.LittleEndian.PutUint32(index[4*s:], crc32.ChecksumIEEE(out))
+		}
+	})
+	return dst
+}
+
+// putRow encodes vertex v's row at out[off:] and returns the new offset.
+func (e *Embeddings) putRow(out []byte, off, v int) int {
+	for l := range e.Dims {
+		for _, x := range e.H[l][v] {
+			binary.LittleEndian.PutUint32(out[off:], math.Float32bits(x))
+			off += 4
+		}
+		if l > 0 {
+			for _, x := range e.A[l][v] {
+				binary.LittleEndian.PutUint32(out[off:], math.Float32bits(x))
+				off += 4
+			}
+		}
+	}
+	return off
+}
+
+// getRow decodes vertex v's row from in[off:] into e and returns the new
+// offset. Rows are disjoint, so concurrent calls for different v are safe.
+func (e *Embeddings) getRow(in []byte, off, v int) int {
+	for l := range e.Dims {
+		row := e.H[l][v]
+		for i := range row {
+			row[i] = math.Float32frombits(binary.LittleEndian.Uint32(in[off:]))
+			off += 4
+		}
+		if l > 0 {
+			row = e.A[l][v]
+			for i := range row {
+				row[i] = math.Float32frombits(binary.LittleEndian.Uint32(in[off:]))
+				off += 4
+			}
+		}
+	}
+	return off
+}
+
+// AppendRow appends vertex v's row (H for every layer, then A for l ≥ 1) to
+// dst in the sectioned row encoding. Delta checkpoints use this to persist
+// individual dirty rows with the exact same byte layout as full sections.
+func (e *Embeddings) AppendRow(dst []byte, v int) []byte {
+	base := len(dst)
+	dst = append(dst, make([]byte, RowBytes(e.Dims))...)
+	e.putRow(dst[base:], 0, v)
+	return dst
+}
+
+// DecodeRow reads one row for vertex v from b in place and returns the
+// remaining bytes.
+func (e *Embeddings) DecodeRow(b []byte, v int) ([]byte, error) {
+	rb := RowBytes(e.Dims)
+	if len(b) < rb {
+		return nil, fmt.Errorf("gnn: row for vertex %d truncated: %d bytes, need %d", v, len(b), rb)
+	}
+	e.getRow(b[:rb], 0, v)
+	return b[rb:], nil
+}
+
+// DecodeSectioned parses a sectioned block for n rows of dims from b,
+// verifying every section CRC, and returns the decoded embeddings plus the
+// remaining bytes. Sections decode concurrently into disjoint row ranges of
+// one freshly allocated Embeddings, so the result is deterministic.
+func DecodeSectioned(b []byte, n int, dims []int) (*Embeddings, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("gnn: sectioned block truncated in header")
+	}
+	S := int(binary.LittleEndian.Uint32(b))
+	if S < 1 || S > maxSections || S != NumSections(n) {
+		return nil, nil, fmt.Errorf("gnn: sectioned block has %d sections, want %d", S, NumSections(n))
+	}
+	rowB := RowBytes(dims)
+	total := 4 + 4*S + n*rowB
+	if len(b) < total {
+		return nil, nil, fmt.Errorf("gnn: sectioned block truncated: %d bytes, need %d", len(b), total)
+	}
+	index := b[4 : 4+4*S]
+	payload := b[4+4*S : total]
+	e := NewEmbeddings(n, dims)
+	chunk := (n + S - 1) / S
+	errs := make([]error, S)
+	par.ForShardsN(S, runtime.GOMAXPROCS(0), func(_, slo, shi int) {
+		for s := slo; s < shi; s++ {
+			lo := s * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo > hi {
+				lo = hi
+			}
+			in := payload[lo*rowB : hi*rowB]
+			if got, want := crc32.ChecksumIEEE(in), binary.LittleEndian.Uint32(index[4*s:]); got != want {
+				errs[s] = fmt.Errorf("gnn: section %d CRC mismatch: %08x, want %08x", s, got, want)
+				continue
+			}
+			off := 0
+			for v := lo; v < hi; v++ {
+				off = e.getRow(in, off, v)
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return e, b[total:], nil
+}

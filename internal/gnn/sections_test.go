@@ -1,0 +1,163 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"ripple/internal/tensor"
+)
+
+// randomEmbeddings fills every H and A table with seeded values,
+// including negative zero and denormals, so byte-level comparisons catch
+// encodings that normalise float bits.
+func randomEmbeddings(n int, dims []int, seed int64) *Embeddings {
+	rng := rand.New(rand.NewSource(seed))
+	e := NewEmbeddings(n, dims)
+	fill := func(rows []tensor.Vector) {
+		for _, row := range rows {
+			for i := range row {
+				switch rng.Intn(20) {
+				case 0:
+					row[i] = float32(math.Copysign(0, -1)) // -0: value-equal to +0, different bits
+				case 1:
+					row[i] = math.Float32frombits(1) // smallest denormal
+				default:
+					row[i] = rng.Float32()*2 - 1
+				}
+			}
+		}
+	}
+	for l := range e.H {
+		fill(e.H[l])
+		if l > 0 {
+			fill(e.A[l])
+		}
+	}
+	return e
+}
+
+func TestSectionedRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 7, 16, 17, 100, 1500} {
+		dims := []int{5, 6, 4}
+		e := randomEmbeddings(n, dims, int64(1000+n))
+		enc := e.AppendSectioned(nil)
+		if got, want := len(enc), SectionedSize(n, dims); got != want {
+			t.Fatalf("n=%d: encoded %d bytes, SectionedSize says %d", n, got, want)
+		}
+		dec, rest, err := DecodeSectioned(enc, n, dims)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("n=%d: %d trailing bytes", n, len(rest))
+		}
+		for l := range e.H {
+			for v := 0; v < n; v++ {
+				for i, x := range e.H[l][v] {
+					if math.Float32bits(dec.H[l][v][i]) != math.Float32bits(x) {
+						t.Fatalf("n=%d: H[%d][%d][%d] not bit-identical", n, l, v, i)
+					}
+				}
+				if l > 0 {
+					for i, x := range e.A[l][v] {
+						if math.Float32bits(dec.A[l][v][i]) != math.Float32bits(x) {
+							t.Fatalf("n=%d: A[%d][%d][%d] not bit-identical", n, l, v, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSectionedDeterministicAcrossParallelism pins the format contract
+// the checkpoint layer depends on: the encoded bytes are a function of
+// the state alone, never of the worker count that encoded them.
+func TestSectionedDeterministicAcrossParallelism(t *testing.T) {
+	e := randomEmbeddings(700, []int{8, 12, 6}, 2024)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var first []byte
+	for _, workers := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(workers)
+		enc := e.AppendSectioned(nil)
+		if first == nil {
+			first = enc
+			continue
+		}
+		if len(enc) != len(first) {
+			t.Fatalf("GOMAXPROCS=%d: %d bytes, want %d", workers, len(enc), len(first))
+		}
+		for i := range enc {
+			if enc[i] != first[i] {
+				t.Fatalf("GOMAXPROCS=%d: byte %d differs — encoding depends on parallelism", workers, i)
+			}
+		}
+	}
+}
+
+func TestSectionedRejectsCorruption(t *testing.T) {
+	n, dims := 200, []int{5, 6, 4}
+	e := randomEmbeddings(n, dims, 7)
+	enc := e.AppendSectioned(nil)
+
+	if _, _, err := DecodeSectioned(enc[:3], n, dims); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, _, err := DecodeSectioned(enc[:len(enc)/2], n, dims); err == nil {
+		t.Error("truncated body accepted")
+	}
+	if _, _, err := DecodeSectioned(enc, n+1, dims); err == nil {
+		t.Error("wrong row count accepted")
+	}
+	// Flip one payload byte in each section-sized stride: every flip must
+	// be caught by that section's CRC.
+	for _, off := range []int{4 + 4*NumSections(n), len(enc) / 2, len(enc) - 1} {
+		bad := append([]byte(nil), enc...)
+		bad[off] ^= 0x40
+		if _, _, err := DecodeSectioned(bad, n, dims); err == nil {
+			t.Errorf("flipped byte %d accepted", off)
+		}
+	}
+}
+
+func TestNumSections(t *testing.T) {
+	for _, tt := range []struct{ n, want int }{
+		{0, 1}, {1, 1}, {16, 1}, {17, 2}, {160, 10}, {1024, 64}, {1 << 20, 64},
+	} {
+		if got := NumSections(tt.n); got != tt.want {
+			t.Errorf("NumSections(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	n, dims := 30, []int{4, 5, 3}
+	src := randomEmbeddings(n, dims, 11)
+	dst := NewEmbeddings(n, dims)
+	for _, v := range []int{0, 7, 29} {
+		row := src.AppendRow(nil, v)
+		if len(row) != RowBytes(dims) {
+			t.Fatalf("row is %d bytes, RowBytes says %d", len(row), RowBytes(dims))
+		}
+		rest, err := dst.DecodeRow(row, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%d trailing bytes", len(rest))
+		}
+		for l := range src.H {
+			for i := range src.H[l][v] {
+				if math.Float32bits(dst.H[l][v][i]) != math.Float32bits(src.H[l][v][i]) {
+					t.Fatalf("H[%d][%d][%d] not bit-identical", l, v, i)
+				}
+			}
+		}
+	}
+	if _, err := dst.DecodeRow(make([]byte, RowBytes(dims)-1), 0); err == nil {
+		t.Error("short row accepted")
+	}
+}

@@ -255,6 +255,56 @@ func (g *Graph) ForEachEdge(fn func(u, v VertexID, w float32)) {
 	}
 }
 
+// NewFromOutLists builds a graph over len(out) vertices directly from
+// per-vertex out-adjacency lists, taking ownership of the slices. Out-list
+// order is preserved exactly — it determines scatter accumulation order, so
+// checkpoint restore must reproduce it bit-for-bit. In-lists are rebuilt
+// with exact-size allocation in edge-scan order (ascending source, out-list
+// position), the same order an AddEdge replay of ForEachEdge would produce.
+func NewFromOutLists(out [][]Edge) *Graph {
+	n := len(out)
+	g := &Graph{out: out, in: make([][]Edge, n)}
+	indeg := make([]int32, n)
+	var m int64
+	for u := range out {
+		for _, e := range out[u] {
+			indeg[e.Peer]++
+			m++
+		}
+	}
+	for v := range g.in {
+		if indeg[v] > 0 {
+			g.in[v] = make([]Edge, 0, indeg[v])
+		}
+	}
+	for u := range out {
+		for _, e := range out[u] {
+			g.in[e.Peer] = append(g.in[e.Peer], Edge{Peer: VertexID(u), Weight: e.Weight})
+		}
+	}
+	g.m = m
+	return g
+}
+
+// ReplaceAdjacency overwrites u's out- and in-lists verbatim, taking
+// ownership of the slices. This is the delta-checkpoint restore primitive:
+// both lists are replaced in their recorded order (out-list order is
+// semantically load-bearing for scatter accumulation), and the caller is
+// responsible for restoring every vertex whose adjacency changed plus the
+// global edge count via SetNumEdges.
+func (g *Graph) ReplaceAdjacency(u VertexID, out, in []Edge) error {
+	if err := g.checkVertex(u); err != nil {
+		return fmt.Errorf("replace adjacency %d: %w", u, err)
+	}
+	g.out[u] = out
+	g.in[u] = in
+	return nil
+}
+
+// SetNumEdges overwrites the live edge count; paired with ReplaceAdjacency
+// during delta-checkpoint restore.
+func (g *Graph) SetNumEdges(m int64) { g.m = m }
+
 // AvgInDegree returns the mean in-degree m/n, the density statistic the
 // paper uses to characterise datasets (Table 3).
 func (g *Graph) AvgInDegree() float64 {

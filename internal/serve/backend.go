@@ -115,3 +115,30 @@ func (b *engineBackend) ValidateBatch(batch []engine.Update) error {
 // SaveCheckpoint serializes the engine's full state (topology,
 // embeddings, aggregates, tombstones) via the engine checkpoint format.
 func (b *engineBackend) SaveCheckpoint(w io.Writer) error { return b.eng.Save(w) }
+
+// deltaBackend is the optional Backend face for incremental delta
+// checkpoints: a backend that can track which rows changed since a
+// baseline and serialize just those. Backends without it (the cluster
+// backend, whose checkpoint is the leader's barrier manifest) silently get
+// full checkpoints at every interval — the durable layer degrades rather
+// than requiring the face.
+type deltaBackend interface {
+	// EnableDeltaTracking starts dirty-row accounting; called once at Open
+	// when Config.FullCheckpointEvery enables delta chains.
+	EnableDeltaTracking()
+	// SaveDeltaCheckpoint serializes every row changed since the last
+	// ResetDeltaBaseline; applying it onto that baseline state reproduces
+	// the current state bit-identically.
+	SaveDeltaCheckpoint(w io.Writer) error
+	// LoadDeltaCheckpoint applies a saved delta onto the current state
+	// (the recovery path walks the delta chain with this).
+	LoadDeltaCheckpoint(r io.Reader) error
+	// ResetDeltaBaseline marks the current state as the new baseline;
+	// called after any checkpoint (full or delta) becomes durable.
+	ResetDeltaBaseline()
+}
+
+func (b *engineBackend) EnableDeltaTracking()                 { b.eng.EnableDirtyTracking() }
+func (b *engineBackend) SaveDeltaCheckpoint(w io.Writer) error { return b.eng.SaveDelta(w) }
+func (b *engineBackend) LoadDeltaCheckpoint(r io.Reader) error { return b.eng.ApplyDelta(r) }
+func (b *engineBackend) ResetDeltaBaseline()                   { b.eng.ResetDirty() }

@@ -75,6 +75,57 @@ func listCheckpoints(dir string) []uint64 {
 	return wal.ListEpochFiles(dir, "ckpt-", ckptSuffix)
 }
 
+// Delta checkpoints (see Config.FullCheckpointEvery) get their own
+// envelope: a distinct magic, and a base epoch naming the checkpoint the
+// delta chains onto — recovery refuses a delta whose base is not the
+// state it just rebuilt. The suffix differs from ckptSuffix so the
+// full-checkpoint listing never sees them.
+const deltaCkptMagic = "RIPPLSDC"
+const deltaCkptVersion = 1
+const deltaCkptSuffix = ".delta"
+
+func deltaCheckpointPath(dir string, epoch uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%016x%s", epoch, deltaCkptSuffix))
+}
+
+// listDeltaCheckpoints returns the epoch of every delta checkpoint file
+// in dir, newest first.
+func listDeltaCheckpoints(dir string) []uint64 {
+	return wal.ListEpochFiles(dir, "ckpt-", deltaCkptSuffix)
+}
+
+func writeDeltaCheckpointHeader(w io.Writer, epoch, base uint64) error {
+	var hdr [28]byte
+	copy(hdr[:], deltaCkptMagic)
+	putU32 := func(off int, v uint32) {
+		hdr[off], hdr[off+1], hdr[off+2], hdr[off+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	putU32(8, deltaCkptVersion)
+	putU32(12, uint32(epoch))
+	putU32(16, uint32(epoch>>32))
+	putU32(20, uint32(base))
+	putU32(24, uint32(base>>32))
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+func readDeltaCheckpointHeader(r io.Reader) (epoch, base uint64, err error) {
+	var hdr [28]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, fmt.Errorf("%w: truncated delta header: %v", ErrBadCheckpointFile, err)
+	}
+	if string(hdr[:8]) != deltaCkptMagic {
+		return 0, 0, fmt.Errorf("%w: bad delta magic", ErrBadCheckpointFile)
+	}
+	u32 := func(off int) uint64 {
+		return uint64(hdr[off]) | uint64(hdr[off+1])<<8 | uint64(hdr[off+2])<<16 | uint64(hdr[off+3])<<24
+	}
+	if v := u32(8); v != deltaCkptVersion {
+		return 0, 0, fmt.Errorf("%w: delta version %d, want %d", ErrBadCheckpointFile, v, deltaCkptVersion)
+	}
+	return u32(12) | u32(16)<<32, u32(20) | u32(24)<<32, nil
+}
+
 // writeCheckpointHeader / readCheckpointHeader frame the backend payload.
 func writeCheckpointHeader(w io.Writer, epoch uint64) error {
 	var hdr [20]byte
@@ -150,6 +201,60 @@ func loadNewestCheckpoint(dir string, load func(io.Reader) (Backend, error)) (ui
 	return 0, backend, false, nil
 }
 
+// applyDeltaChain applies the delta checkpoints chained onto the full
+// checkpoint at base, in epoch order. The chain is advisory: it exists
+// only to make recovery cheap (bulk row restore instead of GNN
+// re-propagation), so any break — a gap in base continuity, a truncated
+// or corrupt file — just ends the walk there, and the WAL tail (which is
+// only truncated at full checkpoints, so it reaches back to base) covers
+// the rest through replay. The backend validates a delta completely
+// before mutating state, so a rejected delta leaves the rebuilt state
+// untouched. Unusable files and everything chained past them are deleted
+// so the next recovery skips them. Returns the chain-end epoch and the
+// number of deltas applied.
+func applyDeltaChain(dir string, db deltaBackend, base uint64) (uint64, int) {
+	epochs := listDeltaCheckpoints(dir) // newest first
+	for i, j := 0, len(epochs)-1; i < j; i, j = i+1, j-1 {
+		epochs[i], epochs[j] = epochs[j], epochs[i]
+	}
+	prev, applied := base, 0
+	for i, epoch := range epochs {
+		if epoch <= base {
+			// Predates the full checkpoint we loaded — dead weight.
+			os.Remove(deltaCheckpointPath(dir, epoch))
+			continue
+		}
+		err := func() error {
+			f, err := os.Open(deltaCheckpointPath(dir, epoch))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			hdrEpoch, hdrBase, err := readDeltaCheckpointHeader(f)
+			if err != nil {
+				return err
+			}
+			if hdrEpoch != epoch {
+				return fmt.Errorf("%w: file named for epoch %d holds epoch %d", ErrBadCheckpointFile, epoch, hdrEpoch)
+			}
+			if hdrBase != prev {
+				return fmt.Errorf("%w: delta for epoch %d chains onto epoch %d, want %d", ErrBadCheckpointFile, epoch, hdrBase, prev)
+			}
+			return db.LoadDeltaCheckpoint(f)
+		}()
+		if err != nil {
+			// This delta and everything chained past it are unusable (their
+			// baselines are unreachable). Remove them; replay covers the gap.
+			for _, dead := range epochs[i:] {
+				os.Remove(deltaCheckpointPath(dir, dead))
+			}
+			break
+		}
+		prev, applied = epoch, applied+1
+	}
+	return prev, applied
+}
+
 // Open builds a durable Server under cfg.DataDir: it loads the newest
 // valid checkpoint (handing its payload to load; load(nil) must return
 // the backend in bootstrap state), replays the WAL tail through the
@@ -171,6 +276,14 @@ func Open(load func(ckpt io.Reader) (Backend, error), cfg Config) (*Server, erro
 	}
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: creating data dir: %w", err)
+	}
+	// Progress is observable from the first disk touch: the "recovering"
+	// window a health endpoint reports covers checkpoint load and the
+	// delta chain, not just WAL replay.
+	progress := cfg.Recovery
+	if progress != nil {
+		progress.begin()
+		defer progress.end()
 	}
 	// A crash mid-checkpoint can strand a temp file; it holds nothing the
 	// envelope protocol admits, so clear it.
@@ -197,6 +310,14 @@ func Open(load func(ckpt io.Reader) (Backend, error), cfg Config) (*Server, erro
 		closeBackend()
 		return nil, errors.New("serve: backend cannot checkpoint; durability requires SaveCheckpoint")
 	}
+	// Walk the delta chain on top of the full checkpoint. Backends without
+	// the delta face never wrote deltas, so skipping them is exact; with no
+	// full checkpoint any delta file is an orphan the chain walk would
+	// refuse anyway.
+	deltasApplied := 0
+	if db, ok := backend.(deltaBackend); ok && hasCkpt {
+		epoch, deltasApplied = applyDeltaChain(cfg.DataDir, db, epoch)
+	}
 	s, err := newServer(backend, cfg, epoch)
 	if err != nil {
 		closeBackend()
@@ -204,6 +325,20 @@ func Open(load func(ckpt io.Reader) (Backend, error), cfg Config) (*Server, erro
 	}
 	s.hasCkpt.Store(hasCkpt)
 	s.lastCkpt.Store(epoch)
+	s.lastCkptDelta.Store(deltasApplied > 0)
+	s.progress = progress
+	if db, ok := backend.(deltaBackend); ok && cfg.FullCheckpointEvery > 1 {
+		s.deltaCap = true
+		// Enabled before WAL replay so replayed batches mark dirty rows —
+		// the first delta after recovery must capture them.
+		db.EnableDeltaTracking()
+		if hasCkpt {
+			// Continue the every-Nth-full cadence where the recovered chain
+			// left off: the full counted as one checkpoint, each delta as
+			// one more.
+			s.ckptSeq.Store(int64(deltasApplied) + 1)
+		}
+	}
 
 	w, err := wal.Open(filepath.Join(cfg.DataDir, "wal"), wal.Config{
 		SegmentBytes: cfg.SegmentBytes,
@@ -213,11 +348,16 @@ func Open(load func(ckpt io.Reader) (Backend, error), cfg Config) (*Server, erro
 		s.Close()
 		return nil, err
 	}
-	// Replay the tail: every admitted batch after the checkpoint, in
+	// Replay the tail: every admitted batch after the checkpoint chain, in
 	// epoch order, through the normal apply path. s.wal is still nil, so
-	// replayed batches are not re-appended.
+	// replayed batches are not re-appended. The serial baseline replays
+	// read-decode-apply in sequence; the default path pipelines the stages.
 	s.recovering.Store(true)
-	err = w.Replay(epoch, s.replayRecord)
+	if s.serial {
+		err = w.Replay(epoch, s.replayRecord)
+	} else {
+		err = s.replayPipelined(w, epoch)
+	}
 	s.recovering.Store(false)
 	if err != nil {
 		w.Close()
@@ -250,7 +390,73 @@ func (s *Server) replayRecord(epoch uint64, payload []byte) error {
 		return fmt.Errorf("serve: wal replay desync: record for epoch %d published epoch %d", epoch, got)
 	}
 	s.recovered.Add(1)
+	if s.progress != nil {
+		s.progress.note()
+	}
 	return nil
+}
+
+// replayReadAhead bounds the pipelined replay channels: how far the
+// reader and decoder stages may run ahead of the applier.
+const replayReadAhead = 64
+
+// decodedRecord is one WAL record after the decode stage.
+type decodedRecord struct {
+	epoch uint64
+	batch []engine.Update
+	err   error
+}
+
+// replayPipelined replays the WAL tail as a three-stage pipeline: the
+// WAL's reader goroutine streams raw records ahead (segment reads and
+// CRC checks overlap with apply), a decode goroutine turns payloads into
+// update batches, and this goroutine applies them in strict epoch order
+// through the same checks replayRecord performs. Restart time becomes
+// bounded by apply cost alone instead of read+decode+apply in sequence,
+// and the bounded channels keep memory O(replayReadAhead) regardless of
+// WAL size.
+func (s *Server) replayPipelined(w *wal.Log, after uint64) error {
+	records, stop, werr := w.StreamReplay(after, replayReadAhead)
+	defer stop()
+	done := make(chan struct{})
+	defer close(done) // unblocks the decoder if apply fails mid-stream
+	decoded := make(chan decodedRecord, replayReadAhead)
+	go func() {
+		defer close(decoded)
+		for rec := range records {
+			batch, err := cluster.DecodeUpdates(rec.Payload)
+			if err != nil {
+				err = fmt.Errorf("serve: wal record for epoch %d: %w", rec.Epoch, err)
+			}
+			select {
+			case decoded <- decodedRecord{epoch: rec.Epoch, batch: batch, err: err}:
+			case <-done:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	for d := range decoded {
+		if d.err != nil {
+			return d.err
+		}
+		if _, err := s.applyOne(d.batch); err != nil {
+			return fmt.Errorf("serve: replaying wal record for epoch %d: %w", d.epoch, err)
+		}
+		if got := s.pub.Current().epoch; got != d.epoch {
+			return fmt.Errorf("serve: wal replay desync: record for epoch %d published epoch %d", d.epoch, got)
+		}
+		s.recovered.Add(1)
+		if s.progress != nil {
+			s.progress.note()
+		}
+	}
+	// The applier drained everything the reader produced; surface a
+	// read-side failure (torn mid-log record, I/O error) if one ended the
+	// stream early.
+	return werr()
 }
 
 // CheckpointStats describes a completed checkpoint: the epoch it cut,
@@ -260,6 +466,58 @@ type CheckpointStats struct {
 	Bytes       int64  `json:"bytes"`
 	WALBytes    int64  `json:"wal_bytes"`
 	WALSegments int    `json:"wal_segments"`
+	// Delta marks an incremental checkpoint (see
+	// Config.FullCheckpointEvery); BaseEpoch is the checkpoint it chains
+	// onto. Both are zero for full checkpoints.
+	Delta     bool   `json:"delta,omitempty"`
+	BaseEpoch uint64 `json:"base_epoch,omitempty"`
+}
+
+// wantDelta decides the next checkpoint's kind: an incremental delta
+// when chains are enabled and capable, unless this is Close's final
+// checkpoint (a restart after graceful shutdown should load one file), a
+// write failure latched forceFull (the baseline already advanced past
+// rows only a full can now cover), no full exists yet, or the
+// every-Nth-full cadence lands here.
+func (s *Server) wantDelta(final bool) bool {
+	if final || !s.deltaCap || s.forceFull.Load() || !s.hasCkpt.Load() {
+		return false
+	}
+	return s.ckptSeq.Load()%int64(s.cfg.FullCheckpointEvery) != 0
+}
+
+// finishCheckpoint records a durably written checkpoint file: the
+// cadence counter, per-kind stats, and the newest-checkpoint identity
+// that delta bases and the epoch-dedup fast path read.
+func (s *Server) finishCheckpoint(epoch uint64, delta bool, size int64) {
+	s.ckptSeq.Add(1)
+	if delta {
+		s.deltaCkpts.Add(1)
+		s.lastDeltaB.Store(size)
+	} else {
+		s.forceFull.Store(false)
+		s.fullCkpts.Add(1)
+		s.lastFullB.Store(size)
+		s.hasCkpt.Store(true)
+	}
+	s.lastCkptDelta.Store(delta)
+	s.lastCkpt.Store(epoch)
+}
+
+// pruneCheckpoints removes every checkpoint file the full checkpoint at
+// epoch supersedes: all deltas (checkpoints are single-flight and epochs
+// increase, so every delta on disk chains to states at or before this
+// full) and every other full. Running only after a full cut means a
+// delta is never stranded without its base.
+func (s *Server) pruneCheckpoints(epoch uint64) {
+	for _, old := range listDeltaCheckpoints(s.cfg.DataDir) {
+		os.Remove(deltaCheckpointPath(s.cfg.DataDir, old))
+	}
+	for _, old := range listCheckpoints(s.cfg.DataDir) {
+		if old != epoch {
+			os.Remove(checkpointPath(s.cfg.DataDir, old))
+		}
+	}
 }
 
 // Checkpoint serializes the backend's state at the current epoch,
@@ -274,7 +532,7 @@ func (s *Server) Checkpoint() (CheckpointStats, error) {
 	if s.serial {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return s.checkpointLocked()
+		return s.checkpointLocked(false)
 	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
@@ -303,21 +561,42 @@ func (s *Server) doCheckpoint(final bool) (CheckpointStats, error) {
 		return CheckpointStats{}, ErrClosed
 	}
 	epoch := s.pub.Current().epoch
-	path := checkpointPath(s.cfg.DataDir, epoch)
 	if epoch == s.lastCkpt.Load() && s.hasCkpt.Load() {
 		st := s.wal.Stats()
+		wasDelta := s.lastCkptDelta.Load()
 		s.mu.Unlock()
+		path := checkpointPath(s.cfg.DataDir, epoch)
+		if wasDelta {
+			path = deltaCheckpointPath(s.cfg.DataDir, epoch)
+		}
 		info, err := os.Stat(path)
 		if err != nil {
 			return CheckpointStats{}, err
 		}
-		return CheckpointStats{Epoch: epoch, Bytes: info.Size(), WALBytes: st.Bytes, WALSegments: st.Segments}, nil
+		return CheckpointStats{Epoch: epoch, Delta: wasDelta, Bytes: info.Size(), WALBytes: st.Bytes, WALSegments: st.Segments}, nil
+	}
+	delta := s.wantDelta(final)
+	base := s.lastCkpt.Load()
+	path := checkpointPath(s.cfg.DataDir, epoch)
+	if delta {
+		path = deltaCheckpointPath(s.cfg.DataDir, epoch)
 	}
 	start := time.Now()
 	var buf bytes.Buffer
-	err := writeCheckpointHeader(&buf, epoch)
-	if err == nil {
-		err = s.backend.(durableBackend).SaveCheckpoint(&buf) // interface checked at Open
+	var err error
+	if delta {
+		if err = writeDeltaCheckpointHeader(&buf, epoch, base); err == nil {
+			err = s.backend.(deltaBackend).SaveDeltaCheckpoint(&buf) // deltaCap checked the face at Open
+		}
+	} else {
+		if err = writeCheckpointHeader(&buf, epoch); err == nil {
+			err = s.backend.(durableBackend).SaveCheckpoint(&buf) // interface checked at Open
+		}
+	}
+	if err == nil && s.deltaCap {
+		// Either kind captured every row dirtied since the old baseline;
+		// rows dirtied after this instant belong to the next delta.
+		s.backend.(deltaBackend).ResetDeltaBaseline()
 	}
 	s.ckptStall.Add(time.Since(start).Nanoseconds())
 	s.mu.Unlock()
@@ -326,23 +605,29 @@ func (s *Server) doCheckpoint(final bool) (CheckpointStats, error) {
 	}
 
 	if err := s.writeCkpt(path, buf.Bytes()); err != nil {
+		// The baseline already advanced past the rows this file carried;
+		// only a full checkpoint can cover them now.
+		s.forceFull.Store(s.deltaCap)
 		return CheckpointStats{}, fmt.Errorf("serve: writing checkpoint: %w", err)
 	}
-	// The checkpoint is durable; everything it covers is dead weight. The
-	// WAL's own lock orders this against concurrent admissions appending.
-	if err := s.wal.MarkCheckpoint(epoch); err != nil {
-		return CheckpointStats{}, err
-	}
-	for _, old := range listCheckpoints(s.cfg.DataDir) {
-		if old != epoch {
-			os.Remove(checkpointPath(s.cfg.DataDir, old))
+	s.finishCheckpoint(epoch, delta, int64(buf.Len()))
+	if !delta {
+		// The full checkpoint is durable; everything it covers is dead
+		// weight. The WAL's own lock orders this against concurrent
+		// admissions appending. Deltas deliberately do NOT truncate: the
+		// WAL tail back to the last full checkpoint is the fallback if a
+		// delta file is lost or corrupted.
+		if err := s.wal.MarkCheckpoint(epoch); err != nil {
+			return CheckpointStats{}, err
 		}
+		s.pruneCheckpoints(epoch)
 	}
-	s.hasCkpt.Store(true)
-	s.lastCkpt.Store(epoch)
 
 	st := s.wal.Stats()
-	out := CheckpointStats{Epoch: epoch, WALBytes: st.Bytes, WALSegments: st.Segments}
+	out := CheckpointStats{Epoch: epoch, Delta: delta, WALBytes: st.Bytes, WALSegments: st.Segments}
+	if delta {
+		out.BaseEpoch = base
+	}
 	if info, err := os.Stat(path); err == nil {
 		out.Bytes = info.Size()
 	}
@@ -351,7 +636,7 @@ func (s *Server) doCheckpoint(final bool) (CheckpointStats, error) {
 
 // checkpointLocked is the serial baseline's checkpoint: everything —
 // encode, file write, fsync, WAL truncation — under the caller's mu hold.
-func (s *Server) checkpointLocked() (CheckpointStats, error) {
+func (s *Server) checkpointLocked(final bool) (CheckpointStats, error) {
 	s.sinceCkpt = 0
 	if s.wal == nil {
 		return CheckpointStats{}, errors.New("serve: server is not durable (no data dir)")
@@ -360,45 +645,75 @@ func (s *Server) checkpointLocked() (CheckpointStats, error) {
 		return CheckpointStats{}, ErrBackendFailed
 	}
 	epoch := s.pub.Current().epoch
-	path := checkpointPath(s.cfg.DataDir, epoch)
 	if epoch == s.lastCkpt.Load() && s.hasCkpt.Load() {
 		st := s.wal.Stats()
+		path := checkpointPath(s.cfg.DataDir, epoch)
+		wasDelta := s.lastCkptDelta.Load()
+		if wasDelta {
+			path = deltaCheckpointPath(s.cfg.DataDir, epoch)
+		}
 		info, err := os.Stat(path)
 		if err != nil {
 			return CheckpointStats{}, err
 		}
-		return CheckpointStats{Epoch: epoch, Bytes: info.Size(), WALBytes: st.Bytes, WALSegments: st.Segments}, nil
+		return CheckpointStats{Epoch: epoch, Delta: wasDelta, Bytes: info.Size(), WALBytes: st.Bytes, WALSegments: st.Segments}, nil
 	}
 
+	delta := s.wantDelta(final)
+	base := s.lastCkpt.Load()
+	path := checkpointPath(s.cfg.DataDir, epoch)
+	if delta {
+		path = deltaCheckpointPath(s.cfg.DataDir, epoch)
+	}
 	start := time.Now()
-	db := s.backend.(durableBackend) // interface checked at Open
-	err := wal.WriteFileAtomic(path, func(w io.Writer) error {
-		if err := writeCheckpointHeader(w, epoch); err != nil {
-			return err
-		}
-		return db.SaveCheckpoint(w)
-	})
+	var err error
+	if delta {
+		db := s.backend.(deltaBackend) // deltaCap checked the face at Open
+		err = wal.WriteFileAtomic(path, func(w io.Writer) error {
+			if err := writeDeltaCheckpointHeader(w, epoch, base); err != nil {
+				return err
+			}
+			return db.SaveDeltaCheckpoint(w)
+		})
+	} else {
+		db := s.backend.(durableBackend) // interface checked at Open
+		err = wal.WriteFileAtomic(path, func(w io.Writer) error {
+			if err := writeCheckpointHeader(w, epoch); err != nil {
+				return err
+			}
+			return db.SaveCheckpoint(w)
+		})
+	}
 	s.ckptStall.Add(time.Since(start).Nanoseconds())
 	if err != nil {
+		// The streaming write may have consumed dirty-row state before
+		// failing; conservatively demand a full next time.
+		s.forceFull.Store(s.deltaCap)
 		return CheckpointStats{}, fmt.Errorf("serve: writing checkpoint: %w", err)
 	}
+	if s.deltaCap {
+		s.backend.(deltaBackend).ResetDeltaBaseline()
+	}
 
-	// The checkpoint is durable; everything it covers is dead weight.
-	if err := s.wal.MarkCheckpoint(epoch); err != nil {
-		return CheckpointStats{}, err
+	var size int64
+	if info, err := os.Stat(path); err == nil {
+		size = info.Size()
 	}
-	for _, old := range listCheckpoints(s.cfg.DataDir) {
-		if old != epoch {
-			os.Remove(checkpointPath(s.cfg.DataDir, old))
+	s.finishCheckpoint(epoch, delta, size)
+	if !delta {
+		// The full checkpoint is durable; everything it covers is dead
+		// weight. Deltas do not truncate the WAL (the tail is their
+		// fallback).
+		if err := s.wal.MarkCheckpoint(epoch); err != nil {
+			return CheckpointStats{}, err
 		}
+		s.pruneCheckpoints(epoch)
 	}
-	s.hasCkpt.Store(true)
-	s.lastCkpt.Store(epoch)
 
 	st := s.wal.Stats()
-	out := CheckpointStats{Epoch: epoch, WALBytes: st.Bytes, WALSegments: st.Segments}
-	if info, err := os.Stat(path); err == nil {
-		out.Bytes = info.Size()
+	out := CheckpointStats{Epoch: epoch, Delta: delta, Bytes: size, WALBytes: st.Bytes, WALSegments: st.Segments}
+	if delta {
+		out.BaseEpoch = base
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -575,6 +576,331 @@ func TestNewBackendRejectsDataDir(t *testing.T) {
 	}
 	if _, err := NewBackend(b, Config{DataDir: t.TempDir()}); err == nil {
 		t.Fatal("NewBackend accepted a DataDir")
+	}
+}
+
+// --- incremental delta chains (Config.FullCheckpointEvery) ---
+
+// deltaChainImage builds the canonical delta-chain crash image: 12
+// batches with a manual checkpoint after every 2, FullCheckpointEvery=3,
+// so the cadence cuts full@2, delta@4, delta@6, full@8, delta@10 and the
+// crash (no Close) leaves full@8 + delta@10 on disk with a WAL tail
+// holding epochs 9..12. Returns the image dir, the reference snapshot
+// and per-epoch trigger history of an uninterrupted run.
+func deltaChainImage(t *testing.T, w *durWorld, loader func(io.Reader) (Backend, error)) (string, *Snapshot, [][]engine.LabelChange) {
+	t.Helper()
+	if len(w.batches) != 12 {
+		t.Fatalf("deltaChainImage wants 12 batches, got %d", len(w.batches))
+	}
+	refBackend, err := loader(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refFlips flipCollector
+	refSrv, err := NewBackend(refBackend, Config{OnBatch: refFlips.observe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(refSrv.Close)
+	for i, b := range w.batches {
+		if _, err := refSrv.Apply(b); err != nil {
+			t.Fatalf("reference batch %d: %v", i, err)
+		}
+	}
+
+	dir := t.TempDir()
+	dsrv, err := Open(loader, Config{DataDir: dir, FullCheckpointEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDeltaAt := map[int]bool{2: false, 4: true, 6: true, 8: false, 10: true}
+	for i, b := range w.batches {
+		if _, err := dsrv.Apply(b); err != nil {
+			t.Fatalf("durable batch %d: %v", i, err)
+		}
+		epoch := i + 1
+		if epoch%2 != 0 || epoch >= len(w.batches) {
+			continue
+		}
+		st, err := dsrv.Checkpoint()
+		if err != nil {
+			t.Fatalf("checkpoint at epoch %d: %v", epoch, err)
+		}
+		if st.Delta != wantDeltaAt[epoch] {
+			t.Fatalf("checkpoint at epoch %d: delta=%v, cadence wants %v", epoch, st.Delta, wantDeltaAt[epoch])
+		}
+		if st.Delta && st.BaseEpoch != uint64(epoch-2) {
+			t.Fatalf("delta at epoch %d chains onto %d, want %d", epoch, st.BaseEpoch, epoch-2)
+		}
+		if !st.Delta && st.WALBytes != 0 {
+			t.Fatalf("full checkpoint at epoch %d left %d WAL bytes", epoch, st.WALBytes)
+		}
+		if st.Delta && st.WALBytes == 0 {
+			t.Fatalf("delta checkpoint at epoch %d truncated the WAL — its fallback is gone", epoch)
+		}
+		// Pruning safety, observed live: after a full cut no delta may
+		// survive (a surviving one would chain onto a pruned base), and
+		// exactly one full remains.
+		if !st.Delta {
+			if d, _ := filepath.Glob(filepath.Join(dir, "ckpt-*"+deltaCkptSuffix)); len(d) != 0 {
+				t.Fatalf("full checkpoint at epoch %d left deltas behind: %v", epoch, d)
+			}
+			if f, _ := filepath.Glob(filepath.Join(dir, "ckpt-*"+ckptSuffix)); len(f) != 1 {
+				t.Fatalf("full checkpoint at epoch %d left %d fulls", epoch, len(f))
+			}
+		}
+	}
+	st := dsrv.Stats()
+	if st.FullCheckpoints != 2 || st.DeltaCheckpoints != 3 {
+		t.Fatalf("checkpoint accounting: %d full / %d delta, want 2/3", st.FullCheckpoints, st.DeltaCheckpoints)
+	}
+	image := t.TempDir()
+	copyDir(t, dir, image)
+	dsrv.Close()
+
+	if f, _ := filepath.Glob(filepath.Join(image, "ckpt-*"+ckptSuffix)); len(f) != 1 {
+		t.Fatalf("crash image holds %d full checkpoints, want 1 (epoch 8)", len(f))
+	}
+	if d, _ := filepath.Glob(filepath.Join(image, "ckpt-*"+deltaCkptSuffix)); len(d) != 1 {
+		t.Fatalf("crash image holds %d deltas, want 1 (epoch 10)", len(d))
+	}
+	return image, refSrv.Snapshot(), refFlips.perEpoch
+}
+
+// recoverAndVerify opens a copy-free image dir, asserts the recovered
+// epoch starts at chainEnd, replays the rest of the stream and demands
+// bit identity with the reference, trigger history included.
+func recoverAndVerify(t *testing.T, w *durWorld, loader func(io.Reader) (Backend, error), dir string, chainEnd int, refSnap *Snapshot, refFlips [][]engine.LabelChange, ctx string) {
+	t.Helper()
+	M := len(w.batches)
+	var flips flipCollector
+	rsrv, err := Open(loader, Config{DataDir: dir, FullCheckpointEvery: 3, OnBatch: flips.observe})
+	if err != nil {
+		t.Fatalf("%s: recovery failed: %v", ctx, err)
+	}
+	defer rsrv.Close()
+	e := int(rsrv.Snapshot().Epoch())
+	if e < chainEnd || e > M {
+		t.Fatalf("%s: recovered to epoch %d outside [%d,%d]", ctx, e, chainEnd, M)
+	}
+	if st := rsrv.Stats(); st.RecoveredBatches != int64(e-chainEnd) {
+		t.Fatalf("%s: stats report %d recovered batches; epoch %d from chain end %d says %d",
+			ctx, st.RecoveredBatches, e, chainEnd, e-chainEnd)
+	}
+	for i, b := range w.batches[e:] {
+		if _, err := rsrv.Apply(b); err != nil {
+			t.Fatalf("%s: re-applying batch %d: %v", ctx, e+i, err)
+		}
+	}
+	assertBitIdentical(t, rsrv.Snapshot(), refSnap, ctx)
+	if !sameFlips(flips.perEpoch, refFlips[chainEnd:]) {
+		t.Fatalf("%s: trigger history diverges from reference", ctx)
+	}
+}
+
+// TestCrashEquivalenceDeltaChain: crash equivalence over full+delta
+// chains. With the chain intact, recovery = full@8 + delta@10 + WAL
+// tail; for every WAL truncation point the result must be bit-identical
+// to the uninterrupted reference.
+func TestCrashEquivalenceDeltaChain(t *testing.T) {
+	w := newDurWorld(t, 60, 240, 12, 5, 151)
+	loader := w.engineLoader()
+	image, refSnap, refFlips := deltaChainImage(t, w, loader)
+
+	segs, err := filepath.Glob(filepath.Join(image, "wal", "*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("crash image WAL segments: %v (%v)", segs, err)
+	}
+	// Cut the newest segment (the one holding the tail records).
+	seg := segs[len(segs)-1]
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := []int{len(full), len(full) - 1, len(full) / 2, 0}
+	for _, cut := range cuts {
+		cdir := t.TempDir()
+		copyDir(t, image, cdir)
+		if err := os.Truncate(filepath.Join(cdir, "wal", filepath.Base(seg)), int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		// Chain end is epoch 10 (full@8 + delta@10) regardless of the WAL
+		// cut: deltas don't depend on WAL bytes.
+		recoverAndVerify(t, w, loader, cdir, 10, refSnap, refFlips, fmt.Sprintf("wal cut %d/%d", cut, len(full)))
+	}
+}
+
+// TestDeltaTruncationFallsBackToReplay: arbitrary truncation or
+// corruption of the delta file must not lose history — recovery drops
+// the unusable delta, falls back to the full checkpoint, and the WAL
+// tail (never truncated at delta epochs) covers the difference. The
+// dropped file is also deleted so later recoveries skip it.
+func TestDeltaTruncationFallsBackToReplay(t *testing.T) {
+	w := newDurWorld(t, 60, 240, 12, 5, 157)
+	loader := w.engineLoader()
+	image, refSnap, refFlips := deltaChainImage(t, w, loader)
+
+	deltas, err := filepath.Glob(filepath.Join(image, "ckpt-*"+deltaCkptSuffix))
+	if err != nil || len(deltas) != 1 {
+		t.Fatalf("delta files: %v (%v)", deltas, err)
+	}
+	raw, err := os.ReadFile(deltas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Base(deltas[0])
+
+	corrupt := func(dir string, mutate func(path string)) string {
+		cdir := t.TempDir()
+		copyDir(t, dir, cdir)
+		mutate(filepath.Join(cdir, name))
+		return cdir
+	}
+	cases := []struct {
+		ctx    string
+		mutate func(path string)
+	}{
+		{"delta truncated to 0", func(p string) { os.Truncate(p, 0) }},
+		{"delta header-only", func(p string) { os.Truncate(p, 20) }},
+		{"delta half", func(p string) { os.Truncate(p, int64(len(raw)/2)) }},
+		{"delta one-byte tear", func(p string) { os.Truncate(p, int64(len(raw)-1)) }},
+		{"delta payload bit-flip", func(p string) {
+			b := append([]byte(nil), raw...)
+			b[len(b)-5] ^= 0x20
+			os.WriteFile(p, b, 0o644)
+		}},
+		{"delta missing", func(p string) { os.Remove(p) }},
+	}
+	for _, tc := range cases {
+		cdir := corrupt(image, tc.mutate)
+		// Chain end falls back to the full checkpoint at epoch 8; the WAL
+		// holds 9..12, so recovery still reaches epoch 12.
+		recoverAndVerify(t, w, loader, cdir, 8, refSnap, refFlips, tc.ctx)
+		if left, _ := filepath.Glob(filepath.Join(cdir, "ckpt-*"+deltaCkptSuffix)); len(left) != 0 {
+			t.Fatalf("%s: unusable delta not deleted: %v", tc.ctx, left)
+		}
+	}
+}
+
+// TestDeltaChainSerialBaseline: the serial write path (PipelineDepth<0)
+// cuts the same chains through checkpointLocked; a graceful Close always
+// ends on a full checkpoint so the restart replays nothing.
+func TestDeltaChainSerialBaseline(t *testing.T) {
+	w := newDurWorld(t, 40, 160, 6, 4, 163)
+	dir := t.TempDir()
+	srv, err := Open(w.engineLoader(), Config{DataDir: dir, FullCheckpointEvery: 2, PipelineDepth: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDelta := []bool{false, true, false} // cadence: full, delta, full
+	for i, b := range w.batches {
+		if _, err := srv.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%2 == 0 && (i+1)/2 <= len(wantDelta) {
+			st, err := srv.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Delta != wantDelta[(i+1)/2-1] {
+				t.Fatalf("serial checkpoint %d: delta=%v, want %v", (i+1)/2, st.Delta, wantDelta[(i+1)/2-1])
+			}
+		}
+	}
+	want := srv.Snapshot()
+	srv.Close() // final checkpoint must be full
+
+	srv2, err := Open(w.engineLoader(), Config{DataDir: dir, FullCheckpointEvery: 2, PipelineDepth: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if st := srv2.Stats(); st.RecoveredBatches != 0 {
+		t.Fatalf("graceful serial restart replayed %d batches — Close did not end on a full checkpoint", st.RecoveredBatches)
+	}
+	if d, _ := filepath.Glob(filepath.Join(dir, "ckpt-*"+deltaCkptSuffix)); len(d) != 0 {
+		t.Fatalf("graceful close left deltas: %v", d)
+	}
+	assertBitIdentical(t, srv2.Snapshot(), want, "serial delta-chain restart")
+}
+
+// TestClusterBackendFallsBackToFullCheckpoints: the cluster backend has
+// no delta face; FullCheckpointEvery must degrade to full checkpoints at
+// every interval, not fail or write bad files.
+func TestClusterBackendFallsBackToFullCheckpoints(t *testing.T) {
+	w := newDurWorld(t, 48, 200, 4, 4, 167)
+	dir := t.TempDir()
+	srv, err := Open(w.clusterLoader(3), Config{DataDir: dir, FullCheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range w.batches {
+		if _, err := srv.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%2 == 0 {
+			st, err := srv.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Delta {
+				t.Fatalf("cluster backend cut a delta at epoch %d", i+1)
+			}
+		}
+	}
+	if st := srv.Stats(); st.DeltaCheckpoints != 0 || st.FullCheckpoints != 2 {
+		t.Fatalf("cluster checkpoint accounting: %+v", st)
+	}
+	if d, _ := filepath.Glob(filepath.Join(dir, "ckpt-*"+deltaCkptSuffix)); len(d) != 0 {
+		t.Fatalf("cluster backend wrote delta files: %v", d)
+	}
+	want := srv.Snapshot()
+	srv.Close()
+	srv2, err := Open(w.clusterLoader(3), Config{DataDir: dir, FullCheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	assertBitIdentical(t, srv2.Snapshot(), want, "cluster full-fallback restart")
+}
+
+// TestRecoveryProgressReports: the progress gauge activates on Open
+// entry, counts every replayed batch, and deactivates with the final
+// totals readable.
+func TestRecoveryProgressReports(t *testing.T) {
+	w := newDurWorld(t, 40, 160, 6, 4, 173)
+	dir := t.TempDir()
+	srv, err := Open(w.engineLoader(), Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range w.batches {
+		if _, err := srv.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	image := t.TempDir()
+	copyDir(t, dir, image) // crash image: no checkpoint, full WAL
+	srv.Close()
+
+	var p RecoveryProgress
+	if snap := p.Snapshot(); snap.Started || snap.Active {
+		t.Fatalf("zero-value progress reports %+v", snap)
+	}
+	srv2, err := Open(w.engineLoader(), Config{DataDir: image, Recovery: &p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	snap := p.Snapshot()
+	if snap.Active {
+		t.Fatal("progress still active after Open returned")
+	}
+	if !snap.Started || snap.Batches != int64(len(w.batches)) {
+		t.Fatalf("final progress %+v, want %d batches", snap, len(w.batches))
+	}
+	if snap.Seconds <= 0 || snap.BatchesPerSec <= 0 {
+		t.Fatalf("final progress has no rate: %+v", snap)
 	}
 }
 

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// RecoveryProgress publishes live recovery state across an Open call.
+// Open runs to completion before returning a Server, so without this a
+// health endpoint has nothing to report during a long replay; with it,
+// the process can answer "recovering, N batches at R/s" from another
+// goroutine while Open is still walking the checkpoint chain and WAL.
+// All methods are safe for concurrent use; the zero value is inactive.
+type RecoveryProgress struct {
+	active  atomic.Bool
+	batches atomic.Int64
+	startNS atomic.Int64
+	doneNS  atomic.Int64
+}
+
+// begin resets the counters and marks recovery active. Called at the top
+// of Open so the active window covers checkpoint load and the delta
+// chain, not just WAL replay.
+func (p *RecoveryProgress) begin() {
+	p.batches.Store(0)
+	p.doneNS.Store(0)
+	p.startNS.Store(time.Now().UnixNano())
+	p.active.Store(true)
+}
+
+// note records one replayed batch.
+func (p *RecoveryProgress) note() { p.batches.Add(1) }
+
+// end marks recovery finished; the counters remain readable.
+func (p *RecoveryProgress) end() {
+	p.doneNS.Store(time.Now().UnixNano())
+	p.active.Store(false)
+}
+
+// RecoverySnapshot is a point-in-time view of recovery progress.
+type RecoverySnapshot struct {
+	// Active is true while Open is rebuilding state.
+	Active bool `json:"active"`
+	// Started is true once a recovery has ever begun in this process.
+	Started bool `json:"started"`
+	// Batches is the number of WAL batches replayed so far.
+	Batches int64 `json:"recovered_batches"`
+	// Seconds elapsed since recovery began (frozen once it ends).
+	Seconds float64 `json:"seconds"`
+	// BatchesPerSec is Batches/Seconds — the live replay rate.
+	BatchesPerSec float64 `json:"replay_rate"`
+}
+
+// Snapshot returns the current progress. Valid both mid-recovery and
+// after: once recovery ends the elapsed clock freezes, so the final
+// snapshot reports the whole-recovery replay rate.
+func (p *RecoveryProgress) Snapshot() RecoverySnapshot {
+	start := p.startNS.Load()
+	s := RecoverySnapshot{
+		Active:  p.active.Load(),
+		Started: start != 0,
+		Batches: p.batches.Load(),
+	}
+	if start == 0 {
+		return s
+	}
+	end := p.doneNS.Load()
+	if s.Active || end == 0 {
+		end = time.Now().UnixNano()
+	}
+	if sec := float64(end-start) / 1e9; sec > 0 {
+		s.Seconds = sec
+		s.BatchesPerSec = float64(s.Batches) / sec
+	}
+	return s
+}

@@ -75,6 +75,20 @@ type Config struct {
 	// after this many applied batches. 0 disables automatic checkpoints:
 	// only Checkpoint calls and the final checkpoint in Close cut the log.
 	CheckpointEvery int
+	// FullCheckpointEvery makes every Nth checkpoint a full-state write
+	// and the N-1 between them incremental deltas holding only the rows
+	// changed since the previous checkpoint — steady-state checkpoint
+	// bytes become O(changed rows) instead of O(|V|). Recovery loads the
+	// newest full checkpoint, applies the delta chain, then replays the
+	// WAL tail (which is only truncated at full checkpoints, so a lost
+	// delta falls back to replay). 0 or 1 keeps every checkpoint full.
+	// Requires a backend with delta support (the single-node engine);
+	// other backends silently cut full checkpoints at every interval.
+	FullCheckpointEvery int
+	// Recovery, when set, is updated live while Open rebuilds state —
+	// checkpoint load, delta chain, WAL tail replay — so a health endpoint
+	// can report recovery progress before Open returns the Server.
+	Recovery *RecoveryProgress
 	// SegmentBytes is the WAL's segment-rotation threshold (default 4 MiB).
 	SegmentBytes int64
 
@@ -164,6 +178,13 @@ type Stats struct {
 	WALFsyncs           uint64 `json:"wal_fsyncs"`
 	LastCheckpointEpoch uint64 `json:"last_checkpoint_epoch"`
 	RecoveredBatches    int64  `json:"recovered_batches"`
+	// Full/delta checkpoint accounting (see Config.FullCheckpointEvery):
+	// counts per kind plus the most recent file size of each, the measured
+	// steady-state bytes argument for incremental checkpoints.
+	FullCheckpoints          int64 `json:"full_checkpoints"`
+	DeltaCheckpoints         int64 `json:"delta_checkpoints"`
+	LastFullCheckpointBytes  int64 `json:"last_full_checkpoint_bytes"`
+	LastDeltaCheckpointBytes int64 `json:"last_delta_checkpoint_bytes"`
 	// Recovering is true while Open replays the WAL tail: the state is
 	// still behind the pre-crash epoch, so a health endpoint should report
 	// degraded until it clears.
@@ -279,6 +300,23 @@ type Server struct {
 	lastCkpt   atomic.Uint64
 	recovered  atomic.Int64
 	recovering atomic.Bool
+	progress   *RecoveryProgress // Config.Recovery; nil when unobserved
+
+	// Incremental-checkpoint state (see Config.FullCheckpointEvery).
+	// deltaCap is latched at Open: delta chains are configured AND the
+	// backend has the delta face. ckptSeq counts persisted checkpoints to
+	// drive the every-Nth-full cadence; forceFull latches after a write
+	// failure that already advanced the delta baseline (the missed rows
+	// must ride the next full); lastCkptDelta remembers the newest
+	// checkpoint file's kind.
+	deltaCap      bool
+	ckptSeq       atomic.Int64
+	forceFull     atomic.Bool
+	lastCkptDelta atomic.Bool
+	fullCkpts     atomic.Int64
+	deltaCkpts    atomic.Int64
+	lastFullB     atomic.Int64
+	lastDeltaB    atomic.Int64
 
 	// Checkpoint single-flight state: ckptMu serialises whole checkpoints
 	// (manual, automatic-background and Close's final one); ckptBusy
@@ -613,7 +651,7 @@ func (s *Server) applySerial(batch []engine.Update, quietReject bool) (engine.Ba
 		if s.sinceCkpt >= s.cfg.CheckpointEvery {
 			// Best effort: a failed automatic checkpoint leaves the WAL
 			// intact (recovery still works) and retries an interval later.
-			_, _ = s.checkpointLocked()
+			_, _ = s.checkpointLocked(false)
 		}
 	}
 	return res, nil
@@ -684,6 +722,11 @@ func (s *Server) Stats() Stats {
 		LastCheckpointEpoch: s.lastCkpt.Load(),
 		RecoveredBatches:    s.recovered.Load(),
 		Recovering:          s.recovering.Load(),
+
+		FullCheckpoints:          s.fullCkpts.Load(),
+		DeltaCheckpoints:         s.deltaCkpts.Load(),
+		LastFullCheckpointBytes:  s.lastFullB.Load(),
+		LastDeltaCheckpointBytes: s.lastDeltaB.Load(),
 
 		InFlight:          len(s.applyQ),
 		QueueWaitP50NS:    s.queueWaitH.quantile(0.50),
@@ -766,8 +809,10 @@ func (s *Server) Close() {
 			s.mu.Lock()
 			if !s.failed.Load() && (!s.hasCkpt.Load() || s.pub.Current().epoch > s.lastCkpt.Load()) {
 				// Best effort: a failed final checkpoint leaves the WAL as
-				// the durable truth and the next Open replays it.
-				_, _ = s.checkpointLocked()
+				// the durable truth and the next Open replays it. Always a
+				// full checkpoint: restart after graceful shutdown loads one
+				// file and replays nothing.
+				_, _ = s.checkpointLocked(true)
 			}
 			s.wal.Close()
 			s.mu.Unlock()

@@ -1,0 +1,159 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// collectStream drains StreamReplay into slices, copying payloads so
+// they may be compared after the stream ends.
+func collectStream(t *testing.T, l *Log, after uint64, depth int) ([]uint64, [][]byte, error) {
+	t.Helper()
+	records, stop, werr := l.StreamReplay(after, depth)
+	defer stop()
+	var epochs []uint64
+	var payloads [][]byte
+	for rec := range records {
+		epochs = append(epochs, rec.Epoch)
+		payloads = append(payloads, append([]byte(nil), rec.Payload...))
+	}
+	return epochs, payloads, werr()
+}
+
+// TestStreamReplayMatchesReplay: the streaming reader is a drop-in for
+// the callback reader — same records, same epochs, same payload bytes,
+// across segment rotations and every read-ahead depth.
+func TestStreamReplayMatchesReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{SegmentBytes: 256}) // force many segments
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 120
+	for e := uint64(1); e <= n; e++ {
+		if err := l.Append(e, payloadFor(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, after := range []uint64{0, 1, 57, n - 1, n} {
+		wantEpochs, wantPayloads := collect(t, l, after)
+		for _, depth := range []int{1, 8, 256} {
+			gotEpochs, gotPayloads, err := collectStream(t, l, after, depth)
+			if err != nil {
+				t.Fatalf("after=%d depth=%d: %v", after, depth, err)
+			}
+			if len(gotEpochs) != len(wantEpochs) {
+				t.Fatalf("after=%d depth=%d: %d records, want %d", after, depth, len(gotEpochs), len(wantEpochs))
+			}
+			for i := range wantEpochs {
+				if gotEpochs[i] != wantEpochs[i] || !bytes.Equal(gotPayloads[i], wantPayloads[i]) {
+					t.Fatalf("after=%d depth=%d: record %d diverges from Replay", after, depth, i)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamReplayTornTail: a mid-record tear (the crash-truncation case
+// replay must tolerate) ends the stream cleanly after the intact prefix,
+// exactly as Replay does.
+func TestStreamReplayTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 10; e++ {
+		if err := l.Append(e, payloadFor(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v (%v)", segs, err)
+	}
+	info, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	wantEpochs, _ := collect(t, l2, 0)
+	gotEpochs, _, serr := collectStream(t, l2, 0, 4)
+	if serr != nil {
+		t.Fatalf("stream over torn tail: %v", serr)
+	}
+	if len(gotEpochs) != len(wantEpochs) {
+		t.Fatalf("stream replayed %d records over torn tail, Replay saw %d", len(gotEpochs), len(wantEpochs))
+	}
+}
+
+// TestStreamReplayStop: an applier that bails mid-stream (apply error)
+// must be able to abandon the channel without leaking the reader — stop
+// unblocks a reader mid-send and is idempotent.
+func TestStreamReplayStop(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for e := uint64(1); e <= 200; e++ {
+		if err := l.Append(e, payloadFor(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	records, stop, werr := l.StreamReplay(0, 1) // depth 1: reader blocks on send immediately
+	rec, ok := <-records
+	if !ok || rec.Epoch != 1 {
+		t.Fatalf("first record = %+v, ok=%v", rec, ok)
+	}
+	stop()
+	stop() // idempotent
+	// The reader must wind down and close the channel.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-records:
+			if !ok {
+				if err := werr(); err != nil {
+					t.Fatalf("stopped stream reports error: %v", err)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("reader did not exit after stop")
+		}
+	}
+}
+
+// TestStreamReplayClosedLog: streaming from a closed log fails fast via
+// the error func instead of hanging.
+func TestStreamReplayClosedLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	records, stop, werr := l.StreamReplay(0, 4)
+	defer stop()
+	for range records {
+		t.Fatal("closed log produced a record")
+	}
+	if err := werr(); err == nil {
+		t.Fatal("closed log streamed without error")
+	}
+}

@@ -131,6 +131,14 @@ func WithShards(n int) Option {
 	return func(c *engine.Config) { c.Shards = n }
 }
 
+// WithSerialCheckpoint makes Engine.Save write the serial (v1)
+// checkpoint encoding instead of the shard-parallel sectioned format —
+// the measurable baseline sectioned checkpoints are benchmarked
+// against. Either format loads into bit-identical state.
+func WithSerialCheckpoint() Option {
+	return func(c *engine.Config) { c.SerialCheckpoint = true }
+}
+
 // WithSerial disables the engine's parallel scatter and apply phases —
 // every batch runs single-threaded. Mostly for benchmarks isolating
 // single-core behaviour; results are bit-identical to the parallel
@@ -204,6 +212,12 @@ type (
 	// server (see WithDataDir): the epoch it cut, its file size, and the
 	// WAL footprint left after truncation. Returned by Server.Checkpoint.
 	CheckpointStats = serve.CheckpointStats
+	// RecoveryProgress publishes live recovery state while Serve (with
+	// WithDataDir) is still rebuilding — see WithRecoveryProgress.
+	RecoveryProgress = serve.RecoveryProgress
+	// RecoverySnapshot is a point-in-time view of recovery progress
+	// returned by RecoveryProgress.Snapshot.
+	RecoverySnapshot = serve.RecoverySnapshot
 )
 
 // ErrServeBackendFailed is returned by Server write operations after the
@@ -268,6 +282,28 @@ func WithFsync(on bool) ServeOption {
 // Server.Checkpoint calls and the final checkpoint in Close.
 func WithCheckpointEvery(n int) ServeOption {
 	return func(c *serve.Config) { c.CheckpointEvery = n }
+}
+
+// WithFullCheckpointEvery makes every nth checkpoint a full-state write
+// and the n-1 between them incremental deltas holding only the rows
+// changed since the previous checkpoint, so steady-state checkpoint
+// bytes track the update rate instead of the graph size. Recovery loads
+// the newest full checkpoint, applies the delta chain, then replays the
+// WAL tail; the WAL is only truncated at full checkpoints, so a lost or
+// corrupt delta degrades to tail replay, never to data loss. 0 or 1
+// (the default) keeps every checkpoint full. Only the single-node
+// engine backend supports deltas; ServeCluster ignores the option.
+func WithFullCheckpointEvery(n int) ServeOption {
+	return func(c *serve.Config) { c.FullCheckpointEvery = n }
+}
+
+// WithRecoveryProgress attaches a live progress gauge to recovery:
+// while Serve (with WithDataDir) is still loading checkpoints and
+// replaying the WAL, p.Snapshot() — safe from any goroutine — reports
+// the replayed batch count and replay rate, so a health endpoint can
+// answer "recovering, N batches at R/s" before Serve returns.
+func WithRecoveryProgress(p *RecoveryProgress) ServeOption {
+	return func(c *serve.Config) { c.Recovery = p }
 }
 
 // WithPipelineDepth bounds the staged admission pipeline's apply queue:
