@@ -29,9 +29,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"ripple/internal/cluster"
@@ -39,6 +43,7 @@ import (
 	"ripple/internal/engine"
 	"ripple/internal/gnn"
 	"ripple/internal/graph"
+	"ripple/internal/obs"
 	"ripple/internal/partition"
 	"ripple/internal/transport"
 	"ripple/internal/wal"
@@ -61,13 +66,22 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "mesh connect timeout")
 	dataDir := flag.String("data-dir", "", "durability: leader WAL + barrier-checkpoint manifests under this (rank-shared) directory; recover/resume from it on boot")
 	ckptEvery := flag.Int("checkpoint-every", 5, "leader: barrier checkpoint interval in batches (0 = never, recovery replays the whole WAL)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics for this rank on this address (off when empty)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rippled:", err)
+		os.Exit(2)
+	}
 	cfg := rankConfig{
 		Role: *role, Rank: *rank, Addrs: strings.Split(*addrsFlag, ","),
 		Dataset: *ds, Scale: *scale, Workload: *workload, Layers: *layers, Hidden: *hidden,
 		Strategy: *strategy, BatchSize: *bs, Batches: *batches, Stream: *stream,
 		Seed: *seed, Timeout: *timeout, DataDir: *dataDir, CkptEvery: *ckptEvery,
+		MetricsAddr: *metricsAddr, Log: logger,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "rippled:", err)
@@ -97,6 +111,106 @@ type rankConfig struct {
 
 	DataDir   string // "" = not durable
 	CkptEvery int
+
+	MetricsAddr string // "" = no /metrics listener
+	Log         *slog.Logger
+}
+
+// rankMetrics is one rank's /metrics surface: live counters bumped on the
+// hot path plus per-scrape snapshots of WAL and transport traffic. Both
+// roles register the full series set (a worker's leader-only counters
+// just stay zero), so dashboards see a stable schema across ranks.
+type rankMetrics struct {
+	reg *obs.Registry
+
+	batches    *obs.Counter
+	updates    *obs.Counter
+	affected   *obs.Counter
+	commBytes  *obs.Counter
+	ckpts      *obs.Counter
+	recovered  *obs.Counter
+	streamPos  *obs.Gauge
+	streamLen  *obs.Gauge
+	workers    *obs.Gauge
+	localVerts *obs.Gauge
+	wallH      *obs.LatencyHist
+	simH       *obs.LatencyHist
+
+	mu   sync.Mutex
+	conn *transport.TCPConn // set once the mesh is up
+	wlog *wal.Log           // set once the leader's WAL is open
+}
+
+// newRankMetrics builds the registry with role/rank constant labels and
+// starts the /metrics listener when addr is non-empty.
+func newRankMetrics(cfg rankConfig) *rankMetrics {
+	if cfg.Log == nil {
+		cfg.Log = obs.NopLogger()
+	}
+	r := obs.NewRegistry()
+	r.SetConstLabels(obs.L("role", cfg.Role), obs.L("rank", strconv.Itoa(cfg.Rank)))
+	r.CollectGoRuntime()
+	m := &rankMetrics{
+		reg:        r,
+		batches:    r.NewCounter("rippled_batches_total", "Update batches applied by this rank's cluster."),
+		updates:    r.NewCounter("rippled_updates_total", "Graph updates in applied batches."),
+		affected:   r.NewCounter("rippled_affected_vertices_total", "Vertices whose embeddings changed across batches."),
+		commBytes:  r.NewCounter("rippled_comm_bytes_total", "Inter-worker propagation bytes reported per batch."),
+		ckpts:      r.NewCounter("rippled_checkpoints_total", "Barrier-checkpoint manifests written."),
+		recovered:  r.NewCounter("rippled_recovered_batches", "Batches replayed from the WAL at boot."),
+		streamPos:  r.NewGauge("rippled_stream_position", "Batches of the workload stream applied so far."),
+		streamLen:  r.NewGauge("rippled_stream_batches", "Total batches in the configured workload stream."),
+		workers:    r.NewGauge("rippled_workers", "Worker ranks in the mesh."),
+		localVerts: r.NewGauge("rippled_local_vertices", "Vertices owned by this rank (workers only)."),
+		wallH:      r.NewHistogram("rippled_batch_wall_seconds", "Leader-observed wall time per applied batch."),
+		simH:       r.NewHistogram("rippled_batch_sim_latency_seconds", "Modeled network latency per applied batch."),
+	}
+	r.NewGauge("rippled_up", "Always 1 while this rank is alive.").Set(1)
+	r.Collect(func(e *obs.Emitter) {
+		m.mu.Lock()
+		conn, wlog := m.conn, m.wlog
+		m.mu.Unlock()
+		var tc transport.Counters
+		if conn != nil {
+			tc = conn.Counters()
+		}
+		e.Counter("rippled_transport_bytes_total", "Mesh transport bytes by direction.", float64(tc.BytesSent), obs.L("dir", "sent"))
+		e.Counter("rippled_transport_bytes_total", "Mesh transport bytes by direction.", float64(tc.BytesRecv), obs.L("dir", "recv"))
+		e.Counter("rippled_transport_msgs_total", "Mesh transport messages by direction.", float64(tc.MsgsSent), obs.L("dir", "sent"))
+		e.Counter("rippled_transport_msgs_total", "Mesh transport messages by direction.", float64(tc.MsgsRecv), obs.L("dir", "recv"))
+		var ws wal.Stats
+		if wlog != nil {
+			ws = wlog.Stats()
+		}
+		e.Gauge("rippled_wal_bytes", "Live WAL bytes on disk (leader).", float64(ws.Bytes))
+		e.Gauge("rippled_wal_segments", "Live WAL segment files (leader).", float64(ws.Segments))
+		e.Gauge("rippled_wal_last_epoch", "Epoch of the newest WAL record (leader).", float64(ws.LastEpoch))
+		e.Counter("rippled_wal_appends_total", "WAL records appended (leader).", float64(ws.Appends))
+		e.Counter("rippled_wal_fsyncs_total", "WAL fsyncs issued (leader).", float64(ws.Fsyncs))
+	})
+	if cfg.MetricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", r)
+		go func() {
+			cfg.Log.Info("metrics listening", "addr", cfg.MetricsAddr)
+			if err := http.ListenAndServe(cfg.MetricsAddr, mux); err != nil {
+				cfg.Log.Error("metrics listener failed", "err", err)
+			}
+		}()
+	}
+	return m
+}
+
+func (m *rankMetrics) setConn(c *transport.TCPConn) {
+	m.mu.Lock()
+	m.conn = c
+	m.mu.Unlock()
+}
+
+func (m *rankMetrics) setWAL(w *wal.Log) {
+	m.mu.Lock()
+	m.wlog = w
+	m.mu.Unlock()
 }
 
 // sharedWorld is the deterministic state every rank derives identically
@@ -122,6 +236,9 @@ type sharedWorld struct {
 
 // buildShared regenerates the shared world from the config.
 func buildShared(cfg rankConfig) (*sharedWorld, error) {
+	if cfg.Log == nil { // tests and embedders construct rankConfig directly
+		cfg.Log = obs.NopLogger()
+	}
 	if len(cfg.Addrs) < 2 {
 		return nil, fmt.Errorf("-addrs needs at least one worker plus the leader, got %q", strings.Join(cfg.Addrs, ","))
 	}
@@ -137,7 +254,7 @@ func buildShared(cfg rankConfig) (*sharedWorld, error) {
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("[%s] generating %s at scale %v (n=%d)...\n", cfg.Role, cfg.Dataset, cfg.Scale, spec.NumVertices)
+	cfg.Log.Info("generating dataset", "dataset", cfg.Dataset, "scale", cfg.Scale, "vertices", spec.NumVertices)
 	wl, err := dataset.Build(spec, dataset.StreamConfig{Total: cfg.Stream, HoldoutFrac: 0.10, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
@@ -154,12 +271,12 @@ func buildShared(cfg rankConfig) (*sharedWorld, error) {
 	k := len(cfg.Addrs) - 1 // last address is the leader
 	sh := &sharedWorld{k: k, wl: wl, model: model, strat: strat}
 	if cfg.DataDir != "" {
-		if err := loadNewestManifest(cfg.DataDir, sh); err != nil {
+		if err := loadNewestManifest(cfg.DataDir, sh, cfg.Log); err != nil {
 			return nil, err
 		}
 	}
 	if sh.ckptGraph != nil {
-		fmt.Printf("[%s] resuming from checkpoint manifest at batch %d\n", cfg.Role, sh.ckptEpoch)
+		cfg.Log.Info("resuming from checkpoint manifest", "batch", sh.ckptEpoch)
 	} else {
 		assign, err := partition.Multilevel(wl.Snapshot, k, partition.DefaultMultilevelOptions)
 		if err != nil {
@@ -183,7 +300,7 @@ func manifestPath(dir string, epoch uint64) string {
 // loadNewestManifest fills sh's recovery state from the newest loadable
 // manifest in dir (skipping unreadable ones); no manifest leaves sh on
 // the bootstrap path.
-func loadNewestManifest(dir string, sh *sharedWorld) error {
+func loadNewestManifest(dir string, sh *sharedWorld, log *slog.Logger) error {
 	for _, epoch := range manifestEpochs(dir) {
 		f, err := os.Open(manifestPath(dir, epoch))
 		if err != nil {
@@ -192,7 +309,7 @@ func loadNewestManifest(dir string, sh *sharedWorld) error {
 		g, assign, emb, err := cluster.LoadManifest(f)
 		f.Close()
 		if err != nil {
-			fmt.Printf("[warn] skipping unreadable manifest at batch %d: %v\n", epoch, err)
+			log.Warn("skipping unreadable manifest", "batch", epoch, "err", err)
 			continue
 		}
 		if assign.K != sh.k {
@@ -242,12 +359,14 @@ func startWorker(sh *sharedWorld, cfg rankConfig) (*cluster.Worker, *transport.T
 // stream at the first unapplied batch, writes every new batch ahead to
 // the WAL, and cuts barrier-checkpoint manifests every -checkpoint-every
 // batches plus once at the end of the stream.
-func runLeader(sh *sharedWorld, cfg rankConfig) error {
+func runLeader(sh *sharedWorld, cfg rankConfig, met *rankMetrics) error {
 	conn, err := transport.DialTCP(sh.k, cfg.Addrs, cfg.Timeout)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
+	met.setConn(conn)
+	met.workers.Set(int64(sh.k))
 	leader := cluster.NewLeader(conn, sh.own, transport.TenGigE)
 	defer leader.Shutdown()
 
@@ -255,6 +374,7 @@ func runLeader(sh *sharedWorld, cfg rankConfig) error {
 	if cfg.Batches > 0 && len(all) > cfg.Batches {
 		all = all[:cfg.Batches]
 	}
+	met.streamLen.Set(int64(len(all)))
 
 	var wlog *wal.Log
 	var shadow *graph.Graph
@@ -272,6 +392,7 @@ func runLeader(sh *sharedWorld, cfg rankConfig) error {
 			return err
 		}
 		defer wlog.Close()
+		met.setWAL(wlog)
 		applied = sh.ckptEpoch
 		err = wlog.Replay(sh.ckptEpoch, func(epoch uint64, payload []byte) error {
 			batch, err := cluster.DecodeUpdates(payload)
@@ -292,7 +413,8 @@ func runLeader(sh *sharedWorld, cfg rankConfig) error {
 			return fmt.Errorf("replaying wal: %w", err)
 		}
 		if recovered := applied - sh.ckptEpoch; recovered > 0 {
-			fmt.Printf("[leader] recovered %d batches from the WAL (resuming at batch %d)\n", recovered, applied)
+			met.recovered.Add(recovered)
+			cfg.Log.Info("recovered from WAL", "batches", recovered, "resume_at", applied)
 		}
 	}
 	checkpoint := func() error {
@@ -311,16 +433,18 @@ func runLeader(sh *sharedWorld, cfg rankConfig) error {
 				os.Remove(manifestPath(cfg.DataDir, old))
 			}
 		}
-		fmt.Printf("[leader] barrier checkpoint at batch %d\n", applied)
+		met.ckpts.Inc()
+		cfg.Log.Info("barrier checkpoint", "batch", applied)
 		return wlog.MarkCheckpoint(applied)
 	}
 
+	met.streamPos.Set(int64(applied))
 	if int(applied) >= len(all) {
-		fmt.Printf("[leader] stream already complete at batch %d; nothing to do\n", applied)
+		cfg.Log.Info("stream already complete; nothing to do", "batch", applied)
 		return nil
 	}
-	fmt.Printf("[leader] streaming batches %d..%d of %d updates to %d workers (%s, %s %dL)\n",
-		applied, len(all)-1, cfg.BatchSize, sh.k, cfg.Strategy, cfg.Workload, cfg.Layers)
+	cfg.Log.Info("streaming", "from_batch", applied, "to_batch", len(all)-1, "batch_size", cfg.BatchSize,
+		"workers", sh.k, "strategy", cfg.Strategy, "workload", cfg.Workload, "layers", cfg.Layers)
 	var updates, sinceCkpt int
 	var total time.Duration
 	for i := int(applied); i < len(all); i++ {
@@ -340,8 +464,15 @@ func runLeader(sh *sharedWorld, cfg rankConfig) error {
 		applied++
 		updates += res.Updates
 		total += res.WallTime
-		fmt.Printf("  batch %2d: wall=%-12v affected=%-8d commBytes=%-10d simLat=%v\n",
-			i, res.WallTime.Round(time.Microsecond), res.Affected, res.CommBytes, res.SimLatency().Round(time.Microsecond))
+		met.batches.Inc()
+		met.updates.Add(uint64(res.Updates))
+		met.affected.Add(uint64(res.Affected))
+		met.commBytes.Add(uint64(res.CommBytes))
+		met.wallH.Observe(res.WallTime)
+		met.simH.Observe(res.SimLatency())
+		met.streamPos.Set(int64(applied))
+		cfg.Log.Info("batch applied", "batch", i, "wall", res.WallTime.Round(time.Microsecond),
+			"affected", res.Affected, "comm_bytes", res.CommBytes, "sim_latency", res.SimLatency().Round(time.Microsecond))
 		if wlog != nil && cfg.CkptEvery > 0 {
 			if sinceCkpt++; sinceCkpt >= cfg.CkptEvery {
 				if err := checkpoint(); err != nil {
@@ -357,7 +488,7 @@ func runLeader(sh *sharedWorld, cfg rankConfig) error {
 		}
 	}
 	if total > 0 {
-		fmt.Printf("[leader] throughput %.1f up/s over TCP (wall time)\n", float64(updates)/total.Seconds())
+		cfg.Log.Info("stream complete", "throughput_ups", float64(updates)/total.Seconds())
 	}
 	return nil
 }
@@ -377,10 +508,15 @@ func mirrorTopology(g *graph.Graph, batch []engine.Update) {
 }
 
 func run(cfg rankConfig) error {
+	if cfg.Log == nil {
+		cfg.Log = obs.NopLogger()
+	}
+	cfg.Log = cfg.Log.With("role", cfg.Role, "rank", cfg.Rank)
 	sh, err := buildShared(cfg)
 	if err != nil {
 		return err
 	}
+	met := newRankMetrics(cfg)
 	switch cfg.Role {
 	case "worker":
 		w, conn, err := startWorker(sh, cfg)
@@ -388,10 +524,13 @@ func run(cfg rankConfig) error {
 			return err
 		}
 		defer conn.Close()
-		fmt.Printf("[worker %d] serving %d local vertices\n", cfg.Rank, sh.own.NumLocal(cfg.Rank))
+		met.setConn(conn)
+		met.workers.Set(int64(sh.k))
+		met.localVerts.Set(int64(sh.own.NumLocal(cfg.Rank)))
+		cfg.Log.Info("worker serving", "local_vertices", sh.own.NumLocal(cfg.Rank))
 		return w.Run()
 	case "leader":
-		return runLeader(sh, cfg)
+		return runLeader(sh, cfg, met)
 	default:
 		return fmt.Errorf("unknown -role %q (want worker or leader)", cfg.Role)
 	}

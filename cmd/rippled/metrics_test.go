@@ -1,0 +1,53 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ripple/internal/obs"
+)
+
+// TestRankMetricsExposition pins the rippled /metrics surface: both roles
+// register the full stable series set with role/rank constant labels, and
+// the exposition lints clean at ≥30 series even before the mesh is up
+// (nil conn/WAL scrape as zeros, not as panics or missing series).
+func TestRankMetricsExposition(t *testing.T) {
+	met := newRankMetrics(rankConfig{Role: "leader", Rank: 3})
+	met.batches.Inc()
+	met.updates.Add(100)
+	met.wallH.Observe(3 * time.Millisecond)
+	met.simH.Observe(40 * time.Microsecond)
+	met.streamLen.Set(10)
+
+	w := httptest.NewRecorder()
+	met.reg.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if w.Code != 200 {
+		t.Fatalf("GET /metrics: status %d", w.Code)
+	}
+	exp, err := obs.LintExposition(w.Body.Bytes())
+	if err != nil {
+		t.Fatalf("exposition lint: %v\n%s", err, w.Body.String())
+	}
+	if n := exp.SeriesCount(); n < 30 {
+		t.Errorf("series count = %d, want >= 30", n)
+	}
+	if n := exp.HistogramCount(); n < 2 {
+		t.Errorf("histogram count = %d, want >= 2", n)
+	}
+	role := obs.L("role", "leader")
+	rank := obs.L("rank", "3")
+	if got, ok := exp.Value("rippled_batches_total", role, rank); !ok || got != 1 {
+		t.Errorf("rippled_batches_total{role,rank} = %v (present=%v), want 1", got, ok)
+	}
+	if got, ok := exp.Value("rippled_updates_total", role, rank); !ok || got != 100 {
+		t.Errorf("rippled_updates_total = %v (present=%v), want 100", got, ok)
+	}
+	// Leader-only series exist (as zeros) on a rank with no WAL/conn yet.
+	if _, ok := exp.Value("rippled_wal_appends_total", role, rank); !ok {
+		t.Error("rippled_wal_appends_total missing before WAL is open")
+	}
+	if _, ok := exp.Value("rippled_transport_bytes_total", role, rank, obs.L("dir", "sent")); !ok {
+		t.Error("rippled_transport_bytes_total{dir=sent} missing before the mesh is up")
+	}
+}

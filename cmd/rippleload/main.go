@@ -42,6 +42,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ripple/internal/obs"
 )
 
 func main() {
@@ -63,6 +65,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	serveArgs := flag.String("serve-args", "", "extra space-separated flags for the spawned rippleserve (e.g. \"-hidden 8\")")
 	out := flag.String("out", "BENCH_serve.json", "output JSON path (- for stdout; defaults to BENCH_recovery.json under -measure-recovery)")
+	scrapeMetrics := flag.Bool("scrape-metrics", false, "scrape /metrics around each phase: lint the exposition, assert counter parity with /stats, fold counter deltas into the report, and save a mid-run snapshot")
+	metricsOut := flag.String("metrics-out", "METRICS_snapshot.prom", "mid-run /metrics snapshot path with -scrape-metrics (phase name is inserted before the extension; empty disables the snapshot)")
 	compareSerial := flag.Bool("compare-serial", false, "run a serial-baseline phase (-pipeline-depth=-1) before the pipelined phase and report the speedup (requires -serve-bin)")
 	minWriteSpeedup := flag.Float64("min-write-speedup", 0, "with -compare-serial: fail unless pipelined/serial write throughput is at least this (0 = report only)")
 	measureRecovery := flag.Bool("measure-recovery", false, "measure restart cost instead of serving load: codec bench + SIGKILL crash drills (serial vs pipelined) + delta checkpoint bytes (requires -serve-bin)")
@@ -102,7 +106,8 @@ func main() {
 		ReadRate: *readRate, WriteRate: *writeRate,
 		Writers: *writers, Readers: *readers, WriteBatch: *writeBatch,
 		HotFrac: *hotFrac, HotProb: *hotProb, Seed: *seed,
-		ServeArgs: strings.Fields(*serveArgs),
+		ServeArgs:     strings.Fields(*serveArgs),
+		ScrapeMetrics: *scrapeMetrics, MetricsOut: *metricsOut,
 	}
 	if err := run(cfg, *addr, *serveBin, *compareSerial, *minWriteSpeedup, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "rippleload:", err)
@@ -126,6 +131,9 @@ type loadConfig struct {
 	HotFrac    float64       `json:"hot_frac"`
 	HotProb    float64       `json:"hot_prob"`
 	Seed       int64         `json:"seed"`
+
+	ScrapeMetrics bool   `json:"scrape_metrics,omitempty"`
+	MetricsOut    string `json:"-"`
 }
 
 // report is the BENCH_serve.json document.
@@ -162,6 +170,14 @@ type phaseResult struct {
 	QueueWaitP99MS    float64 `json:"queue_wait_p99_ms"`
 	FsyncWaitP99MS    float64 `json:"fsync_wait_p99_ms"`
 	ApplyP99MS        float64 `json:"apply_p99_ms"`
+
+	// Server-side stage breakdown over the measured window: exact-count
+	// quantiles from differencing the /stats bucket vectors, so the perf
+	// trajectory records where batches spent their time, not just
+	// client-observed latencies.
+	StageWaits map[string]stageWindow `json:"stage_waits,omitempty"`
+	// Metrics holds the /metrics scrape summary (-scrape-metrics only).
+	Metrics *metricsScrape `json:"metrics,omitempty"`
 }
 
 func run(cfg loadConfig, addr, serveBin string, compareSerial bool, minWriteSpeedup float64, out string) error {
@@ -470,8 +486,33 @@ func runPhase(cfg loadConfig, base, name string) (*phaseResult, error) {
 		wg.Wait()
 		return nil, err
 	}
+	var expBefore *obs.Exposition
+	var snapPath string
+	if cfg.ScrapeMetrics {
+		if expBefore, _, err = fetchMetrics(client, base); err != nil {
+			stop.Store(true)
+			wg.Wait()
+			return nil, err
+		}
+	}
 	measuring.Store(true)
-	time.Sleep(cfg.Duration)
+	if cfg.ScrapeMetrics && cfg.MetricsOut != "" {
+		// One scrape mid-window, under live load: the snapshot the CI
+		// artifact keeps is what a Prometheus scraper would really see.
+		time.Sleep(cfg.Duration / 2)
+		if _, raw, err := fetchMetrics(client, base); err != nil {
+			fmt.Fprintf(os.Stderr, "rippleload: mid-run metrics scrape: %v\n", err)
+		} else {
+			snapPath = snapshotPath(cfg.MetricsOut, name)
+			if err := os.WriteFile(snapPath, raw, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "rippleload: writing %s: %v\n", snapPath, err)
+				snapPath = ""
+			}
+		}
+		time.Sleep(cfg.Duration - cfg.Duration/2)
+	} else {
+		time.Sleep(cfg.Duration)
+	}
 	measuring.Store(false)
 	epochAtStop := int64(0)
 	if _, _, atStop, err := serverFacts(client, base); err == nil {
@@ -504,10 +545,40 @@ func runPhase(cfg loadConfig, base, name string) (*phaseResult, error) {
 		res.FsyncsPerAppend = float64(res.WALFsyncs) / float64(res.WALAppends)
 	}
 	res.CheckpointStallMS = float64(statI64(after, "checkpoint_stall_ns")-statI64(before, "checkpoint_stall_ns")) / 1e6
-	res.QueueWaitP99MS = statF64(after, "queue_wait_p99_ns") / 1e6
-	res.FsyncWaitP99MS = statF64(after, "fsync_wait_p99_ns") / 1e6
-	res.ApplyP99MS = statF64(after, "apply_p99_ns") / 1e6
+	// Stage p99s come from the window's own bucket deltas when the server
+	// exports them; the since-boot quantiles are the fallback.
+	res.StageWaits = stageWaits(before, after)
+	res.QueueWaitP99MS = windowP99MS(res.StageWaits, "queue_wait", statF64(after, "queue_wait_p99_ns"))
+	res.FsyncWaitP99MS = windowP99MS(res.StageWaits, "fsync_wait", statF64(after, "fsync_wait_p99_ns"))
+	res.ApplyP99MS = windowP99MS(res.StageWaits, "apply", statF64(after, "apply_p99_ns"))
+	if cfg.ScrapeMetrics {
+		expAfter, _, err := fetchMetrics(client, base)
+		if err != nil {
+			return nil, err
+		}
+		// Load has stopped and the final /stats read is in hand: the two
+		// views describe the same quiesced state and must agree exactly.
+		if err := metricsParity(expAfter, after); err != nil {
+			return nil, err
+		}
+		res.Metrics = &metricsScrape{
+			Series:     expAfter.SeriesCount(),
+			Histograms: expAfter.HistogramCount(),
+			Deltas:     metricsDeltas(expBefore, expAfter),
+			Snapshot:   snapPath,
+		}
+	}
 	return res, nil
+}
+
+// windowP99MS prefers the measured window's exact p99 for a stage,
+// falling back to the since-boot quantile (in ns) when the window saw no
+// observations for it.
+func windowP99MS(waits map[string]stageWindow, stage string, sinceBootNS float64) float64 {
+	if w, ok := waits[stage]; ok && w.Count > 0 {
+		return w.P99MS
+	}
+	return sinceBootNS / 1e6
 }
 
 func prerenderWrites(cfg loadConfig, vertices, featDim int) [][]byte {

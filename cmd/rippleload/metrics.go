@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+
+	"ripple/internal/obs"
+)
+
+// /metrics scraping (-scrape-metrics): rippleload doubles as the conformance
+// client for the server's Prometheus exposition. Around each measured phase
+// it scrapes /metrics, lints the exposition, asserts the scraped counters
+// agree with the /stats JSON it already differences (a divergence means the
+// metrics adapter drifted from the stats structs — exactly the bug a
+// dashboard would silently absorb), folds the counter deltas into the phase
+// report, and saves one mid-run snapshot as the CI artifact.
+
+// stageWindow summarises one pipeline stage over the measured window:
+// exact counts from differencing the /stats power-of-two bucket vectors,
+// so the quantiles describe this window, not the daemon's whole life.
+type stageWindow struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+}
+
+func windowOf(d obs.HistSnapshot) stageWindow {
+	return stageWindow{
+		Count:  d.Count,
+		MeanMS: d.Mean() / 1e6,
+		P50MS:  float64(d.Quantile(0.50)) / 1e6,
+		P99MS:  float64(d.Quantile(0.99)) / 1e6,
+		P999MS: float64(d.Quantile(0.999)) / 1e6,
+	}
+}
+
+// histDelta extracts the named HistSnapshot from two /stats serving maps
+// and returns after−before. Missing keys difference as empty snapshots.
+func histDelta(before, after map[string]any, key string) obs.HistSnapshot {
+	return histFromStat(after, key).Sub(histFromStat(before, key))
+}
+
+func histFromStat(m map[string]any, key string) obs.HistSnapshot {
+	var s obs.HistSnapshot
+	raw, ok := m[key]
+	if !ok {
+		return s
+	}
+	b, err := json.Marshal(raw)
+	if err != nil {
+		return s
+	}
+	json.Unmarshal(b, &s)
+	return s
+}
+
+// stageWaits builds the per-stage window breakdown from the /stats
+// snapshots taken at the edges of the measured window.
+func stageWaits(before, after map[string]any) map[string]stageWindow {
+	out := make(map[string]stageWindow, 4)
+	for _, key := range []string{"queue_wait_hist", "fsync_wait_hist", "apply_hist", "batch_total_hist"} {
+		d := histDelta(before, after, key)
+		if d.Count == 0 {
+			continue
+		}
+		out[strings.TrimSuffix(key, "_hist")] = windowOf(d)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// metricsScrape is the /metrics section of a phase result: exposition
+// shape plus counter deltas over the measured window.
+type metricsScrape struct {
+	Series     int                `json:"series"`
+	Histograms int                `json:"histograms"`
+	Deltas     map[string]float64 `json:"deltas"`
+	Snapshot   string             `json:"snapshot,omitempty"` // mid-run artifact path
+}
+
+// fetchMetrics scrapes base/metrics and lint-parses the exposition.
+func fetchMetrics(client *http.Client, base string) (*obs.Exposition, []byte, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("GET /metrics: status %d: %s", resp.StatusCode, raw)
+	}
+	exp, err := obs.LintExposition(raw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("/metrics exposition: %w", err)
+	}
+	return exp, raw, nil
+}
+
+// metricsParity cross-checks the scraped counters against the /stats JSON
+// read in the same quiesced moment. Both views are snapshots of the same
+// Stats() call chain, so after load has stopped they must agree exactly.
+func metricsParity(exp *obs.Exposition, stats map[string]any) error {
+	for metric, statKey := range map[string]string{
+		"ripple_batches_total":         "batches",
+		"ripple_updates_applied_total": "updates_applied",
+		"ripple_wal_appends_total":     "wal_appends",
+		"ripple_wal_fsyncs_total":      "wal_fsyncs",
+		"ripple_epoch":                 "epoch",
+	} {
+		got, ok := exp.Value(metric)
+		if !ok {
+			return fmt.Errorf("metrics parity: %s missing from /metrics", metric)
+		}
+		if want := statF64(stats, statKey); got != want {
+			return fmt.Errorf("metrics parity: %s = %v but /stats %s = %v", metric, got, statKey, want)
+		}
+	}
+	return nil
+}
+
+// metricsDeltas folds the window's counter movement into the report.
+func metricsDeltas(before, after *obs.Exposition) map[string]float64 {
+	out := make(map[string]float64)
+	for _, name := range []string{
+		"ripple_batches_total",
+		"ripple_updates_applied_total",
+		"ripple_label_flips_total",
+		"ripple_wal_appends_total",
+		"ripple_wal_fsyncs_total",
+		"ripple_snapshot_reads_total",
+		"ripple_traces_recorded_total",
+	} {
+		a, okA := after.Value(name)
+		b, okB := before.Value(name)
+		if okA && okB && a >= b {
+			out[name] = a - b
+		}
+	}
+	return out
+}
+
+// snapshotPath derives a per-phase artifact path from the -metrics-out
+// base so -compare-serial phases do not clobber each other:
+// METRICS_snapshot.prom + "pipelined" → METRICS_snapshot.pipelined.prom.
+func snapshotPath(base, phase string) string {
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "." + phase + ext
+}

@@ -60,7 +60,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // profiling handlers for the -pprof-addr side listener
@@ -97,7 +97,17 @@ func main() {
 	follow := flag.String("follow", "", "follower mode: replicate read-only state from this leader replication address")
 	pipelineDepth := flag.Int("pipeline-depth", 0, "admission pipeline depth: in-flight admitted batches before admission blocks (0 = default 8, negative = serial baseline write path)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side address (off when empty; keep it loopback-only)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
+	slowBatch := flag.Duration("slow-batch", 0, "log a per-stage timing breakdown for batches slower than this end to end (0 = off)")
+	traceRing := flag.Int("trace-ring", 0, "flight recorder depth: recent batch traces kept for /debug/traces (0 = default 1024)")
 	flag.Parse()
+
+	logger, err := ripple.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rippleserve:", err)
+		os.Exit(2)
+	}
 
 	cfg := serveConfig{
 		Addr: *addr, Dataset: *ds, Scale: *scale, Workload: *workload,
@@ -107,15 +117,17 @@ func main() {
 		FullCheckpointEvery: *fullCkptEvery,
 		ReplicateAddr: *replicateAddr, Follow: *follow,
 		PipelineDepth: *pipelineDepth,
+		SlowBatch:     *slowBatch, TraceRing: *traceRing,
+		Log: logger,
 	}
 	if *pprofAddr != "" {
 		// The profiling listener is a separate server on a separate
 		// address: the serving mux never exposes pprof, so an operator
 		// cannot accidentally publish heap dumps on the service port.
 		go func() {
-			log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+			logger.Info("pprof listening", "url", fmt.Sprintf("http://%s/debug/pprof/", *pprofAddr))
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("rippleserve: pprof listener: %v", err)
+				logger.Error("pprof listener failed", "err", err)
 			}
 		}()
 	}
@@ -155,6 +167,10 @@ type serveConfig struct {
 
 	ReplicateAddr string // leader mode: replication listener ("" = off)
 	Follow        string // follower mode: leader's replication address
+
+	SlowBatch time.Duration // log per-stage breakdowns past this (0 = off)
+	TraceRing int           // flight recorder depth (0 = default)
+	Log       *slog.Logger
 }
 
 func run(cfg serveConfig) error {
@@ -167,7 +183,7 @@ func run(cfg serveConfig) error {
 	// generation, bootstrap or recovery, so health probes see 503
 	// "starting" — degraded, not connection-refused — until the first
 	// epoch is published.
-	api := &api{n: spec.NumVertices, classes: spec.NumClasses, featDim: spec.FeatureDim, workload: cfg.Workload, dataset: cfg.Dataset, workers: cfg.Workers, durable: cfg.DataDir != ""}
+	api := &api{n: spec.NumVertices, classes: spec.NumClasses, featDim: spec.FeatureDim, workload: cfg.Workload, dataset: cfg.Dataset, workers: cfg.Workers, durable: cfg.DataDir != "", log: cfg.Log}
 	httpSrv := &http.Server{Handler: api.routes()}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -175,14 +191,14 @@ func run(cfg serveConfig) error {
 	}
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- httpSrv.Serve(ln) }()
-	log.Printf("listening on %s (503 starting until bootstrap/recovery completes)", cfg.Addr)
+	cfg.Log.Info("listening; 503 starting until bootstrap/recovery completes", "addr", cfg.Addr)
 	fail := func(err error) error {
 		httpSrv.Close()
 		<-serveDone
 		return err
 	}
 
-	log.Printf("generating %s at scale %v (%d vertices, ~%d edges)...", cfg.Dataset, cfg.Scale, spec.NumVertices, spec.NumEdges())
+	cfg.Log.Info("generating dataset", "dataset", cfg.Dataset, "scale", cfg.Scale, "vertices", spec.NumVertices, "edges", spec.NumEdges())
 	g, features, err := dataset.Generate(spec)
 	if err != nil {
 		return fail(err)
@@ -200,6 +216,9 @@ func run(cfg serveConfig) error {
 	sopts := []ripple.ServeOption{
 		ripple.WithAdmission(cfg.Batch, cfg.Delay),
 		ripple.WithPipelineDepth(cfg.PipelineDepth),
+		ripple.WithLogger(cfg.Log),
+		ripple.WithTraceRing(cfg.TraceRing),
+		ripple.WithSlowBatch(cfg.SlowBatch),
 	}
 	if cfg.DataDir != "" {
 		// The progress gauge lets /healthz answer "recovering, N batches at
@@ -215,12 +234,11 @@ func run(cfg serveConfig) error {
 	}
 	var srv *ripple.Server
 	if cfg.Workers > 0 {
-		log.Printf("bootstrapping %s over %d vertices across %d workers (%s partitioning)...",
-			model, spec.NumVertices, cfg.Workers, cfg.Partitioner)
+		cfg.Log.Info("bootstrapping distributed", "model", model.String(), "vertices", spec.NumVertices, "workers", cfg.Workers, "partitioner", cfg.Partitioner)
 		srv, err = ripple.ServeCluster(g, model, features,
 			ripple.DistOptions{Workers: cfg.Workers, Partitioner: cfg.Partitioner}, sopts...)
 	} else {
-		log.Printf("bootstrapping %s over %d vertices...", model, spec.NumVertices)
+		cfg.Log.Info("bootstrapping", "model", model.String(), "vertices", spec.NumVertices)
 		var bopts []ripple.Option
 		if cfg.PipelineDepth < 0 {
 			// -pipeline-depth < 0 selects the whole serial baseline, not
@@ -245,18 +263,17 @@ func run(cfg serveConfig) error {
 		// the admission queue and (durable mode) takes the clean final
 		// checkpoint, so the next boot replays zero batches.
 		srv.Close()
-		log.Printf("shut down; final stats: %+v", srv.Stats())
+		cfg.Log.Info("shut down", "stats", fmt.Sprintf("%+v", srv.Stats()))
 	}()
 	if st := srv.Stats(); cfg.DataDir != "" {
-		log.Printf("durable under %s: recovered %d batches from the WAL, resuming at epoch %d (checkpoint epoch %d)",
-			cfg.DataDir, st.RecoveredBatches, st.Epoch, st.LastCheckpointEpoch)
+		cfg.Log.Info("durable store recovered", "data_dir", cfg.DataDir, "recovered_batches", st.RecoveredBatches, "epoch", st.Epoch, "checkpoint_epoch", st.LastCheckpointEpoch)
 	}
 	if cfg.ReplicateAddr != "" {
 		repl, err := srv.StartReplication(cfg.ReplicateAddr)
 		if err != nil {
 			return fail(err)
 		}
-		log.Printf("replication leader on %s", repl.Addr())
+		cfg.Log.Info("replication leader up", "component", "repl", "addr", repl.Addr())
 	}
 	api.srv.Store(srv)
 
@@ -271,7 +288,7 @@ func run(cfg serveConfig) error {
 		httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("serving %s/%s predictions on %s (epoch %d published)", cfg.Dataset, cfg.Workload, cfg.Addr, srv.Snapshot().Epoch())
+	cfg.Log.Info("serving", "dataset", cfg.Dataset, "workload", cfg.Workload, "addr", cfg.Addr, "epoch", srv.Snapshot().Epoch())
 	if err := <-serveDone; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
@@ -285,7 +302,7 @@ func run(cfg serveConfig) error {
 // -data-dir it recovers from its local checkpoint + WAL tail first and
 // can serve (stale) reads before the leader is even reachable.
 func runFollower(cfg serveConfig) error {
-	api := &api{leader: cfg.Follow, durable: cfg.DataDir != ""}
+	api := &api{leader: cfg.Follow, durable: cfg.DataDir != "", log: cfg.Log}
 	httpSrv := &http.Server{Handler: api.routes()}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -293,9 +310,9 @@ func runFollower(cfg serveConfig) error {
 	}
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- httpSrv.Serve(ln) }()
-	log.Printf("listening on %s (503 starting until the first epoch is caught up)", cfg.Addr)
+	cfg.Log.Info("listening; 503 starting until the first epoch is caught up", "addr", cfg.Addr, "role", "follower")
 
-	var opts []ripple.FollowOption
+	opts := []ripple.FollowOption{ripple.FollowWithLogger(cfg.Log)}
 	if cfg.DataDir != "" {
 		opts = append(opts,
 			ripple.FollowWithDataDir(cfg.DataDir),
@@ -312,12 +329,12 @@ func runFollower(cfg serveConfig) error {
 		// Graceful shutdown: sever the leader stream and (durable mode)
 		// cut a final checkpoint so the next boot replays zero frames.
 		fol.Close()
-		log.Printf("shut down; final follower stats: %+v", fol.Stats())
+		cfg.Log.Info("shut down", "role", "follower", "stats", fmt.Sprintf("%+v", fol.Stats()))
 	}()
 	if cfg.DataDir != "" {
-		log.Printf("following %s (durable under %s)", cfg.Follow, cfg.DataDir)
+		cfg.Log.Info("following", "leader", cfg.Follow, "data_dir", cfg.DataDir)
 	} else {
-		log.Printf("following %s", cfg.Follow)
+		cfg.Log.Info("following", "leader", cfg.Follow)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -329,7 +346,7 @@ func runFollower(cfg serveConfig) error {
 		case <-fol.Ready():
 			api.fol.Store(fol)
 			st := fol.Stats()
-			log.Printf("follower ready: serving epoch %d (leader epoch %d, lag %d)", st.Epoch, st.LeaderEpoch, st.LagEpochs)
+			cfg.Log.Info("follower ready", "epoch", st.Epoch, "leader_epoch", st.LeaderEpoch, "lag_epochs", st.LagEpochs)
 		case <-ctx.Done():
 		}
 	}()
@@ -365,6 +382,7 @@ type api struct {
 	dataset  string
 	workers  int  // 0 = single-node engine backend
 	durable  bool // -data-dir set; /checkpoint is live
+	log      *slog.Logger
 	// progress is the live recovery gauge (durable mode): while srv is
 	// still nil because ripple.Serve is replaying, health checks read it to
 	// report recovery progress instead of a bare "starting".
@@ -445,7 +463,66 @@ func (a *api) routes() http.Handler {
 	mux.HandleFunc("POST /checkpoint", a.handleCheckpoint)
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
 	mux.HandleFunc("GET /stats", a.handleStats)
+	mux.HandleFunc("GET /metrics", a.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", a.handleTraces)
 	return mux
+}
+
+// handleMetrics serves Prometheus text-format metrics for whichever role
+// this daemon runs — the server's registry on a leader, the follower's on
+// a replica. Registries snapshot live counters per scrape; before the
+// role is up there is nothing to scrape, so probes get the same 503
+// "starting" body as every other endpoint.
+func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if srv := a.srv.Load(); srv != nil {
+		srv.MetricsRegistry().ServeHTTP(w, r)
+		return
+	}
+	if fol := a.fol.Load(); fol != nil {
+		fol.MetricsRegistry().ServeHTTP(w, r)
+		return
+	}
+	a.writeJSON(w, http.StatusServiceUnavailable, a.startingBody())
+}
+
+// handleTraces dumps the batch flight recorder: the stage-by-stage
+// timelines (admit → wal_append → durable → apply → publish → replicate
+// → fanout) of the most recently admitted batches, oldest first.
+// ?min=25ms keeps only batches at least that slow end to end. Followers
+// do not admit batches; trace the leader instead.
+func (a *api) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if a.leader != "" {
+		a.httpError(w, http.StatusNotFound, "no admission pipeline on a follower; request /debug/traces on the leader")
+		return
+	}
+	srv, ok := a.server(w)
+	if !ok {
+		return
+	}
+	var min time.Duration
+	if q := r.URL.Query().Get("min"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d < 0 {
+			a.httpError(w, http.StatusBadRequest, "bad min %q (want a duration like 25ms)", q)
+			return
+		}
+		min = d
+	}
+	traces := srv.Traces(min)
+	a.writeJSON(w, http.StatusOK, map[string]any{
+		"count":  len(traces),
+		"ring":   srv.Stats().TracesRecorded,
+		"traces": traces,
+	})
+}
+
+// logger returns the api's structured logger, discarding when none was
+// wired (library embedders and tests that construct api directly).
+func (a *api) logger() *slog.Logger {
+	if a.log != nil {
+		return a.log
+	}
+	return slog.New(slog.DiscardHandler)
 }
 
 // writeJSON sends v as the response body. By the time Encode can fail the
@@ -458,7 +535,7 @@ func (a *api) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		a.encodeErrs.Add(1)
-		log.Printf("rippleserve: encoding %d response body: %v", status, err)
+		a.logger().Error("encoding response body failed", "status", status, "err", err)
 	}
 }
 
@@ -624,7 +701,7 @@ func (a *api) handleLabels(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		if _, err := w.Write(buf); err != nil {
 			a.encodeErrs.Add(1)
-			log.Printf("rippleserve: writing binary /labels response: %v", err)
+			a.logger().Error("writing binary /labels response failed", "err", err)
 		}
 		return
 	}

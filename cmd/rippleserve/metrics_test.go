@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ripple"
+	"ripple/internal/obs"
+)
+
+// getRaw runs one request through the mux and returns status + raw body.
+func getRaw(t *testing.T, h http.Handler, target string) (int, []byte) {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", target, nil))
+	return w.Code, w.Body.Bytes()
+}
+
+// TestMetricsEndpoint scrapes /metrics on a durable leader and holds it
+// to the exposition-format bar: parses and lints clean, ≥30 series, ≥4
+// histograms, and counters agreeing with /stats.
+func TestMetricsEndpoint(t *testing.T) {
+	a := newDurableAPI(t)
+	h := a.routes()
+	// A couple of synchronous writes so the counters and histograms move.
+	for i := 0; i < 3; i++ {
+		status, _, _ := do(t, h, "POST", "/update?sync=1",
+			fmt.Sprintf(`{"updates": [{"kind": "edge-add", "u": 1, "v": %d}]}`, 5+i))
+		if status != http.StatusOK {
+			t.Fatalf("update %d: status %d", i, status)
+		}
+	}
+
+	status, body := getRaw(t, h, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", status)
+	}
+	exp, err := obs.LintExposition(body)
+	if err != nil {
+		t.Fatalf("exposition lint: %v\n%s", err, body)
+	}
+	if n := exp.SeriesCount(); n < 30 {
+		t.Errorf("series count = %d, want >= 30", n)
+	}
+	if n := exp.HistogramCount(); n < 4 {
+		t.Errorf("histogram count = %d, want >= 4", n)
+	}
+	st := a.srv.Load().Stats()
+	for name, want := range map[string]float64{
+		"ripple_batches_total":     float64(st.Batches),
+		"ripple_epoch":             float64(st.Epoch),
+		"ripple_wal_appends_total": float64(st.WALAppends),
+	} {
+		if got, ok := exp.Value(name); !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", name, got, ok, want)
+		}
+	}
+}
+
+// TestMetricsBeforeReady pins the starting behaviour: an api whose role
+// has not come up yet answers 503, not an empty exposition.
+func TestMetricsBeforeReady(t *testing.T) {
+	h := (&api{n: testN, classes: testClasses}).routes()
+	if status, _ := getRaw(t, h, "/metrics"); status != http.StatusServiceUnavailable {
+		t.Fatalf("GET /metrics before ready: status %d, want 503", status)
+	}
+}
+
+// TestMetricsFollower scrapes /metrics in -follow mode (in-process
+// follower against an in-process replication leader).
+func TestMetricsFollower(t *testing.T) {
+	leader := newDurableAPI(t)
+	repl, err := leader.srv.Load().StartReplication("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fol, err := ripple.Follow(repl.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fol.Close)
+	<-fol.Ready()
+	a := &api{leader: repl.Addr()}
+	a.fol.Store(fol)
+	h := a.routes()
+
+	status, body := getRaw(t, h, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("GET /metrics (follower): status %d", status)
+	}
+	exp, err := obs.LintExposition(body)
+	if err != nil {
+		t.Fatalf("follower exposition lint: %v\n%s", err, body)
+	}
+	if n := exp.SeriesCount(); n < 30 {
+		t.Errorf("follower series count = %d, want >= 30", n)
+	}
+	if got, _ := exp.Value("ripple_follower_ready"); got != 1 {
+		t.Errorf("ripple_follower_ready = %v, want 1", got)
+	}
+	// And the flight recorder is a leader-only surface.
+	if status, _ := getRaw(t, h, "/debug/traces"); status != http.StatusNotFound {
+		t.Errorf("GET /debug/traces (follower): status %d, want 404", status)
+	}
+}
+
+// TestTracesEndpoint drives durable writes and checks /debug/traces
+// returns the full stage-span timeline for them: every pipeline stage
+// named, timestamps monotone, filterable by min duration.
+func TestTracesEndpoint(t *testing.T) {
+	a := newDurableAPI(t)
+	h := a.routes()
+	const writes = 4
+	for i := 0; i < writes; i++ {
+		status, _, _ := do(t, h, "POST", "/update?sync=1",
+			fmt.Sprintf(`{"updates": [{"kind": "edge-add", "u": 2, "v": %d}]}`, 7+i))
+		if status != http.StatusOK {
+			t.Fatalf("update %d: status %d", i, status)
+		}
+	}
+
+	status, raw := getRaw(t, h, "/debug/traces")
+	if status != http.StatusOK {
+		t.Fatalf("GET /debug/traces: status %d: %s", status, raw)
+	}
+	var body struct {
+		Count  int `json:"count"`
+		Traces []struct {
+			Seq     uint64 `json:"seq"`
+			Epoch   uint64 `json:"epoch"`
+			Updates int    `json:"updates"`
+			TotalNS int64  `json:"total_ns"`
+			Stages  []struct {
+				Stage   string `json:"stage"`
+				StartNS int64  `json:"start_ns"`
+				EndNS   int64  `json:"end_ns"`
+				DurNS   int64  `json:"dur_ns"`
+			} `json:"stages"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("decoding traces: %v\n%s", err, raw)
+	}
+	if body.Count != writes || len(body.Traces) != writes {
+		t.Fatalf("count = %d (traces %d), want %d", body.Count, len(body.Traces), writes)
+	}
+	wantStages := []string{"admit", "wal_append", "durable", "apply", "publish", "replicate", "fanout"}
+	for i, tr := range body.Traces {
+		if tr.Epoch != uint64(i+1) {
+			t.Errorf("trace %d: epoch %d, want %d", i, tr.Epoch, i+1)
+		}
+		if len(tr.Stages) != len(wantStages) {
+			t.Fatalf("trace %d: %d stages, want %d", i, len(tr.Stages), len(wantStages))
+		}
+		prevEnd := int64(0)
+		for j, sp := range tr.Stages {
+			if sp.Stage != wantStages[j] {
+				t.Errorf("trace %d stage %d: %q, want %q", i, j, sp.Stage, wantStages[j])
+			}
+			if sp.StartNS < prevEnd || sp.EndNS < sp.StartNS || sp.DurNS != sp.EndNS-sp.StartNS {
+				t.Errorf("trace %d stage %s: span [%d,%d] dur %d not monotone", i, sp.Stage, sp.StartNS, sp.EndNS, sp.DurNS)
+			}
+			prevEnd = sp.EndNS
+		}
+		if tr.TotalNS <= 0 {
+			t.Errorf("trace %d: total_ns = %d", i, tr.TotalNS)
+		}
+	}
+
+	// min filter: 1h keeps nothing, bad durations are 400.
+	if _, raw := getRaw(t, h, "/debug/traces?min=1h"); !strings.Contains(string(raw), `"count":0`) {
+		t.Errorf("min=1h body = %s, want count 0", raw)
+	}
+	if status, _ := getRaw(t, h, "/debug/traces?min=banana"); status != http.StatusBadRequest {
+		t.Errorf("min=banana: status %d, want 400", status)
+	}
+}

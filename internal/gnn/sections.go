@@ -29,21 +29,38 @@ import (
 // A[1][v] .. A[L][v], each float32 LE. Row width is fixed by Dims, so every
 // offset is computable without reading the payload.
 
-// sectionRowQuantum and maxSections bound the section count: small states
-// still split into a handful of sections (so tests exercise the multi-section
-// path) while large states cap at maxSections row ranges.
+// Section sizing: each section targets ~sectionByteBudget of row payload,
+// so CRC granularity and per-worker chunks stay roughly constant in bytes
+// whether rows are 40 bytes (a small conf model) or 4 KiB (a wide one) —
+// a static row-count rule makes sections balloon with row width, starving
+// encode parallelism exactly when checkpoints are largest. The clamps:
+// minSections keeps small states on the multi-section path (so tests
+// exercise it), sectionRowQuantum keeps sections at least 16 rows (a
+// 1-row state does not split), and maxSections bounds the index.
 const (
 	sectionRowQuantum = 16
-	maxSections       = 64
+	sectionByteBudget = 256 << 10
+	minSections       = 4
+	maxSections       = 1024
 )
 
-// NumSections returns the section count used for n vertex rows. It depends
-// only on n, never on GOMAXPROCS, so encoded bytes are machine-independent.
-func NumSections(n int) int {
+// NumSections returns the section count used for n vertex rows of rowBytes
+// encoded bytes each. It depends only on (n, rowBytes), never on
+// GOMAXPROCS, so encoded bytes are machine-independent.
+func NumSections(n, rowBytes int) int {
 	if n <= 0 {
 		return 1
 	}
-	s := (n + sectionRowQuantum - 1) / sectionRowQuantum
+	if rowBytes < 4 {
+		rowBytes = 4 // defensive: a row is at least one float32
+	}
+	s := (n*rowBytes + sectionByteBudget - 1) / sectionByteBudget
+	if s < minSections {
+		s = minSections
+	}
+	if q := (n + sectionRowQuantum - 1) / sectionRowQuantum; s > q {
+		s = q
+	}
 	if s > maxSections {
 		s = maxSections
 	}
@@ -65,7 +82,8 @@ func RowBytes(dims []int) int {
 // SectionedSize returns the exact encoded size of the sectioned block for n
 // rows of the given dims.
 func SectionedSize(n int, dims []int) int {
-	return 4 + 4*NumSections(n) + n*RowBytes(dims)
+	rowB := RowBytes(dims)
+	return 4 + 4*NumSections(n, rowB) + n*rowB
 }
 
 // AppendSectioned appends the sectioned encoding of e to dst and returns the
@@ -73,8 +91,8 @@ func SectionedSize(n int, dims []int) int {
 // is byte-identical regardless of worker count.
 func (e *Embeddings) AppendSectioned(dst []byte) []byte {
 	n, dims := e.N, e.Dims
-	S := NumSections(n)
 	rowB := RowBytes(dims)
+	S := NumSections(n, rowB)
 	base := len(dst)
 	dst = append(dst, make([]byte, SectionedSize(n, dims))...)
 	b := dst[base:]
@@ -170,10 +188,10 @@ func DecodeSectioned(b []byte, n int, dims []int) (*Embeddings, []byte, error) {
 		return nil, nil, fmt.Errorf("gnn: sectioned block truncated in header")
 	}
 	S := int(binary.LittleEndian.Uint32(b))
-	if S < 1 || S > maxSections || S != NumSections(n) {
-		return nil, nil, fmt.Errorf("gnn: sectioned block has %d sections, want %d", S, NumSections(n))
-	}
 	rowB := RowBytes(dims)
+	if S < 1 || S > maxSections || S != NumSections(n, rowB) {
+		return nil, nil, fmt.Errorf("gnn: sectioned block has %d sections, want %d", S, NumSections(n, rowB))
+	}
 	total := 4 + 4*S + n*rowB
 	if len(b) < total {
 		return nil, nil, fmt.Errorf("gnn: sectioned block truncated: %d bytes, need %d", len(b), total)

@@ -76,23 +76,28 @@ func TestSectionedRoundTrip(t *testing.T) {
 // the checkpoint layer depends on: the encoded bytes are a function of
 // the state alone, never of the worker count that encoded them.
 func TestSectionedDeterministicAcrossParallelism(t *testing.T) {
-	e := randomEmbeddings(700, []int{8, 12, 6}, 2024)
 	prev := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prev)
-	var first []byte
-	for _, workers := range []int{1, 2, 8} {
-		runtime.GOMAXPROCS(workers)
-		enc := e.AppendSectioned(nil)
-		if first == nil {
-			first = enc
-			continue
-		}
-		if len(enc) != len(first) {
-			t.Fatalf("GOMAXPROCS=%d: %d bytes, want %d", workers, len(enc), len(first))
-		}
-		for i := range enc {
-			if enc[i] != first[i] {
-				t.Fatalf("GOMAXPROCS=%d: byte %d differs — encoding depends on parallelism", workers, i)
+	// Two row widths: the narrow one sits on the minSections floor, the
+	// wide one is sized by the byte budget — the contract must hold on
+	// both sides of the sizing rule.
+	for _, dims := range [][]int{{8, 12, 6}, {128, 256, 40}} {
+		e := randomEmbeddings(700, dims, 2024)
+		var first []byte
+		for _, workers := range []int{1, 2, 8} {
+			runtime.GOMAXPROCS(workers)
+			enc := e.AppendSectioned(nil)
+			if first == nil {
+				first = enc
+				continue
+			}
+			if len(enc) != len(first) {
+				t.Fatalf("dims=%v GOMAXPROCS=%d: %d bytes, want %d", dims, workers, len(enc), len(first))
+			}
+			for i := range enc {
+				if enc[i] != first[i] {
+					t.Fatalf("dims=%v GOMAXPROCS=%d: byte %d differs — encoding depends on parallelism", dims, workers, i)
+				}
 			}
 		}
 	}
@@ -114,7 +119,7 @@ func TestSectionedRejectsCorruption(t *testing.T) {
 	}
 	// Flip one payload byte in each section-sized stride: every flip must
 	// be caught by that section's CRC.
-	for _, off := range []int{4 + 4*NumSections(n), len(enc) / 2, len(enc) - 1} {
+	for _, off := range []int{4 + 4*NumSections(n, RowBytes(dims)), len(enc) / 2, len(enc) - 1} {
 		bad := append([]byte(nil), enc...)
 		bad[off] ^= 0x40
 		if _, _, err := DecodeSectioned(bad, n, dims); err == nil {
@@ -124,12 +129,29 @@ func TestSectionedRejectsCorruption(t *testing.T) {
 }
 
 func TestNumSections(t *testing.T) {
-	for _, tt := range []struct{ n, want int }{
-		{0, 1}, {1, 1}, {16, 1}, {17, 2}, {160, 10}, {1024, 64}, {1 << 20, 64},
+	const smallRow = 104 // RowBytes([]int{5, 6, 4})
+	for _, tt := range []struct{ n, rowBytes, want int }{
+		// Tiny states: the 16-row quantum wins, down to a single section.
+		{0, smallRow, 1}, {1, smallRow, 1}, {16, smallRow, 1}, {17, smallRow, 2}, {48, smallRow, 3},
+		// Small states: the minSections floor keeps the multi-section path hot.
+		{160, smallRow, 4}, {10_000, smallRow, 4},
+		// Large states: count tracks total bytes at ~256 KiB per section,
+		// so wider rows mean more sections for the same row count.
+		{100_000, smallRow, 40},
+		{100_000, 10 * smallRow, 397},
+		// Huge states cap at maxSections.
+		{1 << 24, 4096, maxSections},
 	} {
-		if got := NumSections(tt.n); got != tt.want {
-			t.Errorf("NumSections(%d) = %d, want %d", tt.n, got, tt.want)
+		if got := NumSections(tt.n, tt.rowBytes); got != tt.want {
+			t.Errorf("NumSections(%d, %d) = %d, want %d", tt.n, tt.rowBytes, got, tt.want)
 		}
+	}
+	// Per-section payload stays near the budget once past the clamps.
+	n, rowBytes := 500_000, 256
+	s := NumSections(n, rowBytes)
+	perSection := n * rowBytes / s
+	if perSection < sectionByteBudget/2 || perSection > 2*sectionByteBudget {
+		t.Errorf("per-section payload %d bytes, want within 2x of budget %d (S=%d)", perSection, sectionByteBudget, s)
 	}
 }
 

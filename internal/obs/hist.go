@@ -1,0 +1,185 @@
+// Package obs is the zero-dependency observability layer: a hand-rolled
+// Prometheus-text metrics registry, a power-of-two latency histogram cheap
+// enough for hot paths, a lock-free flight recorder of recent batch
+// traces, and slog construction helpers shared by the daemons. It imports
+// only the standard library and is imported by every tier — so it must
+// never grow a dependency on the rest of the module.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets covers [1ns, 2^47ns ≈ 39h); anything longer clamps into the
+// top bucket.
+const HistBuckets = 48
+
+// LatencyHist is a fixed-bucket latency histogram: power-of-two nanosecond
+// buckets (bucket i holds durations in [2^(i-1), 2^i)), each an atomic
+// counter, so observing on a hot path is two atomic adds — no allocation,
+// no lock. Quantiles are 2×-granular upper bounds; the full bucket vector
+// (Snapshot) gives exact counts for /metrics exposition and for window
+// deltas computed by clients.
+type LatencyHist struct {
+	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total observed nanoseconds
+}
+
+// Observe records one duration. Negative durations (clock steps) count as
+// zero rather than corrupting a bucket index.
+func (h *LatencyHist) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	idx := bits.Len64(ns) // 0 for 0ns, else ⌈log2⌉ bucket
+	if idx >= HistBuckets {
+		idx = HistBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+}
+
+// Quantile returns an upper bound (in ns) for the q-quantile of every
+// observation so far — the top of the first bucket whose cumulative count
+// reaches q. Zero with no observations.
+func (h *LatencyHist) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < HistBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return int64(1) << i
+		}
+	}
+	return int64(1) << (HistBuckets - 1)
+}
+
+// Count returns the number of observations so far.
+func (h *LatencyHist) Count() uint64 { return h.count.Load() }
+
+// Snapshot captures the full bucket vector. Count is derived from the
+// bucket counts read (not the separate counter), so an exposition built
+// from the snapshot always satisfies `+Inf bucket == _count` even while
+// writers race the read. Sum may trail the buckets by in-flight
+// observations; the skew is bounded by concurrency and irrelevant at
+// scrape cadence.
+func (h *LatencyHist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	top := -1
+	var counts [HistBuckets]uint64
+	var total uint64
+	for i := 0; i < HistBuckets; i++ {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+		if c != 0 {
+			top = i
+		}
+	}
+	s.Count = total
+	s.SumNS = h.sum.Load()
+	if top >= 0 {
+		s.Counts = append([]uint64(nil), counts[:top+1]...)
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a LatencyHist's bucket vector:
+// Counts[i] holds observations in [2^(i-1), 2^i) ns (Counts[0] holds 0ns),
+// with trailing zero buckets trimmed. It serialises into /stats so clients
+// (rippleload) can compute exact-count quantiles over a measurement window
+// by differencing two snapshots.
+type HistSnapshot struct {
+	Counts []uint64 `json:"counts_pow2,omitempty"`
+	Count  uint64   `json:"count"`
+	SumNS  uint64   `json:"sum_ns"`
+}
+
+// Sub returns the window delta s−prev: per-bucket count differences plus
+// count/sum differences. Both snapshots must come from the same histogram
+// with s taken later; buckets that would go negative clamp to zero.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	n := len(s.Counts)
+	if len(prev.Counts) > n {
+		n = len(prev.Counts)
+	}
+	out := HistSnapshot{}
+	if n > 0 {
+		out.Counts = make([]uint64, n)
+	}
+	top := -1
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(s.Counts) {
+			a = s.Counts[i]
+		}
+		if i < len(prev.Counts) {
+			b = prev.Counts[i]
+		}
+		if a > b {
+			out.Counts[i] = a - b
+			top = i
+		}
+	}
+	out.Counts = out.Counts[:top+1]
+	if len(out.Counts) == 0 {
+		out.Counts = nil
+	}
+	if s.Count > prev.Count {
+		out.Count = s.Count - prev.Count
+	}
+	if s.SumNS > prev.SumNS {
+		out.SumNS = s.SumNS - prev.SumNS
+	}
+	return out
+}
+
+// Quantile mirrors LatencyHist.Quantile over the captured vector: an
+// upper bound in ns for the q-quantile. Zero with no observations.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return int64(1) << i
+		}
+	}
+	return int64(1) << (len(s.Counts) - 1)
+}
+
+// Mean returns the mean observed duration in ns (0 with no observations).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNS) / float64(s.Count)
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyHistSnapshotAndQuantile(t *testing.T) {
+	var h LatencyHist
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Nanosecond) // bucket 7: [64, 128)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond) // bucket 20
+	}
+	h.Observe(-time.Second) // clamps to 0ns, bucket 0
+	s := h.Snapshot()
+	if s.Count != 101 {
+		t.Fatalf("Count = %d, want 101", s.Count)
+	}
+	if want := uint64(90*100 + 10*1e6); s.SumNS != want {
+		t.Fatalf("SumNS = %d, want %d", s.SumNS, want)
+	}
+	if len(s.Counts) != 21 {
+		t.Fatalf("Counts trimmed to %d buckets, want 21 (top bucket 20)", len(s.Counts))
+	}
+	if s.Counts[0] != 1 || s.Counts[7] != 90 || s.Counts[20] != 10 {
+		t.Fatalf("bucket placement wrong: %v", s.Counts)
+	}
+	if q := s.Quantile(0.5); q != 128 {
+		t.Fatalf("snapshot p50 = %d, want 128", q)
+	}
+	if q := h.Quantile(0.5); q != 128 {
+		t.Fatalf("live p50 = %d, want 128", q)
+	}
+	if q := s.Quantile(0.99); q != 1<<20 {
+		t.Fatalf("snapshot p99 = %d, want %d", q, 1<<20)
+	}
+}
+
+func TestHistSnapshotSub(t *testing.T) {
+	var h LatencyHist
+	h.Observe(100 * time.Nanosecond)
+	before := h.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.Observe(time.Millisecond)
+	}
+	d := h.Snapshot().Sub(before)
+	if d.Count != 50 {
+		t.Fatalf("delta Count = %d, want 50", d.Count)
+	}
+	if want := uint64(50 * 1e6); d.SumNS != want {
+		t.Fatalf("delta SumNS = %d, want %d", d.SumNS, want)
+	}
+	// The window held only 1ms observations: its p50 must ignore the
+	// pre-window 100ns point.
+	if q := d.Quantile(0.5); q != 1<<20 {
+		t.Fatalf("delta p50 = %d, want %d", q, 1<<20)
+	}
+	if empty := before.Sub(before); empty.Count != 0 || empty.Counts != nil {
+		t.Fatalf("self-delta not empty: %+v", empty)
+	}
+}
+
+func TestLatencyHistTopBucketClamp(t *testing.T) {
+	var h LatencyHist
+	h.Observe(1000 * time.Hour) // beyond 2^47ns
+	s := h.Snapshot()
+	if len(s.Counts) != HistBuckets || s.Counts[HistBuckets-1] != 1 {
+		t.Fatalf("overflow observation not clamped into top bucket: %v", s.Counts)
+	}
+}

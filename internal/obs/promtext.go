@@ -1,0 +1,532 @@
+package obs
+
+// Prometheus text exposition format (version 0.0.4): encoder for the
+// registry's families, plus a strict parser/linter used by the
+// conformance tests and by rippleload's -scrape-metrics parity check.
+// Both halves are hand-rolled against the published format so the module
+// stays dependency-free; the linter is deliberately stricter than real
+// scrapers (it rejects anything the format merely tolerates).
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+func encodeExposition(fams []*family) ([]byte, error) {
+	var b bytes.Buffer
+	for _, f := range fams {
+		if err := checkDuplicateSamples(f); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for i := range f.samples {
+			s := &f.samples[i]
+			if f.typ == TypeHistogram {
+				encodeHistogram(&b, f.name, s)
+				continue
+			}
+			b.WriteString(f.name)
+			writeLabels(&b, s.labels, "", 0)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.value))
+			b.WriteByte('\n')
+		}
+	}
+	return b.Bytes(), nil
+}
+
+// encodeHistogram renders one power-of-two snapshot as cumulative `le`
+// buckets in seconds. Bucket i of the snapshot holds durations in
+// [2^(i-1), 2^i) ns, so its upper bound is 2^i ns = 2^i/1e9 s; the exact
+// 2^i boundary value lands one bucket high, a quantization the 2×-wide
+// buckets already dwarf.
+func encodeHistogram(b *bytes.Buffer, name string, s *sample) {
+	var cum uint64
+	for i, c := range s.hist.Counts {
+		cum += c
+		le := math.Ldexp(1e-9, i) // 2^i ns in seconds
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		writeLabels(b, s.labels, "le", le)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(cum, 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString("_bucket")
+	writeLabels(b, s.labels, "le", math.Inf(1))
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(s.hist.Count, 10))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_sum")
+	writeLabels(b, s.labels, "", 0)
+	b.WriteByte(' ')
+	b.WriteString(formatValue(float64(s.hist.SumNS) / 1e9))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	writeLabels(b, s.labels, "", 0)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(s.hist.Count, 10))
+	b.WriteByte('\n')
+}
+
+// writeLabels renders `{a="b",...}` (nothing when empty). leName, when
+// non-empty, appends the histogram bucket bound last.
+func writeLabels(b *bytes.Buffer, labels []Label, leName string, le float64) {
+	if len(labels) == 0 && leName == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if leName != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leName)
+		b.WriteString(`="`)
+		b.WriteString(formatValue(le))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func checkDuplicateSamples(f *family) error {
+	seen := map[string]bool{}
+	for i := range f.samples {
+		key := labelKey(f.samples[i].labels)
+		if seen[key] {
+			return fmt.Errorf("obs: metric %q: duplicate sample with labels {%s}", f.name, key)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+func labelKey(labels []Label) string {
+	sorted := sortLabels(labels)
+	var sb strings.Builder
+	for i, l := range sorted {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Parser / linter.
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Exposition is a parsed scrape: declared family types plus every sample
+// in document order.
+type Exposition struct {
+	Types   map[string]string // family name -> TYPE
+	Samples []Sample
+}
+
+// Value returns the value of the unique sample with the given name and an
+// exact (subset-free) label match. The second return is false when absent.
+func (e *Exposition) Value(name string, labels ...Label) (float64, bool) {
+	for i := range e.Samples {
+		s := &e.Samples[i]
+		if s.Name != name || len(s.Labels) != len(labels) {
+			continue
+		}
+		ok := true
+		for _, l := range labels {
+			if s.Labels[l.Name] != l.Value {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// SeriesCount returns the number of distinct (name, labelset) series,
+// counting a histogram's buckets/_sum/_count as one series per labelset.
+func (e *Exposition) SeriesCount() int {
+	seen := map[string]bool{}
+	for i := range e.Samples {
+		s := &e.Samples[i]
+		name := s.Name
+		var labels []Label
+		if base, isHist := e.histogramBase(name); isHist {
+			name = base
+			for k, v := range s.Labels {
+				if k == "le" {
+					continue
+				}
+				labels = append(labels, Label{k, v})
+			}
+		} else {
+			for k, v := range s.Labels {
+				labels = append(labels, Label{k, v})
+			}
+		}
+		seen[name+"\x00"+labelKey(labels)] = true
+	}
+	return len(seen)
+}
+
+// HistogramCount returns the number of histogram families with at least
+// one bucket sample.
+func (e *Exposition) HistogramCount() int {
+	n := 0
+	seen := map[string]bool{}
+	for i := range e.Samples {
+		base, isHist := e.histogramBase(e.Samples[i].Name)
+		if isHist && strings.HasSuffix(e.Samples[i].Name, "_bucket") && !seen[base] {
+			seen[base] = true
+			n++
+		}
+	}
+	return n
+}
+
+// histogramBase maps a _bucket/_sum/_count sample name to its family name
+// when that family is declared as a histogram.
+func (e *Exposition) histogramBase(name string) (string, bool) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok && e.Types[base] == "histogram" {
+			return base, true
+		}
+	}
+	return name, false
+}
+
+// ParseExposition parses Prometheus text exposition format strictly:
+// malformed lines, bad charsets, or unknown escapes are errors.
+func ParseExposition(data []byte) (*Exposition, error) {
+	e := &Exposition{Types: map[string]string{}}
+	helpSeen := map[string]bool{}
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			switch kind {
+			case "TYPE":
+				if _, dup := e.Types[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown TYPE %q for %q", lineNo, rest, name)
+				}
+				e.Types[name] = rest
+			case "HELP":
+				if helpSeen[name] {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+				}
+				helpSeen[name] = true
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		e.Samples = append(e.Samples, s)
+	}
+	return e, nil
+}
+
+func parseComment(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimPrefix(body, " ")
+	switch {
+	case strings.HasPrefix(body, "TYPE "):
+		kind = "TYPE"
+		body = strings.TrimPrefix(body, "TYPE ")
+	case strings.HasPrefix(body, "HELP "):
+		kind = "HELP"
+		body = strings.TrimPrefix(body, "HELP ")
+	default:
+		return "", "", "", nil // free-form comment: legal, ignored
+	}
+	name, rest, _ = strings.Cut(body, " ")
+	if !validMetricName(name) {
+		return "", "", "", fmt.Errorf("%s comment names invalid metric %q", kind, name)
+	}
+	return kind, name, rest, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			for i < len(line) && line[i] == ' ' {
+				i++
+			}
+			if i < len(line) && line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			if j == len(line) {
+				return s, fmt.Errorf("unterminated label in %q", line)
+			}
+			lname := strings.TrimSpace(line[i:j])
+			if !validLabelName(lname) {
+				return s, fmt.Errorf("invalid label name %q", lname)
+			}
+			i = j + 1
+			if i >= len(line) || line[i] != '"' {
+				return s, fmt.Errorf("label %q: value not quoted", lname)
+			}
+			i++
+			var val strings.Builder
+			for {
+				if i >= len(line) {
+					return s, fmt.Errorf("label %q: unterminated value", lname)
+				}
+				c := line[i]
+				if c == '"' {
+					i++
+					break
+				}
+				if c == '\\' {
+					if i+1 >= len(line) {
+						return s, fmt.Errorf("label %q: trailing backslash", lname)
+					}
+					switch line[i+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return s, fmt.Errorf("label %q: bad escape \\%c", lname, line[i+1])
+					}
+					i += 2
+					continue
+				}
+				val.WriteByte(c)
+				i++
+			}
+			if _, dup := s.Labels[lname]; dup {
+				return s, fmt.Errorf("duplicate label %q", lname)
+			}
+			s.Labels[lname] = val.String()
+			for i < len(line) && line[i] == ' ' {
+				i++
+			}
+			if i < len(line) && line[i] == ',' {
+				i++
+			}
+		}
+	}
+	rest := strings.TrimSpace(line[i:])
+	// A timestamp field after the value is legal in the format; we never
+	// emit one, and the linter treats any second field as an error.
+	if rest == "" {
+		return s, fmt.Errorf("missing value in %q", line)
+	}
+	if strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// LintExposition parses data and verifies the format invariants the
+// conformance test pins: every sample belongs to a declared family, TYPE
+// values are consistent with sample shapes, histogram `le` buckets are
+// monotone non-decreasing with a `+Inf` bucket equal to `_count`, `_sum`
+// and `_count` are present per bucket labelset, counters are finite and
+// non-negative, and no (name, labelset) repeats.
+func LintExposition(data []byte) (*Exposition, error) {
+	e, err := ParseExposition(data)
+	if err != nil {
+		return nil, err
+	}
+	type histSeries struct {
+		les        []float64
+		cums       []float64
+		hasInf     bool
+		infCount   float64
+		sum, count *float64
+	}
+	hists := map[string]*histSeries{}
+	seen := map[string]bool{}
+	for i := range e.Samples {
+		s := &e.Samples[i]
+		base, isHist := e.histogramBase(s.Name)
+		famType, declared := e.Types[base]
+		if !declared {
+			return nil, fmt.Errorf("sample %q: no TYPE declared for family %q", s.Name, base)
+		}
+		key := s.Name + "\x00" + labelKeyMap(s.Labels)
+		if seen[key] {
+			return nil, fmt.Errorf("duplicate sample %q {%s}", s.Name, labelKeyMap(s.Labels))
+		}
+		seen[key] = true
+		if famType == "counter" {
+			if s.Value < 0 || math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+				return nil, fmt.Errorf("counter %q has non-finite or negative value %v", s.Name, s.Value)
+			}
+		}
+		if !isHist {
+			if famType == "histogram" {
+				return nil, fmt.Errorf("histogram family %q has plain sample %q", base, s.Name)
+			}
+			continue
+		}
+		// Histogram component sample: group by labelset sans le.
+		var rest []Label
+		for k, v := range s.Labels {
+			if k != "le" {
+				rest = append(rest, Label{k, v})
+			}
+		}
+		hkey := base + "\x00" + labelKey(rest)
+		hs := hists[hkey]
+		if hs == nil {
+			hs = &histSeries{}
+			hists[hkey] = hs
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return nil, fmt.Errorf("histogram %q: bucket without le label", base)
+			}
+			le, err := parseValue(leStr)
+			if err != nil || math.IsNaN(le) {
+				return nil, fmt.Errorf("histogram %q: bad le %q", base, leStr)
+			}
+			if math.IsInf(le, 1) {
+				hs.hasInf = true
+				hs.infCount = s.Value
+			}
+			hs.les = append(hs.les, le)
+			hs.cums = append(hs.cums, s.Value)
+		case strings.HasSuffix(s.Name, "_sum"):
+			v := s.Value
+			hs.sum = &v
+		case strings.HasSuffix(s.Name, "_count"):
+			v := s.Value
+			hs.count = &v
+		}
+	}
+	for hkey, hs := range hists {
+		base := hkey[:strings.Index(hkey, "\x00")]
+		if len(hs.les) == 0 {
+			return nil, fmt.Errorf("histogram %q: no buckets", base)
+		}
+		for i := 1; i < len(hs.les); i++ {
+			if hs.les[i] <= hs.les[i-1] {
+				return nil, fmt.Errorf("histogram %q: le not strictly increasing (%v after %v)", base, hs.les[i], hs.les[i-1])
+			}
+			if hs.cums[i] < hs.cums[i-1] {
+				return nil, fmt.Errorf("histogram %q: cumulative bucket counts decrease (%v after %v at le %v)", base, hs.cums[i], hs.cums[i-1], hs.les[i])
+			}
+		}
+		if !hs.hasInf {
+			return nil, fmt.Errorf("histogram %q: missing +Inf bucket", base)
+		}
+		if hs.sum == nil {
+			return nil, fmt.Errorf("histogram %q: missing _sum", base)
+		}
+		if hs.count == nil {
+			return nil, fmt.Errorf("histogram %q: missing _count", base)
+		}
+		if *hs.count != hs.infCount {
+			return nil, fmt.Errorf("histogram %q: _count %v != +Inf bucket %v", base, *hs.count, hs.infCount)
+		}
+	}
+	return e, nil
+}
+
+func labelKeyMap(m map[string]string) string {
+	var labels []Label
+	for k, v := range m {
+		labels = append(labels, Label{k, v})
+	}
+	return labelKey(labels)
+}

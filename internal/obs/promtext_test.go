@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildRegistry assembles a registry exercising every instrument kind,
+// labels, and the runtime collector.
+func buildRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	r.CollectGoRuntime()
+	c := r.NewCounter("test_events_total", "Events observed.")
+	c.Add(41)
+	c.Inc()
+	g := r.NewGauge("test_depth", "Current depth.")
+	g.Set(-3)
+	h := r.NewHistogram("test_wait_seconds", "Wait time.", L("stage", "apply"))
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	r.Collect(func(e *Emitter) {
+		e.Counter("test_bytes_total", "Bytes per direction.", 10, L("dir", "in"))
+		e.Counter("test_bytes_total", "Bytes per direction.", 20, L("dir", "out"))
+		e.Gauge("test_tricky_label", "Escaping.", 1, L("v", "a\\b\"c\nd"))
+	})
+	return r
+}
+
+func TestExpositionConformance(t *testing.T) {
+	data, err := buildRegistry(t).Expose()
+	if err != nil {
+		t.Fatalf("Expose: %v", err)
+	}
+	exp, err := LintExposition(data)
+	if err != nil {
+		t.Fatalf("lint failed:\n%s\nerror: %v", data, err)
+	}
+	if v, ok := exp.Value("test_events_total"); !ok || v != 42 {
+		t.Fatalf("test_events_total = %v, %v; want 42, true", v, ok)
+	}
+	if v, ok := exp.Value("test_depth"); !ok || v != -3 {
+		t.Fatalf("test_depth = %v, %v; want -3, true", v, ok)
+	}
+	if v, ok := exp.Value("test_bytes_total", L("dir", "out")); !ok || v != 20 {
+		t.Fatalf("test_bytes_total{dir=out} = %v, %v; want 20, true", v, ok)
+	}
+	if v, ok := exp.Value("test_tricky_label", L("v", "a\\b\"c\nd")); !ok || v != 1 {
+		t.Fatalf("escaped label round-trip failed: %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("test_wait_seconds_count", L("stage", "apply")); !ok || v != 100 {
+		t.Fatalf("histogram _count = %v, %v; want 100, true", v, ok)
+	}
+	if exp.HistogramCount() != 1 {
+		t.Fatalf("HistogramCount = %d, want 1", exp.HistogramCount())
+	}
+	if got := exp.Types["test_wait_seconds"]; got != "histogram" {
+		t.Fatalf("TYPE test_wait_seconds = %q", got)
+	}
+}
+
+func TestExpositionConstLabels(t *testing.T) {
+	r := NewRegistry()
+	r.SetConstLabels(L("role", "leader"), L("rank", "0"))
+	r.NewCounter("x_total", "X.").Inc()
+	data, err := r.Expose()
+	if err != nil {
+		t.Fatalf("Expose: %v", err)
+	}
+	exp, err := LintExposition(data)
+	if err != nil {
+		t.Fatalf("lint: %v\n%s", err, data)
+	}
+	if v, ok := exp.Value("x_total", L("role", "leader"), L("rank", "0")); !ok || v != 1 {
+		t.Fatalf("const labels missing: %v %v\n%s", v, ok, data)
+	}
+}
+
+func TestExpositionRejectsBadEmission(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(e *Emitter)
+	}{
+		{"bad metric name", func(e *Emitter) { e.Counter("9bad", "x", 1) }},
+		{"bad label name", func(e *Emitter) { e.Counter("ok_total", "x", 1, L("9bad", "v")) }},
+		{"reserved le", func(e *Emitter) { e.Histogram("h_seconds", "x", HistSnapshot{}, L("le", "1")) }},
+		{"type conflict", func(e *Emitter) {
+			e.Counter("twice", "x", 1)
+			e.Gauge("twice", "x", 1)
+		}},
+		{"duplicate sample", func(e *Emitter) {
+			e.Counter("dup_total", "x", 1, L("a", "b"))
+			e.Counter("dup_total", "x", 2, L("a", "b"))
+		}},
+	}
+	for _, tc := range cases {
+		r := NewRegistry()
+		r.Collect(tc.fn)
+		if _, err := r.Expose(); err == nil {
+			t.Errorf("%s: Expose accepted invalid emission", tc.name)
+		}
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"no TYPE", "orphan_total 1\n"},
+		{"bad value", "# TYPE x counter\nx abc\n"},
+		{"negative counter", "# TYPE x counter\nx -1\n"},
+		{"duplicate series", "# TYPE x gauge\nx 1\nx 2\n"},
+		{"le not increasing", "# TYPE h histogram\n" +
+			`h_bucket{le="0.1"} 1` + "\n" + `h_bucket{le="0.1"} 2` + "\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 2\n"},
+		{"cumulative decreases", "# TYPE h histogram\n" +
+			`h_bucket{le="0.1"} 5` + "\n" + `h_bucket{le="0.2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n"},
+		{"missing +Inf", "# TYPE h histogram\n" + `h_bucket{le="0.1"} 1` + "\nh_sum 1\nh_count 1\n"},
+		{"count mismatch", "# TYPE h histogram\n" + `h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 4\n"},
+		{"missing sum", "# TYPE h histogram\n" + `h_bucket{le="+Inf"} 1` + "\nh_count 1\n"},
+		{"unterminated label", "# TYPE x gauge\n" + `x{a="b 1` + "\n"},
+		{"duplicate TYPE", "# TYPE x gauge\n# TYPE x gauge\nx 1\n"},
+	}
+	for _, tc := range cases {
+		if _, err := LintExposition([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: lint accepted malformed exposition:\n%s", tc.name, tc.doc)
+		}
+	}
+}
+
+func TestSeriesCountCollapsesHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h_seconds", "x")
+	h.Observe(time.Millisecond)
+	r.NewCounter("c_total", "x").Inc()
+	data, err := r.Expose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := LintExposition(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One histogram series + one counter series, regardless of bucket count.
+	if got := exp.SeriesCount(); got != 2 {
+		t.Fatalf("SeriesCount = %d, want 2\n%s", got, data)
+	}
+	if !strings.Contains(string(data), `h_seconds_bucket{le="+Inf"}`) {
+		t.Fatalf("missing +Inf bucket:\n%s", data)
+	}
+}

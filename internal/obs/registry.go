@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// MetricType is the exposition TYPE of a metric family.
+type MetricType uint8
+
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// sample is one exposition line (or, for histograms, one bucket series).
+type sample struct {
+	labels []Label
+	value  float64
+	hist   *HistSnapshot // non-nil for histogram samples
+}
+
+// family groups every sample of one metric name under one HELP/TYPE pair.
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	samples []sample
+}
+
+// Emitter receives metrics during one collection pass. Families appear in
+// the exposition in first-emission order and samples in emission order, so
+// a collector that emits deterministically produces a byte-stable scrape
+// (modulo values) — which keeps the conformance test's diffs readable.
+type Emitter struct {
+	fams  []*family
+	index map[string]*family
+	errs  []error
+}
+
+func (e *Emitter) family(name, help string, typ MetricType) *family {
+	if f, ok := e.index[name]; ok {
+		if f.typ != typ {
+			e.errs = append(e.errs, fmt.Errorf("obs: metric %q emitted as both %s and %s", name, f.typ, typ))
+		}
+		return f
+	}
+	if !validMetricName(name) {
+		e.errs = append(e.errs, fmt.Errorf("obs: invalid metric name %q", name))
+	}
+	f := &family{name: name, help: help, typ: typ}
+	e.index[name] = f
+	e.fams = append(e.fams, f)
+	return f
+}
+
+func (e *Emitter) checkLabels(name string, labels []Label, histogram bool) {
+	for _, l := range labels {
+		if !validLabelName(l.Name) {
+			e.errs = append(e.errs, fmt.Errorf("obs: metric %q: invalid label name %q", name, l.Name))
+		}
+		if histogram && l.Name == "le" {
+			e.errs = append(e.errs, fmt.Errorf("obs: metric %q: label \"le\" is reserved on histograms", name))
+		}
+	}
+}
+
+// Counter emits one cumulative counter sample.
+func (e *Emitter) Counter(name, help string, value float64, labels ...Label) {
+	e.checkLabels(name, labels, false)
+	f := e.family(name, help, TypeCounter)
+	f.samples = append(f.samples, sample{labels: labels, value: value})
+}
+
+// Gauge emits one instantaneous gauge sample.
+func (e *Emitter) Gauge(name, help string, value float64, labels ...Label) {
+	e.checkLabels(name, labels, false)
+	f := e.family(name, help, TypeGauge)
+	f.samples = append(f.samples, sample{labels: labels, value: value})
+}
+
+// Histogram emits one histogram sample from a power-of-two bucket
+// snapshot; the encoder renders it as cumulative `le` buckets (in
+// seconds) plus `_sum` and `_count`.
+func (e *Emitter) Histogram(name, help string, snap HistSnapshot, labels ...Label) {
+	e.checkLabels(name, labels, true)
+	f := e.family(name, help, TypeHistogram)
+	h := snap
+	f.samples = append(f.samples, sample{labels: labels, hist: &h})
+}
+
+// Registry gathers metrics on demand: each scrape runs every registered
+// collector against a fresh Emitter and encodes the result in Prometheus
+// text exposition format. Registering is cheap; nothing is retained
+// between scrapes except the live instruments the caller created.
+type Registry struct {
+	mu          sync.Mutex
+	collectors  []func(*Emitter)
+	constLabels []Label
+	start       time.Time
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{start: time.Now()}
+}
+
+// SetConstLabels attaches labels to every sample the registry exposes
+// (e.g. role="leader", rank="0"). Call before serving.
+func (r *Registry) SetConstLabels(labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.constLabels = labels
+}
+
+// Collect registers a collection callback, run on every scrape in
+// registration order. Callbacks must be safe to call concurrently with
+// the process's hot paths (snapshot atomics, don't lock write paths).
+func (r *Registry) Collect(fn func(*Emitter)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// CollectGoRuntime registers the standard process-health series every
+// daemon exposes: goroutines, heap, GC totals, uptime.
+func (r *Registry) CollectGoRuntime() {
+	start := r.start
+	r.Collect(func(e *Emitter) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		e.Gauge("go_goroutines", "Number of live goroutines.", float64(runtime.NumGoroutine()))
+		e.Gauge("go_gomaxprocs", "GOMAXPROCS.", float64(runtime.GOMAXPROCS(0)))
+		e.Gauge("go_mem_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+		e.Gauge("go_mem_heap_sys_bytes", "Bytes of heap memory obtained from the OS.", float64(ms.HeapSys))
+		e.Counter("go_mem_alloc_bytes_total", "Cumulative bytes allocated for heap objects.", float64(ms.TotalAlloc))
+		e.Counter("go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
+		e.Counter("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", float64(ms.PauseTotalNs)/1e9)
+		e.Gauge("process_uptime_seconds", "Seconds since the registry was created.", time.Since(start).Seconds())
+	})
+}
+
+// gather runs the collectors and returns the families plus any emission
+// errors (bad names, type conflicts).
+func (r *Registry) gather() ([]*family, []error) {
+	r.mu.Lock()
+	collectors := r.collectors
+	constLabels := r.constLabels
+	r.mu.Unlock()
+	e := &Emitter{index: map[string]*family{}}
+	for _, fn := range collectors {
+		fn(e)
+	}
+	if len(constLabels) > 0 {
+		for _, f := range e.fams {
+			for i := range f.samples {
+				f.samples[i].labels = append(constLabels, f.samples[i].labels...)
+			}
+		}
+	}
+	return e.fams, e.errs
+}
+
+// Expose encodes one scrape in Prometheus text exposition format.
+func (r *Registry) Expose() ([]byte, error) {
+	fams, errs := r.gather()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return encodeExposition(fams)
+}
+
+// ServeHTTP serves the exposition — mount at GET /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	data, err := r.Expose()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(data)
+}
+
+// Counter is a live monotone counter instrument (use NewCounter).
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a live instantaneous-value instrument (use NewGauge).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// NewCounter creates and registers a live counter.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.Collect(func(e *Emitter) {
+		e.Counter(name, help, float64(c.Value()), labels...)
+	})
+	return c
+}
+
+// NewGauge creates and registers a live gauge.
+func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.Collect(func(e *Emitter) {
+		e.Gauge(name, help, float64(g.Value()), labels...)
+	})
+	return g
+}
+
+// NewHistogram creates and registers a live latency histogram.
+func (r *Registry) NewHistogram(name, help string, labels ...Label) *LatencyHist {
+	h := &LatencyHist{}
+	r.Collect(func(e *Emitter) {
+		e.Histogram(name, help, h.Snapshot(), labels...)
+	})
+	return h
+}
+
+// sortLabels returns labels sorted by name (a copy; emission order is
+// preserved in samples, sorting happens only for duplicate detection).
+func sortLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,291 @@
+package obs
+
+// The batch flight recorder: every batch admitted to the serve write path
+// carries a BatchTrace — monotone stage-span offsets stamped as the batch
+// moves admit → wal_append → durable → apply → publish → replicate →
+// fanout — and the completed trace is copied into a fixed-size lock-free
+// ring of the last N batches. /debug/traces drains the ring; a slow-batch
+// threshold surfaces outliers as structured log lines the moment they
+// complete, so "where did this 9.8ms batch go?" is answerable without a
+// profiler attached.
+//
+// The hot path (Enter/Exit during the batch, Record at completion) is
+// alloc-free and lock-free: spans are fixed-array offsets from one
+// time.Now() taken at admission (monotone by construction — time.Since
+// reads the monotonic clock), and Record is a seqlock-style slot write —
+// one CAS to claim the slot, plain atomic stores for the payload, one
+// release store. Readers validate the slot version before and after
+// copying; a reader that loses the race to a wrapping writer just skips
+// the slot. All payload accesses are atomic word operations, so the ring
+// is clean under the race detector as well as the memory model.
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"time"
+)
+
+// Stage indexes one pipeline stage span within a BatchTrace, in temporal
+// order of the write path.
+type Stage int
+
+const (
+	// StageAdmit spans the admission critical section: in-flight
+	// validation (durable servers) under the admission lock.
+	StageAdmit Stage = iota
+	// StageWALAppend spans the WAL record append (no-wait on the pipelined
+	// path; append+fsync on the serial baseline).
+	StageWALAppend
+	// StageDurable spans the residual wait until a group-commit fsync
+	// covers the record — near zero when the submitter's own wait already
+	// drove the commit while earlier epochs applied.
+	StageDurable
+	// StageApply spans the backend ApplyBatch call.
+	StageApply
+	// StagePublish spans the copy-on-write snapshot rebuild + pointer store.
+	StagePublish
+	// StageReplicate spans the replication hub's record/enqueue (zero-width
+	// when replication is not running).
+	StageReplicate
+	// StageFanout spans the subscriber label-change fan-out (zero-width
+	// with no subscribers).
+	StageFanout
+
+	// NumStages is the span-array size.
+	NumStages = int(StageFanout) + 1
+)
+
+var stageNames = [NumStages]string{
+	"admit", "wal_append", "durable", "apply", "publish", "replicate", "fanout",
+}
+
+func (s Stage) String() string {
+	if s < 0 || int(s) >= NumStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// Span is one stage's [start, end) window as nanosecond offsets from the
+// trace's Start. Offsets come from the monotonic clock, so within a trace
+// they are totally ordered even across wall-clock steps.
+type Span struct {
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+}
+
+// BatchTrace is one batch's ride through the write path.
+type BatchTrace struct {
+	Seq      uint64 // recorder sequence number (assigned by Record)
+	Epoch    uint64 // published epoch (0 for rejected batches)
+	Updates  int    // updates in the batch
+	Rejected bool
+	Start    time.Time // wall-clock admission time
+	Spans    [NumStages]Span
+}
+
+// Begin stamps the trace's start and clears prior state. Must be called
+// before any Enter/Exit.
+func (t *BatchTrace) Begin(updates int) {
+	*t = BatchTrace{Updates: updates, Start: time.Now()}
+}
+
+func (t *BatchTrace) since() int64 { return int64(time.Since(t.Start)) }
+
+// Enter stamps stage s's start offset.
+func (t *BatchTrace) Enter(s Stage) { t.Spans[s].StartNS = t.since() }
+
+// Exit stamps stage s's end offset.
+func (t *BatchTrace) Exit(s Stage) { t.Spans[s].EndNS = t.since() }
+
+// TotalNS is the trace's end-to-end duration: the latest span end.
+func (t *BatchTrace) TotalNS() int64 {
+	var max int64
+	for _, sp := range t.Spans {
+		if sp.EndNS > max {
+			max = sp.EndNS
+		}
+	}
+	return max
+}
+
+// stageJSON is the wire shape of one stage span in /debug/traces.
+type stageJSON struct {
+	Stage   string `json:"stage"`
+	StartNS int64  `json:"start_ns"`
+	EndNS   int64  `json:"end_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+type traceJSON struct {
+	Seq      uint64      `json:"seq"`
+	Epoch    uint64      `json:"epoch"`
+	Updates  int         `json:"updates"`
+	Rejected bool        `json:"rejected,omitempty"`
+	Start    time.Time   `json:"start"`
+	TotalNS  int64       `json:"total_ns"`
+	Stages   []stageJSON `json:"stages"`
+}
+
+// MarshalJSON renders the trace with named stages in pipeline order, each
+// with its duration, so /debug/traces is readable without knowing the
+// stage enum.
+func (t BatchTrace) MarshalJSON() ([]byte, error) {
+	out := traceJSON{
+		Seq:      t.Seq,
+		Epoch:    t.Epoch,
+		Updates:  t.Updates,
+		Rejected: t.Rejected,
+		Start:    t.Start,
+		TotalNS:  t.TotalNS(),
+		Stages:   make([]stageJSON, NumStages),
+	}
+	for i := 0; i < NumStages; i++ {
+		sp := t.Spans[i]
+		out.Stages[i] = stageJSON{
+			Stage:   Stage(i).String(),
+			StartNS: sp.StartNS,
+			EndNS:   sp.EndNS,
+			DurNS:   sp.EndNS - sp.StartNS,
+		}
+	}
+	return json.Marshal(out)
+}
+
+// traceWords is the flattened atomic-word footprint of one slot's payload:
+// seq, epoch, updates|rejected, start unix-ns, then NumStages (start, end)
+// pairs.
+const traceWords = 4 + 2*NumStages
+
+type traceSlot struct {
+	// ver is the seqlock version: odd while a writer owns the slot. The
+	// slot is claimed by CAS, so two wrapping writers can never interleave
+	// payload stores — the loser drops its trace instead.
+	ver atomic.Uint64
+	w   [traceWords]atomic.Int64
+}
+
+func (sl *traceSlot) store(t *BatchTrace) {
+	sl.w[0].Store(int64(t.Seq))
+	sl.w[1].Store(int64(t.Epoch))
+	packed := int64(t.Updates) << 1
+	if t.Rejected {
+		packed |= 1
+	}
+	sl.w[2].Store(packed)
+	sl.w[3].Store(t.Start.UnixNano())
+	for i := 0; i < NumStages; i++ {
+		sl.w[4+2*i].Store(t.Spans[i].StartNS)
+		sl.w[5+2*i].Store(t.Spans[i].EndNS)
+	}
+}
+
+// read copies the slot into t, returning false if a writer was active or
+// overwrote the slot mid-copy.
+func (sl *traceSlot) read(t *BatchTrace) bool {
+	v1 := sl.ver.Load()
+	if v1&1 == 1 {
+		return false
+	}
+	t.Seq = uint64(sl.w[0].Load())
+	t.Epoch = uint64(sl.w[1].Load())
+	packed := sl.w[2].Load()
+	t.Updates = int(packed >> 1)
+	t.Rejected = packed&1 == 1
+	t.Start = time.Unix(0, sl.w[3].Load())
+	for i := 0; i < NumStages; i++ {
+		t.Spans[i].StartNS = sl.w[4+2*i].Load()
+		t.Spans[i].EndNS = sl.w[5+2*i].Load()
+	}
+	return sl.ver.Load() == v1
+}
+
+// DefaultTraceRing is the default flight-recorder capacity.
+const DefaultTraceRing = 1024
+
+// FlightRecorder is the fixed-size lock-free ring of the last N batch
+// traces. Record never blocks and never allocates; Snapshot (the cold
+// read path) allocates its result.
+type FlightRecorder struct {
+	slots  []traceSlot
+	mask   uint64
+	next   atomic.Uint64 // last claimed sequence; sequences start at 1
+	slowNS int64
+	onSlow func(BatchTrace)
+}
+
+// NewFlightRecorder builds a recorder holding the last size traces
+// (rounded up to a power of two; <=0 means DefaultTraceRing).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultTraceRing
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &FlightRecorder{slots: make([]traceSlot, n), mask: uint64(n - 1)}
+}
+
+// SetSlowHook arranges for fn to be called (on the recording goroutine)
+// with every trace whose total duration reaches threshold. Zero threshold
+// disables. Must be set before recording starts; fn must not call back
+// into the recorder.
+func (r *FlightRecorder) SetSlowHook(threshold time.Duration, fn func(BatchTrace)) {
+	r.slowNS = int64(threshold)
+	r.onSlow = fn
+}
+
+// Cap returns the ring capacity.
+func (r *FlightRecorder) Cap() int { return len(r.slots) }
+
+// Recorded returns the total number of traces recorded (including any
+// dropped on a wrap race, which count as recorded-then-overwritten).
+func (r *FlightRecorder) Recorded() uint64 { return r.next.Load() }
+
+// Record copies the trace into the ring, assigning t.Seq. Lock-free and
+// alloc-free: one atomic claim, one CAS, fixed atomic stores. If the ring
+// wraps onto a slot another writer still owns — requires Cap concurrent
+// in-flight Records — the trace is dropped rather than torn.
+func (r *FlightRecorder) Record(t *BatchTrace) {
+	seq := r.next.Add(1)
+	t.Seq = seq
+	sl := &r.slots[seq&r.mask]
+	v := sl.ver.Load()
+	if v&1 == 1 || !sl.ver.CompareAndSwap(v, v+1) {
+		return // wrapped onto an active writer: drop, don't tear
+	}
+	sl.store(t)
+	sl.ver.Add(1)
+	if r.slowNS > 0 && r.onSlow != nil && t.TotalNS() >= r.slowNS {
+		r.onSlow(*t)
+	}
+}
+
+// Snapshot returns the retained traces with total duration >= min, oldest
+// first. Slots being overwritten during the scan are skipped, never torn.
+func (r *FlightRecorder) Snapshot(min time.Duration) []BatchTrace {
+	last := r.next.Load()
+	if last == 0 {
+		return nil
+	}
+	first := uint64(1)
+	if n := uint64(len(r.slots)); last > n {
+		first = last - n + 1
+	}
+	out := make([]BatchTrace, 0, last-first+1)
+	for seq := first; seq <= last; seq++ {
+		var t BatchTrace
+		if !r.slots[seq&r.mask].read(&t) {
+			continue
+		}
+		if t.Seq != seq {
+			continue // overwritten since we computed the range
+		}
+		if min > 0 && time.Duration(t.TotalNS()) < min {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}

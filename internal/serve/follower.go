@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -36,6 +37,7 @@ import (
 
 	"ripple/internal/cluster"
 	"ripple/internal/graph"
+	"ripple/internal/obs"
 	"ripple/internal/tensor"
 	"ripple/internal/transport"
 	"ripple/internal/wal"
@@ -69,6 +71,10 @@ type FollowerConfig struct {
 	// redial backoff after a failed dial or a dead session (default 250ms).
 	DialTimeout time.Duration
 	RetryEvery  time.Duration
+
+	// Logger receives the follower's structured operational logs —
+	// session churn, snapshot resyncs, recovery. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c FollowerConfig) withDefaults() FollowerConfig {
@@ -83,6 +89,9 @@ func (c FollowerConfig) withDefaults() FollowerConfig {
 	}
 	if c.RetryEvery <= 0 {
 		c.RetryEvery = 250 * time.Millisecond
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }
@@ -111,6 +120,18 @@ type FollowerStats struct {
 	WALAppends          uint64 `json:"wal_appends"`
 	WALFsyncs           uint64 `json:"wal_fsyncs"`
 	LastCheckpointEpoch uint64 `json:"last_checkpoint_epoch"`
+
+	// Replication-link traffic: transport stream counters summed over
+	// completed sessions plus the live one.
+	WireBytesIn  int64 `json:"wire_bytes_in"`
+	WireBytesOut int64 `json:"wire_bytes_out"`
+	WireMsgsIn   int64 `json:"wire_msgs_in"`
+	WireMsgsOut  int64 `json:"wire_msgs_out"`
+
+	// FrameApplyHist is the full bucket vector of per-frame apply time
+	// (decode + WAL append + publish), power-of-two-ns buckets — the
+	// follower-side analogue of the leader's apply histogram.
+	FrameApplyHist obs.HistSnapshot `json:"frame_apply_hist"`
 }
 
 // Follower follows a replication leader. Build with Follow; reads are
@@ -146,6 +167,18 @@ type Follower struct {
 	sessions    atomic.Int64
 	recovered   atomic.Int64
 	lastCkpt    atomic.Uint64
+
+	// Wire-traffic counters of completed sessions; the live stream's
+	// counters are added on top in Stats.
+	wireSent     atomic.Int64
+	wireRecv     atomic.Int64
+	wireMsgsSent atomic.Int64
+	wireMsgsRecv atomic.Int64
+
+	frameApplyH obs.LatencyHist
+	log         *slog.Logger
+	metricsOnce sync.Once
+	metrics     *obs.Registry
 }
 
 // Follow builds a follower: recover whatever DataDir holds (checkpoint +
@@ -162,6 +195,7 @@ func Follow(cfg FollowerConfig) (*Follower, error) {
 		pub:    NewPublisher(cfg.PageRows),
 		closed: make(chan struct{}),
 		ready:  make(chan struct{}),
+		log:    cfg.Logger,
 	}
 	if cfg.DataDir != "" {
 		if err := f.recover(); err != nil {
@@ -169,6 +203,9 @@ func Follow(cfg FollowerConfig) (*Follower, error) {
 				f.wal.Close()
 			}
 			return nil, err
+		}
+		if n := f.recovered.Load(); n > 0 {
+			f.log.Info("follower recovered from local wal", "component", "follower", "frames", n, "epoch", f.pub.Current().epoch)
 		}
 	}
 	f.wg.Add(1)
@@ -300,9 +337,21 @@ func (f *Follower) run() {
 			f.session(st)
 			f.connected.Store(false)
 			st.Close()
+			c := st.Counters()
+			f.wireSent.Add(c.BytesSent)
+			f.wireRecv.Add(c.BytesRecv)
+			f.wireMsgsSent.Add(c.MsgsSent)
+			f.wireMsgsRecv.Add(c.MsgsRecv)
 			f.mu.Lock()
 			f.stream = nil
 			f.mu.Unlock()
+			select {
+			case <-f.closed:
+			default:
+				f.log.Warn("leader session ended; redialing", "component", "follower", "leader", f.cfg.Leader, "epoch", f.epochNow(), "leader_epoch", f.leaderEpoch.Load())
+			}
+		} else {
+			f.log.Debug("leader dial failed", "component", "follower", "leader", f.cfg.Leader, "err", err)
 		}
 		select {
 		case <-f.closed:
@@ -328,6 +377,7 @@ func (f *Follower) session(st *transport.Stream) {
 	}
 	f.sessions.Add(1)
 	f.connected.Store(true)
+	f.log.Info("leader session established", "component", "follower", "leader", f.cfg.Leader, "watermark", watermark)
 	for {
 		msg, err := st.Recv()
 		if err != nil {
@@ -341,17 +391,30 @@ func (f *Follower) session(st *transport.Stream) {
 			}
 			f.maxLeaderEpoch(epoch)
 		case cluster.KindRepSnapshot:
-			if f.installSnapshot(msg.Payload) != nil {
+			if err := f.installSnapshot(msg.Payload); err != nil {
+				f.log.Warn("snapshot install failed; ending session", "component", "follower", "err", err)
 				return
 			}
 		case cluster.KindRepDelta:
-			if f.applyFrame(msg.Payload, true) != nil {
+			start := time.Now()
+			err := f.applyFrame(msg.Payload, true)
+			f.frameApplyH.Observe(time.Since(start))
+			if err != nil {
+				f.log.Warn("delta frame apply failed; ending session", "component", "follower", "epoch", f.epochNow(), "err", err)
 				return
 			}
 		default:
 			return // unknown frame: protocol desync
 		}
 	}
+}
+
+// epochNow is the current published epoch (0 before any snapshot).
+func (f *Follower) epochNow() uint64 {
+	if cur := f.pub.Current(); cur != nil {
+		return cur.epoch
+	}
+	return 0
 }
 
 // applyFrame applies one delta frame: sequencing check, bounds check,
@@ -446,6 +509,9 @@ func (f *Follower) installSnapshot(payload []byte) error {
 	f.pub.BootstrapFlat(labels, logits, classes, epoch)
 	if had {
 		f.resyncs.Add(1)
+		f.log.Info("full snapshot resync installed", "component", "follower", "epoch", epoch, "rows", len(labels))
+	} else {
+		f.log.Info("initial snapshot installed", "component", "follower", "epoch", epoch, "rows", len(labels))
 	}
 	f.maxLeaderEpoch(epoch)
 	f.markReady()
@@ -584,6 +650,14 @@ func (f *Follower) Stats() FollowerStats {
 		PagesShared: f.pub.pagesShared.Load(),
 
 		LastCheckpointEpoch: f.lastCkpt.Load(),
+
+		FrameApplyHist: f.frameApplyH.Snapshot(),
+	}
+	wire := transport.Counters{
+		BytesSent: f.wireSent.Load(),
+		BytesRecv: f.wireRecv.Load(),
+		MsgsSent:  f.wireMsgsSent.Load(),
+		MsgsRecv:  f.wireMsgsRecv.Load(),
 	}
 	f.mu.Lock()
 	if f.wal != nil {
@@ -591,7 +665,12 @@ func (f *Follower) Stats() FollowerStats {
 		st.WALBytes, st.WALSegments = ws.Bytes, ws.Segments
 		st.WALAppends, st.WALFsyncs = ws.Appends, ws.Fsyncs
 	}
+	if f.stream != nil {
+		wire = wire.Add(f.stream.Counters())
+	}
 	f.mu.Unlock()
+	st.WireBytesIn, st.WireBytesOut = wire.BytesRecv, wire.BytesSent
+	st.WireMsgsIn, st.WireMsgsOut = wire.MsgsRecv, wire.MsgsSent
 	return st
 }
 

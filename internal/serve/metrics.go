@@ -1,0 +1,135 @@
+package serve
+
+// Prometheus /metrics adapters: the existing Stats / FollowerStats
+// snapshots — already cheap, already consistent — are re-emitted as typed
+// series on every scrape. Nothing here touches the write path; a scrape
+// costs one Stats() call plus encoding.
+
+import (
+	"ripple/internal/obs"
+)
+
+// EmitMetrics renders the snapshot as Prometheus series. Shared by the
+// server's own registry and by anything embedding Stats elsewhere.
+func (st Stats) EmitMetrics(e *obs.Emitter) {
+	// Write path.
+	e.Counter("ripple_batches_total", "Batches applied and published.", float64(st.Batches))
+	e.Counter("ripple_batches_rejected_total", "Batches rejected by validation.", float64(st.Rejected))
+	e.Counter("ripple_updates_applied_total", "Graph updates in applied batches.", float64(st.UpdatesApplied))
+	e.Counter("ripple_label_flips_total", "Label changes published.", float64(st.LabelFlips))
+	e.Counter("ripple_notifications_dropped_total", "Notifications dropped on full subscriber channels.", float64(st.Dropped))
+	e.Gauge("ripple_epoch", "Current published epoch.", float64(st.Epoch))
+	e.Gauge("ripple_pending_updates", "Updates buffered in the admission queue.", float64(st.Pending))
+	e.Gauge("ripple_in_flight_batches", "Admitted batches queued for apply.", float64(st.InFlight))
+	e.Gauge("ripple_backend_failed", "1 when the backend has failed and writes are refused.", boolGauge(st.BackendFailed))
+
+	// Read path.
+	e.Counter("ripple_snapshot_reads_total", "Explicit snapshot pins served.", float64(st.Reads))
+	e.Gauge("ripple_subscribers", "Live label-change subscriptions.", float64(st.Subscribers))
+	e.Counter("ripple_pages_copied_total", "Snapshot pages copy-on-written across publishes.", float64(st.PagesCopied))
+	e.Counter("ripple_pages_shared_total", "Snapshot pages shared with the previous epoch.", float64(st.PagesShared))
+
+	// Engine scatter parallelism.
+	e.Gauge("ripple_scatter_shards", "Mailbox shard count of the engine scatter.", float64(st.ScatterShards))
+	e.Counter("ripple_scatter_hops_total", "Propagation hops by scatter path.", float64(st.ScatterHopsParallel), obs.L("path", "parallel"))
+	e.Counter("ripple_scatter_hops_total", "Propagation hops by scatter path.", float64(st.ScatterHopsSerial), obs.L("path", "serial"))
+
+	// Durability.
+	e.Gauge("ripple_wal_bytes", "Live WAL bytes on disk.", float64(st.WALBytes))
+	e.Gauge("ripple_wal_segments", "Live WAL segment files.", float64(st.WALSegments))
+	e.Counter("ripple_wal_appends_total", "WAL records appended.", float64(st.WALAppends))
+	e.Counter("ripple_wal_fsyncs_total", "WAL fsyncs issued (group commit shares them).", float64(st.WALFsyncs))
+	e.Gauge("ripple_last_checkpoint_epoch", "Epoch of the newest checkpoint.", float64(st.LastCheckpointEpoch))
+	e.Counter("ripple_recovered_batches", "Logged batches replayed by the last recovery.", float64(st.RecoveredBatches))
+	e.Counter("ripple_checkpoints_total", "Checkpoints by kind.", float64(st.FullCheckpoints), obs.L("kind", "full"))
+	e.Counter("ripple_checkpoints_total", "Checkpoints by kind.", float64(st.DeltaCheckpoints), obs.L("kind", "delta"))
+	e.Gauge("ripple_last_checkpoint_bytes", "Size of the most recent checkpoint file by kind.", float64(st.LastFullCheckpointBytes), obs.L("kind", "full"))
+	e.Gauge("ripple_last_checkpoint_bytes", "Size of the most recent checkpoint file by kind.", float64(st.LastDeltaCheckpointBytes), obs.L("kind", "delta"))
+	e.Counter("ripple_checkpoint_stall_seconds_total", "Cumulative write-lock time spent encoding checkpoints.", float64(st.CheckpointStallNS)/1e9)
+	e.Gauge("ripple_recovering", "1 while WAL replay is still running.", boolGauge(st.Recovering))
+
+	// Pipeline stage-wait histograms (full bucket vectors).
+	e.Histogram("ripple_queue_wait_seconds", "Admission-to-applier pickup wait.", st.QueueWaitHist)
+	e.Histogram("ripple_fsync_wait_seconds", "Applier residual durability wait.", st.FsyncWaitHist)
+	e.Histogram("ripple_apply_seconds", "ApplyBatch + publish critical section.", st.ApplyHist)
+	e.Histogram("ripple_batch_total_seconds", "Admission to published, end to end.", st.BatchTotalHist)
+	e.Counter("ripple_traces_recorded_total", "Batch traces captured by the flight recorder.", float64(st.TracesRecorded))
+
+	// Cluster backend communication (zero for single-node).
+	e.Counter("ripple_comm_bytes_total", "Distributed worker propagation bytes.", float64(st.CommBytes))
+	e.Counter("ripple_comm_msgs_total", "Distributed worker propagation messages.", float64(st.CommMsgs))
+	e.Counter("ripple_route_bytes_total", "Leader routing bytes.", float64(st.RouteBytes))
+	e.Counter("ripple_gather_bytes_total", "Delta-gather bytes per epoch publication.", float64(st.GatherBytes))
+
+	// Leader-side replication hub.
+	e.Gauge("ripple_repl_followers", "Connected replication followers.", float64(st.ReplFollowers))
+	e.Gauge("ripple_repl_log_epochs", "Epochs held by the in-memory replication log.", float64(st.ReplLogEpochs))
+	e.Counter("ripple_repl_frames_sent_total", "Delta frames streamed to followers.", float64(st.ReplFramesSent))
+	e.Counter("ripple_repl_bytes_sent_total", "Replication payload bytes streamed.", float64(st.ReplBytesSent))
+	e.Counter("ripple_repl_snapshots_sent_total", "Full-snapshot resyncs served.", float64(st.ReplSnapshotsSent))
+	e.Counter("ripple_repl_dropped_total", "Followers dropped for not draining.", float64(st.ReplDropped))
+	e.Gauge("ripple_repl_epoch", "Newest epoch recorded to the replication log.", float64(st.ReplEpoch))
+}
+
+// EmitMetrics renders the follower snapshot as Prometheus series.
+func (st FollowerStats) EmitMetrics(e *obs.Emitter) {
+	e.Gauge("ripple_follower_epoch", "Newest locally published epoch.", float64(st.Epoch))
+	e.Gauge("ripple_follower_leader_epoch", "Newest epoch the leader has reported.", float64(st.LeaderEpoch))
+	e.Gauge("ripple_follower_lag_epochs", "Epochs behind the leader (0 when caught up).", float64(st.LagEpochs))
+	e.Gauge("ripple_follower_connected", "1 when a live leader session exists.", boolGauge(st.Connected))
+	e.Gauge("ripple_follower_ready", "1 once a snapshot has been published.", boolGauge(st.Ready))
+
+	e.Counter("ripple_follower_frames_applied_total", "Delta frames applied across sessions.", float64(st.FramesApplied))
+	e.Counter("ripple_follower_rows_applied_total", "Changed rows applied.", float64(st.RowsApplied))
+	e.Counter("ripple_follower_snapshot_resyncs_total", "Full-snapshot installs over existing state.", float64(st.SnapshotResyncs))
+	e.Counter("ripple_follower_sessions_total", "Leader sessions established.", float64(st.Sessions))
+	e.Counter("ripple_follower_recovered_frames", "Frames replayed from the local WAL at start.", float64(st.RecoveredFrames))
+
+	e.Counter("ripple_snapshot_reads_total", "Explicit snapshot pins served.", float64(st.Reads))
+	e.Counter("ripple_pages_copied_total", "Snapshot pages copy-on-written across publishes.", float64(st.PagesCopied))
+	e.Counter("ripple_pages_shared_total", "Snapshot pages shared with the previous epoch.", float64(st.PagesShared))
+
+	e.Gauge("ripple_wal_bytes", "Live WAL bytes on disk.", float64(st.WALBytes))
+	e.Gauge("ripple_wal_segments", "Live WAL segment files.", float64(st.WALSegments))
+	e.Counter("ripple_wal_appends_total", "WAL records appended.", float64(st.WALAppends))
+	e.Counter("ripple_wal_fsyncs_total", "WAL fsyncs issued.", float64(st.WALFsyncs))
+	e.Gauge("ripple_last_checkpoint_epoch", "Epoch of the newest checkpoint.", float64(st.LastCheckpointEpoch))
+
+	e.Counter("ripple_wire_bytes_total", "Replication-link bytes by direction.", float64(st.WireBytesIn), obs.L("dir", "in"))
+	e.Counter("ripple_wire_bytes_total", "Replication-link bytes by direction.", float64(st.WireBytesOut), obs.L("dir", "out"))
+	e.Counter("ripple_wire_msgs_total", "Replication-link messages by direction.", float64(st.WireMsgsIn), obs.L("dir", "in"))
+	e.Counter("ripple_wire_msgs_total", "Replication-link messages by direction.", float64(st.WireMsgsOut), obs.L("dir", "out"))
+
+	e.Histogram("ripple_follower_frame_apply_seconds", "Per-frame apply time: decode, WAL append, publish.", st.FrameApplyHist)
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// MetricsRegistry returns the server's /metrics registry (built once):
+// runtime series plus every Stats counter and stage-wait histogram,
+// re-snapshotted on each scrape.
+func (s *Server) MetricsRegistry() *obs.Registry {
+	s.metricsOnce.Do(func() {
+		r := obs.NewRegistry()
+		r.CollectGoRuntime()
+		r.Collect(func(e *obs.Emitter) { s.Stats().EmitMetrics(e) })
+		s.metrics = r
+	})
+	return s.metrics
+}
+
+// MetricsRegistry returns the follower's /metrics registry (built once).
+func (f *Follower) MetricsRegistry() *obs.Registry {
+	f.metricsOnce.Do(func() {
+		r := obs.NewRegistry()
+		r.CollectGoRuntime()
+		r.Collect(func(e *obs.Emitter) { f.Stats().EmitMetrics(e) })
+		f.metrics = r
+	})
+	return f.metrics
+}

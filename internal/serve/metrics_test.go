@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ripple/internal/engine"
+	"ripple/internal/obs"
+)
+
+// scrape hits the registry through real HTTP plumbing and returns the
+// parsed, lint-clean exposition.
+func scrape(t *testing.T, reg *obs.Registry) *obs.Exposition {
+	t.Helper()
+	ts := httptest.NewServer(reg)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want text format 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := obs.LintExposition(body)
+	if err != nil {
+		t.Fatalf("exposition lint: %v\n%s", err, body)
+	}
+	return exp
+}
+
+// TestServerMetricsConformance scrapes a live durable server and pins the
+// acceptance bar: lint-clean Prometheus text with ≥30 series including ≥4
+// pow2-bucket histograms, and counter values that agree exactly with the
+// /stats snapshot the series were derived from.
+func TestServerMetricsConformance(t *testing.T) {
+	w := newDurWorld(t, 30, 120, 1, 1, 7)
+	srv, err := Open(w.engineLoader(), Config{DataDir: t.TempDir(), Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 6; i++ {
+		if _, err := srv.Apply([]engine.Update{featUpdate(i, 0, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	exp := scrape(t, srv.MetricsRegistry())
+	if n := exp.SeriesCount(); n < 30 {
+		t.Errorf("series count = %d, want >= 30", n)
+	}
+	if h := exp.HistogramCount(); h < 4 {
+		t.Errorf("histogram count = %d, want >= 4", h)
+	}
+
+	st := srv.Stats()
+	parity := map[string]float64{
+		"ripple_batches_total":     float64(st.Batches),
+		"ripple_epoch":             float64(st.Epoch),
+		"ripple_wal_appends_total": float64(st.WALAppends),
+		"ripple_wal_fsyncs_total":  float64(st.WALFsyncs),
+	}
+	for name, want := range parity {
+		got, ok := exp.Value(name)
+		if !ok {
+			t.Errorf("series %s missing", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %v, want %v (stats parity)", name, got, want)
+		}
+	}
+	// The end-to-end histogram must have seen every applied batch.
+	if got, ok := exp.Value("ripple_batch_total_seconds_count"); !ok || got != float64(st.Batches) {
+		t.Errorf("ripple_batch_total_seconds_count = %v (present=%v), want %d", got, ok, st.Batches)
+	}
+	// Registry is built once; a second scrape must re-snapshot, not replay.
+	if _, err := srv.Apply([]engine.Update{featUpdate(7, 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	exp2 := scrape(t, srv.MetricsRegistry())
+	if got, _ := exp2.Value("ripple_batches_total"); got != float64(st.Batches+1) {
+		t.Errorf("after one more batch, ripple_batches_total = %v, want %d", got, st.Batches+1)
+	}
+}
+
+// TestFollowerMetricsConformance pins the same bar for the follower role.
+func TestFollowerMetricsConformance(t *testing.T) {
+	w := newDurWorld(t, 30, 120, 1, 1, 11)
+	srv, err := Open(w.engineLoader(), Config{DataDir: t.TempDir(), Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	repl, err := srv.StartReplication("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Follow(FollowerConfig{Leader: repl.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	waitReady(t, f)
+	for i := 0; i < 4; i++ {
+		if _, err := srv.Apply([]engine.Update{featUpdate(i, 0, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFollowerEpoch(t, f, 4)
+
+	exp := scrape(t, f.MetricsRegistry())
+	if n := exp.SeriesCount(); n < 30 {
+		t.Errorf("follower series count = %d, want >= 30", n)
+	}
+	if h := exp.HistogramCount(); h < 1 {
+		t.Errorf("follower histogram count = %d, want >= 1", h)
+	}
+	st := f.Stats()
+	if got, _ := exp.Value("ripple_follower_frames_applied_total"); got != float64(st.FramesApplied) {
+		t.Errorf("ripple_follower_frames_applied_total = %v, want %d", got, st.FramesApplied)
+	}
+	if got, _ := exp.Value("ripple_follower_ready"); got != 1 {
+		t.Errorf("ripple_follower_ready = %v, want 1", got)
+	}
+	if got, ok := exp.Value("ripple_follower_frame_apply_seconds_count"); !ok || got < 1 {
+		t.Errorf("frame apply histogram count = %v (present=%v), want >= 1", got, ok)
+	}
+}
+
+// TestBatchTraceTimeline pins the flight-recorder contract for a durable
+// pipelined batch: every stage of the admission pipeline appears in the
+// trace with a monotone, non-negative timeline.
+func TestBatchTraceTimeline(t *testing.T) {
+	w := newDurWorld(t, 30, 120, 1, 1, 13)
+	srv, err := Open(w.engineLoader(), Config{DataDir: t.TempDir(), Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	const batches = 5
+	for i := 0; i < batches; i++ {
+		if _, err := srv.Apply([]engine.Update{featUpdate(i, 0, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// recordTrace runs before the submitter's ack (the done-channel close),
+	// so all five traces are visible here without waiting.
+	traces := srv.Traces(0)
+	if len(traces) != batches {
+		t.Fatalf("recorded %d traces, want %d", len(traces), batches)
+	}
+	for i, tr := range traces {
+		if tr.Epoch != uint64(i+1) {
+			t.Errorf("trace %d: epoch %d, want %d (oldest-first order)", i, tr.Epoch, i+1)
+		}
+		if tr.Rejected {
+			t.Errorf("trace %d: marked rejected", i)
+		}
+		if tr.Updates != 1 {
+			t.Errorf("trace %d: updates %d, want 1", i, tr.Updates)
+		}
+		if tr.TotalNS() <= 0 {
+			t.Errorf("trace %d: total %dns, want > 0", i, tr.TotalNS())
+		}
+		prev := int64(0)
+		for s := obs.Stage(0); int(s) < obs.NumStages; s++ {
+			sp := tr.Spans[s]
+			if sp.StartNS < 0 || sp.EndNS < sp.StartNS {
+				t.Errorf("trace %d stage %s: span [%d,%d] not well-formed", i, s, sp.StartNS, sp.EndNS)
+			}
+			if sp.StartNS < prev {
+				t.Errorf("trace %d stage %s: starts at %d before previous stage end %d", i, s, sp.StartNS, prev)
+			}
+			prev = sp.EndNS
+		}
+		// A durable batch must actually spend time in the WAL stage.
+		if sp := tr.Spans[obs.StageWALAppend]; sp.EndNS == sp.StartNS {
+			t.Errorf("trace %d: zero-width wal_append span for a durable batch", i)
+		}
+	}
+	if srv.Stats().TracesRecorded != batches {
+		t.Errorf("TracesRecorded = %d, want %d", srv.Stats().TracesRecorded, batches)
+	}
+}
+
+// TestTraceRingConcurrent hammers the recorder from 8 pipelined
+// submitters while readers drain Traces() and scrape /metrics — run under
+// -race this pins the seqlock ring and the scrape path as data-race free,
+// and the validation below catches torn reads structurally.
+func TestTraceRingConcurrent(t *testing.T) {
+	w := newDurWorld(t, 40, 160, 1, 1, 17)
+	srv, err := Open(w.engineLoader(), Config{DataDir: t.TempDir(), Fsync: true, TraceRing: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const goroutines, perG = 8, 12
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(2)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, tr := range srv.Traces(0) {
+				for s := obs.Stage(0); int(s) < obs.NumStages; s++ {
+					sp := tr.Spans[s]
+					if sp.EndNS < sp.StartNS {
+						t.Errorf("torn trace: seq %d stage %s span [%d,%d]", tr.Seq, s, sp.StartNS, sp.EndNS)
+						return
+					}
+				}
+			}
+		}
+	}()
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := srv.MetricsRegistry().Expose(); err != nil {
+				t.Errorf("scrape during load: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var writers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := srv.Apply([]engine.Update{featUpdate((g*5+i)%40, g, i)}); err != nil {
+					t.Errorf("goroutine %d apply %d: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := srv.Stats().TracesRecorded; got != goroutines*perG {
+		t.Errorf("TracesRecorded = %d, want %d", got, goroutines*perG)
+	}
+	// Ring capacity 64 < 96 recorded: snapshot holds the newest window.
+	traces := srv.Traces(0)
+	if len(traces) != 64 {
+		t.Errorf("ring snapshot holds %d traces, want 64", len(traces))
+	}
+	// Slow-batch filtering: an impossible threshold must return nothing.
+	if n := len(srv.Traces(time.Hour)); n != 0 {
+		t.Errorf("Traces(1h) returned %d traces, want 0", n)
+	}
+}

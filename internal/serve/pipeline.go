@@ -37,11 +37,13 @@ package serve
 //     that applies it.
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"ripple/internal/cluster"
 	"ripple/internal/engine"
+	"ripple/internal/obs"
 )
 
 // defaultPipelineDepth bounds the apply queue when Config.PipelineDepth
@@ -73,12 +75,21 @@ type admission struct {
 	err      error
 	enqueued time.Time
 	done     chan struct{}
+
+	// trace is the batch's flight-recorder record. The admitting goroutine
+	// stamps the admit and wal_append spans before the channel send; the
+	// applier stamps everything after (the send is the happens-before
+	// edge) and records the finished trace. The submitter's own off-lock
+	// WaitDurable deliberately does NOT touch the trace — it can still be
+	// running when the applier records.
+	trace obs.BatchTrace
 }
 
 // applyPipelined is the staged write path: admit under admitMu, then wait
 // off-lock for durability and the applier's completion signal.
 func (s *Server) applyPipelined(batch []engine.Update, quietReject bool) (engine.BatchResult, error) {
 	a := &admission{batch: batch, quiet: quietReject, done: make(chan struct{})}
+	a.trace.Begin(len(batch))
 	s.admitMu.Lock()
 	if s.admitClosed {
 		s.admitMu.Unlock()
@@ -93,17 +104,26 @@ func (s *Server) applyPipelined(batch []engine.Update, quietReject bool) (engine
 		// Durable admission: prove the batch admissible over the in-flight
 		// tail, then log it — so the WAL holds exactly the accepted-batch
 		// sequence and a logged batch can never be rejected on replay.
-		if err := s.validateInflightLocked(batch); err != nil {
+		a.trace.Enter(obs.StageAdmit)
+		err := s.validateInflightLocked(batch)
+		a.trace.Exit(obs.StageAdmit)
+		if err != nil {
 			a.reject = err
-		} else if epoch, seq, err := s.wal.AppendNextNoWait(cluster.EncodeUpdates(batch)); err != nil {
-			// A write path that cannot log cannot promise durability:
-			// fail like infrastructure, keep serving reads.
-			s.failed.Store(true)
-			a.reject = fmt.Errorf("%w: %v", ErrBackendFailed, err)
 		} else {
-			a.epoch, a.seq = epoch, seq
-			s.pendingUpd = append(s.pendingUpd, batch...)
-			a.trim = len(batch)
+			a.trace.Enter(obs.StageWALAppend)
+			epoch, seq, err := s.wal.AppendNextNoWait(cluster.EncodeUpdates(batch))
+			a.trace.Exit(obs.StageWALAppend)
+			if err != nil {
+				// A write path that cannot log cannot promise durability:
+				// fail like infrastructure, keep serving reads.
+				s.failed.Store(true)
+				a.reject = fmt.Errorf("%w: %v", ErrBackendFailed, err)
+				s.log.Error("wal append failed; latching backend failure", "component", "serve", "err", err)
+			} else {
+				a.epoch, a.seq = epoch, seq
+				s.pendingUpd = append(s.pendingUpd, batch...)
+				a.trim = len(batch)
+			}
 		}
 	}
 	s.mu.Unlock()
@@ -178,9 +198,14 @@ func (s *Server) applyLoop() {
 // publish under mu, and fan out label flips after unlock.
 func (s *Server) processAdmission(a *admission) {
 	defer close(a.done)
-	s.queueWaitH.observe(time.Since(a.enqueued))
+	// Record the finished trace before done closes (defers run LIFO): the
+	// submitter — and anyone reading a.res/a.err — observes a fully
+	// recorded trace, and nothing touches it afterwards.
+	defer func() { s.recordTrace(&a.trace) }()
+	s.queueWaitH.Observe(time.Since(a.enqueued))
 
 	if a.reject != nil {
+		a.trace.Rejected = true
 		// Report in admission order, like the old in-lock accounting.
 		s.mu.Lock()
 		if isRejection(a.reject) {
@@ -201,12 +226,18 @@ func (s *Server) processAdmission(a *admission) {
 	if a.seq != 0 {
 		// Durability before visibility. Usually already covered — the
 		// submitter drove the group commit while earlier epochs applied —
-		// so this is a re-check, not a stall.
+		// so this is a re-check, not a stall. The durable span is stamped
+		// here, by the applier, NOT by the submitter's own WaitDurable:
+		// that wait can still be running when the trace is recorded.
 		start := time.Now()
+		a.trace.Enter(obs.StageDurable)
 		err := s.wal.WaitDurable(a.seq)
-		s.fsyncWaitH.observe(time.Since(start))
+		a.trace.Exit(obs.StageDurable)
+		s.fsyncWaitH.Observe(time.Since(start))
 		if err != nil {
+			a.trace.Rejected = true
 			err = fmt.Errorf("%w: %v", ErrBackendFailed, err)
+			s.log.Error("wal fsync failed; latching backend failure", "component", "serve", "epoch", a.epoch, "err", err)
 			s.mu.Lock()
 			s.trimPendingLocked(a.trim)
 			s.failed.Store(true)
@@ -223,6 +254,7 @@ func (s *Server) processAdmission(a *admission) {
 		// An earlier admission latched infrastructure failure. This
 		// batch's record (if any) stays in the log — the same
 		// at-least-once window as a crash between append and abort.
+		a.trace.Rejected = true
 		s.mu.Lock()
 		s.trimPendingLocked(a.trim)
 		s.mu.Unlock()
@@ -233,12 +265,14 @@ func (s *Server) processAdmission(a *admission) {
 	start := time.Now()
 	s.mu.Lock()
 	if a.epoch != 0 && a.epoch != s.pub.Current().epoch+1 {
+		a.trace.Rejected = true
 		// Defensive: admission order, queue order and epoch order are one
 		// total order by construction; a desync means the pipeline is
 		// broken and publishing would corrupt the WAL-replay contract.
 		s.trimPendingLocked(a.trim)
 		s.failed.Store(true)
 		err := fmt.Errorf("%w: pipeline desync: record epoch %d over published epoch %d", ErrBackendFailed, a.epoch, s.pub.Current().epoch)
+		s.log.Error("pipeline desync; latching backend failure", "component", "serve", "record_epoch", a.epoch, "published_epoch", s.pub.Current().epoch)
 		if s.onBatch != nil {
 			s.onBatch(engine.BatchResult{}, err)
 		}
@@ -246,9 +280,12 @@ func (s *Server) processAdmission(a *admission) {
 		a.err = err
 		return
 	}
+	a.trace.Enter(obs.StageApply)
 	res, rows, err := s.backend.ApplyBatch(a.batch)
+	a.trace.Exit(obs.StageApply)
 	s.trimPendingLocked(a.trim)
 	if err != nil {
+		a.trace.Rejected = true
 		if !isRejection(err) {
 			if s.wal != nil && a.epoch != 0 {
 				// The logged batch never became an epoch: withdraw the
@@ -260,6 +297,7 @@ func (s *Server) processAdmission(a *admission) {
 			}
 			s.failed.Store(true)
 			err = fmt.Errorf("%w: %v", ErrBackendFailed, err)
+			s.log.Error("backend apply failed; latching backend failure", "component", "serve", "epoch", a.epoch, "err", err)
 			if s.onBatch != nil {
 				s.onBatch(res, err)
 			}
@@ -281,7 +319,11 @@ func (s *Server) processAdmission(a *admission) {
 	}
 
 	prev := s.pub.Current()
+	a.trace.Enter(obs.StagePublish)
 	next := s.pub.Publish(rows)
+	a.trace.Exit(obs.StagePublish)
+	a.trace.Epoch = next.epoch
+	a.trace.Enter(obs.StageReplicate)
 	if s.repl != nil {
 		// Record the published delta while the backend-borrowed row logits
 		// are still valid (they die at the next ApplyBatch — issued only
@@ -289,6 +331,7 @@ func (s *Server) processAdmission(a *admission) {
 		// exactly the leader's epoch sequence.
 		s.repl.record(prev, next, rows)
 	}
+	a.trace.Exit(obs.StageReplicate)
 
 	s.batches.Add(1)
 	s.updates.Add(int64(res.Updates))
@@ -317,7 +360,9 @@ func (s *Server) processAdmission(a *admission) {
 	}
 	if fan == nil {
 		s.mu.Unlock()
-		s.applyH.observe(time.Since(start))
+		s.applyH.Observe(time.Since(start))
+		a.trace.Enter(obs.StageFanout)
+		a.trace.Exit(obs.StageFanout)
 		a.res, a.err = res, nil
 		return
 	}
@@ -327,7 +372,8 @@ func (s *Server) processAdmission(a *admission) {
 	// cancel/Close (which closes channels under fanMu) cannot race a send.
 	s.fanMu.Lock()
 	s.mu.Unlock()
-	s.applyH.observe(time.Since(start))
+	s.applyH.Observe(time.Since(start))
+	a.trace.Enter(obs.StageFanout)
 	for _, lc := range res.LabelChanges {
 		for _, ch := range fan {
 			select {
@@ -337,6 +383,7 @@ func (s *Server) processAdmission(a *admission) {
 			}
 		}
 	}
+	a.trace.Exit(obs.StageFanout)
 	s.fanMu.Unlock()
 	a.res, a.err = res, nil
 }
@@ -351,7 +398,15 @@ func (s *Server) processAdmission(a *admission) {
 func (s *Server) backgroundCheckpoint() {
 	for {
 		s.ckptMu.Lock()
-		_, _ = s.doCheckpoint(false)
+		if _, err := s.doCheckpoint(false); err != nil &&
+			!errors.Is(err, ErrClosed) && !errors.Is(err, ErrBackendFailed) {
+			// Previously this failure was silently dropped; surface it —
+			// an operator watching logs should know checkpoints are not
+			// landing long before the WAL grows past its budget. (A closed
+			// or already-failed server refusing a checkpoint is expected
+			// shutdown noise, not an operational signal.)
+			s.log.Warn("background checkpoint failed; WAL retained, will retry next interval", "component", "serve", "err", err)
+		}
 		s.ckptMu.Unlock()
 		s.ckptBusy.Store(false)
 		s.mu.Lock()

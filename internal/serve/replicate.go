@@ -177,6 +177,7 @@ func (r *Replication) record(prev, next *Snapshot, rows []Row) {
 			close(sub.ch)
 			sub.st.Close()
 			r.drops.Add(1)
+			r.srv.log.Warn("follower dropped: send buffer full", "component", "repl", "follower_id", id, "epoch", frame.epoch)
 		}
 	}
 	r.mu.Unlock()
@@ -270,6 +271,8 @@ func (r *Replication) handleFollower(st *transport.Stream) {
 	r.subs[sub.id] = sub
 	r.mu.Unlock()
 	defer r.unsubscribe(sub)
+	r.srv.log.Info("follower subscribed", "component", "repl", "follower_id", sub.id, "watermark", watermark, "snapshot_resync", needSnapshot, "backlog_epochs", len(backlog))
+	defer r.srv.log.Debug("follower session ended", "component", "repl", "follower_id", sub.id)
 
 	hello := func() error {
 		epoch := r.srv.pub.Current().epoch

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -39,6 +40,7 @@ import (
 	"ripple/internal/cluster"
 	"ripple/internal/engine"
 	"ripple/internal/graph"
+	"ripple/internal/obs"
 	"ripple/internal/tensor"
 	"ripple/internal/wal"
 )
@@ -107,6 +109,21 @@ type Config struct {
 	// fallen further behind is resynced with a full snapshot frame
 	// instead. Only consulted once StartReplication is called. Default 1024.
 	ReplicationLogEpochs int
+
+	// Logger receives the server's structured operational logs —
+	// background checkpoint failures, replication follower churn, backend
+	// failure latches, slow-batch traces. Nil discards them (the library
+	// default; the daemons wire their slog here).
+	Logger *slog.Logger
+	// TraceRing sizes the batch flight recorder: the last N batch traces
+	// are retained for /debug/traces, recorded alloc-free and lock-free on
+	// the write path. 0 means the default (1024); negative disables
+	// retention (a 1-slot ring, effectively only the slow-batch hook).
+	TraceRing int
+	// SlowBatch, when positive, logs a structured warning with the full
+	// stage-span breakdown for every batch whose admission→published
+	// duration reaches the threshold.
+	SlowBatch time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +140,15 @@ func (c Config) withDefaults() Config {
 	c.PageRows = 1 << bits.Len(uint(c.PageRows-1))
 	if c.ReplicationLogEpochs <= 0 {
 		c.ReplicationLogEpochs = 1024
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
+	switch {
+	case c.TraceRing == 0:
+		c.TraceRing = obs.DefaultTraceRing
+	case c.TraceRing < 0:
+		c.TraceRing = 1
 	}
 	return c
 }
@@ -202,6 +228,18 @@ type Stats struct {
 	ApplyP50NS        int64 `json:"apply_p50_ns"`        // ApplyBatch + publish critical section
 	ApplyP99NS        int64 `json:"apply_p99_ns"`
 	CheckpointStallNS int64 `json:"checkpoint_stall_ns"` // cumulative write-lock time spent encoding checkpoints
+
+	// Full bucket vectors behind the quantile pairs above (power-of-two-ns
+	// buckets, trailing zeros trimmed), plus the end-to-end batch
+	// histogram (admission → published). Exact counts: /metrics renders
+	// these as cumulative `le` buckets and rippleload differences two
+	// snapshots to get true window quantiles instead of since-boot ones.
+	QueueWaitHist  obs.HistSnapshot `json:"queue_wait_hist"`
+	FsyncWaitHist  obs.HistSnapshot `json:"fsync_wait_hist"`
+	ApplyHist      obs.HistSnapshot `json:"apply_hist"`
+	BatchTotalHist obs.HistSnapshot `json:"batch_total_hist"`
+	// TracesRecorded counts batch traces captured by the flight recorder.
+	TracesRecorded uint64 `json:"traces_recorded"`
 
 	// CommStats (embedded, so comm_bytes/comm_msgs/route_bytes/gather_bytes
 	// surface as top-level counters) holds the cumulative
@@ -287,9 +325,18 @@ type Server struct {
 	fanMu      sync.Mutex
 	fanScratch []chan engine.LabelChange
 
-	queueWaitH latHist
-	fsyncWaitH latHist
-	applyH     latHist
+	queueWaitH  obs.LatencyHist
+	fsyncWaitH  obs.LatencyHist
+	applyH      obs.LatencyHist
+	batchTotalH obs.LatencyHist // admission → published, whole pipeline
+
+	// rec is the batch flight recorder (never nil); log is the structured
+	// logger (never nil — NopLogger by default). metricsOnce lazily builds
+	// the /metrics registry on first MetricsRegistry call.
+	rec         *obs.FlightRecorder
+	log         *slog.Logger
+	metricsOnce sync.Once
+	metrics     *obs.Registry
 
 	// Durability state (nil/zero for non-durable servers). wal is set once
 	// by Open after the tail replay and never changes; it is only written
@@ -375,6 +422,11 @@ func newServer(backend Backend, cfg Config, epoch uint64) (*Server, error) {
 		pub:     NewPublisher(cfg.PageRows),
 		subs:    map[int]chan engine.LabelChange{},
 		serial:  cfg.PipelineDepth < 0,
+		rec:     obs.NewFlightRecorder(cfg.TraceRing),
+		log:     cfg.Logger,
+	}
+	if cfg.SlowBatch > 0 {
+		s.rec.SetSlowHook(cfg.SlowBatch, s.logSlowBatch)
 	}
 	s.writeCkpt = func(path string, data []byte) error {
 		return wal.WriteFileAtomic(path, func(w io.Writer) error {
@@ -547,6 +599,8 @@ func (s *Server) apply(batch []engine.Update, quietReject bool) (engine.BatchRes
 // benchmarks): validate, WAL append + fsync, apply, publish, fan-out and
 // the automatic checkpoint all under one mu hold.
 func (s *Server) applySerial(batch []engine.Update, quietReject bool) (engine.BatchResult, error) {
+	var tr obs.BatchTrace
+	tr.Begin(len(batch))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -555,6 +609,9 @@ func (s *Server) applySerial(batch []engine.Update, quietReject bool) (engine.Ba
 	if s.failed.Load() {
 		return engine.BatchResult{}, ErrBackendFailed
 	}
+	// Every outcome past the fail-fast gates is a trace: applied batches,
+	// rejections and infrastructure failures all land in the ring.
+	defer func() { s.recordTrace(&tr) }()
 	var loggedEpoch uint64
 	if s.wal != nil {
 		// Durable admission: prove the batch admissible, then log it,
@@ -564,7 +621,11 @@ func (s *Server) applySerial(batch []engine.Update, quietReject bool) (engine.Ba
 		// deliberate — validation is O(batch) with a lazy, alloc-free
 		// overlay, dwarfed by propagation, and keeping ApplyBatch
 		// self-contained keeps the all-or-nothing contract local.)
-		if err := s.backend.(validatingBackend).ValidateBatch(batch); err != nil {
+		tr.Enter(obs.StageAdmit)
+		err := s.backend.(validatingBackend).ValidateBatch(batch)
+		tr.Exit(obs.StageAdmit)
+		if err != nil {
+			tr.Rejected = true
 			if !quietReject {
 				s.rejected.Add(1)
 				if s.onBatch != nil {
@@ -575,13 +636,22 @@ func (s *Server) applySerial(batch []engine.Update, quietReject bool) (engine.Ba
 		}
 		loggedEpoch = s.pub.Current().epoch + 1
 		fsyncStart := time.Now()
-		err := s.wal.Append(loggedEpoch, cluster.EncodeUpdates(batch))
-		s.fsyncWaitH.observe(time.Since(fsyncStart))
+		tr.Enter(obs.StageWALAppend)
+		err = s.wal.Append(loggedEpoch, cluster.EncodeUpdates(batch))
+		tr.Exit(obs.StageWALAppend)
+		// The serial Append fsyncs inline, so durability is reached at the
+		// append's end: a zero-width durable span keeps the timeline's
+		// stage order identical to the pipelined path.
+		tr.Enter(obs.StageDurable)
+		tr.Exit(obs.StageDurable)
+		s.fsyncWaitH.Observe(time.Since(fsyncStart))
 		if err != nil {
 			// A write path that cannot log cannot promise durability:
 			// fail like infrastructure, keep serving reads.
+			tr.Rejected = true
 			s.failed.Store(true)
 			err = fmt.Errorf("%w: %v", ErrBackendFailed, err)
+			s.log.Error("wal append failed; latching backend failure", "component", "serve", "epoch", loggedEpoch, "err", err)
 			if s.onBatch != nil {
 				s.onBatch(engine.BatchResult{}, err)
 			}
@@ -589,8 +659,11 @@ func (s *Server) applySerial(batch []engine.Update, quietReject bool) (engine.Ba
 		}
 	}
 	applyStart := time.Now()
+	tr.Enter(obs.StageApply)
 	res, rows, err := s.backend.ApplyBatch(batch)
+	tr.Exit(obs.StageApply)
 	if err != nil {
+		tr.Rejected = true
 		if !isRejection(err) {
 			if s.wal != nil && loggedEpoch != 0 {
 				// The logged batch never became an epoch: withdraw the
@@ -605,6 +678,7 @@ func (s *Server) applySerial(batch []engine.Update, quietReject bool) (engine.Ba
 			// reads keep serving the last published epoch.
 			s.failed.Store(true)
 			err = fmt.Errorf("%w: %v", ErrBackendFailed, err)
+			s.log.Error("backend apply failed; latching backend failure", "component", "serve", "err", err)
 			if s.onBatch != nil {
 				s.onBatch(res, err)
 			}
@@ -620,20 +694,26 @@ func (s *Server) applySerial(batch []engine.Update, quietReject bool) (engine.Ba
 	}
 
 	prev := s.pub.Current()
+	tr.Enter(obs.StagePublish)
 	next := s.pub.Publish(rows)
+	tr.Exit(obs.StagePublish)
+	tr.Epoch = next.epoch
+	tr.Enter(obs.StageReplicate)
 	if s.repl != nil {
 		// Record the published delta while the backend-borrowed row logits
 		// are still valid (they die at the next ApplyBatch) and mu still
 		// orders epochs: followers see exactly the leader's epoch sequence.
 		s.repl.record(prev, next, rows)
 	}
-	s.applyH.observe(time.Since(applyStart))
+	tr.Exit(obs.StageReplicate)
+	s.applyH.Observe(time.Since(applyStart))
 
 	s.batches.Add(1)
 	s.updates.Add(int64(res.Updates))
 	s.flips.Add(int64(len(res.LabelChanges)))
 	s.scatterPar.Add(int64(res.ScatterHopsParallel))
 	s.scatterSer.Add(int64(res.ScatterHopsSerial))
+	tr.Enter(obs.StageFanout)
 	for _, lc := range res.LabelChanges {
 		for _, ch := range s.subs {
 			select {
@@ -643,6 +723,7 @@ func (s *Server) applySerial(batch []engine.Update, quietReject bool) (engine.Ba
 			}
 		}
 	}
+	tr.Exit(obs.StageFanout)
 	if s.onBatch != nil {
 		s.onBatch(res, nil)
 	}
@@ -729,13 +810,19 @@ func (s *Server) Stats() Stats {
 		LastDeltaCheckpointBytes: s.lastDeltaB.Load(),
 
 		InFlight:          len(s.applyQ),
-		QueueWaitP50NS:    s.queueWaitH.quantile(0.50),
-		QueueWaitP99NS:    s.queueWaitH.quantile(0.99),
-		FsyncWaitP50NS:    s.fsyncWaitH.quantile(0.50),
-		FsyncWaitP99NS:    s.fsyncWaitH.quantile(0.99),
-		ApplyP50NS:        s.applyH.quantile(0.50),
-		ApplyP99NS:        s.applyH.quantile(0.99),
+		QueueWaitP50NS:    s.queueWaitH.Quantile(0.50),
+		QueueWaitP99NS:    s.queueWaitH.Quantile(0.99),
+		FsyncWaitP50NS:    s.fsyncWaitH.Quantile(0.50),
+		FsyncWaitP99NS:    s.fsyncWaitH.Quantile(0.99),
+		ApplyP50NS:        s.applyH.Quantile(0.50),
+		ApplyP99NS:        s.applyH.Quantile(0.99),
 		CheckpointStallNS: s.ckptStall.Load(),
+
+		QueueWaitHist:  s.queueWaitH.Snapshot(),
+		FsyncWaitHist:  s.fsyncWaitH.Snapshot(),
+		ApplyHist:      s.applyH.Snapshot(),
+		BatchTotalHist: s.batchTotalH.Snapshot(),
+		TracesRecorded: s.rec.Recorded(),
 	}
 	if s.wal != nil {
 		ws := s.wal.Stats()
@@ -752,6 +839,37 @@ func (s *Server) Stats() Stats {
 		st.ReplStats = repl.stats()
 	}
 	return st
+}
+
+// recordTrace finishes one batch trace: published batches feed the
+// end-to-end histogram, and every traced outcome — applied, rejected,
+// failed — lands in the flight-recorder ring. Alloc-free and lock-free;
+// the slow-batch hook (if armed) fires from inside Record.
+func (s *Server) recordTrace(t *obs.BatchTrace) {
+	if !t.Rejected {
+		s.batchTotalH.Observe(time.Duration(t.TotalNS()))
+	}
+	s.rec.Record(t)
+}
+
+// logSlowBatch is the flight recorder's slow-batch hook: a structured
+// warning carrying the full stage breakdown. It only runs for batches
+// over Config.SlowBatch, so its allocations never touch the common case.
+func (s *Server) logSlowBatch(t obs.BatchTrace) {
+	attrs := make([]any, 0, 2*obs.NumStages+8)
+	attrs = append(attrs, "component", "serve", "epoch", t.Epoch,
+		"updates", t.Updates, "total_ns", t.TotalNS())
+	for i := 0; i < obs.NumStages; i++ {
+		attrs = append(attrs, obs.Stage(i).String()+"_ns", t.Spans[i].EndNS-t.Spans[i].StartNS)
+	}
+	s.log.Warn("slow batch", attrs...)
+}
+
+// Traces drains the flight recorder: the retained batch traces with
+// end-to-end duration >= min, oldest first. Safe under concurrent writes;
+// this is the /debug/traces read path.
+func (s *Server) Traces(min time.Duration) []obs.BatchTrace {
+	return s.rec.Snapshot(min)
 }
 
 // Compact republishes the current epoch over freshly allocated contiguous

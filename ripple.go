@@ -29,14 +29,39 @@ package ripple
 
 import (
 	"io"
+	"log/slog"
 	"time"
 
 	"ripple/internal/engine"
 	"ripple/internal/gnn"
 	"ripple/internal/graph"
+	"ripple/internal/obs"
 	"ripple/internal/serve"
 	"ripple/internal/tensor"
 )
+
+// Observability surface, re-exported from internal/obs. A Server or
+// Follower exposes a Prometheus-text MetricsRegistry (serve it at
+// /metrics) and, on the server, a flight recorder of recent batch traces
+// (Server.Traces; rippleserve serves them at /debug/traces).
+type (
+	// BatchTrace is one admitted batch's stage-by-stage pipeline timeline,
+	// captured by the flight recorder (see WithTraceRing, Server.Traces).
+	BatchTrace = obs.BatchTrace
+	// MetricsRegistry renders Prometheus text-format metrics; it is an
+	// http.Handler, returned by Server.MetricsRegistry and
+	// Follower.MetricsRegistry.
+	MetricsRegistry = obs.Registry
+	// HistSnapshot is a power-of-two-bucket latency histogram snapshot,
+	// embedded in ServeStats and FollowerStats.
+	HistSnapshot = obs.HistSnapshot
+)
+
+// NewLogger builds a leveled slog.Logger for WithLogger/FollowWithLogger.
+// level is one of debug, info, warn, error; format is text or json.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	return obs.NewLogger(w, level, format)
+}
 
 // Core type surface, re-exported from the implementation packages.
 type (
@@ -317,6 +342,30 @@ func WithPipelineDepth(n int) ServeOption {
 	return func(c *serve.Config) { c.PipelineDepth = n }
 }
 
+// WithLogger routes the server's structured diagnostics — slow batches,
+// WAL/apply failures, checkpoint errors, replication session events —
+// through log. nil (the default) discards them. Build one with
+// ripple.NewLogger or bring any slog.Logger.
+func WithLogger(log *slog.Logger) ServeOption {
+	return func(c *serve.Config) { c.Logger = log }
+}
+
+// WithTraceRing sizes the batch flight recorder: the server keeps the
+// last n admitted batches' stage-by-stage traces (admit, wal_append,
+// durable, apply, publish, replicate, fanout) in a lock-free ring read
+// by Server.Traces. n is rounded up to a power of two; 0 (the default)
+// keeps 1024, negative keeps 1.
+func WithTraceRing(n int) ServeOption {
+	return func(c *serve.Config) { c.TraceRing = n }
+}
+
+// WithSlowBatch logs a structured per-stage timing breakdown (via the
+// WithLogger logger) for every batch whose admission-to-publish time
+// exceeds d. 0 (the default) disables slow-batch logging.
+func WithSlowBatch(d time.Duration) ServeOption {
+	return func(c *serve.Config) { c.SlowBatch = d }
+}
+
 // WithReplicationLog bounds the in-memory replication log a leader keeps
 // once Server.StartReplication is called: the encoded delta frames of the
 // most recent n epochs. A reconnecting follower whose watermark is still
@@ -417,6 +466,13 @@ func FollowWithPageRows(rows int) FollowOption {
 // after a failed dial or dead session (defaults 5s / 250ms).
 func FollowWithTimeouts(dial, retry time.Duration) FollowOption {
 	return func(c *serve.FollowerConfig) { c.DialTimeout, c.RetryEvery = dial, retry }
+}
+
+// FollowWithLogger routes the follower's structured diagnostics —
+// session establishment, resyncs, redials, frame failures — through log.
+// nil (the default) discards them.
+func FollowWithLogger(log *slog.Logger) FollowOption {
+	return func(c *serve.FollowerConfig) { c.Logger = log }
 }
 
 // Follow starts a read replica against a leader's replication address
